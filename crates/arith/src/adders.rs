@@ -1,0 +1,261 @@
+//! The mirror-adder family: one exact and five approximate full adders.
+//!
+//! A full adder maps `(A, B, Cin)` to `(Sum, Cout)`. The approximate mirror
+//! adders (AMA1–AMA5) of Gupta et al. [23] progressively remove transistors
+//! from the conventional 24-transistor mirror adder (MA), trading truth-table
+//! errors for power and delay.
+//!
+//! The paper defines AMA5 precisely (§4.1): `Sum = B`, `Cout = A` — two
+//! buffers. AMA1–AMA4 are reconstructed from the published progression:
+//!
+//! | Design | `Sum`            | `Cout`        | Sum errors | Cout errors |
+//! |--------|------------------|---------------|-----------:|------------:|
+//! | Exact  | `A ^ B ^ Cin`    | majority      | 0 / 8      | 0 / 8       |
+//! | AMA1   | `!Cout_exact`    | exact         | 2 / 8      | 0 / 8       |
+//! | AMA2   | exact            | `A`           | 0 / 8      | 2 / 8       |
+//! | AMA3   | `!A`             | `A`           | 4 / 8      | 2 / 8       |
+//! | AMA4   | `B`              | exact         | 4 / 8      | 0 / 8       |
+//! | AMA5   | `B`              | `A`           | 4 / 8      | 2 / 8       |
+//!
+//! Truth tables are stored as 8-bit vectors indexed by
+//! `(Cin << 2) | (B << 1) | A`.
+
+/// One of the full-adder designs usable as an array-multiplier cell.
+///
+/// # Examples
+///
+/// ```
+/// use da_arith::AdderKind;
+///
+/// // AMA5 ignores its carry input entirely: Sum = B, Cout = A.
+/// let (sum, cout) = AdderKind::Ama5.eval(1, 0, 1);
+/// assert_eq!((sum, cout), (0, 1));
+/// // The exact adder computes 1 + 0 + 1 = 0b10.
+/// let (sum, cout) = AdderKind::Exact.eval(1, 0, 1);
+/// assert_eq!((sum, cout), (0, 1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AdderKind {
+    /// Conventional 24-transistor mirror adder (no errors).
+    Exact,
+    /// `Sum = !Cout`, `Cout` exact — 2/8 sum errors.
+    Ama1,
+    /// `Sum` exact, `Cout = A` — 2/8 carry errors.
+    Ama2,
+    /// `Sum = !A`, `Cout = A` — 4/8 sum and 2/8 carry errors.
+    Ama3,
+    /// `Sum = B`, `Cout` exact — 4/8 sum errors.
+    Ama4,
+    /// `Sum = B`, `Cout = A` — two buffers; the paper's Ax-FPM cell.
+    Ama5,
+}
+
+/// Truth table of the exact sum output (`A ^ B ^ Cin`).
+pub const EXACT_SUM_TT: u8 = 0b1001_0110;
+/// Truth table of the exact carry output (majority of `A`, `B`, `Cin`).
+pub const EXACT_COUT_TT: u8 = 0b1110_1000;
+
+impl AdderKind {
+    /// Every design, in increasing aggressiveness order.
+    pub const ALL: [AdderKind; 6] = [
+        AdderKind::Exact,
+        AdderKind::Ama1,
+        AdderKind::Ama2,
+        AdderKind::Ama3,
+        AdderKind::Ama4,
+        AdderKind::Ama5,
+    ];
+
+    /// 8-entry truth table of the `Sum` output, indexed by
+    /// `(Cin << 2) | (B << 1) | A`.
+    #[inline]
+    pub fn sum_tt(self) -> u8 {
+        match self {
+            AdderKind::Exact => EXACT_SUM_TT,
+            AdderKind::Ama1 => !EXACT_COUT_TT,
+            AdderKind::Ama2 => EXACT_SUM_TT,
+            AdderKind::Ama3 => 0b0101_0101, // !A
+            AdderKind::Ama4 => 0b1100_1100, // B
+            AdderKind::Ama5 => 0b1100_1100, // B
+        }
+    }
+
+    /// 8-entry truth table of the `Cout` output, indexed like [`sum_tt`].
+    ///
+    /// [`sum_tt`]: AdderKind::sum_tt
+    #[inline]
+    pub fn cout_tt(self) -> u8 {
+        match self {
+            AdderKind::Exact => EXACT_COUT_TT,
+            AdderKind::Ama1 => EXACT_COUT_TT,
+            AdderKind::Ama2 => 0b1010_1010, // A
+            AdderKind::Ama3 => 0b1010_1010, // A
+            AdderKind::Ama4 => EXACT_COUT_TT,
+            AdderKind::Ama5 => 0b1010_1010, // A
+        }
+    }
+
+    /// Evaluate the adder on single bits. Bits must be `0` or `1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any input is not a bit.
+    #[inline]
+    pub fn eval(self, a: u8, b: u8, cin: u8) -> (u8, u8) {
+        debug_assert!(a <= 1 && b <= 1 && cin <= 1, "inputs must be bits");
+        let idx = (cin << 2) | (b << 1) | a;
+        ((self.sum_tt() >> idx) & 1, (self.cout_tt() >> idx) & 1)
+    }
+
+    /// Number of input combinations (out of 8) where `Sum` is wrong.
+    pub fn sum_error_count(self) -> u32 {
+        (self.sum_tt() ^ EXACT_SUM_TT).count_ones()
+    }
+
+    /// Number of input combinations (out of 8) where `Cout` is wrong.
+    pub fn cout_error_count(self) -> u32 {
+        (self.cout_tt() ^ EXACT_COUT_TT).count_ones()
+    }
+
+    /// Transistor count of the CMOS implementation.
+    ///
+    /// The exact mirror adder uses 24 transistors; the approximations remove
+    /// circuitry, down to AMA5's two buffers (paper Figure 2). These counts
+    /// drive the [energy model](crate::energy).
+    pub fn transistor_count(self) -> f64 {
+        match self {
+            AdderKind::Exact => 24.0,
+            AdderKind::Ama1 => 20.0,
+            AdderKind::Ama2 => 16.0,
+            AdderKind::Ama3 => 13.0,
+            AdderKind::Ama4 => 11.0,
+            AdderKind::Ama5 => 4.0,
+        }
+    }
+
+    /// Propagation delay of the `Sum` output in gate levels.
+    pub fn sum_delay(self) -> f64 {
+        match self {
+            AdderKind::Exact | AdderKind::Ama1 => 2.0,
+            AdderKind::Ama2 => 2.0,
+            AdderKind::Ama3 => 0.5,
+            AdderKind::Ama4 | AdderKind::Ama5 => 0.5,
+        }
+    }
+
+    /// Propagation delay of the `Cout` output in gate levels.
+    pub fn cout_delay(self) -> f64 {
+        match self {
+            AdderKind::Exact | AdderKind::Ama1 | AdderKind::Ama4 => 2.0,
+            AdderKind::Ama2 | AdderKind::Ama3 | AdderKind::Ama5 => 0.5,
+        }
+    }
+
+    /// `true` if neither output depends on `Cin` (the carry chain is cut).
+    ///
+    /// ```
+    /// use da_arith::AdderKind;
+    /// assert!(AdderKind::Ama5.ignores_carry_in());
+    /// assert!(!AdderKind::Exact.ignores_carry_in());
+    /// ```
+    pub fn ignores_carry_in(self) -> bool {
+        let dep = |tt: u8| (tt >> 4) != (tt & 0x0F);
+        !dep(self.sum_tt()) && !dep(self.cout_tt())
+    }
+}
+
+impl std::fmt::Display for AdderKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            AdderKind::Exact => "Exact",
+            AdderKind::Ama1 => "AMA1",
+            AdderKind::Ama2 => "AMA2",
+            AdderKind::Ama3 => "AMA3",
+            AdderKind::Ama4 => "AMA4",
+            AdderKind::Ama5 => "AMA5",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_truth_tables_match_arithmetic() {
+        for idx in 0u8..8 {
+            let a = idx & 1;
+            let b = (idx >> 1) & 1;
+            let c = (idx >> 2) & 1;
+            let total = a + b + c;
+            let (sum, cout) = AdderKind::Exact.eval(a, b, c);
+            assert_eq!(sum, total & 1, "sum mismatch at {idx}");
+            assert_eq!(cout, (total >> 1) & 1, "cout mismatch at {idx}");
+        }
+    }
+
+    #[test]
+    fn ama5_is_two_buffers() {
+        for idx in 0u8..8 {
+            let a = idx & 1;
+            let b = (idx >> 1) & 1;
+            let c = (idx >> 2) & 1;
+            let (sum, cout) = AdderKind::Ama5.eval(a, b, c);
+            assert_eq!(sum, b);
+            assert_eq!(cout, a);
+        }
+    }
+
+    #[test]
+    fn error_counts_follow_documented_progression() {
+        assert_eq!(AdderKind::Exact.sum_error_count(), 0);
+        assert_eq!(AdderKind::Exact.cout_error_count(), 0);
+        assert_eq!(AdderKind::Ama1.sum_error_count(), 2);
+        assert_eq!(AdderKind::Ama1.cout_error_count(), 0);
+        assert_eq!(AdderKind::Ama2.sum_error_count(), 0);
+        assert_eq!(AdderKind::Ama2.cout_error_count(), 2);
+        assert_eq!(AdderKind::Ama3.sum_error_count(), 4);
+        assert_eq!(AdderKind::Ama3.cout_error_count(), 2);
+        assert_eq!(AdderKind::Ama4.sum_error_count(), 4);
+        assert_eq!(AdderKind::Ama4.cout_error_count(), 0);
+        assert_eq!(AdderKind::Ama5.sum_error_count(), 4);
+        assert_eq!(AdderKind::Ama5.cout_error_count(), 2);
+    }
+
+    #[test]
+    fn ama1_sum_is_inverted_exact_carry() {
+        for idx in 0u8..8 {
+            let a = idx & 1;
+            let b = (idx >> 1) & 1;
+            let c = (idx >> 2) & 1;
+            let (sum, _) = AdderKind::Ama1.eval(a, b, c);
+            let (_, exact_cout) = AdderKind::Exact.eval(a, b, c);
+            assert_eq!(sum, 1 - exact_cout);
+        }
+    }
+
+    #[test]
+    fn transistor_counts_strictly_decrease_with_aggressiveness() {
+        let counts: Vec<f64> = AdderKind::ALL.iter().map(|k| k.transistor_count()).collect();
+        for pair in counts.windows(2) {
+            assert!(pair[0] > pair[1], "counts must strictly decrease: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn only_carry_cut_designs_ignore_cin() {
+        assert!(AdderKind::Ama3.ignores_carry_in());
+        assert!(AdderKind::Ama5.ignores_carry_in());
+        assert!(!AdderKind::Exact.ignores_carry_in());
+        assert!(!AdderKind::Ama1.ignores_carry_in());
+        assert!(!AdderKind::Ama2.ignores_carry_in()); // exact Sum depends on Cin
+        assert!(!AdderKind::Ama4.ignores_carry_in()); // exact Cout depends on Cin
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        let names: Vec<String> = AdderKind::ALL.iter().map(|k| k.to_string()).collect();
+        assert_eq!(names, ["Exact", "AMA1", "AMA2", "AMA3", "AMA4", "AMA5"]);
+    }
+}

@@ -1,0 +1,422 @@
+//! IEEE-754 binary32 floating-point multipliers built around a mantissa
+//! array core (paper §4.1, Figure 14).
+//!
+//! A floating-point multiplier (FPM) has three units: the mantissa
+//! multiplier, the exponent adder, and the normalization/rounding unit. The
+//! mantissa multiplier consumes ~81% of the power [67], so Defensive
+//! Approximation replaces only it; sign, exponent, and normalization logic
+//! stay exact hardware.
+//!
+//! Fidelity notes (documented deviations, see DESIGN.md):
+//!
+//! * **Normalization assumes the exact-core invariant.** For exact cores the
+//!   48-bit significand product lies in `[2^46, 2^48)`, so the unit checks
+//!   bit 47 only and re-packs with an implicit leading one. Approximate cores
+//!   may violate the invariant; the unchanged normalization unit then
+//!   *force-normalizes* — this is part of the hardware's behaviour, not a
+//!   simulation artifact, and it is what produces the paper's inflation.
+//! * **Rounding is truncation** (round toward zero), the common choice in
+//!   approximate FPM designs.
+//! * **Denormals are flushed to zero** on input and output.
+//! * NaN/Inf follow IEEE semantics and bypass the approximate core.
+
+use crate::array::{ArrayMultiplier, ArrayMultiplierSpec};
+use crate::multiplier::Multiplier;
+
+/// Mantissa width including the implicit leading one.
+pub const SIGNIFICAND_BITS: usize = 24;
+/// Exponent bias of binary32.
+pub const EXPONENT_BIAS: i32 = 127;
+
+/// The raw fields of an IEEE-754 binary32 value (paper Figure 14).
+///
+/// # Examples
+///
+/// ```
+/// use da_arith::fpm::Binary32Parts;
+///
+/// let p = Binary32Parts::from_f32(1.5);
+/// assert_eq!(p.sign, 0);
+/// assert_eq!(p.exponent, 127);          // unbiased exponent 0
+/// assert_eq!(p.fraction, 1 << 22);      // 1.1₂
+/// assert_eq!(p.significand(), (1 << 23) | (1 << 22));
+/// assert_eq!(p.to_f32(), 1.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Binary32Parts {
+    /// Sign bit (0 or 1).
+    pub sign: u32,
+    /// Biased 8-bit exponent field.
+    pub exponent: u32,
+    /// 23-bit fraction field (without the implicit one).
+    pub fraction: u32,
+}
+
+impl Binary32Parts {
+    /// Decompose an `f32` into its fields.
+    pub fn from_f32(x: f32) -> Self {
+        let bits = x.to_bits();
+        Binary32Parts {
+            sign: bits >> 31,
+            exponent: (bits >> 23) & 0xFF,
+            fraction: bits & 0x7F_FFFF,
+        }
+    }
+
+    /// Reassemble the `f32`.
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.sign << 31) | (self.exponent << 23) | self.fraction)
+    }
+
+    /// The 24-bit significand with the implicit leading one.
+    ///
+    /// Only meaningful for normal numbers (`exponent != 0`).
+    pub fn significand(self) -> u32 {
+        (1 << 23) | self.fraction
+    }
+
+    /// `true` for zero or denormal values (both flushed to zero here).
+    pub fn is_zero_or_denormal(self) -> bool {
+        self.exponent == 0
+    }
+
+    /// `true` for infinity or NaN.
+    pub fn is_special(self) -> bool {
+        self.exponent == 0xFF
+    }
+}
+
+/// A binary32 multiplier whose 24×24 mantissa core is a configurable
+/// gate-level [`ArrayMultiplier`].
+///
+/// # Examples
+///
+/// ```
+/// use da_arith::{Multiplier, fpm::FloatMultiplier};
+///
+/// // The gate-level exact FPM equals native multiplication up to the
+/// // truncating rounding mode (≤ 1 ulp below).
+/// let exact = FloatMultiplier::exact();
+/// let r = exact.multiply(1.25, 3.5);
+/// assert_eq!(r, 1.25 * 3.5);
+///
+/// // The paper's Ax-FPM inflates products by a data-dependent factor.
+/// let ax = FloatMultiplier::ax_fpm();
+/// let approx = ax.multiply(0.6, 0.7);
+/// assert!(approx >= 0.6 * 0.7 && approx <= 2.0 * 0.6 * 0.7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FloatMultiplier {
+    core: ArrayMultiplier,
+    name: String,
+    fast_path: FastPath,
+}
+
+/// Closed-form shortcuts for cores whose gate-level behaviour has been proven
+/// equivalent (see `fast_path_matches_gate_level` test and DESIGN.md §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FastPath {
+    /// Simulate the core gate by gate.
+    None,
+    /// Canonical AMA5 array + AMA5 ripple CPA: the significand product
+    /// collapses to `sa << 24`, so the result is `1.f_a · 2^(ea + eb - 126)`.
+    CanonicalAma5,
+    /// Exact core: the significand product is `sa * sb`.
+    Exact,
+}
+
+impl FloatMultiplier {
+    /// Build an FPM around the given mantissa-core configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core width is not [`SIGNIFICAND_BITS`].
+    pub fn with_core(name: impl Into<String>, spec: ArrayMultiplierSpec) -> Self {
+        assert_eq!(
+            spec.width, SIGNIFICAND_BITS,
+            "binary32 mantissa core must be {SIGNIFICAND_BITS} bits wide"
+        );
+        let fast_path = if spec == ArrayMultiplierSpec::ax_mantissa(SIGNIFICAND_BITS) {
+            FastPath::CanonicalAma5
+        } else if spec == ArrayMultiplierSpec::exact(SIGNIFICAND_BITS) {
+            FastPath::Exact
+        } else {
+            FastPath::None
+        };
+        FloatMultiplier { core: ArrayMultiplier::new(spec), name: name.into(), fast_path }
+    }
+
+    /// Gate-level exact FPM (reference; truncating rounding).
+    pub fn exact() -> Self {
+        FloatMultiplier::with_core("exact-fpm", ArrayMultiplierSpec::exact(SIGNIFICAND_BITS))
+    }
+
+    /// The paper's **Ax-FPM**: AMA5 array mantissa core.
+    pub fn ax_fpm() -> Self {
+        FloatMultiplier::with_core("ax-fpm", ArrayMultiplierSpec::ax_mantissa(SIGNIFICAND_BITS))
+    }
+
+    /// The mantissa core configuration.
+    pub fn core_spec(&self) -> &ArrayMultiplierSpec {
+        self.core.spec()
+    }
+
+    /// Multiply through the simulated datapath.
+    pub fn multiply_f32(&self, a: f32, b: f32) -> f32 {
+        self.multiply_inner(a, b, false)
+    }
+
+    /// Multiply forcing the gate-level core simulation even when a proven
+    /// closed-form fast path exists (used to validate the fast paths).
+    pub fn multiply_gate_level(&self, a: f32, b: f32) -> f32 {
+        self.multiply_inner(a, b, true)
+    }
+
+    fn multiply_inner(&self, a: f32, b: f32, force_gate_level: bool) -> f32 {
+        let pa = Binary32Parts::from_f32(a);
+        let pb = Binary32Parts::from_f32(b);
+        let sign = pa.sign ^ pb.sign;
+
+        // Special values bypass the approximate core (exact hardware path).
+        if a.is_nan() || b.is_nan() {
+            return f32::NAN;
+        }
+        if pa.is_special() || pb.is_special() {
+            // inf * 0 (or denormal, which we flush) is NaN.
+            if pa.is_zero_or_denormal() || pb.is_zero_or_denormal() {
+                return f32::NAN;
+            }
+            return pack(sign, 0xFF, 0);
+        }
+        if pa.is_zero_or_denormal() || pb.is_zero_or_denormal() {
+            return pack(sign, 0, 0);
+        }
+
+        let prod = if force_gate_level {
+            self.core
+                .multiply(pa.significand() as u64, pb.significand() as u64)
+        } else {
+            match self.fast_path {
+                FastPath::None => self
+                    .core
+                    .multiply(pa.significand() as u64, pb.significand() as u64),
+                FastPath::CanonicalAma5 => (pa.significand() as u64) << SIGNIFICAND_BITS,
+                FastPath::Exact => pa.significand() as u64 * pb.significand() as u64,
+            }
+        };
+        if prod == 0 {
+            // Only reachable with aggressive cores under ablation wirings:
+            // the normalization unit has nothing to normalize.
+            return pack(sign, 0, 0);
+        }
+
+        let mut exp = pa.exponent as i32 + pb.exponent as i32 - EXPONENT_BIAS;
+        // Exact-unit normalization: check bit 47 only, truncate low bits.
+        let frac = if (prod >> 47) & 1 == 1 {
+            exp += 1;
+            ((prod >> 24) & 0x7F_FFFF) as u32
+        } else {
+            ((prod >> 23) & 0x7F_FFFF) as u32
+        };
+
+        if exp >= 0xFF {
+            return pack(sign, 0xFF, 0); // overflow -> infinity
+        }
+        if exp <= 0 {
+            return pack(sign, 0, 0); // underflow -> flush to zero
+        }
+        pack(sign, exp as u32, frac)
+    }
+}
+
+impl Multiplier for FloatMultiplier {
+    fn multiply(&self, a: f32, b: f32) -> f32 {
+        self.multiply_f32(a, b)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+fn pack(sign: u32, exponent: u32, fraction: u32) -> f32 {
+    Binary32Parts { sign, exponent, fraction }.to_f32()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(11)
+    }
+
+    /// Reference: binary32 multiply with round-toward-zero via integer math.
+    fn f32_mul_truncated(a: f32, b: f32) -> f32 {
+        let r = (a as f64) * (b as f64);
+        if r == 0.0 || !r.is_finite() {
+            return r as f32;
+        }
+        let sign = if r < 0.0 { -1.0 } else { 1.0 };
+        let mag = r.abs();
+        let towards_zero = f32::from_bits({
+            let up = mag as f32;
+            if (up as f64) > mag { up.to_bits() - 1 } else { up.to_bits() }
+        });
+        sign as f32 * towards_zero
+    }
+
+    #[test]
+    fn exact_fpm_matches_truncated_native_multiply() {
+        let m = FloatMultiplier::exact();
+        let mut rng = rng();
+        for _ in 0..5000 {
+            let a = rng.gen_range(-4.0f32..4.0);
+            let b = rng.gen_range(-4.0f32..4.0);
+            if a == 0.0 || b == 0.0 || ((a as f64) * (b as f64)).abs() < f32::MIN_POSITIVE as f64 {
+                continue; // the simulated FPM flushes denormal results
+            }
+            let got = m.multiply(a, b);
+            let want = f32_mul_truncated(a, b);
+            assert_eq!(got.to_bits(), want.to_bits(), "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn exact_fpm_handles_special_values() {
+        let m = FloatMultiplier::exact();
+        assert!(m.multiply(f32::NAN, 1.0).is_nan());
+        assert!(m.multiply(1.0, f32::NAN).is_nan());
+        assert!(m.multiply(f32::INFINITY, 0.0).is_nan());
+        assert_eq!(m.multiply(f32::INFINITY, 2.0), f32::INFINITY);
+        assert_eq!(m.multiply(f32::NEG_INFINITY, 2.0), f32::NEG_INFINITY);
+        assert_eq!(m.multiply(f32::INFINITY, -2.0), f32::NEG_INFINITY);
+        assert_eq!(m.multiply(0.0, 5.0), 0.0);
+        assert_eq!(m.multiply(-0.0, 5.0).to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn ax_fpm_inflation_is_bounded_by_two() {
+        let m = FloatMultiplier::ax_fpm();
+        let mut rng = rng();
+        for _ in 0..5000 {
+            let a = rng.gen_range(0.01f32..1.0);
+            let b = rng.gen_range(0.01f32..1.0);
+            let exact = (a as f64) * (b as f64);
+            let approx = m.multiply(a, b) as f64;
+            assert!(approx >= exact * (1.0 - 1e-6), "deflated: {a} * {b}");
+            assert!(approx <= exact * 2.0 * (1.0 + 1e-6), "over-inflated: {a} * {b}");
+        }
+    }
+
+    #[test]
+    fn ax_fpm_closed_form_is_exact_over_one_point_fb() {
+        // DESIGN.md §4: approx = exact * 2 / (1.f_b) up to the truncated
+        // low partial product.
+        let m = FloatMultiplier::ax_fpm();
+        let mut rng = rng();
+        for _ in 0..2000 {
+            let a = rng.gen_range(0.01f32..2.0);
+            let b = rng.gen_range(0.01f32..2.0);
+            let fb = 1.0 + (Binary32Parts::from_f32(b).fraction as f64) / (1u64 << 23) as f64;
+            let predicted = (a as f64) * (b as f64) * 2.0 / fb;
+            let got = m.multiply(a, b) as f64;
+            let rel = (got - predicted).abs() / predicted;
+            assert!(rel < 1e-6, "a={a} b={b} got={got} predicted={predicted}");
+        }
+    }
+
+    #[test]
+    fn ax_fpm_preserves_sign() {
+        let m = FloatMultiplier::ax_fpm();
+        let mut rng = rng();
+        for _ in 0..1000 {
+            let a = rng.gen_range(-2.0f32..2.0);
+            let b = rng.gen_range(-2.0f32..2.0);
+            if a == 0.0 || b == 0.0 {
+                continue;
+            }
+            let approx = m.multiply(a, b);
+            let exact = a * b;
+            assert_eq!(
+                approx.is_sign_negative(),
+                exact.is_sign_negative(),
+                "sign flipped for {a} * {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn ax_fpm_zero_annihilates() {
+        let m = FloatMultiplier::ax_fpm();
+        assert_eq!(m.multiply(0.0, 0.73), 0.0);
+        assert_eq!(m.multiply(0.73, 0.0), 0.0);
+        assert_eq!(m.multiply(-0.0, 0.73), -0.0);
+    }
+
+    #[test]
+    fn denormals_flush_to_zero() {
+        let m = FloatMultiplier::ax_fpm();
+        let denormal = f32::from_bits(1); // smallest positive denormal
+        assert_eq!(m.multiply(denormal, 1.0), 0.0);
+        assert_eq!(m.multiply(1.0, denormal), 0.0);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity_and_underflow_flushes() {
+        let exact = FloatMultiplier::exact();
+        assert_eq!(exact.multiply(f32::MAX, 2.0), f32::INFINITY);
+        assert_eq!(exact.multiply(f32::MAX, -2.0), f32::NEG_INFINITY);
+        assert_eq!(exact.multiply(f32::MIN_POSITIVE, f32::MIN_POSITIVE), 0.0);
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let mut rng = rng();
+        for _ in 0..1000 {
+            let x = f32::from_bits(rng.gen::<u32>());
+            if x.is_nan() {
+                continue;
+            }
+            assert_eq!(Binary32Parts::from_f32(x).to_f32().to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mantissa core must be 24 bits")]
+    fn rejects_wrong_core_width() {
+        let _ = FloatMultiplier::with_core("bad", ArrayMultiplierSpec::exact(16));
+    }
+
+    /// The closed-form fast paths must be bit-identical to the gate-level
+    /// simulation they shortcut.
+    #[test]
+    fn fast_path_matches_gate_level() {
+        let mut rng = rng();
+        for m in [FloatMultiplier::ax_fpm(), FloatMultiplier::exact()] {
+            for _ in 0..20_000 {
+                let a = f32::from_bits(rng.gen::<u32>() & 0x7FFF_FFFF);
+                let b = f32::from_bits(rng.gen::<u32>());
+                if a.is_nan() || b.is_nan() {
+                    continue;
+                }
+                let fast = m.multiply(a, b);
+                let gate = m.multiply_gate_level(a, b);
+                assert_eq!(fast.to_bits(), gate.to_bits(), "{}: a={a:e} b={b:e}", m.name());
+            }
+        }
+    }
+
+    /// HEAP has no fast path; both entry points run the same gates.
+    #[test]
+    fn heap_has_no_fast_path_divergence() {
+        let m = crate::heap::heap_multiplier();
+        let mut rng = rng();
+        for _ in 0..2_000 {
+            let a = rng.gen_range(-2.0f32..2.0);
+            let b = rng.gen_range(-2.0f32..2.0);
+            assert_eq!(m.multiply(a, b).to_bits(), m.multiply_gate_level(a, b).to_bits());
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Gate-level approximate arithmetic for **Defensive Approximation** (ASPLOS '21).
+//!
+//! This crate implements every hardware artifact the paper builds or compares
+//! against, simulated faithfully at the gate level but bit-sliced over machine
+//! words for speed:
+//!
+//! * [`adders`] — the mirror-adder family: the exact full adder and the
+//!   AMA1–AMA5 approximate mirror adders (AMA5, `Sum = B` / `Cout = A`, is the
+//!   design the paper's Ax-FPM uses).
+//! * [`array`] — carry-save array multipliers with configurable cell kinds,
+//!   port wiring, and final carry-propagate adder.
+//! * [`fpm`] — IEEE-754 binary32 floating-point multipliers assembled from a
+//!   mantissa array core: the exact reference and the paper's **Ax-FPM**.
+//! * [`heap`] — the heterogeneous **HEAP** multiplier and the design-space
+//!   exploration that selects it (paper §4.3 and Appendix A).
+//! * [`bfloat`] — the truncating Bfloat16 multiplier (paper §7.2).
+//! * [`metrics`] — MRED / NMED / inflation-rate error metrics (Appendix A).
+//! * [`profile`] — noise-profile sampling behind Figures 3, 13 and 15.
+//! * [`energy`] — a transistor-census energy and critical-path delay model
+//!   calibrated to the paper's PTM-45nm measurements (Tables 7 and 9).
+//!
+//! # Quick example
+//!
+//! ```
+//! use da_arith::{Multiplier, fpm::FloatMultiplier};
+//!
+//! let ax = FloatMultiplier::ax_fpm();
+//! let exact = 0.5_f32 * 0.75_f32;
+//! let approx = ax.multiply(0.5, 0.75);
+//! // The paper's headline property: Ax-FPM inflates products (Figure 3).
+//! assert!(approx >= exact);
+//! assert!(approx <= 2.0 * exact + f32::EPSILON);
+//! ```
+
+pub mod adders;
+pub mod array;
+pub mod bfloat;
+pub mod bitslice;
+pub mod energy;
+pub mod fpm;
+pub mod heap;
+pub mod metrics;
+pub mod profile;
+pub mod rotating;
+
+mod multiplier;
+
+pub use adders::AdderKind;
+pub use array::{ArrayMultiplier, ArrayMultiplierSpec, CellAssignment, CpaKind, PortMap};
+pub use multiplier::{ExactMultiplier, Multiplier, MultiplierKind};

@@ -1,0 +1,163 @@
+//! Multiplier-level error metrics: MRED, NMED, and inflation rate
+//! (paper Appendix A, Table 8).
+
+use rand::{Rng, SeedableRng};
+
+use crate::multiplier::Multiplier;
+
+/// Aggregate error statistics of an approximate multiplier against the exact
+/// product, over uniformly sampled operands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Mean relative error distance `mean(|approx − exact| / |exact|)` [35].
+    pub mred: f64,
+    /// Normalized mean error distance `mean(|approx − exact|) / max_product`.
+    pub nmed: f64,
+    /// Fraction of samples where `|approx| >= |exact|` (paper Figure 3: 96%
+    /// for Ax-FPM, 34% for HEAP).
+    pub inflation_rate: f64,
+    /// Signed mean error.
+    pub mean_error: f64,
+    /// Largest absolute error observed.
+    pub max_abs_error: f64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+impl std::fmt::Display for ErrorStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MRED={:.4} NMED={:.4} inflation={:.1}% ({} samples)",
+            self.mred,
+            self.nmed,
+            self.inflation_rate * 100.0,
+            self.samples
+        )
+    }
+}
+
+/// Sample `samples` uniform operand pairs in `range` and compute
+/// [`ErrorStats`] for `multiplier` against the exact (`f64`) product.
+///
+/// Deterministic in `seed`. Pairs whose exact product is zero are skipped for
+/// MRED (relative error undefined) but still counted for NMED.
+///
+/// # Examples
+///
+/// ```
+/// use da_arith::{MultiplierKind, metrics::error_stats};
+///
+/// let stats = error_stats(&*MultiplierKind::AxFpm.build(), 2_000, 1, (0.0, 1.0));
+/// // Paper Table 8: Ax-FPM MRED ≈ 0.33; Figure 3: ~96% inflation.
+/// assert!(stats.mred > 0.2 && stats.mred < 0.45);
+/// assert!(stats.inflation_rate > 0.9);
+/// ```
+pub fn error_stats(
+    multiplier: &dyn Multiplier,
+    samples: usize,
+    seed: u64,
+    range: (f32, f32),
+) -> ErrorStats {
+    assert!(samples > 0, "need at least one sample");
+    assert!(range.0 < range.1, "empty sampling range");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let max_product = (range.0.abs().max(range.1.abs()) as f64).powi(2);
+
+    let mut mred_sum = 0.0;
+    let mut mred_n = 0usize;
+    let mut abs_sum = 0.0;
+    let mut signed_sum = 0.0;
+    let mut max_abs: f64 = 0.0;
+    let mut inflated = 0usize;
+
+    for _ in 0..samples {
+        let a = rng.gen_range(range.0..range.1);
+        let b = rng.gen_range(range.0..range.1);
+        // The reference is the *exact multiplier* (native f32), matching the
+        // paper's "difference of the approximate and the exact multiplier".
+        let exact = (a * b) as f64;
+        let approx = multiplier.multiply(a, b) as f64;
+        let err = approx - exact;
+        abs_sum += err.abs();
+        signed_sum += err;
+        max_abs = max_abs.max(err.abs());
+        if approx.abs() >= exact.abs() {
+            inflated += 1;
+        }
+        if exact != 0.0 {
+            mred_sum += err.abs() / exact.abs();
+            mred_n += 1;
+        }
+    }
+
+    ErrorStats {
+        mred: if mred_n > 0 { mred_sum / mred_n as f64 } else { 0.0 },
+        nmed: abs_sum / samples as f64 / max_product,
+        inflation_rate: inflated as f64 / samples as f64,
+        mean_error: signed_sum / samples as f64,
+        max_abs_error: max_abs,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MultiplierKind;
+
+    #[test]
+    fn exact_multiplier_has_zero_error() {
+        let stats = error_stats(&*MultiplierKind::Exact.build(), 1000, 9, (-1.0, 1.0));
+        assert_eq!(stats.mred, 0.0);
+        assert_eq!(stats.nmed, 0.0);
+        assert_eq!(stats.max_abs_error, 0.0);
+        assert_eq!(stats.inflation_rate, 1.0); // |approx| == |exact| counts
+    }
+
+    #[test]
+    fn exact_fpm_truncation_error_is_tiny_and_deflationary() {
+        let stats = error_stats(&*MultiplierKind::ExactFpm.build(), 2000, 9, (0.0, 1.0));
+        assert!(stats.mred < 1e-6, "truncation is sub-ulp: {}", stats.mred);
+        assert!(stats.mean_error <= 0.0);
+    }
+
+    #[test]
+    fn ax_fpm_reproduces_paper_characterization() {
+        // Table 8: MRED 0.33, NMED 0.08; Figure 3: 96% inflation.
+        let stats = error_stats(&*MultiplierKind::AxFpm.build(), 20_000, 9, (0.0, 1.0));
+        assert!(
+            (0.25..0.45).contains(&stats.mred),
+            "MRED off paper shape: {}",
+            stats.mred
+        );
+        assert!(
+            stats.inflation_rate > 0.9,
+            "inflation rate {} below paper's ~96%",
+            stats.inflation_rate
+        );
+        assert!(stats.mean_error > 0.0);
+    }
+
+    #[test]
+    fn bfloat16_error_is_orders_below_ax_fpm() {
+        let bf = error_stats(&*MultiplierKind::Bfloat16.build(), 10_000, 9, (0.0, 1.0));
+        let ax = error_stats(&*MultiplierKind::AxFpm.build(), 10_000, 9, (0.0, 1.0));
+        assert!(bf.mred * 10.0 < ax.mred);
+        assert!(bf.inflation_rate < 0.5, "bf16 noise is mostly negative");
+    }
+
+    #[test]
+    fn stats_are_deterministic_in_seed() {
+        let m = MultiplierKind::AxFpm.build();
+        let a = error_stats(&*m, 500, 77, (-1.0, 1.0));
+        let b = error_stats(&*m, 500, 77, (-1.0, 1.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sampling range")]
+    fn rejects_empty_range() {
+        let _ = error_stats(&*MultiplierKind::Exact.build(), 10, 0, (1.0, 1.0));
+    }
+}

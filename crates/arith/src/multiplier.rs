@@ -1,0 +1,154 @@
+//! The scalar-multiplier abstraction every CNN layer plugs into.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::array::ArrayMultiplierSpec;
+use crate::bfloat::BfloatMultiplier;
+use crate::fpm::FloatMultiplier;
+use crate::heap;
+
+/// A scalar `f32 × f32` multiplier — exact hardware, an approximate FPM, or
+/// a reduced-precision unit.
+///
+/// Implementors must be deterministic: the paper's defense relies on
+/// *data-dependent*, not random, noise.
+pub trait Multiplier: Send + Sync {
+    /// Multiply two values through the simulated datapath.
+    fn multiply(&self, a: f32, b: f32) -> f32;
+
+    /// Short stable identifier (used in reports and cache keys).
+    fn name(&self) -> &str;
+}
+
+impl fmt::Debug for dyn Multiplier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Multiplier({})", self.name())
+    }
+}
+
+/// The exact multiplier: native IEEE-754 `f32` multiplication.
+///
+/// # Examples
+///
+/// ```
+/// use da_arith::{ExactMultiplier, Multiplier};
+/// assert_eq!(ExactMultiplier.multiply(3.0, 4.0), 12.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactMultiplier;
+
+impl Multiplier for ExactMultiplier {
+    #[inline]
+    fn multiply(&self, a: f32, b: f32) -> f32 {
+        a * b
+    }
+
+    fn name(&self) -> &str {
+        "exact"
+    }
+}
+
+/// The multiplier designs evaluated in the paper, as a value type usable in
+/// configs, caches, and report rows.
+///
+/// # Examples
+///
+/// ```
+/// use da_arith::MultiplierKind;
+///
+/// let m = MultiplierKind::AxFpm.build();
+/// assert_eq!(m.name(), "ax-fpm");
+/// assert!(m.multiply(0.5, 0.5) >= 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MultiplierKind {
+    /// Native `f32` multiplication (the paper's "Float32" baseline).
+    Exact,
+    /// Gate-level exact FPM with truncating rounding (sanity reference).
+    ExactFpm,
+    /// The paper's defense: AMA5 array mantissa core (§4.1).
+    AxFpm,
+    /// The HEAP heterogeneous approximate multiplier (Appendix A).
+    Heap,
+    /// Bfloat16 truncating multiplier (§7.2).
+    Bfloat16,
+}
+
+impl MultiplierKind {
+    /// All kinds, in the order the paper's tables list them.
+    pub const ALL: [MultiplierKind; 5] = [
+        MultiplierKind::Exact,
+        MultiplierKind::ExactFpm,
+        MultiplierKind::AxFpm,
+        MultiplierKind::Heap,
+        MultiplierKind::Bfloat16,
+    ];
+
+    /// Instantiate the multiplier.
+    pub fn build(self) -> Arc<dyn Multiplier> {
+        match self {
+            MultiplierKind::Exact => Arc::new(ExactMultiplier),
+            MultiplierKind::ExactFpm => Arc::new(FloatMultiplier::exact()),
+            MultiplierKind::AxFpm => Arc::new(FloatMultiplier::ax_fpm()),
+            MultiplierKind::Heap => Arc::new(heap::heap_multiplier()),
+            MultiplierKind::Bfloat16 => Arc::new(BfloatMultiplier),
+        }
+    }
+
+    /// Stable identifier matching [`Multiplier::name`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MultiplierKind::Exact => "exact",
+            MultiplierKind::ExactFpm => "exact-fpm",
+            MultiplierKind::AxFpm => "ax-fpm",
+            MultiplierKind::Heap => "heap",
+            MultiplierKind::Bfloat16 => "bfloat16",
+        }
+    }
+
+    /// The mantissa-core spec for gate-level kinds, `None` for behavioural
+    /// ones (used by the energy model).
+    pub fn core_spec(self) -> Option<ArrayMultiplierSpec> {
+        match self {
+            MultiplierKind::ExactFpm => Some(ArrayMultiplierSpec::exact(24)),
+            MultiplierKind::AxFpm => Some(ArrayMultiplierSpec::ax_mantissa(24)),
+            MultiplierKind::Heap => Some(heap::heap_mantissa_spec()),
+            MultiplierKind::Exact | MultiplierKind::Bfloat16 => None,
+        }
+    }
+}
+
+impl fmt::Display for MultiplierKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_multiplier_is_native() {
+        let m = ExactMultiplier;
+        assert_eq!(m.multiply(1.5, -2.0), -3.0);
+        assert_eq!(m.name(), "exact");
+    }
+
+    #[test]
+    fn kinds_build_and_names_agree() {
+        for kind in MultiplierKind::ALL {
+            let m = kind.build();
+            assert_eq!(m.name(), kind.as_str());
+            let r = m.multiply(0.5, 0.5);
+            assert!(r.is_finite() && r > 0.0, "{kind} produced {r}");
+        }
+    }
+
+    #[test]
+    fn debug_formatting_is_nonempty() {
+        let m: Arc<dyn Multiplier> = MultiplierKind::AxFpm.build();
+        assert_eq!(format!("{:?}", &*m), "Multiplier(ax-fpm)");
+    }
+}

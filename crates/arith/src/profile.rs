@@ -1,0 +1,207 @@
+//! Noise-profile sampling behind Figures 3, 13, and 15: the distribution of
+//! `approx − exact` as a function of the exact product.
+
+use rand::{Rng, SeedableRng};
+
+use crate::multiplier::Multiplier;
+
+/// One sampled multiplication: the exact product and the approximation error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoisePoint {
+    /// Exact product `a · b` (computed in `f64`).
+    pub exact: f64,
+    /// Signed error `approx − exact`.
+    pub error: f64,
+}
+
+/// Error envelope within one product-magnitude bin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MagnitudeBin {
+    /// Center of the |product| bin.
+    pub center: f64,
+    /// Mean |error| within the bin.
+    pub mean_abs_error: f64,
+    /// Largest |error| within the bin.
+    pub max_abs_error: f64,
+    /// Samples falling in the bin.
+    pub count: usize,
+}
+
+/// Summary of a noise profile, the quantities the paper reads off Figure 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileSummary {
+    /// Fraction of samples with `|approx| >= |exact|`.
+    pub inflation_rate: f64,
+    /// Fraction of samples with strictly negative error.
+    pub negative_fraction: f64,
+    /// Mean |error|.
+    pub mean_abs_error: f64,
+    /// Error envelope vs product magnitude (trend iii of §4.1).
+    pub bins: Vec<MagnitudeBin>,
+}
+
+impl ProfileSummary {
+    /// `true` if mean |error| grows (weakly) from the smallest-|product| bin
+    /// to the largest — the paper's "larger numbers, larger error" trend.
+    pub fn error_grows_with_magnitude(&self) -> bool {
+        let populated: Vec<&MagnitudeBin> = self.bins.iter().filter(|b| b.count > 0).collect();
+        match (populated.first(), populated.last()) {
+            (Some(first), Some(last)) if populated.len() >= 2 => {
+                last.mean_abs_error >= first.mean_abs_error
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Sample `n` multiplications with operands uniform in `[lo, hi)`.
+///
+/// Deterministic in `seed`.
+///
+/// # Examples
+///
+/// ```
+/// use da_arith::{MultiplierKind, profile};
+///
+/// let pts = profile::noise_profile(&*MultiplierKind::AxFpm.build(), 1_000, 3, -1.0, 1.0);
+/// let summary = profile::summarize(&pts, 8);
+/// // Figure 3's three trends:
+/// assert!(summary.inflation_rate > 0.9);          // (ii) ~96% inflated
+/// assert!(summary.error_grows_with_magnitude());  // (iii)
+/// ```
+pub fn noise_profile(
+    multiplier: &dyn Multiplier,
+    n: usize,
+    seed: u64,
+    lo: f32,
+    hi: f32,
+) -> Vec<NoisePoint> {
+    assert!(lo < hi, "empty operand range");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let a = rng.gen_range(lo..hi);
+            let b = rng.gen_range(lo..hi);
+            // Reference is the exact multiplier (native f32), as in Figure 3.
+            let exact = (a * b) as f64;
+            let error = multiplier.multiply(a, b) as f64 - exact;
+            NoisePoint { exact, error }
+        })
+        .collect()
+}
+
+/// Summarize a profile into the Figure-3 statistics with `bins` magnitude
+/// bins.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or `bins` is zero.
+pub fn summarize(points: &[NoisePoint], bins: usize) -> ProfileSummary {
+    assert!(!points.is_empty(), "cannot summarize an empty profile");
+    assert!(bins > 0, "need at least one bin");
+
+    let max_mag = points
+        .iter()
+        .map(|p| p.exact.abs())
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+
+    let mut bin_abs = vec![0.0f64; bins];
+    let mut bin_max = vec![0.0f64; bins];
+    let mut bin_count = vec![0usize; bins];
+    let mut inflated = 0usize;
+    let mut negative = 0usize;
+    let mut abs_sum = 0.0;
+
+    for p in points {
+        let approx = p.exact + p.error;
+        if approx.abs() >= p.exact.abs() {
+            inflated += 1;
+        }
+        if p.error < 0.0 {
+            negative += 1;
+        }
+        abs_sum += p.error.abs();
+        let idx = ((p.exact.abs() / max_mag) * bins as f64).min(bins as f64 - 1.0) as usize;
+        bin_abs[idx] += p.error.abs();
+        bin_max[idx] = bin_max[idx].max(p.error.abs());
+        bin_count[idx] += 1;
+    }
+
+    let bin_width = max_mag / bins as f64;
+    let bins = (0..bins)
+        .map(|i| MagnitudeBin {
+            center: (i as f64 + 0.5) * bin_width,
+            mean_abs_error: if bin_count[i] > 0 { bin_abs[i] / bin_count[i] as f64 } else { 0.0 },
+            max_abs_error: bin_max[i],
+            count: bin_count[i],
+        })
+        .collect();
+
+    ProfileSummary {
+        inflation_rate: inflated as f64 / points.len() as f64,
+        negative_fraction: negative as f64 / points.len() as f64,
+        mean_abs_error: abs_sum / points.len() as f64,
+        bins,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MultiplierKind;
+
+    #[test]
+    fn fig3_trends_hold_for_ax_fpm() {
+        let pts = noise_profile(&*MultiplierKind::AxFpm.build(), 20_000, 1, -1.0, 1.0);
+        let s = summarize(&pts, 10);
+        assert!(s.inflation_rate > 0.9, "trend (ii): {}", s.inflation_rate);
+        assert!(s.error_grows_with_magnitude(), "trend (iii)");
+        // Figure 3's envelope: errors up to ~0.1+ for operands in [-1, 1].
+        let max_err = pts.iter().map(|p| p.error.abs()).fold(0.0f64, f64::max);
+        assert!(max_err > 0.05 && max_err < 1.5, "envelope {max_err}");
+    }
+
+    #[test]
+    fn fig13_trends_hold_for_bfloat16() {
+        let pts = noise_profile(&*MultiplierKind::Bfloat16.build(), 20_000, 2, 0.0, 1.0);
+        let s = summarize(&pts, 10);
+        // "mostly negative noise with orders of magnitude lower" (§7.2).
+        assert!(s.negative_fraction > 0.5, "negative {}", s.negative_fraction);
+        let ax = summarize(
+            &noise_profile(&*MultiplierKind::AxFpm.build(), 20_000, 2, 0.0, 1.0),
+            10,
+        );
+        assert!(s.mean_abs_error * 10.0 < ax.mean_abs_error);
+    }
+
+    #[test]
+    fn exact_multiplier_profile_is_silent() {
+        let pts = noise_profile(&*MultiplierKind::Exact.build(), 1000, 3, -1.0, 1.0);
+        assert!(pts.iter().all(|p| p.error == 0.0));
+        let s = summarize(&pts, 4);
+        assert_eq!(s.mean_abs_error, 0.0);
+        assert_eq!(s.negative_fraction, 0.0);
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        let m = MultiplierKind::Heap.build();
+        let a = noise_profile(&*m, 500, 9, -1.0, 1.0);
+        let b = noise_profile(&*m, 500, 9, -1.0, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bins_cover_all_samples() {
+        let pts = noise_profile(&*MultiplierKind::AxFpm.build(), 5000, 4, -1.0, 1.0);
+        let s = summarize(&pts, 7);
+        assert_eq!(s.bins.iter().map(|b| b.count).sum::<usize>(), pts.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty profile")]
+    fn summarize_rejects_empty_input() {
+        let _ = summarize(&[], 4);
+    }
+}

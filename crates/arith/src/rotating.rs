@@ -1,0 +1,152 @@
+//! Time-varying approximation — the paper's future-work item (2) (§9):
+//! *"explore whether there is additional protection that results from
+//! adapting the approximation function over time."*
+//!
+//! [`RotatingMultiplier`] cycles deterministically through a schedule of
+//! multiplier designs, advancing once per inference epoch (driven by the
+//! deployer via [`RotatingMultiplier::advance`]). An attacker who profiles
+//! the classifier in one epoch faces a different effective network in the
+//! next, while each individual epoch remains a fixed, deterministic
+//! circuit — no RNG in the datapath, preserving DA's no-retraining story.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::multiplier::{Multiplier, MultiplierKind};
+
+/// A multiplier that rotates through a fixed schedule of designs.
+///
+/// # Examples
+///
+/// ```
+/// use da_arith::rotating::RotatingMultiplier;
+/// use da_arith::{Multiplier, MultiplierKind};
+///
+/// let m = RotatingMultiplier::from_kinds(&[
+///     MultiplierKind::AxFpm,
+///     MultiplierKind::Heap,
+/// ]);
+/// let in_epoch_0 = m.multiply(0.5, 0.75);
+/// m.advance();
+/// let in_epoch_1 = m.multiply(0.5, 0.75);
+/// m.advance();
+/// // The schedule wraps: epoch 2 behaves like epoch 0 again.
+/// assert_eq!(m.multiply(0.5, 0.75), in_epoch_0);
+/// assert_ne!(in_epoch_0, in_epoch_1);
+/// ```
+pub struct RotatingMultiplier {
+    schedule: Vec<Arc<dyn Multiplier>>,
+    epoch: AtomicUsize,
+}
+
+impl RotatingMultiplier {
+    /// A rotation over explicit multiplier instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schedule` is empty.
+    pub fn new(schedule: Vec<Arc<dyn Multiplier>>) -> Self {
+        assert!(!schedule.is_empty(), "rotation schedule cannot be empty");
+        RotatingMultiplier { schedule, epoch: AtomicUsize::new(0) }
+    }
+
+    /// A rotation over [`MultiplierKind`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kinds` is empty.
+    pub fn from_kinds(kinds: &[MultiplierKind]) -> Self {
+        RotatingMultiplier::new(kinds.iter().map(|k| k.build()).collect())
+    }
+
+    /// The currently active epoch index (modulo the schedule length).
+    pub fn epoch(&self) -> usize {
+        self.epoch.load(Ordering::Relaxed) % self.schedule.len()
+    }
+
+    /// The currently active design.
+    pub fn current(&self) -> &Arc<dyn Multiplier> {
+        &self.schedule[self.epoch()]
+    }
+
+    /// Advance to the next design in the schedule, returning the new epoch.
+    pub fn advance(&self) -> usize {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        self.epoch()
+    }
+
+    /// Number of designs in the schedule.
+    pub fn schedule_len(&self) -> usize {
+        self.schedule.len()
+    }
+}
+
+impl std::fmt::Debug for RotatingMultiplier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RotatingMultiplier")
+            .field("epoch", &self.epoch())
+            .field(
+                "schedule",
+                &self.schedule.iter().map(|m| m.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl Multiplier for RotatingMultiplier {
+    fn multiply(&self, a: f32, b: f32) -> f32 {
+        self.current().multiply(a, b)
+    }
+
+    fn name(&self) -> &str {
+        "rotating"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_cycles_through_schedule() {
+        let m = RotatingMultiplier::from_kinds(&[
+            MultiplierKind::Exact,
+            MultiplierKind::AxFpm,
+            MultiplierKind::Heap,
+        ]);
+        assert_eq!(m.schedule_len(), 3);
+        assert_eq!(m.current().name(), "exact");
+        assert_eq!(m.advance(), 1);
+        assert_eq!(m.current().name(), "ax-fpm");
+        assert_eq!(m.advance(), 2);
+        assert_eq!(m.current().name(), "heap");
+        assert_eq!(m.advance(), 0, "wraps around");
+        assert_eq!(m.current().name(), "exact");
+    }
+
+    #[test]
+    fn each_epoch_is_deterministic() {
+        let m = RotatingMultiplier::from_kinds(&[MultiplierKind::AxFpm, MultiplierKind::Heap]);
+        let a = m.multiply(0.3, 0.9);
+        assert_eq!(m.multiply(0.3, 0.9), a, "no intra-epoch randomness");
+        m.advance();
+        let b = m.multiply(0.3, 0.9);
+        assert_ne!(a, b, "epochs differ");
+    }
+
+    #[test]
+    fn matches_underlying_designs_exactly() {
+        let m = RotatingMultiplier::from_kinds(&[MultiplierKind::AxFpm, MultiplierKind::Bfloat16]);
+        let ax = MultiplierKind::AxFpm.build();
+        let bf = MultiplierKind::Bfloat16.build();
+        assert_eq!(m.multiply(0.42, 0.77), ax.multiply(0.42, 0.77));
+        m.advance();
+        assert_eq!(m.multiply(0.42, 0.77), bf.multiply(0.42, 0.77));
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule cannot be empty")]
+    fn rejects_empty_schedule() {
+        let _ = RotatingMultiplier::new(Vec::new());
+    }
+}

@@ -1,0 +1,324 @@
+//! Decision-based attacks: Boundary Attack [8] and HopSkipJump [11]. Both
+//! use only the model's final label.
+
+use rand::SeedableRng;
+
+use da_tensor::Tensor;
+
+use crate::metrics::l2;
+use crate::traits::{clip01, Attack, TargetModel};
+
+/// Find an adversarial starting point by blending the original with
+/// uniform-noise images (decision access only).
+fn find_adversarial_init(
+    model: &dyn TargetModel,
+    x: &Tensor,
+    label: usize,
+    rng: &mut rand::rngs::StdRng,
+) -> Option<Tensor> {
+    // Pure-noise trials.
+    for _ in 0..40 {
+        let candidate = Tensor::rand_uniform(x.shape(), 0.0, 1.0, rng);
+        if model.predict(&candidate) != label {
+            return Some(candidate);
+        }
+    }
+    // Large-blend trials as a fallback.
+    for _ in 0..40 {
+        let noise = Tensor::rand_uniform(x.shape(), 0.0, 1.0, rng);
+        let candidate = x.zip_map(&noise, |a, b| 0.1 * a + 0.9 * b);
+        if model.predict(&candidate) != label {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+/// Binary-search the decision boundary between a clean `x` and an
+/// adversarial `adv`, returning the adversarial-side midpoint.
+fn binary_search_boundary(
+    model: &dyn TargetModel,
+    x: &Tensor,
+    adv: &Tensor,
+    label: usize,
+    steps: usize,
+) -> Tensor {
+    let mut lo = 0.0f32; // fraction of adv at which still clean
+    let mut hi = 1.0f32; // fraction of adv known adversarial
+    for _ in 0..steps {
+        let mid = (lo + hi) / 2.0;
+        let blend = x.zip_map(adv, |a, b| a * (1.0 - mid) + b * mid);
+        if model.predict(&blend) != label {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    x.zip_map(adv, |a, b| a * (1.0 - hi) + b * hi)
+}
+
+/// The Boundary Attack: a random walk along the decision boundary shrinking
+/// the distance to the original image.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundaryAttack {
+    steps: usize,
+    seed: u64,
+}
+
+impl BoundaryAttack {
+    /// Boundary Attack with a walk of `steps` proposals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero.
+    pub fn new(steps: usize, seed: u64) -> Self {
+        assert!(steps > 0, "need at least one step");
+        BoundaryAttack { steps, seed }
+    }
+}
+
+impl Attack for BoundaryAttack {
+    fn name(&self) -> &str {
+        "BA"
+    }
+
+    fn run(&self, model: &dyn TargetModel, x: &Tensor, label: usize) -> Tensor {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let Some(init) = find_adversarial_init(model, x, label, &mut rng) else {
+            return x.clone();
+        };
+        let mut adv = binary_search_boundary(model, x, &init, label, 12);
+        let mut spherical_step = 0.1f32;
+        let mut source_step = 0.1f32;
+
+        for _ in 0..self.steps {
+            let dist = l2(&adv, x) as f32;
+            if dist < 1e-4 {
+                break;
+            }
+            // Orthogonal (spherical) perturbation proposal.
+            let noise = Tensor::randn(x.shape(), 1.0, &mut rng);
+            let diff = x.zip_map(&adv, |a, b| a - b);
+            let diff_norm_sq = diff.data().iter().map(|v| v * v).sum::<f32>().max(1e-12);
+            let dot: f32 = noise.data().iter().zip(diff.data()).map(|(n, d)| n * d).sum();
+            let mut orth = noise.zip_map(&diff, |n, d| n - dot / diff_norm_sq * d);
+            let orth_norm = orth.l2_norm().max(1e-9);
+            orth.scale(spherical_step * dist / orth_norm);
+
+            let candidate = clip01(adv.zip_map(&orth, |a, o| a + o));
+            let spherical_ok = model.predict(&candidate) != label;
+            if spherical_ok {
+                // Step toward the original.
+                let stepped = clip01(candidate.zip_map(&diff, |c, d| c + source_step * d));
+                if model.predict(&stepped) != label && l2(&stepped, x) < l2(&adv, x) {
+                    adv = stepped;
+                    source_step = (source_step * 1.1).min(0.5);
+                } else if l2(&candidate, x) <= l2(&adv, x) {
+                    adv = candidate;
+                    source_step = (source_step * 0.9).max(1e-3);
+                }
+                spherical_step = (spherical_step * 1.05).min(0.5);
+            } else {
+                spherical_step = (spherical_step * 0.9).max(1e-3);
+            }
+        }
+        adv
+    }
+}
+
+/// HopSkipJumpAttack: decision-based attack with Monte-Carlo gradient
+/// estimation at the boundary and geometric step-size search.
+#[derive(Debug, Clone, Copy)]
+pub struct HopSkipJump {
+    iterations: usize,
+    gradient_samples: usize,
+    seed: u64,
+}
+
+impl HopSkipJump {
+    /// HSJ with `iterations` boundary refinements and `gradient_samples`
+    /// Monte-Carlo probes per refinement.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero budget.
+    pub fn new(iterations: usize, gradient_samples: usize, seed: u64) -> Self {
+        assert!(iterations > 0 && gradient_samples > 0, "degenerate HSJ budget");
+        HopSkipJump { iterations, gradient_samples, seed }
+    }
+
+    /// A moderate default budget.
+    pub fn standard(seed: u64) -> Self {
+        HopSkipJump::new(12, 24, seed)
+    }
+}
+
+impl Attack for HopSkipJump {
+    fn name(&self) -> &str {
+        "HSJ"
+    }
+
+    fn run(&self, model: &dyn TargetModel, x: &Tensor, label: usize) -> Tensor {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let Some(init) = find_adversarial_init(model, x, label, &mut rng) else {
+            return x.clone();
+        };
+        let mut adv = binary_search_boundary(model, x, &init, label, 14);
+        let d = x.len() as f32;
+
+        for it in 1..=self.iterations {
+            let dist = l2(&adv, x) as f32;
+            if dist < 1e-4 {
+                break;
+            }
+            // Monte-Carlo gradient-direction estimate at the boundary point.
+            let delta = (dist / d.sqrt()).max(1e-3);
+            let mut estimate = Tensor::zeros(x.shape());
+            let mut signs = Vec::with_capacity(self.gradient_samples);
+            let mut probes = Vec::with_capacity(self.gradient_samples);
+            for _ in 0..self.gradient_samples {
+                let u = Tensor::randn(x.shape(), 1.0, &mut rng);
+                let norm = u.l2_norm().max(1e-9);
+                let probe = clip01(adv.zip_map(&u, |a, n| a + delta * n / norm));
+                let phi = if model.predict(&probe) != label { 1.0f32 } else { -1.0 };
+                signs.push(phi);
+                probes.push(u);
+            }
+            let mean_sign: f32 = signs.iter().sum::<f32>() / signs.len() as f32;
+            for (phi, u) in signs.iter().zip(&probes) {
+                estimate.add_scaled(u, phi - mean_sign);
+            }
+            let est_norm = estimate.l2_norm();
+            if est_norm < 1e-9 {
+                continue;
+            }
+            estimate.scale(1.0 / est_norm);
+
+            // Geometric step-size search along the estimated direction.
+            let mut step = dist / (it as f32).sqrt();
+            let mut moved = false;
+            for _ in 0..10 {
+                let candidate = clip01(adv.zip_map(&estimate, |a, g| a + step * g));
+                if model.predict(&candidate) != label {
+                    adv = candidate;
+                    moved = true;
+                    break;
+                }
+                step /= 2.0;
+            }
+            if moved {
+                // Project back to the boundary toward the original.
+                adv = binary_search_boundary(model, x, &adv, label, 10);
+            }
+        }
+        adv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::DecisionOnly;
+    use da_nn::layers::{Dense, Flatten, Relu};
+    use da_nn::optim::Adam;
+    use da_nn::train::{train, TrainConfig};
+    use da_nn::Network;
+    use rand::SeedableRng;
+
+    fn trained_model() -> (Network, Vec<(Tensor, usize)>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let n = 200;
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let label = i % 2;
+            let mut img = Tensor::rand_uniform(&[1, 4, 4], 0.0, 0.2, &mut rng);
+            for y in 0..4 {
+                for x in 0..2 {
+                    let col = if label == 0 { x } else { x + 2 };
+                    img[[0, y, col]] = rand::Rng::gen_range(&mut rng, 0.75..1.0);
+                }
+            }
+            images.push(img);
+            labels.push(label);
+        }
+        let xs = Tensor::stack(&images);
+        let mut net = Network::new("decision-test")
+            .push(Flatten)
+            .push(Dense::new(16, 12, &mut rng))
+            .push(Relu)
+            .push(Dense::new(12, 2, &mut rng));
+        let cfg = TrainConfig { epochs: 20, batch_size: 16, seed: 2, verbose: false };
+        let report = train(&mut net, &xs, &labels, &cfg, &mut Adam::new(0.01));
+        assert!(report.final_accuracy > 0.95);
+        (net, images.into_iter().zip(labels).take(5).collect())
+    }
+
+    fn check_decision_attack(attack: &dyn Attack, min_success: usize) {
+        let (net, samples) = trained_model();
+        let black_box = DecisionOnly(&net);
+        let mut successes = 0;
+        for (x, label) in &samples {
+            if black_box.predict(x) != *label {
+                continue;
+            }
+            let adv = attack.run(&black_box, x, *label);
+            assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+            if black_box.predict(&adv) != *label {
+                successes += 1;
+            }
+        }
+        assert!(
+            successes >= min_success,
+            "{} fooled only {successes}/{}",
+            attack.name(),
+            samples.len()
+        );
+    }
+
+    #[test]
+    fn boundary_attack_succeeds_without_gradients() {
+        check_decision_attack(&BoundaryAttack::new(120, 3), 4);
+    }
+
+    #[test]
+    fn hopskipjump_succeeds_without_gradients() {
+        check_decision_attack(&HopSkipJump::standard(4), 4);
+    }
+
+    #[test]
+    fn hsj_beats_boundary_init_distance() {
+        // The refined adversarial must be closer than a raw noise init.
+        let (net, samples) = trained_model();
+        let (x, label) = &samples[0];
+        let adv = HopSkipJump::standard(6).run(&net, x, *label);
+        if crate::TargetModel::predict(&net, &adv) != *label {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+            let init = find_adversarial_init(&net, x, *label, &mut rng).expect("init");
+            assert!(l2(&adv, x) < l2(&init, x));
+        }
+    }
+
+    #[test]
+    fn binary_search_lands_on_adversarial_side() {
+        let (net, samples) = trained_model();
+        let (x, label) = &samples[0];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let init = find_adversarial_init(&net, x, *label, &mut rng).expect("init");
+        let boundary = binary_search_boundary(&net, x, &init, *label, 12);
+        assert_ne!(crate::TargetModel::predict(&net, &boundary), *label);
+        assert!(l2(&boundary, x) <= l2(&init, x) + 1e-6);
+    }
+
+    #[test]
+    fn attacks_are_deterministic_in_seed() {
+        let (net, samples) = trained_model();
+        let (x, label) = &samples[1];
+        let a = BoundaryAttack::new(40, 11).run(&net, x, *label);
+        let b = BoundaryAttack::new(40, 11).run(&net, x, *label);
+        assert_eq!(a, b);
+        let c = HopSkipJump::standard(11).run(&net, x, *label);
+        let d = HopSkipJump::standard(11).run(&net, x, *label);
+        assert_eq!(c, d);
+    }
+}

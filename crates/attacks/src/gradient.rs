@@ -1,0 +1,518 @@
+//! Gradient-based attacks: FGSM, PGD, JSMA, C&W-L2, and DeepFool.
+
+use rand::SeedableRng;
+
+use da_tensor::Tensor;
+
+use crate::traits::{clip01, Attack, TargetModel};
+
+/// Fast Gradient Sign Method [20]: one L∞ step of size `eps` along the sign
+/// of the loss gradient.
+///
+/// # Examples
+///
+/// ```no_run
+/// use da_attacks::gradient::Fgsm;
+/// use da_attacks::Attack;
+/// # let model: da_nn::Network = unimplemented!();
+/// # let (x, label) = (da_tensor::Tensor::zeros(&[1, 28, 28]), 3);
+/// let adv = Fgsm::new(0.2).run(&model, &x, label);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fgsm {
+    eps: f32,
+}
+
+impl Fgsm {
+    /// FGSM with L∞ budget `eps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is not positive.
+    pub fn new(eps: f32) -> Self {
+        assert!(eps > 0.0, "eps must be positive");
+        Fgsm { eps }
+    }
+}
+
+impl Attack for Fgsm {
+    fn name(&self) -> &str {
+        "FGSM"
+    }
+
+    fn run(&self, model: &dyn TargetModel, x: &Tensor, label: usize) -> Tensor {
+        let (_, grad) = model.loss_gradient(x, label);
+        clip01(x.zip_map(&grad, |v, g| v + self.eps * g.signum()))
+    }
+}
+
+/// Projected Gradient Descent [41]: iterated FGSM with projection back onto
+/// the `eps` L∞ ball, from a random start.
+#[derive(Debug, Clone, Copy)]
+pub struct Pgd {
+    eps: f32,
+    alpha: f32,
+    steps: usize,
+    seed: u64,
+}
+
+impl Pgd {
+    /// PGD with ball radius `eps`, step `alpha`, and `steps` iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` or `alpha` is not positive or `steps` is zero.
+    pub fn new(eps: f32, alpha: f32, steps: usize, seed: u64) -> Self {
+        assert!(eps > 0.0 && alpha > 0.0 && steps > 0, "degenerate PGD config");
+        Pgd { eps, alpha, steps, seed }
+    }
+}
+
+impl Attack for Pgd {
+    fn name(&self) -> &str {
+        "PGD"
+    }
+
+    fn run(&self, model: &dyn TargetModel, x: &Tensor, label: usize) -> Tensor {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let start = Tensor::rand_uniform(x.shape(), -self.eps, self.eps, &mut rng);
+        let mut adv = clip01(x.zip_map(&start, |v, r| v + r));
+        for _ in 0..self.steps {
+            let (_, grad) = model.loss_gradient(&adv, label);
+            adv = adv.zip_map(&grad, |v, g| v + self.alpha * g.signum());
+            // Project onto the eps-ball around x, then the valid range.
+            adv = adv.zip_map(x, |v, orig| v.clamp(orig - self.eps, orig + self.eps));
+            adv = clip01(adv);
+        }
+        adv
+    }
+}
+
+/// Jacobian-based Saliency Map Attack [54]: greedy L0 attack that saturates
+/// the pixel pair with the highest saliency toward the runner-up class.
+#[derive(Debug, Clone, Copy)]
+pub struct Jsma {
+    /// Maximum fraction of pixels modified.
+    gamma: f32,
+}
+
+impl Jsma {
+    /// JSMA allowed to touch at most `gamma` of the pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < gamma <= 1`.
+    pub fn new(gamma: f32) -> Self {
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        Jsma { gamma }
+    }
+}
+
+impl Attack for Jsma {
+    fn name(&self) -> &str {
+        "JSMA"
+    }
+
+    fn run(&self, model: &dyn TargetModel, x: &Tensor, label: usize) -> Tensor {
+        let mut adv = x.clone();
+        // Target the current runner-up class.
+        let probs = model.probabilities(x);
+        let target = probs
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != label)
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+            .map(|(j, _)| j)
+            .expect("at least two classes");
+
+        let budget = ((x.len() as f32 * self.gamma) as usize).max(2);
+        let mut touched = 0usize;
+        let mut saturated = vec![false; x.len()];
+
+        while touched < budget {
+            if model.predict(&adv) == target {
+                break;
+            }
+            let g_target = model.class_gradient(&adv, target);
+            // Σ_{j≠t} ∂Z_j/∂x = ∂(Σ_j Z_j)/∂x − ∂Z_t/∂x; accumulate per class.
+            let mut g_others = Tensor::zeros(x.shape());
+            for j in 0..model.num_classes() {
+                if j != target {
+                    g_others.add_assign(&model.class_gradient(&adv, j));
+                }
+            }
+
+            // Single-pixel saliency (the pairwise search reduces to the two
+            // best single scores because the score is additive in the pair).
+            let mut best: Option<(usize, f32)> = None;
+            let mut second: Option<(usize, f32)> = None;
+            for i in 0..x.len() {
+                if saturated[i] {
+                    continue;
+                }
+                let a = g_target.data()[i];
+                let b = g_others.data()[i];
+                if a <= 0.0 || b >= 0.0 {
+                    continue; // classic JSMA admissibility condition
+                }
+                let score = a * (-b);
+                match best {
+                    Some((_, bs)) if score <= bs => match second {
+                        Some((_, ss)) if score <= ss => {}
+                        _ => second = Some((i, score)),
+                    },
+                    _ => {
+                        second = best;
+                        best = Some((i, score));
+                    }
+                }
+            }
+
+            let picks: Vec<usize> = [best, second].iter().flatten().map(|&(i, _)| i).collect();
+            if picks.is_empty() {
+                break; // saliency map exhausted
+            }
+            for i in picks {
+                adv.data_mut()[i] = 1.0; // θ = +1: saturate the pixel
+                saturated[i] = true;
+                touched += 1;
+            }
+        }
+        adv
+    }
+}
+
+/// Carlini & Wagner L2 attack [10]: tanh-space optimization of
+/// `‖x' − x‖² + c · max(Z_label − max_{j≠label} Z_j, −κ)` with binary search
+/// over `c`.
+#[derive(Debug, Clone, Copy)]
+pub struct CarliniWagnerL2 {
+    steps: usize,
+    lr: f32,
+    initial_c: f32,
+    kappa: f32,
+    binary_search_steps: usize,
+}
+
+impl CarliniWagnerL2 {
+    /// C&W with `steps` optimizer iterations per `c` and
+    /// `binary_search_steps` rounds of `c` search.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations.
+    pub fn new(steps: usize, lr: f32, initial_c: f32, kappa: f32, binary_search_steps: usize) -> Self {
+        assert!(steps > 0 && binary_search_steps > 0, "need iterations");
+        assert!(lr > 0.0 && initial_c > 0.0 && kappa >= 0.0, "degenerate C&W config");
+        CarliniWagnerL2 { steps, lr, initial_c, kappa, binary_search_steps }
+    }
+
+    /// The paper-scale default (moderate budget).
+    pub fn standard() -> Self {
+        CarliniWagnerL2::new(60, 0.05, 1.0, 0.0, 3)
+    }
+}
+
+impl Attack for CarliniWagnerL2 {
+    fn name(&self) -> &str {
+        "C&W"
+    }
+
+    fn run(&self, model: &dyn TargetModel, x: &Tensor, label: usize) -> Tensor {
+        // w-space parameterization: x' = (tanh(w) + 1) / 2 stays in [0, 1].
+        let to_w = |v: f32| (2.0 * v.clamp(1e-4, 1.0 - 1e-4) - 1.0).atanh();
+        let from_w = |w: f32| (w.tanh() + 1.0) / 2.0;
+
+        let mut c = self.initial_c;
+        let mut c_lo = 0.0f32;
+        let mut c_hi = f32::INFINITY;
+        let mut best: Option<(f64, Tensor)> = None;
+
+        for _ in 0..self.binary_search_steps {
+            let mut w = x.map(to_w);
+            // Adam state.
+            let mut m = Tensor::zeros(x.shape());
+            let mut v = Tensor::zeros(x.shape());
+            let mut success_this_c = false;
+
+            for t in 1..=self.steps {
+                let adv = w.map(from_w);
+                let logits = model.logits(&adv);
+                let (other_class, other_logit) = logits
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != label)
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .map(|(j, &l)| (j, l))
+                    .expect("at least two classes");
+                let margin = logits[label] - other_logit;
+
+                if margin < -self.kappa {
+                    success_this_c = true;
+                    let dist = crate::metrics::l2(&adv, x);
+                    if best.as_ref().map(|(d, _)| dist < *d).unwrap_or(true) {
+                        best = Some((dist, adv.clone()));
+                    }
+                }
+
+                // ∂/∂x' of the objective.
+                let mut grad = adv.zip_map(x, |a, o| 2.0 * (a - o));
+                if margin > -self.kappa {
+                    let g_label = model.class_gradient(&adv, label);
+                    let g_other = model.class_gradient(&adv, other_class);
+                    grad.add_scaled(&g_label.zip_map(&g_other, |a, b| a - b), c);
+                }
+                // Chain through the tanh reparameterization:
+                // dx'/dw = (1 − tanh²(w)) / 2.
+                let grad_w = grad.zip_map(&w, |g, wv| g * (1.0 - wv.tanh().powi(2)) / 2.0);
+
+                // Adam step.
+                let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
+                m.scale(b1);
+                m.add_scaled(&grad_w, 1.0 - b1);
+                v.scale(b2);
+                v.add_scaled(&grad_w.map(|g| g * g), 1.0 - b2);
+                let (bc1, bc2) = (1.0 - b1.powi(t as i32), 1.0 - b2.powi(t as i32));
+                for ((wv, mv), vv) in w.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
+                    *wv -= self.lr * (mv / bc1) / ((vv / bc2).sqrt() + eps);
+                }
+            }
+
+            // Binary search over c: shrink on success, grow on failure.
+            if success_this_c {
+                c_hi = c;
+                c = (c_lo + c_hi) / 2.0;
+            } else {
+                c_lo = c;
+                c = if c_hi.is_finite() { (c_lo + c_hi) / 2.0 } else { c * 10.0 };
+            }
+        }
+
+        best.map(|(_, adv)| adv).unwrap_or_else(|| x.clone())
+    }
+}
+
+/// DeepFool [45]: iterative minimal-L2 push across the nearest linearized
+/// decision boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct DeepFool {
+    max_iter: usize,
+    overshoot: f32,
+}
+
+impl DeepFool {
+    /// DeepFool with at most `max_iter` linearization steps and the standard
+    /// `overshoot` (0.02 in the original paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_iter` is zero or `overshoot` negative.
+    pub fn new(max_iter: usize, overshoot: f32) -> Self {
+        assert!(max_iter > 0, "need at least one iteration");
+        assert!(overshoot >= 0.0, "overshoot must be non-negative");
+        DeepFool { max_iter, overshoot }
+    }
+}
+
+impl Attack for DeepFool {
+    fn name(&self) -> &str {
+        "DF"
+    }
+
+    fn run(&self, model: &dyn TargetModel, x: &Tensor, label: usize) -> Tensor {
+        let mut adv = x.clone();
+        let mut total_r = Tensor::zeros(x.shape());
+        for _ in 0..self.max_iter {
+            if model.predict(&adv) != label {
+                break;
+            }
+            let logits = model.logits(&adv);
+            let g_label = model.class_gradient(&adv, label);
+
+            // Nearest boundary across all other classes.
+            let mut best: Option<(f64, Tensor, f32)> = None;
+            for k in 0..model.num_classes() {
+                if k == label {
+                    continue;
+                }
+                let w_k = model.class_gradient(&adv, k).zip_map(&g_label, |a, b| a - b);
+                let f_k = logits[k] - logits[label];
+                let w_norm = w_k.l2_norm().max(1e-9);
+                let dist = (f_k.abs() / w_norm) as f64;
+                if best.as_ref().map(|(d, _, _)| dist < *d).unwrap_or(true) {
+                    best = Some((dist, w_k, f_k));
+                }
+            }
+            let (_, w_k, f_k) = best.expect("at least two classes");
+            let w_norm_sq = w_k.data().iter().map(|v| v * v).sum::<f32>().max(1e-12);
+            let scale = (f_k.abs() + 1e-4) / w_norm_sq;
+            total_r.add_scaled(&w_k, scale);
+            adv = clip01(
+                x.zip_map(&total_r, |orig, r| orig + (1.0 + self.overshoot) * r),
+            );
+        }
+        adv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use da_nn::layers::{Dense, Flatten, Relu};
+    use da_nn::optim::Adam;
+    use da_nn::train::{train, TrainConfig};
+    use da_nn::Network;
+    use rand::SeedableRng;
+
+    /// A small trained model on a separable 2-class image problem:
+    /// class 0 = bright left half, class 1 = bright right half.
+    fn trained_model() -> (Network, Vec<(Tensor, usize)>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let n = 240;
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let label = i % 2;
+            let mut img = Tensor::rand_uniform(&[1, 4, 4], 0.15, 0.4, &mut rng);
+            for y in 0..4 {
+                for x in 0..2 {
+                    let col = if label == 0 { x } else { x + 2 };
+                    img[[0, y, col]] = rand::Rng::gen_range(&mut rng, 0.45..0.65);
+                }
+            }
+            images.push(img);
+            labels.push(label);
+        }
+        let xs = Tensor::stack(&images);
+        let mut net = Network::new("attack-test")
+            .push(Flatten)
+            .push(Dense::new(16, 16, &mut rng))
+            .push(Relu)
+            .push(Dense::new(16, 2, &mut rng));
+        let cfg = TrainConfig { epochs: 20, batch_size: 16, seed: 2, verbose: false };
+        let report = train(&mut net, &xs, &labels, &cfg, &mut Adam::new(0.01));
+        assert!(report.final_accuracy > 0.95, "test model failed to train");
+        let samples = images.into_iter().zip(labels).take(8).collect();
+        (net, samples)
+    }
+
+    fn check_attack_succeeds(attack: &dyn Attack, min_success: usize) {
+        let (net, samples) = trained_model();
+        let mut successes = 0;
+        for (x, label) in &samples {
+            if crate::TargetModel::predict(&net, x) != *label {
+                continue;
+            }
+            let adv = attack.run(&net, x, *label);
+            assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)), "range violated");
+            if crate::TargetModel::predict(&net, &adv) != *label {
+                successes += 1;
+            }
+        }
+        assert!(
+            successes >= min_success,
+            "{} fooled only {successes} of {} samples",
+            attack.name(),
+            samples.len()
+        );
+    }
+
+    #[test]
+    fn fgsm_fools_the_model() {
+        check_attack_succeeds(&Fgsm::new(0.25), 5);
+    }
+
+    #[test]
+    fn pgd_fools_the_model() {
+        check_attack_succeeds(&Pgd::new(0.2, 0.05, 20, 7), 6);
+    }
+
+    #[test]
+    fn cw_fools_the_model() {
+        check_attack_succeeds(&CarliniWagnerL2::standard(), 6);
+    }
+
+    #[test]
+    fn deepfool_fools_the_model() {
+        check_attack_succeeds(&DeepFool::new(30, 0.02), 6);
+    }
+
+    #[test]
+    fn jsma_fools_the_model() {
+        check_attack_succeeds(&Jsma::new(0.8), 4);
+    }
+
+    #[test]
+    fn fgsm_respects_linf_budget() {
+        let (net, samples) = trained_model();
+        let eps = 0.1;
+        for (x, label) in &samples {
+            let adv = Fgsm::new(eps).run(&net, x, *label);
+            assert!(metrics::linf(&adv, x) <= eps as f64 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn pgd_respects_linf_budget() {
+        let (net, samples) = trained_model();
+        let eps = 0.15;
+        for (x, label) in &samples {
+            let adv = Pgd::new(eps, 0.04, 15, 3).run(&net, x, *label);
+            assert!(metrics::linf(&adv, x) <= eps as f64 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn jsma_is_sparse() {
+        let (net, samples) = trained_model();
+        let gamma = 0.4;
+        for (x, label) in &samples {
+            let adv = Jsma::new(gamma).run(&net, x, *label);
+            assert!(
+                metrics::l0(&adv, x) <= (x.len() as f32 * gamma) as usize + 2,
+                "JSMA touched too many pixels"
+            );
+        }
+    }
+
+    #[test]
+    fn cw_produces_smaller_l2_than_fgsm() {
+        // The minimal-norm attack must beat the one-shot attack on distance,
+        // among samples where both succeed.
+        let (net, samples) = trained_model();
+        let cw = CarliniWagnerL2::standard();
+        let fgsm = Fgsm::new(0.25);
+        let mut cw_total = 0.0;
+        let mut fgsm_total = 0.0;
+        let mut counted = 0;
+        for (x, label) in &samples {
+            let a = cw.run(&net, x, *label);
+            let b = fgsm.run(&net, x, *label);
+            if crate::TargetModel::predict(&net, &a) != *label
+                && crate::TargetModel::predict(&net, &b) != *label
+            {
+                cw_total += metrics::l2(&a, x);
+                fgsm_total += metrics::l2(&b, x);
+                counted += 1;
+            }
+        }
+        assert!(counted >= 3, "not enough joint successes");
+        assert!(cw_total < fgsm_total, "C&W {cw_total} vs FGSM {fgsm_total}");
+    }
+
+    #[test]
+    fn pgd_is_deterministic_in_seed() {
+        let (net, samples) = trained_model();
+        let (x, label) = &samples[0];
+        let a = Pgd::new(0.2, 0.05, 10, 42).run(&net, x, *label);
+        let b = Pgd::new(0.2, 0.05, 10, 42).run(&net, x, *label);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be positive")]
+    fn fgsm_rejects_zero_eps() {
+        let _ = Fgsm::new(0.0);
+    }
+}

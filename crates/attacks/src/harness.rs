@@ -1,0 +1,217 @@
+//! Transferability evaluation harness (the machinery behind the paper's
+//! Tables 2, 3, 4, 5, and 10).
+
+use da_tensor::Tensor;
+
+use crate::metrics;
+use crate::traits::{Attack, TargetModel};
+
+/// Outcome of one crafted adversarial example.
+#[derive(Debug, Clone)]
+pub struct AttackSuccess {
+    /// The adversarial image.
+    pub adversarial: Tensor,
+    /// True label of the source image.
+    pub label: usize,
+    /// Did it fool the model it was crafted on?
+    pub fooled_source: bool,
+    /// Did it fool the transfer-target model?
+    pub fooled_target: bool,
+    /// L2 distance to the clean image.
+    pub l2: f64,
+    /// L∞ distance to the clean image.
+    pub linf: f64,
+}
+
+/// Aggregated transferability of one attack between two models.
+#[derive(Debug, Clone)]
+pub struct TransferReport {
+    /// Attack name (paper row label).
+    pub attack: String,
+    /// Examples attempted (correctly classified by the source model).
+    pub attempted: usize,
+    /// Examples that fooled the source model.
+    pub source_successes: usize,
+    /// Of those, examples that also fooled the target model.
+    pub target_successes: usize,
+}
+
+impl TransferReport {
+    /// Success rate on the source model (the paper's "Exact" column,
+    /// typically 100% by construction).
+    pub fn source_rate(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.source_successes as f64 / self.attempted as f64
+        }
+    }
+
+    /// Transfer rate: the fraction of source-successful adversarials that
+    /// also fool the target (the paper's "Approximate" column).
+    pub fn transfer_rate(&self) -> f64 {
+        if self.source_successes == 0 {
+            0.0
+        } else {
+            self.target_successes as f64 / self.source_successes as f64
+        }
+    }
+}
+
+impl std::fmt::Display for TransferReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<6} source {:>5.1}%  transfer {:>5.1}%  ({} samples)",
+            self.attack,
+            self.source_rate() * 100.0,
+            self.transfer_rate() * 100.0,
+            self.attempted
+        )
+    }
+}
+
+/// Craft adversarials with `attack` against `source` and replay them on
+/// `target` (the paper's transferability protocol, Figure 5).
+///
+/// Only images the source model classifies correctly are attacked. Returns
+/// the aggregate report and per-example outcomes.
+pub fn evaluate_transfer(
+    attack: &dyn Attack,
+    source: &dyn TargetModel,
+    target: &dyn TargetModel,
+    images: &Tensor,
+    labels: &[usize],
+) -> (TransferReport, Vec<AttackSuccess>) {
+    assert_eq!(images.shape()[0], labels.len(), "one label per image");
+    let mut outcomes = Vec::new();
+    let mut attempted = 0usize;
+    let mut source_successes = 0usize;
+    let mut target_successes = 0usize;
+
+    for i in 0..labels.len() {
+        let x = images.batch_item(i);
+        let label = labels[i];
+        if source.predict(&x) != label {
+            continue; // only attack correctly classified inputs
+        }
+        attempted += 1;
+        let adv = attack.run(source, &x, label);
+        let fooled_source = source.predict(&adv) != label;
+        let fooled_target = fooled_source && target.predict(&adv) != label;
+        if fooled_source {
+            source_successes += 1;
+        }
+        if fooled_target {
+            target_successes += 1;
+        }
+        outcomes.push(AttackSuccess {
+            l2: metrics::l2(&adv, &x),
+            linf: metrics::linf(&adv, &x),
+            adversarial: adv,
+            label,
+            fooled_source,
+            fooled_target,
+        });
+    }
+
+    (
+        TransferReport {
+            attack: attack.name().to_string(),
+            attempted,
+            source_successes,
+            target_successes,
+        },
+        outcomes,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradient::Fgsm;
+    use da_nn::layers::{Dense, Flatten, Relu};
+    use da_nn::optim::Adam;
+    use da_nn::train::{train, TrainConfig};
+    use da_nn::Network;
+    use rand::SeedableRng;
+
+    fn data(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let label = i % 2;
+            let mut img = Tensor::rand_uniform(&[1, 4, 4], 0.15, 0.4, &mut rng);
+            for y in 0..4 {
+                for x in 0..2 {
+                    let col = if label == 0 { x } else { x + 2 };
+                    img[[0, y, col]] = rand::Rng::gen_range(&mut rng, 0.45..0.65);
+                }
+            }
+            images.push(img);
+            labels.push(label);
+        }
+        (Tensor::stack(&images), labels)
+    }
+
+    fn trained(seed: u64) -> Network {
+        let (xs, ys) = data(200, 100);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut net = Network::new("harness-test")
+            .push(Flatten)
+            .push(Dense::new(16, 12, &mut rng))
+            .push(Relu)
+            .push(Dense::new(12, 2, &mut rng));
+        let cfg = TrainConfig { epochs: 20, batch_size: 16, seed, verbose: false };
+        train(&mut net, &xs, &ys, &cfg, &mut Adam::new(0.01));
+        net
+    }
+
+    #[test]
+    fn self_transfer_is_total() {
+        // Crafting and evaluating on the same model: every source success is
+        // a target success by definition.
+        let net = trained(1);
+        let (xs, ys) = data(12, 200);
+        let (report, outcomes) =
+            evaluate_transfer(&Fgsm::new(0.3), &net, &net, &xs, &ys);
+        assert_eq!(report.source_successes, report.target_successes);
+        assert!(report.source_rate() > 0.5);
+        assert_eq!(outcomes.len(), report.attempted);
+        assert!((report.transfer_rate() - 1.0).abs() < 1e-9 || report.source_successes == 0);
+    }
+
+    #[test]
+    fn transfer_to_different_model_is_partial_or_less() {
+        let a = trained(1);
+        let b = trained(99);
+        let (xs, ys) = data(12, 300);
+        let (report, _) = evaluate_transfer(&Fgsm::new(0.3), &a, &b, &xs, &ys);
+        assert!(report.target_successes <= report.source_successes);
+    }
+
+    #[test]
+    fn outcomes_record_distances() {
+        let net = trained(2);
+        let (xs, ys) = data(6, 400);
+        let (_, outcomes) = evaluate_transfer(&Fgsm::new(0.2), &net, &net, &xs, &ys);
+        for o in &outcomes {
+            assert!(o.linf <= 0.2 + 1e-6);
+            assert!(o.l2 >= o.linf); // L2 dominates L∞ on multi-pixel changes
+        }
+    }
+
+    #[test]
+    fn display_formats_rates() {
+        let r = TransferReport {
+            attack: "FGSM".into(),
+            attempted: 10,
+            source_successes: 10,
+            target_successes: 3,
+        };
+        let s = r.to_string();
+        assert!(s.contains("100.0%"), "{s}");
+        assert!(s.contains("30.0%"), "{s}");
+    }
+}

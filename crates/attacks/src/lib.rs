@@ -1,0 +1,33 @@
+//! The adversarial-attack suite of the paper's Table 1.
+//!
+//! | Method | Category | Norm | Module |
+//! |---|---|---|---|
+//! | FGSM | gradient-based | L∞ | [`gradient::Fgsm`] |
+//! | PGD | gradient-based | L∞ | [`gradient::Pgd`] |
+//! | JSMA | gradient-based | L0 | [`gradient::Jsma`] |
+//! | C&W | gradient-based | L2 | [`gradient::CarliniWagnerL2`] |
+//! | DeepFool | gradient-based | L2 | [`gradient::DeepFool`] |
+//! | LSA | score-based | L2 | [`score::LocalSearch`] |
+//! | BA | decision-based | L2 | [`decision::BoundaryAttack`] |
+//! | HSJ | decision-based | L2 | [`decision::HopSkipJump`] |
+//!
+//! All attacks target the [`TargetModel`] trait, so the same code attacks
+//! exact, Ax-FPM, HEAP, DQ, and Bfloat16 classifiers. Score- and
+//! decision-based attacks provably use only the prediction interface (the
+//! [`DecisionOnly`] wrapper panics on gradient access and is used in tests).
+//!
+//! Attacks are deterministic: stochastic steps derive from a seed carried by
+//! the attack value.
+//!
+//! [`DecisionOnly`]: traits::DecisionOnly
+
+pub mod decision;
+pub mod gradient;
+pub mod harness;
+pub mod metrics;
+pub mod score;
+pub mod substitute;
+pub mod traits;
+
+pub use harness::{evaluate_transfer, AttackSuccess, TransferReport};
+pub use traits::{Attack, TargetModel};

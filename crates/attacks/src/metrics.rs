@@ -1,0 +1,137 @@
+//! Perturbation distance metrics (paper §2.1) and image-quality measures
+//! (§5.3: MSE, PSNR).
+
+use da_tensor::Tensor;
+
+/// L0 "norm": number of differing elements (above `1e-6` tolerance).
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn l0(a: &Tensor, b: &Tensor) -> usize {
+    assert_eq!(a.shape(), b.shape(), "l0 shape mismatch");
+    a.data()
+        .iter()
+        .zip(b.data())
+        .filter(|(x, y)| (*x - *y).abs() > 1e-6)
+        .count()
+}
+
+/// Euclidean (L2) distance.
+pub fn l2(a: &Tensor, b: &Tensor) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "l2 shape mismatch");
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(x, y)| {
+            let d = (*x - *y) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Chebyshev (L∞) distance.
+pub fn linf(a: &Tensor, b: &Tensor) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "linf shape mismatch");
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(x, y)| ((*x - *y) as f64).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Mean squared error.
+pub fn mse(a: &Tensor, b: &Tensor) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "mse shape mismatch");
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(x, y)| {
+            let d = (*x - *y) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+/// Peak signal-to-noise ratio in dB for images in `[0, 1]`
+/// (`PSNR = 20·log10(MAX / √MSE)` with `MAX = 1`). Identical images give
+/// `f64::INFINITY`.
+pub fn psnr(a: &Tensor, b: &Tensor) -> f64 {
+    let m = mse(a, b);
+    if m == 0.0 {
+        f64::INFINITY
+    } else {
+        20.0 * (1.0 / m.sqrt()).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (Tensor, Tensor) {
+        let a = Tensor::from_vec(vec![0.0, 0.5, 1.0, 0.25], &[4]);
+        let b = Tensor::from_vec(vec![0.0, 0.75, 1.0, 0.25], &[4]);
+        (a, b)
+    }
+
+    #[test]
+    fn l0_counts_changed_elements() {
+        let (a, b) = pair();
+        assert_eq!(l0(&a, &b), 1);
+        assert_eq!(l0(&a, &a), 0);
+    }
+
+    #[test]
+    fn l2_matches_hand_computation() {
+        let (a, b) = pair();
+        assert!((l2(&a, &b) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linf_takes_max() {
+        let (a, b) = pair();
+        assert!((linf(&a, &b) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mse_and_psnr_are_consistent() {
+        let (a, b) = pair();
+        let m = mse(&a, &b);
+        assert!((m - 0.0625 / 4.0).abs() < 1e-9);
+        let p = psnr(&a, &b);
+        assert!((p - 20.0 * (1.0 / m.sqrt()).log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn psnr_of_identical_images_is_infinite() {
+        let (a, _) = pair();
+        assert!(psnr(&a, &a).is_infinite());
+    }
+
+    #[test]
+    fn lower_psnr_means_more_distortion() {
+        let a = Tensor::zeros(&[16]);
+        let slight = Tensor::filled(&[16], 0.01);
+        let heavy = Tensor::filled(&[16], 0.3);
+        assert!(psnr(&a, &slight) > psnr(&a, &heavy));
+    }
+
+    #[test]
+    fn metric_identities() {
+        // d(a,a)=0; symmetry; triangle inequality spot-check for L2.
+        let (a, b) = pair();
+        let c = Tensor::from_vec(vec![0.1, 0.1, 0.9, 0.3], &[4]);
+        assert_eq!(l2(&a, &a), 0.0);
+        assert_eq!(l2(&a, &b), l2(&b, &a));
+        assert!(l2(&a, &c) <= l2(&a, &b) + l2(&b, &c) + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn rejects_mismatched_shapes() {
+        let _ = l2(&Tensor::zeros(&[2]), &Tensor::zeros(&[3]));
+    }
+}

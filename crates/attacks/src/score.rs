@@ -1,0 +1,167 @@
+//! Score-based attacks: the Local Search Attack (LSA) of Narodytska &
+//! Kasiviswanathan [47].
+
+use rand::{Rng, SeedableRng};
+
+use da_tensor::Tensor;
+
+use crate::traits::{clip01, Attack, TargetModel};
+
+/// Local Search Attack: greedy score-based search that perturbs small pixel
+/// neighborhoods, keeping the modifications that most reduce the true
+/// class's probability. Uses only [`TargetModel::probabilities`].
+#[derive(Debug, Clone, Copy)]
+pub struct LocalSearch {
+    /// Rounds of local search.
+    rounds: usize,
+    /// Candidate pixels sampled per round.
+    candidates: usize,
+    /// Pixels applied per round.
+    apply_per_round: usize,
+    /// Perturbation magnitude.
+    strength: f32,
+    seed: u64,
+}
+
+impl LocalSearch {
+    /// LSA with the given search budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate budgets.
+    pub fn new(rounds: usize, candidates: usize, apply_per_round: usize, strength: f32, seed: u64) -> Self {
+        assert!(rounds > 0 && candidates > 0 && apply_per_round > 0, "degenerate LSA budget");
+        assert!(strength > 0.0, "strength must be positive");
+        LocalSearch { rounds, candidates, apply_per_round, strength, seed }
+    }
+
+    /// A moderate default budget.
+    pub fn standard(seed: u64) -> Self {
+        LocalSearch::new(16, 48, 4, 0.9, seed)
+    }
+}
+
+impl Attack for LocalSearch {
+    fn name(&self) -> &str {
+        "LSA"
+    }
+
+    fn run(&self, model: &dyn TargetModel, x: &Tensor, label: usize) -> Tensor {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut adv = x.clone();
+        let n = x.len();
+
+        for _ in 0..self.rounds {
+            if model.predict(&adv) != label {
+                break;
+            }
+            // Score each candidate pixel by the true-class probability after
+            // pushing it toward its far extreme.
+            let mut scored: Vec<(f32, usize, f32)> = Vec::with_capacity(self.candidates);
+            for _ in 0..self.candidates {
+                let i = rng.gen_range(0..n);
+                let current = adv.data()[i];
+                let flipped = if current > 0.5 {
+                    (current - self.strength).max(0.0)
+                } else {
+                    (current + self.strength).min(1.0)
+                };
+                let mut probe = adv.clone();
+                probe.data_mut()[i] = flipped;
+                let p_true = model.probabilities(&probe)[label];
+                scored.push((p_true, i, flipped));
+            }
+            scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite probs"));
+            for &(_, i, value) in scored.iter().take(self.apply_per_round) {
+                adv.data_mut()[i] = value;
+            }
+        }
+        clip01(adv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::DecisionOnly;
+    use da_nn::layers::{Dense, Flatten, Relu};
+    use da_nn::optim::Adam;
+    use da_nn::train::{train, TrainConfig};
+    use da_nn::Network;
+    use rand::SeedableRng;
+
+    fn trained_model() -> (Network, Vec<(Tensor, usize)>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let n = 200;
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let label = i % 2;
+            let mut img = Tensor::rand_uniform(&[1, 4, 4], 0.0, 0.2, &mut rng);
+            for y in 0..4 {
+                for x in 0..2 {
+                    let col = if label == 0 { x } else { x + 2 };
+                    img[[0, y, col]] = rand::Rng::gen_range(&mut rng, 0.75..1.0);
+                }
+            }
+            images.push(img);
+            labels.push(label);
+        }
+        let xs = Tensor::stack(&images);
+        let mut net = Network::new("lsa-test")
+            .push(Flatten)
+            .push(Dense::new(16, 12, &mut rng))
+            .push(Relu)
+            .push(Dense::new(12, 2, &mut rng));
+        let cfg = TrainConfig { epochs: 20, batch_size: 16, seed: 2, verbose: false };
+        let report = train(&mut net, &xs, &labels, &cfg, &mut Adam::new(0.01));
+        assert!(report.final_accuracy > 0.95);
+        (net, images.into_iter().zip(labels).take(6).collect())
+    }
+
+    #[test]
+    fn lsa_fools_the_model_with_scores_only() {
+        let (net, samples) = trained_model();
+        // DecisionOnly panics on any gradient access, proving the category.
+        let black_box = DecisionOnly(&net);
+        let attack = LocalSearch::standard(5);
+        let mut successes = 0;
+        for (x, label) in &samples {
+            if black_box.predict(x) != *label {
+                continue;
+            }
+            let adv = attack.run(&black_box, x, *label);
+            assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+            if black_box.predict(&adv) != *label {
+                successes += 1;
+            }
+        }
+        assert!(successes >= 4, "LSA fooled only {successes}/6");
+    }
+
+    #[test]
+    fn lsa_is_deterministic_in_seed() {
+        let (net, samples) = trained_model();
+        let (x, label) = &samples[0];
+        let a = LocalSearch::standard(9).run(&net, x, *label);
+        let b = LocalSearch::standard(9).run(&net, x, *label);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lsa_stops_early_once_successful() {
+        // A model that always predicts class 1: for label 0, the input is
+        // already "adversarial", so LSA must return it untouched.
+        let (net, samples) = trained_model();
+        let (x, _) = &samples[0];
+        let wrong_label = 1 - crate::TargetModel::predict(&net, x);
+        let adv = LocalSearch::standard(3).run(&net, x, wrong_label);
+        assert_eq!(adv, *x);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate LSA budget")]
+    fn rejects_zero_rounds() {
+        let _ = LocalSearch::new(0, 10, 1, 0.5, 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! The black-box substitute-model pipeline (paper §5.3, Figure 6): query the
+//! victim for labels, train a proxy, attack the proxy, replay on the victim.
+
+use da_nn::optim::Adam;
+use da_nn::train::{train, TrainConfig};
+use da_nn::Network;
+use da_tensor::Tensor;
+
+use crate::traits::TargetModel;
+
+/// Configuration of substitute training.
+#[derive(Debug, Clone)]
+pub struct SubstituteConfig {
+    /// Training epochs on the victim-labeled queries.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate (Adam).
+    pub lr: f32,
+    /// Seed for shuffling and stochastic layers.
+    pub seed: u64,
+}
+
+impl Default for SubstituteConfig {
+    fn default() -> Self {
+        SubstituteConfig { epochs: 5, batch_size: 32, lr: 1e-3, seed: 0 }
+    }
+}
+
+/// Label `queries` by the victim's decisions — the reverse-engineering step.
+pub fn query_labels(victim: &dyn TargetModel, queries: &Tensor) -> Vec<usize> {
+    (0..queries.shape()[0])
+        .map(|i| victim.predict(&queries.batch_item(i)))
+        .collect()
+}
+
+/// Train `substitute` (an untrained architecture) to imitate `victim` on the
+/// given query set. Returns the fraction of queries where the substitute
+/// agrees with the victim after training.
+pub fn train_substitute(
+    substitute: &mut Network,
+    victim: &dyn TargetModel,
+    queries: &Tensor,
+    config: &SubstituteConfig,
+) -> f32 {
+    let labels = query_labels(victim, queries);
+    let train_config = TrainConfig {
+        epochs: config.epochs,
+        batch_size: config.batch_size,
+        seed: config.seed,
+        verbose: false,
+    };
+    let report = train(
+        substitute,
+        queries,
+        &labels,
+        &train_config,
+        &mut Adam::new(config.lr),
+    );
+    report.final_accuracy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use da_nn::layers::{Dense, Flatten, Relu};
+    use rand::SeedableRng;
+
+    /// Victim: a fixed linear rule (bright left half = class 0).
+    struct RuleVictim;
+
+    impl TargetModel for RuleVictim {
+        fn num_classes(&self) -> usize {
+            2
+        }
+
+        fn logits(&self, x: &Tensor) -> Vec<f32> {
+            let mut left = 0.0;
+            let mut right = 0.0;
+            for y in 0..4 {
+                for c in 0..2 {
+                    left += x[[0, y, c]];
+                    right += x[[0, y, c + 2]];
+                }
+            }
+            vec![left - right, right - left]
+        }
+
+        fn loss_gradient(&self, _x: &Tensor, _label: usize) -> (f32, Tensor) {
+            panic!("victim gradients are not available in a black-box setting");
+        }
+
+        fn class_gradient(&self, _x: &Tensor, _class: usize) -> Tensor {
+            panic!("victim gradients are not available in a black-box setting");
+        }
+    }
+
+    fn substitute_arch(seed: u64) -> Network {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Network::new("substitute")
+            .push(Flatten)
+            .push(Dense::new(16, 32, &mut rng))
+            .push(Relu)
+            .push(Dense::new(32, 2, &mut rng))
+    }
+
+    #[test]
+    fn substitute_learns_the_victim_decision_rule() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let queries = Tensor::rand_uniform(&[400, 1, 4, 4], 0.0, 1.0, &mut rng);
+        let mut substitute = substitute_arch(2);
+        let config = SubstituteConfig { epochs: 30, ..SubstituteConfig::default() };
+        let agreement = train_substitute(&mut substitute, &RuleVictim, &queries, &config);
+        assert!(agreement > 0.9, "substitute agreement {agreement}");
+    }
+
+    #[test]
+    fn query_labels_match_victim_predictions() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let queries = Tensor::rand_uniform(&[10, 1, 4, 4], 0.0, 1.0, &mut rng);
+        let labels = query_labels(&RuleVictim, &queries);
+        for (i, &l) in labels.iter().enumerate() {
+            assert_eq!(l, RuleVictim.predict(&queries.batch_item(i)));
+        }
+    }
+
+    #[test]
+    fn substitute_attack_transfers_to_victim() {
+        // End-to-end black-box pipeline: train proxy, FGSM on proxy, replay.
+        use crate::gradient::Fgsm;
+        use crate::Attack;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let queries = Tensor::rand_uniform(&[400, 1, 4, 4], 0.0, 1.0, &mut rng);
+        let mut substitute = substitute_arch(5);
+        let config = SubstituteConfig { epochs: 30, ..SubstituteConfig::default() };
+        train_substitute(&mut substitute, &RuleVictim, &queries, &config);
+
+        let attack = Fgsm::new(0.5);
+        let mut transferred = 0;
+        let mut attempted = 0;
+        for i in 0..30 {
+            let x = queries.batch_item(i);
+            let label = RuleVictim.predict(&x);
+            let adv = attack.run(&substitute, &x, label);
+            if crate::TargetModel::predict(&substitute, &adv) != label {
+                attempted += 1;
+                if RuleVictim.predict(&adv) != label {
+                    transferred += 1;
+                }
+            }
+        }
+        assert!(attempted >= 10, "proxy attack mostly failed ({attempted})");
+        assert!(
+            transferred * 2 >= attempted,
+            "black-box transfer too weak: {transferred}/{attempted}"
+        );
+    }
+}

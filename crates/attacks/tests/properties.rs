@@ -1,0 +1,89 @@
+//! Property-based tests of attack invariants and distance metrics.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+use da_attacks::gradient::{Fgsm, Pgd};
+use da_attacks::metrics::{l0, l2, linf, mse, psnr};
+use da_attacks::{Attack, TargetModel};
+use da_nn::layers::{Dense, Flatten, Relu};
+use da_nn::Network;
+use da_tensor::Tensor;
+
+fn model(seed: u64) -> Network {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Network::new("prop")
+        .push(Flatten)
+        .push(Dense::new(9, 8, &mut rng))
+        .push(Relu)
+        .push(Dense::new(8, 3, &mut rng))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// FGSM and PGD always respect their L∞ budget and the valid range.
+    #[test]
+    fn linf_attacks_respect_budget(
+        x in proptest::collection::vec(0.0f32..1.0, 9),
+        eps in 0.01f32..0.4,
+        label in 0usize..3,
+        seed in 0u64..50,
+    ) {
+        let net = model(seed);
+        let img = Tensor::from_vec(x, &[1, 3, 3]);
+        for adv in [
+            Fgsm::new(eps).run(&net, &img, label),
+            Pgd::new(eps, eps / 4.0, 8, seed).run(&net, &img, label),
+        ] {
+            prop_assert!(linf(&adv, &img) <= eps as f64 + 1e-5);
+            prop_assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    /// Metric axioms: identity, symmetry, L∞ ≤ L2 ≤ √n·L∞.
+    #[test]
+    fn metric_axioms(
+        a in proptest::collection::vec(0.0f32..1.0, 12),
+        b in proptest::collection::vec(0.0f32..1.0, 12),
+    ) {
+        let ta = Tensor::from_vec(a, &[12]);
+        let tb = Tensor::from_vec(b, &[12]);
+        prop_assert_eq!(l2(&ta, &ta), 0.0);
+        prop_assert_eq!(l0(&ta, &ta), 0);
+        prop_assert!((l2(&ta, &tb) - l2(&tb, &ta)).abs() < 1e-12);
+        prop_assert!(linf(&ta, &tb) <= l2(&ta, &tb) + 1e-9);
+        prop_assert!(l2(&ta, &tb) <= (12f64).sqrt() * linf(&ta, &tb) + 1e-9);
+        // MSE/PSNR consistency.
+        let m = mse(&ta, &tb);
+        if m > 0.0 {
+            let p = psnr(&ta, &tb);
+            prop_assert!((p - 20.0 * (1.0 / m.sqrt()).log10()).abs() < 1e-9);
+        }
+    }
+
+    /// Attack outputs never contain NaN, even on degenerate inputs.
+    #[test]
+    fn attacks_never_produce_nan(
+        fill in 0.0f32..1.0,
+        label in 0usize..3,
+    ) {
+        let net = model(3);
+        let img = Tensor::filled(&[1, 3, 3], fill);
+        let adv = Fgsm::new(0.1).run(&net, &img, label);
+        prop_assert!(adv.data().iter().all(|v| v.is_finite()));
+    }
+
+    /// Prediction is invariant under logit-preserving re-evaluation (the
+    /// model interface is pure).
+    #[test]
+    fn target_model_is_pure(x in proptest::collection::vec(0.0f32..1.0, 9)) {
+        let net = model(11);
+        let img = Tensor::from_vec(x, &[1, 3, 3]);
+        prop_assert_eq!(
+            TargetModel::predict(&net, &img),
+            TargetModel::predict(&net, &img)
+        );
+        prop_assert_eq!(TargetModel::logits(&net, &img), TargetModel::logits(&net, &img));
+    }
+}

@@ -1,0 +1,22 @@
+//! Figure 3: Ax-FPM noise profile — regeneration + multiplier throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use da_arith::MultiplierKind;
+use da_bench::bench_budget;
+use da_core::experiments::profiles::fig3;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fig3(&bench_budget()));
+
+    let ax = MultiplierKind::AxFpm.build();
+    let gate = da_arith::fpm::FloatMultiplier::ax_fpm();
+    c.bench_function("fig03/ax_fpm_multiply_fast_path", |b| {
+        b.iter(|| black_box(ax.multiply(black_box(0.37), black_box(0.82))))
+    });
+    c.bench_function("fig03/ax_fpm_multiply_gate_level", |b| {
+        b.iter(|| black_box(gate.multiply_gate_level(black_box(0.37), black_box(0.82))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Figure 4: exact vs approximate convolution vs input/filter similarity.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use da_core::experiments::fig4::fig4;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fig4(6));
+
+    c.bench_function("fig04/similarity_series", |b| b.iter(|| black_box(fig4(6))));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figures 8 & 9: white-box DeepFool / C&W L2 perturbation price,
+//! exact vs DA classifiers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use da_attacks::gradient::DeepFool;
+use da_attacks::Attack;
+use da_bench::{bench_budget, bench_cache};
+use da_core::experiments::whitebox::{fig8_fig10, fig9_fig11};
+
+fn bench(c: &mut Criterion) {
+    let cache = bench_cache();
+    let budget = bench_budget();
+    let df = fig8_fig10(&cache, &budget);
+    println!("\n{df}");
+    let cw = fig9_fig11(&cache, &budget);
+    println!("{cw}");
+    println!(
+        "series (Fig 8, DF L2 per sample)   exact: {:?}",
+        df.exact.l2.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
+    println!(
+        "                                   DA   : {:?}",
+        df.approx.l2.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
+
+    // Kernel: one DeepFool run against the exact model.
+    let model = cache.lenet(&budget);
+    let ds = cache.digits_test(1);
+    let x = ds.images.batch_item(0);
+    let attack = DeepFool::new(40, 0.02);
+    let mut group = c.benchmark_group("fig08_09");
+    group.sample_size(10);
+    group.bench_function("deepfool_exact_one", |b| {
+        b.iter(|| black_box(attack.run(&model, black_box(&x), ds.labels[0])))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

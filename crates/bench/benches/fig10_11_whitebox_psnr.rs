@@ -1,0 +1,35 @@
+//! Figures 10 & 11: MSE and PSNR of white-box adversarials (DeepFool, C&W)
+//! against exact and DA classifiers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use da_attacks::metrics::{mse, psnr};
+use da_bench::{bench_budget, bench_cache};
+use da_core::experiments::whitebox::{fig8_fig10, fig9_fig11};
+use da_tensor::Tensor;
+
+fn bench(c: &mut Criterion) {
+    let cache = bench_cache();
+    let budget = bench_budget();
+    for report in [fig8_fig10(&cache, &budget), fig9_fig11(&cache, &budget)] {
+        println!(
+            "\nFig 10/11 [{}]: MSE exact {:.5} vs DA {:.5} (ratio {:.2}x) | PSNR exact {:.2} dB vs DA {:.2} dB (drop {:.2} dB)",
+            report.attack,
+            report.exact.mean_mse(),
+            report.approx.mean_mse(),
+            report.mse_ratio(),
+            report.exact.mean_psnr(),
+            report.approx.mean_psnr(),
+            report.psnr_drop(),
+        );
+    }
+
+    // Kernel: the metric computations themselves.
+    let a = Tensor::filled(&[1, 28, 28], 0.5);
+    let b = Tensor::filled(&[1, 28, 28], 0.47);
+    c.bench_function("fig10_11/mse_psnr_pair", |bch| {
+        bch.iter(|| (black_box(mse(&a, &b)), black_box(psnr(&a, &b))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

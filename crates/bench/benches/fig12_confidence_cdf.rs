@@ -1,0 +1,24 @@
+//! Figure 12: cumulative distribution of classification confidence,
+//! exact vs DA.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use da_attacks::TargetModel;
+use da_bench::{bench_budget, bench_cache};
+use da_core::experiments::confidence::fig12;
+
+fn bench(c: &mut Criterion) {
+    let cache = bench_cache();
+    let budget = bench_budget();
+    println!("\n{}", fig12(&cache, &budget));
+
+    // Kernel: one probability evaluation on the exact model.
+    let model = cache.lenet(&budget);
+    let ds = cache.digits_test(1);
+    let x = ds.images.batch_item(0);
+    c.bench_function("fig12/probabilities_one", |b| {
+        b.iter(|| black_box(TargetModel::probabilities(&model, black_box(&x))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 13: Bfloat16 multiplication noise profile.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use da_arith::MultiplierKind;
+use da_bench::bench_budget;
+use da_core::experiments::profiles::fig13;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fig13(&bench_budget()));
+
+    let bf = MultiplierKind::Bfloat16.build();
+    c.bench_function("fig13/bfloat16_multiply", |b| {
+        b.iter(|| black_box(bf.multiply(black_box(0.37), black_box(0.82))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

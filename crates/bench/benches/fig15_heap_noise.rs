@@ -1,0 +1,20 @@
+//! Figure 15: noise profiles of Ax-FPM vs HEAP side by side.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use da_arith::MultiplierKind;
+use da_bench::bench_budget;
+use da_core::experiments::profiles::fig15;
+
+fn bench(c: &mut Criterion) {
+    let (ax, heap) = fig15(&bench_budget());
+    println!("\n{ax}");
+    println!("{heap}");
+
+    let m = MultiplierKind::Heap.build();
+    c.bench_function("fig15/heap_multiply", |b| {
+        b.iter(|| black_box(m.multiply(black_box(0.37), black_box(0.82))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

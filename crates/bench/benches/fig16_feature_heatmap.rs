@@ -1,0 +1,33 @@
+//! Figure 16: final convolution layer feature-map energy under exact,
+//! Ax-FPM, and HEAP multipliers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use da_bench::{bench_budget, bench_cache};
+use da_core::experiments::heatmap::fig16;
+use da_tensor::Tensor;
+
+fn bench(c: &mut Criterion) {
+    let cache = bench_cache();
+    let budget = bench_budget();
+    let report = fig16(&cache, &budget);
+    println!("\n{report}");
+    println!(
+        "feature-energy ratios vs exact: Ax-FPM {:.3}, HEAP {:.3} (paper: Ax-FPM boosts, HEAP lowers)",
+        report.mean_ratio(1),
+        report.mean_ratio(2)
+    );
+
+    // Kernel: the intermediate-activation extraction.
+    let net = cache.lenet(&budget);
+    let ds = cache.digits_test(1);
+    let x = Tensor::stack(&[ds.images.batch_item(0)]);
+    let mut group = c.benchmark_group("fig16");
+    group.sample_size(20);
+    group.bench_function("activation_at_final_conv", |b| {
+        b.iter(|| black_box(net.activation_at(black_box(&x), 4)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

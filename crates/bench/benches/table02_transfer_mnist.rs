@@ -1,0 +1,33 @@
+//! Table 2: attack transferability, exact LeNet-5 → Ax-FPM LeNet-5
+//! (SynthDigits).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use da_attacks::gradient::Fgsm;
+use da_attacks::{Attack, TargetModel};
+use da_bench::{bench_budget, bench_cache};
+use da_core::experiments::transfer::table2;
+
+fn bench(c: &mut Criterion) {
+    let cache = bench_cache();
+    let budget = bench_budget();
+    println!("\n{}", table2(&cache, &budget));
+
+    // Kernel: craft one FGSM adversarial on the exact model.
+    let model = cache.lenet(&budget);
+    let ds = cache.digits_test(1);
+    let x = ds.images.batch_item(0);
+    let label = ds.labels[0];
+    let attack = Fgsm::new(0.25);
+    let mut group = c.benchmark_group("table02");
+    group.sample_size(20);
+    group.bench_function("fgsm_craft_one", |b| {
+        b.iter(|| black_box(attack.run(&model, black_box(&x), label)))
+    });
+    group.bench_function("exact_lenet_predict", |b| {
+        b.iter(|| black_box(TargetModel::predict(&model, black_box(&x))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

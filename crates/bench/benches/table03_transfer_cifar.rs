@@ -1,0 +1,28 @@
+//! Table 3: attack transferability, exact AlexNet → Ax-FPM AlexNet
+//! (SynthObjects).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use da_arith::MultiplierKind;
+use da_attacks::TargetModel;
+use da_bench::{bench_budget, bench_cache};
+use da_core::experiments::transfer::{table3, with_multiplier};
+
+fn bench(c: &mut Criterion) {
+    let cache = bench_cache();
+    let budget = bench_budget();
+    println!("\n{}", table3(&cache, &budget));
+
+    // Kernel: one DA-AlexNet inference (the table's inner evaluation step).
+    let da = with_multiplier(cache.alexnet(&budget), MultiplierKind::AxFpm);
+    let ds = cache.objects_test(1);
+    let x = ds.images.batch_item(0);
+    let mut group = c.benchmark_group("table03");
+    group.sample_size(10);
+    group.bench_function("da_alexnet_predict", |b| {
+        b.iter(|| black_box(TargetModel::predict(&da, black_box(&x))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

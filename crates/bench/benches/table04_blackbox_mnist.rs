@@ -1,0 +1,25 @@
+//! Table 4: black-box (substitute model) attack success rates (SynthDigits).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use da_attacks::substitute::query_labels;
+use da_bench::{bench_budget, bench_cache};
+use da_core::experiments::blackbox::table4;
+
+fn bench(c: &mut Criterion) {
+    let cache = bench_cache();
+    let budget = bench_budget();
+    println!("\n{}", table4(&cache, &budget));
+
+    // Kernel: the adversary's query step (victim labeling).
+    let victim = cache.lenet(&budget);
+    let queries = cache.digits_test(16);
+    let mut group = c.benchmark_group("table04");
+    group.sample_size(20);
+    group.bench_function("victim_query_16", |b| {
+        b.iter(|| black_box(query_labels(&victim, black_box(&queries.images))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Table 5: Defensive Approximation vs Defensive Quantization
+//! transferability (SynthObjects).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use da_attacks::TargetModel;
+use da_bench::{bench_budget, bench_cache};
+use da_core::experiments::dq::table5;
+use da_nn::zoo::DqMode;
+
+fn bench(c: &mut Criterion) {
+    let cache = bench_cache();
+    let budget = bench_budget();
+    let table = table5(&cache, &budget);
+    println!("\n{table}");
+    let (da, dq) = table.mean_rates();
+    println!("mean transfer: DA {:.0}% vs DQ-full {:.0}% (paper: DA ~2x more robust)", da * 100.0, dq * 100.0);
+
+    // Kernel: a fully quantized DQ inference.
+    let dq_net = cache.dq_convnet(&budget, DqMode::Full);
+    let ds = cache.objects_test(1);
+    let x = ds.images.batch_item(0);
+    let mut group = c.benchmark_group("table05");
+    group.sample_size(20);
+    group.bench_function("dq_full_predict", |b| {
+        b.iter(|| black_box(TargetModel::predict(&dq_net, black_box(&x))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Table 6: clean accuracy of Float32 / DA / DQ / Bfloat16 models.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use da_arith::MultiplierKind;
+use da_bench::{bench_budget, bench_cache};
+use da_core::experiments::accuracy::table6;
+use da_core::experiments::transfer::with_multiplier;
+use da_nn::train::evaluate_accuracy;
+
+fn bench(c: &mut Criterion) {
+    let cache = bench_cache();
+    let budget = bench_budget();
+    println!("\n{}", table6(&cache, &budget));
+
+    // Kernel: accuracy evaluation of the DA LeNet on a small batch.
+    let da = with_multiplier(cache.lenet(&budget), MultiplierKind::AxFpm);
+    let test = cache.digits_test(32);
+    let mut group = c.benchmark_group("table06");
+    group.sample_size(10);
+    group.bench_function("da_lenet_accuracy_32", |b| {
+        b.iter(|| black_box(evaluate_accuracy(&da, &test.images, &test.labels, 32)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

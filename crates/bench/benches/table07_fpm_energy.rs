@@ -1,0 +1,18 @@
+//! Table 7: normalized energy and delay of the full FPMs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use da_arith::array::ArrayMultiplierSpec;
+use da_arith::energy::{fpm_cost, CostParams};
+use da_core::experiments::energy::table7;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", table7());
+
+    let params = CostParams::default();
+    c.bench_function("table07/fpm_cost_model", |b| {
+        b.iter(|| black_box(fpm_cost(&ArrayMultiplierSpec::ax_mantissa(24), &params)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

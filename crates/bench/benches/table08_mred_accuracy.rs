@@ -1,0 +1,21 @@
+//! Table 8: CNN accuracy and MRED/NMED of exact / HEAP / Ax-FPM multipliers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use da_arith::metrics::error_stats;
+use da_arith::MultiplierKind;
+use da_bench::{bench_budget, bench_cache};
+use da_core::experiments::accuracy::table8;
+
+fn bench(c: &mut Criterion) {
+    let cache = bench_cache();
+    let budget = bench_budget();
+    println!("\n{}", table8(&cache, &budget));
+
+    let heap = MultiplierKind::Heap.build();
+    c.bench_function("table08/heap_error_stats_1k", |b| {
+        b.iter(|| black_box(error_stats(&*heap, 1_000, 8, (0.0, 1.0))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

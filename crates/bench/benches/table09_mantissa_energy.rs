@@ -1,0 +1,22 @@
+//! Table 9: normalized energy/delay of the 24×24 mantissa multipliers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use da_arith::array::{ArrayMultiplier, ArrayMultiplierSpec};
+use da_arith::heap::heap_mantissa_spec;
+use da_core::experiments::energy::table9;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", table9());
+
+    // Kernel: one gate-level 24×24 multiplication per design.
+    let exact = ArrayMultiplier::new(ArrayMultiplierSpec::exact(24));
+    let ax = ArrayMultiplier::new(ArrayMultiplierSpec::ax_mantissa(24));
+    let heap = ArrayMultiplier::new(heap_mantissa_spec());
+    let (a, b) = (0xA5_A5A5u64, 0xC3_3C3Cu64);
+    c.bench_function("table09/exact_24x24", |bch| bch.iter(|| black_box(exact.multiply(a, b))));
+    c.bench_function("table09/ax_24x24", |bch| bch.iter(|| black_box(ax.multiply(a, b))));
+    c.bench_function("table09/heap_24x24", |bch| bch.iter(|| black_box(heap.multiply(a, b))));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

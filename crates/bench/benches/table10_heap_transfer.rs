@@ -1,0 +1,28 @@
+//! Table 10: transferability of exact-LeNet adversarials to HEAP-based and
+//! Ax-FPM-based classifiers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use da_arith::MultiplierKind;
+use da_attacks::TargetModel;
+use da_bench::{bench_budget, bench_cache};
+use da_core::experiments::transfer::{table10, with_multiplier};
+
+fn bench(c: &mut Criterion) {
+    let cache = bench_cache();
+    let budget = bench_budget();
+    println!("\n{}", table10(&cache, &budget));
+
+    // Kernel: HEAP-LeNet inference (the expensive gate-level target).
+    let heap = with_multiplier(cache.lenet(&budget), MultiplierKind::Heap);
+    let ds = cache.digits_test(1);
+    let x = ds.images.batch_item(0);
+    let mut group = c.benchmark_group("table10");
+    group.sample_size(10);
+    group.bench_function("heap_lenet_predict", |b| {
+        b.iter(|| black_box(TargetModel::predict(&heap, black_box(&x))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion benches regenerating every table and figure of the paper's
+//! evaluation (one bench target per artifact; see `benches/`).
+//!
+//! Each bench first *prints* the regenerated table/series (so `cargo bench`
+//! output doubles as the reproduction record captured in EXPERIMENTS.md),
+//! then times the experiment's core kernel with Criterion.
+
+use da_core::{Budget, ModelCache};
+
+/// The artifacts directory shared by all benches (workspace-root
+/// `artifacts/`, overridable via `DA_ARTIFACTS_DIR`).
+pub fn bench_cache() -> ModelCache {
+    if std::env::var_os("DA_ARTIFACTS_DIR").is_some() {
+        return ModelCache::default_location();
+    }
+    ModelCache::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../artifacts"))
+}
+
+/// The budget benches run with: `DA_BUDGET=paper|quick|smoke` (default
+/// `quick`).
+pub fn bench_budget() -> Budget {
+    match std::env::var("DA_BUDGET").as_deref() {
+        Ok("paper") => Budget::paper(),
+        Ok("smoke") => Budget::smoke(),
+        _ => Budget::quick(),
+    }
+}

@@ -1,0 +1,126 @@
+//! Multiplier-ensemble prediction — the paper's discussion item (3) (§9):
+//! DA is orthogonal to other defenses and resembles the randomized-ensemble
+//! smoothing of Liu et al. [37] (§10). This module votes one set of weights
+//! across several hardware variants, a DA-flavored self-ensemble.
+
+use da_attacks::TargetModel;
+use da_tensor::Tensor;
+
+/// A majority-vote classifier over several hardware variants of the same
+/// network (e.g. exact + Ax-FPM + HEAP).
+///
+/// Ties break toward the variant listed first, so putting the most trusted
+/// implementation at index 0 gives deterministic, sensible behaviour.
+pub struct MultiplierEnsemble<'a> {
+    variants: Vec<&'a dyn TargetModel>,
+}
+
+impl<'a> MultiplierEnsemble<'a> {
+    /// Build an ensemble over the given variants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variants` is empty or class counts disagree.
+    pub fn new(variants: Vec<&'a dyn TargetModel>) -> Self {
+        assert!(!variants.is_empty(), "ensemble needs at least one variant");
+        let classes = variants[0].num_classes();
+        assert!(
+            variants.iter().all(|v| v.num_classes() == classes),
+            "all variants must share the class count"
+        );
+        MultiplierEnsemble { variants }
+    }
+
+    /// Number of voting variants.
+    pub fn len(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// `true` if the ensemble has no members (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.variants.is_empty()
+    }
+
+    /// Per-variant predictions for one image.
+    pub fn votes(&self, x: &Tensor) -> Vec<usize> {
+        self.variants.iter().map(|v| v.predict(x)).collect()
+    }
+
+    /// Majority-vote prediction (first-listed variant breaks ties).
+    pub fn predict(&self, x: &Tensor) -> usize {
+        let votes = self.votes(x);
+        let classes = self.variants[0].num_classes();
+        let mut counts = vec![0usize; classes];
+        for &v in &votes {
+            counts[v] += 1;
+        }
+        let best = counts.iter().max().copied().unwrap_or(0);
+        // Ties break in vote order (i.e., toward earlier-listed variants).
+        votes
+            .iter()
+            .copied()
+            .find(|&v| counts[v] == best)
+            .expect("non-empty votes")
+    }
+
+    /// Vote agreement in `[1/n, 1]` — a confidence proxy that needs no
+    /// Monte-Carlo runs (contrast with Lecuyer et al. [34]).
+    pub fn agreement(&self, x: &Tensor) -> f64 {
+        let votes = self.votes(x);
+        let winner = self.predict(x);
+        votes.iter().filter(|&&v| v == winner).count() as f64 / votes.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::transfer::with_multiplier;
+    use crate::{Budget, ModelCache};
+    use da_arith::MultiplierKind;
+
+    #[test]
+    fn ensemble_votes_and_agrees_on_clean_data() {
+        let cache = ModelCache::new(std::env::temp_dir().join("da-core-ensemble"));
+        let budget = Budget::smoke();
+        let exact = cache.lenet(&budget);
+        let ax = with_multiplier(cache.lenet(&budget), MultiplierKind::AxFpm);
+        let heap = with_multiplier(cache.lenet(&budget), MultiplierKind::Heap);
+        let ensemble = MultiplierEnsemble::new(vec![&exact, &ax, &heap]);
+        assert_eq!(ensemble.len(), 3);
+
+        let ds = cache.digits_test(30);
+        let mut correct = 0;
+        for i in 0..ds.len() {
+            let x = ds.images.batch_item(i);
+            let pred = ensemble.predict(&x);
+            let agreement = ensemble.agreement(&x);
+            assert!(agreement >= 1.0 / 3.0 && agreement <= 1.0);
+            if pred == ds.labels[i] {
+                correct += 1;
+            }
+        }
+        // The ensemble must be at least as sane as a weak single model.
+        assert!(correct as f64 / ds.len() as f64 > 0.6, "{correct}/30");
+    }
+
+    #[test]
+    fn single_variant_ensemble_is_that_variant() {
+        let cache = ModelCache::new(std::env::temp_dir().join("da-core-ensemble1"));
+        let budget = Budget::smoke();
+        let exact = cache.lenet(&budget);
+        let ensemble = MultiplierEnsemble::new(vec![&exact]);
+        let ds = cache.digits_test(5);
+        for i in 0..5 {
+            let x = ds.images.batch_item(i);
+            assert_eq!(ensemble.predict(&x), TargetModel::predict(&exact, &x));
+            assert_eq!(ensemble.agreement(&x), 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variant")]
+    fn rejects_empty_ensemble() {
+        let _ = MultiplierEnsemble::new(Vec::new());
+    }
+}

@@ -1,0 +1,103 @@
+//! Energy and delay tables: paper Tables 7 and 9 (via the gate-census model
+//! of `da-arith::energy`).
+
+use da_arith::array::ArrayMultiplierSpec;
+use da_arith::energy::{bfloat_fpm_cost, fpm_cost, mantissa_cost, CostParams};
+use da_arith::heap::heap_mantissa_spec;
+
+/// One normalized energy/delay row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyRow {
+    /// Design name.
+    pub design: String,
+    /// Energy normalized to the exact design.
+    pub energy: f64,
+    /// Delay normalized to the exact design.
+    pub delay: f64,
+}
+
+/// A normalized energy/delay table.
+#[derive(Debug, Clone)]
+pub struct EnergyTable {
+    /// Table title.
+    pub title: String,
+    /// Rows, exact design first.
+    pub rows: Vec<EnergyRow>,
+}
+
+impl std::fmt::Display for EnergyTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        writeln!(f, "{:<18} {:>15} {:>14}", "Multiplier", "Average energy", "Average delay")?;
+        for row in &self.rows {
+            writeln!(f, "{:<18} {:>15.3} {:>14.3}", row.design, row.energy, row.delay)?;
+        }
+        Ok(())
+    }
+}
+
+/// **Table 7** — full binary32 FPM energy and delay, normalized to the exact
+/// multiplier.
+pub fn table7() -> EnergyTable {
+    let params = CostParams::default();
+    let exact = fpm_cost(&ArrayMultiplierSpec::exact(24), &params);
+    let ax = fpm_cost(&ArrayMultiplierSpec::ax_mantissa(24), &params);
+    let bf = bfloat_fpm_cost(&params);
+
+    let (ax_e, ax_d) = ax.normalized_to(exact);
+    let (bf_e, bf_d) = bf.normalized_to(exact);
+    EnergyTable {
+        title: "Table 7: energy and delay comparison (full FPM, normalized)".into(),
+        rows: vec![
+            EnergyRow { design: "Exact multiplier".into(), energy: 1.0, delay: 1.0 },
+            EnergyRow { design: "Ax-FPM".into(), energy: ax_e, delay: ax_d },
+            EnergyRow { design: "Bfloat16".into(), energy: bf_e, delay: bf_d },
+        ],
+    }
+}
+
+/// **Table 9** — 24×24 mantissa-core energy and delay, normalized to the
+/// exact core (Appendix A).
+pub fn table9() -> EnergyTable {
+    let params = CostParams::default();
+    let exact = mantissa_cost(&ArrayMultiplierSpec::exact(24), &params);
+    let heap = mantissa_cost(&heap_mantissa_spec(), &params);
+    let ax = mantissa_cost(&ArrayMultiplierSpec::ax_mantissa(24), &params);
+
+    let (heap_e, heap_d) = heap.normalized_to(exact);
+    let (ax_e, ax_d) = ax.normalized_to(exact);
+    EnergyTable {
+        title: "Table 9: 24x24 mantissa multiplier energy and delay (normalized)".into(),
+        rows: vec![
+            EnergyRow { design: "Exact multiplier".into(), energy: 1.0, delay: 1.0 },
+            EnergyRow { design: "HEAP".into(), energy: heap_e, delay: heap_d },
+            EnergyRow { design: "Ax-FPM".into(), energy: ax_e, delay: ax_d },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table7_matches_paper_shape() {
+        let t = table7();
+        assert_eq!(t.rows[0].energy, 1.0);
+        // Paper: Ax-FPM 0.487 / 0.29; Bfloat16 0.4 / 0.4.
+        assert!((t.rows[1].energy - 0.487).abs() < 0.06, "{}", t.rows[1].energy);
+        assert!((t.rows[1].delay - 0.29).abs() < 0.06, "{}", t.rows[1].delay);
+        assert!((t.rows[2].energy - 0.4).abs() < 0.06, "{}", t.rows[2].energy);
+        assert!((t.rows[2].delay - 0.4).abs() < 0.06, "{}", t.rows[2].delay);
+    }
+
+    #[test]
+    fn table9_matches_paper_shape() {
+        let t = table9();
+        // Paper: HEAP 0.49 / 0.46; Ax-FPM 0.395 / 0.235.
+        assert!((t.rows[1].energy - 0.49).abs() < 0.08);
+        assert!((t.rows[2].energy - 0.395).abs() < 0.05);
+        assert!(t.rows[2].delay < t.rows[1].delay, "Ax-FPM is the fastest");
+        assert!(t.to_string().contains("Table 9"));
+    }
+}

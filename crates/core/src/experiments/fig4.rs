@@ -1,0 +1,123 @@
+//! Convolution vs input/filter similarity: paper Figure 4 (§4.2).
+//!
+//! Six inputs of increasing similarity to a fixed kernel are convolved with
+//! exact and Ax-FPM multipliers. The paper's observation: the approximate
+//! result exceeds the exact one, and the gap grows with similarity — the
+//! mechanism behind the feature-highlighting effect.
+
+use rand::SeedableRng;
+
+use da_arith::{Multiplier, MultiplierKind};
+use da_tensor::Tensor;
+
+/// One similarity level of the Figure-4 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarityPoint {
+    /// Blend factor toward the kernel (0 = noise, 1 = the kernel itself).
+    pub similarity: f32,
+    /// Exact convolution response.
+    pub exact: f32,
+    /// Ax-FPM convolution response.
+    pub approx: f32,
+}
+
+/// The Figure-4 series.
+#[derive(Debug, Clone)]
+pub struct SimilaritySeries {
+    /// Points in increasing similarity order.
+    pub points: Vec<SimilarityPoint>,
+}
+
+impl SimilaritySeries {
+    /// `true` if the approx−exact gap grows along the series as a trend:
+    /// the most-similar input's gap is substantially larger than the
+    /// least-similar input's (the noise is discontinuous, so adjacent levels
+    /// may jitter — the paper's Figure 4 shows the same).
+    pub fn gap_grows(&self) -> bool {
+        let first = self.points.first().map(|p| p.approx - p.exact).unwrap_or(0.0);
+        let last = self.points.last().map(|p| p.approx - p.exact).unwrap_or(0.0);
+        last > first * 1.2
+    }
+}
+
+impl std::fmt::Display for SimilaritySeries {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Figure 4: convolution response vs input/filter similarity")?;
+        writeln!(f, "{:>10} {:>10} {:>10} {:>8}", "similarity", "exact", "Ax-FPM", "gap")?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:>10.2} {:>10.4} {:>10.4} {:>8.4}",
+                p.similarity,
+                p.exact,
+                p.approx,
+                p.approx - p.exact
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Single-window convolution (dot product) through a multiplier.
+fn convolve(m: &dyn Multiplier, kernel: &Tensor, input: &Tensor) -> f32 {
+    kernel
+        .data()
+        .iter()
+        .zip(input.data())
+        .map(|(&k, &x)| m.multiply(k, x))
+        .sum()
+}
+
+/// **Figure 4** — run the experiment with `levels` similarity steps.
+///
+/// # Panics
+///
+/// Panics if `levels < 2`.
+pub fn fig4(levels: usize) -> SimilaritySeries {
+    assert!(levels >= 2, "need at least two similarity levels");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    // A fixed 5×5 positive kernel (edge-like pattern) as in the paper's setup.
+    let kernel = Tensor::rand_uniform(&[5, 5], 0.2, 1.0, &mut rng);
+    let noise = Tensor::rand_uniform(&[5, 5], 0.0, 0.4, &mut rng);
+
+    let exact = MultiplierKind::Exact.build();
+    let ax = MultiplierKind::AxFpm.build();
+
+    let points = (0..levels)
+        .map(|i| {
+            let alpha = i as f32 / (levels - 1) as f32;
+            let input = noise.zip_map(&kernel, |n, k| (1.0 - alpha) * n + alpha * k);
+            SimilarityPoint {
+                similarity: alpha,
+                exact: convolve(&*exact, &kernel, &input),
+                approx: convolve(&*ax, &kernel, &input),
+            }
+        })
+        .collect();
+    SimilaritySeries { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approximate_convolution_exceeds_exact_and_gap_grows() {
+        let series = fig4(6);
+        assert_eq!(series.points.len(), 6);
+        for p in &series.points {
+            assert!(p.approx >= p.exact, "inflation must hold at {}", p.similarity);
+        }
+        assert!(series.gap_grows(), "gap must grow with similarity: {series}");
+        // Similar inputs respond more strongly than dissimilar ones.
+        let first = &series.points[0];
+        let last = series.points.last().expect("points");
+        assert!(last.exact > first.exact);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_level() {
+        let _ = fig4(1);
+    }
+}

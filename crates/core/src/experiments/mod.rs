@@ -1,0 +1,13 @@
+//! One runner per table/figure of the paper's evaluation (index in
+//! DESIGN.md §5 and EXPERIMENTS.md).
+
+pub mod accuracy;
+pub mod blackbox;
+pub mod confidence;
+pub mod dq;
+pub mod energy;
+pub mod fig4;
+pub mod heatmap;
+pub mod profiles;
+pub mod transfer;
+pub mod whitebox;

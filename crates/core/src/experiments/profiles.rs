@@ -1,0 +1,100 @@
+//! Multiplier noise profiles: paper Figures 3, 13, and 15.
+
+use da_arith::profile::{noise_profile, summarize, ProfileSummary};
+use da_arith::MultiplierKind;
+
+use crate::Budget;
+
+/// A rendered noise profile for one multiplier.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Figure label.
+    pub title: String,
+    /// Multiplier under test.
+    pub kind: MultiplierKind,
+    /// Summary statistics (inflation rate, envelope).
+    pub summary: ProfileSummary,
+}
+
+impl std::fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} [{}]", self.title, self.kind)?;
+        writeln!(
+            f,
+            "  inflated (|approx| >= |exact|): {:.1}%   negative errors: {:.1}%   mean |err|: {:.3e}",
+            self.summary.inflation_rate * 100.0,
+            self.summary.negative_fraction * 100.0,
+            self.summary.mean_abs_error
+        )?;
+        writeln!(f, "  error envelope vs |product| ({} bins):", self.summary.bins.len())?;
+        for bin in &self.summary.bins {
+            if bin.count == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "    |p| ~ {:>5.2}: mean |err| {:>9.3e}  max {:>9.3e}  ({} samples)",
+                bin.center, bin.mean_abs_error, bin.max_abs_error, bin.count
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn profile(title: &str, kind: MultiplierKind, samples: usize, lo: f32, hi: f32) -> ProfileReport {
+    let points = noise_profile(&*kind.build(), samples, 3, lo, hi);
+    ProfileReport { title: title.to_string(), kind, summary: summarize(&points, 10) }
+}
+
+/// **Figure 3** — Ax-FPM noise over operands in `[-1, 1]`.
+pub fn fig3(budget: &Budget) -> ProfileReport {
+    profile("Figure 3: Ax-FPM noise profile, operands in [-1, 1]", MultiplierKind::AxFpm, budget.profile_samples, -1.0, 1.0)
+}
+
+/// **Figure 13** — Bfloat16 noise over operands in `[0, 1]`.
+pub fn fig13(budget: &Budget) -> ProfileReport {
+    profile(
+        "Figure 13: Bfloat16 noise profile, operands in [0, 1]",
+        MultiplierKind::Bfloat16,
+        budget.profile_samples,
+        0.0,
+        1.0,
+    )
+}
+
+/// **Figure 15** — Ax-FPM vs HEAP noise profiles side by side (Appendix A).
+pub fn fig15(budget: &Budget) -> (ProfileReport, ProfileReport) {
+    (
+        profile("Figure 15a: Ax-FPM noise profile, operands in [0, 1]", MultiplierKind::AxFpm, budget.profile_samples, 0.0, 1.0),
+        profile("Figure 15b: HEAP noise profile, operands in [0, 1]", MultiplierKind::Heap, budget.profile_samples, 0.0, 1.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_reproduces_the_three_trends() {
+        let report = fig3(&Budget::smoke());
+        // (ii) ~96% inflation; (iii) magnitude-dependent envelope.
+        assert!(report.summary.inflation_rate > 0.9);
+        assert!(report.summary.error_grows_with_magnitude());
+        assert!(report.to_string().contains("Figure 3"));
+    }
+
+    #[test]
+    fn fig13_bfloat_noise_is_small_and_mostly_negative() {
+        let bf = fig13(&Budget::smoke());
+        let ax = fig3(&Budget::smoke());
+        assert!(bf.summary.negative_fraction > 0.5);
+        assert!(bf.summary.mean_abs_error * 10.0 < ax.summary.mean_abs_error);
+    }
+
+    #[test]
+    fn fig15_heap_inflates_less_than_ax_fpm() {
+        let (ax, heap) = fig15(&Budget::smoke());
+        assert!(heap.summary.inflation_rate < ax.summary.inflation_rate);
+        assert!(heap.summary.mean_abs_error < ax.summary.mean_abs_error);
+    }
+}

@@ -1,0 +1,214 @@
+//! Transferability experiments: paper Tables 2, 3, and 10.
+//!
+//! Protocol (Figure 5): craft adversarial examples against the *exact*
+//! classifier, then replay each successful one against approximate targets
+//! that share the same weights and architecture but different multipliers.
+
+use std::sync::Arc;
+
+use da_arith::MultiplierKind;
+use da_attacks::{Attack, TargetModel};
+use da_datasets::Dataset;
+use da_nn::Network;
+
+use crate::{Budget, ModelCache};
+
+/// A transferability table: one row per attack, one success-rate column per
+/// target model.
+#[derive(Debug, Clone)]
+pub struct TransferTable {
+    /// Table title (e.g. `"Table 2: ..."`).
+    pub title: String,
+    /// Target-column names.
+    pub targets: Vec<String>,
+    /// Rows: attack name, source success rate, transfer rate per target.
+    pub rows: Vec<TransferRow>,
+    /// Images attacked per row.
+    pub samples: usize,
+}
+
+/// One row of a [`TransferTable`].
+#[derive(Debug, Clone)]
+pub struct TransferRow {
+    /// Attack name (paper row label).
+    pub attack: String,
+    /// Success rate on the source (exact) model.
+    pub source_rate: f64,
+    /// Success rate of the transferred examples on each target.
+    pub transfer_rates: Vec<f64>,
+}
+
+impl std::fmt::Display for TransferTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} ({} samples/row)", self.title, self.samples)?;
+        write!(f, "{:<8} {:>10}", "Attack", "Exact")?;
+        for t in &self.targets {
+            write!(f, " {t:>14}")?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write!(f, "{:<8} {:>9.0}%", row.attack, row.source_rate * 100.0)?;
+            for r in &row.transfer_rates {
+                write!(f, " {:>13.0}%", r * 100.0)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl TransferTable {
+    /// Mean transfer rate for target column `idx` — the paper's headline
+    /// "average robustness improvement" is `1 − this`.
+    pub fn mean_transfer_rate(&self, idx: usize) -> f64 {
+        let n = self.rows.len().max(1) as f64;
+        self.rows.iter().map(|r| r.transfer_rates[idx]).sum::<f64>() / n
+    }
+}
+
+/// Craft adversarials on `source` and replay on every target (each sharing
+/// the source's weights, differing in multiplier).
+pub fn multi_target_transfer(
+    title: impl Into<String>,
+    attacks: &[Box<dyn Attack>],
+    source: &Network,
+    targets: &[(String, &Network)],
+    dataset: &Dataset,
+    samples: usize,
+) -> TransferTable {
+    let eval = dataset.balanced_subset((samples / dataset.classes).max(1));
+    let mut rows = Vec::with_capacity(attacks.len());
+
+    for attack in attacks {
+        let mut attempted = 0usize;
+        let mut source_hits = 0usize;
+        let mut target_hits = vec![0usize; targets.len()];
+        for i in 0..eval.len() {
+            let x = eval.images.batch_item(i);
+            let label = eval.labels[i];
+            if TargetModel::predict(source, &x) != label {
+                continue;
+            }
+            attempted += 1;
+            let adv = attack.run(source, &x, label);
+            if TargetModel::predict(source, &adv) == label {
+                continue;
+            }
+            source_hits += 1;
+            for (t, (_, target)) in targets.iter().enumerate() {
+                if TargetModel::predict(*target, &adv) != label {
+                    target_hits[t] += 1;
+                }
+            }
+        }
+        rows.push(TransferRow {
+            attack: attack.name().to_string(),
+            source_rate: if attempted == 0 { 0.0 } else { source_hits as f64 / attempted as f64 },
+            transfer_rates: target_hits
+                .iter()
+                .map(|&h| if source_hits == 0 { 0.0 } else { h as f64 / source_hits as f64 })
+                .collect(),
+        });
+    }
+
+    TransferTable {
+        title: title.into(),
+        targets: targets.iter().map(|(n, _)| n.clone()).collect(),
+        rows,
+        samples: eval.len(),
+    }
+}
+
+/// A cached backbone re-instantiated with an approximate multiplier.
+pub fn with_multiplier(mut net: Network, kind: MultiplierKind) -> Network {
+    let m: Arc<dyn da_arith::Multiplier> = kind.build();
+    net.set_multiplier(Some(m));
+    net
+}
+
+/// **Table 2** — attack transferability, exact LeNet-5 → Ax-FPM LeNet-5 on
+/// SynthDigits.
+pub fn table2(cache: &ModelCache, budget: &Budget) -> TransferTable {
+    let source = cache.lenet(budget);
+    let target = with_multiplier(cache.lenet(budget), MultiplierKind::AxFpm);
+    let ds = cache.digits_test(budget.transfer_samples.max(10) * 2);
+    multi_target_transfer(
+        "Table 2: attack transferability success rates (SynthDigits / LeNet-5)",
+        &crate::suites::mnist_suite(2),
+        &source,
+        &[("Approximate".to_string(), &target)],
+        &ds,
+        budget.transfer_samples,
+    )
+}
+
+/// **Table 3** — attack transferability, exact AlexNet → Ax-FPM AlexNet on
+/// SynthObjects.
+pub fn table3(cache: &ModelCache, budget: &Budget) -> TransferTable {
+    let source = cache.alexnet(budget);
+    let target = with_multiplier(cache.alexnet(budget), MultiplierKind::AxFpm);
+    let ds = cache.objects_test(budget.transfer_samples.max(10) * 2);
+    multi_target_transfer(
+        "Table 3: attack transferability success rates (SynthObjects / AlexNet)",
+        &crate::suites::cifar_suite(3),
+        &source,
+        &[("Approximate".to_string(), &target)],
+        &ds,
+        budget.transfer_samples,
+    )
+}
+
+/// **Table 10** — transferability of exact-LeNet adversarials to HEAP-based
+/// and Ax-FPM-based LeNet-5 (Appendix A).
+pub fn table10(cache: &ModelCache, budget: &Budget) -> TransferTable {
+    let source = cache.lenet(budget);
+    let heap = with_multiplier(cache.lenet(budget), MultiplierKind::Heap);
+    let ax = with_multiplier(cache.lenet(budget), MultiplierKind::AxFpm);
+    let ds = cache.digits_test(budget.transfer_samples.max(10) * 2);
+    multi_target_transfer(
+        "Table 10: attack transferability, HEAP-based vs Ax-FPM-based (SynthDigits)",
+        &crate::suites::mnist_suite(10),
+        &source,
+        &[("HEAP-based".to_string(), &heap), ("Ax-FPM-based".to_string(), &ax)],
+        &ds,
+        budget.transfer_samples,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(tag: &str) -> ModelCache {
+        ModelCache::new(std::env::temp_dir().join(format!("da-core-transfer-{tag}")))
+    }
+
+    #[test]
+    fn table2_smoke_has_paper_shape() {
+        let table = table2(&cache("t2"), &Budget::smoke());
+        assert_eq!(table.rows.len(), 8);
+        assert_eq!(table.targets, ["Approximate"]);
+        for row in &table.rows {
+            assert!(
+                row.transfer_rates[0] <= row.source_rate + 1e-9,
+                "{}: transfer cannot exceed source",
+                row.attack
+            );
+        }
+        // The defense's core claim, in aggregate: most adversarials do not
+        // transfer to the approximate classifier.
+        assert!(
+            table.mean_transfer_rate(0) < 0.8,
+            "mean transfer {} too high",
+            table.mean_transfer_rate(0)
+        );
+        let rendered = table.to_string();
+        assert!(rendered.contains("FGSM") && rendered.contains("HSJ"), "{rendered}");
+    }
+
+    #[test]
+    fn with_multiplier_installs_the_kind() {
+        let net = with_multiplier(cache("wm").lenet(&Budget::smoke()), MultiplierKind::Heap);
+        assert_eq!(net.multiplier().map(|m| m.name()), Some("heap"));
+    }
+}

@@ -1,0 +1,58 @@
+//! The attack suites of paper Table 1, with per-dataset hyper-parameters.
+
+use da_attacks::decision::{BoundaryAttack, HopSkipJump};
+use da_attacks::gradient::{CarliniWagnerL2, DeepFool, Fgsm, Jsma, Pgd};
+use da_attacks::score::LocalSearch;
+use da_attacks::Attack;
+
+/// The eight attacks configured for SynthDigits (28×28 grayscale, large
+/// perceptual budget — MNIST-style attack settings).
+pub fn mnist_suite(seed: u64) -> Vec<Box<dyn Attack>> {
+    vec![
+        Box::new(Fgsm::new(0.25)),
+        Box::new(Pgd::new(0.25, 0.04, 20, seed)),
+        Box::new(Jsma::new(0.15)),
+        Box::new(CarliniWagnerL2::standard()),
+        Box::new(DeepFool::new(30, 0.02)),
+        Box::new(LocalSearch::standard(seed)),
+        Box::new(BoundaryAttack::new(150, seed)),
+        Box::new(HopSkipJump::standard(seed)),
+    ]
+}
+
+/// The eight attacks configured for SynthObjects (32×32 RGB, tighter
+/// per-pixel budget — CIFAR-style attack settings).
+pub fn cifar_suite(seed: u64) -> Vec<Box<dyn Attack>> {
+    vec![
+        Box::new(Fgsm::new(0.06)),
+        Box::new(Pgd::new(0.06, 0.01, 20, seed)),
+        Box::new(Jsma::new(0.10)),
+        Box::new(CarliniWagnerL2::standard()),
+        Box::new(DeepFool::new(30, 0.02)),
+        Box::new(LocalSearch::standard(seed)),
+        Box::new(BoundaryAttack::new(150, seed)),
+        Box::new(HopSkipJump::standard(seed)),
+    ]
+}
+
+/// The three-attack subset used in the DQ comparison (paper Table 5).
+pub fn dq_suite(seed: u64) -> Vec<Box<dyn Attack>> {
+    vec![
+        Box::new(Fgsm::new(0.06)),
+        Box::new(Pgd::new(0.06, 0.01, 20, seed)),
+        Box::new(CarliniWagnerL2::standard()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_cover_the_papers_attack_table() {
+        let names: Vec<String> = mnist_suite(0).iter().map(|a| a.name().to_string()).collect();
+        assert_eq!(names, ["FGSM", "PGD", "JSMA", "C&W", "DF", "LSA", "BA", "HSJ"]);
+        assert_eq!(cifar_suite(0).len(), 8);
+        assert_eq!(dq_suite(0).len(), 3);
+    }
+}

@@ -1,0 +1,160 @@
+//! The labeled-image [`Dataset`] container.
+
+use da_tensor::Tensor;
+
+/// A labeled image set: `[N, C, H, W]` images in `[0, 1]` plus integer
+/// labels.
+///
+/// # Examples
+///
+/// ```
+/// use da_datasets::Dataset;
+/// use da_tensor::Tensor;
+///
+/// let ds = Dataset::new(Tensor::zeros(&[4, 1, 2, 2]), vec![0, 1, 0, 1], 2);
+/// let (train, test) = ds.split(3);
+/// assert_eq!(train.len(), 3);
+/// assert_eq!(test.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Images, `[N, C, H, W]`, values in `[0, 1]`.
+    pub images: Tensor,
+    /// One label per image, each `< classes`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Bundle images and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label count does not match the batch dimension, or any
+    /// label is out of range.
+    pub fn new(images: Tensor, labels: Vec<usize>, classes: usize) -> Self {
+        assert_eq!(images.shape()[0], labels.len(), "one label per image");
+        assert!(classes > 0, "need at least one class");
+        assert!(
+            labels.iter().all(|&l| l < classes),
+            "label out of range for {classes} classes"
+        );
+        Dataset { images, labels, classes }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if the dataset has no examples (never for valid datasets).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Split into `(first n, rest)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < n < len()`.
+    pub fn split(&self, n: usize) -> (Dataset, Dataset) {
+        assert!(n > 0 && n < self.len(), "split point {n} out of 1..{}", self.len());
+        (self.subset(&(0..n).collect::<Vec<_>>()), self.subset(&(n..self.len()).collect::<Vec<_>>()))
+    }
+
+    /// The examples selected by `idxs`, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds or `idxs` is empty.
+    pub fn subset(&self, idxs: &[usize]) -> Dataset {
+        assert!(!idxs.is_empty(), "subset cannot be empty");
+        let items: Vec<Tensor> = idxs.iter().map(|&i| self.images.batch_item(i)).collect();
+        Dataset {
+            images: Tensor::stack(&items),
+            labels: idxs.iter().map(|&i| self.labels[i]).collect(),
+            classes: self.classes,
+        }
+    }
+
+    /// Up to `per_class` examples of each class, in class order — the paper's
+    /// "100 randomly selected from each class" sampling (§6).
+    pub fn balanced_subset(&self, per_class: usize) -> Dataset {
+        let mut idxs = Vec::new();
+        for class in 0..self.classes {
+            idxs.extend(
+                self.labels
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &l)| l == class)
+                    .map(|(i, _)| i)
+                    .take(per_class),
+            );
+        }
+        self.subset(&idxs)
+    }
+
+    /// Count of examples per class.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.classes];
+        for &l in &self.labels {
+            h[l] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let images = Tensor::from_vec((0..n * 4).map(|v| v as f32 / (n * 4) as f32).collect(), &[n, 1, 2, 2]);
+        let labels = (0..n).map(|i| i % 3).collect();
+        Dataset::new(images, labels, 3)
+    }
+
+    #[test]
+    fn split_preserves_order_and_content() {
+        let ds = toy(10);
+        let (a, b) = ds.split(7);
+        assert_eq!(a.len(), 7);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.labels[0], ds.labels[7]);
+        assert_eq!(b.images.batch_item(0), ds.images.batch_item(7));
+    }
+
+    #[test]
+    fn subset_selects_in_order() {
+        let ds = toy(6);
+        let s = ds.subset(&[5, 0, 3]);
+        assert_eq!(s.labels, vec![5 % 3, 0, 0]);
+        assert_eq!(s.images.batch_item(1), ds.images.batch_item(0));
+    }
+
+    #[test]
+    fn balanced_subset_is_balanced() {
+        let ds = toy(30);
+        let b = ds.balanced_subset(4);
+        assert_eq!(b.len(), 12);
+        assert_eq!(b.class_histogram(), vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        assert_eq!(toy(9).class_histogram(), vec![3, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_out_of_range_labels() {
+        let _ = Dataset::new(Tensor::zeros(&[1, 1, 2, 2]), vec![5], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per image")]
+    fn rejects_label_count_mismatch() {
+        let _ = Dataset::new(Tensor::zeros(&[2, 1, 2, 2]), vec![0], 3);
+    }
+}

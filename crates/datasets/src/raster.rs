@@ -1,0 +1,214 @@
+//! Tiny software rasterizer: strokes stamped onto grayscale grids.
+
+/// A drawable stroke in a unit square (x right, y down).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Stroke {
+    /// Straight segment between two points.
+    Line {
+        /// Start `(x, y)`.
+        from: (f32, f32),
+        /// End `(x, y)`.
+        to: (f32, f32),
+    },
+    /// Elliptical arc: `(cx + rx·cosθ, cy + ry·sinθ)` for `θ ∈ [start, end]`.
+    Arc {
+        /// Center `(x, y)`.
+        center: (f32, f32),
+        /// Radii `(rx, ry)`.
+        radii: (f32, f32),
+        /// Start angle in radians.
+        start: f32,
+        /// End angle in radians (may exceed `start + 2π` turns are clamped
+        /// by the caller's choice).
+        end: f32,
+    },
+}
+
+/// An affine jitter applied to unit-square stroke coordinates before
+/// rasterization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Affine {
+    /// Rotation in radians around the square's center.
+    pub rotation: f32,
+    /// Isotropic scale around the center.
+    pub scale: f32,
+    /// Translation in unit-square units.
+    pub translate: (f32, f32),
+}
+
+impl Default for Affine {
+    fn default() -> Self {
+        Affine { rotation: 0.0, scale: 1.0, translate: (0.0, 0.0) }
+    }
+}
+
+impl Affine {
+    /// Transform a unit-square point.
+    pub fn apply(&self, p: (f32, f32)) -> (f32, f32) {
+        let (cx, cy) = (0.5, 0.5);
+        let (x, y) = (p.0 - cx, p.1 - cy);
+        let (sin, cos) = self.rotation.sin_cos();
+        (
+            cx + self.scale * (x * cos - y * sin) + self.translate.0,
+            cy + self.scale * (x * sin + y * cos) + self.translate.1,
+        )
+    }
+}
+
+/// Stamp a soft disc of `radius` (pixels) at pixel coordinates `(px, py)`
+/// into a `size × size` grayscale buffer, saturating at 1.0.
+pub fn stamp(buffer: &mut [f32], size: usize, px: f32, py: f32, radius: f32) {
+    let r_ceil = radius.ceil() as isize + 1;
+    let (ix, iy) = (px.round() as isize, py.round() as isize);
+    for dy in -r_ceil..=r_ceil {
+        for dx in -r_ceil..=r_ceil {
+            let (x, y) = (ix + dx, iy + dy);
+            if x < 0 || y < 0 || x >= size as isize || y >= size as isize {
+                continue;
+            }
+            let dist = ((x as f32 - px).powi(2) + (y as f32 - py).powi(2)).sqrt();
+            // Soft falloff over one pixel at the rim.
+            let v = (radius + 0.5 - dist).clamp(0.0, 1.0);
+            let cell = &mut buffer[y as usize * size + x as usize];
+            *cell = (*cell + v).min(1.0);
+        }
+    }
+}
+
+/// Rasterize strokes (unit-square coordinates, transformed by `affine`) into
+/// a `size × size` grayscale buffer with the given stroke `thickness` in
+/// pixels.
+///
+/// # Panics
+///
+/// Panics if `buffer.len() != size * size`.
+pub fn rasterize(
+    buffer: &mut [f32],
+    size: usize,
+    strokes: &[Stroke],
+    affine: Affine,
+    thickness: f32,
+) {
+    assert_eq!(buffer.len(), size * size, "buffer/size mismatch");
+    let px = |p: (f32, f32)| -> (f32, f32) {
+        let q = affine.apply(p);
+        (q.0 * (size as f32 - 1.0), q.1 * (size as f32 - 1.0))
+    };
+    for stroke in strokes {
+        match *stroke {
+            Stroke::Line { from, to } => {
+                let a = px(from);
+                let b = px(to);
+                let len = ((b.0 - a.0).powi(2) + (b.1 - a.1).powi(2)).sqrt();
+                let steps = (len * 2.0).ceil().max(1.0) as usize;
+                for s in 0..=steps {
+                    let t = s as f32 / steps as f32;
+                    stamp(buffer, size, a.0 + t * (b.0 - a.0), a.1 + t * (b.1 - a.1), thickness);
+                }
+            }
+            Stroke::Arc { center, radii, start, end } => {
+                let span = (end - start).abs();
+                let steps = ((span * radii.0.max(radii.1) * size as f32) as usize).max(8);
+                for s in 0..=steps {
+                    let theta = start + (end - start) * s as f32 / steps as f32;
+                    let p = (
+                        center.0 + radii.0 * theta.cos(),
+                        center.1 + radii.1 * theta.sin(),
+                    );
+                    let q = px(p);
+                    stamp(buffer, size, q.0, q.1, thickness);
+                }
+            }
+        }
+    }
+}
+
+/// Render a grayscale buffer as ASCII art (for debugging and examples).
+pub fn ascii_art(buffer: &[f32], size: usize) -> String {
+    let ramp = [' ', '.', ':', '+', '#', '@'];
+    let mut out = String::with_capacity(size * (size + 1));
+    for y in 0..size {
+        for x in 0..size {
+            let v = buffer[y * size + x].clamp(0.0, 1.0);
+            let idx = ((v * (ramp.len() - 1) as f32).round() as usize).min(ramp.len() - 1);
+            out.push(ramp[idx]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_is_bounded_and_saturates() {
+        let mut buf = vec![0.0f32; 64];
+        stamp(&mut buf, 8, 4.0, 4.0, 1.5);
+        stamp(&mut buf, 8, 4.0, 4.0, 1.5);
+        assert!(buf.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_eq!(buf[4 * 8 + 4], 1.0);
+        assert_eq!(buf[0], 0.0);
+    }
+
+    #[test]
+    fn stamp_clips_at_borders() {
+        let mut buf = vec![0.0f32; 16];
+        stamp(&mut buf, 4, -1.0, -1.0, 2.0); // mostly off-canvas
+        assert!(buf.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn line_rasterization_covers_endpoints() {
+        let mut buf = vec![0.0f32; 28 * 28];
+        rasterize(
+            &mut buf,
+            28,
+            &[Stroke::Line { from: (0.2, 0.2), to: (0.8, 0.8) }],
+            Affine::default(),
+            1.0,
+        );
+        let at = |x: usize, y: usize| buf[y * 28 + x];
+        assert!(at((0.2f32 * 27.0) as usize, (0.2f32 * 27.0) as usize) > 0.5);
+        assert!(at((0.8f32 * 27.0) as usize, (0.8f32 * 27.0) as usize) > 0.5);
+        assert!(at(27, 0) == 0.0);
+    }
+
+    #[test]
+    fn full_arc_draws_a_ring() {
+        let mut buf = vec![0.0f32; 28 * 28];
+        rasterize(
+            &mut buf,
+            28,
+            &[Stroke::Arc {
+                center: (0.5, 0.5),
+                radii: (0.3, 0.3),
+                start: 0.0,
+                end: std::f32::consts::TAU,
+            }],
+            Affine::default(),
+            1.0,
+        );
+        // Center stays empty, rim is inked.
+        assert_eq!(buf[14 * 28 + 14], 0.0);
+        assert!(buf[14 * 28 + (14 + 8)] > 0.5);
+    }
+
+    #[test]
+    fn affine_identity_is_noop_and_rotation_moves_points() {
+        let id = Affine::default();
+        assert_eq!(id.apply((0.3, 0.7)), (0.3, 0.7));
+        let rot = Affine { rotation: std::f32::consts::FRAC_PI_2, ..Affine::default() };
+        let p = rot.apply((1.0, 0.5));
+        assert!((p.0 - 0.5).abs() < 1e-6 && (p.1 - 1.0).abs() < 1e-6, "{p:?}");
+    }
+
+    #[test]
+    fn ascii_art_shapes_lines() {
+        let buf = vec![0.0, 1.0, 0.5, 0.0];
+        let art = ascii_art(&buf, 2);
+        assert_eq!(art.lines().count(), 2);
+        assert!(art.contains('@'));
+    }
+}

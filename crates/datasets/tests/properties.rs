@@ -1,0 +1,51 @@
+//! Property-based tests of the synthetic dataset generators.
+
+use proptest::prelude::*;
+
+use da_datasets::digits::{synth_digits, CLASSES as DIGIT_CLASSES};
+use da_datasets::objects::synth_objects;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every generated digit image is in range, correctly shaped, and
+    /// labeled in range; generation is deterministic in the seed.
+    #[test]
+    fn digit_generator_laws(n in 1usize..60, seed in 0u64..1000) {
+        let a = synth_digits(n, seed);
+        prop_assert_eq!(a.images.shape(), &[n, 1, 28, 28]);
+        prop_assert_eq!(a.labels.len(), n);
+        prop_assert!(a.labels.iter().all(|&l| l < DIGIT_CLASSES));
+        prop_assert!(a.images.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let b = synth_digits(n, seed);
+        prop_assert_eq!(a.images, b.images);
+        prop_assert_eq!(a.labels, b.labels);
+    }
+
+    /// Same for objects (RGB).
+    #[test]
+    fn object_generator_laws(n in 1usize..40, seed in 0u64..1000) {
+        let a = synth_objects(n, seed);
+        prop_assert_eq!(a.images.shape(), &[n, 3, 32, 32]);
+        prop_assert!(a.images.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let b = synth_objects(n, seed);
+        prop_assert_eq!(a.images, b.images);
+    }
+
+    /// Labels follow the round-robin class balance.
+    #[test]
+    fn class_balance(n in 10usize..100) {
+        let ds = synth_digits(n, 1);
+        let hist = ds.class_histogram();
+        let (min, max) = (hist.iter().min().copied().unwrap_or(0), hist.iter().max().copied().unwrap_or(0));
+        prop_assert!(max - min <= 1, "imbalanced: {hist:?}");
+    }
+
+    /// Different seeds give different data (no stream collapse).
+    #[test]
+    fn seeds_matter(seed in 0u64..500) {
+        let a = synth_digits(10, seed);
+        let b = synth_digits(10, seed + 1);
+        prop_assert_ne!(a.images, b.images);
+    }
+}

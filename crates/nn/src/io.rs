@@ -1,0 +1,242 @@
+//! Self-contained binary weight serialization (little-endian, versioned).
+//!
+//! No serde format crate is available offline, so the format is deliberately
+//! trivial: a magic tag, a version, the tensor count, then each tensor as
+//! `rank, dims..., f32 data`. Loading validates the shapes against the
+//! receiving network and rejects corrupt or mismatched files.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use da_tensor::Tensor;
+
+use crate::Network;
+
+const MAGIC: &[u8; 4] = b"DANN";
+const VERSION: u32 = 1;
+
+/// Errors produced by model (de)serialization.
+#[derive(Debug)]
+pub enum ModelIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structurally invalid or mismatched file.
+    Format(String),
+}
+
+impl fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelIoError::Io(e) => write!(f, "model file i/o error: {e}"),
+            ModelIoError::Format(msg) => write!(f, "invalid model file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelIoError::Io(e) => Some(e),
+            ModelIoError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ModelIoError {
+    fn from(e: io::Error) -> Self {
+        ModelIoError::Io(e)
+    }
+}
+
+/// Write `network`'s parameters to `path`.
+///
+/// # Errors
+///
+/// Returns [`ModelIoError::Io`] on filesystem failures.
+pub fn save_params(network: &Network, path: impl AsRef<Path>) -> Result<(), ModelIoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    let params = network.params();
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for p in params {
+        w.write_all(&(p.shape().len() as u32).to_le_bytes())?;
+        for &d in p.shape() {
+            w.write_all(&(d as u32).to_le_bytes())?;
+        }
+        for &v in p.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Load parameters saved by [`save_params`] into `network`.
+///
+/// # Errors
+///
+/// Returns [`ModelIoError::Format`] if the file is corrupt, from a different
+/// version, or its tensor count/shapes do not match `network`.
+pub fn load_params(network: &mut Network, path: impl AsRef<Path>) -> Result<(), ModelIoError> {
+    let mut r = BufReader::new(File::open(path)?);
+
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)
+        .map_err(|_| ModelIoError::Format("file too short for header".into()))?;
+    if &magic != MAGIC {
+        return Err(ModelIoError::Format(format!("bad magic {magic:?}")));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(ModelIoError::Format(format!("unsupported version {version}")));
+    }
+
+    let count = read_u32(&mut r)? as usize;
+    let expected = network.params().len();
+    if count != expected {
+        return Err(ModelIoError::Format(format!(
+            "file has {count} tensors, network '{}' expects {expected}",
+            network.name()
+        )));
+    }
+
+    let mut tensors = Vec::with_capacity(count);
+    for idx in 0..count {
+        let rank = read_u32(&mut r)? as usize;
+        if rank == 0 || rank > 8 {
+            return Err(ModelIoError::Format(format!("tensor {idx} has rank {rank}")));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(read_u32(&mut r)? as usize);
+        }
+        let len: usize = shape.iter().product();
+        if len == 0 || len > (1 << 28) {
+            return Err(ModelIoError::Format(format!(
+                "tensor {idx} has implausible shape {shape:?}"
+            )));
+        }
+        let mut data = vec![0.0f32; len];
+        for v in &mut data {
+            *v = read_f32(&mut r)?;
+        }
+        tensors.push(Tensor::from_vec(data, &shape));
+    }
+
+    // Trailing garbage indicates corruption.
+    let mut probe = [0u8; 1];
+    if r.read(&mut probe)? != 0 {
+        return Err(ModelIoError::Format("trailing bytes after tensor data".into()));
+    }
+
+    // Validate every shape before mutating anything.
+    for (idx, (current, loaded)) in network.params().iter().zip(&tensors).enumerate() {
+        if current.shape() != loaded.shape() {
+            return Err(ModelIoError::Format(format!(
+                "tensor {idx} shape {:?} does not match network shape {:?}",
+                loaded.shape(),
+                current.shape()
+            )));
+        }
+    }
+    for (param, loaded) in network.params_mut().into_iter().zip(tensors) {
+        *param = loaded;
+    }
+    Ok(())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, ModelIoError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)
+        .map_err(|_| ModelIoError::Format("unexpected end of file".into()))?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_f32<R: Read>(r: &mut R) -> Result<f32, ModelIoError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)
+        .map_err(|_| ModelIoError::Format("unexpected end of file".into()))?;
+    Ok(f32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu};
+    use rand::SeedableRng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("da-nn-io-tests");
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir.join(name)
+    }
+
+    fn make_net(seed: u64) -> Network {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Network::new("io-test")
+            .push(Dense::new(4, 8, &mut rng))
+            .push(Relu)
+            .push(Dense::new(8, 2, &mut rng))
+    }
+
+    #[test]
+    fn round_trip_preserves_outputs() {
+        let path = tmp("round_trip.bin");
+        let source = make_net(1);
+        save_params(&source, &path).expect("save");
+        let mut target = make_net(2);
+        let x = Tensor::from_vec(vec![0.1, -0.2, 0.3, 0.4], &[1, 4]);
+        assert_ne!(source.logits(&x), target.logits(&x));
+        load_params(&mut target, &path).expect("load");
+        assert_eq!(source.logits(&x), target.logits(&x));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let path = tmp("truncated.bin");
+        save_params(&make_net(3), &path).expect("save");
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+        let err = load_params(&mut make_net(3), &path).expect_err("must fail");
+        assert!(matches!(err, ModelIoError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = tmp("bad_magic.bin");
+        std::fs::write(&path, b"NOPE00000000").expect("write");
+        let err = load_params(&mut make_net(4), &path).expect_err("must fail");
+        assert!(err.to_string().contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let path = tmp("arch_mismatch.bin");
+        save_params(&make_net(5), &path).expect("save");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut other = Network::new("other").push(Dense::new(4, 3, &mut rng));
+        let err = load_params(&mut other, &path).expect_err("must fail");
+        assert!(matches!(err, ModelIoError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let path = tmp("trailing.bin");
+        save_params(&make_net(7), &path).expect("save");
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes.push(0xAB);
+        std::fs::write(&path, bytes).expect("extend");
+        let err = load_params(&mut make_net(7), &path).expect_err("must fail");
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_params(&mut make_net(8), tmp("does_not_exist.bin"))
+            .expect_err("must fail");
+        assert!(matches!(err, ModelIoError::Io(_)), "{err}");
+    }
+}

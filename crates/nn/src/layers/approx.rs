@@ -1,0 +1,108 @@
+//! Inner-product kernels routed through a pluggable scalar multiplier.
+//!
+//! Additions stay exact — the paper approximates only the multiplier (§4.1),
+//! the dominant power consumer of the convolution datapath.
+
+use da_arith::Multiplier;
+use da_tensor::Tensor;
+
+/// `A · B` where every scalar product goes through `multiplier`.
+///
+/// Shapes as in [`da_tensor::ops::matmul`]: `A: [m, k]`, `B: [k, n]`.
+///
+/// # Panics
+///
+/// Panics on rank or inner-dimension mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use da_arith::ExactMultiplier;
+/// use da_nn::layers::matmul_with;
+/// use da_tensor::{ops::matmul, Tensor};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let b = Tensor::from_vec(vec![0.5, 1.0, -1.0, 2.0], &[2, 2]);
+/// assert_eq!(matmul_with(&ExactMultiplier, &a, &b), matmul(&a, &b));
+/// ```
+pub fn matmul_with(multiplier: &dyn Multiplier, a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().len(), 2, "matmul_with lhs must be rank-2");
+    assert_eq!(b.shape().len(), 2, "matmul_with rhs must be rank-2");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul_with inner dimensions {k} vs {k2}");
+
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += multiplier.multiply(av, bv);
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Transpose a rank-2 tensor.
+///
+/// # Panics
+///
+/// Panics if `t` is not rank-2.
+pub fn transpose2d(t: &Tensor) -> Tensor {
+    assert_eq!(t.shape().len(), 2, "transpose2d expects rank-2");
+    let (m, n) = (t.shape()[0], t.shape()[1]);
+    let mut out = vec![0.0f32; m * n];
+    let d = t.data();
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = d[i * n + j];
+        }
+    }
+    Tensor::from_vec(out, &[n, m])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use da_arith::{ExactMultiplier, MultiplierKind};
+    use da_tensor::ops::matmul;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_multiplier_reproduces_native_matmul() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let a = Tensor::randn(&[4, 6], 1.0, &mut rng);
+        let b = Tensor::randn(&[6, 3], 1.0, &mut rng);
+        let want = matmul(&a, &b);
+        let got = matmul_with(&ExactMultiplier, &a, &b);
+        for (x, y) in got.data().iter().zip(want.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn ax_fpm_matmul_inflates_positive_products() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let a = Tensor::rand_uniform(&[3, 5], 0.1, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[5, 2], 0.1, 1.0, &mut rng);
+        let ax = MultiplierKind::AxFpm.build();
+        let approx = matmul_with(&*ax, &a, &b);
+        let exact = matmul(&a, &b);
+        for (x, y) in approx.data().iter().zip(exact.data()) {
+            assert!(x >= y, "positive accumulations must inflate: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let t = Tensor::randn(&[3, 7], 1.0, &mut rng);
+        assert_eq!(transpose2d(&transpose2d(&t)), t);
+        assert_eq!(transpose2d(&t).shape(), &[7, 3]);
+    }
+}

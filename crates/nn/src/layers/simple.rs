@@ -1,0 +1,238 @@
+//! Stateless layers: ReLU, Flatten, Dropout, and the DoReFa activation
+//! quantizer.
+
+use rand::{Rng, SeedableRng};
+
+use da_tensor::Tensor;
+
+use super::{Cache, Layer, Mode};
+use crate::quant::quantize_k;
+
+/// Rectified linear unit.
+///
+/// # Examples
+///
+/// ```
+/// use da_nn::layers::{Layer, Mode, Relu};
+/// use da_tensor::Tensor;
+///
+/// let (y, _) = Relu.forward(&Tensor::from_vec(vec![-1.0, 2.0], &[1, 2]), Mode::Eval);
+/// assert_eq!(y.data(), &[0.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Relu;
+
+impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn forward(&self, x: &Tensor, _mode: Mode) -> (Tensor, Cache) {
+        let y = x.map(|v| v.max(0.0));
+        (y, Cache::with_tensor(x.clone()))
+    }
+
+    fn backward(&self, cache: &Cache, grad: &Tensor) -> (Tensor, Vec<Tensor>) {
+        let x = &cache.tensors[0];
+        (grad.zip_map(x, |g, v| if v > 0.0 { g } else { 0.0 }), Vec::new())
+    }
+}
+
+/// Collapse `[N, ...]` to `[N, features]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Flatten;
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn forward(&self, x: &Tensor, _mode: Mode) -> (Tensor, Cache) {
+        let n = x.shape()[0];
+        let features: usize = x.shape()[1..].iter().product();
+        let cache = Cache { tensors: Vec::new(), indices: x.shape().to_vec() };
+        (x.clone().reshape(&[n, features]), cache)
+    }
+
+    fn backward(&self, cache: &Cache, grad: &Tensor) -> (Tensor, Vec<Tensor>) {
+        (grad.clone().reshape(&cache.indices), Vec::new())
+    }
+}
+
+/// Inverted dropout: active only in [`Mode::Train`], scaling survivors by
+/// `1 / (1 - p)` so evaluation needs no rescaling.
+#[derive(Debug, Clone, Copy)]
+pub struct Dropout {
+    p: f32,
+}
+
+impl Dropout {
+    /// Drop probability `p` in `[0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1)`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout { p }
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn forward(&self, x: &Tensor, mode: Mode) -> (Tensor, Cache) {
+        match mode {
+            Mode::Eval => (x.clone(), Cache::with_tensor(Tensor::ones(x.shape()))),
+            Mode::Train { seed } => {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let keep = 1.0 - self.p;
+                let mask = Tensor::from_vec(
+                    (0..x.len())
+                        .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+                        .collect(),
+                    x.shape(),
+                );
+                (x.zip_map(&mask, |v, m| v * m), Cache::with_tensor(mask))
+            }
+        }
+    }
+
+    fn backward(&self, cache: &Cache, grad: &Tensor) -> (Tensor, Vec<Tensor>) {
+        (grad.zip_map(&cache.tensors[0], |g, m| g * m), Vec::new())
+    }
+}
+
+/// DoReFa activation quantizer: `q_k(clip(x, 0, 1))` with a straight-through
+/// gradient on the clipped range (Defensive Quantization's "full" mode).
+#[derive(Debug, Clone, Copy)]
+pub struct QuantAct {
+    bits: u32,
+}
+
+impl QuantAct {
+    /// Quantize activations to `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero.
+    pub fn new(bits: u32) -> Self {
+        assert!(bits >= 1, "activation quantization needs at least 1 bit");
+        QuantAct { bits }
+    }
+}
+
+impl Layer for QuantAct {
+    fn name(&self) -> &'static str {
+        "quant-act"
+    }
+
+    fn forward(&self, x: &Tensor, _mode: Mode) -> (Tensor, Cache) {
+        let bits = self.bits;
+        let y = x.map(|v| quantize_k(v.clamp(0.0, 1.0), bits));
+        (y, Cache::with_tensor(x.clone()))
+    }
+
+    fn backward(&self, cache: &Cache, grad: &Tensor) -> (Tensor, Vec<Tensor>) {
+        // Straight-through inside the clip range, zero outside.
+        let x = &cache.tensors[0];
+        (
+            grad.zip_map(x, |g, v| if (0.0..=1.0).contains(&v) { g } else { 0.0 }),
+            Vec::new(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+    use rand::SeedableRng;
+
+    #[test]
+    fn relu_gradient_gates_on_sign() {
+        let x = Tensor::from_vec(vec![-2.0, 0.5, 3.0], &[1, 3]);
+        let (y, cache) = Relu.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), &[0.0, 0.5, 3.0]);
+        let (dx, _) = Relu.backward(&cache, &Tensor::ones(&[1, 3]));
+        assert_eq!(dx.data(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn flatten_round_trips_shapes() {
+        let x = Tensor::zeros(&[2, 3, 4, 5]);
+        let (y, cache) = Flatten.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[2, 60]);
+        let (dx, _) = Flatten.backward(&cache, &y);
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let x = Tensor::randn(&[4, 10], 1.0, &mut rng);
+        let (y, _) = Dropout::new(0.5).forward(&x, Mode::Eval);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn dropout_train_zeroes_and_rescales() {
+        let x = Tensor::ones(&[1, 1000]);
+        let (y, _) = Dropout::new(0.5).forward(&x, Mode::Train { seed: 3 });
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        let twos = y.data().iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
+        assert_eq!(zeros + twos, 1000);
+        assert!((300..700).contains(&zeros), "zeros={zeros}");
+    }
+
+    #[test]
+    fn dropout_is_deterministic_per_seed() {
+        let x = Tensor::ones(&[1, 64]);
+        let d = Dropout::new(0.3);
+        let (a, _) = d.forward(&x, Mode::Train { seed: 9 });
+        let (b, _) = d.forward(&x, Mode::Train { seed: 9 });
+        let (c, _) = d.forward(&x, Mode::Train { seed: 10 });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn quant_act_produces_discrete_levels_and_clips() {
+        let q = QuantAct::new(2);
+        let x = Tensor::from_vec(vec![-0.5, 0.2, 0.5, 0.9, 1.5], &[1, 5]);
+        let (y, _) = q.forward(&x, Mode::Eval);
+        assert_eq!(y.data()[0], 0.0);
+        assert_eq!(y.data()[4], 1.0);
+        for &v in y.data() {
+            let lv = v * 3.0;
+            assert!((lv - lv.round()).abs() < 1e-6, "level {v}");
+        }
+    }
+
+    #[test]
+    fn quant_act_gradient_is_straight_through_in_range() {
+        let q = QuantAct::new(4);
+        let x = Tensor::from_vec(vec![-0.5, 0.5, 1.5], &[1, 3]);
+        let (_, cache) = q.forward(&x, Mode::Eval);
+        let (dx, _) = q.backward(&cache, &Tensor::ones(&[1, 3]));
+        assert_eq!(dx.data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_matches_finite_differences() {
+        // Shift inputs away from the kink for a clean finite-difference check.
+        let x = Tensor::from_vec(
+            (0..20).map(|i| (i as f32 - 9.7) * 0.5).collect(),
+            &[2, 10],
+        );
+        gradcheck::check_input_gradient(&Relu, &x, 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1)")]
+    fn dropout_rejects_p_one() {
+        let _ = Dropout::new(1.0);
+    }
+}

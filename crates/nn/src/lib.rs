@@ -1,0 +1,40 @@
+//! CNN substrate with pluggable (approximate) multipliers.
+//!
+//! This crate provides everything the paper's experiments need from a deep
+//! learning framework, hand-rolled for an ecosystem without one:
+//!
+//! * [`layers`] — Conv2d and Dense (both with a pluggable
+//!   [`da_arith::Multiplier`] for their forward inner products), MaxPool2d,
+//!   ReLU, Flatten, Dropout, BatchNorm, and the DoReFa activation quantizer.
+//! * [`network`] — a sequential [`Network`] with full backpropagation, the
+//!   classifier API the attack suite targets, and multiplier swapping
+//!   (`set_multiplier` *is* the Defensive Approximation deployment step: no
+//!   retraining, the weights stay put).
+//! * [`loss`] — softmax cross-entropy.
+//! * [`optim`] — SGD (with momentum) and Adam.
+//! * [`train`] — a deterministic mini-batch training loop.
+//! * [`quant`] — DoReFa-style k-bit quantization for the Defensive
+//!   Quantization baseline (paper §7.1).
+//! * [`zoo`] — the paper's architectures: LeNet-5, the CIFAR-scale AlexNet,
+//!   and the quantized ConvNet of Appendix B.
+//! * [`io`] — self-contained binary weight serialization.
+//!
+//! ## Gradient semantics under approximation
+//!
+//! Forward passes honor the configured multiplier; backward passes always use
+//! exact arithmetic over the stored (possibly approximate) activations. This
+//! is the straight-through/BPDA estimator — exactly the "approximate
+//! gradients" a white-box attacker of the paper's §5.3 has access to, since
+//! the gate-level netlist has no useful analytic derivative.
+
+pub mod io;
+pub mod layers;
+pub mod loss;
+pub mod network;
+pub mod optim;
+pub mod quant;
+pub mod train;
+pub mod zoo;
+
+pub use layers::{Cache, Layer, Mode};
+pub use network::Network;

@@ -1,0 +1,148 @@
+//! Softmax and cross-entropy loss.
+
+use da_tensor::Tensor;
+
+/// Numerically stable softmax over the last axis of a `[N, K]` logit matrix.
+///
+/// # Examples
+///
+/// ```
+/// use da_nn::loss::softmax;
+/// use da_tensor::Tensor;
+///
+/// let p = softmax(&Tensor::from_vec(vec![1.0, 1.0, 1.0], &[1, 3]));
+/// for &v in p.data() {
+///     assert!((v - 1.0 / 3.0).abs() < 1e-6);
+/// }
+/// ```
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().len(), 2, "softmax expects [N, K]");
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    let mut out = Tensor::zeros(&[n, k]);
+    for i in 0..n {
+        let row = &logits.data()[i * k..(i + 1) * k];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        for (j, e) in exps.into_iter().enumerate() {
+            out.data_mut()[i * k + j] = e / sum;
+        }
+    }
+    out
+}
+
+/// Mean cross-entropy of `[N, K]` logits against integer labels, returning
+/// `(loss, ∂loss/∂logits)`.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != N` or any label is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), n, "one label per row");
+    let probs = softmax(logits);
+    let mut grad = probs.clone();
+    let mut loss = 0.0f32;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < k, "label {label} out of {k} classes");
+        let p = probs.data()[i * k + label].max(1e-12);
+        loss -= p.ln();
+        grad.data_mut()[i * k + label] -= 1.0;
+    }
+    grad.scale(1.0 / n as f32);
+    (loss / n as f32, grad)
+}
+
+/// Classification confidence `C = p[label] − max_{j≠label} p[j]` (paper §6).
+///
+/// # Panics
+///
+/// Panics if `probs` is not a rank-1 distribution or `label` out of range.
+pub fn confidence(probs: &[f32], label: usize) -> f32 {
+    assert!(label < probs.len(), "label out of range");
+    let runner_up = probs
+        .iter()
+        .enumerate()
+        .filter(|&(j, _)| j != label)
+        .map(|(_, &p)| p)
+        .fold(f32::NEG_INFINITY, f32::max);
+    probs[label] - runner_up
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let logits = Tensor::randn(&[5, 7], 3.0, &mut rng);
+        let p = softmax(&logits);
+        for i in 0..5 {
+            let row = &p.data()[i * 7..(i + 1) * 7];
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let b = Tensor::from_vec(vec![101.0, 102.0, 103.0], &[1, 3]);
+        for (x, y) in softmax(&a).data().iter().zip(softmax(&b).data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_of_confident_correct_prediction_is_small() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0], &[1, 3]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3);
+        let (wrong_loss, _) = softmax_cross_entropy(&logits, &[1]);
+        assert!(wrong_loss > 5.0);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_differences() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let logits = Tensor::randn(&[3, 4], 1.0, &mut rng);
+        let labels = [2usize, 0, 3];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let numeric = (softmax_cross_entropy(&lp, &labels).0
+                - softmax_cross_entropy(&lm, &labels).0)
+                / (2.0 * eps);
+            assert!(
+                (numeric - grad.data()[i]).abs() < 1e-3,
+                "at {i}: numeric {numeric} vs {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        // Softmax-CE gradients are mean-free per row.
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.0, 0.1, -0.1], &[2, 3]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[0, 2]);
+        for i in 0..2 {
+            let s: f32 = grad.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn confidence_definition() {
+        assert!((confidence(&[0.7, 0.2, 0.1], 0) - 0.5).abs() < 1e-6);
+        assert!((confidence(&[0.5, 0.5], 0) - 0.0).abs() < 1e-6);
+        assert!(confidence(&[0.1, 0.9], 0) < 0.0, "misclassified: negative");
+    }
+}

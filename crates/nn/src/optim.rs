@@ -1,0 +1,192 @@
+//! First-order optimizers: SGD (with momentum) and Adam — the two the paper
+//! trains with (§5.1).
+
+use da_tensor::Tensor;
+
+/// An optimizer updating a flat list of parameters from matching gradients.
+///
+/// State (momentum/moment buffers) is keyed positionally, so a given
+/// optimizer instance must always see the same parameter list.
+pub trait Optimizer {
+    /// Apply one update step. `params` and `grads` must align.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on length or shape mismatches.
+    fn step(&mut self, params: &mut [&mut Tensor], grads: &[Tensor]);
+}
+
+/// Stochastic gradient descent with optional classical momentum.
+///
+/// # Examples
+///
+/// ```
+/// use da_nn::optim::{Optimizer, Sgd};
+/// use da_tensor::Tensor;
+///
+/// let mut w = Tensor::from_vec(vec![1.0], &[1]);
+/// let g = Tensor::from_vec(vec![0.5], &[1]);
+/// Sgd::new(0.1).step(&mut [&mut w], &[g]);
+/// assert!((w.data()[0] - 0.95).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD with learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// SGD with classical momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Tensor], grads: &[Tensor]) {
+        assert_eq!(params.len(), grads.len(), "params/grads mismatch");
+        if self.velocity.is_empty() && self.momentum > 0.0 {
+            self.velocity = grads.iter().map(|g| Tensor::zeros(g.shape())).collect();
+        }
+        for (i, (p, g)) in params.iter_mut().zip(grads).enumerate() {
+            if self.momentum > 0.0 {
+                let v = &mut self.velocity[i];
+                v.scale(self.momentum);
+                v.add_scaled(g, 1.0);
+                p.add_scaled(v, -self.lr);
+            } else {
+                p.add_scaled(g, -self.lr);
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with the standard bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with defaults `β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Tensor], grads: &[Tensor]) {
+        assert_eq!(params.len(), grads.len(), "params/grads mismatch");
+        if self.m.is_empty() {
+            self.m = grads.iter().map(|g| Tensor::zeros(g.shape())).collect();
+            self.v = grads.iter().map(|g| Tensor::zeros(g.shape())).collect();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, (p, g)) in params.iter_mut().zip(grads).enumerate() {
+            let m = &mut self.m[i];
+            m.scale(self.beta1);
+            m.add_scaled(g, 1.0 - self.beta1);
+            let v = &mut self.v[i];
+            v.scale(self.beta2);
+            let g2 = g.map(|x| x * x);
+            v.add_scaled(&g2, 1.0 - self.beta2);
+            for ((pv, mv), vv) in p
+                .data_mut()
+                .iter_mut()
+                .zip(m.data())
+                .zip(v.data())
+            {
+                let mhat = mv / bc1;
+                let vhat = vv / bc2;
+                *pv -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(w) = (w - 3)² with gradient 2(w - 3).
+    fn quadratic_descent(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut w = Tensor::from_vec(vec![0.0], &[1]);
+        for _ in 0..steps {
+            let g = Tensor::from_vec(vec![2.0 * (w.data()[0] - 3.0)], &[1]);
+            opt.step(&mut [&mut w], &[g]);
+        }
+        w.data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let w = quadratic_descent(&mut Sgd::new(0.1), 100);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn momentum_accelerates_early_progress() {
+        let plain = quadratic_descent(&mut Sgd::new(0.02), 20);
+        let momentum = quadratic_descent(&mut Sgd::with_momentum(0.02, 0.9), 20);
+        assert!(
+            (momentum - 3.0).abs() < (plain - 3.0).abs(),
+            "momentum {momentum} vs plain {plain}"
+        );
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let w = quadratic_descent(&mut Adam::new(0.3), 200);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_first_step_size_is_lr() {
+        // With bias correction, Adam's first step is ≈ lr regardless of
+        // gradient scale.
+        let mut opt = Adam::new(0.5);
+        let mut w = Tensor::from_vec(vec![10.0], &[1]);
+        let g = Tensor::from_vec(vec![1e-3], &[1]);
+        opt.step(&mut [&mut w], &[g]);
+        assert!((w.data()[0] - 9.5).abs() < 1e-3, "w = {}", w.data()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "params/grads mismatch")]
+    fn step_rejects_mismatched_lengths() {
+        let mut w = Tensor::zeros(&[1]);
+        Sgd::new(0.1).step(&mut [&mut w], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn rejects_nonpositive_lr() {
+        let _ = Sgd::new(0.0);
+    }
+}

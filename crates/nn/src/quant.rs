@@ -1,0 +1,116 @@
+//! DoReFa-style k-bit quantization — the substrate of the **Defensive
+//! Quantization** baseline (paper §7.1, Appendix B; DoReFa-Net [72]).
+
+use da_tensor::Tensor;
+
+/// Uniform k-bit quantizer on `[0, 1]`:
+/// `q_k(x) = round((2^k − 1) · x) / (2^k − 1)`.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero or above 24 (levels must be exact in `f32`).
+///
+/// # Examples
+///
+/// ```
+/// use da_nn::quant::quantize_k;
+///
+/// assert_eq!(quantize_k(0.0, 2), 0.0);
+/// assert_eq!(quantize_k(1.0, 2), 1.0);
+/// assert_eq!(quantize_k(0.4, 2), 1.0 / 3.0);
+/// ```
+pub fn quantize_k(x: f32, bits: u32) -> f32 {
+    assert!((1..=24).contains(&bits), "bits must be in 1..=24");
+    let levels = ((1u32 << bits) - 1) as f32;
+    (levels * x).round() / levels
+}
+
+/// DoReFa weight transform: map latent weights through
+/// `tanh`-normalization into `[0, 1]`, quantize, and expand to `[−1, 1]`:
+///
+/// `w_q = 2 · q_k( tanh(w) / (2·max|tanh(w)|) + ½ ) − 1`.
+///
+/// Gradients are handled straight-through by the calling layer.
+///
+/// # Panics
+///
+/// Panics if `bits` is out of range (see [`quantize_k`]).
+pub fn dorefa_quantize_weights(w: &Tensor, bits: u32) -> Tensor {
+    let max_tanh = w
+        .data()
+        .iter()
+        .map(|v| v.tanh().abs())
+        .fold(0.0f32, f32::max)
+        .max(f32::MIN_POSITIVE);
+    w.map(|v| 2.0 * quantize_k(v.tanh() / (2.0 * max_tanh) + 0.5, bits) - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quantize_k_hits_exact_levels() {
+        for bits in [1u32, 2, 4, 8] {
+            let levels = (1u32 << bits) - 1;
+            for i in 0..=levels {
+                let x = i as f32 / levels as f32;
+                assert_eq!(quantize_k(x, bits), x, "level {i} at {bits} bits");
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_k_is_idempotent() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let x: f32 = rand::Rng::gen_range(&mut rng, 0.0..1.0);
+            let q = quantize_k(x, 4);
+            assert_eq!(quantize_k(q, 4), q);
+        }
+    }
+
+    #[test]
+    fn quantize_error_is_bounded_by_half_step() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for bits in [2u32, 4, 8] {
+            let step = 1.0 / ((1u32 << bits) - 1) as f32;
+            for _ in 0..200 {
+                let x: f32 = rand::Rng::gen_range(&mut rng, 0.0..1.0);
+                assert!((quantize_k(x, bits) - x).abs() <= step / 2.0 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn dorefa_weights_live_in_unit_ball_on_levels() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let w = Tensor::randn(&[64], 2.0, &mut rng);
+        let q = dorefa_quantize_weights(&w, 4);
+        let levels = (1u32 << 4) - 1;
+        for &v in q.data() {
+            assert!((-1.0..=1.0).contains(&v));
+            let scaled = (v + 1.0) / 2.0 * levels as f32;
+            assert!((scaled - scaled.round()).abs() < 1e-4, "off-level {v}");
+        }
+    }
+
+    #[test]
+    fn dorefa_preserves_sign_and_order_of_extremes() {
+        let w = Tensor::from_vec(vec![-3.0, -0.1, 0.1, 3.0], &[4]);
+        let q = dorefa_quantize_weights(&w, 4);
+        assert!(q.data()[0] < 0.0 && q.data()[3] > 0.0);
+        assert!(q.data()[0] < q.data()[1]);
+        assert!(q.data()[2] < q.data()[3]);
+        // The largest-magnitude weights map to ±1.
+        assert!((q.data()[0] + 1.0).abs() < 1e-6);
+        assert!((q.data()[3] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in")]
+    fn rejects_zero_bits() {
+        let _ = quantize_k(0.5, 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the NN substrate: gradients, softmax laws,
+//! quantization laws, and multiplier-swap invariants.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+use da_nn::layers::{Conv2d, Dense, Layer, MaxPool2d, Mode, Relu};
+use da_nn::loss::{softmax, softmax_cross_entropy};
+use da_nn::quant::{dorefa_quantize_weights, quantize_k};
+use da_tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Softmax outputs are probability distributions for any logits.
+    #[test]
+    fn softmax_is_a_distribution(logits in proptest::collection::vec(-30.0f32..30.0, 8)) {
+        let t = Tensor::from_vec(logits, &[2, 4]);
+        let p = softmax(&t);
+        for row in 0..2 {
+            let s: f32 = p.data()[row * 4..(row + 1) * 4].iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(p.data()[row * 4..(row + 1) * 4].iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    /// Cross-entropy gradient rows are mean-free and match finite differences
+    /// at a random coordinate.
+    #[test]
+    fn cross_entropy_gradient_checks(
+        logits in proptest::collection::vec(-5.0f32..5.0, 6),
+        label in 0usize..3,
+        coord in 0usize..6,
+    ) {
+        let t = Tensor::from_vec(logits, &[2, 3]);
+        let labels = [label, (label + 1) % 3];
+        let (_, grad) = softmax_cross_entropy(&t, &labels);
+        for row in 0..2 {
+            let s: f32 = grad.data()[row * 3..(row + 1) * 3].iter().sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+        let eps = 1e-3f32;
+        let mut tp = t.clone();
+        tp.data_mut()[coord] += eps;
+        let mut tm = t.clone();
+        tm.data_mut()[coord] -= eps;
+        let numeric = (softmax_cross_entropy(&tp, &labels).0
+            - softmax_cross_entropy(&tm, &labels).0)
+            / (2.0 * eps);
+        prop_assert!((numeric - grad.data()[coord]).abs() < 5e-3);
+    }
+
+    /// Quantizer laws: idempotence, range preservation, level count.
+    #[test]
+    fn quantizer_laws(x in 0.0f32..1.0, bits in 1u32..9) {
+        let q = quantize_k(x, bits);
+        prop_assert!((0.0..=1.0).contains(&q));
+        prop_assert_eq!(quantize_k(q, bits), q);
+        let step = 1.0 / ((1u32 << bits) - 1) as f32;
+        prop_assert!((q - x).abs() <= step / 2.0 + 1e-6);
+    }
+
+    /// DoReFa weights stay in [-1, 1] and preserve sign ordering of the
+    /// extreme weights.
+    #[test]
+    fn dorefa_weight_laws(w in proptest::collection::vec(-4.0f32..4.0, 8), bits in 2u32..8) {
+        let t = Tensor::from_vec(w, &[8]);
+        let q = dorefa_quantize_weights(&t, bits);
+        prop_assert!(q.data().iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    /// ReLU backward is a projection: grad passes iff forward passed.
+    #[test]
+    fn relu_gradient_gates(x in proptest::collection::vec(-2.0f32..2.0, 12)) {
+        let t = Tensor::from_vec(x.clone(), &[3, 4]);
+        let (y, cache) = Relu.forward(&t, Mode::Eval);
+        let (dx, _) = Relu.backward(&cache, &Tensor::ones(&[3, 4]));
+        for i in 0..12 {
+            prop_assert_eq!(y.data()[i] > 0.0, dx.data()[i] == 1.0);
+            prop_assert_eq!(x[i] <= 0.0, dx.data()[i] == 0.0);
+        }
+    }
+
+    /// Max pooling never invents values: every output equals some input.
+    #[test]
+    fn maxpool_outputs_are_inputs(x in proptest::collection::vec(-5.0f32..5.0, 16)) {
+        let t = Tensor::from_vec(x.clone(), &[1, 1, 4, 4]);
+        let (y, _) = MaxPool2d::new(2, 2).forward(&t, Mode::Eval);
+        for &v in y.data() {
+            prop_assert!(x.contains(&v));
+        }
+    }
+
+    /// Installing and clearing a multiplier is an exact round trip.
+    #[test]
+    fn multiplier_swap_round_trips(seed in 0u64..1000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut conv = Conv2d::new(1, 2, 3, 1, 0, &mut rng);
+        let x = Tensor::rand_uniform(&[1, 1, 5, 5], 0.0, 1.0, &mut rng);
+        let (before, _) = conv.forward(&x, Mode::Eval);
+        conv.set_multiplier(Some(da_arith::MultiplierKind::AxFpm.build()));
+        let (approx, _) = conv.forward(&x, Mode::Eval);
+        conv.set_multiplier(None);
+        let (after, _) = conv.forward(&x, Mode::Eval);
+        prop_assert_eq!(&before, &after);
+        // With positive inputs the approximate conv must differ.
+        prop_assert_ne!(&before, &approx);
+    }
+
+    /// Dense layers are linear: f(ax) = a f(x) when bias is zero.
+    #[test]
+    fn dense_is_linear_without_bias(
+        x in proptest::collection::vec(-2.0f32..2.0, 4),
+        scale in 0.1f32..3.0,
+        seed in 0u64..100,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let fc = Dense::new(4, 3, &mut rng); // bias initialized to zero
+        let t = Tensor::from_vec(x, &[1, 4]);
+        let scaled = t.map(|v| v * scale);
+        let (y1, _) = fc.forward(&t, Mode::Eval);
+        let (y2, _) = fc.forward(&scaled, Mode::Eval);
+        for (a, b) in y1.data().iter().zip(y2.data()) {
+            prop_assert!((a * scale - b).abs() < 1e-3 * (1.0 + b.abs()));
+        }
+    }
+}

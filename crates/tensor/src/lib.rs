@@ -1,0 +1,25 @@
+//! Minimal dense-tensor substrate for the Defensive Approximation CNNs.
+//!
+//! The paper's models are small (LeNet-5, a CIFAR-scale AlexNet), so this
+//! crate favors clarity over peak FLOPs: row-major `f32` storage, explicit
+//! shapes, [`ops::matmul`]/[`ops::im2col`] for convolution lowering, and a
+//! scoped-thread [`parallel`] helper for the expensive gate-level-multiplier
+//! inference paths.
+//!
+//! # Quick example
+//!
+//! ```
+//! use da_tensor::Tensor;
+//!
+//! let mut t = Tensor::zeros(&[2, 3]);
+//! t[[1, 2]] = 5.0;
+//! assert_eq!(t.sum(), 5.0);
+//! assert_eq!(t.argmax(), 5); // flat index of the maximum
+//! ```
+
+pub mod ops;
+pub mod parallel;
+
+mod tensor;
+
+pub use tensor::Tensor;

@@ -1,0 +1,160 @@
+//! Scoped-thread data parallelism for the expensive gate-level inference
+//! paths (no external thread-pool crates needed).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Partition `out` into `chunk`-sized pieces and apply `f(chunk_index, piece)`
+/// to each, distributing pieces across `std::thread::available_parallelism()`
+/// worker threads.
+///
+/// Falls back to a sequential loop when there is only one chunk or one CPU.
+/// Chunk indices are global and stable regardless of thread count, so `f`
+/// must not rely on execution order.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero or does not divide `out.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use da_tensor::parallel::par_map_chunks;
+///
+/// let mut data = vec![0.0f32; 8];
+/// par_map_chunks(&mut data, 2, |idx, piece| {
+///     for x in piece.iter_mut() {
+///         *x = idx as f32;
+///     }
+/// });
+/// assert_eq!(data, [0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+/// ```
+pub fn par_map_chunks<F>(out: &mut [f32], chunk: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    assert_eq!(out.len() % chunk, 0, "chunk {} must divide length {}", chunk, out.len());
+    let n_chunks = out.len() / chunk;
+    let threads = available_threads().min(n_chunks);
+
+    if threads <= 1 {
+        for (idx, piece) in out.chunks_mut(chunk).enumerate() {
+            f(idx, piece);
+        }
+        return;
+    }
+
+    // Static partition: each worker owns a disjoint contiguous block of the
+    // buffer handed out by `split_at_mut`.
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let per = n_chunks / threads;
+        let extra = n_chunks % threads;
+        let mut base = 0usize;
+        let fref = &f;
+        for t in 0..threads {
+            let take = per + usize::from(t < extra);
+            let (head, tail) = rest.split_at_mut(take * chunk);
+            rest = tail;
+            let start = base;
+            base += take;
+            scope.spawn(move || {
+                for (i, piece) in head.chunks_mut(chunk).enumerate() {
+                    fref(start + i, piece);
+                }
+            });
+        }
+    });
+}
+
+/// Run `f(i)` for every `i` in `0..n` across worker threads, for read-only or
+/// interior-mutability workloads (e.g. filling disjoint `Mutex`-free regions
+/// indexed through raw computation).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use da_tensor::parallel::par_for;
+///
+/// let counter = AtomicUsize::new(0);
+/// par_for(100, |_| {
+///     counter.fetch_add(1, Ordering::Relaxed);
+/// });
+/// assert_eq!(counter.load(Ordering::Relaxed), 100);
+/// ```
+pub fn par_for<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let threads = available_threads().min(n);
+    if threads <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                f(i);
+            });
+        }
+    });
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_receive_stable_global_indices() {
+        let mut data = vec![-1.0f32; 64];
+        par_map_chunks(&mut data, 4, |idx, piece| {
+            for (j, x) in piece.iter_mut().enumerate() {
+                *x = (idx * 4 + j) as f32;
+            }
+        });
+        for (i, x) in data.iter().enumerate() {
+            assert_eq!(*x, i as f32);
+        }
+    }
+
+    #[test]
+    fn single_chunk_runs_inline() {
+        let mut data = vec![0.0f32; 3];
+        par_map_chunks(&mut data, 3, |idx, piece| {
+            assert_eq!(idx, 0);
+            piece[0] = 9.0;
+        });
+        assert_eq!(data[0], 9.0);
+    }
+
+    #[test]
+    fn par_for_covers_every_index_once() {
+        use std::sync::Mutex;
+        let seen = Mutex::new(vec![0u32; 257]);
+        par_for(257, |i| {
+            seen.lock().expect("lock")[i] += 1;
+        });
+        assert!(seen.into_inner().expect("lock").iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn chunk_must_divide_length() {
+        let mut data = vec![0.0f32; 5];
+        par_map_chunks(&mut data, 2, |_, _| {});
+    }
+}

@@ -1,0 +1,429 @@
+//! The [`Tensor`] type: row-major `f32` storage with an explicit shape.
+
+use std::ops::{Index, IndexMut};
+
+use rand::distributions::Distribution;
+use rand::Rng;
+
+/// A dense, row-major `f32` tensor.
+///
+/// Shapes are dynamic (`Vec<usize>`); most of the codebase uses `[N, C, H, W]`
+/// activations, `[Cout, Cin, Kh, Kw]` convolution weights, and `[M, N]`
+/// matrices. Operations validate shapes dynamically and panic with a
+/// descriptive message on mismatch (documented per method).
+///
+/// # Examples
+///
+/// ```
+/// use da_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// assert_eq!(t[[0, 1]], 2.0);
+/// assert_eq!(t.mean(), 2.5);
+/// let u = t.map(|x| x * 2.0);
+/// assert_eq!(u.sum(), 20.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// A tensor filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty or has a zero dimension.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor::filled(shape, 0.0)
+    }
+
+    /// A tensor filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Tensor::filled(shape, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty or has a zero dimension.
+    pub fn filled(shape: &[usize], value: f32) -> Self {
+        assert!(!shape.is_empty(), "tensor shape cannot be empty");
+        assert!(shape.iter().all(|&d| d > 0), "zero dimension in shape {shape:?}");
+        Tensor { data: vec![value; shape.iter().product()], shape: shape.to_vec() }
+    }
+
+    /// Wrap an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the shape's element count.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        let expected: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            expected,
+            "buffer of {} elements cannot have shape {shape:?}",
+            data.len()
+        );
+        assert!(!shape.is_empty(), "tensor shape cannot be empty");
+        Tensor { data, shape: shape.to_vec() }
+    }
+
+    /// Standard-normal initialization scaled by `std`.
+    pub fn randn<R: Rng>(shape: &[usize], std: f32, rng: &mut R) -> Self {
+        let normal = StandardNormal;
+        let data = (0..shape.iter().product())
+            .map(|_| normal.sample(rng) * std)
+            .collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    /// Uniform initialization in `[lo, hi)`.
+    pub fn rand_uniform<R: Rng>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Self {
+        let data = (0..shape.iter().product()).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor has no elements (never true for valid tensors).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying buffer, row-major.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor and return its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterpret with a new shape of identical element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(mut self, shape: &[usize]) -> Self {
+        let expected: usize = shape.iter().product();
+        assert_eq!(self.data.len(), expected, "cannot reshape {:?} to {shape:?}", self.shape);
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Flat offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.shape.len(), "rank mismatch indexing {:?}", self.shape);
+        let mut off = 0;
+        for (axis, (&i, &d)) in index.iter().zip(&self.shape).enumerate() {
+            assert!(i < d, "index {i} out of bounds for axis {axis} of {:?}", self.shape);
+            off = off * d + i;
+        }
+        off
+    }
+
+    /// Apply `f` elementwise into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Apply `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combine two same-shaped tensors elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
+        Tensor {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// `self += other` elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += scale * other` elementwise (the optimizer workhorse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_scaled(&mut self, other: &Tensor, scale: f32) {
+        assert_eq!(self.shape, other.shape, "add_scaled shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Multiply every element by `scale` in place.
+    pub fn scale(&mut self, scale: f32) {
+        for x in &mut self.data {
+            *x *= scale;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.len() as f32
+    }
+
+    /// Maximum element (NaN-free tensors).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (NaN-free tensors).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Flat index of the maximum element (first on ties).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, &x) in self.data.iter().enumerate() {
+            if x > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Euclidean (Frobenius) norm.
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Clamp every element into `[lo, hi]` in place.
+    pub fn clamp_inplace(&mut self, lo: f32, hi: f32) {
+        for x in &mut self.data {
+            *x = x.clamp(lo, hi);
+        }
+    }
+
+    /// The batch-`n` slice of an `[N, ...]` tensor as a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is rank-1 or `n` is out of bounds.
+    pub fn batch_item(&self, n: usize) -> Tensor {
+        assert!(self.shape.len() >= 2, "batch_item needs rank >= 2");
+        assert!(n < self.shape[0], "batch index {n} out of {}", self.shape[0]);
+        let item: usize = self.shape[1..].iter().product();
+        Tensor {
+            data: self.data[n * item..(n + 1) * item].to_vec(),
+            shape: self.shape[1..].to_vec(),
+        }
+    }
+
+    /// Stack same-shaped tensors along a new leading batch axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty or shapes differ.
+    pub fn stack(items: &[Tensor]) -> Tensor {
+        assert!(!items.is_empty(), "cannot stack zero tensors");
+        let shape = items[0].shape.clone();
+        for t in items {
+            assert_eq!(t.shape, shape, "stack shape mismatch");
+        }
+        let mut data = Vec::with_capacity(items.len() * items[0].len());
+        for t in items {
+            data.extend_from_slice(&t.data);
+        }
+        let mut out_shape = vec![items.len()];
+        out_shape.extend(shape);
+        Tensor { data, shape: out_shape }
+    }
+}
+
+/// Marsaglia-polar standard normal sampler (keeps us off external distribution
+/// crates).
+struct StandardNormal;
+
+impl Distribution<f32> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        loop {
+            let u: f32 = rng.gen_range(-1.0f32..1.0);
+            let v: f32 = rng.gen_range(-1.0f32..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+impl<const R: usize> Index<[usize; R]> for Tensor {
+    type Output = f32;
+
+    fn index(&self, index: [usize; R]) -> &f32 {
+        &self.data[self.offset(&index)]
+    }
+}
+
+impl<const R: usize> IndexMut<[usize; R]> for Tensor {
+    fn index_mut(&mut self, index: [usize; R]) -> &mut f32 {
+        let off = self.offset(&index);
+        &mut self.data[off]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_indexing() {
+        let mut t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        t[[1, 2, 3]] = 7.0;
+        assert_eq!(t.data()[23], 7.0);
+        assert_eq!(t[[1, 2, 3]], 7.0);
+        assert_eq!(t[[0, 0, 0]], 0.0);
+    }
+
+    #[test]
+    fn offsets_are_row_major() {
+        let t = Tensor::from_vec((0..12).map(|i| i as f32).collect(), &[3, 4]);
+        assert_eq!(t[[1, 2]], 6.0);
+        assert_eq!(t.offset(&[2, 3]), 11);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![-1.0, 4.0, 2.0, -5.0], &[4]);
+        assert_eq!(t.sum(), 0.0);
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.max(), 4.0);
+        assert_eq!(t.min(), -5.0);
+        assert_eq!(t.argmax(), 1);
+        assert!((t.l2_norm() - (46.0f32).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_takes_first_on_ties() {
+        let t = Tensor::from_vec(vec![1.0, 3.0, 3.0], &[3]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn elementwise_combinators() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        assert_eq!(a.zip_map(&b, |x, y| x + y).data(), &[11.0, 22.0]);
+        let mut c = a.clone();
+        c.add_scaled(&b, 0.5);
+        assert_eq!(c.data(), &[6.0, 12.0]);
+        c.scale(2.0);
+        assert_eq!(c.data(), &[12.0, 24.0]);
+        c.clamp_inplace(0.0, 20.0);
+        assert_eq!(c.data(), &[12.0, 20.0]);
+    }
+
+    #[test]
+    fn batch_item_and_stack_round_trip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let s = Tensor::stack(&[a.clone(), b.clone()]);
+        assert_eq!(s.shape(), &[2, 2, 2]);
+        assert_eq!(s.batch_item(0), a);
+        assert_eq!(s.batch_item(1), b);
+    }
+
+    #[test]
+    fn randn_is_deterministic_and_roughly_normal() {
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(1);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(1);
+        let a = Tensor::randn(&[10_000], 2.0, &mut r1);
+        let b = Tensor::randn(&[10_000], 2.0, &mut r2);
+        assert_eq!(a, b);
+        assert!(a.mean().abs() < 0.1, "mean {}", a.mean());
+        let var = a.map(|x| x * x).mean() - a.mean() * a.mean();
+        assert!((var - 4.0).abs() < 0.3, "variance {var}");
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).reshape(&[2, 2]);
+        assert_eq!(t[[1, 0]], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reshape")]
+    fn reshape_rejects_size_change() {
+        let _ = Tensor::zeros(&[4]).reshape(&[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn indexing_is_bounds_checked() {
+        let t = Tensor::zeros(&[2, 2]);
+        let _ = t[[0, 2]];
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn zip_map_rejects_mismatched_shapes() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        let _ = a.zip_map(&b, |x, _| x);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero dimension")]
+    fn zero_dimensions_are_rejected() {
+        let _ = Tensor::zeros(&[2, 0]);
+    }
+}

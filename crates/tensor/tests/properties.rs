@@ -1,0 +1,119 @@
+//! Property-based tests of the tensor substrate.
+
+use proptest::prelude::*;
+
+use da_tensor::ops::{col2im, conv2d_direct, im2col, matmul, ConvGeometry};
+use da_tensor::Tensor;
+
+fn small_tensor(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    /// Matmul distributes over addition: A(B + C) = AB + AC.
+    #[test]
+    fn matmul_distributes(
+        a in small_tensor(6),
+        b in small_tensor(8),
+        c in small_tensor(8),
+    ) {
+        let a = Tensor::from_vec(a, &[3, 2]);
+        let b = Tensor::from_vec(b, &[2, 4]);
+        let c = Tensor::from_vec(c, &[2, 4]);
+        let lhs = matmul(&a, &b.zip_map(&c, |x, y| x + y));
+        let rhs = matmul(&a, &b).zip_map(&matmul(&a, &c), |x, y| x + y);
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// Identity is neutral for matmul.
+    #[test]
+    fn matmul_identity(a in small_tensor(12)) {
+        let a = Tensor::from_vec(a, &[3, 4]);
+        let mut eye = Tensor::zeros(&[4, 4]);
+        for i in 0..4 {
+            eye[[i, i]] = 1.0;
+        }
+        let r = matmul(&a, &eye);
+        for (x, y) in r.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    /// Lowered (im2col + matmul) convolution equals the direct definition.
+    #[test]
+    fn lowered_convolution_is_direct(
+        image in small_tensor(2 * 7 * 7),
+        weights in small_tensor(3 * 2 * 9),
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        let geom = ConvGeometry { input: (7, 7), kernel: (3, 3), stride, pad };
+        let image = Tensor::from_vec(image, &[2, 7, 7]);
+        let weights = Tensor::from_vec(weights, &[3, 2, 3, 3]);
+        let (oh, ow) = geom.output();
+
+        let direct = conv2d_direct(&image, &weights, geom);
+        let lowered = matmul(
+            &weights.clone().reshape(&[3, 18]),
+            &im2col(&image, geom),
+        )
+        .reshape(&[3, oh, ow]);
+        for (x, y) in direct.data().iter().zip(lowered.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// col2im is the exact adjoint of im2col: <im2col(x), y> = <x, col2im(y)>.
+    #[test]
+    fn col2im_adjoint_identity(
+        x in small_tensor(3 * 6 * 6),
+        y_seed in any::<u64>(),
+        stride in 1usize..3,
+    ) {
+        use rand::SeedableRng;
+        let geom = ConvGeometry { input: (6, 6), kernel: (2, 2), stride, pad: 1 };
+        let (oh, ow) = geom.output();
+        let x = Tensor::from_vec(x, &[3, 6, 6]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(y_seed);
+        let y = Tensor::randn(&[3 * 4, oh * ow], 1.0, &mut rng);
+
+        let lhs: f64 = im2col(&x, geom)
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
+        let rhs: f64 = x
+            .data()
+            .iter()
+            .zip(col2im(&y, 3, geom).data())
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    /// stack/batch_item round-trip.
+    #[test]
+    fn stack_batch_item_round_trip(items in proptest::collection::vec(small_tensor(6), 1..5)) {
+        let tensors: Vec<Tensor> =
+            items.into_iter().map(|v| Tensor::from_vec(v, &[2, 3])).collect();
+        let stacked = Tensor::stack(&tensors);
+        for (i, t) in tensors.iter().enumerate() {
+            prop_assert_eq!(&stacked.batch_item(i), t);
+        }
+    }
+
+    /// Reductions agree with naive recomputation.
+    #[test]
+    fn reductions_are_consistent(v in small_tensor(16)) {
+        let t = Tensor::from_vec(v.clone(), &[16]);
+        let sum: f32 = v.iter().sum();
+        prop_assert!((t.sum() - sum).abs() < 1e-3);
+        prop_assert!((t.mean() - sum / 16.0).abs() < 1e-4);
+        let max = v.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert_eq!(t.max(), max);
+        prop_assert_eq!(v[t.argmax()], max);
+    }
+}

@@ -1,0 +1,24 @@
+//! Hardware cost report: regenerate the paper's energy/delay tables and the
+//! HEAP design-space exploration (Tables 7 and 9, §4.3).
+//!
+//! ```sh
+//! cargo run --release --example energy_report
+//! ```
+
+use defensive_approximation::arith::heap::{explore, select_heap};
+use defensive_approximation::core::experiments::energy::{table7, table9};
+
+fn main() {
+    println!("{}", table7());
+    println!("{}", table9());
+
+    println!("Design-space exploration (paper §4.3), 20k samples per design:");
+    let points = explore(20_000, 42);
+    for p in &points {
+        println!("  {p}");
+    }
+    if let Some(best) = select_heap(&points, 0.6) {
+        println!("\nDSE pick under a 0.6x energy budget (published-HEAP criterion):");
+        println!("  {best}");
+    }
+}

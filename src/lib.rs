@@ -1,0 +1,44 @@
+//! **Defensive Approximation** — a full-system Rust reproduction of
+//! *"Defensive Approximation: Securing CNNs using Approximate Computing"*
+//! (Guesmi et al., ASPLOS 2021).
+//!
+//! This umbrella crate re-exports the workspace's layers:
+//!
+//! * [`arith`] — gate-level approximate arithmetic (Ax-FPM, HEAP, Bfloat16,
+//!   AMA adders, energy model).
+//! * [`tensor`] — the dense-tensor substrate.
+//! * [`nn`] — the CNN framework with pluggable multipliers.
+//! * [`datasets`] — synthetic MNIST/CIFAR-10 stand-ins.
+//! * [`attacks`] — the eight-attack adversarial suite.
+//! * [`core`] — approximate classifiers, model cache, and the per-table /
+//!   per-figure experiment runners.
+//!
+//! # Thirty-second tour
+//!
+//! ```
+//! use defensive_approximation::arith::MultiplierKind;
+//! use defensive_approximation::datasets::digits::synth_digits;
+//! use defensive_approximation::nn::zoo::lenet5;
+//! use rand::SeedableRng;
+//!
+//! // A pre-trained-style LeNet-5 (fresh weights here for brevity)...
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut model = lenet5(10, &mut rng);
+//! let batch = synth_digits(4, 1);
+//!
+//! let exact_logits = model.logits(&batch.images);
+//!
+//! // ...deployed on approximate hardware: same weights, new multiplier.
+//! model.set_multiplier(Some(MultiplierKind::AxFpm.build()));
+//! let approx_logits = model.logits(&batch.images);
+//!
+//! assert_eq!(exact_logits.shape(), approx_logits.shape());
+//! assert_ne!(exact_logits, approx_logits); // data-dependent noise is in.
+//! ```
+
+pub use da_arith as arith;
+pub use da_attacks as attacks;
+pub use da_core as core;
+pub use da_datasets as datasets;
+pub use da_nn as nn;
+pub use da_tensor as tensor;

@@ -1,0 +1,118 @@
+//! Cross-crate integration: the full Defensive Approximation pipeline on a
+//! smoke budget — train, deploy the approximate multiplier, attack, measure.
+
+use defensive_approximation::arith::MultiplierKind;
+use defensive_approximation::attacks::gradient::{CarliniWagnerL2, DeepFool};
+use defensive_approximation::attacks::{metrics, Attack, TargetModel};
+use defensive_approximation::core::experiments::transfer::with_multiplier;
+use defensive_approximation::core::{Budget, ModelCache};
+use defensive_approximation::nn::train::evaluate_accuracy;
+
+fn cache(tag: &str) -> ModelCache {
+    ModelCache::new(std::env::temp_dir().join(format!("da-e2e-{tag}")))
+}
+
+#[test]
+fn multiplier_swap_preserves_clean_accuracy() {
+    let cache = cache("accuracy");
+    let budget = Budget::smoke();
+    let exact = cache.lenet(&budget);
+    let defended = with_multiplier(cache.lenet(&budget), MultiplierKind::AxFpm);
+    let test = cache.digits_test(150);
+
+    let acc_exact = evaluate_accuracy(&exact, &test.images, &test.labels, 64);
+    let acc_da = evaluate_accuracy(&defended, &test.images, &test.labels, 64);
+    assert!(acc_exact > 0.7, "exact accuracy {acc_exact}");
+    // Paper Table 6: DA costs ~0.3% on MNIST. We allow slack at smoke scale,
+    // but the model must clearly still work.
+    assert!(acc_da > acc_exact - 0.15, "DA accuracy collapsed: {acc_da} vs {acc_exact}");
+}
+
+#[test]
+fn transferability_attack_end_to_end() {
+    let cache = cache("transfer");
+    let budget = Budget::smoke();
+    let exact = cache.lenet(&budget);
+    let defended = with_multiplier(cache.lenet(&budget), MultiplierKind::AxFpm);
+    let test = cache.digits_test(40);
+
+    // C&W finds minimal-norm adversarials that sit just across the exact
+    // model's boundary — exactly the examples DA's boundary shift defeats
+    // (paper Table 2: 1% transfer).
+    let attack = CarliniWagnerL2::standard();
+    let mut crafted = 0usize;
+    let mut transferred = 0usize;
+    for i in 0..test.len() {
+        let x = test.images.batch_item(i);
+        let label = test.labels[i];
+        if TargetModel::predict(&exact, &x) != label {
+            continue;
+        }
+        let adv = attack.run(&exact, &x, label);
+        if TargetModel::predict(&exact, &adv) == label {
+            continue;
+        }
+        crafted += 1;
+        if TargetModel::predict(&defended, &adv) != label {
+            transferred += 1;
+        }
+    }
+    assert!(crafted >= 5, "FGSM must fool the exact model (crafted {crafted})");
+    assert!(
+        transferred < crafted,
+        "some adversarials must fail to transfer ({transferred}/{crafted})"
+    );
+}
+
+#[test]
+fn whitebox_attack_pays_a_higher_price_on_da() {
+    // Figures 8-11 in miniature: DeepFool needs more L2 against DA on
+    // average (allowing smoke-scale variance via a lenient margin).
+    let cache = cache("whitebox");
+    let budget = Budget::smoke();
+    let exact = cache.lenet(&budget);
+    let defended = with_multiplier(cache.lenet(&budget), MultiplierKind::AxFpm);
+    let test = cache.digits_test(12);
+    let attack = DeepFool::new(40, 0.02);
+
+    let mut exact_l2 = Vec::new();
+    let mut da_l2 = Vec::new();
+    for i in 0..test.len() {
+        let x = test.images.batch_item(i);
+        let label = test.labels[i];
+        if TargetModel::predict(&exact, &x) == label {
+            let adv = attack.run(&exact, &x, label);
+            if TargetModel::predict(&exact, &adv) != label {
+                exact_l2.push(metrics::l2(&adv, &x));
+            }
+        }
+        if TargetModel::predict(&defended, &x) == label {
+            let adv = attack.run(&defended, &x, label);
+            if TargetModel::predict(&defended, &adv) != label {
+                da_l2.push(metrics::l2(&adv, &x));
+            }
+        }
+    }
+    assert!(!exact_l2.is_empty(), "DeepFool must succeed on the exact model");
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    if !da_l2.is_empty() {
+        assert!(
+            mean(&da_l2) > 0.5 * mean(&exact_l2),
+            "DA whitebox cost implausibly low: {} vs {}",
+            mean(&da_l2),
+            mean(&exact_l2)
+        );
+    }
+}
+
+#[test]
+fn heap_and_bfloat_models_also_run_end_to_end() {
+    let cache = cache("variants");
+    let budget = Budget::smoke();
+    let test = cache.digits_test(20);
+    for kind in [MultiplierKind::Heap, MultiplierKind::Bfloat16, MultiplierKind::ExactFpm] {
+        let net = with_multiplier(cache.lenet(&budget), kind);
+        let acc = evaluate_accuracy(&net, &test.images, &test.labels, 20);
+        assert!(acc > 0.4, "{kind} variant accuracy {acc} implausible");
+    }
+}
