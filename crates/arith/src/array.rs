@@ -204,11 +204,7 @@ impl ArrayMultiplier {
     /// Panics if `width` is outside `1..=31` or a `PerColumn` assignment does
     /// not cover `2 * width` columns.
     pub fn new(spec: ArrayMultiplierSpec) -> Self {
-        assert!(
-            (1..=31).contains(&spec.width),
-            "width must be in 1..=31, got {}",
-            spec.width
-        );
+        assert!((1..=31).contains(&spec.width), "width must be in 1..=31, got {}", spec.width);
         if let CellAssignment::PerColumn(v) = &spec.cells {
             assert!(
                 v.len() >= 2 * spec.width,
@@ -397,8 +393,7 @@ mod tests {
     /// The defining inflation property for normalized operands (top bit of
     /// the multiplier set): `exact <= approx <= 2 * exact`.
     #[test]
-    fn ama5_inflates_normalized_products()
-    {
+    fn ama5_inflates_normalized_products() {
         let mut rng = rng();
         let w = 16;
         let m = ArrayMultiplier::new(ArrayMultiplierSpec::ax_mantissa(w));
@@ -458,10 +453,7 @@ mod tests {
 
     #[test]
     fn multiply_by_zero_and_one() {
-        for spec in [
-            ArrayMultiplierSpec::exact(8),
-            ArrayMultiplierSpec::ax_mantissa(8),
-        ] {
+        for spec in [ArrayMultiplierSpec::exact(8), ArrayMultiplierSpec::ax_mantissa(8)] {
             let m = ArrayMultiplier::new(spec);
             assert_eq!(m.multiply(0, 0), 0);
             assert_eq!(m.multiply(0, 255), 0);

@@ -57,6 +57,35 @@ impl Multiplier for BfloatMultiplier {
     fn name(&self) -> &str {
         "bfloat16"
     }
+
+    // Slice overrides: pure bit-mask + multiply loops with no calls, so they
+    // vectorize. `axpy_slice` hoists the truncation of the shared operand,
+    // which is bit-identical to truncating it per element.
+
+    fn multiply_slice(&self, a: &[f32], b: &[f32], out: &mut [f32]) {
+        assert_eq!(a.len(), b.len(), "multiply_slice length mismatch");
+        assert_eq!(a.len(), out.len(), "multiply_slice output length mismatch");
+        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *o = to_bf16(to_bf16(x) * to_bf16(y));
+        }
+    }
+
+    fn dot_accumulate(&self, a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "dot_accumulate length mismatch");
+        let mut acc = 0.0f32;
+        for (&x, &y) in a.iter().zip(b) {
+            acc += to_bf16(to_bf16(x) * to_bf16(y));
+        }
+        acc
+    }
+
+    fn axpy_slice(&self, a: f32, b: &[f32], acc: &mut [f32]) {
+        assert_eq!(b.len(), acc.len(), "axpy_slice length mismatch");
+        let ta = to_bf16(a);
+        for (o, &y) in acc.iter_mut().zip(b) {
+            *o += to_bf16(ta * to_bf16(y));
+        }
+    }
 }
 
 #[cfg(test)]

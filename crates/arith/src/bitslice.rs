@@ -29,16 +29,16 @@ pub fn eval_tt(tt: u8, a: u64, b: u64, cin: u64) -> u64 {
     match tt {
         0b0000_0000 => 0,
         0b1111_1111 => !0,
-        0b1010_1010 => a,                                // A
-        0b0101_0101 => !a,                               // !A
-        0b1100_1100 => b,                                // B
-        0b0011_0011 => !b,                               // !B
-        0b1111_0000 => cin,                              // Cin
-        0b0000_1111 => !cin,                             // !Cin
-        0b1001_0110 => a ^ b ^ cin,                      // exact Sum
-        0b0110_1001 => !(a ^ b ^ cin),                   // !Sum
-        0b1110_1000 => (a & b) | (cin & (a | b)),        // exact Cout (majority)
-        0b0001_0111 => !((a & b) | (cin & (a | b))),     // !Cout (AMA1 sum)
+        0b1010_1010 => a,                            // A
+        0b0101_0101 => !a,                           // !A
+        0b1100_1100 => b,                            // B
+        0b0011_0011 => !b,                           // !B
+        0b1111_0000 => cin,                          // Cin
+        0b0000_1111 => !cin,                         // !Cin
+        0b1001_0110 => a ^ b ^ cin,                  // exact Sum
+        0b0110_1001 => !(a ^ b ^ cin),               // !Sum
+        0b1110_1000 => (a & b) | (cin & (a | b)),    // exact Cout (majority)
+        0b0001_0111 => !((a & b) | (cin & (a | b))), // !Cout (AMA1 sum)
         _ => eval_tt_minterms(tt, a, b, cin),
     }
 }
@@ -71,10 +71,8 @@ mod tests {
     fn fast_paths_match_minterm_expansion() {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        let mut tables: Vec<u8> = AdderKind::ALL
-            .iter()
-            .flat_map(|k| [k.sum_tt(), k.cout_tt()])
-            .collect();
+        let mut tables: Vec<u8> =
+            AdderKind::ALL.iter().flat_map(|k| [k.sum_tt(), k.cout_tt()]).collect();
         tables.extend([0x00, 0xFF, 0xF0, 0x0F, 0x33, 0xCC, 0x69, 0x96, 0x17, 0x3A]);
         for tt in tables {
             for _ in 0..64 {

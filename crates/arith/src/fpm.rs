@@ -21,6 +21,7 @@
 //! * NaN/Inf follow IEEE semantics and bypass the approximate core.
 
 use crate::array::{ArrayMultiplier, ArrayMultiplierSpec};
+use crate::batch::{BatchKernel, SigProductCache};
 use crate::multiplier::Multiplier;
 
 /// Mantissa width including the implicit leading one.
@@ -193,24 +194,31 @@ impl FloatMultiplier {
         }
 
         let prod = if force_gate_level {
-            self.core
-                .multiply(pa.significand() as u64, pb.significand() as u64)
+            self.core.multiply(pa.significand() as u64, pb.significand() as u64)
         } else {
             match self.fast_path {
-                FastPath::None => self
-                    .core
-                    .multiply(pa.significand() as u64, pb.significand() as u64),
+                FastPath::None => {
+                    self.core.multiply(pa.significand() as u64, pb.significand() as u64)
+                }
                 FastPath::CanonicalAma5 => (pa.significand() as u64) << SIGNIFICAND_BITS,
                 FastPath::Exact => pa.significand() as u64 * pb.significand() as u64,
             }
         };
+        Self::finish(sign, pa.exponent, pb.exponent, prod)
+    }
+
+    /// The normalization/rounding unit: turn a 48-bit significand product and
+    /// the operand exponents into a packed binary32. Shared verbatim by the
+    /// scalar path and the batched kernel so the two cannot diverge.
+    #[inline]
+    fn finish(sign: u32, exp_a: u32, exp_b: u32, prod: u64) -> f32 {
         if prod == 0 {
             // Only reachable with aggressive cores under ablation wirings:
             // the normalization unit has nothing to normalize.
             return pack(sign, 0, 0);
         }
 
-        let mut exp = pa.exponent as i32 + pb.exponent as i32 - EXPONENT_BIAS;
+        let mut exp = exp_a as i32 + exp_b as i32 - EXPONENT_BIAS;
         // Exact-unit normalization: check bit 47 only, truncate low bits.
         let frac = if (prod >> 47) & 1 == 1 {
             exp += 1;
@@ -219,13 +227,233 @@ impl FloatMultiplier {
             ((prod >> 23) & 0x7F_FFFF) as u32
         };
 
-        if exp >= 0xFF {
-            return pack(sign, 0xFF, 0); // overflow -> infinity
+        pack_clamped(sign << 31, exp, frac)
+    }
+}
+
+/// Saturating exponent clamp + field pack: overflow to infinity, underflow
+/// flushed to zero. The single source of truth for the datapath's output
+/// stage, shared by [`FloatMultiplier::finish`] and the batched kernel's
+/// closed-form loops so they cannot diverge. `sign_bit` is already shifted
+/// into bit 31.
+#[inline]
+fn pack_clamped(sign_bit: u32, exp: i32, frac: u32) -> f32 {
+    let bits = if exp >= 0xFF {
+        sign_bit | 0x7F80_0000 // overflow -> infinity
+    } else if exp <= 0 {
+        sign_bit // underflow -> flush to zero
+    } else {
+        sign_bit | ((exp as u32) << 23) | frac
+    };
+    f32::from_bits(bits)
+}
+
+/// Gate-level core multiplies a memo-enabled kernel performs before it
+/// allocates its [`SigProductCache`]: a tiny GEMM (one Dense forward in an
+/// attack loop, say) never pays the 1 MiB table allocation, while any
+/// workload long enough to profit crosses the threshold almost immediately
+/// (each gate-level product costs ~0.5 µs; the table costs ~50 µs once).
+const MEMO_WARMUP_PRODUCTS: u32 = 512;
+
+/// Memoization state of a batched FPM kernel for `FastPath::None` cores.
+enum SigMemo {
+    /// Never memoize (one-shot slice calls).
+    Disabled,
+    /// Memo-enabled but below [`MEMO_WARMUP_PRODUCTS`]; counts down.
+    Warmup(u32),
+    /// Allocated and serving.
+    Active(SigProductCache),
+}
+
+/// The batched kernel behind [`FloatMultiplier::batch_kernel`]: decomposes
+/// the shared operand once per slice call and, for cores without a proven
+/// closed form (HEAP, ablation wirings), memoizes gate-level significand
+/// products in a [`SigProductCache`] (allocated lazily after a warmup, so
+/// small GEMMs skip it).
+///
+/// Bit-exactness with the scalar path holds by construction: the special
+/// value / zero / denormal branch structure mirrors `multiply_inner`, the
+/// normalization tail is the shared [`FloatMultiplier::finish`], and cache
+/// hits are validated against the full significand pair.
+struct FpmBatchKernel<'a> {
+    m: &'a FloatMultiplier,
+    memo: SigMemo,
+}
+
+impl<'a> FpmBatchKernel<'a> {
+    fn new(m: &'a FloatMultiplier, with_cache: bool) -> Self {
+        let memo = if with_cache && m.fast_path == FastPath::None {
+            SigMemo::Warmup(MEMO_WARMUP_PRODUCTS)
+        } else {
+            SigMemo::Disabled
+        };
+        FpmBatchKernel { m, memo }
+    }
+
+    #[inline]
+    fn sig_product(&mut self, sa: u64, sb: u64) -> u64 {
+        match self.m.fast_path {
+            FastPath::CanonicalAma5 => sa << SIGNIFICAND_BITS,
+            FastPath::Exact => sa * sb,
+            FastPath::None => {
+                let core = &self.m.core;
+                match &mut self.memo {
+                    SigMemo::Active(cache) => cache.product(sa, sb, |x, y| core.multiply(x, y)),
+                    SigMemo::Disabled => core.multiply(sa, sb),
+                    SigMemo::Warmup(left) => {
+                        *left -= 1;
+                        if *left == 0 {
+                            self.memo = SigMemo::Active(SigProductCache::default());
+                        }
+                        core.multiply(sa, sb)
+                    }
+                }
+            }
         }
-        if exp <= 0 {
-            return pack(sign, 0, 0); // underflow -> flush to zero
+    }
+
+    /// One product against a predecomposed left operand; mirrors
+    /// `multiply_inner` branch for branch.
+    #[inline]
+    fn mul_one(&mut self, pa: Binary32Parts, a_nan: bool, b: f32) -> f32 {
+        let pb = Binary32Parts::from_f32(b);
+        let sign = pa.sign ^ pb.sign;
+
+        if a_nan || b.is_nan() {
+            return f32::NAN;
         }
-        pack(sign, exp as u32, frac)
+        if pa.is_special() || pb.is_special() {
+            if pa.is_zero_or_denormal() || pb.is_zero_or_denormal() {
+                return f32::NAN;
+            }
+            return pack(sign, 0xFF, 0);
+        }
+        if pa.is_zero_or_denormal() || pb.is_zero_or_denormal() {
+            return pack(sign, 0, 0);
+        }
+
+        let prod = self.sig_product(pa.significand() as u64, pb.significand() as u64);
+        FloatMultiplier::finish(sign, pa.exponent, pb.exponent, prod)
+    }
+}
+
+impl FpmBatchKernel<'_> {
+    /// The AMA5 closed form (`prod = s_a << 24`) makes the product of two
+    /// normals a pure function of `a` and `b`'s sign/exponent fields:
+    /// `1.f_a · 2^(e_a + e_b - 126)`. With `a` normal and fixed, the inner
+    /// loop is a handful of integer ops per element; zero/denormal/special
+    /// `b` values take the shared scalar-equivalent slow path. Bit-exact
+    /// against `mul_one` by the derivation in DESIGN.md §4 (also enforced by
+    /// the GEMM property tests).
+    fn axpy_canonical_ama5(&mut self, pa: Binary32Parts, b: &[f32], acc: &mut [f32]) {
+        let sign_a = pa.sign << 31;
+        let fa = pa.fraction;
+        let ea = pa.exponent as i32;
+
+        // A slice with no zero/denormal/special element (the overwhelmingly
+        // common case in NN activations) runs a branchless select-only loop
+        // the autovectorizer can lower to SIMD; one slow element anywhere
+        // falls back to the per-element loop with the shared slow path.
+        let mut slow = 0u32;
+        for &y in b {
+            let e = (y.to_bits() >> 23) & 0xFF;
+            // Branchless (vectorizable) accumulate: e == 0 or e == 0xFF.
+            slow |= u32::from(e.wrapping_sub(1) >= 0xFE);
+        }
+        if slow == 0 {
+            for (o, &y) in acc.iter_mut().zip(b) {
+                let bbits = y.to_bits();
+                let sign = (sign_a ^ bbits) & 0x8000_0000;
+                // Normalization always fires (bit 47 of `s_a << 24` is the
+                // implicit one): biased exponent is e_a + e_b - 126.
+                let exp = ea + ((bbits >> 23) & 0xFF) as i32 - 126;
+                *o += pack_clamped(sign, exp, fa);
+            }
+            return;
+        }
+
+        for (o, &y) in acc.iter_mut().zip(b) {
+            let bbits = y.to_bits();
+            let bexp = (bbits >> 23) & 0xFF;
+            if bexp == 0 || bexp == 0xFF {
+                *o += self.mul_one(pa, false, y);
+                continue;
+            }
+            let sign = (sign_a ^ bbits) & 0x8000_0000;
+            let exp = ea + bexp as i32 - 126;
+            *o += pack_clamped(sign, exp, fa);
+        }
+    }
+
+    /// Exact-core fast path with the shared operand's significand hoisted:
+    /// one `u64` multiply plus a branch-reduced re-expression of
+    /// [`FloatMultiplier::finish`] per element (`h` is the normalization
+    /// bit, so `frac = (prod >> (23 + h)) & 0x7F_FFFF` and the biased
+    /// exponent is `e_a + e_b - 127 + h` — the same two cases `finish`
+    /// takes, without the branch). Zero/denormal/special `b` values use the
+    /// shared scalar-equivalent slow path; equality with `mul_one` is
+    /// enforced by the GEMM property tests.
+    fn axpy_exact_core(&mut self, pa: Binary32Parts, b: &[f32], acc: &mut [f32]) {
+        let sa = pa.significand() as u64;
+        let sign_a = pa.sign << 31;
+        let ea = pa.exponent as i32;
+        for (o, &y) in acc.iter_mut().zip(b) {
+            let bbits = y.to_bits();
+            let bexp = (bbits >> 23) & 0xFF;
+            if bexp == 0 || bexp == 0xFF {
+                *o += self.mul_one(pa, false, y);
+                continue;
+            }
+            let sb = ((1u32 << 23) | (bbits & 0x7F_FFFF)) as u64;
+            let prod = sa * sb;
+            let h = ((prod >> 47) & 1) as u32;
+            let sign = (sign_a ^ bbits) & 0x8000_0000;
+            let exp = ea + bexp as i32 - 127 + h as i32;
+            let frac = ((prod >> (23 + h)) & 0x7F_FFFF) as u32;
+            *o += pack_clamped(sign, exp, frac);
+        }
+    }
+}
+
+impl BatchKernel for FpmBatchKernel<'_> {
+    fn axpy(&mut self, a: f32, b: &[f32], acc: &mut [f32]) {
+        assert_eq!(b.len(), acc.len(), "axpy_slice length mismatch");
+        let pa = Binary32Parts::from_f32(a);
+        let a_nan = a.is_nan();
+        if !pa.is_special() && !pa.is_zero_or_denormal() {
+            match self.m.fast_path {
+                FastPath::CanonicalAma5 => return self.axpy_canonical_ama5(pa, b, acc),
+                FastPath::Exact => return self.axpy_exact_core(pa, b, acc),
+                FastPath::None => {}
+            }
+        }
+        for (o, &y) in acc.iter_mut().zip(b) {
+            *o += self.mul_one(pa, a_nan, y);
+        }
+    }
+
+    fn dot(&mut self, a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "dot_accumulate length mismatch");
+        let mut acc = 0.0f32;
+        for (&x, &y) in a.iter().zip(b) {
+            acc += self.mul_one(Binary32Parts::from_f32(x), x.is_nan(), y);
+        }
+        acc
+    }
+
+    fn mul(&mut self, a: &[f32], b: &[f32], out: &mut [f32]) {
+        assert_eq!(a.len(), b.len(), "multiply_slice length mismatch");
+        assert_eq!(a.len(), out.len(), "multiply_slice output length mismatch");
+        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *o = self.mul_one(Binary32Parts::from_f32(x), x.is_nan(), y);
+        }
+    }
+
+    fn cache_stats(&self) -> Option<(u64, u64)> {
+        match &self.memo {
+            SigMemo::Active(cache) => Some(cache.stats()),
+            SigMemo::Disabled | SigMemo::Warmup(_) => None,
+        }
     }
 }
 
@@ -236,6 +464,26 @@ impl Multiplier for FloatMultiplier {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    // One-shot slice calls amortize operand decomposition but skip the memo
+    // cache (a 1 MiB table is not worth allocating per call); long-lived
+    // kernels from `batch_kernel` get the cache.
+
+    fn multiply_slice(&self, a: &[f32], b: &[f32], out: &mut [f32]) {
+        FpmBatchKernel::new(self, false).mul(a, b, out);
+    }
+
+    fn dot_accumulate(&self, a: &[f32], b: &[f32]) -> f32 {
+        FpmBatchKernel::new(self, false).dot(a, b)
+    }
+
+    fn axpy_slice(&self, a: f32, b: &[f32], acc: &mut [f32]) {
+        FpmBatchKernel::new(self, false).axpy(a, b, acc);
+    }
+
+    fn batch_kernel(&self) -> Box<dyn BatchKernel + Send + '_> {
+        Box::new(FpmBatchKernel::new(self, true))
     }
 }
 
@@ -262,7 +510,11 @@ mod tests {
         let mag = r.abs();
         let towards_zero = f32::from_bits({
             let up = mag as f32;
-            if (up as f64) > mag { up.to_bits() - 1 } else { up.to_bits() }
+            if (up as f64) > mag {
+                up.to_bits() - 1
+            } else {
+                up.to_bits()
+            }
         });
         sign as f32 * towards_zero
     }

@@ -25,7 +25,7 @@ use crate::metrics::{error_stats, ErrorStats};
 pub fn split_spec(width: usize, low_kind: AdderKind, boundary: usize) -> ArrayMultiplierSpec {
     assert!(boundary <= 2 * width, "boundary {boundary} exceeds {} columns", 2 * width);
     let mut kinds = vec![low_kind; boundary];
-    kinds.extend(std::iter::repeat(AdderKind::Exact).take(2 * width - boundary));
+    kinds.extend(std::iter::repeat_n(AdderKind::Exact, 2 * width - boundary));
     ArrayMultiplierSpec {
         width,
         cells: CellAssignment::PerColumn(kinds),
@@ -136,13 +136,11 @@ pub fn explore(samples: usize, seed: u64) -> Vec<DesignPoint> {
 
     eval("exact".into(), ArrayMultiplierSpec::exact(SIGNIFICAND_BITS));
     eval("ax-fpm".into(), ArrayMultiplierSpec::ax_mantissa(SIGNIFICAND_BITS));
-    for kind in [AdderKind::Ama1, AdderKind::Ama2, AdderKind::Ama3, AdderKind::Ama4, AdderKind::Ama5]
+    for kind in
+        [AdderKind::Ama1, AdderKind::Ama2, AdderKind::Ama3, AdderKind::Ama4, AdderKind::Ama5]
     {
         for boundary in [24usize, 28, 32, 36, 40, 44] {
-            eval(
-                format!("{kind}<{boundary}"),
-                split_spec(SIGNIFICAND_BITS, kind, boundary),
-            );
+            eval(format!("{kind}<{boundary}"), split_spec(SIGNIFICAND_BITS, kind, boundary));
         }
     }
     points
@@ -152,14 +150,11 @@ pub fn explore(samples: usize, seed: u64) -> Vec<DesignPoint> {
 /// explored points with energy below `energy_budget`, the one whose MRED is
 /// closest to the published 0.12.
 pub fn select_heap(points: &[DesignPoint], energy_budget: f64) -> Option<&DesignPoint> {
-    points
-        .iter()
-        .filter(|p| p.energy <= energy_budget && p.stats.mred > 0.0)
-        .min_by(|a, b| {
-            let da = (a.stats.mred - 0.12).abs();
-            let db = (b.stats.mred - 0.12).abs();
-            da.partial_cmp(&db).expect("MRED is finite")
-        })
+    points.iter().filter(|p| p.energy <= energy_budget && p.stats.mred > 0.0).min_by(|a, b| {
+        let da = (a.stats.mred - 0.12).abs();
+        let db = (b.stats.mred - 0.12).abs();
+        da.partial_cmp(&db).expect("MRED is finite")
+    })
 }
 
 #[cfg(test)]

@@ -19,6 +19,27 @@
 //! * [`energy`] — a transistor-census energy and critical-path delay model
 //!   calibrated to the paper's PTM-45nm measurements (Tables 7 and 9).
 //!
+//! # Arithmetic backend
+//!
+//! Scalar [`Multiplier::multiply`] is the semantic ground truth, but hot
+//! paths (CNN GEMMs, profile sweeps) run on the **batched backend**:
+//!
+//! * Slice-level trait methods — [`Multiplier::multiply_slice`],
+//!   [`Multiplier::dot_accumulate`], [`Multiplier::axpy_slice`] — with
+//!   scalar-loop defaults and vectorizable overrides for the exact and
+//!   Bfloat16 multipliers.
+//! * [`Multiplier::batch_kernel`] hands out a per-worker stateful
+//!   [`batch::BatchKernel`]. The FPM kernel decomposes the shared operand
+//!   once per slice and, for cores without a proven closed form (HEAP and
+//!   ablation wirings), memoizes gate-level significand products in a
+//!   [`batch::SigProductCache`] — a direct-mapped LUT tagged with the full
+//!   24×24-bit significand pair, so hits are exact and misses fall back to
+//!   the gate-level core.
+//!
+//! Every batched path is **bit-identical** to the scalar loop it replaces
+//! (enforced by property tests here and in `da_nn`); approximation stays a
+//! property of the simulated hardware, never of the simulation strategy.
+//!
 //! # Quick example
 //!
 //! ```
@@ -34,6 +55,7 @@
 
 pub mod adders;
 pub mod array;
+pub mod batch;
 pub mod bfloat;
 pub mod bitslice;
 pub mod energy;
@@ -47,4 +69,5 @@ mod multiplier;
 
 pub use adders::AdderKind;
 pub use array::{ArrayMultiplier, ArrayMultiplierSpec, CellAssignment, CpaKind, PortMap};
+pub use batch::{BatchKernel, SigProductCache};
 pub use multiplier::{ExactMultiplier, Multiplier, MultiplierKind};

@@ -1,24 +1,86 @@
-//! The scalar-multiplier abstraction every CNN layer plugs into.
+//! The multiplier abstraction every CNN layer plugs into: a scalar
+//! `multiply` plus the batched slice-level API of the arithmetic backend
+//! (see [`crate::batch`]).
 
 use std::fmt;
 use std::sync::Arc;
 
 use crate::array::ArrayMultiplierSpec;
+use crate::batch::{BatchKernel, FallbackKernel};
 use crate::bfloat::BfloatMultiplier;
 use crate::fpm::FloatMultiplier;
 use crate::heap;
 
-/// A scalar `f32 × f32` multiplier — exact hardware, an approximate FPM, or
-/// a reduced-precision unit.
+/// An `f32 × f32` multiplier — exact hardware, an approximate FPM, or a
+/// reduced-precision unit.
 ///
 /// Implementors must be deterministic: the paper's defense relies on
 /// *data-dependent*, not random, noise.
+///
+/// Beyond the scalar [`multiply`](Multiplier::multiply), the trait carries
+/// the slice-level batched API. The defaults are scalar loops, so a new
+/// multiplier only has to implement `multiply`; performance-critical
+/// implementations override the slice methods (and
+/// [`batch_kernel`](Multiplier::batch_kernel)) with vectorizable or
+/// memoizing versions. **Every override must stay bit-identical to the
+/// scalar loop** — the GEMM property tests enforce this per kind.
 pub trait Multiplier: Send + Sync {
     /// Multiply two values through the simulated datapath.
     fn multiply(&self, a: f32, b: f32) -> f32;
 
     /// Short stable identifier (used in reports and cache keys).
     fn name(&self) -> &str;
+
+    /// Elementwise products: `out[i] = multiply(a[i], b[i])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three slice lengths differ.
+    fn multiply_slice(&self, a: &[f32], b: &[f32], out: &mut [f32]) {
+        assert_eq!(a.len(), b.len(), "multiply_slice length mismatch");
+        assert_eq!(a.len(), out.len(), "multiply_slice output length mismatch");
+        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *o = self.multiply(x, y);
+        }
+    }
+
+    /// Fused dot product: `Σ_i multiply(a[i], b[i])`, accumulated left to
+    /// right in `f32` (additions stay exact, as in the paper's datapath).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ.
+    fn dot_accumulate(&self, a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "dot_accumulate length mismatch");
+        let mut acc = 0.0f32;
+        for (&x, &y) in a.iter().zip(b) {
+            acc += self.multiply(x, y);
+        }
+        acc
+    }
+
+    /// Scaled accumulation: `acc[i] += multiply(a, b[i])` — the GEMM
+    /// workhorse (one weight against a row of activations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` and `acc` lengths differ.
+    fn axpy_slice(&self, a: f32, b: &[f32], acc: &mut [f32]) {
+        assert_eq!(b.len(), acc.len(), "axpy_slice length mismatch");
+        for (o, &y) in acc.iter_mut().zip(b) {
+            *o += self.multiply(a, y);
+        }
+    }
+
+    /// A stateful per-worker kernel for batched inner loops.
+    ///
+    /// The default delegates to the slice methods above. Gate-level
+    /// multipliers return memoizing kernels (see
+    /// [`crate::batch::SigProductCache`]); callers create one kernel per
+    /// worker thread and reuse it across an entire GEMM.
+    fn batch_kernel(&self) -> Box<dyn BatchKernel + Send + '_> {
+        Box::new(FallbackKernel::new(self))
+    }
 }
 
 impl fmt::Debug for dyn Multiplier {
@@ -46,6 +108,34 @@ impl Multiplier for ExactMultiplier {
 
     fn name(&self) -> &str {
         "exact"
+    }
+
+    // Native loops: with the defaults these would still be correct, but the
+    // explicit bodies contain no calls at all, so the compiler vectorizes
+    // them like hand-written f32 kernels.
+
+    fn multiply_slice(&self, a: &[f32], b: &[f32], out: &mut [f32]) {
+        assert_eq!(a.len(), b.len(), "multiply_slice length mismatch");
+        assert_eq!(a.len(), out.len(), "multiply_slice output length mismatch");
+        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *o = x * y;
+        }
+    }
+
+    fn dot_accumulate(&self, a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "dot_accumulate length mismatch");
+        let mut acc = 0.0f32;
+        for (&x, &y) in a.iter().zip(b) {
+            acc += x * y;
+        }
+        acc
+    }
+
+    fn axpy_slice(&self, a: f32, b: &[f32], acc: &mut [f32]) {
+        assert_eq!(b.len(), acc.len(), "axpy_slice length mismatch");
+        for (o, &y) in acc.iter_mut().zip(b) {
+            *o += a * y;
+        }
     }
 }
 

@@ -78,14 +78,23 @@ pub fn noise_profile(
 ) -> Vec<NoisePoint> {
     assert!(lo < hi, "empty operand range");
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| {
-            let a = rng.gen_range(lo..hi);
-            let b = rng.gen_range(lo..hi);
+    // Draw operands in the historical order (a then b per sample), then run
+    // one batched multiply over the whole sample set.
+    let mut a = Vec::with_capacity(n);
+    let mut b = Vec::with_capacity(n);
+    for _ in 0..n {
+        a.push(rng.gen_range(lo..hi));
+        b.push(rng.gen_range(lo..hi));
+    }
+    let mut approx = vec![0.0f32; n];
+    multiplier.multiply_slice(&a, &b, &mut approx);
+    a.iter()
+        .zip(&b)
+        .zip(&approx)
+        .map(|((&a, &b), &r)| {
             // Reference is the exact multiplier (native f32), as in Figure 3.
             let exact = (a * b) as f64;
-            let error = multiplier.multiply(a, b) as f64 - exact;
-            NoisePoint { exact, error }
+            NoisePoint { exact, error: r as f64 - exact }
         })
         .collect()
 }
@@ -100,11 +109,8 @@ pub fn summarize(points: &[NoisePoint], bins: usize) -> ProfileSummary {
     assert!(!points.is_empty(), "cannot summarize an empty profile");
     assert!(bins > 0, "need at least one bin");
 
-    let max_mag = points
-        .iter()
-        .map(|p| p.exact.abs())
-        .fold(0.0f64, f64::max)
-        .max(f64::MIN_POSITIVE);
+    let max_mag =
+        points.iter().map(|p| p.exact.abs()).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
 
     let mut bin_abs = vec![0.0f64; bins];
     let mut bin_max = vec![0.0f64; bins];
@@ -168,10 +174,8 @@ mod tests {
         let s = summarize(&pts, 10);
         // "mostly negative noise with orders of magnitude lower" (§7.2).
         assert!(s.negative_fraction > 0.5, "negative {}", s.negative_fraction);
-        let ax = summarize(
-            &noise_profile(&*MultiplierKind::AxFpm.build(), 20_000, 2, 0.0, 1.0),
-            10,
-        );
+        let ax =
+            summarize(&noise_profile(&*MultiplierKind::AxFpm.build(), 20_000, 2, 0.0, 1.0), 10);
         assert!(s.mean_abs_error * 10.0 < ax.mean_abs_error);
     }
 

@@ -85,10 +85,7 @@ impl std::fmt::Debug for RotatingMultiplier {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RotatingMultiplier")
             .field("epoch", &self.epoch())
-            .field(
-                "schedule",
-                &self.schedule.iter().map(|m| m.name()).collect::<Vec<_>>(),
-            )
+            .field("schedule", &self.schedule.iter().map(|m| m.name()).collect::<Vec<_>>())
             .finish()
     }
 }

@@ -201,7 +201,13 @@ impl CarliniWagnerL2 {
     /// # Panics
     ///
     /// Panics on degenerate configurations.
-    pub fn new(steps: usize, lr: f32, initial_c: f32, kappa: f32, binary_search_steps: usize) -> Self {
+    pub fn new(
+        steps: usize,
+        lr: f32,
+        initial_c: f32,
+        kappa: f32,
+        binary_search_steps: usize,
+    ) -> Self {
         assert!(steps > 0 && binary_search_steps > 0, "need iterations");
         assert!(lr > 0.0 && initial_c > 0.0 && kappa >= 0.0, "degenerate C&W config");
         CarliniWagnerL2 { steps, lr, initial_c, kappa, binary_search_steps }
@@ -347,9 +353,7 @@ impl Attack for DeepFool {
             let w_norm_sq = w_k.data().iter().map(|v| v * v).sum::<f32>().max(1e-12);
             let scale = (f_k.abs() + 1e-4) / w_norm_sq;
             total_r.add_scaled(&w_k, scale);
-            adv = clip01(
-                x.zip_map(&total_r, |orig, r| orig + (1.0 + self.overshoot) * r),
-            );
+            adv = clip01(x.zip_map(&total_r, |orig, r| orig + (1.0 + self.overshoot) * r));
         }
         adv
     }

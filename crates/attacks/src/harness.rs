@@ -89,10 +89,14 @@ pub fn evaluate_transfer(
     let mut source_successes = 0usize;
     let mut target_successes = 0usize;
 
+    // One batched forward pass filters the clean set (bit-identical to
+    // per-image prediction, but runs on the batched GEMM backend).
+    let clean_predictions = source.predict_batch(images);
+
     for i in 0..labels.len() {
         let x = images.batch_item(i);
         let label = labels[i];
-        if source.predict(&x) != label {
+        if clean_predictions[i] != label {
             continue; // only attack correctly classified inputs
         }
         attempted += 1;
@@ -174,8 +178,7 @@ mod tests {
         // a target success by definition.
         let net = trained(1);
         let (xs, ys) = data(12, 200);
-        let (report, outcomes) =
-            evaluate_transfer(&Fgsm::new(0.3), &net, &net, &xs, &ys);
+        let (report, outcomes) = evaluate_transfer(&Fgsm::new(0.3), &net, &net, &xs, &ys);
         assert_eq!(report.source_successes, report.target_successes);
         assert!(report.source_rate() > 0.5);
         assert_eq!(outcomes.len(), report.attempted);

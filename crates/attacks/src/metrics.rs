@@ -10,11 +10,7 @@ use da_tensor::Tensor;
 /// Panics if shapes differ.
 pub fn l0(a: &Tensor, b: &Tensor) -> usize {
     assert_eq!(a.shape(), b.shape(), "l0 shape mismatch");
-    a.data()
-        .iter()
-        .zip(b.data())
-        .filter(|(x, y)| (*x - *y).abs() > 1e-6)
-        .count()
+    a.data().iter().zip(b.data()).filter(|(x, y)| (*x - *y).abs() > 1e-6).count()
 }
 
 /// Euclidean (L2) distance.
@@ -34,11 +30,7 @@ pub fn l2(a: &Tensor, b: &Tensor) -> f64 {
 /// Chebyshev (L∞) distance.
 pub fn linf(a: &Tensor, b: &Tensor) -> f64 {
     assert_eq!(a.shape(), b.shape(), "linf shape mismatch");
-    a.data()
-        .iter()
-        .zip(b.data())
-        .map(|(x, y)| ((*x - *y) as f64).abs())
-        .fold(0.0, f64::max)
+    a.data().iter().zip(b.data()).map(|(x, y)| ((*x - *y) as f64).abs()).fold(0.0, f64::max)
 }
 
 /// Mean squared error.

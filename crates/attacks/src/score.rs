@@ -29,7 +29,13 @@ impl LocalSearch {
     /// # Panics
     ///
     /// Panics on degenerate budgets.
-    pub fn new(rounds: usize, candidates: usize, apply_per_round: usize, strength: f32, seed: u64) -> Self {
+    pub fn new(
+        rounds: usize,
+        candidates: usize,
+        apply_per_round: usize,
+        strength: f32,
+        seed: u64,
+    ) -> Self {
         assert!(rounds > 0 && candidates > 0 && apply_per_round > 0, "degenerate LSA budget");
         assert!(strength > 0.0, "strength must be positive");
         LocalSearch { rounds, candidates, apply_per_round, strength, seed }

@@ -29,9 +29,7 @@ impl Default for SubstituteConfig {
 
 /// Label `queries` by the victim's decisions — the reverse-engineering step.
 pub fn query_labels(victim: &dyn TargetModel, queries: &Tensor) -> Vec<usize> {
-    (0..queries.shape()[0])
-        .map(|i| victim.predict(&queries.batch_item(i)))
-        .collect()
+    (0..queries.shape()[0]).map(|i| victim.predict(&queries.batch_item(i))).collect()
 }
 
 /// Train `substitute` (an untrained architecture) to imitate `victim` on the
@@ -50,13 +48,7 @@ pub fn train_substitute(
         seed: config.seed,
         verbose: false,
     };
-    let report = train(
-        substitute,
-        queries,
-        &labels,
-        &train_config,
-        &mut Adam::new(config.lr),
-    );
+    let report = train(substitute, queries, &labels, &train_config, &mut Adam::new(config.lr));
     report.final_accuracy
 }
 

@@ -33,13 +33,28 @@ pub trait TargetModel: Send + Sync {
     /// Predicted label (decision-based access).
     fn predict(&self, x: &Tensor) -> usize {
         let logits = self.logits(x);
-        logits
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
-            .map(|(i, _)| i)
-            .expect("non-empty logits")
+        argmax_logits(&logits)
     }
+
+    /// Predicted labels for a whole `[N, C, H, W]` batch.
+    ///
+    /// The default loops [`predict`](TargetModel::predict) per image; models
+    /// backed by batched inference (like [`Network`]) override it with one
+    /// batched forward pass through the slice-level arithmetic backend,
+    /// which is bit-identical per image.
+    fn predict_batch(&self, images: &Tensor) -> Vec<usize> {
+        (0..images.shape()[0]).map(|i| self.predict(&images.batch_item(i))).collect()
+    }
+}
+
+/// Shared argmax with `predict`'s tie behavior (last maximum wins).
+fn argmax_logits(logits: &[f32]) -> usize {
+    logits
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+        .map(|(i, _)| i)
+        .expect("non-empty logits")
 }
 
 impl TargetModel for Network {
@@ -49,19 +64,25 @@ impl TargetModel for Network {
     }
 
     fn logits(&self, x: &Tensor) -> Vec<f32> {
-        let batch = Tensor::stack(&[x.clone()]);
+        let batch = Tensor::stack(std::slice::from_ref(x));
         Network::logits(self, &batch).into_vec()
     }
 
     fn loss_gradient(&self, x: &Tensor, label: usize) -> (f32, Tensor) {
-        let batch = Tensor::stack(&[x.clone()]);
+        let batch = Tensor::stack(std::slice::from_ref(x));
         let (loss, grad) = Network::input_gradient(self, &batch, &[label]);
         (loss, grad.batch_item(0))
     }
 
     fn class_gradient(&self, x: &Tensor, class: usize) -> Tensor {
-        let batch = Tensor::stack(&[x.clone()]);
+        let batch = Tensor::stack(std::slice::from_ref(x));
         Network::class_gradient(self, &batch, class).batch_item(0)
+    }
+
+    fn predict_batch(&self, images: &Tensor) -> Vec<usize> {
+        let logits = Network::logits(self, images);
+        let classes = logits.shape()[1];
+        logits.data().chunks(classes).map(argmax_logits).collect()
     }
 }
 
@@ -126,7 +147,8 @@ mod tests {
     #[test]
     fn network_implements_target_model() {
         let net = tiny_model();
-        let x = Tensor::rand_uniform(&[1, 4, 4], 0.0, 1.0, &mut rand::rngs::StdRng::seed_from_u64(2));
+        let x =
+            Tensor::rand_uniform(&[1, 4, 4], 0.0, 1.0, &mut rand::rngs::StdRng::seed_from_u64(2));
         assert_eq!(net.num_classes(), 3);
         assert_eq!(TargetModel::logits(&net, &x).len(), 3);
         let probs = TargetModel::probabilities(&net, &x);
@@ -140,7 +162,8 @@ mod tests {
     #[test]
     fn decision_only_forwards_predictions() {
         let net = tiny_model();
-        let x = Tensor::rand_uniform(&[1, 4, 4], 0.0, 1.0, &mut rand::rngs::StdRng::seed_from_u64(3));
+        let x =
+            Tensor::rand_uniform(&[1, 4, 4], 0.0, 1.0, &mut rand::rngs::StdRng::seed_from_u64(3));
         let wrapped = DecisionOnly(&net);
         assert_eq!(wrapped.predict(&x), TargetModel::predict(&net, &x));
         assert_eq!(wrapped.num_classes(), 3);

@@ -1,0 +1,108 @@
+//! GEMM backend throughput: the seed's per-scalar dyn-dispatch path vs the
+//! batched slice-kernel + memoized-LUT backend, in MACs/s.
+//!
+//! This is the perf baseline for future scaling PRs (SIMD, quantized int
+//! paths, sharding): run `cargo bench --bench gemm_backend_throughput` and
+//! compare the printed table. Sizes follow the issue spec: 64×64×64 and
+//! 256×256×256. The scalar baseline for HEAP at 256³ simulates ~16.8M
+//! gate-level multiplies and is skipped unless `DA_BENCH_FULL=1`.
+
+use std::time::Instant;
+
+use da_arith::MultiplierKind;
+use da_nn::layers::{gemm_with, matmul_with_scalar};
+use da_tensor::Tensor;
+use rand::SeedableRng;
+
+/// Time `f` (best of `reps` runs, after one warmup) and return MACs/s.
+fn macs_per_sec(macs: usize, reps: usize, mut f: impl FnMut() -> Tensor) -> f64 {
+    let mut best = f64::INFINITY;
+    let _warmup = f();
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = f();
+        let dt = start.elapsed().as_secs_f64();
+        std::hint::black_box(out);
+        best = best.min(dt);
+    }
+    macs as f64 / best
+}
+
+fn human(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} GMAC/s", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} MMAC/s", rate / 1e6)
+    } else {
+        format!("{:.1} kMAC/s", rate / 1e3)
+    }
+}
+
+fn main() {
+    let full = std::env::var_os("DA_BENCH_FULL").is_some();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+
+    println!("GEMM backend throughput (batched slice kernels + memoized significand LUTs");
+    println!("vs the seed's one-virtual-call-per-MAC loop; higher is better)");
+    println!();
+    println!(
+        "{:<12} {:<14} {:>16} {:>16} {:>9}",
+        "size", "multiplier", "scalar-dyn", "batched", "speedup"
+    );
+
+    for &(m, k, n) in &[(64usize, 64usize, 64usize), (256, 256, 256)] {
+        let macs = m * k * n;
+        let reps = if macs <= 1 << 19 { 5 } else { 3 };
+        let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+
+        // Continuous uniform operands never repeat a significand pair, so
+        // they show the worst case for the memo LUT; the "heap-q8" row uses
+        // 8-bit-quantized operands (the realistic low-entropy regime of
+        // quantized weights/activations) where the LUT pays off.
+        let quantize = |t: &Tensor| t.map(|v| (v * 127.0).round() / 127.0);
+        let (aq, bq) = (quantize(&a), quantize(&b));
+
+        for kind in MultiplierKind::ALL {
+            let mult = kind.build();
+            // Gate-level HEAP at 256³ needs minutes per scalar run.
+            let scalar_feasible = full || kind != MultiplierKind::Heap || macs <= 1 << 19;
+
+            let batched = macs_per_sec(macs, reps, || gemm_with(&*mult, &a, &b));
+            let scalar = if scalar_feasible {
+                Some(macs_per_sec(macs, reps, || matmul_with_scalar(&*mult, &a, &b)))
+            } else {
+                None
+            };
+            print_row(&format!("{m}x{k}x{n}"), kind.as_str(), scalar, batched);
+
+            if kind == MultiplierKind::Heap && scalar_feasible {
+                let batched_q = macs_per_sec(macs, reps, || gemm_with(&*mult, &aq, &bq));
+                let scalar_q = macs_per_sec(macs, reps, || matmul_with_scalar(&*mult, &aq, &bq));
+                print_row(&format!("{m}x{k}x{n}"), "heap-q8", Some(scalar_q), batched_q);
+            }
+        }
+        println!();
+    }
+}
+
+fn print_row(size: &str, kind: &str, scalar: Option<f64>, batched: f64) {
+    match scalar {
+        Some(s) => println!(
+            "{:<12} {:<14} {:>16} {:>16} {:>8.1}x",
+            size,
+            kind,
+            human(s),
+            human(batched),
+            batched / s
+        ),
+        None => println!(
+            "{:<12} {:<14} {:>16} {:>16} {:>9}",
+            size,
+            kind,
+            "(skipped)",
+            human(batched),
+            "-"
+        ),
+    }
+}

@@ -13,7 +13,11 @@ fn bench(c: &mut Criterion) {
     let table = table5(&cache, &budget);
     println!("\n{table}");
     let (da, dq) = table.mean_rates();
-    println!("mean transfer: DA {:.0}% vs DQ-full {:.0}% (paper: DA ~2x more robust)", da * 100.0, dq * 100.0);
+    println!(
+        "mean transfer: DA {:.0}% vs DQ-full {:.0}% (paper: DA ~2x more robust)",
+        da * 100.0,
+        dq * 100.0
+    );
 
     // Kernel: a fully quantized DQ inference.
     let dq_net = cache.dq_convnet(&budget, DqMode::Full);

@@ -56,11 +56,7 @@ impl<'a> MultiplierEnsemble<'a> {
         }
         let best = counts.iter().max().copied().unwrap_or(0);
         // Ties break in vote order (i.e., toward earlier-listed variants).
-        votes
-            .iter()
-            .copied()
-            .find(|&v| counts[v] == best)
-            .expect("non-empty votes")
+        votes.iter().copied().find(|&v| counts[v] == best).expect("non-empty votes")
     }
 
     /// Vote agreement in `[1/n, 1]` — a confidence proxy that needs no
@@ -95,7 +91,7 @@ mod tests {
             let x = ds.images.batch_item(i);
             let pred = ensemble.predict(&x);
             let agreement = ensemble.agreement(&x);
-            assert!(agreement >= 1.0 / 3.0 && agreement <= 1.0);
+            assert!((1.0 / 3.0..=1.0).contains(&agreement));
             if pred == ds.labels[i] {
                 correct += 1;
             }

@@ -66,17 +66,14 @@ pub fn table6(cache: &ModelCache, budget: &Budget) -> AccuracyTable {
         ));
     }
     // DQ models (CIFAR-only in the paper).
-    for (label, mode) in [
-        ("Fully quantized", DqMode::Full),
-        ("Weight-only quantized", DqMode::WeightOnly),
-    ] {
+    for (label, mode) in
+        [("Fully quantized", DqMode::Full), ("Weight-only quantized", DqMode::WeightOnly)]
+    {
         let net = cache.dq_convnet(budget, mode);
         rows.push((
             label.to_string(),
             None,
-            Some(
-                evaluate_accuracy(&net, &objects_test.images, &objects_test.labels, 64) as f64,
-            ),
+            Some(evaluate_accuracy(&net, &objects_test.images, &objects_test.labels, 64) as f64),
         ));
     }
     // Order rows like the paper: Float32, DA, DQ-full, DQ-weight, Bfloat16.

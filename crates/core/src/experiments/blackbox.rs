@@ -78,12 +78,8 @@ fn pipeline(
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         lenet5(10, &mut rng)
     };
-    let config = SubstituteConfig {
-        epochs: budget.lenet_epochs.max(2),
-        batch_size: 32,
-        lr: 1e-3,
-        seed,
-    };
+    let config =
+        SubstituteConfig { epochs: budget.lenet_epochs.max(2), batch_size: 32, lr: 1e-3, seed };
     let agreement = train_substitute(&mut substitute, victim, &queries.images, &config) as f64;
 
     let eval = synth_digits(budget.transfer_samples.max(10), EVAL_SEED ^ seed);

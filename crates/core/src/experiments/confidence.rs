@@ -107,8 +107,7 @@ mod tests {
     fn fraction_above_is_monotone() {
         let vals = [0.1f32, 0.5, 0.9];
         assert!(
-            ConfidenceCdf::fraction_above(&vals, 0.0)
-                >= ConfidenceCdf::fraction_above(&vals, 0.6)
+            ConfidenceCdf::fraction_above(&vals, 0.0) >= ConfidenceCdf::fraction_above(&vals, 0.6)
         );
         assert_eq!(ConfidenceCdf::fraction_above(&vals, 0.95), 0.0);
     }

@@ -51,7 +51,11 @@ impl DqTable {
 
 impl std::fmt::Display for DqTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Table 5: DA vs DQ transferability (SynthObjects, {} samples/row)", self.samples)?;
+        writeln!(
+            f,
+            "Table 5: DA vs DQ transferability (SynthObjects, {} samples/row)",
+            self.samples
+        )?;
         writeln!(
             f,
             "{:<8} {:>8} {:>8} {:>10} {:>14}",

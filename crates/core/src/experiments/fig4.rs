@@ -58,14 +58,10 @@ impl std::fmt::Display for SimilaritySeries {
     }
 }
 
-/// Single-window convolution (dot product) through a multiplier.
+/// Single-window convolution (dot product) through a multiplier, on the
+/// batched backend (bit-identical to the scalar multiply-and-sum loop).
 fn convolve(m: &dyn Multiplier, kernel: &Tensor, input: &Tensor) -> f32 {
-    kernel
-        .data()
-        .iter()
-        .zip(input.data())
-        .map(|(&k, &x)| m.multiply(k, x))
-        .sum()
+    m.dot_accumulate(kernel.data(), input.data())
 }
 
 /// **Figure 4** — run the experiment with `levels` similarity steps.

@@ -91,11 +91,7 @@ mod tests {
         assert_eq!(report.stats.len(), 3);
         assert_eq!(report.stats[0].multiplier, "Exact");
         // The paper's Figure-16 observation: Ax-FPM raises feature scores.
-        assert!(
-            report.mean_ratio(1) > 1.0,
-            "Ax-FPM ratio {} must exceed 1",
-            report.mean_ratio(1)
-        );
+        assert!(report.mean_ratio(1) > 1.0, "Ax-FPM ratio {} must exceed 1", report.mean_ratio(1));
         // And HEAP sits closer to exact than Ax-FPM does.
         let heap_dev = (report.mean_ratio(2) - 1.0).abs();
         let ax_dev = (report.mean_ratio(1) - 1.0).abs();

@@ -48,7 +48,13 @@ fn profile(title: &str, kind: MultiplierKind, samples: usize, lo: f32, hi: f32) 
 
 /// **Figure 3** — Ax-FPM noise over operands in `[-1, 1]`.
 pub fn fig3(budget: &Budget) -> ProfileReport {
-    profile("Figure 3: Ax-FPM noise profile, operands in [-1, 1]", MultiplierKind::AxFpm, budget.profile_samples, -1.0, 1.0)
+    profile(
+        "Figure 3: Ax-FPM noise profile, operands in [-1, 1]",
+        MultiplierKind::AxFpm,
+        budget.profile_samples,
+        -1.0,
+        1.0,
+    )
 }
 
 /// **Figure 13** — Bfloat16 noise over operands in `[0, 1]`.
@@ -65,8 +71,20 @@ pub fn fig13(budget: &Budget) -> ProfileReport {
 /// **Figure 15** — Ax-FPM vs HEAP noise profiles side by side (Appendix A).
 pub fn fig15(budget: &Budget) -> (ProfileReport, ProfileReport) {
     (
-        profile("Figure 15a: Ax-FPM noise profile, operands in [0, 1]", MultiplierKind::AxFpm, budget.profile_samples, 0.0, 1.0),
-        profile("Figure 15b: HEAP noise profile, operands in [0, 1]", MultiplierKind::Heap, budget.profile_samples, 0.0, 1.0),
+        profile(
+            "Figure 15a: Ax-FPM noise profile, operands in [0, 1]",
+            MultiplierKind::AxFpm,
+            budget.profile_samples,
+            0.0,
+            1.0,
+        ),
+        profile(
+            "Figure 15b: HEAP noise profile, operands in [0, 1]",
+            MultiplierKind::Heap,
+            budget.profile_samples,
+            0.0,
+            1.0,
+        ),
     )
 }
 

@@ -140,11 +140,7 @@ fn attack_series(
 }
 
 /// Run one white-box attack against both classifiers.
-pub fn whitebox_report(
-    attack: &dyn Attack,
-    cache: &ModelCache,
-    budget: &Budget,
-) -> WhiteboxReport {
+pub fn whitebox_report(attack: &dyn Attack, cache: &ModelCache, budget: &Budget) -> WhiteboxReport {
     let exact = cache.lenet(budget);
     let approx = with_multiplier(cache.lenet(budget), MultiplierKind::AxFpm);
     let ds = cache.digits_test(budget.whitebox_samples.max(2) * 2);

@@ -36,10 +36,7 @@ impl Dataset {
     pub fn new(images: Tensor, labels: Vec<usize>, classes: usize) -> Self {
         assert_eq!(images.shape()[0], labels.len(), "one label per image");
         assert!(classes > 0, "need at least one class");
-        assert!(
-            labels.iter().all(|&l| l < classes),
-            "label out of range for {classes} classes"
-        );
+        assert!(labels.iter().all(|&l| l < classes), "label out of range for {classes} classes");
         Dataset { images, labels, classes }
     }
 
@@ -60,7 +57,10 @@ impl Dataset {
     /// Panics unless `0 < n < len()`.
     pub fn split(&self, n: usize) -> (Dataset, Dataset) {
         assert!(n > 0 && n < self.len(), "split point {n} out of 1..{}", self.len());
-        (self.subset(&(0..n).collect::<Vec<_>>()), self.subset(&(n..self.len()).collect::<Vec<_>>()))
+        (
+            self.subset(&(0..n).collect::<Vec<_>>()),
+            self.subset(&(n..self.len()).collect::<Vec<_>>()),
+        )
     }
 
     /// The examples selected by `idxs`, in order.
@@ -110,7 +110,10 @@ mod tests {
     use super::*;
 
     fn toy(n: usize) -> Dataset {
-        let images = Tensor::from_vec((0..n * 4).map(|v| v as f32 / (n * 4) as f32).collect(), &[n, 1, 2, 2]);
+        let images = Tensor::from_vec(
+            (0..n * 4).map(|v| v as f32 / (n * 4) as f32).collect(),
+            &[n, 1, 2, 2],
+        );
         let labels = (0..n).map(|i| i % 3).collect();
         Dataset::new(images, labels, 3)
     }

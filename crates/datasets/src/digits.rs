@@ -52,14 +52,10 @@ pub fn digit_strokes(digit: usize) -> Vec<Stroke> {
             arc((0.62, 0.4), (0.36, 0.52), PI * 0.8, PI * 1.25),
         ],
         7 => vec![line((0.28, 0.15), (0.74, 0.15)), line((0.74, 0.15), (0.42, 0.87))],
-        8 => vec![
-            arc((0.5, 0.31), (0.19, 0.16), 0.0, TAU),
-            arc((0.5, 0.68), (0.23, 0.19), 0.0, TAU),
-        ],
-        9 => vec![
-            arc((0.5, 0.36), (0.21, 0.19), 0.0, TAU),
-            line((0.71, 0.4), (0.58, 0.87)),
-        ],
+        8 => {
+            vec![arc((0.5, 0.31), (0.19, 0.16), 0.0, TAU), arc((0.5, 0.68), (0.23, 0.19), 0.0, TAU)]
+        }
+        9 => vec![arc((0.5, 0.36), (0.21, 0.19), 0.0, TAU), line((0.71, 0.4), (0.58, 0.87))],
         _ => unreachable!(),
     }
 }
@@ -167,8 +163,7 @@ mod tests {
     fn digits_have_ink_and_are_distinct() {
         let style = DigitStyle { noise: 0.0, ..DigitStyle::default() };
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let images: Vec<Tensor> =
-            (0..10).map(|d| digit_image(d, &style, &mut rng)).collect();
+        let images: Vec<Tensor> = (0..10).map(|d| digit_image(d, &style, &mut rng)).collect();
         for (d, img) in images.iter().enumerate() {
             let ink = img.sum();
             assert!(ink > 10.0, "digit {d} has almost no ink:\n{}", ascii_art(img.data(), SIZE));

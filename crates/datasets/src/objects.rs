@@ -78,12 +78,10 @@ pub fn object_image<R: Rng>(class: usize, style: &ObjectStyle, rng: &mut R) -> T
     let kind = ObjectClass::ALL[class];
 
     // Foreground/background colors kept apart so classes stay learnable.
-    let bg: [f32; 3] = [rng.gen_range(0.0..0.45), rng.gen_range(0.0..0.45), rng.gen_range(0.0..0.45)];
-    let mut fg: [f32; 3] = [
-        rng.gen_range(0.45..1.0),
-        rng.gen_range(0.45..1.0),
-        rng.gen_range(0.45..1.0),
-    ];
+    let bg: [f32; 3] =
+        [rng.gen_range(0.0..0.45), rng.gen_range(0.0..0.45), rng.gen_range(0.0..0.45)];
+    let mut fg: [f32; 3] =
+        [rng.gen_range(0.45..1.0), rng.gen_range(0.45..1.0), rng.gen_range(0.45..1.0)];
     if rng.gen_bool(0.5) {
         fg.swap(0, 2);
     }
@@ -137,8 +135,8 @@ pub fn object_image<R: Rng>(class: usize, style: &ObjectStyle, rng: &mut R) -> T
         for x in 0..SIZE {
             let cov = coverage(x as f32, y as f32);
             for ch in 0..3 {
-                let v = bg[ch] + (fg[ch] - bg[ch]) * cov
-                    + rng.gen_range(-style.noise..=style.noise);
+                let v =
+                    bg[ch] + (fg[ch] - bg[ch]) * cov + rng.gen_range(-style.noise..=style.noise);
                 data[ch * SIZE * SIZE + y * SIZE + x] = v.clamp(0.0, 1.0);
             }
         }
@@ -199,8 +197,7 @@ mod tests {
     fn classes_are_visually_distinct_without_noise() {
         let style = ObjectStyle { noise: 0.0, jitter: 0.0, radius: (10.0, 10.0) };
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let images: Vec<Tensor> =
-            (0..CLASSES).map(|c| object_image(c, &style, &mut rng)).collect();
+        let images: Vec<Tensor> = (0..CLASSES).map(|c| object_image(c, &style, &mut rng)).collect();
         for i in 0..CLASSES {
             for j in (i + 1)..CLASSES {
                 let dist = images[i].zip_map(&images[j], |a, b| a - b).l2_norm();

@@ -111,10 +111,7 @@ pub fn rasterize(
                 let steps = ((span * radii.0.max(radii.1) * size as f32) as usize).max(8);
                 for s in 0..=steps {
                     let theta = start + (end - start) * s as f32 / steps as f32;
-                    let p = (
-                        center.0 + radii.0 * theta.cos(),
-                        center.1 + radii.1 * theta.sin(),
-                    );
+                    let p = (center.0 + radii.0 * theta.cos(), center.1 + radii.1 * theta.sin());
                     let q = px(p);
                     stamp(buffer, size, q.0, q.1, thickness);
                 }

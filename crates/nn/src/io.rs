@@ -150,15 +150,13 @@ pub fn load_params(network: &mut Network, path: impl AsRef<Path>) -> Result<(), 
 
 fn read_u32<R: Read>(r: &mut R) -> Result<u32, ModelIoError> {
     let mut buf = [0u8; 4];
-    r.read_exact(&mut buf)
-        .map_err(|_| ModelIoError::Format("unexpected end of file".into()))?;
+    r.read_exact(&mut buf).map_err(|_| ModelIoError::Format("unexpected end of file".into()))?;
     Ok(u32::from_le_bytes(buf))
 }
 
 fn read_f32<R: Read>(r: &mut R) -> Result<f32, ModelIoError> {
     let mut buf = [0u8; 4];
-    r.read_exact(&mut buf)
-        .map_err(|_| ModelIoError::Format("unexpected end of file".into()))?;
+    r.read_exact(&mut buf).map_err(|_| ModelIoError::Format("unexpected end of file".into()))?;
     Ok(f32::from_le_bytes(buf))
 }
 
@@ -235,8 +233,7 @@ mod tests {
 
     #[test]
     fn missing_file_is_io_error() {
-        let err = load_params(&mut make_net(8), tmp("does_not_exist.bin"))
-            .expect_err("must fail");
+        let err = load_params(&mut make_net(8), tmp("does_not_exist.bin")).expect_err("must fail");
         assert!(matches!(err, ModelIoError::Io(_)), "{err}");
     }
 }

@@ -172,9 +172,8 @@ impl Layer for Conv2d {
             dw.add_assign(&matmul(&gi, &transpose2d(&cols)));
             // db += row sums of gi
             for co in 0..cout {
-                db.data_mut()[co] += gi.data()[co * oh * ow..(co + 1) * oh * ow]
-                    .iter()
-                    .sum::<f32>();
+                db.data_mut()[co] +=
+                    gi.data()[co * oh * ow..(co + 1) * oh * ow].iter().sum::<f32>();
             }
             // dX = col2im(Wᵀ · gi)
             let dcols = matmul(&wmat_t, &gi);

@@ -17,7 +17,7 @@ mod norm;
 mod pool;
 mod simple;
 
-pub use approx::matmul_with;
+pub use approx::{gemm_with, matmul_with, matmul_with_scalar, transpose2d};
 pub use conv::Conv2d;
 pub use dense::Dense;
 pub use norm::BatchNorm;
@@ -42,9 +42,7 @@ impl Mode {
         match self {
             Mode::Eval => Mode::Eval,
             Mode::Train { seed } => Mode::Train {
-                seed: seed
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add(layer_index as u64 + 1),
+                seed: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(layer_index as u64 + 1),
             },
         }
     }
@@ -117,9 +115,8 @@ pub(crate) mod gradcheck {
         let mode = Mode::Eval;
         let (out, cache) = layer.forward(x, mode);
         // Fixed pseudo-random loss weights make the test sensitive everywhere.
-        let w: Vec<f32> = (0..out.len())
-            .map(|i| ((i * 2654435761) % 1000) as f32 / 1000.0 - 0.5)
-            .collect();
+        let w: Vec<f32> =
+            (0..out.len()).map(|i| ((i * 2654435761) % 1000) as f32 / 1000.0 - 0.5).collect();
         let grad_out = Tensor::from_vec(w.clone(), out.shape());
         let (grad_in, _) = layer.backward(&cache, &grad_out);
 
@@ -129,22 +126,10 @@ pub(crate) mod gradcheck {
             xp.data_mut()[i] += eps;
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
-            let lp: f32 = layer
-                .forward(&xp, mode)
-                .0
-                .data()
-                .iter()
-                .zip(&w)
-                .map(|(a, b)| a * b)
-                .sum();
-            let lm: f32 = layer
-                .forward(&xm, mode)
-                .0
-                .data()
-                .iter()
-                .zip(&w)
-                .map(|(a, b)| a * b)
-                .sum();
+            let lp: f32 =
+                layer.forward(&xp, mode).0.data().iter().zip(&w).map(|(a, b)| a * b).sum();
+            let lm: f32 =
+                layer.forward(&xm, mode).0.data().iter().zip(&w).map(|(a, b)| a * b).sum();
             let numeric = (lp - lm) / (2.0 * eps);
             let analytic = grad_in.data()[i];
             assert!(
@@ -158,9 +143,8 @@ pub(crate) mod gradcheck {
     pub fn check_param_gradients<L: Layer>(layer: &mut L, x: &Tensor, tol: f32) {
         let mode = Mode::Eval;
         let (out, cache) = layer.forward(x, mode);
-        let w: Vec<f32> = (0..out.len())
-            .map(|i| ((i * 1103515245) % 1000) as f32 / 1000.0 - 0.5)
-            .collect();
+        let w: Vec<f32> =
+            (0..out.len()).map(|i| ((i * 1103515245) % 1000) as f32 / 1000.0 - 0.5).collect();
         let grad_out = Tensor::from_vec(w.clone(), out.shape());
         let (_, param_grads) = layer.backward(&cache, &grad_out);
         assert_eq!(param_grads.len(), layer.params().len());
@@ -171,29 +155,16 @@ pub(crate) mod gradcheck {
             for i in (0..n).step_by((n / 12).max(1)) {
                 let orig = layer.params()[p].data()[i];
                 layer.params_mut()[p].data_mut()[i] = orig + eps;
-                let lp: f32 = layer
-                    .forward(x, mode)
-                    .0
-                    .data()
-                    .iter()
-                    .zip(&w)
-                    .map(|(a, b)| a * b)
-                    .sum();
+                let lp: f32 =
+                    layer.forward(x, mode).0.data().iter().zip(&w).map(|(a, b)| a * b).sum();
                 layer.params_mut()[p].data_mut()[i] = orig - eps;
-                let lm: f32 = layer
-                    .forward(x, mode)
-                    .0
-                    .data()
-                    .iter()
-                    .zip(&w)
-                    .map(|(a, b)| a * b)
-                    .sum();
+                let lm: f32 =
+                    layer.forward(x, mode).0.data().iter().zip(&w).map(|(a, b)| a * b).sum();
                 layer.params_mut()[p].data_mut()[i] = orig;
                 let numeric = (lp - lm) / (2.0 * eps);
                 let analytic = param_grads[p].data()[i];
                 assert!(
-                    (numeric - analytic).abs()
-                        <= tol * (1.0 + numeric.abs().max(analytic.abs())),
+                    (numeric - analytic).abs() <= tol * (1.0 + numeric.abs().max(analytic.abs())),
                     "param {p} grad mismatch at {i}: numeric={numeric} analytic={analytic}"
                 );
             }

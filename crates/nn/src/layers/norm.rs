@@ -38,10 +38,7 @@ impl BatchNorm {
         BatchNorm {
             gamma: Tensor::ones(&[channels]),
             beta: Tensor::zeros(&[channels]),
-            running: Mutex::new(Running {
-                mean: vec![0.0; channels],
-                var: vec![1.0; channels],
-            }),
+            running: Mutex::new(Running { mean: vec![0.0; channels], var: vec![1.0; channels] }),
             momentum: 0.1,
             eps: 1e-5,
         }
@@ -70,7 +67,8 @@ impl Layer for BatchNorm {
         let rank = x.shape().len();
         assert!(rank == 2 || rank == 4, "BatchNorm expects [N, F] or [N, C, H, W]");
         let c = self.channels();
-        let axis = if rank == 2 { x.shape()[1] } else { x.shape()[1] };
+        // In both layouts ([N, F] and [N, C, H, W]) axis 1 is the channel.
+        let axis = x.shape()[1];
         assert_eq!(axis, c, "channel mismatch");
         let chan = Self::channel_of(x.shape());
         let per_channel = x.len() / c;
@@ -114,10 +112,7 @@ impl Layer for BatchNorm {
         }
 
         let cache = Cache {
-            tensors: vec![
-                xhat,
-                Tensor::from_vec(var.clone(), &[c]),
-            ],
+            tensors: vec![xhat, Tensor::from_vec(var.clone(), &[c])],
             indices: x.shape().to_vec(),
         };
         (y, cache)
@@ -148,9 +143,7 @@ impl Layer for BatchNorm {
             let inv_std = 1.0 / (var.data()[ch] + self.eps).sqrt();
             let g = self.gamma.data()[ch];
             dx.data_mut()[i] = g * inv_std / m
-                * (m * grad.data()[i]
-                    - dbeta.data()[ch]
-                    - xhat.data()[i] * dgamma.data()[ch]);
+                * (m * grad.data()[i] - dbeta.data()[ch] - xhat.data()[i] * dgamma.data()[ch]);
         }
         (dx, vec![dgamma, dbeta])
     }

@@ -95,12 +95,7 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&self, cache: &Cache, grad: &Tensor) -> (Tensor, Vec<Tensor>) {
-        let (n, c, h, w) = (
-            cache.indices[0],
-            cache.indices[1],
-            cache.indices[2],
-            cache.indices[3],
-        );
+        let (n, c, h, w) = (cache.indices[0], cache.indices[1], cache.indices[2], cache.indices[3]);
         let argmax = &cache.indices[4..];
         let mut dx = Tensor::zeros(&[n, c, h, w]);
         let dxd = dx.data_mut();

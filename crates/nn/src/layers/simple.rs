@@ -138,10 +138,7 @@ impl Layer for QuantAct {
     fn backward(&self, cache: &Cache, grad: &Tensor) -> (Tensor, Vec<Tensor>) {
         // Straight-through inside the clip range, zero outside.
         let x = &cache.tensors[0];
-        (
-            grad.zip_map(x, |g, v| if (0.0..=1.0).contains(&v) { g } else { 0.0 }),
-            Vec::new(),
-        )
+        (grad.zip_map(x, |g, v| if (0.0..=1.0).contains(&v) { g } else { 0.0 }), Vec::new())
     }
 }
 
@@ -223,10 +220,7 @@ mod tests {
     #[test]
     fn relu_matches_finite_differences() {
         // Shift inputs away from the kink for a clean finite-difference check.
-        let x = Tensor::from_vec(
-            (0..20).map(|i| (i as f32 - 9.7) * 0.5).collect(),
-            &[2, 10],
-        );
+        let x = Tensor::from_vec((0..20).map(|i| (i as f32 - 9.7) * 0.5).collect(), &[2, 10]);
         gradcheck::check_input_gradient(&Relu, &x, 1e-2);
     }
 

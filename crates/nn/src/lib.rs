@@ -26,6 +26,31 @@
 //! is the straight-through/BPDA estimator — exactly the "approximate
 //! gradients" a white-box attacker of the paper's §5.3 has access to, since
 //! the gate-level netlist has no useful analytic derivative.
+//!
+//! ## Arithmetic backend
+//!
+//! Every approximate inner product runs on the **batched arithmetic
+//! backend** rather than one virtual call per MAC:
+//!
+//! * [`layers::gemm_with`] is a blocked, cache-tiled GEMM, generic over the
+//!   multiplier. It distributes output rows over the scoped thread pool
+//!   (`da_tensor::parallel`) and gives each worker its own
+//!   [`da_arith::BatchKernel`] — a stateful slice kernel that amortizes
+//!   operand decomposition and memoizes gate-level significand products
+//!   across the whole GEMM (see `da_arith::batch`).
+//! * [`layers::matmul_with`] is the `dyn`-boundary wrapper layers use; the
+//!   `dyn Multiplier` is resolved once per row-slice, never per element.
+//!   With [`da_arith::ExactMultiplier`] the monomorphized inner loop
+//!   compiles to the native multiply-add loop.
+//! * [`layers::matmul_with_scalar`] keeps the historical per-scalar loop as
+//!   the semantic reference: the batched GEMM is property-tested
+//!   (`tests/gemm_equivalence.rs`) to match it bit-for-bit for every
+//!   [`da_arith::MultiplierKind`], including NaN/Inf/denormal/negative-zero
+//!   inputs.
+//!
+//! `Conv2d` and `Dense` forwards route through this backend; batch items of
+//! a convolution still parallelize at the item level, and the nested GEMM
+//! then runs inline (the thread pool suppresses nested parallelism).
 
 pub mod io;
 pub mod layers;

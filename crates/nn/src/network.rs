@@ -202,10 +202,7 @@ impl std::fmt::Debug for Network {
         f.debug_struct("Network")
             .field("name", &self.name)
             .field("layers", &self.layer_names())
-            .field(
-                "multiplier",
-                &self.multiplier.as_ref().map(|m| m.name()).unwrap_or("native"),
-            )
+            .field("multiplier", &self.multiplier.as_ref().map(|m| m.name()).unwrap_or("native"))
             .finish()
     }
 }

@@ -116,12 +116,7 @@ impl Optimizer for Adam {
             v.scale(self.beta2);
             let g2 = g.map(|x| x * x);
             v.add_scaled(&g2, 1.0 - self.beta2);
-            for ((pv, mv), vv) in p
-                .data_mut()
-                .iter_mut()
-                .zip(m.data())
-                .zip(v.data())
-            {
+            for ((pv, mv), vv) in p.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
                 let mhat = mv / bc1;
                 let vhat = vv / bc2;
                 *pv -= self.lr * mhat / (vhat.sqrt() + self.eps);

@@ -36,12 +36,8 @@ pub fn quantize_k(x: f32, bits: u32) -> f32 {
 ///
 /// Panics if `bits` is out of range (see [`quantize_k`]).
 pub fn dorefa_quantize_weights(w: &Tensor, bits: u32) -> Tensor {
-    let max_tanh = w
-        .data()
-        .iter()
-        .map(|v| v.tanh().abs())
-        .fold(0.0f32, f32::max)
-        .max(f32::MIN_POSITIVE);
+    let max_tanh =
+        w.data().iter().map(|v| v.tanh().abs()).fold(0.0f32, f32::max).max(f32::MIN_POSITIVE);
     w.map(|v| 2.0 * quantize_k(v.tanh() / (2.0 * max_tanh) + 0.5, bits) - 1.0)
 }
 

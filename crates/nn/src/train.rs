@@ -125,10 +125,7 @@ fn train_step(
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("training shard panicked"))
-                .collect()
+            handles.into_iter().map(|h| h.join().expect("training shard panicked")).collect()
         })
     };
 
@@ -175,12 +172,7 @@ fn shard_gradients(
 }
 
 /// Accuracy evaluated in chunks (bounding peak memory on big sets).
-pub fn evaluate_accuracy(
-    network: &Network,
-    xs: &Tensor,
-    labels: &[usize],
-    chunk: usize,
-) -> f32 {
+pub fn evaluate_accuracy(network: &Network, xs: &Tensor, labels: &[usize], chunk: usize) -> f32 {
     let n = xs.shape()[0];
     assert_eq!(labels.len(), n, "one label per item");
     let mut correct = 0usize;
@@ -190,11 +182,7 @@ pub fn evaluate_accuracy(
         let idxs: Vec<usize> = (at..end).collect();
         let batch = gather_batch(xs, &idxs);
         let preds = network.predict(&batch);
-        correct += preds
-            .iter()
-            .zip(&labels[at..end])
-            .filter(|(p, l)| p == l)
-            .count();
+        correct += preds.iter().zip(&labels[at..end]).filter(|(p, l)| p == l).count();
         at = end;
     }
     correct as f32 / n as f32

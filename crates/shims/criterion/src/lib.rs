@@ -1,0 +1,158 @@
+//! Offline, dependency-free stand-in for the `criterion` bench harness.
+//!
+//! Provides the subset of the `criterion 0.5` API the workspace's bench
+//! targets use: `Criterion::bench_function`, `benchmark_group` (with
+//! `sample_size` and `finish`), `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a simple
+//! calibrated loop reporting ns/iteration — adequate for the relative
+//! comparisons the benches make, with none of criterion's statistics.
+//!
+//! Set `DA_BENCH_MS` (default 200) to control per-benchmark measurement time
+//! in milliseconds.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness entry point handed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Measure `f` under `name` and print the result.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.to_string() }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples by wall time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measure `f` under `group/name` and print the result.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, name), f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Timing loop driver passed to the bench closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the calibrated number of iterations, timing the batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn measurement_budget() -> Duration {
+    let ms = std::env::var("DA_BENCH_MS").ok().and_then(|v| v.parse::<u64>().ok()).unwrap_or(200);
+    Duration::from_millis(ms)
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    // Calibrate: grow the iteration count until one batch costs >= ~1/8 of
+    // the measurement budget, then do a final measured run sized to fill it.
+    let budget = measurement_budget();
+    let mut iters: u64 = 1;
+    let mut per_iter;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter = b.elapsed.as_secs_f64() / iters as f64;
+        if b.elapsed >= budget / 8 || iters >= u64::MAX / 2 {
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+    let final_iters = ((budget.as_secs_f64() / per_iter.max(1e-12)) as u64).clamp(1, 1_000_000_000);
+    let mut b = Bencher { iters: final_iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    let ns = b.elapsed.as_secs_f64() * 1e9 / final_iters as f64;
+    println!("bench: {name:<56} {:>14} ns/iter ({final_iters} iters)", format_ns(ns));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 100.0 {
+        format!("{ns:.0}")
+    } else {
+        format!("{ns:.2}")
+    }
+}
+
+/// Collect bench functions into a group runner, `criterion`-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups, `criterion`-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_requested_iterations() {
+        let mut count = 0u64;
+        let mut b = Bencher { iters: 37, elapsed: Duration::ZERO };
+        b.iter(|| count += 1);
+        assert_eq!(count, 37);
+        assert!(b.elapsed > Duration::ZERO || count == 37);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        std::env::set_var("DA_BENCH_MS", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+        c.bench_function("top", |b| b.iter(|| black_box(2) * 2));
+    }
+}

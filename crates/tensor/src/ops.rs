@@ -1,11 +1,17 @@
 //! Linear-algebra kernels: matrix multiplication and convolution lowering.
 
+use crate::parallel::par_map_chunks;
 use crate::Tensor;
+
+/// Below this many multiply-adds a matmul runs single-threaded: spawning
+/// scoped worker threads costs more than the arithmetic saves.
+const PAR_MIN_MACS: usize = 1 << 16;
 
 /// `C = A · B` for row-major `A: [m, k]`, `B: [k, n]`.
 ///
-/// Uses the cache-friendly `i-k-j` loop order; adequate for the paper's
-/// model sizes.
+/// Uses the cache-friendly `i-k-j` loop order; large products distribute
+/// output rows across worker threads (each row's accumulation order is
+/// unchanged, so results are bit-identical to the sequential loop).
 ///
 /// # Panics
 ///
@@ -28,11 +34,15 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(k, k2, "matmul inner dimensions {k} vs {k2}");
 
     let mut out = vec![0.0f32; m * n];
+    if n == 0 {
+        // Zero-width result: nothing to compute (and chunking by 0 would
+        // panic below).
+        return Tensor::from_vec(out, &[m, n]);
+    }
     let ad = a.data();
     let bd = b.data();
-    for i in 0..m {
+    let row = |i: usize, orow: &mut [f32]| {
         let arow = &ad[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
         for (kk, &av) in arow.iter().enumerate() {
             if av == 0.0 {
                 continue;
@@ -41,6 +51,13 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
             for (o, &bv) in orow.iter_mut().zip(brow) {
                 *o += av * bv;
             }
+        }
+    };
+    if m > 1 && m * k * n >= PAR_MIN_MACS {
+        par_map_chunks(&mut out, n, row);
+    } else {
+        for (i, orow) in out.chunks_mut(n).enumerate() {
+            row(i, orow);
         }
     }
     Tensor::from_vec(out, &[m, n])
@@ -77,10 +94,7 @@ impl ConvGeometry {
             self.input,
             self.pad
         );
-        (
-            (h + 2 * self.pad - kh) / self.stride + 1,
-            (w + 2 * self.pad - kw) / self.stride + 1,
-        )
+        ((h + 2 * self.pad - kh) / self.stride + 1, (w + 2 * self.pad - kw) / self.stride + 1)
     }
 }
 
@@ -136,11 +150,7 @@ pub fn col2im(cols: &Tensor, channels: usize, geom: ConvGeometry) -> Tensor {
     let (kh, kw) = geom.kernel;
     let (oh, ow) = geom.output();
     let (h, w) = geom.input;
-    assert_eq!(
-        cols.shape(),
-        &[channels * kh * kw, oh * ow],
-        "col2im shape mismatch"
-    );
+    assert_eq!(cols.shape(), &[channels * kh * kw, oh * ow], "col2im shape mismatch");
 
     let mut out = Tensor::zeros(&[channels, h, w]);
     let data = cols.data();
@@ -201,8 +211,8 @@ pub fn conv2d_direct(image: &Tensor, weights: &Tensor, geom: ConvGeometry) -> Te
                             if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
                                 continue;
                             }
-                            acc += image[[ci, iy as usize, ix as usize]]
-                                * weights[[co, ci, ky, kx]];
+                            acc +=
+                                image[[ci, iy as usize, ix as usize]] * weights[[co, ci, ky, kx]];
                         }
                     }
                 }
@@ -247,6 +257,17 @@ mod tests {
         let _ = matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
     }
 
+    /// Regression: zero-width operands (constructible via `from_vec`) yield
+    /// an empty result instead of panicking in the chunked row loop.
+    #[test]
+    fn matmul_handles_zero_width_rhs() {
+        let a = Tensor::zeros(&[3, 4]);
+        let b = Tensor::from_vec(Vec::new(), &[4, 0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[3, 0]);
+        assert!(c.data().is_empty());
+    }
+
     #[test]
     fn geometry_output_sizes() {
         let g = ConvGeometry { input: (28, 28), kernel: (5, 5), stride: 1, pad: 0 };
@@ -287,18 +308,8 @@ mod tests {
         let x = Tensor::randn(&[3, 7, 7], 1.0, &mut rng);
         let y = Tensor::randn(&[3 * 9, oh * ow], 1.0, &mut rng);
 
-        let lhs: f32 = im2col(&x, geom)
-            .data()
-            .iter()
-            .zip(y.data())
-            .map(|(a, b)| a * b)
-            .sum();
-        let rhs: f32 = x
-            .data()
-            .iter()
-            .zip(col2im(&y, 3, geom).data())
-            .map(|(a, b)| a * b)
-            .sum();
+        let lhs: f32 = im2col(&x, geom).data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(col2im(&y, 3, geom).data()).map(|(a, b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
     }
 

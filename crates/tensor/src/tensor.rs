@@ -75,9 +75,7 @@ impl Tensor {
     /// Standard-normal initialization scaled by `std`.
     pub fn randn<R: Rng>(shape: &[usize], std: f32, rng: &mut R) -> Self {
         let normal = StandardNormal;
-        let data = (0..shape.iter().product())
-            .map(|_| normal.sample(rng) * std)
-            .collect();
+        let data = (0..shape.iter().product()).map(|_| normal.sample(rng) * std).collect();
         Tensor::from_vec(data, shape)
     }
 
@@ -146,10 +144,7 @@ impl Tensor {
 
     /// Apply `f` elementwise into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
-            shape: self.shape.clone(),
-        }
+        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
     }
 
     /// Apply `f` elementwise in place.
@@ -167,12 +162,7 @@ impl Tensor {
     pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
         Tensor {
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
             shape: self.shape.clone(),
         }
     }

@@ -49,10 +49,16 @@ fn main() {
 
     let fmt = |ds: &[usize]| ds.iter().map(|d| d.to_string()).collect::<String>();
     println!("true amount digits     : {}", fmt(&amount));
-    println!("exact reader sees      : {}  ({} digits corrupted)", fmt(&exact_read),
-        exact_read.iter().zip(&amount).filter(|(a, b)| a != b).count());
-    println!("DA reader sees         : {}  ({} digits corrupted)", fmt(&da_read),
-        da_read.iter().zip(&amount).filter(|(a, b)| a != b).count());
+    println!(
+        "exact reader sees      : {}  ({} digits corrupted)",
+        fmt(&exact_read),
+        exact_read.iter().zip(&amount).filter(|(a, b)| a != b).count()
+    );
+    println!(
+        "DA reader sees         : {}  ({} digits corrupted)",
+        fmt(&da_read),
+        da_read.iter().zip(&amount).filter(|(a, b)| a != b).count()
+    );
     println!("mean adversarial L2    : {:.3}", total_noise / amount.len() as f64);
     println!("(paper Table 2: C&W transfers to the approximate classifier at ~1%)");
 }

@@ -29,7 +29,11 @@ fn main() {
     let test = cache.digits_test(500);
     let acc_exact = evaluate_accuracy(&exact, &test.images, &test.labels, 64);
     let acc_da = evaluate_accuracy(&defended, &test.images, &test.labels, 64);
-    println!("clean accuracy   exact: {:.2}%   DA (Ax-FPM): {:.2}%", acc_exact * 100.0, acc_da * 100.0);
+    println!(
+        "clean accuracy   exact: {:.2}%   DA (Ax-FPM): {:.2}%",
+        acc_exact * 100.0,
+        acc_da * 100.0
+    );
 
     // 2. A transferability attack (paper Table 2, one example).
     let attack = Fgsm::new(0.25);
