@@ -1,7 +1,7 @@
 //! The mirror-adder family: one exact and five approximate full adders.
 //!
 //! A full adder maps `(A, B, Cin)` to `(Sum, Cout)`. The approximate mirror
-//! adders (AMA1–AMA5) of Gupta et al. [23] progressively remove transistors
+//! adders (AMA1–AMA5) of Gupta et al. \[23\] progressively remove transistors
 //! from the conventional 24-transistor mirror adder (MA), trading truth-table
 //! errors for power and delay.
 //!

@@ -16,7 +16,127 @@
 //! NaN/Inf/denormal/negative zero. The GEMM layers above rely on this (see
 //! `da_nn::layers::gemm_with` and its property tests).
 
+use crate::fpm::Binary32Parts;
 use crate::multiplier::Multiplier;
+
+/// One operand of a binary32 multiply with its field decomposition done
+/// ahead of time.
+///
+/// Serving engines (see `da_nn::engine`) decompose every weight once at
+/// plan-compile time and replay the cached sign/exponent/significand on every
+/// request through [`BatchKernel::axpy_prepared`], instead of re-running
+/// `Binary32Parts::from_f32` and the NaN classification per kernel call.
+/// The cached fields are pure functions of `value`, so prepared and
+/// unprepared paths are bit-identical by construction.
+///
+/// # Examples
+///
+/// ```
+/// use da_arith::PreparedOperand;
+///
+/// let op = PreparedOperand::new(1.5);
+/// assert_eq!(op.value(), 1.5);
+/// assert_eq!(op.parts().exponent, 127);
+/// assert!(!op.is_nan());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreparedOperand {
+    value: f32,
+    parts: Binary32Parts,
+    nan: bool,
+}
+
+impl PreparedOperand {
+    /// Decompose `value` into its cached fields.
+    #[inline]
+    pub fn new(value: f32) -> Self {
+        PreparedOperand { value, parts: Binary32Parts::from_f32(value), nan: value.is_nan() }
+    }
+
+    /// The original `f32` value.
+    #[inline]
+    pub fn value(&self) -> f32 {
+        self.value
+    }
+
+    /// The cached IEEE-754 field decomposition.
+    #[inline]
+    pub fn parts(&self) -> Binary32Parts {
+        self.parts
+    }
+
+    /// The cached NaN classification.
+    #[inline]
+    pub fn is_nan(&self) -> bool {
+        self.nan
+    }
+}
+
+/// A row-major matrix of [`PreparedOperand`]s: the pre-decomposed weight
+/// representation consumed by [`BatchKernel::axpy_prepared`].
+///
+/// # Examples
+///
+/// ```
+/// use da_arith::PreparedOperands;
+///
+/// let w = PreparedOperands::from_matrix(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+/// assert_eq!(w.get(1, 0).value(), 3.0);
+/// assert_eq!(w.row(0).len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreparedOperands {
+    ops: Vec<PreparedOperand>,
+    rows: usize,
+    cols: usize,
+}
+
+impl PreparedOperands {
+    /// Decompose a row-major `[rows, cols]` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_matrix(data: &[f32], rows: usize, cols: usize) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        PreparedOperands {
+            ops: data.iter().map(|&v| PreparedOperand::new(v)).collect(),
+            rows,
+            cols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The operand at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> &PreparedOperand {
+        debug_assert!(row < self.rows && col < self.cols, "prepared operand index out of bounds");
+        &self.ops[row * self.cols + col]
+    }
+
+    /// One row of operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[PreparedOperand] {
+        &self.ops[row * self.cols..(row + 1) * self.cols]
+    }
+}
 
 /// A stateful, single-threaded slice kernel obtained from
 /// [`Multiplier::batch_kernel`].
@@ -49,6 +169,60 @@ pub trait BatchKernel {
     ///
     /// Panics if the three lengths differ.
     fn mul(&mut self, a: &[f32], b: &[f32], out: &mut [f32]);
+
+    /// [`axpy`](BatchKernel::axpy) against a pre-decomposed shared operand:
+    /// `acc[i] += multiply(a.value(), b[i])`, reusing the cached
+    /// sign/exponent/significand instead of re-decomposing per call.
+    ///
+    /// Bit-identical to `axpy(a.value(), b, acc)` for every kernel; the
+    /// default simply delegates. FPM kernels override it to feed the cached
+    /// [`Binary32Parts`] straight into the datapath.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` and `acc` lengths differ.
+    fn axpy_prepared(&mut self, a: &PreparedOperand, b: &[f32], acc: &mut [f32]) {
+        self.axpy(a.value(), b, acc);
+    }
+
+    /// Fused output-tile GEMM against pre-decomposed weights: for every
+    /// output row `r` of `ops` (`[rows, K]`) and patch tile `b`
+    /// (`[K, tile]`, row-major),
+    /// `acc[r·acc_stride + j] += Σ_k multiply(ops[r,k], b[k·tile + j])`,
+    /// accumulated with `k` ascending per element — the GEMM order.
+    ///
+    /// Output rows live at stride `acc_stride ≥ tile` inside `acc` (a
+    /// serving engine accumulates directly into strided conv output planes);
+    /// bytes between rows are untouched.
+    ///
+    /// Bit-identical to row-by-row
+    /// [`axpy_prepared`](BatchKernel::axpy_prepared) calls — the default
+    /// does exactly that.
+    /// Overrides may amortize right-hand-side classification and field
+    /// extraction across all `rows` sweeps of the shared tile (see the FPM
+    /// kernel's AMA5 fast path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != ops.cols() · tile`, if an output row would
+    /// exceed `acc`, or if `acc_stride < tile` with more than one row.
+    fn gemm_tile(
+        &mut self,
+        ops: &PreparedOperands,
+        b: &[f32],
+        tile: usize,
+        acc: &mut [f32],
+        acc_stride: usize,
+    ) {
+        assert_eq!(b.len(), ops.cols() * tile, "gemm_tile b length mismatch");
+        assert!(ops.rows() <= 1 || acc_stride >= tile, "gemm_tile rows overlap");
+        for r in 0..ops.rows() {
+            let acc_row = &mut acc[r * acc_stride..r * acc_stride + tile];
+            for (k, op) in ops.row(r).iter().enumerate() {
+                self.axpy_prepared(op, &b[k * tile..(k + 1) * tile], acc_row);
+            }
+        }
+    }
 
     /// `(hits, misses)` of the kernel's significand cache, if it has one.
     fn cache_stats(&self) -> Option<(u64, u64)> {
@@ -270,6 +444,102 @@ mod tests {
     fn fpm_fast_path_kernels_have_no_cache() {
         for m in [FloatMultiplier::ax_fpm(), FloatMultiplier::exact()] {
             assert_eq!(m.batch_kernel().cache_stats(), None, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn prepared_operand_caches_the_decomposition() {
+        for v in [0.0f32, -0.0, 1.5, -3.25, f32::NAN, f32::INFINITY, f32::MIN_POSITIVE, 1e-40] {
+            let op = PreparedOperand::new(v);
+            assert_eq!(op.value().to_bits(), v.to_bits());
+            assert_eq!(op.parts(), Binary32Parts::from_f32(v));
+            assert_eq!(op.is_nan(), v.is_nan());
+        }
+    }
+
+    #[test]
+    fn prepared_matrix_indexing_is_row_major() {
+        let w = PreparedOperands::from_matrix(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        assert_eq!((w.rows(), w.cols()), (2, 3));
+        assert_eq!(w.get(0, 2).value(), 3.0);
+        assert_eq!(w.get(1, 1).value(), 5.0);
+        assert_eq!(w.row(1).iter().map(|o| o.value()).collect::<Vec<_>>(), [4.0, 5.0, 6.0]);
+    }
+
+    /// `gemm_tile` must be bit-identical to row-by-row `axpy_prepared` for
+    /// every kernel (the AMA5 override amortizes tile classification and
+    /// must not change a single bit), including adversarial operands and a
+    /// strided output layout.
+    #[test]
+    fn gemm_tile_matches_rowwise_axpy_prepared() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let specials = [0.0f32, -0.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 1e-40, f32::MAX];
+        let (rows, k, tile, stride) = (3usize, 4usize, 9usize, 13usize);
+        for kind in MultiplierKind::ALL {
+            let m = kind.build();
+            for special_rate in [0usize, 4] {
+                let gen = |rng: &mut rand::rngs::StdRng, n: usize| -> Vec<f32> {
+                    (0..n)
+                        .map(|_i| {
+                            if special_rate != 0 && rng.gen_range(0..special_rate) == 0 {
+                                specials[rng.gen_range(0..specials.len())]
+                            } else {
+                                rng.gen_range(-2.0f32..2.0)
+                            }
+                        })
+                        .collect()
+                };
+                let w = gen(&mut rng, rows * k);
+                let b = gen(&mut rng, k * tile);
+                let ops = PreparedOperands::from_matrix(&w, rows, k);
+                let mut acc_tile = vec![0.25f32; rows * stride];
+                let mut acc_ref = acc_tile.clone();
+                m.batch_kernel().gemm_tile(&ops, &b, tile, &mut acc_tile, stride);
+                {
+                    let mut kern = m.batch_kernel();
+                    for r in 0..rows {
+                        let acc_row = &mut acc_ref[r * stride..r * stride + tile];
+                        for kk in 0..k {
+                            kern.axpy_prepared(
+                                ops.get(r, kk),
+                                &b[kk * tile..(kk + 1) * tile],
+                                acc_row,
+                            );
+                        }
+                    }
+                }
+                for (i, (x, y)) in acc_tile.iter().zip(&acc_ref).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{kind} rate={special_rate} at {i}: {x:?} vs {y:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// `axpy_prepared` must be bit-identical to `axpy` for every kernel and
+    /// every operand class (normal, zero, denormal, NaN, Inf).
+    #[test]
+    fn prepared_axpy_matches_unprepared_for_all_kinds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let specials =
+            [0.0f32, -0.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 1e-40, f32::MAX, 0.7];
+        let mut b: Vec<f32> = (0..64).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+        b.extend_from_slice(&specials);
+        for kind in MultiplierKind::ALL {
+            let m = kind.build();
+            for &a in specials.iter().chain(&[0.37f32, -1.25]) {
+                let op = PreparedOperand::new(a);
+                let mut acc_prepared = vec![0.5f32; b.len()];
+                let mut acc_plain = acc_prepared.clone();
+                m.batch_kernel().axpy_prepared(&op, &b, &mut acc_prepared);
+                m.batch_kernel().axpy(a, &b, &mut acc_plain);
+                for (i, (x, y)) in acc_prepared.iter().zip(&acc_plain).enumerate() {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{kind} a={a} at {i}: {x:?} vs {y:?}");
+                }
+            }
         }
     }
 }

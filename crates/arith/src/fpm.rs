@@ -3,7 +3,7 @@
 //!
 //! A floating-point multiplier (FPM) has three units: the mantissa
 //! multiplier, the exponent adder, and the normalization/rounding unit. The
-//! mantissa multiplier consumes ~81% of the power [67], so Defensive
+//! mantissa multiplier consumes ~81% of the power \[67\], so Defensive
 //! Approximation replaces only it; sign, exponent, and normalization logic
 //! stay exact hardware.
 //!
@@ -278,6 +278,22 @@ enum SigMemo {
 struct FpmBatchKernel<'a> {
     m: &'a FloatMultiplier,
     memo: SigMemo,
+    /// Per-patch-row classes for the tile-level GEMM entry point, computed
+    /// once per tile and reused by every output-row sweep.
+    row_class: Vec<RowClass>,
+}
+
+/// Classification of one patch-tile row for the AMA5 tile GEMM.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RowClass {
+    /// Every element is a normal number: the branchless closed-form loop.
+    Normal,
+    /// Zeros/denormals present but no Inf/NaN: a branchless loop with a
+    /// flush-to-zero select (a normal × zero/denormal product is exactly
+    /// `±0.0`, which `pack_clamped` produces on underflow).
+    Zeros,
+    /// Inf/NaN present: per-element classification via the shared slow path.
+    Special,
 }
 
 impl<'a> FpmBatchKernel<'a> {
@@ -287,7 +303,7 @@ impl<'a> FpmBatchKernel<'a> {
         } else {
             SigMemo::Disabled
         };
-        FpmBatchKernel { m, memo }
+        FpmBatchKernel { m, memo, row_class: Vec::new() }
     }
 
     #[inline]
@@ -375,12 +391,15 @@ impl FpmBatchKernel<'_> {
         for (o, &y) in acc.iter_mut().zip(b) {
             let bbits = y.to_bits();
             let bexp = (bbits >> 23) & 0xFF;
-            if bexp == 0 || bexp == 0xFF {
+            if bexp == 0xFF {
                 *o += self.mul_one(pa, false, y);
                 continue;
             }
+            // Zero/denormal `b` flushes the product to `±0.0`; selecting a
+            // non-positive exponent makes `pack_clamped` produce exactly
+            // that without the full slow path.
             let sign = (sign_a ^ bbits) & 0x8000_0000;
-            let exp = ea + bexp as i32 - 126;
+            let exp = if bexp == 0 { 0 } else { ea + bexp as i32 - 126 };
             *o += pack_clamped(sign, exp, fa);
         }
     }
@@ -415,11 +434,13 @@ impl FpmBatchKernel<'_> {
     }
 }
 
-impl BatchKernel for FpmBatchKernel<'_> {
-    fn axpy(&mut self, a: f32, b: &[f32], acc: &mut [f32]) {
+impl FpmBatchKernel<'_> {
+    /// The shared `axpy` body over an already-decomposed left operand: the
+    /// single implementation behind both [`BatchKernel::axpy`] and
+    /// [`BatchKernel::axpy_prepared`], so the two entry points cannot
+    /// diverge.
+    fn axpy_parts(&mut self, pa: Binary32Parts, a_nan: bool, b: &[f32], acc: &mut [f32]) {
         assert_eq!(b.len(), acc.len(), "axpy_slice length mismatch");
-        let pa = Binary32Parts::from_f32(a);
-        let a_nan = a.is_nan();
         if !pa.is_special() && !pa.is_zero_or_denormal() {
             match self.m.fast_path {
                 FastPath::CanonicalAma5 => return self.axpy_canonical_ama5(pa, b, acc),
@@ -430,6 +451,126 @@ impl BatchKernel for FpmBatchKernel<'_> {
         for (o, &y) in acc.iter_mut().zip(b) {
             *o += self.mul_one(pa, a_nan, y);
         }
+    }
+}
+
+impl BatchKernel for FpmBatchKernel<'_> {
+    fn axpy(&mut self, a: f32, b: &[f32], acc: &mut [f32]) {
+        self.axpy_parts(Binary32Parts::from_f32(a), a.is_nan(), b, acc);
+    }
+
+    fn axpy_prepared(&mut self, a: &crate::batch::PreparedOperand, b: &[f32], acc: &mut [f32]) {
+        self.axpy_parts(a.parts(), a.is_nan(), b, acc);
+    }
+
+    /// Tile-level GEMM. For the canonical AMA5 core the shared patch tile
+    /// is classified **once** per row (normal / zero-bearing / special) and
+    /// then swept by every output row with a loop matched to the class —
+    /// per element the arithmetic and accumulation order are identical to
+    /// [`FpmBatchKernel::axpy_canonical_ama5`], so results stay bit-exact
+    /// with row-by-row `axpy_prepared` (enforced by the batch tests and the
+    /// engine equivalence property tests).
+    fn gemm_tile(
+        &mut self,
+        ops: &crate::batch::PreparedOperands,
+        b: &[f32],
+        tile: usize,
+        acc: &mut [f32],
+        acc_stride: usize,
+    ) {
+        let k_rows = ops.cols();
+        assert_eq!(b.len(), k_rows * tile, "gemm_tile b length mismatch");
+        assert!(ops.rows() <= 1 || acc_stride >= tile, "gemm_tile rows overlap");
+        if self.m.fast_path != FastPath::CanonicalAma5 {
+            // Exact-core and gate-level cores need the patch mantissas per
+            // element anyway; row-by-row delegation is already optimal.
+            for r in 0..ops.rows() {
+                let acc_row = &mut acc[r * acc_stride..r * acc_stride + tile];
+                for (k, op) in ops.row(r).iter().enumerate() {
+                    self.axpy_parts(op.parts(), op.is_nan(), &b[k * tile..(k + 1) * tile], acc_row);
+                }
+            }
+            return;
+        }
+
+        let mut row_class = std::mem::take(&mut self.row_class);
+        row_class.clear();
+        for k in 0..k_rows {
+            let mut zeros = false;
+            let mut special = false;
+            for &y in &b[k * tile..(k + 1) * tile] {
+                let e = (y.to_bits() >> 23) & 0xFF;
+                zeros |= e == 0;
+                special |= e == 0xFF;
+            }
+            row_class.push(if special {
+                RowClass::Special
+            } else if zeros {
+                RowClass::Zeros
+            } else {
+                RowClass::Normal
+            });
+        }
+
+        for r in 0..ops.rows() {
+            let acc_row = &mut acc[r * acc_stride..r * acc_stride + tile];
+            for (k, op) in ops.row(r).iter().enumerate() {
+                let pa = op.parts();
+                let brow = &b[k * tile..(k + 1) * tile];
+                if pa.is_special() || pa.is_zero_or_denormal() {
+                    // Shared slow path, exactly as `axpy_parts` would take.
+                    let nan = op.is_nan();
+                    for (o, &y) in acc_row.iter_mut().zip(brow) {
+                        *o += self.mul_one(pa, nan, y);
+                    }
+                    continue;
+                }
+                let sign_a = pa.sign << 31;
+                let fa = pa.fraction;
+                let ea = pa.exponent as i32;
+                match row_class[k] {
+                    RowClass::Normal => {
+                        // The all-normal branchless loop of
+                        // `axpy_canonical_ama5`, without its per-call scan.
+                        for (o, &y) in acc_row.iter_mut().zip(brow) {
+                            let bbits = y.to_bits();
+                            let sign = (sign_a ^ bbits) & 0x8000_0000;
+                            let exp = ea + ((bbits >> 23) & 0xFF) as i32 - 126;
+                            *o += pack_clamped(sign, exp, fa);
+                        }
+                    }
+                    RowClass::Zeros => {
+                        // Zero/denormal patches (padding taps, post-ReLU
+                        // activations) flush the product to `±0.0`; a
+                        // select to a non-positive exponent makes
+                        // `pack_clamped` produce exactly that, keeping the
+                        // loop branchless.
+                        for (o, &y) in acc_row.iter_mut().zip(brow) {
+                            let bbits = y.to_bits();
+                            let bexp = ((bbits >> 23) & 0xFF) as i32;
+                            let sign = (sign_a ^ bbits) & 0x8000_0000;
+                            let exp = if bexp == 0 { 0 } else { ea + bexp - 126 };
+                            *o += pack_clamped(sign, exp, fa);
+                        }
+                    }
+                    RowClass::Special => {
+                        // Inf/NaN present: per-element classification,
+                        // mirroring `axpy_canonical_ama5`'s fallback loop.
+                        for (o, &y) in acc_row.iter_mut().zip(brow) {
+                            let bbits = y.to_bits();
+                            let bexp = (bbits >> 23) & 0xFF;
+                            if bexp == 0 || bexp == 0xFF {
+                                *o += self.mul_one(pa, false, y);
+                            } else {
+                                let sign = (sign_a ^ bbits) & 0x8000_0000;
+                                *o += pack_clamped(sign, ea + bexp as i32 - 126, fa);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.row_class = row_class;
     }
 
     fn dot(&mut self, a: &[f32], b: &[f32]) -> f32 {

@@ -1,5 +1,5 @@
 //! **HEAP** — the heterogeneous approximate floating-point multiplier
-//! (paper §4.3 and Appendix A; design from the authors' RSP'19 paper [22]).
+//! (paper §4.3 and Appendix A; design from the authors' RSP'19 paper \[22\]).
 //!
 //! HEAP mixes full-adder designs across the array's columns: aggressive
 //! approximate cells in the low-significance columns, exact cells above a

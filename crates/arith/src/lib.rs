@@ -7,7 +7,7 @@
 //! * [`adders`] — the mirror-adder family: the exact full adder and the
 //!   AMA1–AMA5 approximate mirror adders (AMA5, `Sum = B` / `Cout = A`, is the
 //!   design the paper's Ax-FPM uses).
-//! * [`array`] — carry-save array multipliers with configurable cell kinds,
+//! * [`mod@array`] — carry-save array multipliers with configurable cell kinds,
 //!   port wiring, and final carry-propagate adder.
 //! * [`fpm`] — IEEE-754 binary32 floating-point multipliers assembled from a
 //!   mantissa array core: the exact reference and the paper's **Ax-FPM**.
@@ -35,6 +35,11 @@
 //!   [`batch::SigProductCache`] — a direct-mapped LUT tagged with the full
 //!   24×24-bit significand pair, so hits are exact and misses fall back to
 //!   the gate-level core.
+//! * [`batch::PreparedOperands`] pre-decomposes a weight matrix's
+//!   sign/exponent/significand fields once (at serving-plan compile time,
+//!   see `da_nn::engine`); [`BatchKernel::axpy_prepared`] consumes the
+//!   cached decomposition directly, skipping the per-call field extraction
+//!   entirely.
 //!
 //! Every batched path is **bit-identical** to the scalar loop it replaces
 //! (enforced by property tests here and in `da_nn`); approximation stays a
@@ -69,5 +74,5 @@ mod multiplier;
 
 pub use adders::AdderKind;
 pub use array::{ArrayMultiplier, ArrayMultiplierSpec, CellAssignment, CpaKind, PortMap};
-pub use batch::{BatchKernel, SigProductCache};
+pub use batch::{BatchKernel, PreparedOperand, PreparedOperands, SigProductCache};
 pub use multiplier::{ExactMultiplier, Multiplier, MultiplierKind};

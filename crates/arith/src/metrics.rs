@@ -9,7 +9,7 @@ use crate::multiplier::Multiplier;
 /// product, over uniformly sampled operands.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ErrorStats {
-    /// Mean relative error distance `mean(|approx − exact| / |exact|)` [35].
+    /// Mean relative error distance `mean(|approx − exact| / |exact|)` \[35\].
     pub mred: f64,
     /// Normalized mean error distance `mean(|approx − exact|) / max_product`.
     pub nmed: f64,

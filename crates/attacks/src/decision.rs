@@ -1,4 +1,4 @@
-//! Decision-based attacks: Boundary Attack [8] and HopSkipJump [11]. Both
+//! Decision-based attacks: Boundary Attack \[8\] and HopSkipJump \[11\]. Both
 //! use only the model's final label.
 
 use rand::SeedableRng;

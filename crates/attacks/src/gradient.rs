@@ -6,7 +6,7 @@ use da_tensor::Tensor;
 
 use crate::traits::{clip01, Attack, TargetModel};
 
-/// Fast Gradient Sign Method [20]: one L∞ step of size `eps` along the sign
+/// Fast Gradient Sign Method \[20\]: one L∞ step of size `eps` along the sign
 /// of the loss gradient.
 ///
 /// # Examples
@@ -46,7 +46,7 @@ impl Attack for Fgsm {
     }
 }
 
-/// Projected Gradient Descent [41]: iterated FGSM with projection back onto
+/// Projected Gradient Descent \[41\]: iterated FGSM with projection back onto
 /// the `eps` L∞ ball, from a random start.
 #[derive(Debug, Clone, Copy)]
 pub struct Pgd {
@@ -88,7 +88,7 @@ impl Attack for Pgd {
     }
 }
 
-/// Jacobian-based Saliency Map Attack [54]: greedy L0 attack that saturates
+/// Jacobian-based Saliency Map Attack \[54\]: greedy L0 attack that saturates
 /// the pixel pair with the highest saliency toward the runner-up class.
 #[derive(Debug, Clone, Copy)]
 pub struct Jsma {
@@ -182,7 +182,7 @@ impl Attack for Jsma {
     }
 }
 
-/// Carlini & Wagner L2 attack [10]: tanh-space optimization of
+/// Carlini & Wagner L2 attack \[10\]: tanh-space optimization of
 /// `‖x' − x‖² + c · max(Z_label − max_{j≠label} Z_j, −κ)` with binary search
 /// over `c`.
 #[derive(Debug, Clone, Copy)]
@@ -298,7 +298,7 @@ impl Attack for CarliniWagnerL2 {
     }
 }
 
-/// DeepFool [45]: iterative minimal-L2 push across the nearest linearized
+/// DeepFool \[45\]: iterative minimal-L2 push across the nearest linearized
 /// decision boundary.
 #[derive(Debug, Clone, Copy)]
 pub struct DeepFool {

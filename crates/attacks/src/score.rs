@@ -1,5 +1,5 @@
 //! Score-based attacks: the Local Search Attack (LSA) of Narodytska &
-//! Kasiviswanathan [47].
+//! Kasiviswanathan \[47\].
 
 use rand::{Rng, SeedableRng};
 

@@ -1,5 +1,6 @@
 //! The model interface attacks operate on, and the attack abstraction.
 
+use da_nn::loss::argmax_logits;
 use da_nn::Network;
 use da_tensor::Tensor;
 
@@ -40,21 +41,12 @@ pub trait TargetModel: Send + Sync {
     ///
     /// The default loops [`predict`](TargetModel::predict) per image; models
     /// backed by batched inference (like [`Network`]) override it with one
-    /// batched forward pass through the slice-level arithmetic backend,
-    /// which is bit-identical per image.
+    /// batched forward pass through the compiled serving engine
+    /// (`da_nn::engine`: pre-decomposed weights, fused conv tiles, reused
+    /// workspaces), which is bit-identical per image.
     fn predict_batch(&self, images: &Tensor) -> Vec<usize> {
         (0..images.shape()[0]).map(|i| self.predict(&images.batch_item(i))).collect()
     }
-}
-
-/// Shared argmax with `predict`'s tie behavior (last maximum wins).
-fn argmax_logits(logits: &[f32]) -> usize {
-    logits
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
-        .map(|(i, _)| i)
-        .expect("non-empty logits")
 }
 
 impl TargetModel for Network {

@@ -1,0 +1,84 @@
+//! Serving-engine throughput: compiled [`InferencePlan`]s vs the per-layer
+//! `Network::forward(Mode::Eval)` path, in items/s.
+//!
+//! This is the perf baseline for the serving layer (ROADMAP: SIMD slice
+//! kernels and int8 GEMM plug in next): run
+//! `cargo bench --bench engine_throughput` and compare the printed table.
+//! Configurations follow the issue spec: an MNIST-style CNN (LeNet-5,
+//! 28×28×1) and a CIFAR-style CNN (AlexNet, 32×32×3), each under the exact
+//! multiplier, the paper's Ax-FPM, and Bfloat16, at single-item and batched
+//! serving shapes.
+
+use std::time::Instant;
+
+use da_arith::MultiplierKind;
+use da_nn::engine::InferencePlan;
+use da_nn::zoo::{alexnet_cifar, lenet5};
+use da_nn::{Mode, Network};
+use da_tensor::Tensor;
+use rand::SeedableRng;
+
+/// Time `f` (best of `reps` runs, after one warmup) and return items/s.
+fn items_per_sec(items: usize, reps: usize, mut f: impl FnMut() -> Tensor) -> f64 {
+    let mut best = f64::INFINITY;
+    let _warmup = f();
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = f();
+        let dt = start.elapsed().as_secs_f64();
+        std::hint::black_box(out);
+        best = best.min(dt);
+    }
+    items as f64 / best
+}
+
+fn human(rate: f64) -> String {
+    if rate >= 1000.0 {
+        format!("{:.2} kitem/s", rate / 1000.0)
+    } else {
+        format!("{rate:.1} item/s")
+    }
+}
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+
+    println!("Serving-engine throughput (compiled plans: pre-decomposed weights, fused");
+    println!("conv tiles, workspace reuse — vs the per-layer eval forward; higher is better)");
+    println!();
+    println!(
+        "{:<10} {:<12} {:>6} {:>16} {:>16} {:>9}",
+        "model", "multiplier", "batch", "unplanned", "planned", "speedup"
+    );
+
+    let models: [(&str, Network, Vec<usize>); 2] = [
+        ("lenet5", lenet5(10, &mut rng), vec![1, 28, 28]),
+        ("alexnet", alexnet_cifar(10, &mut rng), vec![3, 32, 32]),
+    ];
+
+    for (name, mut net, item_shape) in models {
+        for kind in [MultiplierKind::Exact, MultiplierKind::AxFpm, MultiplierKind::Bfloat16] {
+            let mult = kind.build();
+            net.set_multiplier(Some(mult.clone()));
+            let plan = InferencePlan::compile(&net, Some(mult)).expect("zoo models compile");
+            for batch in [1usize, 8] {
+                let mut shape = vec![batch];
+                shape.extend_from_slice(&item_shape);
+                let x = Tensor::rand_uniform(&shape, 0.0, 1.0, &mut rng);
+                let reps = if batch == 1 { 5 } else { 3 };
+                let unplanned = items_per_sec(batch, reps, || net.forward(&x, Mode::Eval).0);
+                let planned = items_per_sec(batch, reps, || plan.predict_batch(&x));
+                println!(
+                    "{:<10} {:<12} {:>6} {:>16} {:>16} {:>8.2}x",
+                    name,
+                    kind.as_str(),
+                    batch,
+                    human(unplanned),
+                    human(planned),
+                    planned / unplanned
+                );
+            }
+        }
+        println!();
+    }
+}

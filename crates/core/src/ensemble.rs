@@ -1,6 +1,6 @@
 //! Multiplier-ensemble prediction — the paper's discussion item (3) (§9):
 //! DA is orthogonal to other defenses and resembles the randomized-ensemble
-//! smoothing of Liu et al. [37] (§10). This module votes one set of weights
+//! smoothing of Liu et al. \[37\] (§10). This module votes one set of weights
 //! across several hardware variants, a DA-flavored self-ensemble.
 
 use da_attacks::TargetModel;
@@ -60,7 +60,7 @@ impl<'a> MultiplierEnsemble<'a> {
     }
 
     /// Vote agreement in `[1/n, 1]` — a confidence proxy that needs no
-    /// Monte-Carlo runs (contrast with Lecuyer et al. [34]).
+    /// Monte-Carlo runs (contrast with Lecuyer et al. \[34\]).
     pub fn agreement(&self, x: &Tensor) -> f64 {
         let votes = self.votes(x);
         let winner = self.predict(x);

@@ -21,6 +21,12 @@
 //! Runners are deterministic in their [`Budget`] and the cache's seeds; the
 //! [`ModelCache`] trains each backbone once and reuses the weights.
 //!
+//! Every runner's inference (accuracy sweeps, attack replay, prediction
+//! filtering) routes through `da_nn`'s compiled serving engine: `Network`
+//! caches an `InferencePlan` (pre-decomposed weights, fused conv tiles,
+//! reused workspaces) behind `logits`/`predict`, bit-identical to the
+//! per-layer forward pass.
+//!
 //! # Example: one Table-2 row in a few lines
 //!
 //! ```no_run

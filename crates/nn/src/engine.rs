@@ -1,0 +1,925 @@
+//! Compiled inference plans: the serving engine behind `Network::logits`.
+//!
+//! Defensive Approximation deploys a *fixed* trained network on an
+//! approximate multiplier (paper §4), which makes serving-time inference the
+//! hot path. The per-layer [`crate::Network::forward`] is built for
+//! training: every call re-derives effective weights, reshapes them,
+//! materializes an im2col matrix per item, and allocates a cache it
+//! immediately discards. An [`InferencePlan`] walks the layer stack **once**
+//! and compiles it against the arithmetic unit:
+//!
+//! * every convolution weight's sign/exponent/significand is pre-decomposed
+//!   into a [`da_arith::PreparedOperands`] matrix consumed directly by the
+//!   kernel entry points [`da_arith::BatchKernel::axpy_prepared`] and
+//!   [`da_arith::BatchKernel::gemm_tile`] (no per-call operand
+//!   decomposition; dense layers keep raw pre-transposed weights, because
+//!   their reference GEMM makes the *activation* — not the weight — the
+//!   kernel's shared operand, and bit-identity pins that operand order);
+//! * convolution weights are pre-reshaped to `[Cout, Cin·Kh·Kw]` and dense
+//!   weights pre-transposed to `[In, Out]` (no per-call clone + reshape);
+//! * convolutions run as **fused conv+bias+ReLU output tiles** that gather
+//!   input patches on the fly into a small reused buffer instead of
+//!   materializing full im2col columns;
+//! * activations ping-pong through a reusable workspace arena, so a
+//!   steady-state [`InferencePlan::predict_batch`] performs no heap
+//!   allocation for intermediates (only the returned logits tensor is
+//!   allocated).
+//!
+//! Plans are **bit-identical** to `Network::forward(Mode::Eval)` for every
+//! multiplier kind (property-tested in `tests/engine_equivalence.rs`),
+//! including NaN/Inf/denormal inputs: per output element the reduction
+//! order, operand order, and special-value branches all match the per-layer
+//! reference, which stays in the tree as the semantic ground truth.
+//!
+//! A plan snapshots the network at compile time (weights, quantization,
+//! batch-norm running statistics). [`crate::Network`] caches a plan
+//! internally and invalidates it whenever weights, the multiplier, or
+//! training-mode statistics change, so `Network::logits`, `predict`,
+//! `probabilities`, `accuracy`, and the attack harness's `predict_batch`
+//! all ride the compiled path transparently.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use da_arith::MultiplierKind;
+//! use da_nn::engine::InferencePlan;
+//! use da_nn::zoo::lenet5;
+//! use da_tensor::Tensor;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut net = lenet5(10, &mut rng);
+//! // Deploy on the paper's Ax-FPM and compile once against it...
+//! net.set_multiplier(Some(MultiplierKind::AxFpm.build()));
+//! let plan = InferencePlan::compile(&net, net.multiplier().cloned())
+//!     .expect("all built-in layers have compiled forms");
+//! // ...then serve: repeated calls reuse the same workspace arena.
+//! let x = Tensor::zeros(&[2, 1, 28, 28]);
+//! assert_eq!(plan.predict_batch(&x).shape(), &[2, 10]);
+//! assert_eq!(plan.predict(&x).len(), 2);
+//! // (`net.plan()` compiles and caches the same thing behind `logits`.)
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use da_arith::{BatchKernel, Multiplier, PreparedOperands};
+use da_tensor::ops::ConvGeometry;
+use da_tensor::parallel::par_map_chunks_with;
+use da_tensor::Tensor;
+
+use crate::layers::transpose2d;
+use crate::quant::quantize_k;
+use crate::Network;
+
+/// Output pixels per fused convolution tile: the gather buffer holds
+/// `Cin·Kh·Kw × CONV_TILE` patch values, matching the batched GEMM's column
+/// tile so axpy slices stay L1-resident.
+const CONV_TILE: usize = 256;
+
+/// Below this many MACs per batch, `predict_batch` runs items sequentially
+/// (thread spawn costs more than the arithmetic saves — same threshold
+/// family as the batched GEMM).
+const PAR_MIN_MACS: usize = 1 << 15;
+
+/// A layer's compiled serving-time form, produced by
+/// [`crate::Layer::compile_eval`] and consumed by [`InferencePlan::compile`].
+///
+/// Weight-bearing variants carry the *effective* (possibly quantized)
+/// parameters, snapshotted at compile time.
+pub enum CompiledLayer {
+    /// 2-D convolution with effective weights `[Cout, Cin, Kh, Kw]`.
+    Conv2d {
+        /// Effective (quantized if enabled) weights.
+        weight: Tensor,
+        /// Bias, `[Cout]`.
+        bias: Tensor,
+        /// Stride (both dimensions).
+        stride: usize,
+        /// Zero padding (all sides).
+        pad: usize,
+        /// The multiplier installed in the layer itself — the plan compiler
+        /// refuses to compile when it disagrees with the plan's multiplier
+        /// (otherwise the plan would silently diverge from `forward`).
+        multiplier: Option<Arc<dyn Multiplier>>,
+    },
+    /// Fully connected layer with effective weights `[Out, In]`.
+    Dense {
+        /// Effective (quantized if enabled) weights.
+        weight: Tensor,
+        /// Bias, `[Out]`.
+        bias: Tensor,
+        /// The multiplier installed in the layer itself (see
+        /// [`CompiledLayer::Conv2d::multiplier`]).
+        multiplier: Option<Arc<dyn Multiplier>>,
+    },
+    /// Max pooling.
+    MaxPool2d {
+        /// Window size.
+        kernel: usize,
+        /// Window stride.
+        stride: usize,
+    },
+    /// Rectified linear unit (fused into a preceding conv/dense when
+    /// possible).
+    Relu,
+    /// Shape-only collapse to `[N, features]` (free at run time).
+    Flatten,
+    /// Evaluation-mode no-op (dropout); dropped from the plan.
+    Identity,
+    /// Batch normalization with running statistics snapshotted.
+    BatchNorm {
+        /// Running per-channel means.
+        mean: Vec<f32>,
+        /// Running per-channel variances.
+        var: Vec<f32>,
+        /// Scale parameters.
+        gamma: Vec<f32>,
+        /// Shift parameters.
+        beta: Vec<f32>,
+        /// Variance epsilon.
+        eps: f32,
+    },
+    /// DoReFa activation quantizer.
+    QuantAct {
+        /// Quantization bit width.
+        bits: u32,
+    },
+}
+
+/// Conv weights in the form the execution mode consumes: raw `f32`s for the
+/// native exact path, pre-decomposed operands for the kernel path. Either-or
+/// so a plan never stores the weight matrix twice.
+enum ConvWeights {
+    /// Pre-reshaped `[Cout, Cin·Kh·Kw]`, row-major (plans without a
+    /// multiplier).
+    Raw(Vec<f32>),
+    /// Pre-decomposed `[Cout, Cin·Kh·Kw]` (plans with a multiplier).
+    Prepared(PreparedOperands),
+}
+
+/// One executable step of a compiled plan.
+enum Step {
+    Conv {
+        weights: ConvWeights,
+        bias: Vec<f32>,
+        cout: usize,
+        cin: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad: usize,
+        fuse_relu: bool,
+    },
+    Dense {
+        /// Pre-transposed weights `[In, Out]`, row-major.
+        wt: Vec<f32>,
+        bias: Vec<f32>,
+        in_features: usize,
+        out_features: usize,
+        fuse_relu: bool,
+    },
+    MaxPool {
+        window: usize,
+        stride: usize,
+    },
+    Relu,
+    Flatten,
+    BatchNorm {
+        mean: Vec<f32>,
+        /// Pre-computed `(var + eps).sqrt()` per channel (bit-identical to
+        /// the reference, which recomputes the same expression per element).
+        denom: Vec<f32>,
+        gamma: Vec<f32>,
+        beta: Vec<f32>,
+    },
+    QuantAct {
+        bits: u32,
+    },
+}
+
+/// Per-step shapes resolved for one input item shape.
+struct ResolvedShape {
+    in_shape: Vec<usize>,
+    out_shape: Vec<usize>,
+}
+
+/// Shape inference result for one per-item input shape: per-step shapes and
+/// workspace sizing. Computed on the first `predict_batch` call and cached.
+struct Layout {
+    item_shape: Vec<usize>,
+    resolved: Vec<ResolvedShape>,
+    out_shape: Vec<usize>,
+    out_len: usize,
+    /// Max intermediate activation length (sizes each ping-pong buffer).
+    buf_len: usize,
+    /// Max conv patch-gather buffer length.
+    gather_len: usize,
+    /// Multiply-accumulates per item (parallelization heuristic).
+    item_macs: usize,
+}
+
+/// Reusable per-worker buffers: two ping-pong activation buffers and the
+/// conv patch-gather buffer.
+#[derive(Default)]
+struct Workspace {
+    a: Vec<f32>,
+    b: Vec<f32>,
+    gather: Vec<f32>,
+}
+
+impl Workspace {
+    /// Grow buffers to the layout's requirements, counting growths.
+    fn ensure(&mut self, layout: &Layout, counter: &AtomicU64) {
+        for (buf, want) in [
+            (&mut self.a, layout.buf_len),
+            (&mut self.b, layout.buf_len),
+            (&mut self.gather, layout.gather_len),
+        ] {
+            if buf.len() < want {
+                buf.resize(want, 0.0);
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A worker's execution state: a workspace checked out of the plan's pool
+/// (returned on drop) and a per-worker arithmetic kernel.
+struct WorkerState<'p> {
+    pool: &'p Mutex<Vec<Workspace>>,
+    ws: Workspace,
+    kernel: Option<Box<dyn BatchKernel + Send + 'p>>,
+}
+
+impl Drop for WorkerState<'_> {
+    fn drop(&mut self) {
+        self.pool.lock().expect("workspace pool lock").push(std::mem::take(&mut self.ws));
+    }
+}
+
+/// Which buffer currently holds the step input.
+#[derive(Clone, Copy)]
+enum SrcSlot {
+    Input,
+    A,
+    B,
+}
+
+/// A network compiled for serving: pre-decomposed weights, fused conv
+/// tiles, and a reusable workspace arena (see the module docs).
+pub struct InferencePlan {
+    multiplier: Option<Arc<dyn Multiplier>>,
+    steps: Vec<Step>,
+    /// Index of the last step that writes output (`None` if every step is a
+    /// shape-only no-op).
+    last_write: Option<usize>,
+    layout: Mutex<Option<Arc<Layout>>>,
+    pool: Mutex<Vec<Workspace>>,
+    workspace_allocs: AtomicU64,
+}
+
+impl InferencePlan {
+    /// Compile `network` against `multiplier` (pass
+    /// `network.multiplier().cloned()` to match the installed one).
+    ///
+    /// Returns `None` if any layer has no compiled form
+    /// ([`crate::Layer::compile_eval`] returned `None`), or if any
+    /// weight-bearing layer carries a multiplier that disagrees with
+    /// `multiplier` — a plan compiled past such a mismatch would silently
+    /// diverge from `forward(Mode::Eval)`. Callers then fall back to the
+    /// per-layer `forward`.
+    pub fn compile(
+        network: &Network,
+        multiplier: Option<Arc<dyn Multiplier>>,
+    ) -> Option<InferencePlan> {
+        let mut steps: Vec<Step> = Vec::new();
+        for layer in network.layers() {
+            match layer.compile_eval()? {
+                CompiledLayer::Identity => {}
+                CompiledLayer::Relu => match steps.last_mut() {
+                    Some(Step::Conv { fuse_relu, .. }) | Some(Step::Dense { fuse_relu, .. })
+                        if !*fuse_relu =>
+                    {
+                        *fuse_relu = true;
+                    }
+                    _ => steps.push(Step::Relu),
+                },
+                CompiledLayer::Conv2d { weight, bias, stride, pad, multiplier: layer_mult } => {
+                    if !same_multiplier(&multiplier, &layer_mult) {
+                        return None;
+                    }
+                    let (cout, cin, kh, kw) = (
+                        weight.shape()[0],
+                        weight.shape()[1],
+                        weight.shape()[2],
+                        weight.shape()[3],
+                    );
+                    let wmat = weight.into_vec();
+                    let weights = if multiplier.is_some() {
+                        ConvWeights::Prepared(PreparedOperands::from_matrix(
+                            &wmat,
+                            cout,
+                            cin * kh * kw,
+                        ))
+                    } else {
+                        ConvWeights::Raw(wmat)
+                    };
+                    steps.push(Step::Conv {
+                        weights,
+                        bias: bias.into_vec(),
+                        cout,
+                        cin,
+                        kh,
+                        kw,
+                        stride,
+                        pad,
+                        fuse_relu: false,
+                    });
+                }
+                CompiledLayer::Dense { weight, bias, multiplier: layer_mult } => {
+                    if !same_multiplier(&multiplier, &layer_mult) {
+                        return None;
+                    }
+                    let (out_features, in_features) = (weight.shape()[0], weight.shape()[1]);
+                    steps.push(Step::Dense {
+                        wt: transpose2d(&weight).into_vec(),
+                        bias: bias.into_vec(),
+                        in_features,
+                        out_features,
+                        fuse_relu: false,
+                    });
+                }
+                CompiledLayer::MaxPool2d { kernel, stride } => {
+                    steps.push(Step::MaxPool { window: kernel, stride });
+                }
+                CompiledLayer::Flatten => steps.push(Step::Flatten),
+                CompiledLayer::BatchNorm { mean, var, gamma, beta, eps } => {
+                    let denom: Vec<f32> = var.iter().map(|&v| (v + eps).sqrt()).collect();
+                    steps.push(Step::BatchNorm { mean, denom, gamma, beta });
+                }
+                CompiledLayer::QuantAct { bits } => steps.push(Step::QuantAct { bits }),
+            }
+        }
+        let last_write = steps.iter().rposition(|s| !matches!(s, Step::Flatten));
+        Some(InferencePlan {
+            multiplier,
+            steps,
+            last_write,
+            layout: Mutex::new(None),
+            pool: Mutex::new(Vec::new()),
+            workspace_allocs: AtomicU64::new(0),
+        })
+    }
+
+    /// The multiplier the plan was compiled against.
+    pub fn multiplier(&self) -> Option<&Arc<dyn Multiplier>> {
+        self.multiplier.as_ref()
+    }
+
+    /// Number of executable steps (fused layers count once; eval-mode no-ops
+    /// are dropped).
+    pub fn depth(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// How many workspace-buffer allocations (or growths) the plan has
+    /// performed. Steady-state serving with a fixed input shape stops
+    /// growing this counter after the first call — asserted by the
+    /// equivalence tests.
+    pub fn workspace_allocations(&self) -> u64 {
+        self.workspace_allocs.load(Ordering::Relaxed)
+    }
+
+    /// Inference logits for a `[N, ...]` batch — bit-identical to
+    /// `Network::forward(Mode::Eval)` on the network the plan was compiled
+    /// from (with the same multiplier).
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or shape mismatches, with the same messages as the
+    /// per-layer forward pass.
+    pub fn predict_batch(&self, x: &Tensor) -> Tensor {
+        assert!(x.shape().len() >= 2, "predict_batch expects a batched [N, ...] input");
+        let n = x.shape()[0];
+        let layout = self.layout_for(&x.shape()[1..]);
+        let item_in: usize = layout.item_shape.iter().product();
+        let out_len = layout.out_len;
+        let mut out = vec![0.0f32; n * out_len];
+        let xd = x.data();
+
+        let run = |state: &mut WorkerState<'_>, i: usize, piece: &mut [f32]| {
+            self.run_item(&layout, state, &xd[i * item_in..(i + 1) * item_in], piece);
+        };
+        if n > 1 && n * layout.item_macs >= PAR_MIN_MACS {
+            par_map_chunks_with(&mut out, out_len, || self.worker_state(&layout), run);
+        } else {
+            let mut state = self.worker_state(&layout);
+            for (i, piece) in out.chunks_mut(out_len).enumerate() {
+                run(&mut state, i, piece);
+            }
+        }
+
+        let mut shape = vec![n];
+        shape.extend_from_slice(&layout.out_shape);
+        Tensor::from_vec(out, &shape)
+    }
+
+    /// Predicted class per batch item (the shared
+    /// [`crate::loss::argmax_logits`] tie behavior: last maximum wins).
+    pub fn predict(&self, x: &Tensor) -> Vec<usize> {
+        let logits = self.predict_batch(x);
+        let k: usize = logits.shape()[1..].iter().product();
+        logits.data().chunks(k).map(crate::loss::argmax_logits).collect()
+    }
+
+    /// Check out a workspace (reusing pooled buffers) and build the
+    /// per-worker kernel.
+    fn worker_state(&self, layout: &Layout) -> WorkerState<'_> {
+        let mut ws = self.pool.lock().expect("workspace pool lock").pop().unwrap_or_default();
+        ws.ensure(layout, &self.workspace_allocs);
+        WorkerState {
+            pool: &self.pool,
+            ws,
+            kernel: self.multiplier.as_ref().map(|m| m.batch_kernel()),
+        }
+    }
+
+    /// The cached layout for `item_shape`, computing it on first use (or
+    /// when the serving shape changes).
+    fn layout_for(&self, item_shape: &[usize]) -> Arc<Layout> {
+        {
+            let guard = self.layout.lock().expect("layout lock");
+            if let Some(layout) = &*guard {
+                if layout.item_shape == item_shape {
+                    return layout.clone();
+                }
+            }
+        }
+        let layout = Arc::new(self.compute_layout(item_shape));
+        *self.layout.lock().expect("layout lock") = Some(layout.clone());
+        layout
+    }
+
+    /// Shape inference: walk the steps once for a per-item input shape,
+    /// validating like the per-layer forward would and sizing the arena.
+    fn compute_layout(&self, item_shape: &[usize]) -> Layout {
+        let mut shape = item_shape.to_vec();
+        let mut resolved = Vec::with_capacity(self.steps.len());
+        let mut buf_len = 0usize;
+        let mut gather_len = 0usize;
+        let mut item_macs = 0usize;
+        for step in &self.steps {
+            let in_shape = shape.clone();
+            let out_shape = match step {
+                Step::Conv { cout, cin, kh, kw, stride, pad, .. } => {
+                    assert_eq!(in_shape.len(), 3, "Conv2d expects [N, C, H, W]");
+                    assert_eq!(in_shape[0], *cin, "input channel mismatch");
+                    let geom = ConvGeometry {
+                        input: (in_shape[1], in_shape[2]),
+                        kernel: (*kh, *kw),
+                        stride: *stride,
+                        pad: *pad,
+                    };
+                    let (oh, ow) = geom.output();
+                    let k = cin * kh * kw;
+                    gather_len = gather_len.max(k * CONV_TILE.min(oh * ow));
+                    item_macs += cout * k * oh * ow;
+                    vec![*cout, oh, ow]
+                }
+                Step::Dense { in_features, out_features, .. } => {
+                    assert_eq!(in_shape.len(), 1, "Dense expects [N, In]");
+                    assert_eq!(in_shape[0], *in_features, "feature mismatch");
+                    item_macs += in_features * out_features;
+                    vec![*out_features]
+                }
+                Step::MaxPool { window, stride } => {
+                    assert_eq!(in_shape.len(), 3, "MaxPool2d expects [N, C, H, W]");
+                    let geom = ConvGeometry {
+                        input: (in_shape[1], in_shape[2]),
+                        kernel: (*window, *window),
+                        stride: *stride,
+                        pad: 0,
+                    };
+                    let (oh, ow) = geom.output();
+                    vec![in_shape[0], oh, ow]
+                }
+                Step::Flatten => vec![in_shape.iter().product()],
+                Step::Relu | Step::QuantAct { .. } => in_shape.clone(),
+                Step::BatchNorm { gamma, .. } => {
+                    assert!(
+                        in_shape.len() == 1 || in_shape.len() == 3,
+                        "BatchNorm expects [N, F] or [N, C, H, W]"
+                    );
+                    assert_eq!(in_shape[0], gamma.len(), "channel mismatch");
+                    in_shape.clone()
+                }
+            };
+            if !matches!(step, Step::Flatten) {
+                buf_len = buf_len.max(out_shape.iter().product());
+            }
+            shape = out_shape.clone();
+            resolved.push(ResolvedShape { in_shape, out_shape });
+        }
+        Layout {
+            item_shape: item_shape.to_vec(),
+            resolved,
+            out_len: shape.iter().product(),
+            out_shape: shape,
+            buf_len,
+            gather_len,
+            item_macs,
+        }
+    }
+
+    /// Run every step for one item, ping-ponging activations through the
+    /// workspace; the final writing step lands directly in `out_row`.
+    fn run_item(
+        &self,
+        layout: &Layout,
+        state: &mut WorkerState<'_>,
+        input: &[f32],
+        out_row: &mut [f32],
+    ) {
+        let Some(last_write) = self.last_write else {
+            // Shape-only plan (or no layers at all): logits are the input.
+            out_row.copy_from_slice(input);
+            return;
+        };
+        let mut kernel = state.kernel.as_deref_mut();
+        let Workspace { a, b, gather } = &mut state.ws;
+        let mut src_slot = SrcSlot::Input;
+        for (t, step) in self.steps.iter().enumerate() {
+            if matches!(step, Step::Flatten) {
+                continue;
+            }
+            let shapes = &layout.resolved[t];
+            let in_len: usize = shapes.in_shape.iter().product();
+            let out_len: usize = shapes.out_shape.iter().product();
+            let (src, dst): (&[f32], &mut [f32]) = match (src_slot, t == last_write) {
+                (SrcSlot::Input, true) => (&input[..in_len], &mut out_row[..out_len]),
+                (SrcSlot::Input, false) => (&input[..in_len], &mut a[..out_len]),
+                (SrcSlot::A, true) => (&a[..in_len], &mut out_row[..out_len]),
+                (SrcSlot::A, false) => (&a[..in_len], &mut b[..out_len]),
+                (SrcSlot::B, true) => (&b[..in_len], &mut out_row[..out_len]),
+                (SrcSlot::B, false) => (&b[..in_len], &mut a[..out_len]),
+            };
+            exec_step(step, shapes, src, dst, gather, kernel.as_deref_mut());
+            if t == last_write {
+                return;
+            }
+            src_slot = match src_slot {
+                SrcSlot::Input | SrcSlot::B => SrcSlot::A,
+                SrcSlot::A => SrcSlot::B,
+            };
+        }
+    }
+}
+
+impl std::fmt::Debug for InferencePlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferencePlan")
+            .field("steps", &self.steps.len())
+            .field("multiplier", &self.multiplier.as_ref().map(|m| m.name()).unwrap_or("native"))
+            .finish()
+    }
+}
+
+/// Whether the plan's multiplier and a layer's installed multiplier agree.
+///
+/// Multipliers are compared by [`Multiplier::name`], the stable identifier
+/// the crate documents for cache keys — implementations are deterministic,
+/// so same name ⇒ same datapath.
+fn same_multiplier(
+    plan: &Option<Arc<dyn Multiplier>>,
+    layer: &Option<Arc<dyn Multiplier>>,
+) -> bool {
+    match (plan, layer) {
+        (None, None) => true,
+        (Some(a), Some(b)) => a.name() == b.name(),
+        _ => false,
+    }
+}
+
+/// Execute one compiled step from `src` into `dst`.
+fn exec_step<'k>(
+    step: &Step,
+    shapes: &ResolvedShape,
+    src: &[f32],
+    dst: &mut [f32],
+    gather: &mut [f32],
+    kernel: Option<&mut (dyn BatchKernel + Send + 'k)>,
+) {
+    match step {
+        Step::Conv { weights, bias, cout, cin, kh, kw, stride, pad, fuse_relu } => {
+            let (h, w) = (shapes.in_shape[1], shapes.in_shape[2]);
+            let (oh, ow) = (shapes.out_shape[1], shapes.out_shape[2]);
+            let k = cin * kh * kw;
+            let p_total = oh * ow;
+            let mut kernel = kernel;
+            for p0 in (0..p_total).step_by(CONV_TILE) {
+                let tile = CONV_TILE.min(p_total - p0);
+                gather_patches(src, *cin, h, w, *kh, *kw, *stride, *pad, ow, p0, tile, gather);
+                for co in 0..*cout {
+                    dst[co * p_total + p0..co * p_total + p0 + tile].fill(0.0);
+                }
+                // Compile stores prepared weights iff the plan has a
+                // multiplier, which is also the only case with a kernel.
+                match (kernel.as_deref_mut(), weights) {
+                    (Some(kern), ConvWeights::Prepared(prep)) => {
+                        // Approximate path: the whole weight block sweeps
+                        // the shared patch tile in one fused kernel call —
+                        // per element `k` ascending, the batched GEMM's
+                        // accumulation order.
+                        kern.gemm_tile(prep, &gather[..k * tile], tile, &mut dst[p0..], p_total);
+                    }
+                    (None, ConvWeights::Raw(wmat)) => {
+                        // Exact path: mirror `da_tensor::ops::matmul`,
+                        // including its zero-weight skip.
+                        for co in 0..*cout {
+                            let acc = &mut dst[co * p_total + p0..co * p_total + p0 + tile];
+                            for (ki, &av) in wmat[co * k..(co + 1) * k].iter().enumerate() {
+                                if av == 0.0 {
+                                    continue;
+                                }
+                                let g = &gather[ki * tile..(ki + 1) * tile];
+                                for (o, &gv) in acc.iter_mut().zip(g) {
+                                    *o += av * gv;
+                                }
+                            }
+                        }
+                    }
+                    _ => unreachable!("conv weight form always matches the kernel mode"),
+                }
+                for co in 0..*cout {
+                    let acc = &mut dst[co * p_total + p0..co * p_total + p0 + tile];
+                    let bv = bias[co];
+                    for v in acc.iter_mut() {
+                        *v += bv;
+                    }
+                    if *fuse_relu {
+                        for v in acc.iter_mut() {
+                            *v = v.max(0.0);
+                        }
+                    }
+                }
+            }
+        }
+        Step::Dense { wt, bias, in_features, out_features, fuse_relu } => {
+            let outf = *out_features;
+            dst.fill(0.0);
+            match kernel {
+                Some(kern) => {
+                    // The batched GEMM's loop with the activation as the
+                    // shared operand (operand order must match
+                    // `multiply(x, wᵀ)` — see `gemm_with`).
+                    for ki in 0..*in_features {
+                        kern.axpy(src[ki], &wt[ki * outf..(ki + 1) * outf], dst);
+                    }
+                }
+                None => {
+                    // Exact path: mirror `matmul(x, wᵀ)` with its
+                    // zero-activation skip.
+                    for ki in 0..*in_features {
+                        let av = src[ki];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        for (o, &bv) in dst.iter_mut().zip(&wt[ki * outf..(ki + 1) * outf]) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            }
+            for (o, &bv) in dst.iter_mut().zip(bias) {
+                *o += bv;
+            }
+            if *fuse_relu {
+                for v in dst.iter_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+        }
+        Step::MaxPool { window, stride } => {
+            let (c, h, w) = (shapes.in_shape[0], shapes.in_shape[1], shapes.in_shape[2]);
+            let (oh, ow) = (shapes.out_shape[1], shapes.out_shape[2]);
+            for ci in 0..c {
+                let plane = &src[ci * h * w..(ci + 1) * h * w];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        for ky in 0..*window {
+                            for kx in 0..*window {
+                                let v = plane[(oy * stride + ky) * w + (ox * stride + kx)];
+                                if v > best {
+                                    best = v;
+                                }
+                            }
+                        }
+                        dst[(ci * oh + oy) * ow + ox] = best;
+                    }
+                }
+            }
+        }
+        Step::Relu => {
+            for (o, &v) in dst.iter_mut().zip(src) {
+                *o = v.max(0.0);
+            }
+        }
+        Step::BatchNorm { mean, denom, gamma, beta } => {
+            let c = gamma.len();
+            let plane = if shapes.in_shape.len() == 3 {
+                shapes.in_shape[1] * shapes.in_shape[2]
+            } else {
+                1
+            };
+            for (i, (o, &v)) in dst.iter_mut().zip(src).enumerate() {
+                let ch = (i / plane) % c;
+                let h = (v - mean[ch]) / denom[ch];
+                *o = gamma[ch] * h + beta[ch];
+            }
+        }
+        Step::QuantAct { bits } => {
+            for (o, &v) in dst.iter_mut().zip(src) {
+                *o = quantize_k(v.clamp(0.0, 1.0), *bits);
+            }
+        }
+        Step::Flatten => unreachable!("flatten steps are skipped by run_item"),
+    }
+}
+
+/// Gather the im2col rows for output pixels `p0..p0+tile` into
+/// `gather[row·tile..]`, zero-filling padded taps — the on-the-fly
+/// replacement for materializing full im2col columns.
+#[allow(clippy::too_many_arguments)]
+fn gather_patches(
+    src: &[f32],
+    cin: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    ow: usize,
+    p0: usize,
+    tile: usize,
+    gather: &mut [f32],
+) {
+    let mut row = 0usize;
+    for c in 0..cin {
+        let plane = &src[c * h * w..(c + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let out_row = &mut gather[row * tile..(row + 1) * tile];
+                let mut idx = 0usize;
+                let mut p = p0;
+                while idx < tile {
+                    let oy = p / ow;
+                    let ox0 = p % ow;
+                    let seg = (ow - ox0).min(tile - idx);
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        out_row[idx..idx + seg].fill(0.0);
+                    } else {
+                        let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
+                        for (s, o) in out_row[idx..idx + seg].iter_mut().enumerate() {
+                            let ix = ((ox0 + s) * stride + kx) as isize - pad as isize;
+                            *o =
+                                if ix >= 0 && ix < w as isize { src_row[ix as usize] } else { 0.0 };
+                        }
+                    }
+                    idx += seg;
+                    p += seg;
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Dense, Dropout, Flatten, MaxPool2d, Relu};
+    use crate::Mode;
+    use da_arith::MultiplierKind;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(21)
+    }
+
+    fn tiny_cnn(rng: &mut rand::rngs::StdRng) -> Network {
+        Network::new("engine-tiny")
+            .push(Conv2d::new(1, 3, 3, 1, 1, rng))
+            .push(Relu)
+            .push(MaxPool2d::new(2, 2))
+            .push(Dropout::new(0.5))
+            .push(Flatten)
+            .push(Dense::new(3 * 4 * 4, 5, rng))
+    }
+
+    #[test]
+    fn fusion_drops_noops_and_fuses_relu() {
+        let mut rng = rng();
+        let net = tiny_cnn(&mut rng);
+        let plan = InferencePlan::compile(&net, None).expect("compilable");
+        // conv(+relu fused), pool, flatten, dense: dropout dropped, relu fused.
+        assert_eq!(plan.depth(), 4);
+    }
+
+    #[test]
+    fn plan_matches_forward_for_every_kind_and_native() {
+        let mut rng = rng();
+        let mut net = tiny_cnn(&mut rng);
+        let x = Tensor::randn(&[3, 1, 8, 8], 1.0, &mut rng);
+        for kind in MultiplierKind::ALL.into_iter().map(Some).chain([None]) {
+            let mult = kind.map(|k| k.build());
+            net.set_multiplier(mult.clone());
+            let want = net.forward(&x, Mode::Eval).0;
+            let plan = InferencePlan::compile(&net, mult).expect("compilable");
+            let got = plan.predict_batch(&x);
+            assert_eq!(got.shape(), want.shape());
+            for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+                assert_eq!(g.to_bits(), w.to_bits(), "{kind:?} elem {i}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn workspaces_are_reused_across_calls() {
+        let mut rng = rng();
+        let mut net = tiny_cnn(&mut rng);
+        net.set_multiplier(Some(MultiplierKind::AxFpm.build()));
+        let plan = InferencePlan::compile(&net, net.multiplier().cloned()).unwrap();
+        let x = Tensor::randn(&[2, 1, 8, 8], 1.0, &mut rng);
+        let _ = plan.predict_batch(&x);
+        let after_first = plan.workspace_allocations();
+        assert!(after_first > 0, "first call must size the arena");
+        for _ in 0..5 {
+            let _ = plan.predict_batch(&x);
+        }
+        assert_eq!(plan.workspace_allocations(), after_first, "steady state must not allocate");
+    }
+
+    #[test]
+    fn predict_matches_network_predict() {
+        let mut rng = rng();
+        let net = tiny_cnn(&mut rng);
+        let x = Tensor::randn(&[4, 1, 8, 8], 1.0, &mut rng);
+        let plan = InferencePlan::compile(&net, None).unwrap();
+        assert_eq!(plan.predict(&x), net.predict(&x));
+    }
+
+    #[test]
+    fn multiplier_mismatch_declines_to_compile() {
+        let mut rng = rng();
+        let mut net = tiny_cnn(&mut rng);
+        // Plan multiplier must agree with the layers' installed multiplier —
+        // a mismatched plan would silently diverge from `forward`.
+        assert!(InferencePlan::compile(&net, Some(MultiplierKind::AxFpm.build())).is_none());
+        net.set_multiplier(Some(MultiplierKind::AxFpm.build()));
+        assert!(InferencePlan::compile(&net, None).is_none());
+        assert!(InferencePlan::compile(&net, Some(MultiplierKind::Bfloat16.build())).is_none());
+        assert!(InferencePlan::compile(&net, Some(MultiplierKind::AxFpm.build())).is_some());
+        // A layer carrying its own multiplier (set before push) is caught
+        // too: `Network::logits` falls back to the per-layer forward.
+        let mut conv = Conv2d::new(1, 2, 3, 1, 0, &mut rng);
+        crate::Layer::set_multiplier(&mut conv, Some(MultiplierKind::AxFpm.build()));
+        let net = Network::new("divergent").push(conv);
+        assert!(InferencePlan::compile(&net, None).is_none());
+        let x = Tensor::rand_uniform(&[1, 1, 6, 6], 0.0, 1.0, &mut rng);
+        assert_eq!(net.logits(&x), net.forward(&x, Mode::Eval).0);
+    }
+
+    #[test]
+    fn uncompilable_layer_yields_none() {
+        struct Opaque;
+        impl crate::Layer for Opaque {
+            fn name(&self) -> &'static str {
+                "opaque"
+            }
+            fn forward(&self, x: &Tensor, _mode: Mode) -> (Tensor, crate::Cache) {
+                (x.clone(), crate::Cache::none())
+            }
+            fn backward(&self, _cache: &crate::Cache, grad: &Tensor) -> (Tensor, Vec<Tensor>) {
+                (grad.clone(), Vec::new())
+            }
+        }
+        let net = Network::new("opaque").push(Opaque);
+        assert!(InferencePlan::compile(&net, None).is_none());
+        // Network::logits still works via the per-layer fallback.
+        let x = Tensor::zeros(&[1, 3]);
+        assert_eq!(net.logits(&x), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "input channel mismatch")]
+    fn layout_validates_like_forward() {
+        let mut rng = rng();
+        let net = Network::new("bad").push(Conv2d::new(3, 4, 3, 1, 0, &mut rng));
+        let plan = InferencePlan::compile(&net, None).unwrap();
+        let _ = plan.predict_batch(&Tensor::zeros(&[1, 2, 8, 8]));
+    }
+}

@@ -1,15 +1,15 @@
 //! 2-D convolution with a pluggable forward multiplier.
 
 use std::sync::Arc;
-use std::sync::Mutex;
 
 use da_arith::Multiplier;
 use da_tensor::ops::{col2im, im2col, matmul, ConvGeometry};
-use da_tensor::parallel::par_for;
+use da_tensor::parallel::par_map_chunks;
 use da_tensor::Tensor;
 
 use super::approx::{matmul_with, transpose2d};
 use super::{Cache, Layer, Mode};
+use crate::engine::CompiledLayer;
 use crate::quant::dorefa_quantize_weights;
 
 /// A batched NCHW 2-D convolution layer.
@@ -110,43 +110,38 @@ impl Layer for Conv2d {
         let (oh, ow) = geom.output();
         let cout = self.weight.shape()[0];
         let k2 = self.weight.shape()[2] * self.weight.shape()[3];
-        let weight = self.effective_weight();
-        let wmat = weight.clone().reshape(&[cout, c * k2]);
+        // `effective_weight` already hands back an owned tensor; reshape it
+        // in place instead of cloning a second time.
+        let wmat = self.effective_weight().reshape(&[cout, c * k2]);
 
-        let run_item = |item: &Tensor| -> Tensor {
-            let cols = im2col(item, geom);
-            let mut out = match &self.multiplier {
+        let item_len = cout * oh * ow;
+        let mut out = vec![0.0f32; n * item_len];
+        let run_item = |i: usize, piece: &mut [f32]| {
+            let cols = im2col(&x.batch_item(i), geom);
+            let y = match &self.multiplier {
                 Some(m) => matmul_with(&**m, &wmat, &cols),
                 None => matmul(&wmat, &cols),
             };
-            let od = out.data_mut();
+            piece.copy_from_slice(y.data());
             for co in 0..cout {
                 let b = self.bias.data()[co];
-                for v in &mut od[co * oh * ow..(co + 1) * oh * ow] {
+                for v in &mut piece[co * oh * ow..(co + 1) * oh * ow] {
                     *v += b;
                 }
             }
-            out.reshape(&[cout, oh, ow])
         };
-
-        let outputs: Vec<Tensor> = if self.multiplier.is_some() && n > 1 {
-            // Gate-level multipliers dominate runtime; spread items over CPUs.
-            let slots: Mutex<Vec<Option<Tensor>>> = Mutex::new(vec![None; n]);
-            par_for(n, |i| {
-                let y = run_item(&x.batch_item(i));
-                slots.lock().expect("slot lock")[i] = Some(y);
-            });
-            slots
-                .into_inner()
-                .expect("slot lock")
-                .into_iter()
-                .map(|t| t.expect("all items computed"))
-                .collect()
+        if self.multiplier.is_some() && n > 1 {
+            // Gate-level multipliers dominate runtime; spread items over
+            // CPUs. Each worker writes its item's disjoint output chunk
+            // directly — no locking, no slot collection.
+            par_map_chunks(&mut out, item_len, run_item);
         } else {
-            (0..n).map(|i| run_item(&x.batch_item(i))).collect()
-        };
+            for (i, piece) in out.chunks_mut(item_len).enumerate() {
+                run_item(i, piece);
+            }
+        }
 
-        (Tensor::stack(&outputs), Cache::with_tensor(x.clone()))
+        (Tensor::from_vec(out, &[n, cout, oh, ow]), Cache::with_tensor(x.clone()))
     }
 
     fn backward(&self, cache: &Cache, grad: &Tensor) -> (Tensor, Vec<Tensor>) {
@@ -159,8 +154,7 @@ impl Layer for Conv2d {
 
         // Straight-through: gradients flow through the *effective* weights,
         // and land on the latent weights unchanged.
-        let weight = self.effective_weight();
-        let wmat_t = transpose2d(&weight.clone().reshape(&[cout, c * k2])); // [C·K², Cout]
+        let wmat_t = transpose2d(&self.effective_weight().reshape(&[cout, c * k2])); // [C·K², Cout]
 
         let mut dw = Tensor::zeros(&[cout, c * k2]);
         let mut db = Tensor::zeros(&[cout]);
@@ -194,6 +188,16 @@ impl Layer for Conv2d {
 
     fn set_multiplier(&mut self, multiplier: Option<Arc<dyn Multiplier>>) {
         self.multiplier = multiplier;
+    }
+
+    fn compile_eval(&self) -> Option<CompiledLayer> {
+        Some(CompiledLayer::Conv2d {
+            weight: self.effective_weight(),
+            bias: self.bias.clone(),
+            stride: self.stride,
+            pad: self.pad,
+            multiplier: self.multiplier.clone(),
+        })
     }
 }
 

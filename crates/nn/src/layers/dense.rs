@@ -8,6 +8,7 @@ use da_tensor::Tensor;
 
 use super::approx::{matmul_with, transpose2d};
 use super::{Cache, Layer, Mode};
+use crate::engine::CompiledLayer;
 use crate::quant::dorefa_quantize_weights;
 
 /// `y = x · Wᵀ + b` over a `[N, In]` batch.
@@ -116,6 +117,14 @@ impl Layer for Dense {
 
     fn set_multiplier(&mut self, multiplier: Option<Arc<dyn Multiplier>>) {
         self.multiplier = multiplier;
+    }
+
+    fn compile_eval(&self) -> Option<CompiledLayer> {
+        Some(CompiledLayer::Dense {
+            weight: self.effective_weight(),
+            bias: self.bias.clone(),
+            multiplier: self.multiplier.clone(),
+        })
     }
 }
 

@@ -101,6 +101,17 @@ pub trait Layer: Send + Sync {
     /// Install (or clear) the approximate multiplier used by this layer's
     /// forward inner products. Default: no-op for layers without multiplies.
     fn set_multiplier(&mut self, _multiplier: Option<Arc<dyn Multiplier>>) {}
+
+    /// The layer's compiled serving-time form, consumed by
+    /// [`crate::engine::InferencePlan::compile`]: a snapshot of the
+    /// evaluation-mode behavior (effective weights, running statistics).
+    ///
+    /// Default `None` for layers without a compiled form — the engine then
+    /// declines to compile the whole network and [`crate::Network::logits`]
+    /// falls back to the per-layer forward pass.
+    fn compile_eval(&self) -> Option<crate::engine::CompiledLayer> {
+        None
+    }
 }
 
 #[cfg(test)]

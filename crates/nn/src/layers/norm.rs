@@ -6,6 +6,7 @@ use std::sync::Mutex;
 use da_tensor::Tensor;
 
 use super::{Cache, Layer, Mode};
+use crate::engine::CompiledLayer;
 
 /// Batch normalization over the channel axis of `[N, C, H, W]` or the feature
 /// axis of `[N, F]`.
@@ -154,6 +155,19 @@ impl Layer for BatchNorm {
 
     fn params_mut(&mut self) -> Vec<&mut Tensor> {
         vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn compile_eval(&self) -> Option<CompiledLayer> {
+        // Snapshot the running statistics: plans freeze eval-mode behavior
+        // (the network invalidates its cached plan on training forwards).
+        let running = self.running.lock().expect("running stats lock");
+        Some(CompiledLayer::BatchNorm {
+            mean: running.mean.clone(),
+            var: running.var.clone(),
+            gamma: self.gamma.data().to_vec(),
+            beta: self.beta.data().to_vec(),
+            eps: self.eps,
+        })
     }
 }
 

@@ -4,6 +4,7 @@ use da_tensor::ops::ConvGeometry;
 use da_tensor::Tensor;
 
 use super::{Cache, Layer, Mode};
+use crate::engine::CompiledLayer;
 
 /// Batched NCHW max pooling (multiplication-free, so identical between exact
 /// and approximate classifiers — paper §4.2).
@@ -103,6 +104,10 @@ impl Layer for MaxPool2d {
             dxd[src] += g;
         }
         (dx, Vec::new())
+    }
+
+    fn compile_eval(&self) -> Option<CompiledLayer> {
+        Some(CompiledLayer::MaxPool2d { kernel: self.kernel, stride: self.stride })
     }
 }
 

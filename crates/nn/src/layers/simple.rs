@@ -6,6 +6,7 @@ use rand::{Rng, SeedableRng};
 use da_tensor::Tensor;
 
 use super::{Cache, Layer, Mode};
+use crate::engine::CompiledLayer;
 use crate::quant::quantize_k;
 
 /// Rectified linear unit.
@@ -36,6 +37,10 @@ impl Layer for Relu {
         let x = &cache.tensors[0];
         (grad.zip_map(x, |g, v| if v > 0.0 { g } else { 0.0 }), Vec::new())
     }
+
+    fn compile_eval(&self) -> Option<CompiledLayer> {
+        Some(CompiledLayer::Relu)
+    }
 }
 
 /// Collapse `[N, ...]` to `[N, features]`.
@@ -56,6 +61,10 @@ impl Layer for Flatten {
 
     fn backward(&self, cache: &Cache, grad: &Tensor) -> (Tensor, Vec<Tensor>) {
         (grad.clone().reshape(&cache.indices), Vec::new())
+    }
+
+    fn compile_eval(&self) -> Option<CompiledLayer> {
+        Some(CompiledLayer::Flatten)
     }
 }
 
@@ -103,6 +112,11 @@ impl Layer for Dropout {
     fn backward(&self, cache: &Cache, grad: &Tensor) -> (Tensor, Vec<Tensor>) {
         (grad.zip_map(&cache.tensors[0], |g, m| g * m), Vec::new())
     }
+
+    fn compile_eval(&self) -> Option<CompiledLayer> {
+        // Inverted dropout is the identity in evaluation mode.
+        Some(CompiledLayer::Identity)
+    }
 }
 
 /// DoReFa activation quantizer: `q_k(clip(x, 0, 1))` with a straight-through
@@ -139,6 +153,10 @@ impl Layer for QuantAct {
         // Straight-through inside the clip range, zero outside.
         let x = &cache.tensors[0];
         (grad.zip_map(x, |g, v| if (0.0..=1.0).contains(&v) { g } else { 0.0 }), Vec::new())
+    }
+
+    fn compile_eval(&self) -> Option<CompiledLayer> {
+        Some(CompiledLayer::QuantAct { bits: self.bits })
     }
 }
 

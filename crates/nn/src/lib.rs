@@ -51,7 +51,23 @@
 //! `Conv2d` and `Dense` forwards route through this backend; batch items of
 //! a convolution still parallelize at the item level, and the nested GEMM
 //! then runs inline (the thread pool suppresses nested parallelism).
+//!
+//! ## Serving engine
+//!
+//! Evaluation-mode inference additionally runs on **compiled plans**
+//! ([`engine::InferencePlan`]): the layer stack is walked once, weights are
+//! pre-reshaped/pre-transposed and conv weights pre-decomposed into
+//! [`da_arith::PreparedOperands`], convolutions execute as fused
+//! conv+bias+ReLU tiles without materializing im2col columns, and
+//! intermediates live in a reusable workspace arena.
+//! [`Network::logits`] (and everything built on it: `predict`,
+//! `probabilities`, `accuracy`, the attack harness's `predict_batch`)
+//! transparently uses a cached plan and falls back to the per-layer
+//! `forward` for layer stacks without compiled forms. Plans are
+//! bit-identical to `forward(x, Mode::Eval)` for every multiplier kind
+//! (property-tested in `tests/engine_equivalence.rs`).
 
+pub mod engine;
 pub mod io;
 pub mod layers;
 pub mod loss;
@@ -61,5 +77,6 @@ pub mod quant;
 pub mod train;
 pub mod zoo;
 
+pub use engine::InferencePlan;
 pub use layers::{Cache, Layer, Mode};
 pub use network::Network;

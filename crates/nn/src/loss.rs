@@ -2,6 +2,31 @@
 
 use da_tensor::Tensor;
 
+/// Index of the largest logit in one row, **last** maximum winning ties —
+/// the single argmax definition shared by every prediction path
+/// (`Network::predict`, the serving engine, the attack harness), so their
+/// tie/NaN behavior cannot drift apart.
+///
+/// # Panics
+///
+/// Panics on an empty row or non-comparable (NaN) logits.
+///
+/// # Examples
+///
+/// ```
+/// use da_nn::loss::argmax_logits;
+///
+/// assert_eq!(argmax_logits(&[0.1, 0.7, 0.2]), 1);
+/// assert_eq!(argmax_logits(&[0.7, 0.7]), 1); // last max wins
+/// ```
+pub fn argmax_logits(row: &[f32]) -> usize {
+    row.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+        .map(|(i, _)| i)
+        .expect("non-empty logits")
+}
+
 /// Numerically stable softmax over the last axis of a `[N, K]` logit matrix.
 ///
 /// # Examples

@@ -1,13 +1,24 @@
 //! The sequential [`Network`] container and the classifier API attacked by
 //! `da-attacks`.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use da_arith::Multiplier;
 use da_tensor::Tensor;
 
+use crate::engine::InferencePlan;
 use crate::layers::{Cache, Layer, Mode};
-use crate::loss::{softmax, softmax_cross_entropy};
+use crate::loss::{argmax_logits, softmax, softmax_cross_entropy};
+
+/// Cached compiled-plan state (see [`Network::plan`]).
+enum PlanSlot {
+    /// No current plan; compile on next use.
+    Stale,
+    /// A compiled plan matching the network's current weights/multiplier.
+    Ready(Arc<InferencePlan>),
+    /// The layer stack has no compiled form; don't retry until invalidated.
+    Uncompilable,
+}
 
 /// A sequential stack of layers.
 ///
@@ -31,17 +42,26 @@ pub struct Network {
     name: String,
     layers: Vec<Box<dyn Layer>>,
     multiplier: Option<Arc<dyn Multiplier>>,
+    /// Lazily compiled serving plan ([`crate::engine`]); invalidated on any
+    /// mutation that could change evaluation-mode outputs.
+    plan: Mutex<PlanSlot>,
 }
 
 impl Network {
     /// An empty network.
     pub fn new(name: impl Into<String>) -> Self {
-        Network { name: name.into(), layers: Vec::new(), multiplier: None }
+        Network {
+            name: name.into(),
+            layers: Vec::new(),
+            multiplier: None,
+            plan: Mutex::new(PlanSlot::Stale),
+        }
     }
 
     /// Append a layer (builder-style).
     pub fn push(mut self, layer: impl Layer + 'static) -> Self {
         self.layers.push(Box::new(layer));
+        *self.plan.get_mut().expect("plan lock") = PlanSlot::Stale;
         self
     }
 
@@ -76,16 +96,64 @@ impl Network {
             layer.set_multiplier(multiplier.clone());
         }
         self.multiplier = multiplier;
+        self.invalidate_plan();
+    }
+
+    /// The layer stack (read-only; used by the serving engine's compiler).
+    pub(crate) fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Drop the cached serving plan so the next inference recompiles.
+    fn invalidate_plan(&self) {
+        *self.plan.lock().expect("plan lock") = PlanSlot::Stale;
+    }
+
+    /// The compiled serving plan for the network's current state, compiling
+    /// and caching it on first use. `None` if any layer has no compiled form
+    /// (inference then falls back to the per-layer [`Network::forward`]).
+    ///
+    /// The cache is invalidated by [`Network::set_multiplier`],
+    /// [`Network::params_mut`], and training-mode forwards (which update
+    /// batch-norm running statistics).
+    pub fn plan(&self) -> Option<Arc<InferencePlan>> {
+        let mut slot = self.plan.lock().expect("plan lock");
+        match &*slot {
+            PlanSlot::Ready(plan) => Some(plan.clone()),
+            PlanSlot::Uncompilable => None,
+            PlanSlot::Stale => match InferencePlan::compile(self, self.multiplier.clone()) {
+                Some(plan) => {
+                    let plan = Arc::new(plan);
+                    *slot = PlanSlot::Ready(plan.clone());
+                    Some(plan)
+                }
+                None => {
+                    *slot = PlanSlot::Uncompilable;
+                    None
+                }
+            },
+        }
     }
 
     /// Full forward pass returning the output and per-layer caches.
     pub fn forward(&self, x: &Tensor, mode: Mode) -> (Tensor, Vec<Cache>) {
+        if mode.is_train() {
+            // Training forwards update batch-norm running statistics, which
+            // compiled plans snapshot.
+            self.invalidate_plan();
+        }
         let mut caches = Vec::with_capacity(self.layers.len());
         let mut activ = x.clone();
         for (i, layer) in self.layers.iter().enumerate() {
             let (next, cache) = layer.forward(&activ, mode.for_layer(i));
             caches.push(cache);
             activ = next;
+        }
+        if mode.is_train() {
+            // Invalidate again on the way out: a concurrent `logits` call
+            // may have compiled (and cached) a plan from mid-update
+            // statistics during this pass.
+            self.invalidate_plan();
         }
         (activ, caches)
     }
@@ -106,8 +174,16 @@ impl Network {
     }
 
     /// Inference logits for a `[N, ...]` batch.
+    ///
+    /// Runs on the compiled serving plan ([`crate::engine`]) when the layer
+    /// stack supports it — bit-identical to the per-layer
+    /// `forward(x, Mode::Eval)`, which remains the fallback (and the
+    /// reference the plan is property-tested against).
     pub fn logits(&self, x: &Tensor) -> Tensor {
-        self.forward(x, Mode::Eval).0
+        match self.plan() {
+            Some(plan) => plan.predict_batch(x),
+            None => self.forward(x, Mode::Eval).0,
+        }
     }
 
     /// Softmax class probabilities.
@@ -118,17 +194,8 @@ impl Network {
     /// Predicted class per batch item.
     pub fn predict(&self, x: &Tensor) -> Vec<usize> {
         let logits = self.logits(x);
-        let (n, k) = (logits.shape()[0], logits.shape()[1]);
-        (0..n)
-            .map(|i| {
-                let row = &logits.data()[i * k..(i + 1) * k];
-                row.iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
-                    .map(|(j, _)| j)
-                    .expect("non-empty logits")
-            })
-            .collect()
+        let k = logits.shape()[1];
+        logits.data().chunks(k).map(argmax_logits).collect()
     }
 
     /// Fraction of `labels` predicted correctly.
@@ -173,6 +240,7 @@ impl Network {
 
     /// Mutable parameter views in layer order.
     pub fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        *self.plan.get_mut().expect("plan lock") = PlanSlot::Stale;
         self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
     }
 

@@ -1,5 +1,5 @@
 //! DoReFa-style k-bit quantization — the substrate of the **Defensive
-//! Quantization** baseline (paper §7.1, Appendix B; DoReFa-Net [72]).
+//! Quantization** baseline (paper §7.1, Appendix B; DoReFa-Net \[72\]).
 
 use da_tensor::Tensor;
 

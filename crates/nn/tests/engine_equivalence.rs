@@ -1,0 +1,209 @@
+//! Bit-exactness property tests for the serving engine.
+//!
+//! The contract under test: [`InferencePlan::predict_batch`] equals the
+//! per-layer `Network::forward(Mode::Eval)` **to the last ULP** for every
+//! [`MultiplierKind`] (and the native no-multiplier path), over random and
+//! adversarial (NaN/Inf/denormal/negative-zero/extreme) inputs, across
+//! architectures covering every compiled layer kind — and that repeated
+//! calls reuse the workspace arena instead of allocating.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+use da_arith::MultiplierKind;
+use da_nn::engine::InferencePlan;
+use da_nn::layers::{BatchNorm, Conv2d, Dense, Dropout, Flatten, MaxPool2d, QuantAct, Relu};
+use da_nn::zoo::{dq_convnet, lenet5, DqMode};
+use da_nn::{Mode, Network};
+use da_tensor::Tensor;
+
+/// Adversarial values: specials, signed zeros, denormals, and extremes.
+const SPECIALS: [f32; 10] = [
+    f32::NAN,
+    f32::INFINITY,
+    f32::NEG_INFINITY,
+    0.0,
+    -0.0,
+    f32::MIN_POSITIVE,
+    1e-40, // denormal
+    f32::MAX,
+    -f32::MAX,
+    1.0,
+];
+
+/// A tensor mixing uniform values with adversarial specials.
+fn adversarial_tensor(shape: &[usize], rng: &mut rand::rngs::StdRng, special_rate: f64) -> Tensor {
+    let n: usize = shape.iter().product();
+    let data = (0..n)
+        .map(|_| {
+            if rng.gen_bool(special_rate) {
+                SPECIALS[rng.gen_range(0..SPECIALS.len())]
+            } else {
+                rng.gen_range(-2.0f32..2.0)
+            }
+        })
+        .collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Assert plan output equals the per-layer eval forward bit for bit, for the
+/// installed multiplier.
+fn assert_plan_matches_forward(net: &Network, x: &Tensor, ctx: &str) {
+    let want = net.forward(x, Mode::Eval).0;
+    let plan = InferencePlan::compile(net, net.multiplier().cloned())
+        .expect("built-in layers must compile");
+    let got = plan.predict_batch(x);
+    assert_eq!(got.shape(), want.shape(), "{ctx}: shape");
+    for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{ctx}: element {i} differs: {g:?} ({:#010x}) vs {w:?} ({:#010x})",
+            g.to_bits(),
+            w.to_bits()
+        );
+    }
+}
+
+/// Every multiplier kind plus the native (no-multiplier) path.
+fn all_configs() -> Vec<Option<MultiplierKind>> {
+    let mut v: Vec<Option<MultiplierKind>> = MultiplierKind::ALL.into_iter().map(Some).collect();
+    v.push(None);
+    v
+}
+
+/// A small CNN exercising conv (padded and unpadded), pooling, fused and
+/// standalone ReLU placements, dropout, and two dense layers.
+fn small_cnn(rng: &mut rand::rngs::StdRng) -> Network {
+    Network::new("engine-prop-cnn")
+        .push(Conv2d::new(2, 4, 3, 1, 1, rng))
+        .push(Relu)
+        .push(MaxPool2d::new(2, 2))
+        .push(Conv2d::new(4, 3, 3, 2, 0, rng))
+        .push(Relu)
+        .push(Dropout::new(0.3))
+        .push(Flatten)
+        .push(Dense::new(3 * 2 * 2, 8, rng))
+        .push(Relu)
+        .push(Dense::new(8, 4, rng))
+}
+
+/// An MLP with batch norm and activation quantization (warmed-up running
+/// statistics), covering the remaining compiled layer kinds.
+fn quantized_mlp(rng: &mut rand::rngs::StdRng) -> Network {
+    let net = Network::new("engine-prop-mlp")
+        .push(Flatten)
+        .push(Dense::new(12, 10, rng).with_weight_bits(4))
+        .push(BatchNorm::new(10))
+        .push(Relu)
+        .push(QuantAct::new(4))
+        .push(Dense::new(10, 3, rng));
+    // Warm the running statistics so eval-mode batch norm is nontrivial.
+    let warm = Tensor::randn(&[16, 1, 3, 4], 1.0, rng);
+    for _ in 0..3 {
+        let _ = net.forward(&warm, Mode::Train { seed: 7 });
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The plan matches the per-layer forward bitwise for every multiplier
+    /// kind on a CNN fed adversarial inputs.
+    #[test]
+    fn plan_matches_forward_on_adversarial_cnn_inputs(seed in any::<u64>(), n in 1usize..4) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut net = small_cnn(&mut rng);
+        let x = adversarial_tensor(&[n, 2, 10, 10], &mut rng, 0.15);
+        for kind in all_configs() {
+            net.set_multiplier(kind.map(|k| k.build()));
+            assert_plan_matches_forward(&net, &x, &format!("cnn {kind:?} n={n}"));
+        }
+    }
+
+    /// Batch-norm + quantized layers match bitwise too (weight quantization
+    /// is snapshotted at compile time).
+    #[test]
+    fn plan_matches_forward_on_quantized_mlp(seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut net = quantized_mlp(&mut rng);
+        let x = adversarial_tensor(&[3, 1, 3, 4], &mut rng, 0.2);
+        for kind in all_configs() {
+            net.set_multiplier(kind.map(|k| k.build()));
+            assert_plan_matches_forward(&net, &x, &format!("mlp {kind:?}"));
+        }
+    }
+}
+
+/// The paper's LeNet-5 at its native input size, batched past the engine's
+/// parallel threshold: per-worker kernels and workspaces stay bit-exact.
+#[test]
+fn parallel_lenet_plan_is_bit_exact() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut net = lenet5(10, &mut rng);
+    let x = adversarial_tensor(&[6, 1, 28, 28], &mut rng, 0.05);
+    for kind in [None, Some(MultiplierKind::AxFpm), Some(MultiplierKind::Bfloat16)] {
+        net.set_multiplier(kind.map(|k| k.build()));
+        assert_plan_matches_forward(&net, &x, &format!("lenet {kind:?}"));
+    }
+}
+
+/// The DQ ConvNet (batch norm + full quantization, Appendix B) compiles and
+/// matches bitwise.
+#[test]
+fn dq_convnet_plan_is_bit_exact() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+    let net = dq_convnet(10, DqMode::Full, 4, &mut rng);
+    let x = Tensor::rand_uniform(&[2, 3, 32, 32], 0.0, 1.0, &mut rng);
+    assert_plan_matches_forward(&net, &x, "dq-full");
+}
+
+/// Steady-state serving reuses the workspace arena: after the first call at
+/// a given shape, repeated `predict_batch` calls perform no buffer
+/// allocations (the debug allocation counter stops growing).
+#[test]
+fn repeated_predictions_reuse_workspaces() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let mut net = small_cnn(&mut rng);
+    let x = Tensor::randn(&[4, 2, 10, 10], 1.0, &mut rng);
+    for kind in [None, Some(MultiplierKind::AxFpm)] {
+        net.set_multiplier(kind.map(|k| k.build()));
+        let plan = InferencePlan::compile(&net, net.multiplier().cloned()).expect("compilable");
+        let first = plan.predict_batch(&x);
+        let after_warmup = plan.workspace_allocations();
+        assert!(after_warmup > 0, "{kind:?}: first call must size the arena");
+        for _ in 0..8 {
+            assert_eq!(plan.predict_batch(&x), first, "{kind:?}: results must be stable");
+        }
+        assert_eq!(
+            plan.workspace_allocations(),
+            after_warmup,
+            "{kind:?}: steady-state serving must not grow workspace buffers"
+        );
+    }
+}
+
+/// `Network::logits` rides the cached plan and stays coherent through
+/// multiplier swaps and weight mutation (cache invalidation).
+#[test]
+fn network_logits_cache_invalidates_on_mutation() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+    let mut net = small_cnn(&mut rng);
+    let x = Tensor::rand_uniform(&[2, 2, 10, 10], 0.0, 1.0, &mut rng);
+
+    let exact = net.logits(&x);
+    assert_eq!(exact, net.forward(&x, Mode::Eval).0, "plan path equals reference");
+
+    net.set_multiplier(Some(MultiplierKind::AxFpm.build()));
+    let approx = net.logits(&x);
+    assert_ne!(exact, approx, "multiplier swap must recompile the plan");
+    assert_eq!(approx, net.forward(&x, Mode::Eval).0);
+
+    net.set_multiplier(None);
+    assert_eq!(net.logits(&x), exact, "clearing the multiplier restores exact logits");
+
+    // Mutating weights through params_mut must invalidate the cached plan.
+    net.params_mut()[0].data_mut()[0] += 1.0;
+    assert_eq!(net.logits(&x), net.forward(&x, Mode::Eval).0, "weight edits recompile");
+}

@@ -103,7 +103,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Things usable as the size argument of [`vec`].
+    /// Things usable as the size argument of [`vec()`].
     pub trait IntoSizeRange {
         /// Draw a concrete length.
         fn sample_len(&self, rng: &mut StdRng) -> usize;

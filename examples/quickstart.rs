@@ -8,6 +8,11 @@
 //! multipliers for the paper's Ax-FPM — no retraining — and shows:
 //! 1. clean accuracy is preserved,
 //! 2. an FGSM adversarial crafted on the exact model fails to transfer.
+//!
+//! All inference below rides compiled serving plans (`da_nn::engine`):
+//! `Network` caches an `InferencePlan` with pre-decomposed weights, fused
+//! conv tiles, and reused workspaces, and every `predict`/`accuracy` call
+//! routes through it — bit-identical to the per-layer forward pass.
 
 use defensive_approximation::arith::MultiplierKind;
 use defensive_approximation::attacks::gradient::Fgsm;
@@ -24,6 +29,14 @@ fn main() {
     println!("training or loading LeNet-5 (cache: {}) ...", cache.dir().display());
     let exact = cache.lenet(&budget);
     let defended = with_multiplier(cache.lenet(&budget), MultiplierKind::AxFpm);
+
+    // Both models serve through compiled plans (compiled once, cached).
+    let plan = defended.plan().expect("LeNet-5 compiles to a serving plan");
+    println!(
+        "serving plan: {} fused steps on the {} multiplier",
+        plan.depth(),
+        plan.multiplier().map(|m| m.name()).unwrap_or("native")
+    );
 
     // 1. Clean accuracy before/after the multiplier swap (paper Table 6).
     let test = cache.digits_test(500);
