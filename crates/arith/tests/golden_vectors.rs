@@ -1,0 +1,261 @@
+//! Golden-vector regression corpus: checked-in bit-exact outputs for every
+//! [`MultiplierKind`], replayed on each test run.
+//!
+//! The paper's defense *is* the arithmetic: a kernel refactor that changes
+//! even one ULP of an approximate product changes the defensive
+//! perturbation. The property tests pin the batched kernels to the scalar
+//! `multiply`; this corpus pins the scalar `multiply` itself (and the
+//! left-to-right `dot_accumulate` reduction) to bits captured at
+//! `crates/arith/tests/golden/` — so a future refactor cannot silently
+//! change the approximation and still pass.
+//!
+//! Corpus construction (deterministic, no RNG dependency):
+//! * every ordered pair of 24 special operands — ±0, ±1, subnormal
+//!   min/max, normal min, max finite, ±∞, quiet/signaling NaNs, values near
+//!   1, and overflow-prone magnitudes — exercising the special-value
+//!   branches of every datapath;
+//! * 256 pseudorandom bit-pattern pairs from a fixed-seed SplitMix64 walk
+//!   (raw `u32` patterns, so NaNs/infinities/subnormals appear here too);
+//! * 24 dot products of length-16 operand windows sliding over the same
+//!   stream, pinning the accumulation order.
+//!
+//! Comparison is bit-exact, with one documented exception: when the
+//! expected *and* actual values are both NaN they match regardless of
+//! payload. IEEE 754 leaves NaN payload propagation to the implementation,
+//! so native-backed paths (`exact`, `bfloat16`) may legally differ across
+//! hardware; sign/exponent behavior of every non-NaN special stays pinned.
+//!
+//! Regenerating after an *intentional* semantic change:
+//! `DA_GOLDEN_REGEN=1 cargo test -p da_arith --test golden_vectors --
+//! --ignored` rewrites the files in place; re-run the normal suite and
+//! commit the diff.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use da_arith::MultiplierKind;
+
+/// Special `f32` bit patterns (see module docs).
+const SPECIALS: [u32; 24] = [
+    0x0000_0000, // +0
+    0x8000_0000, // -0
+    0x3F80_0000, // 1.0
+    0xBF80_0000, // -1.0
+    0x3F00_0000, // 0.5
+    0x4049_0FDB, // pi
+    0xC2F6_E979, // -123.456
+    0x0000_0001, // smallest subnormal
+    0x8000_0001, // -smallest subnormal
+    0x007F_FFFF, // largest subnormal
+    0x0080_0000, // smallest normal
+    0x0100_0000, // small normal
+    0x3F7F_FFFF, // largest value below 1
+    0x4B80_0000, // 2^24
+    0x7F7F_FFFF, // max finite
+    0xFF7F_FFFF, // -max finite
+    0x7E80_0000, // 2^126 (products overflow)
+    0x3727_C5AC, // ~1e-5
+    0x322B_CC77, // ~1e-8
+    0x7F80_0000, // +inf
+    0xFF80_0000, // -inf
+    0x7FC0_0000, // canonical qNaN
+    0xFFC0_0001, // negative NaN with payload
+    0x7F80_0001, // signaling NaN
+];
+
+const LCG_PAIRS: usize = 256;
+const DOT_CASES: usize = 24;
+const DOT_LEN: usize = 16;
+
+/// SplitMix64: a fixed-seed deterministic bit-pattern stream.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u32(&mut self) -> u32 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as u32
+    }
+}
+
+/// The scalar-product operand pairs, in corpus order.
+fn mul_pairs() -> Vec<(f32, f32)> {
+    let mut pairs = Vec::new();
+    for &a in &SPECIALS {
+        for &b in &SPECIALS {
+            pairs.push((f32::from_bits(a), f32::from_bits(b)));
+        }
+    }
+    let mut rng = SplitMix64(0xDA_2021);
+    for _ in 0..LCG_PAIRS {
+        pairs.push((f32::from_bits(rng.next_u32()), f32::from_bits(rng.next_u32())));
+    }
+    pairs
+}
+
+/// The dot-product operand vectors, in corpus order. Windows slide over a
+/// stream that splices specials in among pseudorandom patterns.
+fn dot_cases() -> Vec<(Vec<f32>, Vec<f32>)> {
+    let mut rng = SplitMix64(0xD07_CA5E);
+    let mut stream: Vec<f32> = Vec::new();
+    for i in 0..DOT_CASES * DOT_LEN * 2 {
+        // Every 7th element is a special, so reductions hit NaN/Inf/zero
+        // part-way through accumulation.
+        if i % 7 == 3 {
+            stream.push(f32::from_bits(SPECIALS[i % SPECIALS.len()]));
+        } else {
+            stream.push(f32::from_bits(rng.next_u32()));
+        }
+    }
+    (0..DOT_CASES)
+        .map(|c| {
+            let at = c * DOT_LEN * 2;
+            (stream[at..at + DOT_LEN].to_vec(), stream[at + DOT_LEN..at + 2 * DOT_LEN].to_vec())
+        })
+        .collect()
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
+}
+
+fn mul_file(kind: MultiplierKind) -> PathBuf {
+    golden_dir().join(format!("mul_{}.txt", kind.as_str()))
+}
+
+fn dot_file(kind: MultiplierKind) -> PathBuf {
+    golden_dir().join(format!("dot_{}.txt", kind.as_str()))
+}
+
+/// Render the corpus for one kind: `a_bits b_bits product_bits` per line.
+fn render_mul(kind: MultiplierKind) -> String {
+    let m = kind.build();
+    let mut out = String::new();
+    writeln!(out, "# golden scalar products for `{}` (a_bits b_bits product_bits, hex)", kind)
+        .unwrap();
+    for (a, b) in mul_pairs() {
+        writeln!(out, "{:08x} {:08x} {:08x}", a.to_bits(), b.to_bits(), m.multiply(a, b).to_bits())
+            .unwrap();
+    }
+    out
+}
+
+/// Render the dot corpus for one kind: `sum_bits` per line (operands are
+/// reconstructed deterministically by [`dot_cases`]).
+fn render_dot(kind: MultiplierKind) -> String {
+    let m = kind.build();
+    let mut out = String::new();
+    writeln!(out, "# golden dot_accumulate sums for `{}` (sum_bits, hex)", kind).unwrap();
+    for (a, b) in dot_cases() {
+        writeln!(out, "{:08x}", m.dot_accumulate(&a, &b).to_bits()).unwrap();
+    }
+    out
+}
+
+/// Bitwise equality with the documented NaN exception.
+fn bits_match(want: u32, got: u32) -> bool {
+    want == got || (f32::from_bits(want).is_nan() && f32::from_bits(got).is_nan())
+}
+
+fn read_corpus(path: &PathBuf) -> Vec<Vec<u32>> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden corpus {} ({e}); run `DA_GOLDEN_REGEN=1 cargo test -p da_arith \
+             --test golden_vectors -- --ignored` to generate it",
+            path.display()
+        )
+    });
+    text.lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .map(|l| {
+            l.split_whitespace()
+                .map(|w| u32::from_str_radix(w, 16).expect("hex word"))
+                .collect::<Vec<u32>>()
+        })
+        .collect()
+}
+
+#[test]
+fn scalar_products_replay_bit_exactly_for_every_kind() {
+    let pairs = mul_pairs();
+    for kind in MultiplierKind::ALL {
+        let lines = read_corpus(&mul_file(kind));
+        assert_eq!(lines.len(), pairs.len(), "{kind}: corpus length drifted — regenerate");
+        let m = kind.build();
+        for (i, line) in lines.iter().enumerate() {
+            assert_eq!(line.len(), 3, "{kind} line {i}: malformed");
+            let (a_bits, b_bits, want) = (line[0], line[1], line[2]);
+            // The corpus stores its own operands: if operand construction
+            // ever drifts, fail on the inputs, not just the outputs.
+            assert_eq!(a_bits, pairs[i].0.to_bits(), "{kind} case {i}: operand a drifted");
+            assert_eq!(b_bits, pairs[i].1.to_bits(), "{kind} case {i}: operand b drifted");
+            let got = m.multiply(f32::from_bits(a_bits), f32::from_bits(b_bits)).to_bits();
+            assert!(
+                bits_match(want, got),
+                "{kind} case {i}: multiply({}, {}) = {:08x}, golden {:08x}",
+                f32::from_bits(a_bits),
+                f32::from_bits(b_bits),
+                got,
+                want
+            );
+        }
+    }
+}
+
+#[test]
+fn dot_accumulate_replays_bit_exactly_for_every_kind() {
+    let cases = dot_cases();
+    for kind in MultiplierKind::ALL {
+        let lines = read_corpus(&dot_file(kind));
+        assert_eq!(lines.len(), cases.len(), "{kind}: corpus length drifted — regenerate");
+        let m = kind.build();
+        for (i, line) in lines.iter().enumerate() {
+            let want = line[0];
+            let got = m.dot_accumulate(&cases[i].0, &cases[i].1).to_bits();
+            assert!(bits_match(want, got), "{kind} dot case {i}: got {got:08x}, golden {want:08x}");
+        }
+    }
+}
+
+/// The slice-level batched API must agree with the golden scalar corpus too
+/// (one `multiply_slice` sweep over the whole corpus per kind).
+#[test]
+fn multiply_slice_agrees_with_the_golden_corpus() {
+    let pairs = mul_pairs();
+    let xs: Vec<f32> = pairs.iter().map(|p| p.0).collect();
+    let ys: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+    for kind in MultiplierKind::ALL {
+        let lines = read_corpus(&mul_file(kind));
+        let m = kind.build();
+        let mut out = vec![0.0f32; xs.len()];
+        m.multiply_slice(&xs, &ys, &mut out);
+        for (i, line) in lines.iter().enumerate() {
+            assert!(
+                bits_match(line[2], out[i].to_bits()),
+                "{kind} case {i}: multiply_slice diverged from golden corpus"
+            );
+        }
+    }
+}
+
+/// Regenerator (run explicitly after an intentional semantic change):
+/// `DA_GOLDEN_REGEN=1 cargo test -p da_arith --test golden_vectors -- --ignored`
+///
+/// Gated on `DA_GOLDEN_REGEN` so a blanket `-- --include-ignored` run can
+/// never rewrite the corpus out from under the replay tests in the same
+/// process (which would race the reads and make the replay vacuous).
+#[test]
+#[ignore = "rewrites the golden corpus in place"]
+fn regenerate_golden_corpus() {
+    if std::env::var("DA_GOLDEN_REGEN").as_deref() != Ok("1") {
+        eprintln!("regenerate_golden_corpus: set DA_GOLDEN_REGEN=1 to rewrite the corpus; no-op");
+        return;
+    }
+    std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+    for kind in MultiplierKind::ALL {
+        std::fs::write(mul_file(kind), render_mul(kind)).expect("write mul corpus");
+        std::fs::write(dot_file(kind), render_dot(kind)).expect("write dot corpus");
+    }
+}

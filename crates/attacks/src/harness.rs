@@ -76,6 +76,12 @@ impl std::fmt::Display for TransferReport {
 ///
 /// Only images the source model classifies correctly are attacked. Returns
 /// the aggregate report and per-example outcomes.
+///
+/// Batch structure: the clean filter and both replay passes go through
+/// [`TargetModel::predict_batch`], so models backed by the serving stack
+/// (`Network`'s compiled plans, or a [`crate::served::ServedModel`] riding
+/// the cross-request batch server) evaluate the whole set as coalesced
+/// batches — bit-identical to per-image prediction.
 pub fn evaluate_transfer(
     attack: &dyn Attack,
     source: &dyn TargetModel,
@@ -84,15 +90,13 @@ pub fn evaluate_transfer(
     labels: &[usize],
 ) -> (TransferReport, Vec<AttackSuccess>) {
     assert_eq!(images.shape()[0], labels.len(), "one label per image");
-    let mut outcomes = Vec::new();
     let mut attempted = 0usize;
-    let mut source_successes = 0usize;
-    let mut target_successes = 0usize;
 
-    // One batched forward pass filters the clean set (bit-identical to
-    // per-image prediction, but runs on the batched GEMM backend).
+    // One batched forward pass filters the clean set.
     let clean_predictions = source.predict_batch(images);
 
+    // Crafting is per-image (attacks are sequential query loops).
+    let mut crafted: Vec<(f64, f64, Tensor, usize)> = Vec::new();
     for i in 0..labels.len() {
         let x = images.batch_item(i);
         let label = labels[i];
@@ -101,22 +105,44 @@ pub fn evaluate_transfer(
         }
         attempted += 1;
         let adv = attack.run(source, &x, label);
-        let fooled_source = source.predict(&adv) != label;
-        let fooled_target = fooled_source && target.predict(&adv) != label;
-        if fooled_source {
-            source_successes += 1;
+        crafted.push((metrics::l2(&adv, &x), metrics::linf(&adv, &x), adv, label));
+    }
+
+    // Replay the crafted examples on the source as one batch, then only the
+    // source-fooling subset on the target (the others cannot transfer).
+    let mut outcomes = Vec::with_capacity(crafted.len());
+    let mut source_successes = 0usize;
+    let mut target_successes = 0usize;
+    if !crafted.is_empty() {
+        let advs: Vec<Tensor> = crafted.iter().map(|(_, _, adv, _)| adv.clone()).collect();
+        let source_replay = source.predict_batch(&Tensor::stack(&advs));
+        let fooling: Vec<Tensor> = crafted
+            .iter()
+            .zip(&source_replay)
+            .filter(|((_, _, _, label), pred)| **pred != *label)
+            .map(|((_, _, adv, _), _)| adv.clone())
+            .collect();
+        let mut target_replay = if fooling.is_empty() {
+            Vec::new()
+        } else {
+            target.predict_batch(&Tensor::stack(&fooling))
         }
-        if fooled_target {
-            target_successes += 1;
+        .into_iter();
+        for (i, (l2, linf, adversarial, label)) in crafted.into_iter().enumerate() {
+            let fooled_source = source_replay[i] != label;
+            let fooled_target =
+                fooled_source && target_replay.next().expect("one replay per fooling adv") != label;
+            source_successes += usize::from(fooled_source);
+            target_successes += usize::from(fooled_target);
+            outcomes.push(AttackSuccess {
+                adversarial,
+                label,
+                fooled_source,
+                fooled_target,
+                l2,
+                linf,
+            });
         }
-        outcomes.push(AttackSuccess {
-            l2: metrics::l2(&adv, &x),
-            linf: metrics::linf(&adv, &x),
-            adversarial: adv,
-            label,
-            fooled_source,
-            fooled_target,
-        });
     }
 
     (

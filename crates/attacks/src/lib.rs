@@ -15,6 +15,9 @@
 //! exact, Ax-FPM, HEAP, DQ, and Bfloat16 classifiers. Score- and
 //! decision-based attacks provably use only the prediction interface (the
 //! [`DecisionOnly`] wrapper panics on gradient access and is used in tests).
+//! [`served::ServedModel`] routes a network's non-gradient queries through
+//! the `da_nn::serve` micro-batching server, so evaluation harnesses attack
+//! the same serving path production traffic uses — bit-identically.
 //!
 //! Attacks are deterministic: stochastic steps derive from a seed carried by
 //! the attack value.
@@ -26,8 +29,10 @@ pub mod gradient;
 pub mod harness;
 pub mod metrics;
 pub mod score;
+pub mod served;
 pub mod substitute;
 pub mod traits;
 
 pub use harness::{evaluate_transfer, AttackSuccess, TransferReport};
+pub use served::ServedModel;
 pub use traits::{Attack, TargetModel};

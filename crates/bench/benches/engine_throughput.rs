@@ -1,22 +1,32 @@
 //! Serving-engine throughput: compiled [`InferencePlan`]s vs the per-layer
-//! `Network::forward(Mode::Eval)` path, in items/s.
+//! `Network::forward(Mode::Eval)` path, in items/s — plus a concurrent-load
+//! scenario for the cross-request batch server.
 //!
 //! This is the perf baseline for the serving layer (ROADMAP: SIMD slice
 //! kernels and int8 GEMM plug in next): run
-//! `cargo bench --bench engine_throughput` and compare the printed table.
+//! `cargo bench --bench engine_throughput` and compare the printed tables.
 //! Configurations follow the issue spec: an MNIST-style CNN (LeNet-5,
 //! 28×28×1) and a CIFAR-style CNN (AlexNet, 32×32×3), each under the exact
 //! multiplier, the paper's Ax-FPM, and Bfloat16, at single-item and batched
-//! serving shapes.
+//! serving shapes. The second table then replays single-sample traffic from
+//! N submitter threads through `da_nn::serve::BatchServer` (micro-batching,
+//! shard pool of plan replicas) against a sequential one-at-a-time baseline
+//! on the same plan.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use da_arith::MultiplierKind;
 use da_nn::engine::InferencePlan;
+use da_nn::serve::{BatchServer, Pending, ServeConfig};
 use da_nn::zoo::{alexnet_cifar, lenet5};
 use da_nn::{Mode, Network};
 use da_tensor::Tensor;
 use rand::SeedableRng;
+
+/// Submitter threads in the concurrent-load scenario.
+const SUBMITTERS: usize = 8;
+/// Samples each submitter sends.
+const PER_SUBMITTER: usize = 8;
 
 /// Time `f` (best of `reps` runs, after one warmup) and return items/s.
 fn items_per_sec(items: usize, reps: usize, mut f: impl FnMut() -> Tensor) -> f64 {
@@ -78,6 +88,101 @@ fn main() {
                     planned / unplanned
                 );
             }
+        }
+        println!();
+    }
+
+    concurrent_load(&mut rng);
+}
+
+/// Wall-clock seconds for one run of `f`, best of `reps` (after a warmup).
+fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Concurrent-load scenario: N submitter threads of single samples through
+/// the micro-batching server vs the same samples served one at a time on
+/// one plan (the pre-serve deployment: sequential single-item requests).
+fn concurrent_load(rng: &mut rand::rngs::StdRng) {
+    let items = SUBMITTERS * PER_SUBMITTER;
+    println!("Cross-request micro-batching ({SUBMITTERS} submitter threads x {PER_SUBMITTER} single-sample");
+    println!("requests vs the same {items} requests served sequentially; bit-identical logits)");
+    println!();
+    println!(
+        "{:<10} {:<12} {:>16} {:>16} {:>9} {:>11}",
+        "model", "multiplier", "sequential", "batch-served", "speedup", "mean batch"
+    );
+
+    let models: [(&str, Network, Vec<usize>); 2] = [
+        ("lenet5", lenet5(10, rng), vec![1, 28, 28]),
+        ("alexnet", alexnet_cifar(10, rng), vec![3, 32, 32]),
+    ];
+    for (name, mut net, item_shape) in models {
+        for kind in [MultiplierKind::Exact, MultiplierKind::AxFpm, MultiplierKind::Bfloat16] {
+            let mult = kind.build();
+            net.set_multiplier(Some(mult.clone()));
+            let plan = InferencePlan::compile(&net, Some(mult)).expect("zoo models compile");
+            let mut shape = vec![1];
+            shape.extend_from_slice(&item_shape);
+            let samples: Vec<Tensor> =
+                (0..items).map(|_| Tensor::rand_uniform(&item_shape, 0.0, 1.0, rng)).collect();
+            let single: Vec<Tensor> =
+                samples.iter().map(|s| Tensor::from_vec(s.data().to_vec(), &shape)).collect();
+
+            let reps = if name == "lenet5" { 3 } else { 2 };
+            let seq = best_secs(reps, || {
+                for s in &single {
+                    std::hint::black_box(plan.predict_batch(s));
+                }
+            });
+
+            let server = BatchServer::compile(
+                &net,
+                ServeConfig {
+                    max_batch: 8,
+                    flush_deadline: Duration::from_micros(200),
+                    queue_capacity: 64,
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("zoo models compile");
+            let served = best_secs(reps, || {
+                std::thread::scope(|scope| {
+                    for t in 0..SUBMITTERS {
+                        let server = &server;
+                        let samples = &samples;
+                        scope.spawn(move || {
+                            let pending: Vec<Pending> = (0..PER_SUBMITTER)
+                                .map(|j| {
+                                    server
+                                        .submit(&samples[t * PER_SUBMITTER + j])
+                                        .expect("server accepting")
+                                })
+                                .collect();
+                            for p in pending {
+                                std::hint::black_box(p.wait().expect("server serving"));
+                            }
+                        });
+                    }
+                });
+            });
+            let stats = server.stats();
+            println!(
+                "{:<10} {:<12} {:>16} {:>16} {:>8.2}x {:>11.2}",
+                name,
+                kind.as_str(),
+                human(items as f64 / seq),
+                human(items as f64 / served),
+                seq / served,
+                stats.mean_batch()
+            );
         }
         println!();
     }

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use da_arith::MultiplierKind;
-use da_attacks::{Attack, TargetModel};
+use da_attacks::{Attack, ServedModel, TargetModel};
 use da_datasets::Dataset;
 use da_nn::Network;
 
@@ -68,6 +68,14 @@ impl TransferTable {
 
 /// Craft adversarials on `source` and replay on every target (each sharing
 /// the source's weights, differing in multiplier).
+///
+/// All decision queries — the clean filter, per-step attack queries, and
+/// the batched replays — route through `da_nn::serve` batch servers
+/// ([`ServedModel`], one per model) when the layer stacks compile; this is
+/// the same cross-request micro-batching path production serving uses, and
+/// it is bit-identical to direct inference, so the table's numbers do not
+/// depend on the routing. Uncompilable stacks fall back to the per-layer
+/// path.
 pub fn multi_target_transfer(
     title: impl Into<String>,
     attacks: &[Box<dyn Attack>],
@@ -79,25 +87,66 @@ pub fn multi_target_transfer(
     let eval = dataset.balanced_subset((samples / dataset.classes).max(1));
     let mut rows = Vec::with_capacity(attacks.len());
 
+    let served_source = ServedModel::new(source);
+    let source_model: &dyn TargetModel = match &served_source {
+        Some(s) => s,
+        None => source,
+    };
+    let served_targets: Vec<Option<ServedModel>> =
+        targets.iter().map(|(_, net)| ServedModel::new(net)).collect();
+    let target_models: Vec<&dyn TargetModel> = served_targets
+        .iter()
+        .zip(targets)
+        .map(|(served, (_, net))| match served {
+            Some(s) => s as &dyn TargetModel,
+            None => *net as &dyn TargetModel,
+        })
+        .collect();
+
+    // One batched clean-filter pass; identical for every attack row.
+    let clean_predictions = source_model.predict_batch(&eval.images);
+
     for attack in attacks {
         let mut attempted = 0usize;
-        let mut source_hits = 0usize;
-        let mut target_hits = vec![0usize; targets.len()];
+        let mut crafted: Vec<(da_tensor::Tensor, usize)> = Vec::new();
         for i in 0..eval.len() {
             let x = eval.images.batch_item(i);
             let label = eval.labels[i];
-            if TargetModel::predict(source, &x) != label {
+            if clean_predictions[i] != label {
                 continue;
             }
             attempted += 1;
-            let adv = attack.run(source, &x, label);
-            if TargetModel::predict(source, &adv) == label {
-                continue;
-            }
-            source_hits += 1;
-            for (t, (_, target)) in targets.iter().enumerate() {
-                if TargetModel::predict(*target, &adv) != label {
-                    target_hits[t] += 1;
+            crafted.push((attack.run(source_model, &x, label), label));
+        }
+
+        // Replay the adversarials on the source as one coalesced batch,
+        // then only the source-fooling subset on each target (the rest
+        // cannot transfer by definition).
+        let mut source_hits = 0usize;
+        let mut target_hits = vec![0usize; targets.len()];
+        if !crafted.is_empty() {
+            let (advs, labels): (Vec<da_tensor::Tensor>, Vec<usize>) = crafted.into_iter().unzip();
+            let source_replay = source_model.predict_batch(&da_tensor::Tensor::stack(&advs));
+            let fooling: Vec<da_tensor::Tensor> = advs
+                .iter()
+                .zip(&labels)
+                .zip(&source_replay)
+                .filter(|((_, label), pred)| *pred != *label)
+                .map(|((adv, _), _)| adv.clone())
+                .collect();
+            let fooling_labels: Vec<usize> = labels
+                .iter()
+                .zip(&source_replay)
+                .filter(|(label, pred)| *pred != *label)
+                .map(|(&label, _)| label)
+                .collect();
+            source_hits = fooling.len();
+            if !fooling.is_empty() {
+                let fooling_batch = da_tensor::Tensor::stack(&fooling);
+                for (t, model) in target_models.iter().enumerate() {
+                    let replay = model.predict_batch(&fooling_batch);
+                    target_hits[t] =
+                        replay.iter().zip(&fooling_labels).filter(|(p, l)| p != l).count();
                 }
             }
         }

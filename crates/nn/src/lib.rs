@@ -66,6 +66,17 @@
 //! `forward` for layer stacks without compiled forms. Plans are
 //! bit-identical to `forward(x, Mode::Eval)` for every multiplier kind
 //! (property-tested in `tests/engine_equivalence.rs`).
+//!
+//! ## Cross-request batching
+//!
+//! On top of the engine, [`serve::BatchServer`] is a thread-based
+//! micro-batching front end: concurrent callers submit single samples,
+//! workers coalesce them (configurable batch size and flush deadline) and
+//! execute them on a shard pool of plan replicas, replying through
+//! per-request channels with backpressure when the queue fills. Batching
+//! never changes a sample's logits — bit-identity under any concurrent
+//! schedule is part of the contract (see [`serve`]'s module docs) and is
+//! property-tested in `tests/serve_conformance.rs`.
 
 pub mod engine;
 pub mod io;
@@ -74,9 +85,11 @@ pub mod loss;
 pub mod network;
 pub mod optim;
 pub mod quant;
+pub mod serve;
 pub mod train;
 pub mod zoo;
 
 pub use engine::InferencePlan;
 pub use layers::{Cache, Layer, Mode};
 pub use network::Network;
+pub use serve::{BatchServer, ServeConfig, ServeError};

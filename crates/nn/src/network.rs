@@ -1,6 +1,7 @@
 //! The sequential [`Network`] container and the classifier API attacked by
 //! `da-attacks`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use da_arith::Multiplier;
@@ -45,6 +46,8 @@ pub struct Network {
     /// Lazily compiled serving plan ([`crate::engine`]); invalidated on any
     /// mutation that could change evaluation-mode outputs.
     plan: Mutex<PlanSlot>,
+    /// Monotonic plan-invalidation counter (see [`Network::plan_epoch`]).
+    epoch: AtomicU64,
 }
 
 impl Network {
@@ -55,13 +58,14 @@ impl Network {
             layers: Vec::new(),
             multiplier: None,
             plan: Mutex::new(PlanSlot::Stale),
+            epoch: AtomicU64::new(0),
         }
     }
 
     /// Append a layer (builder-style).
     pub fn push(mut self, layer: impl Layer + 'static) -> Self {
         self.layers.push(Box::new(layer));
-        *self.plan.get_mut().expect("plan lock") = PlanSlot::Stale;
+        self.invalidate_plan();
         self
     }
 
@@ -107,6 +111,20 @@ impl Network {
     /// Drop the cached serving plan so the next inference recompiles.
     fn invalidate_plan(&self) {
         *self.plan.lock().expect("plan lock") = PlanSlot::Stale;
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Monotonic counter bumped by every plan invalidation
+    /// ([`Network::push`], [`Network::set_multiplier`],
+    /// [`Network::params_mut`], and training-mode forwards).
+    ///
+    /// Holders of compiled snapshots — a cached
+    /// [`Arc`]`<`[`InferencePlan`]`>` or a [`crate::serve::BatchServer`]'s
+    /// replica pool — record this at compile time and compare later to
+    /// detect that the network has diverged from their snapshot (see
+    /// [`crate::serve::BatchServer::is_stale`]).
+    pub fn plan_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
     }
 
     /// The compiled serving plan for the network's current state, compiling
@@ -240,7 +258,7 @@ impl Network {
 
     /// Mutable parameter views in layer order.
     pub fn params_mut(&mut self) -> Vec<&mut Tensor> {
-        *self.plan.get_mut().expect("plan lock") = PlanSlot::Stale;
+        self.invalidate_plan();
         self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
     }
 

@@ -1,0 +1,655 @@
+//! Cross-request micro-batching: the serving front end over compiled
+//! [`InferencePlan`]s.
+//!
+//! The engine ([`crate::engine`]) made one process fast; this module makes
+//! that process *serve*: many concurrent callers submit single samples, a
+//! [`BatchServer`] coalesces them into batches and executes them on a shard
+//! pool of [`InferencePlan`] replicas — one plan per worker thread, so each
+//! worker reuses its own pooled workspace arenas without contending (at the
+//! cost of one prepared-weight snapshot per worker).
+//!
+//! # The batching contract
+//!
+//! * **Bit-identity.** Defensive Approximation's perturbation is *the
+//!   arithmetic itself* (paper §4), so a sample's logits must not depend on
+//!   which requests it happened to share a batch with. [`InferencePlan`]
+//!   runs batch items independently (per-item reduction order, operand
+//!   order, and special-value branches are all pinned to the per-layer
+//!   reference), so logits returned by [`BatchServer::submit`] are
+//!   bit-identical to a serial [`InferencePlan::predict_batch`] on the same
+//!   sample — for every [`da_arith::MultiplierKind`], under any concurrent
+//!   schedule. `crates/nn/tests/serve_conformance.rs` property-tests this
+//!   under adversarial scheduling (tiny `max_batch`, zero deadline,
+//!   queue-full backpressure).
+//! * **Ordering.** The queue is FIFO: workers always dispatch the oldest
+//!   pending request first, extending the batch with the longest prefix of
+//!   same-shape requests (up to [`ServeConfig::max_batch`]). Responses
+//!   travel on per-request channels, so callers never observe each other.
+//! * **Batch formation.** A worker that finds fewer than `max_batch`
+//!   requests queued waits up to [`ServeConfig::flush_deadline`] (a
+//!   [`Condvar`] timeout) for more to arrive, then flushes whatever is
+//!   there. A zero deadline dispatches immediately — batches still form
+//!   opportunistically whenever submitters outpace workers.
+//! * **Backpressure.** The queue holds at most
+//!   [`ServeConfig::queue_capacity`] requests. [`BatchServer::submit`]
+//!   blocks until space frees up; [`BatchServer::try_submit`] returns
+//!   [`ServeError::QueueFull`] instead.
+//! * **Failure containment.** A request that cannot execute (e.g. a shape
+//!   the plan rejects) fails *its batch* with [`ServeError::Execution`];
+//!   the worker survives and keeps serving subsequent requests.
+//! * **Snapshot semantics.** Replicas snapshot the network at
+//!   [`BatchServer::compile`] time, exactly like [`Network::plan`].
+//!   Mutating the network afterwards (`set_multiplier`, `params_mut`, a
+//!   training forward) invalidates the network's own cached plan but *not*
+//!   the server's replicas: the server keeps serving the snapshot, and
+//!   [`BatchServer::is_stale`] reports the divergence (via
+//!   [`Network::plan_epoch`]) so operators can rebuild.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use da_arith::MultiplierKind;
+//! use da_nn::serve::{BatchServer, ServeConfig};
+//! use da_nn::zoo::lenet5;
+//! use da_tensor::Tensor;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut net = lenet5(10, &mut rng);
+//! net.set_multiplier(Some(MultiplierKind::AxFpm.build()));
+//! let server = BatchServer::compile(&net, ServeConfig::default())
+//!     .expect("zoo models compile");
+//! // Submit from any number of threads; each caller gets its own logits.
+//! let pending = server.submit(&Tensor::zeros(&[1, 28, 28])).unwrap();
+//! let logits = pending.wait().unwrap();
+//! assert_eq!(logits.shape(), &[10]);
+//! assert!(!server.is_stale(&net));
+//! ```
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use da_tensor::Tensor;
+
+use crate::engine::InferencePlan;
+use crate::loss::argmax_logits;
+use crate::Network;
+
+/// Micro-batching knobs for a [`BatchServer`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads, each owning one [`InferencePlan`] replica.
+    ///
+    /// `0` builds an accept-only server (requests queue but never execute)
+    /// — useful for deterministic backpressure/shutdown tests; production
+    /// servers want at least 1.
+    pub workers: usize,
+    /// Most samples a worker dispatches as one batch (≥ 1).
+    pub max_batch: usize,
+    /// How long a worker holding fewer than `max_batch` requests waits for
+    /// the batch to fill before flushing. Zero dispatches immediately.
+    pub flush_deadline: Duration,
+    /// Most requests queued at once (≥ 1); beyond it, [`BatchServer::submit`]
+    /// blocks and [`BatchServer::try_submit`] fails.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        ServeConfig {
+            workers,
+            max_batch: 8,
+            flush_deadline: Duration::from_micros(200),
+            queue_capacity: workers.max(1) * 16,
+        }
+    }
+}
+
+/// Why a request could not be served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The server is shutting down (or already has); the request was not
+    /// executed.
+    ShuttingDown,
+    /// [`BatchServer::try_submit`] found the queue at capacity.
+    QueueFull,
+    /// The plan rejected the batch (panic message from the execution path,
+    /// e.g. a shape mismatch). Other requests are unaffected.
+    Execution(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::ShuttingDown => write!(f, "batch server is shutting down"),
+            ServeError::QueueFull => write!(f, "batch server queue is full"),
+            ServeError::Execution(msg) => write!(f, "batch execution failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A submitted request's logits: flattened data plus the per-item shape.
+type Reply = (Vec<f32>, Vec<usize>);
+
+/// One queued inference request.
+struct Request {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+    reply: mpsc::Sender<Result<Reply, ServeError>>,
+}
+
+/// Queue state behind the server's mutex.
+struct QueueState {
+    queue: VecDeque<Request>,
+    shutdown: bool,
+}
+
+/// Monotonic serving counters (all `Relaxed`; read via [`ServeStats`]).
+#[derive(Default)]
+struct Counters {
+    batches: AtomicU64,
+    items: AtomicU64,
+    largest_batch: AtomicU64,
+    failed_batches: AtomicU64,
+}
+
+/// State shared between submitters and workers.
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Workers wait here for requests (and for batches to fill).
+    not_empty: Condvar,
+    /// Blocked submitters wait here for queue space.
+    space: Condvar,
+    counters: Counters,
+}
+
+/// A snapshot of the server's serving counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Batches dispatched to plan replicas.
+    pub batches: u64,
+    /// Samples served (successfully executed).
+    pub items: u64,
+    /// Largest batch dispatched so far.
+    pub largest_batch: u64,
+    /// Batches that failed execution (every member got
+    /// [`ServeError::Execution`]).
+    pub failed_batches: u64,
+}
+
+impl ServeStats {
+    /// Mean samples per dispatched batch (0 when nothing was served).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.items as f64 / self.batches as f64
+        }
+    }
+}
+
+/// An in-flight request handle returned by [`BatchServer::submit`].
+#[must_use = "dropping a Pending discards the request's logits"]
+pub struct Pending {
+    rx: mpsc::Receiver<Result<Reply, ServeError>>,
+}
+
+impl Pending {
+    /// Block until the request's batch executes and return the logits for
+    /// this sample alone (shape `[classes...]`, no batch axis).
+    pub fn wait(self) -> Result<Tensor, ServeError> {
+        match self.rx.recv() {
+            Ok(Ok((data, shape))) => Ok(Tensor::from_vec(data, &shape)),
+            Ok(Err(e)) => Err(e),
+            // The worker (or server) went away without replying.
+            Err(mpsc::RecvError) => Err(ServeError::ShuttingDown),
+        }
+    }
+}
+
+/// A thread-based micro-batching front end over [`InferencePlan`] replicas
+/// (see the module docs for the batching contract).
+pub struct BatchServer {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    queue_capacity: usize,
+    /// The source network's [`Network::plan_epoch`] at compile time.
+    source_epoch: u64,
+}
+
+impl BatchServer {
+    /// Compile one plan replica per worker from `network` and start serving.
+    ///
+    /// Returns `None` when the network has no compiled form (the same
+    /// condition under which [`Network::plan`] returns `None`) — callers
+    /// fall back to the per-layer path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.max_batch` or `config.queue_capacity` is zero.
+    pub fn compile(network: &Network, config: ServeConfig) -> Option<BatchServer> {
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        assert!(config.queue_capacity >= 1, "queue_capacity must be at least 1");
+        // Read the epoch *before* compiling: a concurrent mutation mid-compile
+        // then flags the server stale instead of going unnoticed.
+        let source_epoch = network.plan_epoch();
+        let replicas: Option<Vec<Arc<InferencePlan>>> = (0..config.workers)
+            .map(|_| InferencePlan::compile(network, network.multiplier().cloned()).map(Arc::new))
+            .collect();
+        let mut replicas = replicas?;
+        if config.workers == 0 {
+            // Accept-only servers still need the compilability check.
+            InferencePlan::compile(network, network.multiplier().cloned())?;
+        }
+        install_quiet_panic_hook();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState { queue: VecDeque::new(), shutdown: false }),
+            not_empty: Condvar::new(),
+            space: Condvar::new(),
+            counters: Counters::default(),
+        });
+        let workers = replicas
+            .drain(..)
+            .enumerate()
+            .map(|(i, plan)| {
+                let shared = shared.clone();
+                let (max_batch, deadline) = (config.max_batch, config.flush_deadline);
+                std::thread::Builder::new()
+                    .name(format!("da-serve-{i}"))
+                    .spawn(move || worker_loop(plan, shared, max_batch, deadline))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Some(BatchServer { shared, workers, queue_capacity: config.queue_capacity, source_epoch })
+    }
+
+    /// Queue one sample (`[C, H, W]` or `[features...]`, *no* batch axis),
+    /// blocking while the queue is at capacity.
+    ///
+    /// Returns [`ServeError::ShuttingDown`] if the server stopped accepting
+    /// requests while this call was blocked.
+    pub fn submit(&self, item: &Tensor) -> Result<Pending, ServeError> {
+        self.enqueue(item, true)
+    }
+
+    /// Non-blocking [`submit`](BatchServer::submit): fails with
+    /// [`ServeError::QueueFull`] instead of waiting for queue space.
+    pub fn try_submit(&self, item: &Tensor) -> Result<Pending, ServeError> {
+        self.enqueue(item, false)
+    }
+
+    fn enqueue(&self, item: &Tensor, block: bool) -> Result<Pending, ServeError> {
+        let rx;
+        {
+            let mut st = self.shared.state.lock().expect("serve queue lock");
+            loop {
+                if st.shutdown {
+                    return Err(ServeError::ShuttingDown);
+                }
+                if st.queue.len() < self.queue_capacity {
+                    break;
+                }
+                if !block {
+                    return Err(ServeError::QueueFull);
+                }
+                st = self.shared.space.wait(st).expect("serve queue lock");
+            }
+            // Build the request only once admission is certain, so rejected
+            // `try_submit`s never pay the sample copy; the copy is µs-scale,
+            // cheap enough to do under the lock.
+            let (tx, receiver) = mpsc::channel();
+            rx = receiver;
+            st.queue.push_back(Request {
+                data: item.data().to_vec(),
+                shape: item.shape().to_vec(),
+                reply: tx,
+            });
+        }
+        // Wake every waiting worker: one will dispatch, the rest re-check
+        // (workers also wait here for partial batches to fill).
+        self.shared.not_empty.notify_all();
+        Ok(Pending { rx })
+    }
+
+    /// Logits for one sample: [`submit`](BatchServer::submit) + wait.
+    pub fn logits(&self, item: &Tensor) -> Result<Tensor, ServeError> {
+        self.submit(item)?.wait()
+    }
+
+    /// Predicted class for one sample (the shared
+    /// [`crate::loss::argmax_logits`] tie behavior).
+    pub fn predict(&self, item: &Tensor) -> Result<usize, ServeError> {
+        Ok(argmax_logits(self.logits(item)?.data()))
+    }
+
+    /// Serve a whole `[N, ...]` batch *through the request queue*: every
+    /// item becomes one submission (interleaving freely with concurrent
+    /// callers), and the rows are reassembled in submission order.
+    /// Bit-identical to [`InferencePlan::predict_batch`] on a replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any item fails ([`ServeError`]) — mirroring the panics of
+    /// the underlying plan — or if called on a server with no workers.
+    pub fn predict_batch(&self, x: &Tensor) -> Tensor {
+        assert!(x.shape().len() >= 2, "predict_batch expects a batched [N, ...] input");
+        assert!(!self.workers.is_empty(), "predict_batch needs at least one worker");
+        let n = x.shape()[0];
+        let pending: Vec<Pending> = (0..n)
+            .map(|i| self.submit(&x.batch_item(i)).expect("batch server accepting"))
+            .collect();
+        let mut rows: Vec<Tensor> = Vec::with_capacity(n);
+        for (i, p) in pending.into_iter().enumerate() {
+            match p.wait() {
+                Ok(t) => rows.push(t),
+                Err(e) => panic!("batch server failed item {i}: {e}"),
+            }
+        }
+        Tensor::stack(&rows)
+    }
+
+    /// Whether `network` has been invalidated since this server compiled its
+    /// replicas (weights, multiplier, or training-mode statistics changed).
+    ///
+    /// A stale server keeps serving its compile-time snapshot — exactly like
+    /// a held [`Arc`]`<`[`InferencePlan`]`>` — so callers decide when to
+    /// rebuild. Only meaningful for the network the server was compiled
+    /// from.
+    pub fn is_stale(&self, network: &Network) -> bool {
+        network.plan_epoch() != self.source_epoch
+    }
+
+    /// Worker-thread count (plan replicas).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn stats(&self) -> ServeStats {
+        let c = &self.shared.counters;
+        ServeStats {
+            batches: c.batches.load(Ordering::Relaxed),
+            items: c.items.load(Ordering::Relaxed),
+            largest_batch: c.largest_batch.load(Ordering::Relaxed),
+            failed_batches: c.failed_batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting requests without blocking: submitters (including ones
+    /// currently blocked on backpressure) fail with
+    /// [`ServeError::ShuttingDown`], and workers exit once the queue
+    /// drains. Dropping the server still joins the workers.
+    pub fn begin_shutdown(&self) {
+        {
+            let mut st = self.shared.state.lock().expect("serve queue lock");
+            st.shutdown = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.space.notify_all();
+    }
+
+    /// Stop accepting requests, drain the queue, and join the workers
+    /// (equivalent to dropping the server, but explicit at call sites).
+    pub fn shutdown(self) {}
+}
+
+impl Drop for BatchServer {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        // Workers drain the queue before exiting; with zero workers (or if a
+        // worker thread died), fail whatever is left.
+        let mut st = self.shared.state.lock().expect("serve queue lock");
+        for request in st.queue.drain(..) {
+            let _ = request.reply.send(Err(ServeError::ShuttingDown));
+        }
+    }
+}
+
+impl std::fmt::Debug for BatchServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchServer")
+            .field("workers", &self.workers.len())
+            .field("queue_capacity", &self.queue_capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// One worker: wait for requests, form a batch (FIFO, same-shape prefix, up
+/// to `max_batch`, holding up to `deadline` for it to fill), execute it on
+/// this worker's plan replica, and reply per request.
+fn worker_loop(
+    plan: Arc<InferencePlan>,
+    shared: Arc<Shared>,
+    max_batch: usize,
+    deadline: Duration,
+) {
+    loop {
+        let batch: Vec<Request> = {
+            let mut st = shared.state.lock().expect("serve queue lock");
+            loop {
+                if !st.queue.is_empty() {
+                    break;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.not_empty.wait(st).expect("serve queue lock");
+            }
+            if !deadline.is_zero() && st.queue.len() < max_batch && !st.shutdown {
+                let until = Instant::now() + deadline;
+                loop {
+                    let now = Instant::now();
+                    if st.queue.len() >= max_batch || st.shutdown || now >= until {
+                        break;
+                    }
+                    let (guard, _timeout) =
+                        shared.not_empty.wait_timeout(st, until - now).expect("serve queue lock");
+                    st = guard;
+                }
+            }
+            // Another worker may have drained the queue while this one slept.
+            if st.queue.is_empty() {
+                continue;
+            }
+            let shape = st.queue.front().expect("non-empty queue").shape.clone();
+            let take = st
+                .queue
+                .iter()
+                .take(max_batch)
+                .take_while(|request| request.shape == shape)
+                .count();
+            let drained: Vec<Request> = st.queue.drain(..take).collect();
+            drop(st);
+            shared.space.notify_all();
+            drained
+        };
+        run_batch(&plan, batch, &shared.counters);
+    }
+}
+
+std::thread_local! {
+    /// Set while a worker executes a plan, so the panic hook stays silent
+    /// for the *anticipated* failure path (shape rejections become
+    /// [`ServeError::Execution`], not log spam). Thread-local: panics on
+    /// every other thread still print normally.
+    static IN_PLAN_EXECUTION: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Install (once per process) a panic hook that defers to the previous hook
+/// except while this thread is inside [`run_batch`]'s `catch_unwind`.
+fn install_quiet_panic_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !IN_PLAN_EXECUTION.with(|flag| flag.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Stack a same-shape batch, run it, and scatter the logits rows back to the
+/// per-request channels. A panic in the plan (shape mismatch) fails every
+/// member of this batch but leaves the worker serving.
+fn run_batch(plan: &InferencePlan, batch: Vec<Request>, counters: &Counters) {
+    let n = batch.len();
+    let item_len = batch[0].data.len();
+    let mut data = Vec::with_capacity(n * item_len);
+    for request in &batch {
+        data.extend_from_slice(&request.data);
+    }
+    let mut shape = vec![n];
+    shape.extend_from_slice(&batch[0].shape);
+    let input = Tensor::from_vec(data, &shape);
+
+    IN_PLAN_EXECUTION.with(|flag| flag.set(true));
+    let result = catch_unwind(AssertUnwindSafe(|| plan.predict_batch(&input)));
+    IN_PLAN_EXECUTION.with(|flag| flag.set(false));
+    match result {
+        Ok(logits) => {
+            // Count before replying: a caller that has already received its
+            // logits must see them reflected in `stats()`.
+            counters.batches.fetch_add(1, Ordering::Relaxed);
+            counters.items.fetch_add(n as u64, Ordering::Relaxed);
+            counters.largest_batch.fetch_max(n as u64, Ordering::Relaxed);
+            let out_shape: Vec<usize> = logits.shape()[1..].to_vec();
+            let out_len: usize = out_shape.iter().product();
+            for (i, request) in batch.iter().enumerate() {
+                let row = logits.data()[i * out_len..(i + 1) * out_len].to_vec();
+                // A dropped Pending is not an error; ignore send failures.
+                let _ = request.reply.send(Ok((row, out_shape.clone())));
+            }
+        }
+        Err(payload) => {
+            counters.failed_batches.fetch_add(1, Ordering::Relaxed);
+            let msg = panic_message(payload);
+            for request in batch {
+                let _ = request.reply.send(Err(ServeError::Execution(msg.clone())));
+            }
+        }
+    }
+}
+
+/// Best-effort text of a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
+    use da_arith::MultiplierKind;
+    use rand::SeedableRng;
+
+    fn tiny_cnn(seed: u64) -> Network {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Network::new("serve-tiny")
+            .push(Conv2d::new(1, 3, 3, 1, 1, &mut rng))
+            .push(Relu)
+            .push(MaxPool2d::new(2, 2))
+            .push(Flatten)
+            .push(Dense::new(3 * 4 * 4, 5, &mut rng))
+    }
+
+    fn cfg(workers: usize, max_batch: usize, cap: usize) -> ServeConfig {
+        ServeConfig { workers, max_batch, flush_deadline: Duration::ZERO, queue_capacity: cap }
+    }
+
+    #[test]
+    fn single_submission_matches_plan() {
+        let mut net = tiny_cnn(3);
+        net.set_multiplier(Some(MultiplierKind::AxFpm.build()));
+        let plan = net.plan().expect("compilable");
+        let server = BatchServer::compile(&net, cfg(2, 4, 8)).expect("compilable");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let x = Tensor::randn(&[1, 8, 8], 1.0, &mut rng);
+        let got = server.logits(&x).expect("served");
+        let want = plan.predict_batch(&Tensor::stack(std::slice::from_ref(&x)));
+        assert_eq!(got.data(), want.data());
+        assert_eq!(got.shape(), &[5]);
+        assert_eq!(server.predict(&x).unwrap(), plan.predict(&Tensor::stack(&[x]))[0]);
+    }
+
+    #[test]
+    fn predict_batch_round_trips_through_the_queue() {
+        let net = tiny_cnn(5);
+        let plan = net.plan().expect("compilable");
+        let server = BatchServer::compile(&net, cfg(2, 3, 4)).expect("compilable");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let x = Tensor::randn(&[7, 1, 8, 8], 1.0, &mut rng);
+        let got = server.predict_batch(&x);
+        let want = plan.predict_batch(&x);
+        assert_eq!(got, want);
+        let stats = server.stats();
+        assert_eq!(stats.items, 7);
+        assert!(stats.batches >= 1 && stats.batches <= 7, "{stats:?}");
+        assert!(stats.mean_batch() >= 1.0);
+    }
+
+    #[test]
+    fn zero_worker_server_applies_backpressure_and_fails_on_shutdown() {
+        let net = tiny_cnn(7);
+        let server = BatchServer::compile(&net, cfg(0, 1, 2)).expect("compilable");
+        let x = Tensor::zeros(&[1, 8, 8]);
+        let a = server.try_submit(&x).expect("first fits");
+        let b = server.try_submit(&x).expect("second fits");
+        assert_eq!(server.try_submit(&x).err(), Some(ServeError::QueueFull));
+        server.shutdown();
+        assert_eq!(a.wait().err(), Some(ServeError::ShuttingDown));
+        assert_eq!(b.wait().err(), Some(ServeError::ShuttingDown));
+    }
+
+    #[test]
+    fn uncompilable_network_declines() {
+        struct Opaque;
+        impl crate::Layer for Opaque {
+            fn name(&self) -> &'static str {
+                "opaque"
+            }
+            fn forward(&self, x: &Tensor, _mode: crate::Mode) -> (Tensor, crate::Cache) {
+                (x.clone(), crate::Cache::none())
+            }
+            fn backward(&self, _cache: &crate::Cache, grad: &Tensor) -> (Tensor, Vec<Tensor>) {
+                (grad.clone(), Vec::new())
+            }
+        }
+        let net = Network::new("opaque").push(Opaque);
+        assert!(BatchServer::compile(&net, cfg(1, 1, 1)).is_none());
+        assert!(BatchServer::compile(&net, cfg(0, 1, 1)).is_none());
+    }
+
+    #[test]
+    fn config_default_is_sane() {
+        let cfg = ServeConfig::default();
+        assert!(cfg.workers >= 1);
+        assert!(cfg.max_batch >= 1);
+        assert!(cfg.queue_capacity >= cfg.workers);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(ServeError::QueueFull.to_string().contains("full"));
+        assert!(ServeError::ShuttingDown.to_string().contains("shutting down"));
+        assert!(ServeError::Execution("boom".into()).to_string().contains("boom"));
+    }
+}

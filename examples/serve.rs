@@ -1,0 +1,116 @@
+//! Serve concurrent traffic through the cross-request batch server.
+//!
+//! ```sh
+//! cargo run --release --example serve
+//! ```
+//!
+//! Deploys a LeNet-5 on the paper's Ax-FPM multiplier and stands up a
+//! `da_nn::serve::BatchServer`: client threads submit single samples, the
+//! server coalesces them into micro-batches and executes them on a shard
+//! pool of compiled `InferencePlan` replicas. The demo then verifies the
+//! serving contract end to end:
+//!
+//! 1. every concurrently served logits row is **bit-identical** to a serial
+//!    `InferencePlan::predict_batch` on the same sample (the defensive
+//!    perturbation must not depend on batch composition), and
+//! 2. the server detects when the deployed network drifts from its
+//!    compiled snapshot (`BatchServer::is_stale`).
+
+use std::time::{Duration, Instant};
+
+use defensive_approximation::arith::MultiplierKind;
+use defensive_approximation::datasets::digits::synth_digits;
+use defensive_approximation::nn::serve::{BatchServer, ServeConfig};
+use defensive_approximation::nn::zoo::lenet5;
+use defensive_approximation::tensor::Tensor;
+use rand::SeedableRng;
+
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 24;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut net = lenet5(10, &mut rng);
+    net.set_multiplier(Some(MultiplierKind::AxFpm.build()));
+
+    let config = ServeConfig {
+        max_batch: 8,
+        flush_deadline: Duration::from_micros(500),
+        ..ServeConfig::default()
+    };
+    println!("== Defensive Approximation batch serving ==");
+    println!(
+        "LeNet-5 on {} | {} workers, max_batch {}, flush deadline {:?}, queue {}",
+        MultiplierKind::AxFpm,
+        config.workers,
+        config.max_batch,
+        config.flush_deadline,
+        config.queue_capacity
+    );
+
+    let server = BatchServer::compile(&net, config).expect("LeNet-5 compiles to serving plans");
+    let data = synth_digits(CLIENTS * REQUESTS_PER_CLIENT, 42);
+
+    // Concurrent clients: each submits its slice of the dataset one sample
+    // at a time, like independent request streams hitting one endpoint.
+    let start = Instant::now();
+    let served: Vec<Vec<Tensor>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let server = &server;
+                let images = &data.images;
+                scope.spawn(move || {
+                    (0..REQUESTS_PER_CLIENT)
+                        .map(|j| {
+                            let item = images.batch_item(c * REQUESTS_PER_CLIENT + j);
+                            server.logits(&item).expect("server accepting")
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let stats = server.stats();
+    println!(
+        "served {} samples from {CLIENTS} clients in {:.1} ms ({:.1} items/s)",
+        stats.items,
+        elapsed * 1e3,
+        stats.items as f64 / elapsed
+    );
+    println!(
+        "dispatched {} batches (mean batch {:.2}, largest {})",
+        stats.batches,
+        stats.mean_batch(),
+        stats.largest_batch
+    );
+
+    // 1. Bit-identity against serial plan inference.
+    let plan = net.plan().expect("same stack compiled for the serial reference");
+    let reference = plan.predict_batch(&data.images);
+    let classes = reference.shape()[1];
+    let mut checked = 0usize;
+    for (c, rows) in served.iter().enumerate() {
+        for (j, row) in rows.iter().enumerate() {
+            let i = c * REQUESTS_PER_CLIENT + j;
+            let want = &reference.data()[i * classes..(i + 1) * classes];
+            assert_eq!(
+                row.data(),
+                want,
+                "sample {i}: concurrent serving changed the approximate logits"
+            );
+            checked += 1;
+        }
+    }
+    println!("bit-identity: {checked}/{checked} served rows match serial inference exactly");
+
+    // 2. Staleness detection: redeploying on different hardware makes the
+    // server's compiled snapshot stale.
+    assert!(!server.is_stale(&net));
+    net.set_multiplier(Some(MultiplierKind::Bfloat16.build()));
+    assert!(server.is_stale(&net));
+    println!("staleness: multiplier swap detected; rebuild the server to serve the new datapath");
+    server.shutdown();
+}
