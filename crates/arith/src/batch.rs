@@ -18,6 +18,7 @@
 
 use crate::fpm::Binary32Parts;
 use crate::multiplier::Multiplier;
+use crate::simd::RowClass;
 
 /// One operand of a binary32 multiply with its field decomposition done
 /// ahead of time.
@@ -185,6 +186,47 @@ pub trait BatchKernel {
         self.axpy(a.value(), b, acc);
     }
 
+    /// [`axpy`](BatchKernel::axpy) with the right-hand row's [`RowClass`]
+    /// supplied by the caller, for contexts that classify a row once and
+    /// sweep it many times (a serving plan classifies each pre-transposed
+    /// dense weight row at compile time; the blocked GEMM classifies each B
+    /// tile once per row block).
+    ///
+    /// Contract: `class` must [cover](RowClass::covers) the class this
+    /// kernel's own [`classify_rhs`](BatchKernel::classify_rhs) would
+    /// assign to `b` — kernels may trust it without re-scanning (debug
+    /// builds assert it). A conservative (higher) class is always valid
+    /// and bit-identical, merely slower. Results are bit-identical to
+    /// `axpy(a, b, acc)`; the default ignores the class and delegates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` and `acc` lengths differ.
+    fn axpy_classified(&mut self, a: f32, b: &[f32], class: RowClass, acc: &mut [f32]) {
+        let _ = class;
+        self.axpy(a, b, acc);
+    }
+
+    /// Sweep one shared right-hand row with several scalar operands:
+    /// `acc[r·acc_stride + i] += multiply(a[r], b[i])` for every row `r`,
+    /// rows ascending — exactly `a.len()` successive
+    /// [`axpy`](BatchKernel::axpy) calls, which is what the default does.
+    ///
+    /// FPM kernels override this to classify `b` once and run every row's
+    /// class-matched lane sweep (see `crate::simd`), amortizing the
+    /// classification scan the per-call `axpy` would repeat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an output row would exceed `acc`, or if
+    /// `acc_stride < b.len()` with more than one row.
+    fn axpy_rows(&mut self, a: &[f32], b: &[f32], acc: &mut [f32], acc_stride: usize) {
+        assert!(a.len() <= 1 || acc_stride >= b.len(), "axpy_rows rows overlap");
+        for (r, &av) in a.iter().enumerate() {
+            self.axpy(av, b, &mut acc[r * acc_stride..r * acc_stride + b.len()]);
+        }
+    }
+
     /// Fused output-tile GEMM against pre-decomposed weights: for every
     /// output row `r` of `ops` (`[rows, K]`) and patch tile `b`
     /// (`[K, tile]`, row-major),
@@ -224,6 +266,48 @@ pub trait BatchKernel {
         }
     }
 
+    /// [`gemm_tile`](BatchKernel::gemm_tile) with one caller-supplied class
+    /// [covering](RowClass::covers) **every** row of `b`, instead of the
+    /// kernel scanning each row itself. Serving engines derive one class
+    /// per convolution from the input plane (plus `Zeros` when padding can
+    /// inject them), which removes all per-tile classification scans from
+    /// the hot path; a conservative cover is bit-identical to precise
+    /// classification by the [`RowClass::covers`] contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`gemm_tile`](BatchKernel::gemm_tile) does.
+    fn gemm_tile_classed(
+        &mut self,
+        ops: &PreparedOperands,
+        b: &[f32],
+        tile: usize,
+        class: RowClass,
+        acc: &mut [f32],
+        acc_stride: usize,
+    ) {
+        assert_eq!(b.len(), ops.cols() * tile, "gemm_tile b length mismatch");
+        assert!(ops.rows() <= 1 || acc_stride >= tile, "gemm_tile rows overlap");
+        for r in 0..ops.rows() {
+            let acc_row = &mut acc[r * acc_stride..r * acc_stride + tile];
+            for (k, op) in ops.row(r).iter().enumerate() {
+                self.axpy_classified(op.value(), &b[k * tile..(k + 1) * tile], class, acc_row);
+            }
+        }
+    }
+
+    /// Classify one right-hand row the way this kernel's class-matched
+    /// sweeps need it. Defaults to the full three-way
+    /// [`crate::simd::classify_row`]; kernels whose fast sweeps treat zeros
+    /// like any normal value (native exact, Bfloat16) override it with the
+    /// cheaper special-only scan, which reports `Normal` for zero-bearing
+    /// rows. Callers that classify on a kernel's behalf (the blocked GEMM)
+    /// must use this method, not `classify_row`, so the class always means
+    /// what the kernel expects.
+    fn classify_rhs(&self, b: &[f32]) -> RowClass {
+        crate::simd::classify_row(b)
+    }
+
     /// `(hits, misses)` of the kernel's significand cache, if it has one.
     fn cache_stats(&self) -> Option<(u64, u64)> {
         None
@@ -259,6 +343,36 @@ impl<M: Multiplier + ?Sized> BatchKernel for FallbackKernel<'_, M> {
 
     fn mul(&mut self, a: &[f32], b: &[f32], out: &mut [f32]) {
         self.multiplier.multiply_slice(a, b, out);
+    }
+}
+
+/// Shared skeleton for classified tile GEMMs over value-type multipliers
+/// (native exact, Bfloat16): classify each of the tile's `K` rows **once**,
+/// then sweep every output row with the kernel's class-aware axpy. The FPM
+/// kernel has its own variant (it consumes pre-decomposed operand fields and
+/// a memoizing slow path).
+pub(crate) fn gemm_tile_classified(
+    ops: &PreparedOperands,
+    b: &[f32],
+    tile: usize,
+    acc: &mut [f32],
+    acc_stride: usize,
+    row_class: &mut Vec<RowClass>,
+    classify: impl Fn(&[f32]) -> RowClass,
+    mut axpy: impl FnMut(f32, &[f32], RowClass, &mut [f32]),
+) {
+    let k_rows = ops.cols();
+    assert_eq!(b.len(), k_rows * tile, "gemm_tile b length mismatch");
+    assert!(ops.rows() <= 1 || acc_stride >= tile, "gemm_tile rows overlap");
+    row_class.clear();
+    for k in 0..k_rows {
+        row_class.push(classify(&b[k * tile..(k + 1) * tile]));
+    }
+    for r in 0..ops.rows() {
+        let acc_row = &mut acc[r * acc_stride..r * acc_stride + tile];
+        for (k, op) in ops.row(r).iter().enumerate() {
+            axpy(op.value(), &b[k * tile..(k + 1) * tile], row_class[k], acc_row);
+        }
     }
 }
 

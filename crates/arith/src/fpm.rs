@@ -23,6 +23,7 @@
 use crate::array::{ArrayMultiplier, ArrayMultiplierSpec};
 use crate::batch::{BatchKernel, SigProductCache};
 use crate::multiplier::Multiplier;
+use crate::simd::{self, RowClass};
 
 /// Mantissa width including the implicit leading one.
 pub const SIGNIFICAND_BITS: usize = 24;
@@ -269,31 +270,23 @@ enum SigMemo {
 /// the shared operand once per slice call and, for cores without a proven
 /// closed form (HEAP, ablation wirings), memoizes gate-level significand
 /// products in a [`SigProductCache`] (allocated lazily after a warmup, so
-/// small GEMMs skip it).
+/// small GEMMs skip it). Cores **with** a closed form (canonical AMA5, the
+/// exact array) run on the lane-parallel kernels of [`crate::simd`]: each
+/// right-hand row is classified once ([`RowClass`]) and swept by a
+/// class-matched `LANES`-wide block pipeline; `Special` rows stay on the
+/// shared per-element slow path.
 ///
 /// Bit-exactness with the scalar path holds by construction: the special
 /// value / zero / denormal branch structure mirrors `multiply_inner`, the
-/// normalization tail is the shared [`FloatMultiplier::finish`], and cache
-/// hits are validated against the full significand pair.
+/// normalization tail re-expresses the shared [`FloatMultiplier::finish`]
+/// (asserted equivalent in `crate::simd`'s unit tests), and cache hits are
+/// validated against the full significand pair.
 struct FpmBatchKernel<'a> {
     m: &'a FloatMultiplier,
     memo: SigMemo,
     /// Per-patch-row classes for the tile-level GEMM entry point, computed
     /// once per tile and reused by every output-row sweep.
     row_class: Vec<RowClass>,
-}
-
-/// Classification of one patch-tile row for the AMA5 tile GEMM.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum RowClass {
-    /// Every element is a normal number: the branchless closed-form loop.
-    Normal,
-    /// Zeros/denormals present but no Inf/NaN: a branchless loop with a
-    /// flush-to-zero select (a normal × zero/denormal product is exactly
-    /// `±0.0`, which `pack_clamped` produces on underflow).
-    Zeros,
-    /// Inf/NaN present: per-element classification via the shared slow path.
-    Special,
 }
 
 impl<'a> FpmBatchKernel<'a> {
@@ -356,80 +349,68 @@ impl<'a> FpmBatchKernel<'a> {
 impl FpmBatchKernel<'_> {
     /// The AMA5 closed form (`prod = s_a << 24`) makes the product of two
     /// normals a pure function of `a` and `b`'s sign/exponent fields:
-    /// `1.f_a · 2^(e_a + e_b - 126)`. With `a` normal and fixed, the inner
-    /// loop is a handful of integer ops per element; zero/denormal/special
-    /// `b` values take the shared scalar-equivalent slow path. Bit-exact
-    /// against `mul_one` by the derivation in DESIGN.md §4 (also enforced by
-    /// the GEMM property tests).
-    fn axpy_canonical_ama5(&mut self, pa: Binary32Parts, b: &[f32], acc: &mut [f32]) {
-        let sign_a = pa.sign << 31;
-        let fa = pa.fraction;
-        let ea = pa.exponent as i32;
-
-        // A slice with no zero/denormal/special element (the overwhelmingly
-        // common case in NN activations) runs a branchless select-only loop
-        // the autovectorizer can lower to SIMD; one slow element anywhere
-        // falls back to the per-element loop with the shared slow path.
-        let mut slow = 0u32;
-        for &y in b {
-            let e = (y.to_bits() >> 23) & 0xFF;
-            // Branchless (vectorizable) accumulate: e == 0 or e == 0xFF.
-            slow |= u32::from(e.wrapping_sub(1) >= 0xFE);
-        }
-        if slow == 0 {
-            for (o, &y) in acc.iter_mut().zip(b) {
-                let bbits = y.to_bits();
-                let sign = (sign_a ^ bbits) & 0x8000_0000;
-                // Normalization always fires (bit 47 of `s_a << 24` is the
-                // implicit one): biased exponent is e_a + e_b - 126.
-                let exp = ea + ((bbits >> 23) & 0xFF) as i32 - 126;
-                *o += pack_clamped(sign, exp, fa);
-            }
-            return;
-        }
-
-        for (o, &y) in acc.iter_mut().zip(b) {
-            let bbits = y.to_bits();
-            let bexp = (bbits >> 23) & 0xFF;
-            if bexp == 0xFF {
-                *o += self.mul_one(pa, false, y);
-                continue;
-            }
-            // Zero/denormal `b` flushes the product to `±0.0`; selecting a
-            // non-positive exponent makes `pack_clamped` produce exactly
-            // that without the full slow path.
-            let sign = (sign_a ^ bbits) & 0x8000_0000;
-            let exp = if bexp == 0 { 0 } else { ea + bexp as i32 - 126 };
-            *o += pack_clamped(sign, exp, fa);
+    /// `1.f_a · 2^(e_a + e_b - 126)` (derivation in DESIGN.md §4). `Normal`
+    /// and `Zeros` rows run the lane-parallel block kernels of
+    /// [`crate::simd`]; `Special` rows take the per-element sweep so Inf/NaN
+    /// semantics come from the one shared slow path.
+    fn ama5_axpy_classified(
+        &mut self,
+        pa: Binary32Parts,
+        class: RowClass,
+        b: &[f32],
+        acc: &mut [f32],
+    ) {
+        match class {
+            RowClass::Normal => simd::ama5_axpy_normal(pa, b, acc),
+            RowClass::Zeros => simd::ama5_axpy_zeros(pa, b, acc),
+            RowClass::Special => self.ama5_sweep_special(pa, b, acc),
         }
     }
 
     /// Exact-core fast path with the shared operand's significand hoisted:
-    /// one `u64` multiply plus a branch-reduced re-expression of
-    /// [`FloatMultiplier::finish`] per element (`h` is the normalization
-    /// bit, so `frac = (prod >> (23 + h)) & 0x7F_FFFF` and the biased
-    /// exponent is `e_a + e_b - 127 + h` — the same two cases `finish`
-    /// takes, without the branch). Zero/denormal/special `b` values use the
-    /// shared scalar-equivalent slow path; equality with `mul_one` is
-    /// enforced by the GEMM property tests.
-    fn axpy_exact_core(&mut self, pa: Binary32Parts, b: &[f32], acc: &mut [f32]) {
-        let sa = pa.significand() as u64;
-        let sign_a = pa.sign << 31;
-        let ea = pa.exponent as i32;
+    /// one widened `u64` multiply plus a branch-free re-expression of
+    /// [`FloatMultiplier::finish`] per element, on the same class-matched
+    /// lane kernels as the AMA5 path.
+    fn exact_axpy_classified(
+        &mut self,
+        pa: Binary32Parts,
+        class: RowClass,
+        b: &[f32],
+        acc: &mut [f32],
+    ) {
+        match class {
+            RowClass::Normal => simd::exact_axpy_normal(pa, b, acc),
+            RowClass::Zeros => simd::exact_axpy_zeros(pa, b, acc),
+            RowClass::Special => self.exact_sweep_special(pa, b, acc),
+        }
+    }
+
+    /// AMA5 sweep of a row containing Inf/NaN: specials go through the
+    /// shared [`FpmBatchKernel::mul_one`] slow path, everything else runs
+    /// the scalar lane closed form (with its flush-to-zero select).
+    fn ama5_sweep_special(&mut self, pa: Binary32Parts, b: &[f32], acc: &mut [f32]) {
+        let (sign_a, fa, ea) = simd::ama5_fields(pa);
         for (o, &y) in acc.iter_mut().zip(b) {
             let bbits = y.to_bits();
-            let bexp = (bbits >> 23) & 0xFF;
-            if bexp == 0 || bexp == 0xFF {
-                *o += self.mul_one(pa, false, y);
-                continue;
+            if (bbits >> 23) & 0xFF == 0xFF {
+                *o = simd::nan_stable_add(*o, self.mul_one(pa, false, y));
+            } else {
+                *o += f32::from_bits(simd::ama5_lane_zeros(sign_a, fa, ea, bbits));
             }
-            let sb = ((1u32 << 23) | (bbits & 0x7F_FFFF)) as u64;
-            let prod = sa * sb;
-            let h = ((prod >> 47) & 1) as u32;
-            let sign = (sign_a ^ bbits) & 0x8000_0000;
-            let exp = ea + bexp as i32 - 127 + h as i32;
-            let frac = ((prod >> (23 + h)) & 0x7F_FFFF) as u32;
-            *o += pack_clamped(sign, exp, frac);
+        }
+    }
+
+    /// Exact-core sweep of a row containing Inf/NaN (see
+    /// [`FpmBatchKernel::ama5_sweep_special`]).
+    fn exact_sweep_special(&mut self, pa: Binary32Parts, b: &[f32], acc: &mut [f32]) {
+        let (sa, sign_a, ea) = simd::exact_fields(pa);
+        for (o, &y) in acc.iter_mut().zip(b) {
+            let bbits = y.to_bits();
+            if (bbits >> 23) & 0xFF == 0xFF {
+                *o = simd::nan_stable_add(*o, self.mul_one(pa, false, y));
+            } else {
+                *o += f32::from_bits(simd::exact_lane_zeros(sa, sign_a, ea, bbits));
+            }
         }
     }
 }
@@ -443,16 +424,68 @@ impl FpmBatchKernel<'_> {
         assert_eq!(b.len(), acc.len(), "axpy_slice length mismatch");
         if !pa.is_special() && !pa.is_zero_or_denormal() {
             match self.m.fast_path {
-                FastPath::CanonicalAma5 => return self.axpy_canonical_ama5(pa, b, acc),
-                FastPath::Exact => return self.axpy_exact_core(pa, b, acc),
+                FastPath::CanonicalAma5 => {
+                    return self.ama5_axpy_classified(pa, simd::classify_row(b), b, acc);
+                }
+                FastPath::Exact => {
+                    return self.exact_axpy_classified(pa, simd::classify_row(b), b, acc);
+                }
                 FastPath::None => {}
             }
         }
         for (o, &y) in acc.iter_mut().zip(b) {
-            *o += self.mul_one(pa, a_nan, y);
+            *o = simd::nan_stable_add(*o, self.mul_one(pa, a_nan, y));
         }
     }
 }
+
+impl FpmBatchKernel<'_> {
+    /// The class-matched tile sweep shared by [`BatchKernel::gemm_tile`]
+    /// (per-row classes scanned by the kernel) and
+    /// [`BatchKernel::gemm_tile_classed`] (one caller-supplied covering
+    /// class): per element the arithmetic and accumulation order are
+    /// identical to row-by-row `axpy_prepared`.
+    fn gemm_tile_sweep(
+        &mut self,
+        ops: &crate::batch::PreparedOperands,
+        b: &[f32],
+        tile: usize,
+        acc: &mut [f32],
+        acc_stride: usize,
+        class_at: &dyn Fn(usize) -> RowClass,
+    ) {
+        for r in 0..ops.rows() {
+            let acc_row = &mut acc[r * acc_stride..r * acc_stride + tile];
+            for (k, op) in ops.row(r).iter().enumerate() {
+                let pa = op.parts();
+                let brow = &b[k * tile..(k + 1) * tile];
+                if pa.is_special() || pa.is_zero_or_denormal() {
+                    // Shared slow path, exactly as `axpy_parts` would take.
+                    let nan = op.is_nan();
+                    for (o, &y) in acc_row.iter_mut().zip(brow) {
+                        *o = simd::nan_stable_add(*o, self.mul_one(pa, nan, y));
+                    }
+                    continue;
+                }
+                match self.m.fast_path {
+                    FastPath::CanonicalAma5 => {
+                        self.ama5_axpy_classified(pa, class_at(k), brow, acc_row);
+                    }
+                    FastPath::Exact => {
+                        self.exact_axpy_classified(pa, class_at(k), brow, acc_row);
+                    }
+                    FastPath::None => unreachable!("closed-form sweeps only"),
+                }
+            }
+        }
+    }
+}
+
+/// Elements per stack block of the fused dot product: lane-compute this many
+/// products at a time, then accumulate them in slice order (the reduction
+/// order is part of the bit-exactness contract, so only the products — never
+/// the summation — are parallelized across lanes).
+const DOT_BLOCK: usize = 8 * simd::LANES;
 
 impl BatchKernel for FpmBatchKernel<'_> {
     fn axpy(&mut self, a: f32, b: &[f32], acc: &mut [f32]) {
@@ -463,13 +496,49 @@ impl BatchKernel for FpmBatchKernel<'_> {
         self.axpy_parts(a.parts(), a.is_nan(), b, acc);
     }
 
-    /// Tile-level GEMM. For the canonical AMA5 core the shared patch tile
-    /// is classified **once** per row (normal / zero-bearing / special) and
-    /// then swept by every output row with a loop matched to the class —
-    /// per element the arithmetic and accumulation order are identical to
-    /// [`FpmBatchKernel::axpy_canonical_ama5`], so results stay bit-exact
-    /// with row-by-row `axpy_prepared` (enforced by the batch tests and the
-    /// engine equivalence property tests).
+    fn axpy_classified(&mut self, a: f32, b: &[f32], class: RowClass, acc: &mut [f32]) {
+        debug_assert!(class.covers(simd::classify_row(b)), "stale row class");
+        assert_eq!(b.len(), acc.len(), "axpy_slice length mismatch");
+        let pa = Binary32Parts::from_f32(a);
+        if !pa.is_special() && !pa.is_zero_or_denormal() {
+            match self.m.fast_path {
+                FastPath::CanonicalAma5 => return self.ama5_axpy_classified(pa, class, b, acc),
+                FastPath::Exact => return self.exact_axpy_classified(pa, class, b, acc),
+                FastPath::None => {}
+            }
+        }
+        let a_nan = a.is_nan();
+        for (o, &y) in acc.iter_mut().zip(b) {
+            *o = simd::nan_stable_add(*o, self.mul_one(pa, a_nan, y));
+        }
+    }
+
+    /// Multi-row sweep of one shared right-hand row: classify the row
+    /// **once**, then run every shared operand's class-matched lane sweep
+    /// (the blocked GEMM calls this with its resident output-row block, so
+    /// the per-`axpy` classification scan is amortized across the block).
+    fn axpy_rows(&mut self, a: &[f32], b: &[f32], acc: &mut [f32], acc_stride: usize) {
+        assert!(a.len() <= 1 || acc_stride >= b.len(), "axpy_rows rows overlap");
+        if self.m.fast_path == FastPath::None {
+            for (r, &av) in a.iter().enumerate() {
+                self.axpy(av, b, &mut acc[r * acc_stride..r * acc_stride + b.len()]);
+            }
+            return;
+        }
+        let class = simd::classify_row(b);
+        for (r, &av) in a.iter().enumerate() {
+            self.axpy_classified(av, b, class, &mut acc[r * acc_stride..r * acc_stride + b.len()]);
+        }
+    }
+
+    /// Tile-level GEMM. For closed-form cores (canonical AMA5 and the exact
+    /// array) the shared patch tile is classified **once** per row (normal /
+    /// zero-bearing / special) and then swept by every output row with the
+    /// class-matched lane kernel — per element the arithmetic and
+    /// accumulation order are identical to row-by-row `axpy_prepared`
+    /// (enforced by the batch tests and the engine equivalence property
+    /// tests). Gate-level cores pay per-element costs anyway, so they keep
+    /// row-by-row delegation (and their memo cache).
     fn gemm_tile(
         &mut self,
         ops: &crate::batch::PreparedOperands,
@@ -481,9 +550,7 @@ impl BatchKernel for FpmBatchKernel<'_> {
         let k_rows = ops.cols();
         assert_eq!(b.len(), k_rows * tile, "gemm_tile b length mismatch");
         assert!(ops.rows() <= 1 || acc_stride >= tile, "gemm_tile rows overlap");
-        if self.m.fast_path != FastPath::CanonicalAma5 {
-            // Exact-core and gate-level cores need the patch mantissas per
-            // element anyway; row-by-row delegation is already optimal.
+        if self.m.fast_path == FastPath::None {
             for r in 0..ops.rows() {
                 let acc_row = &mut acc[r * acc_stride..r * acc_stride + tile];
                 for (k, op) in ops.row(r).iter().enumerate() {
@@ -496,88 +563,63 @@ impl BatchKernel for FpmBatchKernel<'_> {
         let mut row_class = std::mem::take(&mut self.row_class);
         row_class.clear();
         for k in 0..k_rows {
-            let mut zeros = false;
-            let mut special = false;
-            for &y in &b[k * tile..(k + 1) * tile] {
-                let e = (y.to_bits() >> 23) & 0xFF;
-                zeros |= e == 0;
-                special |= e == 0xFF;
-            }
-            row_class.push(if special {
-                RowClass::Special
-            } else if zeros {
-                RowClass::Zeros
-            } else {
-                RowClass::Normal
-            });
+            row_class.push(simd::classify_row(&b[k * tile..(k + 1) * tile]));
         }
-
-        for r in 0..ops.rows() {
-            let acc_row = &mut acc[r * acc_stride..r * acc_stride + tile];
-            for (k, op) in ops.row(r).iter().enumerate() {
-                let pa = op.parts();
-                let brow = &b[k * tile..(k + 1) * tile];
-                if pa.is_special() || pa.is_zero_or_denormal() {
-                    // Shared slow path, exactly as `axpy_parts` would take.
-                    let nan = op.is_nan();
-                    for (o, &y) in acc_row.iter_mut().zip(brow) {
-                        *o += self.mul_one(pa, nan, y);
-                    }
-                    continue;
-                }
-                let sign_a = pa.sign << 31;
-                let fa = pa.fraction;
-                let ea = pa.exponent as i32;
-                match row_class[k] {
-                    RowClass::Normal => {
-                        // The all-normal branchless loop of
-                        // `axpy_canonical_ama5`, without its per-call scan.
-                        for (o, &y) in acc_row.iter_mut().zip(brow) {
-                            let bbits = y.to_bits();
-                            let sign = (sign_a ^ bbits) & 0x8000_0000;
-                            let exp = ea + ((bbits >> 23) & 0xFF) as i32 - 126;
-                            *o += pack_clamped(sign, exp, fa);
-                        }
-                    }
-                    RowClass::Zeros => {
-                        // Zero/denormal patches (padding taps, post-ReLU
-                        // activations) flush the product to `±0.0`; a
-                        // select to a non-positive exponent makes
-                        // `pack_clamped` produce exactly that, keeping the
-                        // loop branchless.
-                        for (o, &y) in acc_row.iter_mut().zip(brow) {
-                            let bbits = y.to_bits();
-                            let bexp = ((bbits >> 23) & 0xFF) as i32;
-                            let sign = (sign_a ^ bbits) & 0x8000_0000;
-                            let exp = if bexp == 0 { 0 } else { ea + bexp - 126 };
-                            *o += pack_clamped(sign, exp, fa);
-                        }
-                    }
-                    RowClass::Special => {
-                        // Inf/NaN present: per-element classification,
-                        // mirroring `axpy_canonical_ama5`'s fallback loop.
-                        for (o, &y) in acc_row.iter_mut().zip(brow) {
-                            let bbits = y.to_bits();
-                            let bexp = (bbits >> 23) & 0xFF;
-                            if bexp == 0 || bexp == 0xFF {
-                                *o += self.mul_one(pa, false, y);
-                            } else {
-                                let sign = (sign_a ^ bbits) & 0x8000_0000;
-                                *o += pack_clamped(sign, ea + bexp as i32 - 126, fa);
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        self.gemm_tile_sweep(ops, b, tile, acc, acc_stride, &|k| row_class[k]);
         self.row_class = row_class;
+    }
+
+    /// One class [covering](RowClass::covers) every patch row (a serving
+    /// engine derives it from the conv input plane): same sweeps as
+    /// [`BatchKernel::gemm_tile`], zero classification scans.
+    fn gemm_tile_classed(
+        &mut self,
+        ops: &crate::batch::PreparedOperands,
+        b: &[f32],
+        tile: usize,
+        class: RowClass,
+        acc: &mut [f32],
+        acc_stride: usize,
+    ) {
+        assert_eq!(b.len(), ops.cols() * tile, "gemm_tile b length mismatch");
+        assert!(ops.rows() <= 1 || acc_stride >= tile, "gemm_tile rows overlap");
+        if self.m.fast_path == FastPath::None {
+            for r in 0..ops.rows() {
+                let acc_row = &mut acc[r * acc_stride..r * acc_stride + tile];
+                for (k, op) in ops.row(r).iter().enumerate() {
+                    self.axpy_parts(op.parts(), op.is_nan(), &b[k * tile..(k + 1) * tile], acc_row);
+                }
+            }
+            return;
+        }
+        self.gemm_tile_sweep(ops, b, tile, acc, acc_stride, &|_| class);
     }
 
     fn dot(&mut self, a: &[f32], b: &[f32]) -> f32 {
         assert_eq!(a.len(), b.len(), "dot_accumulate length mismatch");
+        // Closed-form cores lane-compute the products block by block and
+        // accumulate them in slice order; one Inf/NaN anywhere falls back to
+        // the shared scalar loop (specials are vanishingly rare in
+        // activations, and the slow path is the semantic ground truth).
+        if self.m.fast_path != FastPath::None && !simd::pair_has_special(a, b) {
+            let mut acc = 0.0f32;
+            let mut buf = [0.0f32; DOT_BLOCK];
+            for (ac, bc) in a.chunks(DOT_BLOCK).zip(b.chunks(DOT_BLOCK)) {
+                let prods = &mut buf[..ac.len()];
+                match self.m.fast_path {
+                    FastPath::CanonicalAma5 => simd::ama5_mul_pair(ac, bc, prods),
+                    _ => simd::exact_mul_pair(ac, bc, prods),
+                }
+                for &p in prods.iter() {
+                    acc = simd::nan_stable_add(acc, p);
+                }
+            }
+            return acc;
+        }
         let mut acc = 0.0f32;
         for (&x, &y) in a.iter().zip(b) {
-            acc += self.mul_one(Binary32Parts::from_f32(x), x.is_nan(), y);
+            acc =
+                simd::nan_stable_add(acc, self.mul_one(Binary32Parts::from_f32(x), x.is_nan(), y));
         }
         acc
     }
@@ -585,6 +627,13 @@ impl BatchKernel for FpmBatchKernel<'_> {
     fn mul(&mut self, a: &[f32], b: &[f32], out: &mut [f32]) {
         assert_eq!(a.len(), b.len(), "multiply_slice length mismatch");
         assert_eq!(a.len(), out.len(), "multiply_slice output length mismatch");
+        if self.m.fast_path != FastPath::None && !simd::pair_has_special(a, b) {
+            match self.m.fast_path {
+                FastPath::CanonicalAma5 => simd::ama5_mul_pair(a, b, out),
+                _ => simd::exact_mul_pair(a, b, out),
+            }
+            return;
+        }
         for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
             *o = self.mul_one(Binary32Parts::from_f32(x), x.is_nan(), y);
         }

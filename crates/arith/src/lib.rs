@@ -40,6 +40,13 @@
 //!   see `da_nn::engine`); [`BatchKernel::axpy_prepared`] consumes the
 //!   cached decomposition directly, skipping the per-call field extraction
 //!   entirely.
+//! * Cores with a proven closed form (canonical AMA5, the exact array, and
+//!   the Bfloat16 truncation) run on the **lane-parallel kernels** of
+//!   [`simd`]: rows are classified once ([`RowClass`]) and swept by
+//!   `LANES`-wide branchless block pipelines (autovectorized on every
+//!   target; hand-written AVX2 with runtime dispatch behind the
+//!   `simd-intrinsics` cargo feature). Inf/NaN rows stay on the shared
+//!   scalar slow path, so special-value semantics cannot diverge.
 //!
 //! Every batched path is **bit-identical** to the scalar loop it replaces
 //! (enforced by property tests here and in `da_nn`); approximation stays a
@@ -69,6 +76,7 @@ pub mod heap;
 pub mod metrics;
 pub mod profile;
 pub mod rotating;
+pub mod simd;
 
 mod multiplier;
 
@@ -76,3 +84,4 @@ pub use adders::AdderKind;
 pub use array::{ArrayMultiplier, ArrayMultiplierSpec, CellAssignment, CpaKind, PortMap};
 pub use batch::{BatchKernel, PreparedOperand, PreparedOperands, SigProductCache};
 pub use multiplier::{ExactMultiplier, Multiplier, MultiplierKind};
+pub use simd::{classify_row, RowClass, LANES};

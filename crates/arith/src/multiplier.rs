@@ -6,10 +6,12 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::array::ArrayMultiplierSpec;
-use crate::batch::{BatchKernel, FallbackKernel};
+use crate::batch::{BatchKernel, FallbackKernel, PreparedOperands};
 use crate::bfloat::BfloatMultiplier;
 use crate::fpm::FloatMultiplier;
 use crate::heap;
+use crate::simd::{clean_axpy, nan_stable_add, native_axpy, pair_has_special, row_has_special};
+use crate::RowClass;
 
 /// An `f32 × f32` multiplier — exact hardware, an approximate FPM, or a
 /// reduced-precision unit.
@@ -45,7 +47,9 @@ pub trait Multiplier: Send + Sync {
     }
 
     /// Fused dot product: `Σ_i multiply(a[i], b[i])`, accumulated left to
-    /// right in `f32` (additions stay exact, as in the paper's datapath).
+    /// right in `f32` (additions stay exact, as in the paper's datapath;
+    /// NaN payload propagation is pinned by
+    /// [`crate::simd::nan_stable_add`]).
     ///
     /// # Panics
     ///
@@ -54,7 +58,7 @@ pub trait Multiplier: Send + Sync {
         assert_eq!(a.len(), b.len(), "dot_accumulate length mismatch");
         let mut acc = 0.0f32;
         for (&x, &y) in a.iter().zip(b) {
-            acc += self.multiply(x, y);
+            acc = nan_stable_add(acc, self.multiply(x, y));
         }
         acc
     }
@@ -68,7 +72,7 @@ pub trait Multiplier: Send + Sync {
     fn axpy_slice(&self, a: f32, b: &[f32], acc: &mut [f32]) {
         assert_eq!(b.len(), acc.len(), "axpy_slice length mismatch");
         for (o, &y) in acc.iter_mut().zip(b) {
-            *o += self.multiply(a, y);
+            *o = nan_stable_add(*o, self.multiply(a, y));
         }
     }
 
@@ -112,7 +116,10 @@ impl Multiplier for ExactMultiplier {
 
     // Native loops: with the defaults these would still be correct, but the
     // explicit bodies contain no calls at all, so the compiler vectorizes
-    // them like hand-written f32 kernels.
+    // them like hand-written f32 kernels. Rows are classified first: a
+    // NaN-free product stream keeps the plain fused loop (bitwise
+    // order-independent), while rows carrying Inf/NaN pin payload
+    // propagation through `nan_stable_add` (see `crate::simd`).
 
     fn multiply_slice(&self, a: &[f32], b: &[f32], out: &mut [f32]) {
         assert_eq!(a.len(), b.len(), "multiply_slice length mismatch");
@@ -125,17 +132,120 @@ impl Multiplier for ExactMultiplier {
     fn dot_accumulate(&self, a: &[f32], b: &[f32]) -> f32 {
         assert_eq!(a.len(), b.len(), "dot_accumulate length mismatch");
         let mut acc = 0.0f32;
-        for (&x, &y) in a.iter().zip(b) {
-            acc += x * y;
+        if pair_has_special(a, b) {
+            for (&x, &y) in a.iter().zip(b) {
+                acc = nan_stable_add(acc, x * y);
+            }
+        } else {
+            for (&x, &y) in a.iter().zip(b) {
+                acc += x * y;
+            }
         }
         acc
     }
 
     fn axpy_slice(&self, a: f32, b: &[f32], acc: &mut [f32]) {
-        assert_eq!(b.len(), acc.len(), "axpy_slice length mismatch");
-        for (o, &y) in acc.iter_mut().zip(b) {
-            *o += a * y;
+        native_axpy(a, b, acc, clean_axpy(a, native_class(b)));
+    }
+
+    fn batch_kernel(&self) -> Box<dyn BatchKernel + Send + '_> {
+        Box::new(NativeBatchKernel { row_class: Vec::new() })
+    }
+}
+
+/// The special-only row scan for native/value-type kernels: zeros need no
+/// special handling in the fused loops, so zero-bearing rows report
+/// `Normal` (half the scan cost of the three-way classification).
+fn native_class(b: &[f32]) -> RowClass {
+    if row_has_special(b) {
+        RowClass::Special
+    } else {
+        RowClass::Normal
+    }
+}
+
+/// The batched kernel behind [`ExactMultiplier::batch_kernel`]: the native
+/// fused loops of the slice methods, with row classification amortized
+/// across multi-row sweeps ([`BatchKernel::axpy_rows`]) and whole tiles
+/// ([`BatchKernel::gemm_tile`]) instead of re-scanned per `axpy` call.
+struct NativeBatchKernel {
+    row_class: Vec<RowClass>,
+}
+
+impl BatchKernel for NativeBatchKernel {
+    fn axpy(&mut self, a: f32, b: &[f32], acc: &mut [f32]) {
+        ExactMultiplier.axpy_slice(a, b, acc);
+    }
+
+    fn axpy_classified(&mut self, a: f32, b: &[f32], class: RowClass, acc: &mut [f32]) {
+        debug_assert!(class == RowClass::Special || !row_has_special(b), "stale row class");
+        native_axpy(a, b, acc, clean_axpy(a, class));
+    }
+
+    fn axpy_rows(&mut self, a: &[f32], b: &[f32], acc: &mut [f32], acc_stride: usize) {
+        assert!(a.len() <= 1 || acc_stride >= b.len(), "axpy_rows rows overlap");
+        let class = native_class(b);
+        for (r, &av) in a.iter().enumerate() {
+            let acc_row = &mut acc[r * acc_stride..r * acc_stride + b.len()];
+            native_axpy(av, b, acc_row, clean_axpy(av, class));
         }
+    }
+
+    fn gemm_tile(
+        &mut self,
+        ops: &PreparedOperands,
+        b: &[f32],
+        tile: usize,
+        acc: &mut [f32],
+        acc_stride: usize,
+    ) {
+        let mut row_class = std::mem::take(&mut self.row_class);
+        crate::batch::gemm_tile_classified(
+            ops,
+            b,
+            tile,
+            acc,
+            acc_stride,
+            &mut row_class,
+            native_class,
+            |a, brow, class, acc_row| native_axpy(a, brow, acc_row, clean_axpy(a, class)),
+        );
+        self.row_class = row_class;
+    }
+
+    fn gemm_tile_classed(
+        &mut self,
+        ops: &PreparedOperands,
+        b: &[f32],
+        tile: usize,
+        class: RowClass,
+        acc: &mut [f32],
+        acc_stride: usize,
+    ) {
+        // One covering class for every row: a direct sweep, no per-row
+        // classification state at all.
+        assert_eq!(b.len(), ops.cols() * tile, "gemm_tile b length mismatch");
+        assert!(ops.rows() <= 1 || acc_stride >= tile, "gemm_tile rows overlap");
+        for r in 0..ops.rows() {
+            let acc_row = &mut acc[r * acc_stride..r * acc_stride + tile];
+            for (k, op) in ops.row(r).iter().enumerate() {
+                let a = op.value();
+                let brow = &b[k * tile..(k + 1) * tile];
+                native_axpy(a, brow, acc_row, clean_axpy(a, class));
+            }
+        }
+    }
+
+    fn classify_rhs(&self, b: &[f32]) -> RowClass {
+        native_class(b)
+    }
+
+    fn dot(&mut self, a: &[f32], b: &[f32]) -> f32 {
+        ExactMultiplier.dot_accumulate(a, b)
+    }
+
+    fn mul(&mut self, a: &[f32], b: &[f32], out: &mut [f32]) {
+        ExactMultiplier.multiply_slice(a, b, out);
     }
 }
 

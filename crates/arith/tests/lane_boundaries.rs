@@ -1,0 +1,272 @@
+//! Lane-boundary bit-exactness: the SIMD block kernels against the scalar
+//! datapath at every alignment the block/tail split can produce.
+//!
+//! SIMD tail handling is where bit-exactness bugs hide, so every batched
+//! entry point (`axpy`, `axpy_classified`, `axpy_rows`, `gemm_tile`, `mul`,
+//! `dot`) is swept over slice lengths `0`, `1`, `LANES-1`, `LANES`,
+//! `LANES+1`, and `4·LANES+3`, with NaN/Inf/denormal/zero values pinned at
+//! block boundaries and inside the scalar tail, for **every**
+//! [`MultiplierKind`]. References are built from scalar
+//! [`Multiplier::multiply`] plus the pinned
+//! [`da_arith::simd::nan_stable_add`] accumulate, the crate's documented
+//! reduction semantics.
+//!
+//! The second half asserts the memoization contract: lane kernels must not
+//! silently bypass the [`SigProductCache`] hit/miss counters on kinds that
+//! still memoize (HEAP, ablation wirings), and closed-form kinds must not
+//! grow one.
+
+use da_arith::fpm::FloatMultiplier;
+use da_arith::simd::nan_stable_add;
+use da_arith::{
+    classify_row, ArrayMultiplierSpec, Multiplier, MultiplierKind, PortMap, PreparedOperand,
+    PreparedOperands, LANES,
+};
+use rand::{Rng, SeedableRng};
+
+/// The lane-boundary length sweep from the issue spec.
+const LENGTHS: [usize; 6] = [0, 1, LANES - 1, LANES, LANES + 1, 4 * LANES + 3];
+
+/// Values that exercise every datapath branch.
+const SPECIALS: [f32; 8] =
+    [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 0.0, -0.0, 1e-40, f32::MAX, f32::MIN_POSITIVE];
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(97)
+}
+
+/// A row of the given length with `specials` pinned at block boundaries
+/// (lane 0, last lane of the first block, first lane of the second block)
+/// and in the scalar tail (last element), normals elsewhere.
+fn boundary_row(len: usize, specials: &[f32], rng: &mut rand::rngs::StdRng) -> Vec<f32> {
+    let mut row: Vec<f32> = (0..len).map(|_| rng.gen_range(0.03f32..4.0) - 2.0).collect();
+    // Re-roll near-zero normals so "clean" rows stay clean.
+    for v in row.iter_mut() {
+        if v.abs() < 1e-3 {
+            *v = 0.7;
+        }
+    }
+    if len == 0 || specials.is_empty() {
+        return row;
+    }
+    let mut pin = |idx: usize, i: usize| {
+        if idx < len {
+            row[idx] = specials[i % specials.len()];
+        }
+    };
+    pin(0, 0);
+    pin(LANES - 1, 1);
+    pin(LANES, 2);
+    pin(len - 1, 3);
+    row
+}
+
+fn assert_rows_equal(got: &[f32], want: &[f32], ctx: &str) {
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{ctx} elem {i}: {g:?} ({:#010x}) vs {w:?} ({:#010x})",
+            g.to_bits(),
+            w.to_bits()
+        );
+    }
+}
+
+/// `axpy`, `axpy_classified`, and `mul` against the scalar datapath at every
+/// lane-boundary length, special placement, and shared-operand class.
+#[test]
+fn axpy_and_mul_are_bit_exact_at_lane_boundaries() {
+    let mut rng = rng();
+    let shared = [0.7f32, -1.25, 0.0, -0.0, f32::NAN, f32::INFINITY, 1e-40, f32::MAX];
+    for kind in MultiplierKind::ALL {
+        let m = kind.build();
+        for len in LENGTHS {
+            for pins in [&[] as &[f32], &[0.0, -0.0], &SPECIALS] {
+                let b = boundary_row(len, pins, &mut rng);
+                let class = classify_row(&b);
+                for &a in &shared {
+                    let ctx = format!("{kind} len={len} pins={} a={a}", pins.len());
+
+                    let mut acc = vec![0.25f32; len];
+                    m.batch_kernel().axpy(a, &b, &mut acc);
+                    let want: Vec<f32> = b.iter().map(|&y| 0.25 + m.multiply(a, y)).collect();
+                    assert_rows_equal(&acc, &want, &format!("{ctx} axpy"));
+
+                    let mut acc = vec![0.25f32; len];
+                    m.batch_kernel().axpy_classified(a, &b, class, &mut acc);
+                    assert_rows_equal(&acc, &want, &format!("{ctx} axpy_classified"));
+
+                    let mut out = vec![0.0f32; len];
+                    let a_row: Vec<f32> = boundary_row(len, pins, &mut rng);
+                    m.batch_kernel().mul(&a_row, &b, &mut out);
+                    let want: Vec<f32> =
+                        a_row.iter().zip(&b).map(|(&x, &y)| m.multiply(x, y)).collect();
+                    assert_rows_equal(&out, &want, &format!("{ctx} mul"));
+                }
+            }
+        }
+    }
+}
+
+/// `dot` against the crate's pinned reduction semantics (scalar products
+/// accumulated in order through `nan_stable_add`).
+#[test]
+fn dot_is_bit_exact_at_lane_boundaries() {
+    let mut rng = rng();
+    for kind in MultiplierKind::ALL {
+        let m = kind.build();
+        for len in LENGTHS {
+            for pins in [&[] as &[f32], &SPECIALS] {
+                let a = boundary_row(len, pins, &mut rng);
+                let b = boundary_row(len, &[1.0], &mut rng);
+                let got = m.batch_kernel().dot(&a, &b);
+                let mut want = 0.0f32;
+                for (&x, &y) in a.iter().zip(&b) {
+                    want = nan_stable_add(want, m.multiply(x, y));
+                }
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "{kind} len={len} pins={} dot: {got:?} vs {want:?}",
+                    pins.len()
+                );
+            }
+        }
+    }
+}
+
+/// `axpy_rows` (strided multi-row sweep) equals row-by-row `axpy` for every
+/// kind, including ragged tails and special pins.
+#[test]
+fn axpy_rows_matches_rowwise_axpy() {
+    let mut rng = rng();
+    for kind in MultiplierKind::ALL {
+        let m = kind.build();
+        for len in LENGTHS {
+            let b = boundary_row(len, &SPECIALS, &mut rng);
+            let a_col: Vec<f32> = vec![0.7, f32::NAN, -0.0, 1.5e38];
+            let stride = len + 3;
+            let mut acc = vec![0.5f32; a_col.len() * stride];
+            let mut want = acc.clone();
+            m.batch_kernel().axpy_rows(&a_col, &b, &mut acc, stride);
+            {
+                let mut kern = m.batch_kernel();
+                for (r, &av) in a_col.iter().enumerate() {
+                    kern.axpy(av, &b, &mut want[r * stride..r * stride + len]);
+                }
+            }
+            assert_rows_equal(&acc, &want, &format!("{kind} len={len} axpy_rows"));
+        }
+    }
+}
+
+/// `gemm_tile` equals rowwise `axpy_prepared` at lane-boundary tile widths
+/// with specials pinned at tile boundaries (the engine's fused conv path).
+#[test]
+fn gemm_tile_is_bit_exact_at_lane_boundary_tiles() {
+    let mut rng = rng();
+    for kind in MultiplierKind::ALL {
+        let m = kind.build();
+        for tile in LENGTHS {
+            if tile == 0 {
+                continue;
+            }
+            let (rows, k) = (3usize, 3usize);
+            let stride = tile + 2;
+            let w: Vec<f32> = (0..rows * k)
+                .map(|i| if i == 4 { f32::NAN } else { rng.gen_range(0.1f32..2.0) - 1.05 })
+                .collect();
+            let ops = PreparedOperands::from_matrix(&w, rows, k);
+            let mut b = Vec::new();
+            for _ in 0..k {
+                b.extend(boundary_row(tile, &SPECIALS, &mut rng));
+            }
+            let mut acc = vec![0.125f32; rows * stride];
+            let mut want = acc.clone();
+            m.batch_kernel().gemm_tile(&ops, &b, tile, &mut acc, stride);
+            {
+                let mut kern = m.batch_kernel();
+                for r in 0..rows {
+                    let acc_row = &mut want[r * stride..r * stride + tile];
+                    for kk in 0..k {
+                        kern.axpy_prepared(
+                            &PreparedOperand::new(w[r * k + kk]),
+                            &b[kk * tile..(kk + 1) * tile],
+                            acc_row,
+                        );
+                    }
+                }
+            }
+            assert_rows_equal(&acc, &want, &format!("{kind} tile={tile} gemm_tile"));
+        }
+    }
+}
+
+/// An AMA5-cell array with a non-canonical port wiring: gate-level
+/// simulation with no closed form (`FastPath::None`), so its kernel memoizes.
+fn ablation_multiplier() -> FloatMultiplier {
+    let canonical = ArrayMultiplierSpec::ax_mantissa(24);
+    let port_map = PortMap::ALL
+        .iter()
+        .copied()
+        .find(|&pm| pm != canonical.port_map)
+        .expect("more than one port wiring exists");
+    FloatMultiplier::with_core("ablation", ArrayMultiplierSpec { port_map, ..canonical })
+}
+
+/// Memoizing kinds must keep counting cache hits/misses through every
+/// batched entry point — the lane kernels only cover closed-form cores and
+/// must not have silently rerouted gate-level kinds around the
+/// [`da_arith::SigProductCache`].
+#[test]
+fn cache_stats_are_preserved_across_batched_entry_points() {
+    let mut rng = rng();
+    let heap = MultiplierKind::Heap.build();
+    let ablation = ablation_multiplier();
+    for m in [&*heap, &ablation as &dyn Multiplier] {
+        let mut kern = m.batch_kernel();
+        let b: Vec<f32> = (0..64).map(|i| 0.25 + (i % 8) as f32 * 0.125).collect();
+        let mut acc = vec![0.0f32; b.len()];
+        // Warm past the memo threshold so the cache allocates.
+        for _ in 0..16 {
+            kern.axpy(rng.gen_range(0.1f32..1.0), &b, &mut acc);
+        }
+        let (h0, m0) = kern.cache_stats().expect("gate-level kernels memoize");
+
+        // Every entry point must keep counting products.
+        let mut rows_acc = vec![0.0f32; 2 * b.len()];
+        kern.axpy_rows(&[0.3, 0.7], &b, &mut rows_acc, b.len());
+        let (h1, m1) = kern.cache_stats().expect("stats survive axpy_rows");
+        assert_eq!((h1 + m1) - (h0 + m0), 2 * b.len() as u64, "{} axpy_rows", m.name());
+
+        let ops = PreparedOperands::from_matrix(&[0.5, -0.25, 0.75, 0.1], 2, 2);
+        let mut tile_acc = vec![0.0f32; 24];
+        kern.gemm_tile(&ops, &b[..16], 8, &mut tile_acc, 16);
+        let (h2, m2) = kern.cache_stats().expect("stats survive gemm_tile");
+        assert_eq!((h2 + m2) - (h1 + m1), 32, "{} gemm_tile", m.name());
+
+        let _ = kern.dot(&b[..8], &b[8..16]);
+        let (h3, m3) = kern.cache_stats().expect("stats survive dot");
+        assert_eq!((h3 + m3) - (h2 + m2), 8, "{} dot", m.name());
+
+        let mut out = vec![0.0f32; 8];
+        kern.mul(&b[..8], &b[8..16], &mut out);
+        let (h4, m4) = kern.cache_stats().expect("stats survive mul");
+        assert_eq!((h4 + m4) - (h3 + m3), 8, "{} mul", m.name());
+
+        assert!(h4 > 0, "{}: repeated operands must produce hits", m.name());
+    }
+
+    // Closed-form kinds ride the lane kernels and must not grow a cache.
+    for kind in [MultiplierKind::ExactFpm, MultiplierKind::AxFpm, MultiplierKind::Bfloat16] {
+        let m = kind.build();
+        let mut kern = m.batch_kernel();
+        let b: Vec<f32> = (0..64).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut acc = vec![0.0f32; b.len()];
+        for _ in 0..16 {
+            kern.axpy(0.7, &b, &mut acc);
+        }
+        assert_eq!(kern.cache_stats(), None, "{kind} must not memoize");
+    }
+}

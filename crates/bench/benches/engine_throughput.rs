@@ -8,7 +8,10 @@
 //! Configurations follow the issue spec: an MNIST-style CNN (LeNet-5,
 //! 28×28×1) and a CIFAR-style CNN (AlexNet, 32×32×3), each under the exact
 //! multiplier, the paper's Ax-FPM, and Bfloat16, at single-item and batched
-//! serving shapes. The second table then replays single-sample traffic from
+//! serving shapes. `DA_BENCH_JSON=<path>` writes the tables as a
+//! machine-readable document (see [`da_bench::json`]); `DA_BENCH_SMOKE=1`
+//! restricts the run to LeNet-5 × Ax-FPM at batch 1 and skips the
+//! concurrent-load scenario (CI's emit-and-schema-check smoke job). The second table then replays single-sample traffic from
 //! N submitter threads through `da_nn::serve::BatchServer` (micro-batching,
 //! shard pool of plan replicas) against a sequential one-at-a-time baseline
 //! on the same plan.
@@ -16,6 +19,7 @@
 use std::time::{Duration, Instant};
 
 use da_arith::MultiplierKind;
+use da_bench::json::{JsonEmitter, Record};
 use da_nn::engine::InferencePlan;
 use da_nn::serve::{BatchServer, Pending, ServeConfig};
 use da_nn::zoo::{alexnet_cifar, lenet5};
@@ -51,6 +55,8 @@ fn human(rate: f64) -> String {
 }
 
 fn main() {
+    let smoke = std::env::var_os("DA_BENCH_SMOKE").is_some();
+    let mut emitter = JsonEmitter::from_env("engine_throughput");
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
 
     println!("Serving-engine throughput (compiled plans: pre-decomposed weights, fused");
@@ -67,15 +73,28 @@ fn main() {
     ];
 
     for (name, mut net, item_shape) in models {
+        if smoke && name != "lenet5" {
+            continue;
+        }
         for kind in [MultiplierKind::Exact, MultiplierKind::AxFpm, MultiplierKind::Bfloat16] {
+            if smoke && kind != MultiplierKind::AxFpm {
+                continue;
+            }
             let mult = kind.build();
             net.set_multiplier(Some(mult.clone()));
             let plan = InferencePlan::compile(&net, Some(mult)).expect("zoo models compile");
-            for batch in [1usize, 8] {
+            let batches: &[usize] = if smoke { &[1] } else { &[1, 8] };
+            for &batch in batches {
                 let mut shape = vec![batch];
                 shape.extend_from_slice(&item_shape);
                 let x = Tensor::rand_uniform(&shape, 0.0, 1.0, &mut rng);
-                let reps = if batch == 1 { 5 } else { 3 };
+                let reps = if smoke {
+                    1
+                } else if batch == 1 {
+                    5
+                } else {
+                    3
+                };
                 let unplanned = items_per_sec(batch, reps, || net.forward(&x, Mode::Eval).0);
                 let planned = items_per_sec(batch, reps, || plan.predict_batch(&x));
                 println!(
@@ -87,12 +106,26 @@ fn main() {
                     human(planned),
                     planned / unplanned
                 );
+                emitter.record(
+                    Record::new()
+                        .label("model", name)
+                        .label("multiplier", kind.as_str())
+                        .label("batch", batch.to_string())
+                        .metric("unplanned_items_per_sec", unplanned)
+                        .metric("planned_items_per_sec", planned)
+                        .metric("speedup", planned / unplanned),
+                );
             }
         }
         println!();
     }
 
-    concurrent_load(&mut rng);
+    if !smoke {
+        concurrent_load(&mut rng, &mut emitter);
+    }
+    if let Some(path) = emitter.finish() {
+        println!("wrote {}", path.display());
+    }
 }
 
 /// Wall-clock seconds for one run of `f`, best of `reps` (after a warmup).
@@ -110,7 +143,7 @@ fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
 /// Concurrent-load scenario: N submitter threads of single samples through
 /// the micro-batching server vs the same samples served one at a time on
 /// one plan (the pre-serve deployment: sequential single-item requests).
-fn concurrent_load(rng: &mut rand::rngs::StdRng) {
+fn concurrent_load(rng: &mut rand::rngs::StdRng, emitter: &mut JsonEmitter) {
     let items = SUBMITTERS * PER_SUBMITTER;
     println!("Cross-request micro-batching ({SUBMITTERS} submitter threads x {PER_SUBMITTER} single-sample");
     println!("requests vs the same {items} requests served sequentially; bit-identical logits)");
@@ -182,6 +215,15 @@ fn concurrent_load(rng: &mut rand::rngs::StdRng) {
                 human(items as f64 / served),
                 seq / served,
                 stats.mean_batch()
+            );
+            emitter.record(
+                Record::new()
+                    .label("model", name)
+                    .label("multiplier", kind.as_str())
+                    .label("scenario", "concurrent_load")
+                    .metric("sequential_items_per_sec", items as f64 / seq)
+                    .metric("batch_served_items_per_sec", items as f64 / served)
+                    .metric("mean_batch", stats.mean_batch()),
             );
         }
         println!();

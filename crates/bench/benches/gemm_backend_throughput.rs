@@ -6,10 +6,16 @@
 //! compare the printed table. Sizes follow the issue spec: 64×64×64 and
 //! 256×256×256. The scalar baseline for HEAP at 256³ simulates ~16.8M
 //! gate-level multiplies and is skipped unless `DA_BENCH_FULL=1`.
+//!
+//! `DA_BENCH_JSON=<path>` additionally writes the table as a
+//! machine-readable document (see [`da_bench::json`]); `DA_BENCH_SMOKE=1`
+//! restricts the run to 64³ with one timed rep (CI's emit-and-schema-check
+//! smoke job).
 
 use std::time::Instant;
 
 use da_arith::MultiplierKind;
+use da_bench::json::{JsonEmitter, Record};
 use da_nn::layers::{gemm_with, matmul_with_scalar};
 use da_tensor::Tensor;
 use rand::SeedableRng;
@@ -40,6 +46,8 @@ fn human(rate: f64) -> String {
 
 fn main() {
     let full = std::env::var_os("DA_BENCH_FULL").is_some();
+    let smoke = std::env::var_os("DA_BENCH_SMOKE").is_some();
+    let mut emitter = JsonEmitter::from_env("gemm_backend_throughput");
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
 
     println!("GEMM backend throughput (batched slice kernels + memoized significand LUTs");
@@ -50,9 +58,17 @@ fn main() {
         "size", "multiplier", "scalar-dyn", "batched", "speedup"
     );
 
-    for &(m, k, n) in &[(64usize, 64usize, 64usize), (256, 256, 256)] {
+    let sizes: &[(usize, usize, usize)] =
+        if smoke { &[(64, 64, 64)] } else { &[(64, 64, 64), (256, 256, 256)] };
+    for &(m, k, n) in sizes {
         let macs = m * k * n;
-        let reps = if macs <= 1 << 19 { 5 } else { 3 };
+        let reps = if smoke {
+            1
+        } else if macs <= 1 << 19 {
+            5
+        } else {
+            3
+        };
         let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
         let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
 
@@ -75,15 +91,37 @@ fn main() {
                 None
             };
             print_row(&format!("{m}x{k}x{n}"), kind.as_str(), scalar, batched);
+            emit_row(&mut emitter, &format!("{m}x{k}x{n}"), kind.as_str(), scalar, batched);
 
             if kind == MultiplierKind::Heap && scalar_feasible {
                 let batched_q = macs_per_sec(macs, reps, || gemm_with(&*mult, &aq, &bq));
                 let scalar_q = macs_per_sec(macs, reps, || matmul_with_scalar(&*mult, &aq, &bq));
                 print_row(&format!("{m}x{k}x{n}"), "heap-q8", Some(scalar_q), batched_q);
+                emit_row(
+                    &mut emitter,
+                    &format!("{m}x{k}x{n}"),
+                    "heap-q8",
+                    Some(scalar_q),
+                    batched_q,
+                );
             }
         }
         println!();
     }
+    if let Some(path) = emitter.finish() {
+        println!("wrote {}", path.display());
+    }
+}
+
+fn emit_row(emitter: &mut JsonEmitter, size: &str, kind: &str, scalar: Option<f64>, batched: f64) {
+    let mut r = Record::new()
+        .label("size", size)
+        .label("multiplier", kind)
+        .metric("batched_macs_per_sec", batched);
+    if let Some(s) = scalar {
+        r = r.metric("scalar_macs_per_sec", s).metric("speedup", batched / s);
+    }
+    emitter.record(r);
 }
 
 fn print_row(size: &str, kind: &str, scalar: Option<f64>, batched: f64) {

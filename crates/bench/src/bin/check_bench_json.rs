@@ -1,0 +1,31 @@
+//! Schema-check `DA_BENCH_JSON` artifacts (CI smoke step).
+//!
+//! Usage: `check_bench_json <file.json>...` — exits non-zero with a
+//! diagnostic if any file fails `da_bench::json::validate`, prints the
+//! record count per file otherwise.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: check_bench_json <file.json>...");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for arg in &args {
+        match da_bench::json::validate_file(Path::new(arg)) {
+            Ok(n) => println!("{arg}: ok ({n} records)"),
+            Err(e) => {
+                eprintln!("{arg}: INVALID: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

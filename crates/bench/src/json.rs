@@ -1,0 +1,428 @@
+//! Machine-readable bench output: an env-gated JSON emitter and its schema
+//! validator.
+//!
+//! The perf benches print human tables; CI and trend tooling need numbers a
+//! machine can diff. When `DA_BENCH_JSON=<path>` is set, a bench builds a
+//! [`JsonEmitter`], records one [`JsonEmitter::record`] per table row, and
+//! writes a single JSON document on [`JsonEmitter::finish`] (e.g.
+//! `BENCH_gemm.json` from `gemm_backend_throughput`, `BENCH_engine.json`
+//! from `engine_throughput`). Without the variable the emitter is inert, so
+//! interactive `cargo bench` runs stay unchanged.
+//!
+//! The document shape (`schema` 1):
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "bench": "gemm_backend_throughput",
+//!   "records": [
+//!     {"labels": {"size": "256x256x256", "multiplier": "ax-fpm"},
+//!      "metrics": {"batched_macs_per_sec": 2.0e9, "speedup": 9.7}}
+//!   ]
+//! }
+//! ```
+//!
+//! `labels` are strings (row identity), `metrics` are finite `f64`s.
+//! [`validate`] checks exactly this shape and is run by CI's smoke job
+//! (`check_bench_json` binary) against a freshly emitted file, so the
+//! emitter and the schema cannot drift apart. The writer emits a strict
+//! subset of JSON (only `\"`, `\\`, and `\uXXXX` control escapes; no
+//! non-finite numbers), and the validator is a parser for exactly that
+//! subset — both sides are
+//! dependency-free because the build environment has no registry access.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The environment variable that enables JSON emission and names the output
+/// file. Prefer an absolute path: cargo runs bench binaries with the
+/// *package* directory (`crates/bench`) as their working directory, so a
+/// relative path does not resolve against the workspace root.
+pub const ENV_VAR: &str = "DA_BENCH_JSON";
+
+/// The schema version written and accepted.
+pub const SCHEMA: u32 = 1;
+
+/// One bench table row: string labels (identity) plus float metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Record {
+    labels: BTreeMap<String, String>,
+    metrics: BTreeMap<String, f64>,
+}
+
+impl Record {
+    /// Start an empty record.
+    pub fn new() -> Record {
+        Record::default()
+    }
+
+    /// Attach a string label (row identity: size, model, multiplier, ...).
+    pub fn label(mut self, key: &str, value: impl Into<String>) -> Record {
+        self.labels.insert(key.to_string(), value.into());
+        self
+    }
+
+    /// Attach a numeric metric. Non-finite values are a caller bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN or infinite (the schema forbids them).
+    pub fn metric(mut self, key: &str, value: f64) -> Record {
+        assert!(value.is_finite(), "metric {key} must be finite, got {value}");
+        self.metrics.insert(key.to_string(), value);
+        self
+    }
+}
+
+/// Env-gated emitter: buffers [`Record`]s and writes the document on
+/// [`finish`](JsonEmitter::finish).
+#[derive(Debug)]
+pub struct JsonEmitter {
+    bench: String,
+    out: Option<PathBuf>,
+    records: Vec<Record>,
+}
+
+impl JsonEmitter {
+    /// An emitter for `bench`, active iff [`ENV_VAR`] is set.
+    pub fn from_env(bench: &str) -> JsonEmitter {
+        JsonEmitter {
+            bench: bench.to_string(),
+            out: std::env::var_os(ENV_VAR).map(PathBuf::from),
+            records: Vec::new(),
+        }
+    }
+
+    /// An emitter writing to an explicit path (tests).
+    pub fn to_path(bench: &str, path: impl Into<PathBuf>) -> JsonEmitter {
+        JsonEmitter { bench: bench.to_string(), out: Some(path.into()), records: Vec::new() }
+    }
+
+    /// Whether emission is enabled.
+    pub fn enabled(&self) -> bool {
+        self.out.is_some()
+    }
+
+    /// Buffer one record (no-op when disabled).
+    pub fn record(&mut self, record: Record) {
+        if self.enabled() {
+            self.records.push(record);
+        }
+    }
+
+    /// Serialize and write the document; returns the path written, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written (a bench invoked explicitly with
+    /// `DA_BENCH_JSON` pointing at an unwritable path should fail loudly,
+    /// not silently drop the artifact).
+    pub fn finish(self) -> Option<PathBuf> {
+        let path = self.out?;
+        let doc = render(&self.bench, &self.records);
+        debug_assert!(validate(&doc).is_ok(), "emitter wrote an invalid document");
+        let mut f = std::fs::File::create(&path)
+            .unwrap_or_else(|e| panic!("create {}: {e}", path.display()));
+        f.write_all(doc.as_bytes()).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        Some(path)
+    }
+}
+
+/// Serialize the document (strict subset of JSON; see module docs).
+fn render(bench: &str, records: &[Record]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("{{\n  \"schema\": {SCHEMA},\n  \"bench\": \"{}\",\n", escape(bench)));
+    s.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        s.push_str("    {\"labels\": {");
+        for (j, (k, v)) in r.labels.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\": \"{}\"", escape(k), escape(v)));
+        }
+        s.push_str("}, \"metrics\": {");
+        for (j, (k, v)) in r.metrics.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            // `{v:?}` prints f64 with enough digits to round-trip.
+            s.push_str(&format!("\"{}\": {v:?}", escape(k)));
+        }
+        s.push_str(if i + 1 == records.len() { "}}\n" } else { "}},\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Validate a document against the emitter's schema (see module docs).
+/// Returns the number of records, or a description of the first violation.
+pub fn validate(doc: &str) -> Result<usize, String> {
+    let mut p = Parser { s: doc.as_bytes(), i: 0 };
+    let n = p.document()?;
+    p.ws();
+    if p.i != p.s.len() {
+        return Err(format!("trailing bytes at offset {}", p.i));
+    }
+    Ok(n)
+}
+
+/// Validate a file on disk.
+///
+/// # Errors
+///
+/// Returns a description of the I/O failure or the first schema violation.
+pub fn validate_file(path: &Path) -> Result<usize, String> {
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    validate(&doc)
+}
+
+/// Recursive-descent parser for exactly the emitted subset.
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, tok: &str) -> Result<(), String> {
+        self.ws();
+        if self.s[self.i..].starts_with(tok.as_bytes()) {
+            self.i += tok.len();
+            Ok(())
+        } else {
+            Err(format!("expected {tok:?} at offset {}", self.i))
+        }
+    }
+
+    fn peek(&mut self, tok: &str) -> bool {
+        self.ws();
+        self.s[self.i..].starts_with(tok.as_bytes())
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect("\"")?;
+        let mut out = String::new();
+        loop {
+            match self.s.get(self.i) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    let esc = self.s.get(self.i + 1);
+                    match esc {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'u') => {
+                            let hex = self
+                                .s
+                                .get(self.i + 2..self.i + 6)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32);
+                            match hex {
+                                Some(c) => out.push(c),
+                                None => return Err(format!("bad \\u escape at offset {}", self.i)),
+                            }
+                            self.i += 4;
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.i)),
+                    }
+                    self.i += 2;
+                }
+                Some(&c) if c < 0x20 => {
+                    return Err(format!("raw control byte in string at offset {}", self.i));
+                }
+                Some(&c) => {
+                    out.push(c as char);
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.ws();
+        let start = self.i;
+        while self
+            .s
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.s[start..self.i]).expect("ascii number");
+        let v: f64 = text.parse().map_err(|e| format!("bad number {text:?} at {start}: {e}"))?;
+        if !v.is_finite() {
+            return Err(format!("non-finite metric {text:?}"));
+        }
+        Ok(v)
+    }
+
+    /// `{ "schema": N, "bench": "...", "records": [...] }`
+    fn document(&mut self) -> Result<usize, String> {
+        self.expect("{")?;
+        self.expect("\"schema\"")?;
+        self.expect(":")?;
+        let schema = self.number()?;
+        if schema != f64::from(SCHEMA) {
+            return Err(format!("unsupported schema {schema}"));
+        }
+        self.expect(",")?;
+        self.expect("\"bench\"")?;
+        self.expect(":")?;
+        let bench = self.string()?;
+        if bench.is_empty() {
+            return Err("empty bench name".into());
+        }
+        self.expect(",")?;
+        self.expect("\"records\"")?;
+        self.expect(":")?;
+        self.expect("[")?;
+        let mut n = 0;
+        if !self.peek("]") {
+            loop {
+                self.record()?;
+                n += 1;
+                if self.peek(",") {
+                    self.expect(",")?;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect("]")?;
+        self.expect("}")?;
+        Ok(n)
+    }
+
+    /// `{ "labels": {"k": "v", ...}, "metrics": {"k": 1.0, ...} }`
+    fn record(&mut self) -> Result<(), String> {
+        self.expect("{")?;
+        self.expect("\"labels\"")?;
+        self.expect(":")?;
+        self.expect("{")?;
+        if !self.peek("}") {
+            loop {
+                self.string()?;
+                self.expect(":")?;
+                self.string()?;
+                if self.peek(",") {
+                    self.expect(",")?;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect("}")?;
+        self.expect(",")?;
+        self.expect("\"metrics\"")?;
+        self.expect(":")?;
+        self.expect("{")?;
+        if !self.peek("}") {
+            loop {
+                self.string()?;
+                self.expect(":")?;
+                self.number()?;
+                if self.peek(",") {
+                    self.expect(",")?;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect("}")?;
+        self.expect("}")?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_validate() {
+        let records = vec![
+            Record::new()
+                .label("size", "256x256x256")
+                .label("multiplier", "ax-fpm")
+                .metric("batched_macs_per_sec", 2.05e9)
+                .metric("speedup", 9.7),
+            Record::new().label("size", "64x64x64").metric("batched_macs_per_sec", 1.0),
+        ];
+        let doc = render("gemm_backend_throughput", &records);
+        assert_eq!(validate(&doc), Ok(2));
+    }
+
+    #[test]
+    fn empty_records_validate() {
+        assert_eq!(validate(&render("engine_throughput", &[])), Ok(0));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate("").is_err());
+        assert!(validate("{}").is_err());
+        assert!(validate("{\"schema\": 2, \"bench\": \"x\", \"records\": []}").is_err());
+        assert!(validate("{\"schema\": 1, \"bench\": \"\", \"records\": []}").is_err());
+        let doc = render("x", &[Record::new().metric("m", 1.0)]);
+        assert!(validate(&doc[..doc.len() - 3]).is_err(), "truncation must fail");
+        assert!(validate(&doc.replace("1.0", "NaN")).is_err(), "non-finite must fail");
+        let raw_ctl = "{\"schema\": 1, \"bench\": \"a\tb\", \"records\": []}";
+        assert!(validate(raw_ctl).is_err(), "raw control bytes must fail");
+    }
+
+    #[test]
+    fn control_characters_round_trip_escaped() {
+        let doc = render("bench\nname", &[Record::new().label("k", "a\tb").metric("m", 1.0)]);
+        assert!(doc.contains("\\u000a") && doc.contains("\\u0009"), "escaped: {doc}");
+        assert_eq!(validate(&doc), Ok(1));
+    }
+
+    #[test]
+    fn emitter_is_inert_without_path() {
+        let mut e = JsonEmitter { bench: "x".into(), out: None, records: Vec::new() };
+        e.record(Record::new().metric("m", 1.0));
+        assert!(!e.enabled());
+        assert_eq!(e.finish(), None);
+    }
+
+    #[test]
+    fn emitter_writes_validatable_file() {
+        let path = std::env::temp_dir().join(format!("da_bench_json_{}.json", std::process::id()));
+        let mut e = JsonEmitter::to_path("gemm_backend_throughput", &path);
+        assert!(e.enabled());
+        e.record(Record::new().label("size", "64x64x64").metric("macs_per_sec", 5.4e8));
+        let written = e.finish().expect("path configured");
+        assert_eq!(validate_file(&written), Ok(1));
+        std::fs::remove_file(&written).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn non_finite_metrics_are_rejected_at_record_time() {
+        let _ = Record::new().metric("m", f64::NAN);
+    }
+}

@@ -4,6 +4,14 @@
 //! Each bench first *prints* the regenerated table/series (so `cargo bench`
 //! output doubles as the reproduction record captured in EXPERIMENTS.md),
 //! then times the experiment's core kernel with Criterion.
+//!
+//! The perf baselines (`gemm_backend_throughput`, `engine_throughput`)
+//! additionally honor `DA_BENCH_JSON=<path>`: when set, the printed table is
+//! also written as a machine-readable, schema-checked JSON artifact — see
+//! [`json`] for the document shape, the `check_bench_json` binary for CI
+//! validation, and `DA_BENCH_SMOKE=1` for the reduced smoke configuration.
+
+pub mod json;
 
 use da_core::{Budget, ModelCache};
 

@@ -63,7 +63,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use da_arith::{BatchKernel, Multiplier, PreparedOperands};
+use da_arith::{BatchKernel, Multiplier, PreparedOperands, RowClass};
 use da_tensor::ops::ConvGeometry;
 use da_tensor::parallel::par_map_chunks_with;
 use da_tensor::Tensor;
@@ -74,8 +74,10 @@ use crate::Network;
 
 /// Output pixels per fused convolution tile: the gather buffer holds
 /// `Cin·Kh·Kw × CONV_TILE` patch values, matching the batched GEMM's column
-/// tile so axpy slices stay L1-resident.
-const CONV_TILE: usize = 256;
+/// tile so axpy slices stay L1-resident. A whole multiple of the arithmetic
+/// backend's SIMD block width, so every full tile feeds the lane kernels
+/// complete vectors (only a conv's final ragged tile runs scalar tails).
+const CONV_TILE: usize = 32 * da_arith::simd::LANES;
 
 /// Below this many MACs per batch, `predict_batch` runs items sequentially
 /// (thread spawn costs more than the arithmetic saves — same threshold
@@ -174,6 +176,11 @@ enum Step {
     Dense {
         /// Pre-transposed weights `[In, Out]`, row-major.
         wt: Vec<f32>,
+        /// Per-`wt`-row [`RowClass`], classified once at compile time so the
+        /// kernel's class-matched lane sweeps skip the per-call row scan
+        /// (dense weights are the kernel's right-hand rows — the activation
+        /// is the shared operand, pinned by the reference operand order).
+        wt_class: Vec<RowClass>,
         bias: Vec<f32>,
         in_features: usize,
         out_features: usize,
@@ -342,8 +349,21 @@ impl InferencePlan {
                         return None;
                     }
                     let (out_features, in_features) = (weight.shape()[0], weight.shape()[1]);
+                    let wt = transpose2d(&weight).into_vec();
+                    // Classify through the serving kernel so each kernel's
+                    // sweeps get exactly the class granularity they expect
+                    // (kernel-less plans run the raw native loop and never
+                    // read the classes).
+                    let wt_class = match &multiplier {
+                        Some(m) if out_features > 0 => {
+                            let classifier = m.batch_kernel();
+                            wt.chunks(out_features).map(|r| classifier.classify_rhs(r)).collect()
+                        }
+                        _ => vec![RowClass::Normal; in_features],
+                    };
                     steps.push(Step::Dense {
-                        wt: transpose2d(&weight).into_vec(),
+                        wt,
+                        wt_class,
                         bias: bias.into_vec(),
                         in_features,
                         out_features,
@@ -617,6 +637,19 @@ fn exec_step<'k>(
             let k = cin * kh * kw;
             let p_total = oh * ow;
             let mut kernel = kernel;
+            // One covering row class for every patch tile of this step,
+            // derived from the input plane (patch rows only ever contain
+            // plane values plus padding zeros): removes all per-tile
+            // classification scans from the serving hot path. The scan
+            // granularity is the kernel's own (`classify_rhs`).
+            let plane_class = kernel.as_ref().map(|kern| {
+                let plane = kern.classify_rhs(src);
+                if *pad > 0 && plane == RowClass::Normal {
+                    RowClass::Zeros
+                } else {
+                    plane
+                }
+            });
             for p0 in (0..p_total).step_by(CONV_TILE) {
                 let tile = CONV_TILE.min(p_total - p0);
                 gather_patches(src, *cin, h, w, *kh, *kw, *stride, *pad, ow, p0, tile, gather);
@@ -631,7 +664,9 @@ fn exec_step<'k>(
                         // the shared patch tile in one fused kernel call —
                         // per element `k` ascending, the batched GEMM's
                         // accumulation order.
-                        kern.gemm_tile(prep, &gather[..k * tile], tile, &mut dst[p0..], p_total);
+                        let class = plane_class.expect("kernel implies class");
+                        let gb = &gather[..k * tile];
+                        kern.gemm_tile_classed(prep, gb, tile, class, &mut dst[p0..], p_total);
                     }
                     (None, ConvWeights::Raw(wmat)) => {
                         // Exact path: mirror `da_tensor::ops::matmul`,
@@ -665,16 +700,19 @@ fn exec_step<'k>(
                 }
             }
         }
-        Step::Dense { wt, bias, in_features, out_features, fuse_relu } => {
+        Step::Dense { wt, wt_class, bias, in_features, out_features, fuse_relu } => {
             let outf = *out_features;
             dst.fill(0.0);
             match kernel {
                 Some(kern) => {
                     // The batched GEMM's loop with the activation as the
                     // shared operand (operand order must match
-                    // `multiply(x, wᵀ)` — see `gemm_with`).
+                    // `multiply(x, wᵀ)` — see `gemm_with`). Weight rows were
+                    // classified at compile time, so the kernel goes
+                    // straight to the class-matched lane sweep.
                     for ki in 0..*in_features {
-                        kern.axpy(src[ki], &wt[ki * outf..(ki + 1) * outf], dst);
+                        let row = &wt[ki * outf..(ki + 1) * outf];
+                        kern.axpy_classified(src[ki], row, wt_class[ki], dst);
                     }
                 }
                 None => {

@@ -90,17 +90,37 @@ pub fn gemm_with<M: Multiplier + ?Sized>(multiplier: &M, a: &Tensor, b: &Tensor)
     let bd = b.data();
     let chunk = TILE_ROWS * n;
 
+    // Classify every B tile once per GEMM (one linear pass over B): each
+    // row block then hands the kernel a precomputed `RowClass` instead of
+    // re-scanning the shared tile per sweep. Classification goes through
+    // the kernel (`classify_rhs`), which knows the cheapest scan its sweeps
+    // can accept; classes are position-pure, so this cannot change results
+    // — only skip redundant scans.
+    let classifier = multiplier.batch_kernel();
+    let tiles = n.div_ceil(TILE_COLS);
+    let mut classes = Vec::with_capacity(k * tiles);
+    for kk in 0..k {
+        for jb in (0..n).step_by(TILE_COLS) {
+            let je = (jb + TILE_COLS).min(n);
+            classes.push(classifier.classify_rhs(&bd[kk * n + jb..kk * n + je]));
+        }
+    }
+    drop(classifier);
+    let classes = &classes[..];
+
     if m > 1 && m * k * n >= PAR_MIN_MACS {
         par_map_chunks_with(
             &mut out,
             chunk,
             || multiplier.batch_kernel(),
-            |kernel, idx, opiece| gemm_rows(&mut **kernel, ad, bd, k, n, idx * TILE_ROWS, opiece),
+            |kernel, idx, opiece| {
+                gemm_rows(&mut **kernel, ad, bd, classes, k, n, idx * TILE_ROWS, opiece)
+            },
         );
     } else {
         let mut kernel = multiplier.batch_kernel();
         for (idx, opiece) in out.chunks_mut(chunk).enumerate() {
-            gemm_rows(&mut *kernel, ad, bd, k, n, idx * TILE_ROWS, opiece);
+            gemm_rows(&mut *kernel, ad, bd, classes, k, n, idx * TILE_ROWS, opiece);
         }
     }
     Tensor::from_vec(out, &[m, n])
@@ -111,26 +131,31 @@ pub fn gemm_with<M: Multiplier + ?Sized>(multiplier: &M, a: &Tensor, b: &Tensor)
 const TILE_ROWS: usize = 4;
 
 /// One row block of the blocked GEMM: for each column tile, sweep `k` and
-/// feed every resident output row through the kernel's `axpy` while the B
-/// tile is hot. Per output element the `k` order is ascending — the
-/// bit-exactness invariant.
+/// feed every resident output row through the kernel's
+/// [`da_arith::BatchKernel::axpy_classified`] with the tile's precomputed
+/// [`da_arith::RowClass`], so closed-form kernels go straight to the
+/// class-matched lane sweep while the B tile is hot. Per output element the
+/// `k` order is ascending — the bit-exactness invariant.
 fn gemm_rows<'k>(
     kernel: &mut (dyn da_arith::BatchKernel + 'k),
     ad: &[f32],
     bd: &[f32],
+    classes: &[da_arith::RowClass],
     k: usize,
     n: usize,
     row0: usize,
     opiece: &mut [f32],
 ) {
     let rows = opiece.len() / n;
-    for jb in (0..n).step_by(TILE_COLS) {
+    let tiles = n.div_ceil(TILE_COLS);
+    for (jb_idx, jb) in (0..n).step_by(TILE_COLS).enumerate() {
         let je = (jb + TILE_COLS).min(n);
         for kk in 0..k {
             let btile = &bd[kk * n + jb..kk * n + je];
+            let class = classes[kk * tiles + jb_idx];
             for r in 0..rows {
                 let av = ad[(row0 + r) * k + kk];
-                kernel.axpy(av, btile, &mut opiece[r * n + jb..r * n + je]);
+                kernel.axpy_classified(av, btile, class, &mut opiece[r * n + jb..r * n + je]);
             }
         }
     }
@@ -162,7 +187,7 @@ pub fn matmul_with_scalar(multiplier: &dyn Multiplier, a: &Tensor, b: &Tensor) -
         for (kk, &av) in arow.iter().enumerate() {
             let brow = &bd[kk * n..(kk + 1) * n];
             for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += multiplier.multiply(av, bv);
+                *o = da_arith::simd::nan_stable_add(*o, multiplier.multiply(av, bv));
             }
         }
     }
