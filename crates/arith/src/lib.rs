@@ -47,6 +47,13 @@
 //!   target; hand-written AVX2 with runtime dispatch behind the
 //!   `simd-intrinsics` cargo feature). Inf/NaN rows stay on the shared
 //!   scalar slow path, so special-value semantics cannot diverge.
+//! * When operands are **8-bit codes**, the [`quantized`] module collapses
+//!   any multiplier's hot path — gate-level cores included — into a
+//!   precomputed 256×256 [`ProductLut`] gather: every entry is the scalar
+//!   multiplier's own product over the decoded code pair, and
+//!   [`quantized::lut_gemm`] accumulates them with exact `f32` adds
+//!   (runtime-dispatched AVX-512/AVX2 hardware gathers, scalar fallback).
+//!   This is what int8 serving plans in `da_nn::engine` run on.
 //!
 //! Every batched path is **bit-identical** to the scalar loop it replaces
 //! (enforced by property tests here and in `da_nn`); approximation stays a
@@ -75,6 +82,7 @@ pub mod fpm;
 pub mod heap;
 pub mod metrics;
 pub mod profile;
+pub mod quantized;
 pub mod rotating;
 pub mod simd;
 
@@ -84,4 +92,5 @@ pub use adders::AdderKind;
 pub use array::{ArrayMultiplier, ArrayMultiplierSpec, CellAssignment, CpaKind, PortMap};
 pub use batch::{BatchKernel, PreparedOperand, PreparedOperands, SigProductCache};
 pub use multiplier::{ExactMultiplier, Multiplier, MultiplierKind};
+pub use quantized::{ProductLut, QuantParams};
 pub use simd::{classify_row, RowClass, LANES};

@@ -1,6 +1,8 @@
 //! Serving-engine throughput: compiled [`InferencePlan`]s vs the per-layer
-//! `Network::forward(Mode::Eval)` path, in items/s — plus a concurrent-load
-//! scenario for the cross-request batch server.
+//! `Network::forward(Mode::Eval)` path, in items/s — plus the **int8
+//! plan** (`InferencePlan::compile_quantized`, LUT-gather GEMMs) against
+//! the planned f32 path, and a concurrent-load scenario for the
+//! cross-request batch server.
 //!
 //! This is the perf baseline for the serving layer (ROADMAP: SIMD slice
 //! kernels and int8 GEMM plug in next): run
@@ -63,8 +65,8 @@ fn main() {
     println!("conv tiles, workspace reuse — vs the per-layer eval forward; higher is better)");
     println!();
     println!(
-        "{:<10} {:<12} {:>6} {:>16} {:>16} {:>9}",
-        "model", "multiplier", "batch", "unplanned", "planned", "speedup"
+        "{:<10} {:<12} {:>6} {:>14} {:>14} {:>8} {:>14} {:>8}",
+        "model", "multiplier", "batch", "unplanned", "planned", "speedup", "int8-plan", "q-speedup"
     );
 
     let models: [(&str, Network, Vec<usize>); 2] = [
@@ -76,19 +78,43 @@ fn main() {
         if smoke && name != "lenet5" {
             continue;
         }
-        for kind in [MultiplierKind::Exact, MultiplierKind::AxFpm, MultiplierKind::Bfloat16] {
+        // HEAP is the quantized path's headline: the gate-level f32 plan
+        // simulates an array multiplier per MAC (memoized at best), while
+        // the int8 plan gathers from a table built from those same gates —
+        // identical hardware model, serving at closed-form speeds. Batch 1
+        // only: the f32 side needs ~0.2 s per item.
+        let kinds: &[MultiplierKind] = if name == "lenet5" {
+            &[
+                MultiplierKind::Exact,
+                MultiplierKind::AxFpm,
+                MultiplierKind::Bfloat16,
+                MultiplierKind::Heap,
+            ]
+        } else {
+            &[MultiplierKind::Exact, MultiplierKind::AxFpm, MultiplierKind::Bfloat16]
+        };
+        for &kind in kinds {
             if smoke && kind != MultiplierKind::AxFpm {
                 continue;
             }
             let mult = kind.build();
             net.set_multiplier(Some(mult.clone()));
             let plan = InferencePlan::compile(&net, Some(mult)).expect("zoo models compile");
-            let batches: &[usize] = if smoke { &[1] } else { &[1, 8] };
+            // Int8 plan for the same deployment: calibrated on a small
+            // random batch from the serving distribution.
+            let mut calib_shape = vec![8];
+            calib_shape.extend_from_slice(&item_shape);
+            let calibration = Tensor::rand_uniform(&calib_shape, 0.0, 1.0, &mut rng);
+            let qplan =
+                InferencePlan::compile_quantized(&net, net.multiplier().cloned(), &calibration)
+                    .expect("zoo models quantize");
+            let batches: &[usize] =
+                if smoke || kind == MultiplierKind::Heap { &[1] } else { &[1, 8] };
             for &batch in batches {
                 let mut shape = vec![batch];
                 shape.extend_from_slice(&item_shape);
                 let x = Tensor::rand_uniform(&shape, 0.0, 1.0, &mut rng);
-                let reps = if smoke {
+                let reps = if smoke || kind == MultiplierKind::Heap {
                     1
                 } else if batch == 1 {
                     5
@@ -97,14 +123,17 @@ fn main() {
                 };
                 let unplanned = items_per_sec(batch, reps, || net.forward(&x, Mode::Eval).0);
                 let planned = items_per_sec(batch, reps, || plan.predict_batch(&x));
+                let quantized = items_per_sec(batch, reps, || qplan.predict_batch(&x));
                 println!(
-                    "{:<10} {:<12} {:>6} {:>16} {:>16} {:>8.2}x",
+                    "{:<10} {:<12} {:>6} {:>14} {:>14} {:>7.2}x {:>14} {:>7.2}x",
                     name,
                     kind.as_str(),
                     batch,
                     human(unplanned),
                     human(planned),
-                    planned / unplanned
+                    planned / unplanned,
+                    human(quantized),
+                    quantized / planned
                 );
                 emitter.record(
                     Record::new()
@@ -113,7 +142,9 @@ fn main() {
                         .label("batch", batch.to_string())
                         .metric("unplanned_items_per_sec", unplanned)
                         .metric("planned_items_per_sec", planned)
-                        .metric("speedup", planned / unplanned),
+                        .metric("speedup", planned / unplanned)
+                        .metric("quantized_items_per_sec", quantized)
+                        .metric("quantized_speedup_vs_planned", quantized / planned),
                 );
             }
         }

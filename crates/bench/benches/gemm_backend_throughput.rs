@@ -1,5 +1,11 @@
 //! GEMM backend throughput: the seed's per-scalar dyn-dispatch path vs the
-//! batched slice-kernel + memoized-LUT backend, in MACs/s.
+//! batched slice-kernel + memoized-LUT backend, in MACs/s — plus the
+//! **int8 LUT-gather GEMM** (`da_arith::quantized::lut_gemm`) per
+//! multiplier kind. Int8 rows (`<kind>-int8`) compare against that kind's
+//! *batched f32* rate (first numeric column), not the scalar baseline: the
+//! product table absorbs the whole hardware model, so the gather runs at
+//! one speed for every kind — a modest win over the closed-form lane
+//! kernels and orders of magnitude over gate-level HEAP.
 //!
 //! This is the perf baseline for future scaling PRs (SIMD, quantized int
 //! paths, sharding): run `cargo bench --bench gemm_backend_throughput` and
@@ -14,6 +20,7 @@
 
 use std::time::Instant;
 
+use da_arith::quantized::{lut_gemm, ProductLut, QuantParams};
 use da_arith::MultiplierKind;
 use da_bench::json::{JsonEmitter, Record};
 use da_nn::layers::{gemm_with, matmul_with_scalar};
@@ -79,6 +86,17 @@ fn main() {
         let quantize = |t: &Tensor| t.map(|v| (v * 127.0).round() / 127.0);
         let (aq, bq) = (quantize(&a), quantize(&b));
 
+        // Int8 LUT-gather GEMM: code matrices for the same shape, quantized
+        // over the operand ranges (the per-kind product table is built from
+        // the actual multiplier, so this is the quantized serving path's
+        // inner loop).
+        let aq_params = QuantParams::from_range(-1.0, 1.0);
+        let bq_params = QuantParams::from_range(-1.0, 1.0);
+        let mut qa_codes = vec![0u8; m * k];
+        aq_params.quantize_slice(a.data(), &mut qa_codes);
+        let mut qb_codes = vec![0u8; k * n];
+        bq_params.quantize_slice(b.data(), &mut qb_codes);
+
         for kind in MultiplierKind::ALL {
             let mult = kind.build();
             // Gate-level HEAP at 256³ needs minutes per scalar run.
@@ -105,6 +123,35 @@ fn main() {
                     batched_q,
                 );
             }
+
+            // The int8 LUT-gather row: one table build per kind, then a
+            // pure gather GEMM — the same speed for every multiplier (the
+            // hardware model lives entirely in the table).
+            let lut = ProductLut::build(&*mult, aq_params, bq_params);
+            let mut acc = vec![0.0f32; m * n];
+            let lut_rate = macs_per_sec(macs, reps, || {
+                acc.fill(0.0);
+                lut_gemm(&lut, &qa_codes, m, k, &qb_codes, n, &mut acc, n);
+                std::hint::black_box(acc[0]);
+                Tensor::zeros(&[1])
+            });
+            println!(
+                "{:<12} {:<14} {:>16} {:>16} {:>8.1}x",
+                format!("{m}x{k}x{n}"),
+                format!("{}-int8", kind.as_str()),
+                human(batched),
+                human(lut_rate),
+                lut_rate / batched
+            );
+            emitter.record(
+                Record::new()
+                    .label("size", format!("{m}x{k}x{n}"))
+                    .label("multiplier", kind.as_str())
+                    .label("path", "int8-lut")
+                    .metric("lut_macs_per_sec", lut_rate)
+                    .metric("batched_f32_macs_per_sec", batched)
+                    .metric("speedup_vs_batched_f32", lut_rate / batched),
+            );
         }
         println!();
     }

@@ -1,20 +1,48 @@
-//! Schema-check `DA_BENCH_JSON` artifacts (CI smoke step).
+//! Schema-check and diff `DA_BENCH_JSON` artifacts.
 //!
-//! Usage: `check_bench_json <file.json>...` — exits non-zero with a
-//! diagnostic if any file fails `da_bench::json::validate`, prints the
-//! record count per file otherwise.
+//! Validate (CI smoke step):
+//!
+//! ```sh
+//! check_bench_json <file.json>...
+//! ```
+//!
+//! exits non-zero with a diagnostic if any file fails
+//! `da_bench::json::validate`, prints the record count per file otherwise.
+//!
+//! Compare (the way to report numbers in PR descriptions):
+//!
+//! ```sh
+//! check_bench_json compare <old.json> <new.json> [--threshold PCT]
+//! ```
+//!
+//! matches records by their full label set, prints the per-row delta of
+//! every shared metric, and flags **regressions**: throughput metrics
+//! (`*_per_sec` and `speedup*` ratios) that dropped by more than the threshold
+//! (default 10%). Exits non-zero if any row regressed, so the diff doubles
+//! as a gate. Rows present in only one artifact are listed but never fail
+//! the comparison (benches grow tables over time).
 
 use std::path::Path;
 use std::process::ExitCode;
 
+use da_bench::json::{parse_file, BenchDoc, Record};
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        eprintln!("usage: check_bench_json <file.json>...");
-        return ExitCode::FAILURE;
+    match args.first().map(String::as_str) {
+        None => {
+            eprintln!("usage: check_bench_json <file.json>...");
+            eprintln!("       check_bench_json compare <old.json> <new.json> [--threshold PCT]");
+            ExitCode::FAILURE
+        }
+        Some("compare") => compare_command(&args[1..]),
+        _ => validate_command(&args),
     }
+}
+
+fn validate_command(files: &[String]) -> ExitCode {
     let mut ok = true;
-    for arg in &args {
+    for arg in files {
         match da_bench::json::validate_file(Path::new(arg)) {
             Ok(n) => println!("{arg}: ok ({n} records)"),
             Err(e) => {
@@ -28,4 +56,104 @@ fn main() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+fn compare_command(args: &[String]) -> ExitCode {
+    let mut files: Vec<&String> = Vec::new();
+    let mut threshold = 10.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--threshold" {
+            match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 => threshold = v,
+                _ => {
+                    eprintln!("--threshold needs a non-negative percentage");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            files.push(arg);
+        }
+    }
+    let [old_path, new_path] = files[..] else {
+        eprintln!("usage: check_bench_json compare <old.json> <new.json> [--threshold PCT]");
+        return ExitCode::FAILURE;
+    };
+    let (old_doc, new_doc) =
+        match (parse_file(Path::new(old_path)), parse_file(Path::new(new_path))) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(e), _) => {
+                eprintln!("{old_path}: INVALID: {e}");
+                return ExitCode::FAILURE;
+            }
+            (_, Err(e)) => {
+                eprintln!("{new_path}: INVALID: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    if old_doc.bench != new_doc.bench {
+        eprintln!("warning: comparing different benches ({} vs {})", old_doc.bench, new_doc.bench);
+    }
+    match compare(&old_doc, &new_doc, threshold) {
+        0 => ExitCode::SUCCESS,
+        n => {
+            eprintln!("{n} metric(s) regressed beyond {threshold}%");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// A stable, human-readable row identity from a record's labels.
+fn row_key(r: &Record) -> String {
+    r.labels().iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(" ")
+}
+
+/// Whether a metric is a higher-is-better throughput figure (rates and
+/// speedup ratios, whatever their suffix).
+fn is_throughput(name: &str) -> bool {
+    name.ends_with("_per_sec") || name.contains("speedup")
+}
+
+/// Print the per-row metric deltas; returns the number of flagged
+/// regressions.
+fn compare(old_doc: &BenchDoc, new_doc: &BenchDoc, threshold: f64) -> usize {
+    println!(
+        "comparing {} -> {} (regression threshold {threshold}%)",
+        old_doc.bench, new_doc.bench
+    );
+    let mut regressions = 0usize;
+    let mut matched_old = vec![false; old_doc.records.len()];
+    for new in &new_doc.records {
+        let key = row_key(new);
+        let old = old_doc.records.iter().position(|r| r.labels() == new.labels());
+        let Some(oi) = old else {
+            println!("  [new row]   {key}");
+            continue;
+        };
+        matched_old[oi] = true;
+        let old = &old_doc.records[oi];
+        for (name, &new_v) in new.metrics() {
+            let Some(&old_v) = old.metrics().get(name) else {
+                println!("  [new metric] {key} :: {name} = {new_v:.4}");
+                continue;
+            };
+            if old_v == 0.0 {
+                continue;
+            }
+            let delta = (new_v - old_v) / old_v * 100.0;
+            let flag = if is_throughput(name) && delta < -threshold {
+                regressions += 1;
+                "  REGRESSION"
+            } else {
+                ""
+            };
+            println!("  {key} :: {name}: {old_v:.4} -> {new_v:.4} ({delta:+.1}%){flag}");
+        }
+    }
+    for (oi, seen) in matched_old.iter().enumerate() {
+        if !seen {
+            println!("  [removed row] {}", row_key(&old_doc.records[oi]));
+        }
+    }
+    regressions
 }

@@ -25,7 +25,11 @@
 //! `labels` are strings (row identity), `metrics` are finite `f64`s.
 //! [`validate`] checks exactly this shape and is run by CI's smoke job
 //! (`check_bench_json` binary) against a freshly emitted file, so the
-//! emitter and the schema cannot drift apart. The writer emits a strict
+//! emitter and the schema cannot drift apart. [`parse`] returns the
+//! [`Record`]s themselves; `check_bench_json compare <old> <new>` diffs two
+//! artifacts row by row (matched on their full label set) and flags
+//! throughput regressions — the intended way to produce before/after
+//! numbers for PR descriptions. The writer emits a strict
 //! subset of JSON (only `\"`, `\\`, and `\uXXXX` control escapes; no
 //! non-finite numbers), and the validator is a parser for exactly that
 //! subset — both sides are
@@ -73,6 +77,25 @@ impl Record {
         self.metrics.insert(key.to_string(), value);
         self
     }
+
+    /// The record's identity labels.
+    pub fn labels(&self) -> &BTreeMap<String, String> {
+        &self.labels
+    }
+
+    /// The record's metrics.
+    pub fn metrics(&self) -> &BTreeMap<String, f64> {
+        &self.metrics
+    }
+}
+
+/// A parsed bench document (see [`parse`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDoc {
+    /// The emitting bench's name.
+    pub bench: String,
+    /// The table rows.
+    pub records: Vec<Record>,
 }
 
 /// Env-gated emitter: buffers [`Record`]s and writes the document on
@@ -172,13 +195,23 @@ fn escape(s: &str) -> String {
 /// Validate a document against the emitter's schema (see module docs).
 /// Returns the number of records, or a description of the first violation.
 pub fn validate(doc: &str) -> Result<usize, String> {
+    parse(doc).map(|d| d.records.len())
+}
+
+/// Parse a document into its [`Record`]s, validating the schema along the
+/// way (the `compare` mode of `check_bench_json` diffs two parses).
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation.
+pub fn parse(doc: &str) -> Result<BenchDoc, String> {
     let mut p = Parser { s: doc.as_bytes(), i: 0 };
-    let n = p.document()?;
+    let parsed = p.document()?;
     p.ws();
     if p.i != p.s.len() {
         return Err(format!("trailing bytes at offset {}", p.i));
     }
-    Ok(n)
+    Ok(parsed)
 }
 
 /// Validate a file on disk.
@@ -187,8 +220,17 @@ pub fn validate(doc: &str) -> Result<usize, String> {
 ///
 /// Returns a description of the I/O failure or the first schema violation.
 pub fn validate_file(path: &Path) -> Result<usize, String> {
+    parse_file(path).map(|d| d.records.len())
+}
+
+/// Parse a file on disk.
+///
+/// # Errors
+///
+/// Returns a description of the I/O failure or the first schema violation.
+pub fn parse_file(path: &Path) -> Result<BenchDoc, String> {
     let doc = std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
-    validate(&doc)
+    parse(&doc)
 }
 
 /// Recursive-descent parser for exactly the emitted subset.
@@ -281,7 +323,7 @@ impl Parser<'_> {
     }
 
     /// `{ "schema": N, "bench": "...", "records": [...] }`
-    fn document(&mut self) -> Result<usize, String> {
+    fn document(&mut self) -> Result<BenchDoc, String> {
         self.expect("{")?;
         self.expect("\"schema\"")?;
         self.expect(":")?;
@@ -300,11 +342,10 @@ impl Parser<'_> {
         self.expect("\"records\"")?;
         self.expect(":")?;
         self.expect("[")?;
-        let mut n = 0;
+        let mut records = Vec::new();
         if !self.peek("]") {
             loop {
-                self.record()?;
-                n += 1;
+                records.push(self.record()?);
                 if self.peek(",") {
                     self.expect(",")?;
                 } else {
@@ -314,20 +355,22 @@ impl Parser<'_> {
         }
         self.expect("]")?;
         self.expect("}")?;
-        Ok(n)
+        Ok(BenchDoc { bench, records })
     }
 
     /// `{ "labels": {"k": "v", ...}, "metrics": {"k": 1.0, ...} }`
-    fn record(&mut self) -> Result<(), String> {
+    fn record(&mut self) -> Result<Record, String> {
+        let mut out = Record::new();
         self.expect("{")?;
         self.expect("\"labels\"")?;
         self.expect(":")?;
         self.expect("{")?;
         if !self.peek("}") {
             loop {
-                self.string()?;
+                let key = self.string()?;
                 self.expect(":")?;
-                self.string()?;
+                let value = self.string()?;
+                out.labels.insert(key, value);
                 if self.peek(",") {
                     self.expect(",")?;
                 } else {
@@ -342,9 +385,10 @@ impl Parser<'_> {
         self.expect("{")?;
         if !self.peek("}") {
             loop {
-                self.string()?;
+                let key = self.string()?;
                 self.expect(":")?;
-                self.number()?;
+                let value = self.number()?;
+                out.metrics.insert(key, value);
                 if self.peek(",") {
                     self.expect(",")?;
                 } else {
@@ -354,7 +398,7 @@ impl Parser<'_> {
         }
         self.expect("}")?;
         self.expect("}")?;
-        Ok(())
+        Ok(out)
     }
 }
 
@@ -379,6 +423,19 @@ mod tests {
     #[test]
     fn empty_records_validate() {
         assert_eq!(validate(&render("engine_throughput", &[])), Ok(0));
+    }
+
+    #[test]
+    fn parse_round_trips_records() {
+        let records = vec![
+            Record::new().label("size", "64x64x64").metric("macs", 1.5).metric("speedup", 2.0),
+            Record::new().label("a", "x\"y").metric("m", -3.25e-2),
+        ];
+        let doc = parse(&render("gemm_backend_throughput", &records)).expect("parses");
+        assert_eq!(doc.bench, "gemm_backend_throughput");
+        assert_eq!(doc.records, records);
+        assert_eq!(doc.records[0].labels()["size"], "64x64x64");
+        assert_eq!(doc.records[0].metrics()["speedup"], 2.0);
     }
 
     #[test]

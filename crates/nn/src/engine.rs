@@ -38,6 +38,30 @@
 //! `probabilities`, `accuracy`, and the attack harness's `predict_batch`
 //! all ride the compiled path transparently.
 //!
+//! # Choosing plan precision
+//!
+//! Plans compile in one of two numeric modes ([`PlanPrecision`]):
+//!
+//! * **F32** ([`InferencePlan::compile`], the default everywhere): serves
+//!   over the batched f32 kernels, **bit-identical** to
+//!   `forward(Mode::Eval)`. Choose it whenever exact parity with the
+//!   training-time datapath matters (experiments, attacks, conformance).
+//! * **Int8** ([`InferencePlan::compile_quantized`]): quantizes weights per
+//!   tensor and activations per layer boundary (calibrated on a sample
+//!   batch you supply), then runs every conv/dense GEMM as a
+//!   [`da_arith::quantized::ProductLut`] gather — the table holds the
+//!   *actual* multiplier's product for every code pair, so the plan stays
+//!   faithful to the approximate hardware while skipping all per-element
+//!   decompose/classify/clamp work. Logits differ from the f32 plan by
+//!   quantization error only (accuracy bounded in-test on LeNet); the plan
+//!   itself is deterministic and schedule-independent, so
+//!   [`crate::serve::BatchServer`] serves it under the same batching
+//!   contract. Choose it for throughput: ~2.3–2.7× the planned-f32 Ax-FPM
+//!   serving rate on the reference container (batch 1 vs batched serving;
+//!   capped by gather-instruction throughput), and three orders of
+//!   magnitude for gate-level HEAP, whose LUT gathers run exactly as fast
+//!   as everyone else's.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -63,7 +87,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use da_arith::{BatchKernel, Multiplier, PreparedOperands, RowClass};
+use da_arith::quantized::{lut_gemm, requantize_bias_act, ProductLut, QuantParams};
+use da_arith::{BatchKernel, ExactMultiplier, Multiplier, PreparedOperands, RowClass};
 use da_tensor::ops::ConvGeometry;
 use da_tensor::parallel::par_map_chunks_with;
 use da_tensor::Tensor;
@@ -78,6 +103,25 @@ use crate::Network;
 /// backend's SIMD block width, so every full tile feeds the lane kernels
 /// complete vectors (only a conv's final ragged tile runs scalar tails).
 const CONV_TILE: usize = 32 * da_arith::simd::LANES;
+
+/// Column cap per fused convolution tile on the quantized path. A whole
+/// multiple of the widest gather lane count (16). Wider tiles amortize the
+/// product table's cache-line fills across more gathers per row visit —
+/// small output planes pack several items into one tile to reach the cap,
+/// and large planes split into balanced multiples-of-16 tiles under it.
+const QCONV_TILE: usize = 512;
+
+/// Balanced per-item tile width for a `p_total`-pixel output plane: split
+/// into equal tiles under [`QCONV_TILE`], rounded up to a multiple of 16 so
+/// full tiles feed whole gather lanes (the final tile absorbs the ragged
+/// remainder).
+fn qconv_tile_width(p_total: usize) -> usize {
+    if p_total <= QCONV_TILE {
+        return p_total;
+    }
+    let tiles = p_total.div_ceil(QCONV_TILE);
+    p_total.div_ceil(tiles).div_ceil(16) * 16
+}
 
 /// Below this many MACs per batch, `predict_batch` runs items sequentially
 /// (thread spawn costs more than the arithmetic saves — same threshold
@@ -203,6 +247,80 @@ enum Step {
     QuantAct {
         bits: u32,
     },
+    // ----- int8 steps (present only in `PlanPrecision::Int8` plans) -----
+    /// Quantize the `f32` input item into activation codes (always the
+    /// first step of a quantized plan).
+    QuantizeInput {
+        params: QuantParams,
+    },
+    /// Fused quantized conv: LUT-gather GEMM over weight/patch codes with
+    /// `f32` accumulation, then bias (+ ReLU) and the output stage.
+    QConv {
+        /// Weight codes, `[Cout, Cin·Kh·Kw]` row-major (the LUT's `a` side).
+        qweight: Vec<u8>,
+        /// Product table over (weight, activation) codes.
+        lut: ProductLut,
+        bias: Vec<f32>,
+        cout: usize,
+        cin: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad: usize,
+        fuse_relu: bool,
+        out: QOut,
+    },
+    /// Fused quantized dense layer: the `rows == 1` LUT GEMM with the
+    /// activation codes as the shared (`a`) operand — mirroring the f32
+    /// reference, whose dense GEMM also makes the activation the left
+    /// operand (approximate multipliers need not be commutative).
+    QDense {
+        /// Pre-transposed weight codes, `[In, Out]` row-major (the `b` side).
+        qwt: Vec<u8>,
+        /// Product table over (activation, weight) codes.
+        lut: ProductLut,
+        bias: Vec<f32>,
+        in_features: usize,
+        out_features: usize,
+        fuse_relu: bool,
+        out: QOut,
+    },
+    /// Max pooling directly on codes (dequantization is strictly
+    /// increasing, so the max code is the code of the max value).
+    QMaxPool {
+        window: usize,
+        stride: usize,
+    },
+    /// Standalone ReLU on codes: `max(code, zero_point)` (the zero point
+    /// dequantizes to exactly 0.0).
+    QRelu {
+        zero_point: u8,
+    },
+    /// Decode codes back to `f32` (appended when a quantized plan does not
+    /// end in a conv/dense step, which produce `f32` logits directly).
+    QDequantize {
+        params: QuantParams,
+    },
+}
+
+/// Where a quantized conv/dense step sends its epilogue output.
+#[derive(Clone, Copy)]
+enum QOut {
+    /// Requantize into activation codes for the next quantized step.
+    Codes(QuantParams),
+    /// Leave `f32` (the plan's final logits).
+    Float,
+}
+
+/// Numeric mode a plan was compiled in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanPrecision {
+    /// Full-precision serving over the batched f32 kernels
+    /// ([`InferencePlan::compile`]).
+    F32,
+    /// Int8 serving over LUT-gather kernels
+    /// ([`InferencePlan::compile_quantized`]).
+    Int8,
 }
 
 /// Per-step shapes resolved for one input item shape.
@@ -222,6 +340,19 @@ struct Layout {
     buf_len: usize,
     /// Max conv patch-gather buffer length.
     gather_len: usize,
+    /// Max intermediate code length **per item** (the `u8` ping-pong
+    /// buffers of a quantized plan scale with the worker's item group;
+    /// zero for f32 plans).
+    qbuf_len: usize,
+    /// Max `u8` patch-gather buffer length (quantized convs; group
+    /// independent — conv tiles are capped at [`QCONV_TILE`] columns).
+    qgather_len: usize,
+    /// Max `f32` accumulator-tile length for quantized convs (group
+    /// independent, same cap).
+    facc_len: usize,
+    /// Max quantized-dense width per item (the dense accumulator holds the
+    /// whole item group: `group × dense_out_max`).
+    dense_out_max: usize,
     /// Multiply-accumulates per item (parallelization heuristic).
     item_macs: usize,
 }
@@ -233,18 +364,36 @@ struct Workspace {
     a: Vec<f32>,
     b: Vec<f32>,
     gather: Vec<f32>,
+    /// `u8` ping-pong code buffers and patch gather (quantized plans only).
+    qa: Vec<u8>,
+    qb: Vec<u8>,
+    qgather: Vec<u8>,
+    /// `f32` accumulator tile for the LUT GEMMs (quantized plans only).
+    facc: Vec<f32>,
 }
 
 impl Workspace {
-    /// Grow buffers to the layout's requirements, counting growths.
-    fn ensure(&mut self, layout: &Layout, counter: &AtomicU64) {
+    /// Grow buffers to the layout's requirements for a worker serving item
+    /// groups of up to `group` items, counting growths.
+    fn ensure(&mut self, layout: &Layout, group: usize, counter: &AtomicU64) {
         for (buf, want) in [
             (&mut self.a, layout.buf_len),
             (&mut self.b, layout.buf_len),
             (&mut self.gather, layout.gather_len),
+            (&mut self.facc, layout.facc_len.max(group * layout.dense_out_max)),
         ] {
             if buf.len() < want {
                 buf.resize(want, 0.0);
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        for (buf, want) in [
+            (&mut self.qa, group * layout.qbuf_len),
+            (&mut self.qb, group * layout.qbuf_len),
+            (&mut self.qgather, layout.qgather_len),
+        ] {
+            if buf.len() < want {
+                buf.resize(want, 0);
                 counter.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -281,6 +430,7 @@ pub struct InferencePlan {
     /// Index of the last step that writes output (`None` if every step is a
     /// shape-only no-op).
     last_write: Option<usize>,
+    precision: PlanPrecision,
     layout: Mutex<Option<Arc<Layout>>>,
     pool: Mutex<Vec<Workspace>>,
     workspace_allocs: AtomicU64,
@@ -386,10 +536,183 @@ impl InferencePlan {
             multiplier,
             steps,
             last_write,
+            precision: PlanPrecision::F32,
             layout: Mutex::new(None),
             pool: Mutex::new(Vec::new()),
             workspace_allocs: AtomicU64::new(0),
         })
+    }
+
+    /// Compile `network` into an **int8 serving plan**: weights are
+    /// quantized per tensor, activation ranges are calibrated by running
+    /// `calibration` (a representative `[N, ...]` sample batch) through the
+    /// f32 plan, and every conv/dense GEMM becomes a
+    /// [`da_arith::quantized::lut_gemm`] gather over a per-layer
+    /// [`ProductLut`] built from the *actual* multiplier — gate-level kinds
+    /// included, so the table is exact w.r.t. the hardware model it
+    /// replaces. Plans without a multiplier quantize against native `f32`
+    /// products.
+    ///
+    /// The quantized plan intentionally does **not** reproduce the f32
+    /// plan's logits bit for bit — int8 codes cannot — but it is itself
+    /// fully deterministic, bit-identical to the scalar quantized reference
+    /// GEMM (`lut_gemm_reference`), and identical across serving schedules,
+    /// so the batch-server conformance contract carries over unchanged.
+    /// Accuracy stays within a whisker of the f32 plan (bounded in-test on
+    /// LeNet/MNIST).
+    ///
+    /// Returns `None` when [`InferencePlan::compile`] would (uncompilable
+    /// layer, multiplier mismatch), or when the stack contains layers with
+    /// no quantized form (batch norm, DoReFa activation quantizers) —
+    /// callers fall back to f32 serving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calibration` is not a non-empty batch of the shape the
+    /// network serves.
+    pub fn compile_quantized(
+        network: &Network,
+        multiplier: Option<Arc<dyn Multiplier>>,
+        calibration: &Tensor,
+    ) -> Option<InferencePlan> {
+        let f32_plan = InferencePlan::compile(network, multiplier.clone())?;
+        // Every step must have a quantized form before paying for the
+        // calibration pass and the LUT builds.
+        if f32_plan
+            .steps
+            .iter()
+            .any(|s| matches!(s, Step::BatchNorm { .. } | Step::QuantAct { .. }))
+        {
+            return None;
+        }
+        let (input_range, step_ranges) = f32_plan.observe_ranges(calibration);
+        let lut_mult: Arc<dyn Multiplier> =
+            multiplier.clone().unwrap_or_else(|| Arc::new(ExactMultiplier));
+
+        let mut act = QuantParams::from_range(input_range.0, input_range.1);
+        let mut steps = vec![Step::QuantizeInput { params: act }];
+        for (t, step) in f32_plan.steps.iter().enumerate() {
+            match step {
+                Step::Conv { weights, bias, cout, cin, kh, kw, stride, pad, fuse_relu } => {
+                    let wmat: Vec<f32> = match weights {
+                        ConvWeights::Raw(w) => w.clone(),
+                        ConvWeights::Prepared(p) => (0..p.rows())
+                            .flat_map(|r| p.row(r).iter().map(|op| op.value()))
+                            .collect(),
+                    };
+                    let (wlo, whi) = QuantParams::observe(&wmat);
+                    let wq = QuantParams::from_range(wlo, whi);
+                    let qweight: Vec<u8> = wmat.iter().map(|&v| wq.quantize(v)).collect();
+                    let (olo, ohi) = step_ranges[t];
+                    let out_params = QuantParams::from_range(olo, ohi);
+                    steps.push(Step::QConv {
+                        qweight,
+                        lut: ProductLut::build(&*lut_mult, wq, act),
+                        bias: bias.clone(),
+                        cout: *cout,
+                        cin: *cin,
+                        kh: *kh,
+                        kw: *kw,
+                        stride: *stride,
+                        pad: *pad,
+                        fuse_relu: *fuse_relu,
+                        out: QOut::Codes(out_params),
+                    });
+                    act = out_params;
+                }
+                Step::Dense { wt, bias, in_features, out_features, fuse_relu, .. } => {
+                    let (wlo, whi) = QuantParams::observe(wt);
+                    let wq = QuantParams::from_range(wlo, whi);
+                    let qwt: Vec<u8> = wt.iter().map(|&v| wq.quantize(v)).collect();
+                    let (olo, ohi) = step_ranges[t];
+                    let out_params = QuantParams::from_range(olo, ohi);
+                    steps.push(Step::QDense {
+                        qwt,
+                        lut: ProductLut::build(&*lut_mult, act, wq),
+                        bias: bias.clone(),
+                        in_features: *in_features,
+                        out_features: *out_features,
+                        fuse_relu: *fuse_relu,
+                        out: QOut::Codes(out_params),
+                    });
+                    act = out_params;
+                }
+                Step::MaxPool { window, stride } => {
+                    steps.push(Step::QMaxPool { window: *window, stride: *stride });
+                }
+                Step::Relu => steps.push(Step::QRelu { zero_point: act.zero_point() }),
+                Step::Flatten => steps.push(Step::Flatten),
+                Step::BatchNorm { .. } | Step::QuantAct { .. } => return None,
+                _ => unreachable!("f32 plans contain only f32 steps"),
+            }
+        }
+        // The plan's logits are f32: a final conv/dense step emits them
+        // directly from its accumulator; anything else gets an explicit
+        // decode step.
+        match steps.iter_mut().rev().find(|s| !matches!(s, Step::Flatten)) {
+            Some(Step::QConv { out, .. }) | Some(Step::QDense { out, .. }) => *out = QOut::Float,
+            _ => steps.push(Step::QDequantize { params: act }),
+        }
+        let last_write = steps.iter().rposition(|s| !matches!(s, Step::Flatten));
+        Some(InferencePlan {
+            multiplier,
+            steps,
+            last_write,
+            precision: PlanPrecision::Int8,
+            layout: Mutex::new(None),
+            pool: Mutex::new(Vec::new()),
+            workspace_allocs: AtomicU64::new(0),
+        })
+    }
+
+    /// Run `x` through the f32 steps once, recording the `(min, max)` of the
+    /// network input and of every step's output over the whole batch — the
+    /// calibration pass behind [`InferencePlan::compile_quantized`].
+    fn observe_ranges(&self, x: &Tensor) -> ((f32, f32), Vec<(f32, f32)>) {
+        assert!(x.shape().len() >= 2, "calibration expects a batched [N, ...] input");
+        let n = x.shape()[0];
+        assert!(n > 0, "calibration batch must be non-empty");
+        let layout = self.layout_for(&x.shape()[1..]);
+        let item_in: usize = layout.item_shape.iter().product();
+        let xd = x.data();
+        let input_range = QuantParams::observe(xd);
+
+        let mut ranges = vec![(f32::INFINITY, f32::NEG_INFINITY); self.steps.len()];
+        let mut state = self.worker_state(&layout, 1);
+        let mut cur: Vec<f32> = Vec::new();
+        let mut next: Vec<f32> = Vec::new();
+        for i in 0..n {
+            cur.clear();
+            cur.extend_from_slice(&xd[i * item_in..(i + 1) * item_in]);
+            for (t, step) in self.steps.iter().enumerate() {
+                if matches!(step, Step::Flatten) {
+                    ranges[t] = ranges[t.saturating_sub(1)];
+                    continue;
+                }
+                let shapes = &layout.resolved[t];
+                let out_len: usize = shapes.out_shape.iter().product();
+                next.clear();
+                next.resize(out_len, 0.0);
+                exec_step(
+                    step,
+                    shapes,
+                    &cur,
+                    &mut next,
+                    &mut state.ws.gather,
+                    state.kernel.as_deref_mut(),
+                );
+                let (lo, hi) = QuantParams::observe(&next);
+                ranges[t].0 = ranges[t].0.min(lo);
+                ranges[t].1 = ranges[t].1.max(hi);
+                std::mem::swap(&mut cur, &mut next);
+            }
+        }
+        (input_range, ranges)
+    }
+
+    /// The numeric mode this plan serves in.
+    pub fn precision(&self) -> PlanPrecision {
+        self.precision
     }
 
     /// The multiplier the plan was compiled against.
@@ -428,15 +751,44 @@ impl InferencePlan {
         let mut out = vec![0.0f32; n * out_len];
         let xd = x.data();
 
-        let run = |state: &mut WorkerState<'_>, i: usize, piece: &mut [f32]| {
-            self.run_item(&layout, state, &xd[i * item_in..(i + 1) * item_in], piece);
-        };
-        if n > 1 && n * layout.item_macs >= PAR_MIN_MACS {
-            par_map_chunks_with(&mut out, out_len, || self.worker_state(&layout), run);
+        let parallel = n > 1 && n * layout.item_macs >= PAR_MIN_MACS;
+        if self.precision == PlanPrecision::Int8 {
+            // Layer-major batched execution: each worker takes a contiguous
+            // *group* of items and runs every step for the whole group —
+            // product tables stay hot across items and small conv planes
+            // share wide tiles. Per-element accumulation order is
+            // group-independent, so results stay bit-identical to
+            // single-item runs (conformance-tested).
+            let threads = if parallel {
+                std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1)
+            } else {
+                1
+            };
+            // `max(1)` is defensive: `Tensor` rejects zero dimensions, so
+            // `n == 0` cannot reach here today, but a zero chunk size
+            // would panic in the parallel splitter if it ever did.
+            let group = n.div_ceil(threads).max(1);
+            par_map_chunks_with(
+                &mut out,
+                group * out_len,
+                || self.worker_state(&layout, group),
+                |state, gi, piece| {
+                    let items = piece.len() / out_len;
+                    let xs = &xd[gi * group * item_in..][..items * item_in];
+                    self.run_batch_q(&layout, state, xs, items, piece);
+                },
+            );
         } else {
-            let mut state = self.worker_state(&layout);
-            for (i, piece) in out.chunks_mut(out_len).enumerate() {
-                run(&mut state, i, piece);
+            let run = |state: &mut WorkerState<'_>, i: usize, piece: &mut [f32]| {
+                self.run_item(&layout, state, &xd[i * item_in..(i + 1) * item_in], piece);
+            };
+            if parallel {
+                par_map_chunks_with(&mut out, out_len, || self.worker_state(&layout, 1), run);
+            } else {
+                let mut state = self.worker_state(&layout, 1);
+                for (i, piece) in out.chunks_mut(out_len).enumerate() {
+                    run(&mut state, i, piece);
+                }
             }
         }
 
@@ -453,16 +805,18 @@ impl InferencePlan {
         logits.data().chunks(k).map(crate::loss::argmax_logits).collect()
     }
 
-    /// Check out a workspace (reusing pooled buffers) and build the
-    /// per-worker kernel.
-    fn worker_state(&self, layout: &Layout) -> WorkerState<'_> {
+    /// Check out a workspace sized for `group`-item batches (reusing pooled
+    /// buffers) and build the per-worker kernel (quantized plans gather
+    /// from their LUTs instead of running batch kernels, so they skip the
+    /// kernel).
+    fn worker_state(&self, layout: &Layout, group: usize) -> WorkerState<'_> {
         let mut ws = self.pool.lock().expect("workspace pool lock").pop().unwrap_or_default();
-        ws.ensure(layout, &self.workspace_allocs);
-        WorkerState {
-            pool: &self.pool,
-            ws,
-            kernel: self.multiplier.as_ref().map(|m| m.batch_kernel()),
-        }
+        ws.ensure(layout, group, &self.workspace_allocs);
+        let kernel = match self.precision {
+            PlanPrecision::F32 => self.multiplier.as_ref().map(|m| m.batch_kernel()),
+            PlanPrecision::Int8 => None,
+        };
+        WorkerState { pool: &self.pool, ws, kernel }
     }
 
     /// The cached layout for `item_shape`, computing it on first use (or
@@ -488,11 +842,16 @@ impl InferencePlan {
         let mut resolved = Vec::with_capacity(self.steps.len());
         let mut buf_len = 0usize;
         let mut gather_len = 0usize;
+        let mut qbuf_len = 0usize;
+        let mut qgather_len = 0usize;
+        let mut facc_len = 0usize;
+        let mut dense_out_max = 0usize;
         let mut item_macs = 0usize;
         for step in &self.steps {
             let in_shape = shape.clone();
             let out_shape = match step {
-                Step::Conv { cout, cin, kh, kw, stride, pad, .. } => {
+                Step::Conv { cout, cin, kh, kw, stride, pad, .. }
+                | Step::QConv { cout, cin, kh, kw, stride, pad, .. } => {
                     assert_eq!(in_shape.len(), 3, "Conv2d expects [N, C, H, W]");
                     assert_eq!(in_shape[0], *cin, "input channel mismatch");
                     let geom = ConvGeometry {
@@ -503,17 +862,35 @@ impl InferencePlan {
                     };
                     let (oh, ow) = geom.output();
                     let k = cin * kh * kw;
-                    gather_len = gather_len.max(k * CONV_TILE.min(oh * ow));
+                    if matches!(step, Step::QConv { .. }) {
+                        // Small planes share one tile across an item group;
+                        // large planes split into balanced tiles. Either
+                        // way columns stay under the QCONV_TILE cap.
+                        let p_total = oh * ow;
+                        let tile_cap = if p_total >= QCONV_TILE {
+                            qconv_tile_width(p_total)
+                        } else {
+                            (QCONV_TILE / p_total) * p_total
+                        };
+                        qgather_len = qgather_len.max(k * tile_cap);
+                        facc_len = facc_len.max(cout * tile_cap);
+                    } else {
+                        gather_len = gather_len.max(k * CONV_TILE.min(oh * ow));
+                    }
                     item_macs += cout * k * oh * ow;
                     vec![*cout, oh, ow]
                 }
-                Step::Dense { in_features, out_features, .. } => {
+                Step::Dense { in_features, out_features, .. }
+                | Step::QDense { in_features, out_features, .. } => {
                     assert_eq!(in_shape.len(), 1, "Dense expects [N, In]");
                     assert_eq!(in_shape[0], *in_features, "feature mismatch");
+                    if matches!(step, Step::QDense { .. }) {
+                        dense_out_max = dense_out_max.max(*out_features);
+                    }
                     item_macs += in_features * out_features;
                     vec![*out_features]
                 }
-                Step::MaxPool { window, stride } => {
+                Step::MaxPool { window, stride } | Step::QMaxPool { window, stride } => {
                     assert_eq!(in_shape.len(), 3, "MaxPool2d expects [N, C, H, W]");
                     let geom = ConvGeometry {
                         input: (in_shape[1], in_shape[2]),
@@ -525,7 +902,11 @@ impl InferencePlan {
                     vec![in_shape[0], oh, ow]
                 }
                 Step::Flatten => vec![in_shape.iter().product()],
-                Step::Relu | Step::QuantAct { .. } => in_shape.clone(),
+                Step::Relu
+                | Step::QuantAct { .. }
+                | Step::QuantizeInput { .. }
+                | Step::QRelu { .. }
+                | Step::QDequantize { .. } => in_shape.clone(),
                 Step::BatchNorm { gamma, .. } => {
                     assert!(
                         in_shape.len() == 1 || in_shape.len() == 3,
@@ -536,7 +917,15 @@ impl InferencePlan {
                 }
             };
             if !matches!(step, Step::Flatten) {
-                buf_len = buf_len.max(out_shape.iter().product());
+                let out_len: usize = out_shape.iter().product();
+                if self.precision == PlanPrecision::Int8 {
+                    // Every quantized intermediate lives in the u8 ping-pong
+                    // buffers (the final f32 logits land in the caller's
+                    // output row directly).
+                    qbuf_len = qbuf_len.max(out_len);
+                } else {
+                    buf_len = buf_len.max(out_len);
+                }
             }
             shape = out_shape.clone();
             resolved.push(ResolvedShape { in_shape, out_shape });
@@ -548,6 +937,10 @@ impl InferencePlan {
             out_shape: shape,
             buf_len,
             gather_len,
+            qbuf_len,
+            qgather_len,
+            facc_len,
+            dense_out_max,
             item_macs,
         }
     }
@@ -561,13 +954,14 @@ impl InferencePlan {
         input: &[f32],
         out_row: &mut [f32],
     ) {
+        debug_assert_eq!(self.precision, PlanPrecision::F32, "int8 plans run run_batch_q");
         let Some(last_write) = self.last_write else {
             // Shape-only plan (or no layers at all): logits are the input.
             out_row.copy_from_slice(input);
             return;
         };
         let mut kernel = state.kernel.as_deref_mut();
-        let Workspace { a, b, gather } = &mut state.ws;
+        let Workspace { a, b, gather, .. } = &mut state.ws;
         let mut src_slot = SrcSlot::Input;
         for (t, step) in self.steps.iter().enumerate() {
             if matches!(step, Step::Flatten) {
@@ -594,6 +988,251 @@ impl InferencePlan {
             };
         }
     }
+
+    /// The int8 executor, **layer-major over an item group**: quantize the
+    /// group's inputs once, ping-pong activation *codes* through the `u8`
+    /// workspace buffers, and run every conv/dense as a LUT-gather GEMM
+    /// with fused bias/ReLU/requantize — all `n` items per step before the
+    /// next step, so each layer's product table is swept while hot, small
+    /// conv planes share one wide tile, and dense layers run as true
+    /// multi-row GEMMs. Per output element the accumulation order is the
+    /// same ascending-`k` sequence regardless of grouping, so logits are
+    /// bit-identical to a single-item run (the serving contract).
+    fn run_batch_q(
+        &self,
+        layout: &Layout,
+        state: &mut WorkerState<'_>,
+        xs: &[f32],
+        n: usize,
+        out: &mut [f32],
+    ) {
+        let last_write = self.last_write.expect("quantized plans always write");
+        let Workspace { qa, qb, qgather, facc, .. } = &mut state.ws;
+        // `true` while the current codes live in `qa` (QuantizeInput's
+        // destination), flipping after every writing step.
+        let mut src_is_a = true;
+        for (t, step) in self.steps.iter().enumerate() {
+            if matches!(step, Step::Flatten) {
+                continue;
+            }
+            let shapes = &layout.resolved[t];
+            let in_len: usize = shapes.in_shape.iter().product();
+            let out_len: usize = shapes.out_shape.iter().product();
+            let to_out = t == last_write;
+            if let Step::QuantizeInput { params } = step {
+                params.quantize_slice(&xs[..n * in_len], &mut qa[..n * out_len]);
+                src_is_a = true;
+                continue;
+            }
+            let (src, dst): (&[u8], &mut [u8]) = if src_is_a {
+                (&qa[..n * in_len], &mut qb[..])
+            } else {
+                (&qb[..n * in_len], &mut qa[..])
+            };
+            match step {
+                Step::QConv {
+                    qweight,
+                    lut,
+                    bias,
+                    cout,
+                    cin,
+                    kh,
+                    kw,
+                    stride,
+                    pad,
+                    fuse_relu,
+                    out: qout,
+                } => {
+                    let (h, w) = (shapes.in_shape[1], shapes.in_shape[2]);
+                    let (oh, ow) = (shapes.out_shape[1], shapes.out_shape[2]);
+                    let k = cin * kh * kw;
+                    let p_total = oh * ow;
+                    // Padded taps gather the activation zero point — the
+                    // code for exactly 0.0, matching the f32 path's zeros.
+                    let pad_code = lut.b_params().zero_point();
+                    // Small output planes pack several items into one tile
+                    // so the gather kernels amortize table traffic.
+                    let group = if p_total >= QCONV_TILE { 1 } else { QCONV_TILE / p_total };
+                    let tile_width = qconv_tile_width(p_total);
+                    let mut i0 = 0usize;
+                    while i0 < n {
+                        let g = group.min(n - i0);
+                        let tile_cols = g * p_total;
+                        for p0 in (0..p_total).step_by(tile_width) {
+                            let cols = tile_width.min(p_total - p0);
+                            let tile = if g == 1 { cols } else { tile_cols };
+                            for li in 0..g {
+                                gather_patches_u8(
+                                    &src[(i0 + li) * in_len..(i0 + li + 1) * in_len],
+                                    *cin,
+                                    h,
+                                    w,
+                                    *kh,
+                                    *kw,
+                                    *stride,
+                                    *pad,
+                                    ow,
+                                    p0,
+                                    cols,
+                                    tile,
+                                    li * p_total,
+                                    qgather,
+                                    pad_code,
+                                );
+                            }
+                            let acc = &mut facc[..cout * tile];
+                            acc.fill(0.0);
+                            lut_gemm(lut, qweight, *cout, k, &qgather[..k * tile], tile, acc, tile);
+                            match qout {
+                                QOut::Codes(params) => {
+                                    debug_assert!(!to_out, "code output cannot be the plan output");
+                                    for li in 0..g {
+                                        let dst_item = (i0 + li) * out_len;
+                                        for co in 0..*cout {
+                                            requantize_bias_act(
+                                                &acc[co * tile + li * p_total..][..cols],
+                                                bias[co],
+                                                *fuse_relu,
+                                                params,
+                                                &mut dst[dst_item + co * p_total + p0..][..cols],
+                                            );
+                                        }
+                                    }
+                                }
+                                QOut::Float => {
+                                    debug_assert!(to_out, "float output is the plan output");
+                                    for li in 0..g {
+                                        let out_item = (i0 + li) * out_len;
+                                        for co in 0..*cout {
+                                            let acc_row = &acc[co * tile + li * p_total..][..cols];
+                                            let orow =
+                                                &mut out[out_item + co * p_total + p0..][..cols];
+                                            for (o, &v) in orow.iter_mut().zip(acc_row) {
+                                                let v = v + bias[co];
+                                                *o = if *fuse_relu { v.max(0.0) } else { v };
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        i0 += g;
+                    }
+                }
+                Step::QDense {
+                    qwt,
+                    lut,
+                    bias,
+                    in_features,
+                    out_features,
+                    fuse_relu,
+                    out: qout,
+                } => {
+                    // Per-item single-row GEMMs: the single-row path skips
+                    // zero-point activation codes (ubiquitous after ReLU),
+                    // which beats a multi-row sweep — the weight-code
+                    // matrix stays hot across the item group either way.
+                    let outf = *out_features;
+                    let acc = &mut facc[..n * outf];
+                    acc.fill(0.0);
+                    for i in 0..n {
+                        lut_gemm(
+                            lut,
+                            &src[i * in_features..(i + 1) * in_features],
+                            1,
+                            *in_features,
+                            qwt,
+                            outf,
+                            &mut acc[i * outf..(i + 1) * outf],
+                            outf,
+                        );
+                    }
+                    match qout {
+                        QOut::Codes(params) => {
+                            debug_assert!(!to_out, "code output cannot be the plan output");
+                            for i in 0..n {
+                                for (j, &b) in bias.iter().enumerate() {
+                                    let v = acc[i * outf + j] + b;
+                                    let v = if *fuse_relu { v.max(0.0) } else { v };
+                                    dst[i * out_len + j] = params.quantize(v);
+                                }
+                            }
+                        }
+                        QOut::Float => {
+                            debug_assert!(to_out, "float output is the plan output");
+                            for i in 0..n {
+                                for (j, &b) in bias.iter().enumerate() {
+                                    let v = acc[i * outf + j] + b;
+                                    out[i * out_len + j] = if *fuse_relu { v.max(0.0) } else { v };
+                                }
+                            }
+                        }
+                    }
+                }
+                Step::QMaxPool { window, stride } => {
+                    let (c, h, w) = (shapes.in_shape[0], shapes.in_shape[1], shapes.in_shape[2]);
+                    let (oh, ow) = (shapes.out_shape[1], shapes.out_shape[2]);
+                    for item in 0..n {
+                        let src_item = &src[item * in_len..(item + 1) * in_len];
+                        let dst_item = &mut dst[item * out_len..(item + 1) * out_len];
+                        if *window == 2 && *stride == 2 {
+                            // The ubiquitous 2×2/2 case as slice max-pairs
+                            // (vectorizes to packed u8 max).
+                            for ci in 0..c {
+                                let plane = &src_item[ci * h * w..(ci + 1) * h * w];
+                                for oy in 0..oh {
+                                    let r0 = &plane[2 * oy * w..2 * oy * w + 2 * ow];
+                                    let r1 = &plane[(2 * oy + 1) * w..(2 * oy + 1) * w + 2 * ow];
+                                    let orow = &mut dst_item
+                                        [(ci * oh + oy) * ow..(ci * oh + oy) * ow + ow];
+                                    for ((o, p0), p1) in orow
+                                        .iter_mut()
+                                        .zip(r0.chunks_exact(2))
+                                        .zip(r1.chunks_exact(2))
+                                    {
+                                        *o = p0[0].max(p0[1]).max(p1[0]).max(p1[1]);
+                                    }
+                                }
+                            }
+                        } else {
+                            for ci in 0..c {
+                                let plane = &src_item[ci * h * w..(ci + 1) * h * w];
+                                for oy in 0..oh {
+                                    for ox in 0..ow {
+                                        let mut best = 0u8;
+                                        for ky in 0..*window {
+                                            for kx in 0..*window {
+                                                let v = plane
+                                                    [(oy * stride + ky) * w + (ox * stride + kx)];
+                                                if v > best {
+                                                    best = v;
+                                                }
+                                            }
+                                        }
+                                        dst_item[(ci * oh + oy) * ow + ox] = best;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                Step::QRelu { zero_point } => {
+                    for (o, &v) in dst[..n * out_len].iter_mut().zip(&src[..n * in_len]) {
+                        *o = v.max(*zero_point);
+                    }
+                }
+                Step::QDequantize { params } => {
+                    debug_assert!(to_out, "decode is always the plan output");
+                    params.dequantize_slice(&src[..n * in_len], &mut out[..n * out_len]);
+                }
+                _ => unreachable!("int8 plans contain only quantized steps"),
+            }
+            if to_out {
+                return;
+            }
+            src_is_a = !src_is_a;
+        }
+    }
 }
 
 impl std::fmt::Debug for InferencePlan {
@@ -601,6 +1240,7 @@ impl std::fmt::Debug for InferencePlan {
         f.debug_struct("InferencePlan")
             .field("steps", &self.steps.len())
             .field("multiplier", &self.multiplier.as_ref().map(|m| m.name()).unwrap_or("native"))
+            .field("precision", &self.precision)
             .finish()
     }
 }
@@ -783,6 +1423,98 @@ fn exec_step<'k>(
             }
         }
         Step::Flatten => unreachable!("flatten steps are skipped by run_item"),
+        Step::QuantizeInput { .. }
+        | Step::QConv { .. }
+        | Step::QDense { .. }
+        | Step::QMaxPool { .. }
+        | Step::QRelu { .. }
+        | Step::QDequantize { .. } => {
+            unreachable!("quantized steps run in run_item_q")
+        }
+    }
+}
+
+/// [`gather_patches`] over activation *codes*: identical tap addressing,
+/// with padded taps filled by `pad_code` (the activation quantizer's zero
+/// point — the code for exactly `0.0`). Writes output pixels `p0..p0+cols`
+/// of one item into columns `col0..col0+cols` of each `row_stride`-wide
+/// gather row, so several small items can share one tile.
+#[allow(clippy::too_many_arguments)]
+fn gather_patches_u8(
+    src: &[u8],
+    cin: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    ow: usize,
+    p0: usize,
+    cols: usize,
+    row_stride: usize,
+    col0: usize,
+    gather: &mut [u8],
+    pad_code: u8,
+) {
+    let mut row = 0usize;
+    for c in 0..cin {
+        let plane = &src[c * h * w..(c + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let out_row = &mut gather[row * row_stride + col0..][..cols];
+                let mut idx = 0usize;
+                // Track the output pixel incrementally: a div/mod per
+                // segment would dominate small-plane gathers.
+                let mut oy = p0 / ow;
+                let mut ox0 = p0 % ow;
+                while idx < cols {
+                    let seg = (ow - ox0).min(cols - idx);
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        out_row[idx..idx + seg].fill(pad_code);
+                    } else if stride == 1 {
+                        // Contiguous taps: pad the out-of-plane flanks,
+                        // memcpy the interior (the conv hot case).
+                        let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
+                        let ix0 = (ox0 + kx) as isize - pad as isize;
+                        let lo = (-ix0).clamp(0, seg as isize) as usize;
+                        let hi = (w as isize - ix0).clamp(lo as isize, seg as isize) as usize;
+                        out_row[idx..idx + lo].fill(pad_code);
+                        let src_seg =
+                            &src_row[(ix0 + lo as isize) as usize..(ix0 + hi as isize) as usize];
+                        let dst_seg = &mut out_row[idx + lo..idx + hi];
+                        if hi - lo <= 32 {
+                            // Small planes produce thousands of tiny
+                            // segments; a plain loop beats a memcpy call.
+                            for (o, &s) in dst_seg.iter_mut().zip(src_seg) {
+                                *o = s;
+                            }
+                        } else {
+                            dst_seg.copy_from_slice(src_seg);
+                        }
+                        out_row[idx + hi..idx + seg].fill(pad_code);
+                    } else {
+                        let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
+                        for (s, o) in out_row[idx..idx + seg].iter_mut().enumerate() {
+                            let ix = ((ox0 + s) * stride + kx) as isize - pad as isize;
+                            *o = if ix >= 0 && ix < w as isize {
+                                src_row[ix as usize]
+                            } else {
+                                pad_code
+                            };
+                        }
+                    }
+                    idx += seg;
+                    ox0 += seg;
+                    if ox0 >= ow {
+                        ox0 = 0;
+                        oy += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
     }
 }
 

@@ -45,6 +45,12 @@
 //!   [`BatchServer::is_stale`] reports the divergence (via
 //!   [`Network::plan_epoch`]) so operators can rebuild.
 //!
+//! Servers can also shard **int8 plans**
+//! ([`BatchServer::compile_quantized`]): the queue, batching, backpressure,
+//! and failure-containment machinery is plan-agnostic, and quantized plans
+//! are deterministic with independent batch items, so the bit-identity
+//! contract holds against a serial run of the same quantized plan.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -241,14 +247,62 @@ impl BatchServer {
         // Read the epoch *before* compiling: a concurrent mutation mid-compile
         // then flags the server stale instead of going unnoticed.
         let source_epoch = network.plan_epoch();
-        let replicas: Option<Vec<Arc<InferencePlan>>> = (0..config.workers)
+        let replicas: Option<Vec<Arc<InferencePlan>>> = (0..config.workers.max(1))
             .map(|_| InferencePlan::compile(network, network.multiplier().cloned()).map(Arc::new))
             .collect();
         let mut replicas = replicas?;
-        if config.workers == 0 {
-            // Accept-only servers still need the compilability check.
-            InferencePlan::compile(network, network.multiplier().cloned())?;
-        }
+        replicas.truncate(config.workers);
+        Self::start(replicas, config, source_epoch)
+    }
+
+    /// [`compile`](BatchServer::compile) in **int8 mode**: the shard pool
+    /// serves one [`InferencePlan::compile_quantized`] plan, calibrated on
+    /// `calibration`, shared by every worker. Quantized plans carry
+    /// multi-MiB product tables (and, for gate-level multipliers, a
+    /// 65 536-product build cost), so workers share one snapshot instead of
+    /// replicating it — plans are `&self` to execute and workspaces are
+    /// pooled per call, so sharing adds no contention beyond the pool lock.
+    ///
+    /// The batching contract is unchanged: quantized plans are
+    /// deterministic and run batch items independently, so served logits
+    /// stay bit-identical to a serial
+    /// [`InferencePlan::predict_batch`] on the same plan under any
+    /// concurrent schedule (covered by `tests/quantized_plan.rs`).
+    ///
+    /// Returns `None` when the network cannot compile to a quantized plan
+    /// (see [`InferencePlan::compile_quantized`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`compile`](BatchServer::compile) does, or if
+    /// `calibration` is not a non-empty batch of the served shape.
+    pub fn compile_quantized(
+        network: &Network,
+        calibration: &da_tensor::Tensor,
+        config: ServeConfig,
+    ) -> Option<BatchServer> {
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        assert!(config.queue_capacity >= 1, "queue_capacity must be at least 1");
+        let source_epoch = network.plan_epoch();
+        let plan = Arc::new(InferencePlan::compile_quantized(
+            network,
+            network.multiplier().cloned(),
+            calibration,
+        )?);
+        let replicas = vec![plan; config.workers];
+        Self::start(replicas, config, source_epoch)
+    }
+
+    /// Shared startup: install the panic hook and spawn one worker per plan
+    /// replica. `source_epoch` is the network's
+    /// [`Network::plan_epoch`] read *before* compiling, so a concurrent
+    /// mutation mid-compile flags the server stale instead of going
+    /// unnoticed.
+    fn start(
+        mut replicas: Vec<Arc<InferencePlan>>,
+        config: ServeConfig,
+        source_epoch: u64,
+    ) -> Option<BatchServer> {
         install_quiet_panic_hook();
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState { queue: VecDeque::new(), shutdown: false }),

@@ -9,6 +9,7 @@
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 
+use da_arith::simd::nan_stable_add;
 use da_arith::{ExactMultiplier, MultiplierKind};
 use da_nn::layers::{gemm_with, matmul_with_scalar};
 use da_tensor::ops::matmul;
@@ -100,10 +101,14 @@ proptest! {
                 prop_assert_eq!(out[i].to_bits(), want.to_bits(), "{} mul at {}", kind, i);
             }
 
+            // The library accumulators pin NaN-payload propagation through
+            // `nan_stable_add` (PR 4); the test-local loops must accumulate
+            // the same way, or release-mode lowering of a plain `+=` can
+            // pick the other NaN operand and fail spuriously.
             let dot = m.dot_accumulate(a.data(), b.data());
             let mut want = 0.0f32;
             for i in 0..len {
-                want += m.multiply(a.data()[i], b.data()[i]);
+                want = nan_stable_add(want, m.multiply(a.data()[i], b.data()[i]));
             }
             prop_assert_eq!(dot.to_bits(), want.to_bits(), "{} dot", kind);
 
@@ -112,7 +117,7 @@ proptest! {
             let mut acc_want = acc.clone();
             m.axpy_slice(scale, b.data(), &mut acc);
             for (i, v) in acc_want.iter_mut().enumerate() {
-                *v += m.multiply(scale, b.data()[i]);
+                *v = nan_stable_add(*v, m.multiply(scale, b.data()[i]));
             }
             for i in 0..len {
                 prop_assert_eq!(acc[i].to_bits(), acc_want[i].to_bits(), "{} axpy at {}", kind, i);

@@ -1,0 +1,326 @@
+//! Conformance tests for int8 inference plans
+//! ([`InferencePlan::compile_quantized`]) and quantized serving.
+//!
+//! The quantized plan's semantics are "the scalar multiplier over decoded
+//! code pairs, accumulated in exact f32" — the kernel-level bit-identity
+//! (LUT gather vs scalar multiplier) lives in
+//! `da_arith/tests/quantized_conformance.rs`. Here we pin the *plan*:
+//!
+//! * on-grid single-layer stacks are **bit-identical** to the f32 plan for
+//!   every multiplier kind (when every operand sits exactly on the code
+//!   grid, quantization is lossless and the two plans must agree to the
+//!   last ULP — this exercises LUT addressing, patch gathers, padding,
+//!   tails, and accumulation order end to end);
+//! * quantized logits stay close to the f32 plan's on random stacks;
+//! * results are deterministic and independent of batch composition (the
+//!   property the batch-serving contract rests on), including through a
+//!   concurrently loaded [`BatchServer::compile_quantized`] server;
+//! * steady-state serving does not allocate;
+//! * stacks without a quantized form decline to compile.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use da_arith::MultiplierKind;
+use da_nn::engine::{InferencePlan, PlanPrecision};
+use da_nn::layers::{Conv2d, Dense, Dropout, Flatten, Layer, MaxPool2d, Relu};
+use da_nn::serve::{BatchServer, Pending, ServeConfig};
+use da_nn::zoo::{dq_convnet, DqMode};
+use da_nn::Network;
+use da_tensor::Tensor;
+use rand::{Rng, SeedableRng};
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// A tensor of integers whose observed range is exactly `[-128, 127]`, so
+/// `QuantParams::from_range` derives scale 1 / zero-point 128 and every
+/// value sits exactly on the code grid.
+fn on_grid_weights(shape: &[usize], rng: &mut rand::rngs::StdRng) -> Tensor {
+    let n: usize = shape.iter().product();
+    assert!(n >= 2);
+    let mut data: Vec<f32> = (0..n).map(|_| rng.gen_range(-128i32..=127) as f32).collect();
+    data[0] = -128.0;
+    data[1] = 127.0;
+    Tensor::from_vec(data, shape)
+}
+
+/// An input batch of integers spanning exactly `[0, 255]` (scale 1,
+/// zero-point 0).
+fn on_grid_input(shape: &[usize], rng: &mut rand::rngs::StdRng) -> Tensor {
+    let n: usize = shape.iter().product();
+    let mut data: Vec<f32> = (0..n).map(|_| rng.gen_range(0i32..=255) as f32).collect();
+    data[0] = 0.0;
+    data[1] = 255.0;
+    Tensor::from_vec(data, shape)
+}
+
+fn assert_bit_equal(got: &Tensor, want: &Tensor, ctx: &str) {
+    assert_eq!(got.shape(), want.shape(), "{ctx}: shape");
+    for (i, (x, y)) in got.data().iter().zip(want.data()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: elem {i}: {x:?} vs {y:?}");
+    }
+}
+
+/// When every operand is exactly representable, the int8 plan must equal
+/// the f32 plan bit for bit: the LUT entry *is* `multiply(w, x)` and the
+/// adds run in the same ascending-k order. One conv (odd spatial size and
+/// padding exercise the gather and the lane tails) and one dense layer,
+/// for every multiplier kind plus native.
+#[test]
+fn on_grid_single_layer_plans_are_bit_exact_to_f32() {
+    let mut r = rng(11);
+    for kind in MultiplierKind::ALL.into_iter().map(Some).chain([None]) {
+        let mult = kind.map(|k| k.build());
+
+        // Conv: cout=3 (row tail), 9x9 input, pad=1 (zero taps), stride 2.
+        let mut conv = Conv2d::new(2, 3, 3, 2, 1, &mut r);
+        conv.params_mut()[0]
+            .data_mut()
+            .copy_from_slice(on_grid_weights(&[3 * 2 * 3 * 3], &mut r).data());
+        conv.params_mut()[1].data_mut().copy_from_slice(&[3.0, -7.0, 11.0]);
+        let mut net = Network::new("on-grid-conv").push(conv);
+        net.set_multiplier(mult.clone());
+        let x = on_grid_input(&[2, 2, 9, 9], &mut r);
+        let f32_plan = InferencePlan::compile(&net, mult.clone()).expect("compilable");
+        let q_plan = InferencePlan::compile_quantized(&net, mult.clone(), &x).expect("quantizable");
+        assert_eq!(q_plan.precision(), PlanPrecision::Int8);
+        assert_eq!(f32_plan.precision(), PlanPrecision::F32);
+        assert_bit_equal(
+            &q_plan.predict_batch(&x),
+            &f32_plan.predict_batch(&x),
+            &format!("conv {kind:?}"),
+        );
+
+        // Dense: out=5 (ragged j tail in every kernel).
+        let mut fc = Dense::new(7, 5, &mut r);
+        fc.params_mut()[0].data_mut().copy_from_slice(on_grid_weights(&[5 * 7], &mut r).data());
+        fc.params_mut()[1].data_mut().copy_from_slice(&[1.0, 0.0, -2.0, 3.0, 5.0]);
+        let mut net = Network::new("on-grid-dense").push(fc);
+        net.set_multiplier(mult.clone());
+        let x = on_grid_input(&[3, 7], &mut r);
+        let f32_plan = InferencePlan::compile(&net, mult.clone()).expect("compilable");
+        let q_plan = InferencePlan::compile_quantized(&net, mult.clone(), &x).expect("quantizable");
+        assert_bit_equal(
+            &q_plan.predict_batch(&x),
+            &f32_plan.predict_batch(&x),
+            &format!("dense {kind:?}"),
+        );
+    }
+}
+
+fn tiny_cnn(seed: u64) -> Network {
+    let mut r = rng(seed);
+    Network::new("quant-tiny")
+        .push(Conv2d::new(1, 4, 3, 1, 1, &mut r))
+        .push(Relu)
+        .push(MaxPool2d::new(2, 2))
+        .push(Conv2d::new(4, 6, 3, 1, 0, &mut r))
+        .push(Relu)
+        .push(Dropout::new(0.5))
+        .push(Flatten)
+        .push(Dense::new(6 * 3 * 3, 8, &mut r))
+        .push(Relu)
+        .push(Dense::new(8, 5, &mut r))
+}
+
+/// Quantized logits track the f32 plan on random stacks. The tolerance is
+/// per multiplier: native products respond smoothly to a one-code operand
+/// nudge, but the AMA5 product is `1.f_a · 2^(ea+eb-126)` — a nudge that
+/// crosses an operand's exponent boundary flips the product by 2×, so
+/// Ax-FPM amplifies quantization noise discontinuously (that sensitivity
+/// *is* the paper's defense; accuracy preservation is asserted separately
+/// on a trained LeNet in `tests/quantized_serving.rs`).
+#[test]
+fn quantized_logits_stay_close_to_f32_plan() {
+    for (kind, tol) in [
+        (None, 0.15f32),
+        (Some(MultiplierKind::AxFpm), 0.40),
+        (Some(MultiplierKind::Bfloat16), 0.20),
+    ] {
+        let mut net = tiny_cnn(21);
+        let mult = kind.map(|k: MultiplierKind| k.build());
+        net.set_multiplier(mult.clone());
+        let mut r = rng(22);
+        let calibration = Tensor::rand_uniform(&[16, 1, 10, 10], 0.0, 1.0, &mut r);
+        let x = Tensor::rand_uniform(&[8, 1, 10, 10], 0.0, 1.0, &mut r);
+        let f32_plan = InferencePlan::compile(&net, mult.clone()).expect("compilable");
+        let q_plan =
+            InferencePlan::compile_quantized(&net, mult, &calibration).expect("quantizable");
+        let want = f32_plan.predict_batch(&x);
+        let got = q_plan.predict_batch(&x);
+        let spread = want.data().iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-3);
+        for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+            assert!(
+                (g - w).abs() <= tol * spread + 0.02,
+                "{kind:?} elem {i}: quantized {g} vs f32 {w} (spread {spread})"
+            );
+        }
+    }
+}
+
+/// A sample's quantized logits must not depend on its batch: per-item runs
+/// equal the batched run bitwise (the serving contract's foundation), and
+/// repeated runs are deterministic.
+#[test]
+fn quantized_plan_is_deterministic_and_batch_independent() {
+    let mut net = tiny_cnn(31);
+    net.set_multiplier(Some(MultiplierKind::AxFpm.build()));
+    let mut r = rng(32);
+    let calibration = Tensor::rand_uniform(&[8, 1, 10, 10], 0.0, 1.0, &mut r);
+    let plan = InferencePlan::compile_quantized(&net, net.multiplier().cloned(), &calibration)
+        .expect("quantizable");
+    let x = Tensor::rand_uniform(&[6, 1, 10, 10], 0.0, 1.0, &mut r);
+    let batched = plan.predict_batch(&x);
+    assert_bit_equal(&plan.predict_batch(&x), &batched, "repeat determinism");
+    for i in 0..6 {
+        let single = plan.predict_batch(&Tensor::stack(&[x.batch_item(i)]));
+        for (j, (g, w)) in single.data().iter().zip(&batched.data()[i * 5..(i + 1) * 5]).enumerate()
+        {
+            assert_eq!(g.to_bits(), w.to_bits(), "item {i} elem {j}");
+        }
+    }
+    assert_eq!(plan.predict(&x).len(), 6);
+}
+
+/// Steady-state quantized serving performs no workspace allocation.
+#[test]
+fn quantized_workspaces_are_reused_across_calls() {
+    let mut net = tiny_cnn(41);
+    net.set_multiplier(Some(MultiplierKind::Bfloat16.build()));
+    let mut r = rng(42);
+    let calibration = Tensor::rand_uniform(&[4, 1, 10, 10], 0.0, 1.0, &mut r);
+    let plan = InferencePlan::compile_quantized(&net, net.multiplier().cloned(), &calibration)
+        .expect("quantizable");
+    let x = Tensor::rand_uniform(&[2, 1, 10, 10], 0.0, 1.0, &mut r);
+    let _ = plan.predict_batch(&x);
+    let after_first = plan.workspace_allocations();
+    assert!(after_first > 0, "first call must size the arena");
+    for _ in 0..5 {
+        let _ = plan.predict_batch(&x);
+    }
+    assert_eq!(plan.workspace_allocations(), after_first, "steady state must not allocate");
+}
+
+/// A stack ending in pooling gets an explicit decode step and still serves.
+#[test]
+fn stack_ending_in_pool_decodes_to_f32() {
+    let mut r = rng(51);
+    let net = Network::new("pool-end")
+        .push(Conv2d::new(1, 2, 3, 1, 1, &mut r))
+        .push(Relu)
+        .push(MaxPool2d::new(2, 2));
+    let x = Tensor::rand_uniform(&[2, 1, 8, 8], 0.0, 1.0, &mut r);
+    let f32_plan = InferencePlan::compile(&net, None).expect("compilable");
+    let q_plan = InferencePlan::compile_quantized(&net, None, &x).expect("quantizable");
+    let want = f32_plan.predict_batch(&x);
+    let got = q_plan.predict_batch(&x);
+    assert_eq!(got.shape(), want.shape());
+    for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+        assert!((g - w).abs() < 0.1, "elem {i}: {g} vs {w}");
+    }
+}
+
+/// Concurrently served quantized logits are bit-identical to a serial run
+/// of the same plan — the batch-server contract carries over to int8.
+#[test]
+fn quantized_serving_is_bit_identical_under_concurrency() {
+    let mut net = tiny_cnn(61);
+    net.set_multiplier(Some(MultiplierKind::AxFpm.build()));
+    let mut r = rng(62);
+    let calibration = Tensor::rand_uniform(&[8, 1, 10, 10], 0.0, 1.0, &mut r);
+    let plan = InferencePlan::compile_quantized(&net, net.multiplier().cloned(), &calibration)
+        .expect("quantizable");
+    let server = BatchServer::compile_quantized(
+        &net,
+        &calibration,
+        ServeConfig {
+            workers: 2,
+            max_batch: 3,
+            flush_deadline: Duration::from_micros(100),
+            queue_capacity: 16,
+        },
+    )
+    .expect("quantizable");
+    let samples: Vec<Tensor> =
+        (0..24).map(|_| Tensor::rand_uniform(&[1, 10, 10], 0.0, 1.0, &mut r)).collect();
+    let served: Vec<Tensor> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let server = &server;
+                let samples = &samples;
+                scope.spawn(move || {
+                    let pending: Vec<Pending> = (0..6)
+                        .map(|j| server.submit(&samples[t * 6 + j]).expect("accepting"))
+                        .collect();
+                    pending.into_iter().map(|p| p.wait().expect("served")).collect::<Vec<Tensor>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client")).collect()
+    });
+    for (i, row) in served.iter().enumerate() {
+        let want = plan.predict_batch(&Tensor::stack(&[samples[i].clone()]));
+        for (j, (g, w)) in row.data().iter().zip(want.data()).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "sample {i} elem {j}");
+        }
+    }
+    assert!(server.stats().items >= 24);
+    assert!(!server.is_stale(&net));
+    net.set_multiplier(None);
+    assert!(server.is_stale(&net));
+}
+
+/// Stacks with no quantized form (batch norm, DoReFa activation
+/// quantizers, opaque layers) decline to compile, like the f32 plan does
+/// for uncompilable stacks.
+#[test]
+fn unquantizable_stacks_decline() {
+    let mut r = rng(71);
+    let dq = dq_convnet(10, DqMode::Full, 4, &mut r);
+    let x = Tensor::rand_uniform(&[2, 3, 32, 32], 0.0, 1.0, &mut r);
+    assert!(InferencePlan::compile(&dq, None).is_some(), "dq compiles in f32");
+    assert!(InferencePlan::compile_quantized(&dq, None, &x).is_none(), "but not to int8");
+    assert!(BatchServer::compile_quantized(&dq, &x, ServeConfig::default()).is_none());
+
+    struct Opaque;
+    impl Layer for Opaque {
+        fn name(&self) -> &'static str {
+            "opaque"
+        }
+        fn forward(&self, x: &Tensor, _mode: da_nn::Mode) -> (Tensor, da_nn::Cache) {
+            (x.clone(), da_nn::Cache::none())
+        }
+        fn backward(&self, _cache: &da_nn::Cache, grad: &Tensor) -> (Tensor, Vec<Tensor>) {
+            (grad.clone(), Vec::new())
+        }
+    }
+    let net = Network::new("opaque").push(Opaque);
+    let x = Tensor::zeros(&[1, 3]);
+    assert!(InferencePlan::compile_quantized(&net, None, &x).is_none());
+}
+
+/// A multiplier mismatch declines exactly like the f32 compiler.
+#[test]
+fn quantized_multiplier_mismatch_declines() {
+    let mut r = rng(81);
+    let mut net = Network::new("mismatch").push(Dense::new(4, 3, &mut r));
+    net.set_multiplier(Some(MultiplierKind::AxFpm.build()));
+    let x = Tensor::rand_uniform(&[2, 4], 0.0, 1.0, &mut r);
+    assert!(InferencePlan::compile_quantized(&net, None, &x).is_none());
+    assert!(InferencePlan::compile_quantized(&net, Some(MultiplierKind::Bfloat16.build()), &x)
+        .is_none());
+    assert!(InferencePlan::compile_quantized(&net, net.multiplier().cloned(), &x).is_some());
+    let _ = Arc::clone(net.multiplier().expect("installed"));
+}
+
+/// Calibration batches validate like serving inputs.
+#[test]
+#[should_panic(expected = "input channel mismatch")]
+fn calibration_validates_like_forward() {
+    let mut r = rng(91);
+    let net = Network::new("bad").push(Conv2d::new(3, 4, 3, 1, 0, &mut r));
+    let x = Tensor::zeros(&[1, 2, 8, 8]);
+    let _ = InferencePlan::compile_quantized(&net, None, &x);
+}

@@ -113,4 +113,34 @@ fn main() {
     assert!(server.is_stale(&net));
     println!("staleness: multiplier swap detected; rebuild the server to serve the new datapath");
     server.shutdown();
+
+    // 3. Int8 serving: the same shard-pool machinery over a quantized plan
+    // (LUT-gather GEMMs over the Ax-FPM product table, calibrated on a
+    // sample batch). Throughput roughly triples at batched load while
+    // predictions track the f32 deployment.
+    net.set_multiplier(Some(MultiplierKind::AxFpm.build()));
+    let calibration = synth_digits(32, 7).images;
+    let qserver = BatchServer::compile_quantized(&net, &calibration, ServeConfig::default())
+        .expect("LeNet-5 quantizes");
+    let f32_preds: Vec<usize> = net.predict(&data.images);
+    let total = data.images.shape()[0];
+    let start = Instant::now();
+    // Pipelined submission (like real request streams): all samples in
+    // flight at once, so the server forms full batches.
+    let pending: Vec<_> = (0..total)
+        .map(|i| qserver.submit(&data.images.batch_item(i)).expect("accepting"))
+        .collect();
+    let mut agree = 0usize;
+    for (i, p) in pending.into_iter().enumerate() {
+        let logits = p.wait().expect("served");
+        let pred = defensive_approximation::nn::loss::argmax_logits(logits.data());
+        agree += usize::from(pred == f32_preds[i]);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    println!(
+        "int8 serving: {total} samples in {:.1} ms ({:.1} items/s); {agree}/{total} predictions match the f32 deployment",
+        elapsed * 1e3,
+        total as f64 / elapsed,
+    );
+    qserver.shutdown();
 }
