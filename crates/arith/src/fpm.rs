@@ -22,6 +22,7 @@
 
 use crate::array::{ArrayMultiplier, ArrayMultiplierSpec};
 use crate::batch::{BatchKernel, SigProductCache};
+use crate::bitslice::{BitslicedArray, BITSLICE_LANES, BITSLICE_WIDE, BITSLICE_WIDE_LANES};
 use crate::multiplier::Multiplier;
 use crate::simd::{self, RowClass};
 
@@ -112,6 +113,10 @@ pub struct FloatMultiplier {
     core: ArrayMultiplier,
     name: String,
     fast_path: FastPath,
+    /// Bit-sliced mirror of `core` for cores without a closed form, built on
+    /// first use (64 significand products per plane sweep, see
+    /// [`BitslicedArray`]).
+    bitsliced: std::sync::OnceLock<BitslicedArray>,
 }
 
 /// Closed-form shortcuts for cores whose gate-level behaviour has been proven
@@ -145,7 +150,18 @@ impl FloatMultiplier {
         } else {
             FastPath::None
         };
-        FloatMultiplier { core: ArrayMultiplier::new(spec), name: name.into(), fast_path }
+        FloatMultiplier {
+            core: ArrayMultiplier::new(spec),
+            name: name.into(),
+            fast_path,
+            bitsliced: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The bit-sliced mirror of the mantissa core, built lazily (only cores
+    /// without a closed-form fast path ever ask for it).
+    fn bitsliced(&self) -> &BitslicedArray {
+        self.bitsliced.get_or_init(|| BitslicedArray::new(self.core.spec()))
     }
 
     /// Gate-level exact FPM (reference; truncating rounding).
@@ -270,7 +286,10 @@ enum SigMemo {
 /// the shared operand once per slice call and, for cores without a proven
 /// closed form (HEAP, ablation wirings), memoizes gate-level significand
 /// products in a [`SigProductCache`] (allocated lazily after a warmup, so
-/// small GEMMs skip it). Cores **with** a closed form (canonical AMA5, the
+/// small GEMMs skip it). Kernels *without* a memo cache — the one-shot slice
+/// entry points — run those cores on the bit-sliced plane sweep instead
+/// ([`BitslicedArray`], 64 products per block), which needs no table at all
+/// and therefore also covers rotating wirings. Cores **with** a closed form (canonical AMA5, the
 /// exact array) run on the lane-parallel kernels of [`crate::simd`]: each
 /// right-hand row is classified once ([`RowClass`]) and swept by a
 /// class-matched `LANES`-wide block pipeline; `Special` rows stay on the
@@ -416,6 +435,15 @@ impl FpmBatchKernel<'_> {
 }
 
 impl FpmBatchKernel<'_> {
+    /// Whether gate-level products should run on the bit-sliced plane sweep:
+    /// only cores without a closed form, and only on kernels without a memo
+    /// cache (memoized kernels keep their validated per-element hit path —
+    /// their cache statistics are part of the observable contract).
+    #[inline]
+    fn uses_bitslice(&self) -> bool {
+        self.m.fast_path == FastPath::None && matches!(self.memo, SigMemo::Disabled)
+    }
+
     /// The shared `axpy` body over an already-decomposed left operand: the
     /// single implementation behind both [`BatchKernel::axpy`] and
     /// [`BatchKernel::axpy_prepared`], so the two entry points cannot
@@ -430,11 +458,213 @@ impl FpmBatchKernel<'_> {
                 FastPath::Exact => {
                     return self.exact_axpy_classified(pa, simd::classify_row(b), b, acc);
                 }
-                FastPath::None => {}
+                FastPath::None => {
+                    if self.uses_bitslice() {
+                        return self.axpy_parts_bitsliced(pa, b, acc);
+                    }
+                }
             }
         }
         for (o, &y) in acc.iter_mut().zip(b) {
             *o = simd::nan_stable_add(*o, self.mul_one(pa, a_nan, y));
+        }
+    }
+
+    /// Gate-level axpy on the bit-sliced core: 64 normal right-hand elements
+    /// are transposed into significand planes and multiplied per block; zero,
+    /// denormal, and Inf/NaN elements take the shared [`FpmBatchKernel::mul_one`]
+    /// slow path in place. Each accumulator element receives exactly one
+    /// [`simd::nan_stable_add`], so the result is bit-identical to the
+    /// per-element sweep.
+    fn axpy_parts_bitsliced(&mut self, pa: Binary32Parts, b: &[f32], acc: &mut [f32]) {
+        let m = self.m;
+        let sliced = m.bitsliced();
+        let sa = pa.significand() as u64;
+        let mut sb_block = [sa; BITSLICE_LANES];
+        // `(element index, raw b bits)` per occupied lane.
+        let mut lanes: [(usize, u32); BITSLICE_LANES] = [(0, 0); BITSLICE_LANES];
+        let mut n = 0usize;
+        for (i, &y) in b.iter().enumerate() {
+            let bbits = y.to_bits();
+            let exp_b = (bbits >> 23) & 0xFF;
+            if exp_b == 0 || exp_b == 0xFF {
+                acc[i] = simd::nan_stable_add(acc[i], self.mul_one(pa, false, y));
+                continue;
+            }
+            sb_block[n] = ((1u32 << 23) | (bbits & 0x7F_FFFF)) as u64;
+            lanes[n] = (i, bbits);
+            n += 1;
+            if n == BITSLICE_LANES {
+                Self::finish_axpy_block(sliced, sa, &sb_block, &lanes, n, pa, acc);
+                n = 0;
+            }
+        }
+        if n > 0 {
+            // Residual lanes keep the `sa * sa` padding; their products are
+            // computed and discarded.
+            for slot in sb_block.iter_mut().skip(n) {
+                *slot = sa;
+            }
+            Self::finish_axpy_block(sliced, sa, &sb_block, &lanes, n, pa, acc);
+        }
+    }
+
+    fn finish_axpy_block(
+        sliced: &BitslicedArray,
+        sa: u64,
+        sb_block: &[u64; BITSLICE_LANES],
+        lanes: &[(usize, u32); BITSLICE_LANES],
+        n: usize,
+        pa: Binary32Parts,
+        acc: &mut [f32],
+    ) {
+        // The left significand is constant across the call, so its planes are
+        // broadcasts — only the right-hand block pays a transpose.
+        let prods = sliced.multiply_block_shared(sa, sb_block);
+        for lane in 0..n {
+            let (i, bbits) = lanes[lane];
+            let sign = pa.sign ^ (bbits >> 31);
+            let exp_b = (bbits >> 23) & 0xFF;
+            let p = FloatMultiplier::finish(sign, pa.exponent, exp_b, prods[lane]);
+            acc[i] = simd::nan_stable_add(acc[i], p);
+        }
+    }
+
+    /// Fused multi-term axpy (see [`Multiplier::axpy_fused`]): walk the `a`
+    /// terms in order, batching every run of [`BITSLICE_WIDE`] normal terms
+    /// through one wide plane sweep; zero/denormal/Inf/NaN terms (and the
+    /// ragged tail) take the single-term path in place, so accumulation
+    /// order — ascending `t` per element — is preserved exactly.
+    fn axpy_fused(&mut self, a: &[f32], b: &[f32], acc: &mut [f32]) {
+        assert_eq!(b.len(), a.len() * acc.len(), "axpy_fused length mismatch");
+        let n = acc.len();
+        let mut t = 0usize;
+        while t < a.len() {
+            let wide = self.uses_bitslice()
+                && n > 0
+                && a.len() - t >= BITSLICE_WIDE
+                && a[t..t + BITSLICE_WIDE].iter().all(|&x| {
+                    let e = (x.to_bits() >> 23) & 0xFF;
+                    e != 0 && e != 0xFF
+                });
+            if wide {
+                let a8: [f32; BITSLICE_WIDE] = a[t..t + BITSLICE_WIDE].try_into().unwrap();
+                self.axpy8_bitsliced(a8, &b[t * n..(t + BITSLICE_WIDE) * n], acc);
+                t += BITSLICE_WIDE;
+            } else {
+                self.axpy(a[t], &b[t * n..(t + 1) * n], acc);
+                t += 1;
+            }
+        }
+    }
+
+    /// Eight shared left operands (all normal) against eight right-hand rows,
+    /// on one [`BITSLICE_WIDE`]-block plane sweep per 64 output columns. Per
+    /// output element the eight products are accumulated in ascending term
+    /// order with one [`simd::nan_stable_add`] each — bit-identical to eight
+    /// sequential [`BatchKernel::axpy`] calls. Right-hand specials take the
+    /// shared [`FpmBatchKernel::mul_one`] slow path in place.
+    fn axpy8_bitsliced(&mut self, a: [f32; BITSLICE_WIDE], b: &[f32], acc: &mut [f32]) {
+        let m = self.m;
+        let sliced = m.bitsliced();
+        let n = acc.len();
+        let pas: [Binary32Parts; BITSLICE_WIDE] =
+            std::array::from_fn(|t| Binary32Parts::from_f32(a[t]));
+        let sa8: [u64; BITSLICE_WIDE] = std::array::from_fn(|t| pas[t].significand() as u64);
+        let mut sb = [1u64 << 23; BITSLICE_WIDE_LANES];
+        // Per-term bitmask of lanes whose right operand is zero / denormal /
+        // Inf / NaN (those lanes carry `1.0` padding through the sweep and
+        // their products are discarded).
+        let mut special = [0u64; BITSLICE_WIDE];
+        for j0 in (0..n).step_by(BITSLICE_LANES) {
+            let cols = (n - j0).min(BITSLICE_LANES);
+            for t in 0..BITSLICE_WIDE {
+                special[t] = 0;
+                let brow = &b[t * n + j0..t * n + j0 + cols];
+                for (l, &y) in brow.iter().enumerate() {
+                    let bbits = y.to_bits();
+                    let exp_b = (bbits >> 23) & 0xFF;
+                    if exp_b == 0 || exp_b == 0xFF {
+                        special[t] |= 1u64 << l;
+                        sb[t * BITSLICE_LANES + l] = 1 << 23;
+                    } else {
+                        sb[t * BITSLICE_LANES + l] = ((1u32 << 23) | (bbits & 0x7F_FFFF)) as u64;
+                    }
+                }
+                for slot in sb[t * BITSLICE_LANES..(t + 1) * BITSLICE_LANES].iter_mut().skip(cols) {
+                    *slot = 1 << 23;
+                }
+            }
+            let prods = sliced.multiply_block8_shared(&sa8, &sb);
+            for l in 0..cols {
+                let o = &mut acc[j0 + l];
+                for t in 0..BITSLICE_WIDE {
+                    let y = b[t * n + j0 + l];
+                    let p = if (special[t] >> l) & 1 == 1 {
+                        self.mul_one(pas[t], false, y)
+                    } else {
+                        let bbits = y.to_bits();
+                        FloatMultiplier::finish(
+                            pas[t].sign ^ (bbits >> 31),
+                            pas[t].exponent,
+                            (bbits >> 23) & 0xFF,
+                            prods[t * BITSLICE_LANES + l],
+                        )
+                    };
+                    *o = simd::nan_stable_add(*o, p);
+                }
+            }
+        }
+    }
+
+    /// Block-compute element-wise products of two slices on the bit-sliced
+    /// core. Lanes where either operand is zero/denormal/Inf/NaN fall back to
+    /// [`FpmBatchKernel::mul_one`] in place; everything else runs 64 products
+    /// per plane sweep. `out` receives one product per element.
+    fn mul_pair_bitsliced(&mut self, a: &[f32], b: &[f32], out: &mut [f32]) {
+        let m = self.m;
+        let sliced = m.bitsliced();
+        let mut sa_block = [1u64 << 23; BITSLICE_LANES];
+        let mut sb_block = [1u64 << 23; BITSLICE_LANES];
+        let mut lane_pos = [0usize; BITSLICE_LANES];
+        for ((ac, bc), oc) in a
+            .chunks(BITSLICE_LANES)
+            .zip(b.chunks(BITSLICE_LANES))
+            .zip(out.chunks_mut(BITSLICE_LANES))
+        {
+            let mut n = 0usize;
+            for (i, (&x, &y)) in ac.iter().zip(bc).enumerate() {
+                let xb = x.to_bits();
+                let yb = y.to_bits();
+                let ex = (xb >> 23) & 0xFF;
+                let ey = (yb >> 23) & 0xFF;
+                if ex == 0 || ex == 0xFF || ey == 0 || ey == 0xFF {
+                    oc[i] = self.mul_one(Binary32Parts::from_f32(x), x.is_nan(), y);
+                    continue;
+                }
+                sa_block[n] = ((1u32 << 23) | (xb & 0x7F_FFFF)) as u64;
+                sb_block[n] = ((1u32 << 23) | (yb & 0x7F_FFFF)) as u64;
+                lane_pos[n] = i;
+                n += 1;
+            }
+            if n > 0 {
+                for lane in n..BITSLICE_LANES {
+                    sa_block[lane] = 1 << 23;
+                    sb_block[lane] = 1 << 23;
+                }
+                let prods = sliced.multiply_block(&sa_block, &sb_block);
+                for lane in 0..n {
+                    let i = lane_pos[lane];
+                    let xb = ac[i].to_bits();
+                    let yb = bc[i].to_bits();
+                    oc[i] = FloatMultiplier::finish(
+                        (xb >> 31) ^ (yb >> 31),
+                        (xb >> 23) & 0xFF,
+                        (yb >> 23) & 0xFF,
+                        prods[lane],
+                    );
+                }
+            }
         }
     }
 }
@@ -616,6 +846,21 @@ impl BatchKernel for FpmBatchKernel<'_> {
             }
             return acc;
         }
+        if self.uses_bitslice() {
+            // Gate-level products run 64 per plane sweep; the reduction stays
+            // in slice order (the order is part of the bit-exactness
+            // contract), so only the products are parallelized.
+            let mut acc = 0.0f32;
+            let mut buf = [0.0f32; BITSLICE_LANES];
+            for (ac, bc) in a.chunks(BITSLICE_LANES).zip(b.chunks(BITSLICE_LANES)) {
+                let prods = &mut buf[..ac.len()];
+                self.mul_pair_bitsliced(ac, bc, prods);
+                for &p in prods.iter() {
+                    acc = simd::nan_stable_add(acc, p);
+                }
+            }
+            return acc;
+        }
         let mut acc = 0.0f32;
         for (&x, &y) in a.iter().zip(b) {
             acc =
@@ -633,6 +878,9 @@ impl BatchKernel for FpmBatchKernel<'_> {
                 _ => simd::exact_mul_pair(a, b, out),
             }
             return;
+        }
+        if self.uses_bitslice() {
+            return self.mul_pair_bitsliced(a, b, out);
         }
         for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
             *o = self.mul_one(Binary32Parts::from_f32(x), x.is_nan(), y);
@@ -670,6 +918,10 @@ impl Multiplier for FloatMultiplier {
 
     fn axpy_slice(&self, a: f32, b: &[f32], acc: &mut [f32]) {
         FpmBatchKernel::new(self, false).axpy(a, b, acc);
+    }
+
+    fn axpy_fused(&self, a: &[f32], b: &[f32], acc: &mut [f32]) {
+        FpmBatchKernel::new(self, false).axpy_fused(a, b, acc);
     }
 
     fn batch_kernel(&self) -> Box<dyn BatchKernel + Send + '_> {
@@ -846,6 +1098,102 @@ mod tests {
                 let fast = m.multiply(a, b);
                 let gate = m.multiply_gate_level(a, b);
                 assert_eq!(fast.to_bits(), gate.to_bits(), "{}: a={a:e} b={b:e}", m.name());
+            }
+        }
+    }
+
+    /// The bit-sliced block paths behind the one-shot slice entry points must
+    /// be bit-identical to the scalar gate-level datapath for every core
+    /// without a closed form — including blocks littered with zeros,
+    /// denormals, and Inf/NaN, and slices long enough to cross block seams.
+    #[test]
+    fn bitsliced_one_shot_paths_match_scalar_gate_level() {
+        use crate::array::{CellAssignment, CpaKind, PortMap};
+        use crate::AdderKind;
+
+        let ablation = FloatMultiplier::with_core(
+            "ablate-swap",
+            ArrayMultiplierSpec {
+                width: SIGNIFICAND_BITS,
+                cells: CellAssignment::Uniform(AdderKind::Ama5),
+                port_map: PortMap::SumCarryPp,
+                cpa: CpaKind::Ripple { kind: AdderKind::Ama5, swap: true },
+            },
+        );
+        let mut rng = rng();
+        for m in [crate::heap::heap_multiplier(), ablation] {
+            let n = 197; // crosses three 64-lane blocks with a ragged tail
+            let mut a: Vec<f32> = (0..n).map(|_| rng.gen_range(-3.0f32..3.0)).collect();
+            let mut b: Vec<f32> = (0..n).map(|_| rng.gen_range(-3.0f32..3.0)).collect();
+            for (i, v) in [
+                (3, f32::NAN),
+                (64, f32::INFINITY),
+                (65, 0.0),
+                (66, -0.0),
+                (100, f32::from_bits(1)), // denormal
+                (196, f32::NEG_INFINITY),
+            ] {
+                if i % 2 == 1 {
+                    a[i] = v;
+                } else {
+                    b[i] = v;
+                }
+            }
+
+            let mut out = vec![0.0f32; n];
+            m.multiply_slice(&a, &b, &mut out);
+            for i in 0..n {
+                let want = m.multiply(a[i], b[i]);
+                assert_eq!(out[i].to_bits(), want.to_bits(), "{} mul[{i}]", m.name());
+            }
+
+            let got_dot = m.dot_accumulate(&a, &b);
+            let mut want_dot = 0.0f32;
+            for i in 0..n {
+                want_dot = simd::nan_stable_add(want_dot, m.multiply(a[i], b[i]));
+            }
+            assert_eq!(got_dot.to_bits(), want_dot.to_bits(), "{} dot", m.name());
+
+            for shared in [0.77f32, -1.5, 0.0, f32::INFINITY] {
+                let mut acc = vec![0.25f32; n];
+                let mut want = acc.clone();
+                m.axpy_slice(shared, &b, &mut acc);
+                for i in 0..n {
+                    want[i] = simd::nan_stable_add(want[i], m.multiply(shared, b[i]));
+                }
+                for i in 0..n {
+                    assert_eq!(
+                        acc[i].to_bits(),
+                        want[i].to_bits(),
+                        "{} axpy[{i}] shared={shared}",
+                        m.name()
+                    );
+                }
+            }
+
+            // axpy_fused: k not a multiple of the wide width, columns
+            // crossing a block boundary with a ragged tail, special left
+            // terms breaking up the wide runs mid-stream, and specials in
+            // the right-hand rows — all must stay bit-identical to
+            // sequential per-term axpy.
+            let (terms, cols) = (21, 79);
+            let mut ta: Vec<f32> = (0..terms).map(|_| rng.gen_range(-3.0f32..3.0)).collect();
+            ta[4] = 0.0;
+            ta[5] = f32::NAN;
+            ta[13] = f32::from_bits(2); // denormal splits a would-be wide run
+            let mut tb: Vec<f32> = (0..terms * cols).map(|_| rng.gen_range(-3.0f32..3.0)).collect();
+            tb[7] = f32::INFINITY;
+            tb[cols + 64] = 0.0;
+            tb[3 * cols + 11] = f32::NAN;
+            tb[terms * cols - 1] = f32::from_bits(1);
+            let mut fused = vec![0.125f32; cols];
+            m.axpy_fused(&ta, &tb, &mut fused);
+            let mut seq = vec![0.125f32; cols];
+            for t in 0..terms {
+                m.axpy_slice(ta[t], &tb[t * cols..(t + 1) * cols], &mut seq);
+            }
+            for i in 0..cols {
+                assert_eq!(fused[i].to_bits(), seq[i].to_bits(), "{} fused[{i}]", m.name());
             }
         }
     }

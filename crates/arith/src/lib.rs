@@ -54,6 +54,39 @@
 //!   [`quantized::lut_gemm`] accumulates them with exact `f32` adds
 //!   (runtime-dispatched AVX-512/AVX2 hardware gathers, scalar fallback).
 //!   This is what int8 serving plans in `da_nn::engine` run on.
+//! * When additionally the **weights are 4-bit codes**, [`ProductLut4`]
+//!   shrinks the table to 256×16 — one cache line per activation code — and
+//!   [`quantized::lut4_gemm`] replaces every hardware gather with an
+//!   **in-register shuffle** (`vpermps` over a zmm-/ymm-resident table row),
+//!   the fastest inner loop in the crate.
+//! * For **gate-level cores without a closed form** (HEAP, rotating ablation
+//!   wirings), [`bitslice`] evaluates the netlist itself over 64-wide (or,
+//!   through [`Multiplier::axpy_fused`], 8×64-wide) lane planes of machine
+//!   words — no table to build or invalidate, which is what makes rotating
+//!   schedules viable at serving throughput.
+//!
+//! # Backend decision tree
+//!
+//! How a GEMM picks its backend, from most to least specialized:
+//!
+//! 1. **Int4 weight codes available** (plan compiled at
+//!    `Int4Weights` precision and the layer passed its calibration gap
+//!    check) → [`quantized::lut4_gemm`] in-register shuffle. Needs only a
+//!    16-entry table row per activation code; AVX-512 `vpermutexvar_ps`,
+//!    AVX2 `vpermps`+blend, scalar fallback.
+//! 2. **Int8 codes available** (quantized serving plan) →
+//!    [`quantized::lut_gemm`] 256×256 table gather. AVX-512/AVX2 hardware
+//!    gathers, scalar fallback.
+//! 3. **f32 operands, closed-form core** (exact array, canonical AMA5
+//!    Ax-FPM, Bfloat16 truncation) → [`simd`] lane kernels: branchless
+//!    `LANES`-wide block pipelines over classified rows.
+//! 4. **f32 operands, gate-level core** (HEAP, ablation wirings) →
+//!    one-shot kernels run the [`bitslice`] plane sweep via
+//!    [`Multiplier::axpy_fused`]; memoized per-worker kernels keep the
+//!    [`batch::SigProductCache`] LUT path (its hit/miss counters are part
+//!    of the observable serving contract).
+//! 5. **Anything else** (special values, ragged tails, non-x86 targets) →
+//!    the scalar loop, which is always the semantic ground truth.
 //!
 //! Every batched path is **bit-identical** to the scalar loop it replaces
 //! (enforced by property tests here and in `da_nn`); approximation stays a
@@ -91,6 +124,9 @@ mod multiplier;
 pub use adders::AdderKind;
 pub use array::{ArrayMultiplier, ArrayMultiplierSpec, CellAssignment, CpaKind, PortMap};
 pub use batch::{BatchKernel, PreparedOperand, PreparedOperands, SigProductCache};
+pub use bitslice::{
+    transpose64, BitslicedArray, BITSLICE_LANES, BITSLICE_WIDE, BITSLICE_WIDE_LANES,
+};
 pub use multiplier::{ExactMultiplier, Multiplier, MultiplierKind};
-pub use quantized::{ProductLut, QuantParams};
+pub use quantized::{Lut4Order, ProductLut, ProductLut4, QuantParams, QuantParams4};
 pub use simd::{classify_row, RowClass, LANES};

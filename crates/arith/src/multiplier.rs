@@ -76,6 +76,26 @@ pub trait Multiplier: Send + Sync {
         }
     }
 
+    /// Fused multi-term axpy: `acc[j] += Σ_t multiply(a[t], b[t*acc.len()+j])`,
+    /// accumulated per element in ascending `t` — bit-identical to calling
+    /// [`Multiplier::axpy_slice`] once per `a[t]` in order. `b` is the
+    /// row-major `a.len() × acc.len()` block of right-hand operands.
+    ///
+    /// Gate-level designs override this to batch the `a[t]` terms through
+    /// the bit-sliced plane sweep, filling all sub-blocks of a wide sweep
+    /// even when `acc.len()` alone is too short to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != a.len() * acc.len()`.
+    fn axpy_fused(&self, a: &[f32], b: &[f32], acc: &mut [f32]) {
+        assert_eq!(b.len(), a.len() * acc.len(), "axpy_fused length mismatch");
+        let n = acc.len();
+        for (t, &x) in a.iter().enumerate() {
+            self.axpy_slice(x, &b[t * n..(t + 1) * n], acc);
+        }
+    }
+
     /// A stateful per-worker kernel for batched inner loops.
     ///
     /// The default delegates to the slice methods above. Gate-level

@@ -88,6 +88,9 @@ use crate::multiplier::Multiplier;
 /// Codes per operand side (8-bit quantization).
 pub const CODES: usize = 256;
 
+/// Codes per int4 operand side (weight-only 4-bit quantization).
+pub const CODES4: usize = 16;
+
 /// An affine per-tensor quantizer: `value = scale · (code − zero_point)`.
 ///
 /// `scale` is always positive and finite, and `zero_point` is itself a code,
@@ -204,6 +207,88 @@ impl QuantParams {
             (0.0, 0.0)
         } else {
             (lo, hi)
+        }
+    }
+}
+
+/// An affine per-tensor **int4** quantizer: 16 codes spread across the
+/// observed range, zero always exactly representable — the weight-side
+/// companion of [`QuantParams`] for [`ProductLut4`] plans. Codes live in the
+/// low nibble of a `u8` (`0..=15`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams4 {
+    scale: f32,
+    inv_scale: f32,
+    zero_point: u8,
+}
+
+impl QuantParams4 {
+    /// A 16-code quantizer spanning `[lo, hi]`, widened to include `0.0`;
+    /// degenerate or non-finite ranges fall back to unit scale (see
+    /// [`QuantParams::from_range`]).
+    pub fn from_range(lo: f32, hi: f32) -> QuantParams4 {
+        let lo = if lo.is_finite() { lo.min(0.0) } else { 0.0 };
+        let hi = if hi.is_finite() { hi.max(0.0) } else { 0.0 };
+        let scale = (hi - lo) / (CODES4 - 1) as f32;
+        if scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+            || !scale.is_finite()
+            || !(1.0 / scale).is_finite()
+        {
+            return QuantParams4 { scale: 1.0, inv_scale: 1.0, zero_point: 0 };
+        }
+        let zero_point = (-lo / scale).round().clamp(0.0, 15.0) as u8;
+        QuantParams4 { scale, inv_scale: 1.0 / scale, zero_point }
+    }
+
+    /// The positive step between adjacent codes.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The code representing exactly `0.0`.
+    pub fn zero_point(&self) -> u8 {
+        self.zero_point
+    }
+
+    /// The real value of `code` (taken modulo 16, like every int4 kernel).
+    #[inline]
+    pub fn dequantize(&self, code: u8) -> f32 {
+        self.scale * ((code & 0xF) as i32 - self.zero_point as i32) as f32
+    }
+
+    /// The nearest code for `x` (ties to even), saturating to `0..=15`;
+    /// NaN maps to the zero point. Same branch-free magic-number rounding
+    /// as [`QuantParams::quantize`].
+    #[inline]
+    pub fn quantize(&self, x: f32) -> u8 {
+        let v = x * self.inv_scale + self.zero_point as f32;
+        let v = if x.is_nan() { self.zero_point as f32 } else { v };
+        let magic = (1u32 << 23) as f32;
+        let f = v.clamp(0.0, 15.0) + magic;
+        (f.to_bits() & 0xF) as u8
+    }
+
+    /// Quantize a slice (`out[i] = quantize(xs[i])`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn quantize_slice(&self, xs: &[f32], out: &mut [u8]) {
+        assert_eq!(xs.len(), out.len(), "quantize_slice length mismatch");
+        for (o, &x) in out.iter_mut().zip(xs) {
+            *o = self.quantize(x);
+        }
+    }
+
+    /// Dequantize a slice (`out[i] = dequantize(codes[i])`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dequantize_slice(&self, codes: &[u8], out: &mut [f32]) {
+        assert_eq!(codes.len(), out.len(), "dequantize_slice length mismatch");
+        for (o, &q) in out.iter_mut().zip(codes) {
+            *o = self.dequantize(q);
         }
     }
 }
@@ -862,6 +947,414 @@ unsafe fn gemm_avx512(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Int4 weight codes: 256×16 product tables and in-register shuffle GEMM.
+//
+// With weights down to 16 codes (activations stay u8), each activation code
+// selects one 16-entry table row — 64 bytes, exactly one cache line, one zmm
+// register. The inner loop needs no hardware gather at all: the row is
+// register-resident and each weight code picks its product with a shuffle
+// (`vpermps`), which retires ~an order of magnitude faster than `vgatherdps`.
+// ---------------------------------------------------------------------------
+
+/// Which operand of the underlying multiplier the **weight** is — product
+/// tables bake the operand order in, and approximate multipliers need not be
+/// commutative. Convolutions multiply `(weight, activation)`
+/// ([`Lut4Order::WeightsLeft`]); this crate's dense reference multiplies
+/// `(activation, weight)` ([`Lut4Order::ActivationsLeft`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lut4Order {
+    /// Entry `(qact, qw)` is `m.multiply(w(qw), act(qact))`.
+    WeightsLeft,
+    /// Entry `(qact, qw)` is `m.multiply(act(qact), w(qw))`.
+    ActivationsLeft,
+}
+
+/// The 256×16 product table of one [`Multiplier`] over an activation
+/// quantizer and an int4 **weight** quantizer:
+/// `table[(qact << 4) | qw]` is the multiplier's product over the decoded
+/// pair, in the operand order recorded by [`Lut4Order`] — 4 Ki entries,
+/// 16 KiB (L1-resident; each activation code's row is one cache line).
+#[derive(Clone)]
+pub struct ProductLut4 {
+    table: Vec<f32>,
+    act: QuantParams,
+    w: QuantParams4,
+    order: Lut4Order,
+    /// Whether the activation zero-point row is exactly `±0.0` (it is for
+    /// every multiplier in the tree) — enables the same bitwise-neutral
+    /// zero-point skip as [`ProductLut::zero_a_row`].
+    zero_act_row: bool,
+}
+
+impl ProductLut4 {
+    /// Evaluate `m` over every (activation, weight) code pair.
+    pub fn build(
+        m: &dyn Multiplier,
+        act: QuantParams,
+        w: QuantParams4,
+        order: Lut4Order,
+    ) -> ProductLut4 {
+        let mut table = vec![0.0f32; CODES * CODES4];
+        for qa in 0..CODES {
+            let av = act.dequantize(qa as u8);
+            let row = &mut table[qa << 4..(qa << 4) + CODES4];
+            for (qw, slot) in row.iter_mut().enumerate() {
+                let wv = w.dequantize(qw as u8);
+                *slot = match order {
+                    Lut4Order::WeightsLeft => m.multiply(wv, av),
+                    Lut4Order::ActivationsLeft => m.multiply(av, wv),
+                };
+            }
+        }
+        let zp = act.zero_point() as usize;
+        let zero_act_row = table[zp << 4..(zp << 4) + CODES4].iter().all(|v| *v == 0.0);
+        ProductLut4 { table, act, w, order, zero_act_row }
+    }
+
+    /// The product for code pair `(qact, qw)` — bit-identical to the scalar
+    /// multiplier over the decoded pair (codes taken modulo their width,
+    /// like every kernel path).
+    #[inline]
+    pub fn product(&self, qact: u8, qw: u8) -> f32 {
+        self.table[((qact as usize) << 4) | (qw & 0xF) as usize]
+    }
+
+    /// The activation-side quantizer.
+    pub fn act_params(&self) -> QuantParams {
+        self.act
+    }
+
+    /// The weight-side int4 quantizer.
+    pub fn w_params(&self) -> QuantParams4 {
+        self.w
+    }
+
+    /// The operand order the table was built with.
+    pub fn order(&self) -> Lut4Order {
+        self.order
+    }
+
+    /// The raw table (`[(qact << 4) | qw]` layout), for kernels.
+    #[inline]
+    pub fn table(&self) -> &[f32] {
+        &self.table
+    }
+}
+
+impl std::fmt::Debug for ProductLut4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProductLut4")
+            .field("act", &self.act)
+            .field("w", &self.w)
+            .field("order", &self.order)
+            .field("entries", &self.table.len())
+            .finish()
+    }
+}
+
+/// Int4-weight shuffle GEMM over code matrices:
+/// `acc[r·acc_stride + j] += lut[(qa[r·k + kk] << 4) | qw[kk·tile + j]]` for
+/// every output row `r < rows` and column `j < tile`, accumulated with `kk`
+/// ascending per element — bit-identical to [`lut4_gemm_reference`] (and
+/// therefore to the scalar multiplier over dequantized codes).
+///
+/// `qa` holds u8 **activation** codes (the row side) and `qw` int4 **weight**
+/// codes in the low nibble (taken modulo 16 on every path). Convolutions run
+/// this formulation transposed — patch pixels as rows, out-channels as
+/// columns — so the 4-bit codes always vary along the vectorized `j` axis,
+/// which is what lets each activation's 16-entry table row stay in one
+/// register and each weight code pick its product with an in-register
+/// shuffle instead of a hardware gather.
+///
+/// Dispatches at runtime to AVX-512 (`vpermps` over a zmm-resident row) /
+/// AVX2 (two ymm halves + `vpermps` + blend) shuffle kernels, falling back
+/// to [`lut4_gemm_scalar`]; every path is bit-identical. Rows additionally
+/// skip activation codes at the zero point when that table row is exactly
+/// `±0.0` (same bitwise-neutral contract as [`lut_gemm`]).
+///
+/// # Panics
+///
+/// Panics as [`lut_gemm`] does (same shape preconditions).
+pub fn lut4_gemm(
+    lut: &ProductLut4,
+    qa: &[u8],
+    rows: usize,
+    k: usize,
+    qw: &[u8],
+    tile: usize,
+    acc: &mut [f32],
+    acc_stride: usize,
+) {
+    check_gemm(qa, rows, k, qw, tile, acc, acc_stride);
+    let skip = if lut.zero_act_row { Some(lut.act.zero_point()) } else { None };
+    #[cfg(target_arch = "x86_64")]
+    {
+        match gather_level() {
+            GatherLevel::Avx512 => {
+                // SAFETY: preconditions checked above; the kernel requires
+                // avx512f, which `gather_level` just probed.
+                unsafe { gemm4_avx512(&lut.table, qa, rows, k, qw, tile, acc, acc_stride, skip) }
+                return;
+            }
+            GatherLevel::Avx2 => {
+                // SAFETY: as above, for avx2.
+                unsafe { gemm4_avx2(&lut.table, qa, rows, k, qw, tile, acc, acc_stride, skip) }
+                return;
+            }
+            GatherLevel::Scalar => {}
+        }
+    }
+    gemm4_scalar(&lut.table, qa, rows, k, qw, tile, acc, acc_stride, skip);
+}
+
+/// The portable scalar body of [`lut4_gemm`] (also its non-x86 and pre-AVX2
+/// fallback), exposed so conformance tests can pin every dispatch path
+/// against the same reference.
+///
+/// # Panics
+///
+/// Panics as [`lut4_gemm`] does.
+pub fn lut4_gemm_scalar(
+    lut: &ProductLut4,
+    qa: &[u8],
+    rows: usize,
+    k: usize,
+    qw: &[u8],
+    tile: usize,
+    acc: &mut [f32],
+    acc_stride: usize,
+) {
+    check_gemm(qa, rows, k, qw, tile, acc, acc_stride);
+    let skip = if lut.zero_act_row { Some(lut.act.zero_point()) } else { None };
+    gemm4_scalar(&lut.table, qa, rows, k, qw, tile, acc, acc_stride, skip);
+}
+
+/// The semantic ground truth [`lut4_gemm`] is tested against: the same loop
+/// with every product computed by the scalar multiplier on dequantized codes
+/// in the table's operand order.
+///
+/// # Panics
+///
+/// Panics as [`lut4_gemm`] does.
+#[allow(clippy::too_many_arguments)]
+pub fn lut4_gemm_reference(
+    m: &dyn Multiplier,
+    act: QuantParams,
+    w: QuantParams4,
+    order: Lut4Order,
+    qa: &[u8],
+    rows: usize,
+    k: usize,
+    qw: &[u8],
+    tile: usize,
+    acc: &mut [f32],
+    acc_stride: usize,
+) {
+    check_gemm(qa, rows, k, qw, tile, acc, acc_stride);
+    for r in 0..rows {
+        let acc_row = &mut acc[r * acc_stride..r * acc_stride + tile];
+        for kk in 0..k {
+            let av = act.dequantize(qa[r * k + kk]);
+            let wrow = &qw[kk * tile..(kk + 1) * tile];
+            for (o, &cw) in acc_row.iter_mut().zip(wrow) {
+                let wv = w.dequantize(cw);
+                *o += match order {
+                    Lut4Order::WeightsLeft => m.multiply(wv, av),
+                    Lut4Order::ActivationsLeft => m.multiply(av, wv),
+                };
+            }
+        }
+    }
+}
+
+/// Scalar int4 kernel: per output row, 4 not-skipped k-steps blocked so each
+/// accumulator round-trips memory once per four products (mirroring
+/// [`gemm_scalar`]'s single-row path — the skip applies to every row here
+/// because each output row owns its accumulators).
+#[allow(clippy::too_many_arguments)]
+fn gemm4_scalar(
+    table: &[f32],
+    qa: &[u8],
+    rows: usize,
+    k: usize,
+    qw: &[u8],
+    tile: usize,
+    acc: &mut [f32],
+    acc_stride: usize,
+    skip: Option<u8>,
+) {
+    for r in 0..rows {
+        let qa_row = &qa[r * k..(r + 1) * k];
+        let mut kk = 0usize;
+        loop {
+            let mut ks = [0usize; 4];
+            let cnt = next_k_block(qa_row, skip, &mut kk, &mut ks);
+            if cnt == 4 {
+                let base = [
+                    (qa_row[ks[0]] as usize) << 4,
+                    (qa_row[ks[1]] as usize) << 4,
+                    (qa_row[ks[2]] as usize) << 4,
+                    (qa_row[ks[3]] as usize) << 4,
+                ];
+                let arow = &mut acc[r * acc_stride..r * acc_stride + tile];
+                for (j, o) in arow.iter_mut().enumerate() {
+                    let mut a = *o;
+                    a += table[base[0] + (qw[ks[0] * tile + j] & 0xF) as usize];
+                    a += table[base[1] + (qw[ks[1] * tile + j] & 0xF) as usize];
+                    a += table[base[2] + (qw[ks[2] * tile + j] & 0xF) as usize];
+                    a += table[base[3] + (qw[ks[3] * tile + j] & 0xF) as usize];
+                    *o = a;
+                }
+            } else {
+                for &ki in &ks[..cnt] {
+                    let base = (qa_row[ki] as usize) << 4;
+                    let row = &table[base..base + CODES4];
+                    let wrow = &qw[ki * tile..(ki + 1) * tile];
+                    let arow = &mut acc[r * acc_stride..r * acc_stride + tile];
+                    for (o, &q) in arow.iter_mut().zip(wrow) {
+                        *o += row[(q & 0xF) as usize];
+                    }
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// AVX-512 int4 body: each activation code's 16-entry table row is loaded
+/// once into a zmm register; 16 weight codes per step pick their products
+/// with `vpermps` (`_mm512_permutexvar_ps` indexes modulo 16, matching the
+/// scalar nibble mask). No gathers anywhere in the loop.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm4_avx512(
+    table: &[f32],
+    qa: &[u8],
+    rows: usize,
+    k: usize,
+    qw: &[u8],
+    tile: usize,
+    acc: &mut [f32],
+    acc_stride: usize,
+    skip: Option<u8>,
+) {
+    use std::arch::x86_64::*;
+    for r in 0..rows {
+        let qa_row = &qa[r * k..(r + 1) * k];
+        let mut kk = 0usize;
+        loop {
+            let mut ks = [0usize; 4];
+            let cnt = next_k_block(qa_row, skip, &mut kk, &mut ks);
+            if cnt < 4 {
+                for &ki in &ks[..cnt] {
+                    let base = (qa_row[ki] as usize) << 4;
+                    let row = &table[base..base + CODES4];
+                    let wrow = &qw[ki * tile..(ki + 1) * tile];
+                    let arow = &mut acc[r * acc_stride..r * acc_stride + tile];
+                    for (o, &q) in arow.iter_mut().zip(wrow) {
+                        *o += row[(q & 0xF) as usize];
+                    }
+                }
+                break;
+            }
+            let rowv: [__m512; 4] = std::array::from_fn(|i| {
+                _mm512_loadu_ps(table.as_ptr().add((qa_row[ks[i]] as usize) << 4))
+            });
+            let mut j = 0;
+            while j + 16 <= tile {
+                let mut a0 = _mm512_loadu_ps(acc.as_ptr().add(r * acc_stride + j));
+                for i in 0..4 {
+                    let idx = _mm512_cvtepu8_epi32(_mm_loadu_si128(
+                        qw.as_ptr().add(ks[i] * tile + j) as *const __m128i,
+                    ));
+                    a0 = _mm512_add_ps(a0, _mm512_permutexvar_ps(idx, rowv[i]));
+                }
+                _mm512_storeu_ps(acc.as_mut_ptr().add(r * acc_stride + j), a0);
+                j += 16;
+            }
+            for j in j..tile {
+                let slot = r * acc_stride + j;
+                let mut a = acc[slot];
+                for &ki in &ks {
+                    a += table[((qa_row[ki] as usize) << 4) + (qw[ki * tile + j] & 0xF) as usize];
+                }
+                acc[slot] = a;
+            }
+        }
+    }
+}
+
+/// AVX2 int4 body: each table row lives in two ymm halves (codes 0–7 and
+/// 8–15); `vpermps` picks from both and a blend on index bit 3 (shifted to
+/// the sign position) selects the half — still no gathers.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm4_avx2(
+    table: &[f32],
+    qa: &[u8],
+    rows: usize,
+    k: usize,
+    qw: &[u8],
+    tile: usize,
+    acc: &mut [f32],
+    acc_stride: usize,
+    skip: Option<u8>,
+) {
+    use std::arch::x86_64::*;
+    for r in 0..rows {
+        let qa_row = &qa[r * k..(r + 1) * k];
+        let mut kk = 0usize;
+        loop {
+            let mut ks = [0usize; 4];
+            let cnt = next_k_block(qa_row, skip, &mut kk, &mut ks);
+            if cnt < 4 {
+                for &ki in &ks[..cnt] {
+                    let base = (qa_row[ki] as usize) << 4;
+                    let row = &table[base..base + CODES4];
+                    let wrow = &qw[ki * tile..(ki + 1) * tile];
+                    let arow = &mut acc[r * acc_stride..r * acc_stride + tile];
+                    for (o, &q) in arow.iter_mut().zip(wrow) {
+                        *o += row[(q & 0xF) as usize];
+                    }
+                }
+                break;
+            }
+            let lo: [__m256; 4] = std::array::from_fn(|i| {
+                _mm256_loadu_ps(table.as_ptr().add((qa_row[ks[i]] as usize) << 4))
+            });
+            let hi: [__m256; 4] = std::array::from_fn(|i| {
+                _mm256_loadu_ps(table.as_ptr().add(((qa_row[ks[i]] as usize) << 4) + 8))
+            });
+            let mut j = 0;
+            while j + 8 <= tile {
+                let mut a0 = _mm256_loadu_ps(acc.as_ptr().add(r * acc_stride + j));
+                for i in 0..4 {
+                    let idx = _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+                        qw.as_ptr().add(ks[i] * tile + j) as *const __m128i,
+                    ));
+                    let pick_lo = _mm256_permutevar8x32_ps(lo[i], idx);
+                    let pick_hi = _mm256_permutevar8x32_ps(hi[i], idx);
+                    let sel = _mm256_castsi256_ps(_mm256_slli_epi32(idx, 28));
+                    a0 = _mm256_add_ps(a0, _mm256_blendv_ps(pick_lo, pick_hi, sel));
+                }
+                _mm256_storeu_ps(acc.as_mut_ptr().add(r * acc_stride + j), a0);
+                j += 8;
+            }
+            for j in j..tile {
+                let slot = r * acc_stride + j;
+                let mut a = acc[slot];
+                for &ki in &ks {
+                    a += table[((qa_row[ki] as usize) << 4) + (qw[ki * tile + j] & 0xF) as usize];
+                }
+                acc[slot] = a;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -960,5 +1453,117 @@ mod tests {
         );
         let mut acc = [0.0f32; 5];
         lut_gemm(&lut, &[0, 0], 2, 1, &[0, 0, 0], 3, &mut acc, 3);
+    }
+
+    #[test]
+    fn int4_params_include_zero_and_round_trip_grid() {
+        let q = QuantParams4::from_range(-1.0, 3.0);
+        assert!(q.scale() > 0.0);
+        assert_eq!(q.dequantize(q.zero_point()), 0.0);
+        for code in 0..CODES4 as u8 {
+            assert_eq!(q.quantize(q.dequantize(code)), code, "code {code}");
+        }
+        // Codes dequantize modulo 16, like every kernel path.
+        assert_eq!(q.dequantize(0x35).to_bits(), q.dequantize(0x5).to_bits());
+        // Saturation + NaN behaviour mirrors the u8 quantizer.
+        assert_eq!(q.quantize(-100.0), 0);
+        assert_eq!(q.quantize(100.0), 15);
+        assert_eq!(q.quantize(f32::NAN), q.zero_point());
+        for (lo, hi) in [(0.0, 0.0), (f32::NAN, 1.0), (0.0, f32::INFINITY)] {
+            let d = QuantParams4::from_range(lo, hi);
+            assert!(d.scale().is_finite() && d.scale() > 0.0, "({lo}, {hi}) -> {d:?}");
+        }
+        let pos = QuantParams4::from_range(0.5, 4.0);
+        assert_eq!(pos.zero_point(), 0, "range widened down to zero");
+        let neg = QuantParams4::from_range(-4.0, -0.5);
+        assert_eq!(neg.zero_point(), 15, "range widened up to zero");
+    }
+
+    #[test]
+    fn lut4_stores_exact_products_in_both_operand_orders() {
+        let act = QuantParams::from_range(-2.0, 2.0);
+        let w = QuantParams4::from_range(-1.5, 0.5);
+        for order in [Lut4Order::WeightsLeft, Lut4Order::ActivationsLeft] {
+            let lut = ProductLut4::build(&ExactMultiplier, act, w, order);
+            for (qa, qw) in [(0u8, 0u8), (17, 9), (255, 15), (act.zero_point(), 3)] {
+                let (x, y) = match order {
+                    Lut4Order::WeightsLeft => (w.dequantize(qw), act.dequantize(qa)),
+                    Lut4Order::ActivationsLeft => (act.dequantize(qa), w.dequantize(qw)),
+                };
+                assert_eq!(lut.product(qa, qw).to_bits(), (x * y).to_bits());
+            }
+            assert_eq!(lut.act_params(), act);
+            assert_eq!(lut.w_params(), w);
+            assert_eq!(lut.order(), order);
+            assert_eq!(lut.table().len(), CODES * CODES4);
+        }
+    }
+
+    #[test]
+    fn lut4_gemm_matches_reference_on_all_paths() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let act = QuantParams::from_range(-1.0, 1.0);
+        let w = QuantParams4::from_range(-1.0, 1.0);
+        let m = ExactMultiplier;
+        for order in [Lut4Order::WeightsLeft, Lut4Order::ActivationsLeft] {
+            let lut = ProductLut4::build(&m, act, w, order);
+            for (rows, k, tile) in [(1, 1, 1), (2, 7, 15), (3, 9, 17), (4, 13, 33), (5, 150, 64)] {
+                let stride = tile + 3;
+                let mut qa: Vec<u8> = (0..rows * k).map(|_| rng.gen()).collect();
+                // Plant zero-point codes so the skip path runs.
+                for slot in qa.iter_mut().step_by(5) {
+                    *slot = act.zero_point();
+                }
+                let qw: Vec<u8> = (0..k * tile).map(|_| rng.gen::<u8>() & 0xF).collect();
+                let seed: Vec<f32> =
+                    (0..rows * stride).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+
+                let mut want = seed.clone();
+                lut4_gemm_reference(&m, act, w, order, &qa, rows, k, &qw, tile, &mut want, stride);
+                let mut got = seed.clone();
+                lut4_gemm(&lut, &qa, rows, k, &qw, tile, &mut got, stride);
+                let mut got_s = seed.clone();
+                lut4_gemm_scalar(&lut, &qa, rows, k, &qw, tile, &mut got_s, stride);
+                for i in 0..want.len() {
+                    assert_eq!(got[i].to_bits(), want[i].to_bits(), "{rows}x{k}x{tile} [{i}]");
+                    assert_eq!(
+                        got_s[i].to_bits(),
+                        want[i].to_bits(),
+                        "scalar {rows}x{k}x{tile} [{i}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lut4_gemm_ignores_high_weight_nibble() {
+        let act = QuantParams::from_range(-1.0, 1.0);
+        let w = QuantParams4::from_range(-1.0, 1.0);
+        let lut = ProductLut4::build(&ExactMultiplier, act, w, Lut4Order::ActivationsLeft);
+        let qa = [200u8, 3, 77];
+        let qw_lo: Vec<u8> = (0..3 * 19).map(|i| (i % 16) as u8).collect();
+        let qw_hi: Vec<u8> = qw_lo.iter().map(|&q| q | 0xA0).collect();
+        let mut a = vec![0.0f32; 19];
+        let mut b = vec![0.0f32; 19];
+        lut4_gemm(&lut, &qa, 1, 3, &qw_lo, 19, &mut a, 19);
+        lut4_gemm(&lut, &qa, 1, 3, &qw_hi, 19, &mut b, 19);
+        for i in 0..19 {
+            assert_eq!(a[i].to_bits(), b[i].to_bits(), "[{i}]");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "acc too small")]
+    fn lut4_gemm_rejects_short_acc() {
+        let lut = ProductLut4::build(
+            &ExactMultiplier,
+            QuantParams::from_range(0.0, 1.0),
+            QuantParams4::from_range(0.0, 1.0),
+            Lut4Order::ActivationsLeft,
+        );
+        let mut acc = [0.0f32; 5];
+        lut4_gemm(&lut, &[0, 0], 2, 1, &[0, 0, 0], 3, &mut acc, 3);
     }
 }

@@ -1,20 +1,25 @@
-//! Conformance suite for the int8 quantized backend
+//! Conformance suite for the int8 and int4-weight quantized backends
 //! ([`da_arith::quantized`]).
 //!
-//! Two contracts are pinned here:
+//! Two contracts are pinned here, for both table widths:
 //!
 //! 1. **The table is the multiplier.** For every [`MultiplierKind`], every
-//!    one of the 256×256 [`ProductLut`] entries equals the scalar
-//!    multiplier's product over the decoded operand pair, bit for bit —
-//!    gate-level HEAP exactly like the closed-form cores.
-//! 2. **The gather is the loop.** [`lut_gemm`] (whatever hardware gather
-//!    tier the dispatcher picked) is bit-identical to the portable scalar
-//!    body and to [`lut_gemm_reference`] — the plain ascending-`k` loop of
-//!    scalar `multiply` calls — over adversarial shapes: empty and
-//!    single-element extents, every lane-width boundary (8/16 ± 1), ragged
-//!    tails, strided accumulators, and saturating code distributions.
+//!    one of the 256×256 [`ProductLut`] entries — and every one of the
+//!    256×16 [`ProductLut4`] entries, in both operand orders — equals the
+//!    scalar multiplier's product over the decoded operand pair, bit for
+//!    bit — gate-level HEAP exactly like the closed-form cores.
+//! 2. **The gather (or shuffle) is the loop.** [`lut_gemm`] and
+//!    [`lut4_gemm`] (whatever hardware tier the dispatcher picked) are
+//!    bit-identical to their portable scalar bodies and to the
+//!    `*_reference` forms — the plain ascending-`k` loop of scalar
+//!    `multiply` calls — over adversarial shapes: empty and single-element
+//!    extents, every lane-width boundary (8/16 ± 1), ragged tails, strided
+//!    accumulators, and saturating code distributions.
 
-use da_arith::quantized::{lut_gemm, lut_gemm_reference, lut_gemm_scalar, ProductLut, QuantParams};
+use da_arith::quantized::{
+    lut4_gemm, lut4_gemm_reference, lut4_gemm_scalar, lut_gemm, lut_gemm_reference,
+    lut_gemm_scalar, Lut4Order, ProductLut, ProductLut4, QuantParams, QuantParams4,
+};
 use da_arith::MultiplierKind;
 use rand::{Rng, SeedableRng};
 
@@ -180,6 +185,145 @@ fn strided_rows_leave_gaps_untouched() {
     let bc = adversarial_codes(k * tile, b.zero_point(), &mut r);
     let mut acc = vec![9.25f32; rows * stride];
     lut_gemm(&lut, &qa, rows, k, &bc, tile, &mut acc, stride);
+    for row in 0..rows {
+        for gap in tile..stride {
+            if row * stride + gap < acc.len() {
+                assert_eq!(acc[row * stride + gap], 9.25, "gap ({row}, {gap}) touched");
+            }
+        }
+    }
+}
+
+/// Int4 acceptance criterion: the exhaustive 256×16 table-vs-scalar sweep,
+/// every kind, both operand orders.
+#[test]
+fn every_lut4_entry_equals_the_scalar_multiplier_exhaustively() {
+    for kind in MultiplierKind::ALL {
+        let m = kind.build();
+        let act = QuantParams::from_range(-2.0, 2.0);
+        let w = QuantParams4::from_range(-1.0, 1.5);
+        for order in [Lut4Order::WeightsLeft, Lut4Order::ActivationsLeft] {
+            let lut = ProductLut4::build(&*m, act, w, order);
+            for qa in 0..=255u8 {
+                let av = act.dequantize(qa);
+                for qw in 0..16u8 {
+                    let wv = w.dequantize(qw);
+                    let want = match order {
+                        Lut4Order::WeightsLeft => m.multiply(wv, av),
+                        Lut4Order::ActivationsLeft => m.multiply(av, wv),
+                    };
+                    let got = lut.product(qa, qw);
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "{kind} {order:?}: entry ({qa}, {qw}) = {got:?}, scalar product {want:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Int4 weight codes with saturation pressure: mass at 0, 15, and the weight
+/// zero point, plus garbage in the high nibble (which every path must mask).
+fn adversarial_codes4(n: usize, zp: u8, r: &mut rand::rngs::StdRng) -> Vec<u8> {
+    (0..n)
+        .map(|_| {
+            let lo = match r.gen_range(0..6) {
+                0 => 0u8,
+                1 => 15,
+                2 => zp,
+                _ => r.gen_range(0..16),
+            };
+            lo | (r.gen::<u8>() & 0xF0)
+        })
+        .collect()
+}
+
+/// Property test: the int4 shuffle GEMM is bit-identical to the scalar
+/// quantized reference — dispatched kernel *and* portable scalar body — over
+/// the same adversarial shape grid as the int8 suite, for every multiplier
+/// kind and both operand orders.
+#[test]
+fn lut4_gemm_is_bit_identical_to_scalar_reference() {
+    let mut r = rng(13);
+    let shapes = [
+        (1usize, 1usize, 1usize),
+        (1, 7, 15),
+        (2, 4, 16),
+        (3, 9, 17),
+        (4, 12, 8),
+        (5, 6, 31),
+        (6, 150, 64),
+        (16, 25, 33),
+    ];
+    for kind in MultiplierKind::ALL {
+        let m = kind.build();
+        let act = QuantParams::from_range(-1.5, 1.5);
+        let w = QuantParams4::from_range(-0.25, 3.0);
+        for order in [Lut4Order::WeightsLeft, Lut4Order::ActivationsLeft] {
+            let lut = ProductLut4::build(&*m, act, w, order);
+            for &(rows, k, tile) in &shapes {
+                let stride = tile + 3;
+                let qa = adversarial_codes(rows * k, act.zero_point(), &mut r);
+                let qw = adversarial_codes4(k * tile, w.zero_point(), &mut r);
+                let seed: Vec<f32> = (0..rows * stride).map(|i| (i as f32) * 0.125 - 2.0).collect();
+
+                let mut acc_ref = seed.clone();
+                lut4_gemm_reference(
+                    &*m,
+                    act,
+                    w,
+                    order,
+                    &qa,
+                    rows,
+                    k,
+                    &qw,
+                    tile,
+                    &mut acc_ref,
+                    stride,
+                );
+                let mut acc_gemm = seed.clone();
+                lut4_gemm(&lut, &qa, rows, k, &qw, tile, &mut acc_gemm, stride);
+                let mut acc_scalar = seed.clone();
+                lut4_gemm_scalar(&lut, &qa, rows, k, &qw, tile, &mut acc_scalar, stride);
+
+                for i in 0..rows * stride {
+                    assert_eq!(
+                        acc_gemm[i].to_bits(),
+                        acc_ref[i].to_bits(),
+                        "{kind} {order:?} {rows}x{k}x{tile}@{stride}: dispatched kernel at {i}"
+                    );
+                    assert_eq!(
+                        acc_scalar[i].to_bits(),
+                        acc_ref[i].to_bits(),
+                        "{kind} {order:?} {rows}x{k}x{tile}@{stride}: scalar kernel at {i}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Zero-extent int4 GEMMs are no-ops; strided int4 rows leave gaps alone.
+#[test]
+fn lut4_empty_extents_and_stride_gaps_are_untouched() {
+    let m = MultiplierKind::Heap.build();
+    let act = QuantParams::from_range(-1.0, 1.0);
+    let w = QuantParams4::from_range(0.0, 2.0);
+    let lut = ProductLut4::build(&*m, act, w, Lut4Order::WeightsLeft);
+    let mut acc = vec![1.5f32; 6];
+    lut4_gemm(&lut, &[], 0, 3, &[0; 6], 2, &mut acc, 2); // zero rows
+    lut4_gemm(&lut, &[], 2, 0, &[], 3, &mut acc, 3); // zero k
+    lut4_gemm(&lut, &[0, 0], 2, 1, &[], 0, &mut acc, 3); // zero tile
+    assert!(acc.iter().all(|&v| v == 1.5), "untouched: {acc:?}");
+
+    let (rows, k, tile, stride) = (3usize, 5usize, 4usize, 7usize);
+    let mut r = rng(11);
+    let qa = adversarial_codes(rows * k, act.zero_point(), &mut r);
+    let qw = adversarial_codes4(k * tile, w.zero_point(), &mut r);
+    let mut acc = vec![9.25f32; rows * stride];
+    lut4_gemm(&lut, &qa, rows, k, &qw, tile, &mut acc, stride);
     for row in 0..rows {
         for gap in tile..stride {
             if row * stride + gap < acc.len() {

@@ -5,7 +5,9 @@
 //! *batched f32* rate (first numeric column), not the scalar baseline: the
 //! product table absorbs the whole hardware model, so the gather runs at
 //! one speed for every kind — a modest win over the closed-form lane
-//! kernels and orders of magnitude over gate-level HEAP.
+//! kernels and orders of magnitude over gate-level HEAP. Int4 rows
+//! (`<kind>-int4`) time the in-register shuffle GEMM (`lut4_gemm`) and
+//! compare against the int8 gather rate on the same shape.
 //!
 //! This is the perf baseline for future scaling PRs (SIMD, quantized int
 //! paths, sharding): run `cargo bench --bench gemm_backend_throughput` and
@@ -20,7 +22,9 @@
 
 use std::time::Instant;
 
-use da_arith::quantized::{lut_gemm, ProductLut, QuantParams};
+use da_arith::quantized::{
+    lut4_gemm, lut_gemm, Lut4Order, ProductLut, ProductLut4, QuantParams, QuantParams4,
+};
 use da_arith::MultiplierKind;
 use da_bench::json::{JsonEmitter, Record};
 use da_nn::layers::{gemm_with, matmul_with_scalar};
@@ -97,6 +101,13 @@ fn main() {
         let mut qb_codes = vec![0u8; k * n];
         bq_params.quantize_slice(b.data(), &mut qb_codes);
 
+        // Int4 weight codes for the in-register shuffle GEMM: activations
+        // keep their u8 codes, the weight operand drops to 16 codes so the
+        // 256×16 product table fits in registers (4 rows of 16 lanes).
+        let b4_params = QuantParams4::from_range(-1.0, 1.0);
+        let mut qb4_codes = vec![0u8; k * n];
+        b4_params.quantize_slice(b.data(), &mut qb4_codes);
+
         for kind in MultiplierKind::ALL {
             let mult = kind.build();
             // Gate-level HEAP at 256³ needs minutes per scalar run.
@@ -122,6 +133,45 @@ fn main() {
                     Some(scalar_q),
                     batched_q,
                 );
+            }
+
+            if kind == MultiplierKind::Heap {
+                // The table-free bit-sliced gate-level backend: GEMM through
+                // the fused multi-term axpy entry point, which runs cores
+                // without a closed form on `da_arith::BitslicedArray` (eight
+                // 64-lane sub-blocks per plane sweep, autovectorized to
+                // AVX-512/AVX2 boolean ops under runtime dispatch). This is
+                // the path rotating wirings ride — no precomputed table to
+                // invalidate.
+                let ad = a.data();
+                let bd = b.data();
+                let mut acc_bs = vec![0.0f32; m * n];
+                let bitslice_rate = macs_per_sec(macs, reps.max(3), || {
+                    acc_bs.fill(0.0);
+                    for r in 0..m {
+                        mult.axpy_fused(
+                            &ad[r * k..(r + 1) * k],
+                            bd,
+                            &mut acc_bs[r * n..(r + 1) * n],
+                        );
+                    }
+                    std::hint::black_box(acc_bs[0]);
+                    Tensor::zeros(&[1])
+                });
+                print_row(&format!("{m}x{k}x{n}"), "heap-bitslice", scalar, bitslice_rate);
+                let mut r = Record::new()
+                    .label("size", format!("{m}x{k}x{n}"))
+                    .label("multiplier", kind.as_str())
+                    .label("path", "bitslice")
+                    .metric("bitslice_macs_per_sec", bitslice_rate)
+                    .metric("batched_f32_macs_per_sec", batched)
+                    .metric("speedup_vs_batched_f32", bitslice_rate / batched);
+                if let Some(s) = scalar {
+                    r = r
+                        .metric("scalar_macs_per_sec", s)
+                        .metric("speedup_vs_scalar", bitslice_rate / s);
+                }
+                emitter.record(r);
             }
 
             // The int8 LUT-gather row: one table build per kind, then a
@@ -151,6 +201,39 @@ fn main() {
                     .metric("lut_macs_per_sec", lut_rate)
                     .metric("batched_f32_macs_per_sec", batched)
                     .metric("speedup_vs_batched_f32", lut_rate / batched),
+            );
+
+            // The int4 in-register shuffle row: the weight operand narrows
+            // to 16 codes, turning the hardware gather into a permute of
+            // four register-resident table rows. The point of comparison is
+            // the int8 gather rate on the same shape — same table semantics,
+            // cheaper indexing.
+            let lut4 = ProductLut4::build(&*mult, aq_params, b4_params, Lut4Order::ActivationsLeft);
+            let mut acc4 = vec![0.0f32; m * n];
+            let lut4_rate = macs_per_sec(macs, reps, || {
+                acc4.fill(0.0);
+                lut4_gemm(&lut4, &qa_codes, m, k, &qb4_codes, n, &mut acc4, n);
+                std::hint::black_box(acc4[0]);
+                Tensor::zeros(&[1])
+            });
+            println!(
+                "{:<12} {:<14} {:>16} {:>16} {:>8.1}x",
+                format!("{m}x{k}x{n}"),
+                format!("{}-int4", kind.as_str()),
+                human(lut_rate),
+                human(lut4_rate),
+                lut4_rate / lut_rate
+            );
+            emitter.record(
+                Record::new()
+                    .label("size", format!("{m}x{k}x{n}"))
+                    .label("multiplier", kind.as_str())
+                    .label("path", "int4-shuffle")
+                    .metric("lut4_macs_per_sec", lut4_rate)
+                    .metric("int8_lut_macs_per_sec", lut_rate)
+                    .metric("speedup_vs_int8_gather", lut4_rate / lut_rate)
+                    .metric("batched_f32_macs_per_sec", batched)
+                    .metric("speedup_vs_batched_f32", lut4_rate / batched),
             );
         }
         println!();

@@ -19,8 +19,11 @@
 //! every shared metric, and flags **regressions**: throughput metrics
 //! (`*_per_sec` and `speedup*` ratios) that dropped by more than the threshold
 //! (default 10%). Exits non-zero if any row regressed, so the diff doubles
-//! as a gate. Rows present in only one artifact are listed but never fail
-//! the comparison (benches grow tables over time).
+//! as a gate. Rows present in only one artifact are reported individually
+//! (`[new row]` / `[removed row]`) *and* tallied in a closing summary, so a
+//! row vanishing between artifacts — a bench silently dropping its int4 or
+//! bitslice table, say — is impossible to miss in the diff output. Orphan
+//! rows never fail the comparison (benches grow tables over time).
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -94,7 +97,15 @@ fn compare_command(args: &[String]) -> ExitCode {
     if old_doc.bench != new_doc.bench {
         eprintln!("warning: comparing different benches ({} vs {})", old_doc.bench, new_doc.bench);
     }
-    match compare(&old_doc, &new_doc, threshold) {
+    let outcome = compare(&old_doc, &new_doc, threshold);
+    if !outcome.added.is_empty() || !outcome.removed.is_empty() {
+        println!(
+            "rows only in one artifact: {} added, {} removed",
+            outcome.added.len(),
+            outcome.removed.len()
+        );
+    }
+    match outcome.regressions {
         0 => ExitCode::SUCCESS,
         n => {
             eprintln!("{n} metric(s) regressed beyond {threshold}%");
@@ -114,20 +125,31 @@ fn is_throughput(name: &str) -> bool {
     name.ends_with("_per_sec") || name.contains("speedup")
 }
 
-/// Print the per-row metric deltas; returns the number of flagged
-/// regressions.
-fn compare(old_doc: &BenchDoc, new_doc: &BenchDoc, threshold: f64) -> usize {
+/// What a comparison found: flagged regressions plus the row keys present
+/// in only one artifact. `main` prints the orphan tally; tests assert it.
+struct CompareOutcome {
+    regressions: usize,
+    /// Row keys present only in the new artifact.
+    added: Vec<String>,
+    /// Row keys present only in the old artifact.
+    removed: Vec<String>,
+}
+
+/// Print the per-row metric deltas; returns the flagged regressions and
+/// the added/removed orphan rows.
+fn compare(old_doc: &BenchDoc, new_doc: &BenchDoc, threshold: f64) -> CompareOutcome {
     println!(
         "comparing {} -> {} (regression threshold {threshold}%)",
         old_doc.bench, new_doc.bench
     );
-    let mut regressions = 0usize;
+    let mut outcome = CompareOutcome { regressions: 0, added: Vec::new(), removed: Vec::new() };
     let mut matched_old = vec![false; old_doc.records.len()];
     for new in &new_doc.records {
         let key = row_key(new);
         let old = old_doc.records.iter().position(|r| r.labels() == new.labels());
         let Some(oi) = old else {
             println!("  [new row]   {key}");
+            outcome.added.push(key);
             continue;
         };
         matched_old[oi] = true;
@@ -142,7 +164,7 @@ fn compare(old_doc: &BenchDoc, new_doc: &BenchDoc, threshold: f64) -> usize {
             }
             let delta = (new_v - old_v) / old_v * 100.0;
             let flag = if is_throughput(name) && delta < -threshold {
-                regressions += 1;
+                outcome.regressions += 1;
                 "  REGRESSION"
             } else {
                 ""
@@ -152,8 +174,50 @@ fn compare(old_doc: &BenchDoc, new_doc: &BenchDoc, threshold: f64) -> usize {
     }
     for (oi, seen) in matched_old.iter().enumerate() {
         if !seen {
-            println!("  [removed row] {}", row_key(&old_doc.records[oi]));
+            let key = row_key(&old_doc.records[oi]);
+            println!("  [removed row] {key}");
+            outcome.removed.push(key);
         }
     }
-    regressions
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(rows: Vec<Record>) -> BenchDoc {
+        BenchDoc { bench: "gemm_backend_throughput".into(), records: rows }
+    }
+
+    fn row(path: &str, rate: f64) -> Record {
+        Record::new().label("size", "64x64x64").label("path", path).metric("lut_macs_per_sec", rate)
+    }
+
+    #[test]
+    fn orphan_rows_are_reported_but_do_not_regress() {
+        let old = doc(vec![row("int8-lut", 3.0e9), row("bitslice", 1.0e8)]);
+        let new = doc(vec![row("int8-lut", 3.1e9), row("int4-shuffle", 9.0e9)]);
+        let out = compare(&old, &new, 10.0);
+        assert_eq!(out.regressions, 0);
+        assert_eq!(out.added, vec!["path=int4-shuffle size=64x64x64"]);
+        assert_eq!(out.removed, vec!["path=bitslice size=64x64x64"]);
+    }
+
+    #[test]
+    fn matched_rows_still_gate_on_throughput_drops() {
+        let old = doc(vec![row("int8-lut", 3.0e9)]);
+        let new = doc(vec![row("int8-lut", 1.0e9)]);
+        let out = compare(&old, &new, 10.0);
+        assert_eq!(out.regressions, 1);
+        assert!(out.added.is_empty() && out.removed.is_empty());
+    }
+
+    #[test]
+    fn identical_artifacts_have_no_orphans() {
+        let rows = vec![row("int8-lut", 3.0e9), row("int4-shuffle", 9.0e9)];
+        let out = compare(&doc(rows.clone()), &doc(rows), 10.0);
+        assert_eq!(out.regressions, 0);
+        assert!(out.added.is_empty() && out.removed.is_empty());
+    }
 }

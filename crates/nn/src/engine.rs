@@ -40,7 +40,7 @@
 //!
 //! # Choosing plan precision
 //!
-//! Plans compile in one of two numeric modes ([`PlanPrecision`]):
+//! Plans compile in one of three numeric modes ([`PlanPrecision`]):
 //!
 //! * **F32** ([`InferencePlan::compile`], the default everywhere): serves
 //!   over the batched f32 kernels, **bit-identical** to
@@ -61,6 +61,18 @@
 //!   capped by gather-instruction throughput), and three orders of
 //!   magnitude for gate-level HEAP, whose LUT gathers run exactly as fast
 //!   as everyone else's.
+//! * **Int4Weights** ([`InferencePlan::compile_quantized_int4`]): like
+//!   Int8, but weights narrow to 16 codes per tensor so each layer's
+//!   product table collapses to 256×16 entries and the GEMM runs as an
+//!   in-register shuffle ([`da_arith::quantized::lut4_gemm`]) instead of a
+//!   hardware gather — several times the int8 gather rate. Compilation
+//!   measures each conv/dense layer's int4-vs-int8 output gap on the
+//!   calibration batch and **falls back to int8 per layer** when the gap
+//!   exceeds the conformance threshold, so a plan is a mixed-precision
+//!   snapshot ([`InferencePlan::int4_layer_mix`] reports the split).
+//!   Choose it when weight tensors tolerate 4-bit codes (the compiler
+//!   decides per layer, so it is never worse than Int8 in accuracy by more
+//!   than the threshold).
 //!
 //! # Quickstart
 //!
@@ -87,7 +99,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use da_arith::quantized::{lut_gemm, requantize_bias_act, ProductLut, QuantParams};
+use da_arith::quantized::{
+    lut4_gemm, lut_gemm, requantize_bias_act, Lut4Order, ProductLut, ProductLut4, QuantParams,
+    QuantParams4,
+};
 use da_arith::{BatchKernel, ExactMultiplier, Multiplier, PreparedOperands, RowClass};
 use da_tensor::ops::ConvGeometry;
 use da_tensor::parallel::par_map_chunks_with;
@@ -258,8 +273,9 @@ enum Step {
     QConv {
         /// Weight codes, `[Cout, Cin·Kh·Kw]` row-major (the LUT's `a` side).
         qweight: Vec<u8>,
-        /// Product table over (weight, activation) codes.
-        lut: ProductLut,
+        /// Product table over (weight, activation) codes (shared across
+        /// steps with identical quantizer pairs).
+        lut: Arc<ProductLut>,
         bias: Vec<f32>,
         cout: usize,
         cin: usize,
@@ -277,8 +293,43 @@ enum Step {
     QDense {
         /// Pre-transposed weight codes, `[In, Out]` row-major (the `b` side).
         qwt: Vec<u8>,
-        /// Product table over (activation, weight) codes.
-        lut: ProductLut,
+        /// Product table over (activation, weight) codes (shared across
+        /// steps with identical quantizer pairs).
+        lut: Arc<ProductLut>,
+        bias: Vec<f32>,
+        in_features: usize,
+        out_features: usize,
+        fuse_relu: bool,
+        out: QOut,
+    },
+    /// Fused **int4-weight** quantized conv, run *transposed*: patch pixels
+    /// are the GEMM rows and out-channels the vectorized columns, so the
+    /// 4-bit weight codes vary along the in-register shuffle axis (see
+    /// [`da_arith::quantized::lut4_gemm`]).
+    QConv4 {
+        /// Transposed weight codes, `[Cin·Kh·Kw, Cout]` row-major, low
+        /// nibble.
+        qweight_t: Vec<u8>,
+        /// 256×16 product table over (weight, activation) codes.
+        lut: Arc<ProductLut4>,
+        bias: Vec<f32>,
+        cout: usize,
+        cin: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad: usize,
+        fuse_relu: bool,
+        out: QOut,
+    },
+    /// Fused int4-weight dense layer: a multi-row shuffle GEMM with the
+    /// activation codes as rows (the multiplier's left operand, mirroring
+    /// the f32 reference) and weight codes along the shuffle axis.
+    QDense4 {
+        /// Pre-transposed weight codes `[In, Out]` row-major, low nibble.
+        qwt: Vec<u8>,
+        /// 256×16 product table over (activation, weight) codes.
+        lut: Arc<ProductLut4>,
         bias: Vec<f32>,
         in_features: usize,
         out_features: usize,
@@ -321,6 +372,60 @@ pub enum PlanPrecision {
     /// Int8 serving over LUT-gather kernels
     /// ([`InferencePlan::compile_quantized`]).
     Int8,
+    /// Int8 activations with **int4 weight codes** where calibration allows:
+    /// conv/dense layers run the in-register shuffle GEMM
+    /// ([`da_arith::quantized::lut4_gemm`]) over a 256×16 table, falling
+    /// back per layer to the int8 gather when the measured accuracy gap is
+    /// too large ([`InferencePlan::compile_quantized_int4`]).
+    Int4Weights,
+}
+
+/// Per-layer int4 acceptance threshold: a conv/dense layer keeps int4
+/// weight codes only when the calibration-measured gap — the max absolute
+/// difference between its int4 and int8 post-bias pre-activation outputs,
+/// normalized by the int8 output spread — stays at or below this fraction.
+/// Layers whose weight distribution collapses onto too few of the 16 codes
+/// blow past it and fall back to the int8 gather.
+pub const INT4_FALLBACK_GAP: f32 = 0.25;
+
+/// Compile-time product-table cache: one [`ProductLut`] (64 KiB × 4 B) per
+/// *distinct* ordered quantizer pair instead of one per layer — layers whose
+/// operand ranges coincide (common after ReLU chains with shared weight
+/// scales) share a single `Arc` allocation. Keys are ordered `(a, b)` pairs,
+/// so conv tables (weights left) never falsely alias dense tables
+/// (activations left) even when the parameter values match.
+#[derive(Default)]
+struct LutCache {
+    int8: Vec<((QuantParams, QuantParams), Arc<ProductLut>)>,
+    int4: Vec<((QuantParams, QuantParams4, Lut4Order), Arc<ProductLut4>)>,
+}
+
+impl LutCache {
+    fn int8(&mut self, m: &dyn Multiplier, a: QuantParams, b: QuantParams) -> Arc<ProductLut> {
+        if let Some((_, lut)) = self.int8.iter().find(|((ca, cb), _)| *ca == a && *cb == b) {
+            return lut.clone();
+        }
+        let lut = Arc::new(ProductLut::build(m, a, b));
+        self.int8.push(((a, b), lut.clone()));
+        lut
+    }
+
+    fn int4(
+        &mut self,
+        m: &dyn Multiplier,
+        act: QuantParams,
+        w: QuantParams4,
+        order: Lut4Order,
+    ) -> Arc<ProductLut4> {
+        if let Some((_, lut)) =
+            self.int4.iter().find(|((ca, cw, co), _)| *ca == act && *cw == w && *co == order)
+        {
+            return lut.clone();
+        }
+        let lut = Arc::new(ProductLut4::build(m, act, w, order));
+        self.int4.push(((act, w, order), lut.clone()));
+        lut
+    }
 }
 
 /// Per-step shapes resolved for one input item shape.
@@ -588,6 +693,7 @@ impl InferencePlan {
         let (input_range, step_ranges) = f32_plan.observe_ranges(calibration);
         let lut_mult: Arc<dyn Multiplier> =
             multiplier.clone().unwrap_or_else(|| Arc::new(ExactMultiplier));
+        let mut lut_cache = LutCache::default();
 
         let mut act = QuantParams::from_range(input_range.0, input_range.1);
         let mut steps = vec![Step::QuantizeInput { params: act }];
@@ -607,7 +713,7 @@ impl InferencePlan {
                     let out_params = QuantParams::from_range(olo, ohi);
                     steps.push(Step::QConv {
                         qweight,
-                        lut: ProductLut::build(&*lut_mult, wq, act),
+                        lut: lut_cache.int8(&*lut_mult, wq, act),
                         bias: bias.clone(),
                         cout: *cout,
                         cin: *cin,
@@ -628,7 +734,7 @@ impl InferencePlan {
                     let out_params = QuantParams::from_range(olo, ohi);
                     steps.push(Step::QDense {
                         qwt,
-                        lut: ProductLut::build(&*lut_mult, act, wq),
+                        lut: lut_cache.int8(&*lut_mult, act, wq),
                         bias: bias.clone(),
                         in_features: *in_features,
                         out_features: *out_features,
@@ -659,6 +765,307 @@ impl InferencePlan {
             steps,
             last_write,
             precision: PlanPrecision::Int8,
+            layout: Mutex::new(None),
+            pool: Mutex::new(Vec::new()),
+            workspace_allocs: AtomicU64::new(0),
+        })
+    }
+
+    /// Compile `network` into an **int4-weight serving plan**: like
+    /// [`InferencePlan::compile_quantized`], but each conv/dense layer's
+    /// weights are additionally quantized to **16 codes** and the layer runs
+    /// the in-register shuffle GEMM ([`da_arith::quantized::lut4_gemm`]) —
+    /// unless the calibration batch measures too large an output gap
+    /// against the int8 layer, in which case that layer alone keeps the
+    /// int8 gather ([`INT4_FALLBACK_GAP`]; see
+    /// [`InferencePlan::int4_layer_mix`] for the resulting split).
+    ///
+    /// The gap is measured layer-locally on calibration *codes*: both
+    /// candidate layers consume the same upstream activations (produced by
+    /// the layers actually chosen so far), so the decision reflects the
+    /// plan that will really serve. Like the int8 plan, the result is
+    /// deterministic and schedule-independent; it is bit-identical to the
+    /// scalar int4 reference GEMM on every int4 layer and to the scalar
+    /// int8 reference on every fallback layer.
+    ///
+    /// Returns `None` exactly when [`InferencePlan::compile_quantized`]
+    /// would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calibration` is not a non-empty batch of the shape the
+    /// network serves.
+    pub fn compile_quantized_int4(
+        network: &Network,
+        multiplier: Option<Arc<dyn Multiplier>>,
+        calibration: &Tensor,
+    ) -> Option<InferencePlan> {
+        let f32_plan = InferencePlan::compile(network, multiplier.clone())?;
+        if f32_plan
+            .steps
+            .iter()
+            .any(|s| matches!(s, Step::BatchNorm { .. } | Step::QuantAct { .. }))
+        {
+            return None;
+        }
+        let (input_range, step_ranges) = f32_plan.observe_ranges(calibration);
+        let lut_mult: Arc<dyn Multiplier> =
+            multiplier.clone().unwrap_or_else(|| Arc::new(ExactMultiplier));
+        let mut lut_cache = LutCache::default();
+
+        let layout = f32_plan.layout_for(&calibration.shape()[1..]);
+        let item_in: usize = layout.item_shape.iter().product();
+        let ncal = calibration.shape()[0];
+        let xd = calibration.data();
+
+        let mut act = QuantParams::from_range(input_range.0, input_range.1);
+        // Calibration activations as codes, `[ncal × current_len]`, advanced
+        // through each *chosen* step so downstream gap measurements see the
+        // codes the compiled plan will actually produce.
+        let mut cal = vec![0u8; ncal * item_in];
+        act.quantize_slice(&xd[..ncal * item_in], &mut cal);
+        let mut next_cal: Vec<u8> = Vec::new();
+
+        let mut steps = vec![Step::QuantizeInput { params: act }];
+        for (t, step) in f32_plan.steps.iter().enumerate() {
+            let shapes = &layout.resolved[t];
+            let in_len: usize = shapes.in_shape.iter().product();
+            let out_len: usize = shapes.out_shape.iter().product();
+            match step {
+                Step::Conv { weights, bias, cout, cin, kh, kw, stride, pad, fuse_relu } => {
+                    let wmat: Vec<f32> = match weights {
+                        ConvWeights::Raw(w) => w.clone(),
+                        ConvWeights::Prepared(p) => (0..p.rows())
+                            .flat_map(|r| p.row(r).iter().map(|op| op.value()))
+                            .collect(),
+                    };
+                    let k = cin * kh * kw;
+                    let (wlo, whi) = QuantParams::observe(&wmat);
+                    let wq = QuantParams::from_range(wlo, whi);
+                    let qweight: Vec<u8> = wmat.iter().map(|&v| wq.quantize(v)).collect();
+                    let w4 = QuantParams4::from_range(wlo, whi);
+                    let q4: Vec<u8> = wmat.iter().map(|&v| w4.quantize(v)).collect();
+                    let mut qweight_t = vec![0u8; k * cout];
+                    for co in 0..*cout {
+                        for kk in 0..k {
+                            qweight_t[kk * cout + co] = q4[co * k + kk];
+                        }
+                    }
+                    let lut8 = lut_cache.int8(&*lut_mult, wq, act);
+                    let lut4 = lut_cache.int4(&*lut_mult, act, w4, Lut4Order::WeightsLeft);
+
+                    // Gap measurement: both candidates over the calibration
+                    // codes, compared post-bias pre-activation.
+                    let (h, w) = (shapes.in_shape[1], shapes.in_shape[2]);
+                    let (oh, ow) = (shapes.out_shape[1], shapes.out_shape[2]);
+                    let p_total = oh * ow;
+                    let pad_code = act.zero_point();
+                    let mut g8 = vec![0u8; k * p_total];
+                    let mut g4 = vec![0u8; p_total * k];
+                    let mut all8 = vec![0.0f32; ncal * cout * p_total];
+                    let mut all4 = vec![0.0f32; ncal * p_total * cout];
+                    for i in 0..ncal {
+                        let item = &cal[i * in_len..(i + 1) * in_len];
+                        gather_patches_u8(
+                            item, *cin, h, w, *kh, *kw, *stride, *pad, ow, 0, p_total, p_total, 0,
+                            &mut g8, pad_code,
+                        );
+                        let acc8 = &mut all8[i * cout * p_total..(i + 1) * cout * p_total];
+                        lut_gemm(&lut8, &qweight, *cout, k, &g8, p_total, acc8, p_total);
+                        gather_patch_rows_u8(
+                            item, *cin, h, w, *kh, *kw, *stride, *pad, ow, 0, p_total, &mut g4,
+                            pad_code,
+                        );
+                        let acc4 = &mut all4[i * p_total * cout..(i + 1) * p_total * cout];
+                        lut4_gemm(&lut4, &g4, p_total, k, &qweight_t, *cout, acc4, *cout);
+                    }
+                    let mut spread = (f32::INFINITY, f32::NEG_INFINITY);
+                    let mut max_diff = 0.0f32;
+                    for i in 0..ncal {
+                        for co in 0..*cout {
+                            for p in 0..p_total {
+                                let y8 = all8[(i * cout + co) * p_total + p] + bias[co];
+                                let y4 = all4[(i * p_total + p) * cout + co] + bias[co];
+                                spread.0 = spread.0.min(y8);
+                                spread.1 = spread.1.max(y8);
+                                max_diff = max_diff.max((y4 - y8).abs());
+                            }
+                        }
+                    }
+                    let (olo, ohi) = step_ranges[t];
+                    let out_params = QuantParams::from_range(olo, ohi);
+                    let use_int4 = gap_accepts_int4(max_diff, spread);
+                    // Advance calibration codes through the chosen layer.
+                    next_cal.clear();
+                    next_cal.resize(ncal * out_len, 0);
+                    for i in 0..ncal {
+                        for co in 0..*cout {
+                            for p in 0..p_total {
+                                let acc = if use_int4 {
+                                    all4[(i * p_total + p) * cout + co]
+                                } else {
+                                    all8[(i * cout + co) * p_total + p]
+                                };
+                                let v = acc + bias[co];
+                                let v = if *fuse_relu { v.max(0.0) } else { v };
+                                next_cal[i * out_len + co * p_total + p] = out_params.quantize(v);
+                            }
+                        }
+                    }
+                    std::mem::swap(&mut cal, &mut next_cal);
+                    if use_int4 {
+                        steps.push(Step::QConv4 {
+                            qweight_t,
+                            lut: lut4,
+                            bias: bias.clone(),
+                            cout: *cout,
+                            cin: *cin,
+                            kh: *kh,
+                            kw: *kw,
+                            stride: *stride,
+                            pad: *pad,
+                            fuse_relu: *fuse_relu,
+                            out: QOut::Codes(out_params),
+                        });
+                    } else {
+                        steps.push(Step::QConv {
+                            qweight,
+                            lut: lut8,
+                            bias: bias.clone(),
+                            cout: *cout,
+                            cin: *cin,
+                            kh: *kh,
+                            kw: *kw,
+                            stride: *stride,
+                            pad: *pad,
+                            fuse_relu: *fuse_relu,
+                            out: QOut::Codes(out_params),
+                        });
+                    }
+                    act = out_params;
+                }
+                Step::Dense { wt, bias, in_features, out_features, fuse_relu, .. } => {
+                    let (inf, outf) = (*in_features, *out_features);
+                    let (wlo, whi) = QuantParams::observe(wt);
+                    let wq = QuantParams::from_range(wlo, whi);
+                    let qwt: Vec<u8> = wt.iter().map(|&v| wq.quantize(v)).collect();
+                    let w4 = QuantParams4::from_range(wlo, whi);
+                    let qwt4: Vec<u8> = wt.iter().map(|&v| w4.quantize(v)).collect();
+                    let lut8 = lut_cache.int8(&*lut_mult, act, wq);
+                    let lut4 = lut_cache.int4(&*lut_mult, act, w4, Lut4Order::ActivationsLeft);
+
+                    let mut all8 = vec![0.0f32; ncal * outf];
+                    for i in 0..ncal {
+                        lut_gemm(
+                            &lut8,
+                            &cal[i * inf..(i + 1) * inf],
+                            1,
+                            inf,
+                            &qwt,
+                            outf,
+                            &mut all8[i * outf..(i + 1) * outf],
+                            outf,
+                        );
+                    }
+                    let mut all4 = vec![0.0f32; ncal * outf];
+                    lut4_gemm(&lut4, &cal[..ncal * inf], ncal, inf, &qwt4, outf, &mut all4, outf);
+                    let mut spread = (f32::INFINITY, f32::NEG_INFINITY);
+                    let mut max_diff = 0.0f32;
+                    for i in 0..ncal * outf {
+                        let b = bias[i % outf];
+                        let (y8, y4) = (all8[i] + b, all4[i] + b);
+                        spread.0 = spread.0.min(y8);
+                        spread.1 = spread.1.max(y8);
+                        max_diff = max_diff.max((y4 - y8).abs());
+                    }
+                    let (olo, ohi) = step_ranges[t];
+                    let out_params = QuantParams::from_range(olo, ohi);
+                    let use_int4 = gap_accepts_int4(max_diff, spread);
+                    next_cal.clear();
+                    next_cal.resize(ncal * out_len, 0);
+                    for i in 0..ncal * outf {
+                        let acc = if use_int4 { all4[i] } else { all8[i] };
+                        let v = acc + bias[i % outf];
+                        let v = if *fuse_relu { v.max(0.0) } else { v };
+                        next_cal[i] = out_params.quantize(v);
+                    }
+                    std::mem::swap(&mut cal, &mut next_cal);
+                    if use_int4 {
+                        steps.push(Step::QDense4 {
+                            qwt: qwt4,
+                            lut: lut4,
+                            bias: bias.clone(),
+                            in_features: inf,
+                            out_features: outf,
+                            fuse_relu: *fuse_relu,
+                            out: QOut::Codes(out_params),
+                        });
+                    } else {
+                        steps.push(Step::QDense {
+                            qwt,
+                            lut: lut8,
+                            bias: bias.clone(),
+                            in_features: inf,
+                            out_features: outf,
+                            fuse_relu: *fuse_relu,
+                            out: QOut::Codes(out_params),
+                        });
+                    }
+                    act = out_params;
+                }
+                Step::MaxPool { window, stride } => {
+                    let (c, h, w) = (shapes.in_shape[0], shapes.in_shape[1], shapes.in_shape[2]);
+                    let (oh, ow) = (shapes.out_shape[1], shapes.out_shape[2]);
+                    next_cal.clear();
+                    next_cal.resize(ncal * out_len, 0);
+                    for i in 0..ncal {
+                        let src = &cal[i * in_len..(i + 1) * in_len];
+                        let dst = &mut next_cal[i * out_len..(i + 1) * out_len];
+                        for ci in 0..c {
+                            let plane = &src[ci * h * w..(ci + 1) * h * w];
+                            for oy in 0..oh {
+                                for ox in 0..ow {
+                                    let mut best = 0u8;
+                                    for ky in 0..*window {
+                                        for kx in 0..*window {
+                                            let v =
+                                                plane[(oy * stride + ky) * w + (ox * stride + kx)];
+                                            best = best.max(v);
+                                        }
+                                    }
+                                    dst[(ci * oh + oy) * ow + ox] = best;
+                                }
+                            }
+                        }
+                    }
+                    std::mem::swap(&mut cal, &mut next_cal);
+                    steps.push(Step::QMaxPool { window: *window, stride: *stride });
+                }
+                Step::Relu => {
+                    let zp = act.zero_point();
+                    for v in cal.iter_mut() {
+                        *v = (*v).max(zp);
+                    }
+                    steps.push(Step::QRelu { zero_point: zp });
+                }
+                Step::Flatten => steps.push(Step::Flatten),
+                Step::BatchNorm { .. } | Step::QuantAct { .. } => return None,
+                _ => unreachable!("f32 plans contain only f32 steps"),
+            }
+        }
+        match steps.iter_mut().rev().find(|s| !matches!(s, Step::Flatten)) {
+            Some(Step::QConv { out, .. })
+            | Some(Step::QDense { out, .. })
+            | Some(Step::QConv4 { out, .. })
+            | Some(Step::QDense4 { out, .. }) => *out = QOut::Float,
+            _ => steps.push(Step::QDequantize { params: act }),
+        }
+        let last_write = steps.iter().rposition(|s| !matches!(s, Step::Flatten));
+        Some(InferencePlan {
+            multiplier,
+            steps,
+            last_write,
+            precision: PlanPrecision::Int4Weights,
             layout: Mutex::new(None),
             pool: Mutex::new(Vec::new()),
             workspace_allocs: AtomicU64::new(0),
@@ -715,6 +1122,52 @@ impl InferencePlan {
         self.precision
     }
 
+    /// How [`InferencePlan::compile_quantized_int4`] split the GEMM layers:
+    /// `(int4 shuffle layers, int8 gather fallback layers)`. Both counts are
+    /// zero for f32 plans; the second is the full GEMM count for plain int8
+    /// plans.
+    pub fn int4_layer_mix(&self) -> (usize, usize) {
+        let (mut int4, mut int8) = (0usize, 0usize);
+        for s in &self.steps {
+            match s {
+                Step::QConv4 { .. } | Step::QDense4 { .. } => int4 += 1,
+                Step::QConv { .. } | Step::QDense { .. } => int8 += 1,
+                _ => {}
+            }
+        }
+        (int4, int8)
+    }
+
+    /// Product-table sharing across the plan's GEMM steps:
+    /// `(LUT-bearing steps, distinct table allocations)`. The second number
+    /// drops below the first when layers with identical quantizer pairs
+    /// share one `Arc`'d table (see [`InferencePlan::compile_quantized`]).
+    pub fn product_lut_sharing(&self) -> (usize, usize) {
+        let mut steps = 0usize;
+        let mut seen8: Vec<*const ProductLut> = Vec::new();
+        let mut seen4: Vec<*const ProductLut4> = Vec::new();
+        for s in &self.steps {
+            match s {
+                Step::QConv { lut, .. } | Step::QDense { lut, .. } => {
+                    steps += 1;
+                    let p = Arc::as_ptr(lut);
+                    if !seen8.contains(&p) {
+                        seen8.push(p);
+                    }
+                }
+                Step::QConv4 { lut, .. } | Step::QDense4 { lut, .. } => {
+                    steps += 1;
+                    let p = Arc::as_ptr(lut);
+                    if !seen4.contains(&p) {
+                        seen4.push(p);
+                    }
+                }
+                _ => {}
+            }
+        }
+        (steps, seen8.len() + seen4.len())
+    }
+
     /// The multiplier the plan was compiled against.
     pub fn multiplier(&self) -> Option<&Arc<dyn Multiplier>> {
         self.multiplier.as_ref()
@@ -752,7 +1205,7 @@ impl InferencePlan {
         let xd = x.data();
 
         let parallel = n > 1 && n * layout.item_macs >= PAR_MIN_MACS;
-        if self.precision == PlanPrecision::Int8 {
+        if matches!(self.precision, PlanPrecision::Int8 | PlanPrecision::Int4Weights) {
             // Layer-major batched execution: each worker takes a contiguous
             // *group* of items and runs every step for the whole group —
             // product tables stay hot across items and small conv planes
@@ -814,7 +1267,7 @@ impl InferencePlan {
         ws.ensure(layout, group, &self.workspace_allocs);
         let kernel = match self.precision {
             PlanPrecision::F32 => self.multiplier.as_ref().map(|m| m.batch_kernel()),
-            PlanPrecision::Int8 => None,
+            PlanPrecision::Int8 | PlanPrecision::Int4Weights => None,
         };
         WorkerState { pool: &self.pool, ws, kernel }
     }
@@ -851,7 +1304,8 @@ impl InferencePlan {
             let in_shape = shape.clone();
             let out_shape = match step {
                 Step::Conv { cout, cin, kh, kw, stride, pad, .. }
-                | Step::QConv { cout, cin, kh, kw, stride, pad, .. } => {
+                | Step::QConv { cout, cin, kh, kw, stride, pad, .. }
+                | Step::QConv4 { cout, cin, kh, kw, stride, pad, .. } => {
                     assert_eq!(in_shape.len(), 3, "Conv2d expects [N, C, H, W]");
                     assert_eq!(in_shape[0], *cin, "input channel mismatch");
                     let geom = ConvGeometry {
@@ -874,6 +1328,12 @@ impl InferencePlan {
                         };
                         qgather_len = qgather_len.max(k * tile_cap);
                         facc_len = facc_len.max(cout * tile_cap);
+                    } else if matches!(step, Step::QConv4 { .. }) {
+                        // Transposed tiling: pixel rows × tap columns, with
+                        // the accumulator `cout` wide per pixel row.
+                        let p_tile = QCONV_TILE.min(oh * ow).max(1);
+                        qgather_len = qgather_len.max(p_tile * k);
+                        facc_len = facc_len.max(p_tile * cout);
                     } else {
                         gather_len = gather_len.max(k * CONV_TILE.min(oh * ow));
                     }
@@ -881,10 +1341,11 @@ impl InferencePlan {
                     vec![*cout, oh, ow]
                 }
                 Step::Dense { in_features, out_features, .. }
-                | Step::QDense { in_features, out_features, .. } => {
+                | Step::QDense { in_features, out_features, .. }
+                | Step::QDense4 { in_features, out_features, .. } => {
                     assert_eq!(in_shape.len(), 1, "Dense expects [N, In]");
                     assert_eq!(in_shape[0], *in_features, "feature mismatch");
-                    if matches!(step, Step::QDense { .. }) {
+                    if matches!(step, Step::QDense { .. } | Step::QDense4 { .. }) {
                         dense_out_max = dense_out_max.max(*out_features);
                     }
                     item_macs += in_features * out_features;
@@ -918,7 +1379,7 @@ impl InferencePlan {
             };
             if !matches!(step, Step::Flatten) {
                 let out_len: usize = out_shape.iter().product();
-                if self.precision == PlanPrecision::Int8 {
+                if matches!(self.precision, PlanPrecision::Int8 | PlanPrecision::Int4Weights) {
                     // Every quantized intermediate lives in the u8 ping-pong
                     // buffers (the final f32 logits land in the caller's
                     // output row directly).
@@ -1169,6 +1630,117 @@ impl InferencePlan {
                         }
                     }
                 }
+                Step::QConv4 {
+                    qweight_t,
+                    lut,
+                    bias,
+                    cout,
+                    cin,
+                    kh,
+                    kw,
+                    stride,
+                    pad,
+                    fuse_relu,
+                    out: qout,
+                } => {
+                    // Transposed execution: pixel rows × tap columns against
+                    // `[k, Cout]` weight codes, so the 4-bit codes vary along
+                    // the shuffle axis. Per output element accumulation is
+                    // the same ascending-`k` order as the int8 path, and the
+                    // tiling is per item, so grouping cannot change bits.
+                    let (h, w) = (shapes.in_shape[1], shapes.in_shape[2]);
+                    let (oh, ow) = (shapes.out_shape[1], shapes.out_shape[2]);
+                    let k = cin * kh * kw;
+                    let p_total = oh * ow;
+                    let pad_code = lut.act_params().zero_point();
+                    for item in 0..n {
+                        let src_item = &src[item * in_len..(item + 1) * in_len];
+                        for p0 in (0..p_total).step_by(QCONV_TILE) {
+                            let prows = QCONV_TILE.min(p_total - p0);
+                            gather_patch_rows_u8(
+                                src_item, *cin, h, w, *kh, *kw, *stride, *pad, ow, p0, prows,
+                                qgather, pad_code,
+                            );
+                            let acc = &mut facc[..prows * cout];
+                            acc.fill(0.0);
+                            lut4_gemm(
+                                lut,
+                                &qgather[..prows * k],
+                                prows,
+                                k,
+                                qweight_t,
+                                *cout,
+                                acc,
+                                *cout,
+                            );
+                            match qout {
+                                QOut::Codes(params) => {
+                                    debug_assert!(!to_out, "code output cannot be the plan output");
+                                    let dst_item = item * out_len;
+                                    for (pi, arow) in acc.chunks_exact(*cout).enumerate() {
+                                        let p = p0 + pi;
+                                        for (co, &v) in arow.iter().enumerate() {
+                                            let v = v + bias[co];
+                                            let v = if *fuse_relu { v.max(0.0) } else { v };
+                                            dst[dst_item + co * p_total + p] = params.quantize(v);
+                                        }
+                                    }
+                                }
+                                QOut::Float => {
+                                    debug_assert!(to_out, "float output is the plan output");
+                                    let out_item = item * out_len;
+                                    for (pi, arow) in acc.chunks_exact(*cout).enumerate() {
+                                        let p = p0 + pi;
+                                        for (co, &v) in arow.iter().enumerate() {
+                                            let v = v + bias[co];
+                                            out[out_item + co * p_total + p] =
+                                                if *fuse_relu { v.max(0.0) } else { v };
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                Step::QDense4 {
+                    qwt,
+                    lut,
+                    bias,
+                    in_features,
+                    out_features,
+                    fuse_relu,
+                    out: qout,
+                } => {
+                    // One true multi-row shuffle GEMM over the whole item
+                    // group — rows are independent (each owns its
+                    // accumulators and its zero-code skip), so grouping is
+                    // bit-neutral here too.
+                    let outf = *out_features;
+                    let acc = &mut facc[..n * outf];
+                    acc.fill(0.0);
+                    lut4_gemm(lut, &src[..n * in_features], n, *in_features, qwt, outf, acc, outf);
+                    match qout {
+                        QOut::Codes(params) => {
+                            debug_assert!(!to_out, "code output cannot be the plan output");
+                            for i in 0..n {
+                                for (j, &b) in bias.iter().enumerate() {
+                                    let v = acc[i * outf + j] + b;
+                                    let v = if *fuse_relu { v.max(0.0) } else { v };
+                                    dst[i * out_len + j] = params.quantize(v);
+                                }
+                            }
+                        }
+                        QOut::Float => {
+                            debug_assert!(to_out, "float output is the plan output");
+                            for i in 0..n {
+                                for (j, &b) in bias.iter().enumerate() {
+                                    let v = acc[i * outf + j] + b;
+                                    out[i * out_len + j] = if *fuse_relu { v.max(0.0) } else { v };
+                                }
+                            }
+                        }
+                    }
+                }
                 Step::QMaxPool { window, stride } => {
                     let (c, h, w) = (shapes.in_shape[0], shapes.in_shape[1], shapes.in_shape[2]);
                     let (oh, ow) = (shapes.out_shape[1], shapes.out_shape[2]);
@@ -1243,6 +1815,19 @@ impl std::fmt::Debug for InferencePlan {
             .field("precision", &self.precision)
             .finish()
     }
+}
+
+/// Whether a measured int4-vs-int8 calibration gap is acceptable: the max
+/// absolute output difference, normalized by the int8 output spread, must
+/// stay at or below [`INT4_FALLBACK_GAP`]. A degenerate (empty or constant)
+/// int8 output accepts int4 only when the outputs agree exactly.
+fn gap_accepts_int4(max_diff: f32, spread: (f32, f32)) -> bool {
+    let width = spread.1 - spread.0;
+    // A NaN width (NaN calibration outputs) is degenerate too.
+    if width <= 0.0 || width.is_nan() {
+        return max_diff == 0.0;
+    }
+    max_diff / width <= INT4_FALLBACK_GAP
 }
 
 /// Whether the plan's multiplier and a layer's installed multiplier agree.
@@ -1426,6 +2011,8 @@ fn exec_step<'k>(
         Step::QuantizeInput { .. }
         | Step::QConv { .. }
         | Step::QDense { .. }
+        | Step::QConv4 { .. }
+        | Step::QDense4 { .. }
         | Step::QMaxPool { .. }
         | Step::QRelu { .. }
         | Step::QDequantize { .. } => {
@@ -1513,6 +2100,54 @@ fn gather_patches_u8(
                     }
                 }
                 row += 1;
+            }
+        }
+    }
+}
+
+/// [`gather_patches_u8`] **transposed**: one gather row per output *pixel*
+/// (`gather[(p - p0)·k + tap]` for pixels `p0..p0+rows`), each holding the
+/// pixel's `Cin·Kh·Kw` tap codes in ascending-tap order. This is the left
+/// matrix of the int4 shuffle conv, whose GEMM runs pixels-as-rows so the
+/// weight codes land on the vectorized axis.
+#[allow(clippy::too_many_arguments)]
+fn gather_patch_rows_u8(
+    src: &[u8],
+    cin: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    ow: usize,
+    p0: usize,
+    rows: usize,
+    gather: &mut [u8],
+    pad_code: u8,
+) {
+    let k = cin * kh * kw;
+    for s in 0..rows {
+        let p = p0 + s;
+        let (oy, ox) = (p / ow, p % ow);
+        let out_row = &mut gather[s * k..(s + 1) * k];
+        let mut tap = 0usize;
+        for c in 0..cin {
+            let plane = &src[c * h * w..(c + 1) * h * w];
+            for ky in 0..kh {
+                let iy = (oy * stride + ky) as isize - pad as isize;
+                if iy < 0 || iy >= h as isize {
+                    out_row[tap..tap + kw].fill(pad_code);
+                    tap += kw;
+                    continue;
+                }
+                let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
+                for kx in 0..kw {
+                    let ix = (ox * stride + kx) as isize - pad as isize;
+                    out_row[tap] =
+                        if ix >= 0 && ix < w as isize { src_row[ix as usize] } else { pad_code };
+                    tap += 1;
+                }
             }
         }
     }

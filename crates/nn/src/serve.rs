@@ -293,6 +293,37 @@ impl BatchServer {
         Self::start(replicas, config, source_epoch)
     }
 
+    /// [`compile_quantized`](BatchServer::compile_quantized) in
+    /// **int4-weight mode**: the shared snapshot is one
+    /// [`InferencePlan::compile_quantized_int4`] plan — conv/dense layers
+    /// serve the in-register shuffle GEMM over 256×16 tables where
+    /// calibration allows, with per-layer int8 gather fallback (a
+    /// mixed-precision snapshot; see [`InferencePlan::int4_layer_mix`]).
+    /// The sharing rationale and the bit-identical batching contract are
+    /// exactly [`compile_quantized`](BatchServer::compile_quantized)'s.
+    ///
+    /// Returns `None` when the network cannot compile to a quantized plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`compile_quantized`](BatchServer::compile_quantized) does.
+    pub fn compile_quantized_int4(
+        network: &Network,
+        calibration: &da_tensor::Tensor,
+        config: ServeConfig,
+    ) -> Option<BatchServer> {
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        assert!(config.queue_capacity >= 1, "queue_capacity must be at least 1");
+        let source_epoch = network.plan_epoch();
+        let plan = Arc::new(InferencePlan::compile_quantized_int4(
+            network,
+            network.multiplier().cloned(),
+            calibration,
+        )?);
+        let replicas = vec![plan; config.workers];
+        Self::start(replicas, config, source_epoch)
+    }
+
     /// Shared startup: install the panic hook and spawn one worker per plan
     /// replica. `source_epoch` is the network's
     /// [`Network::plan_epoch`] read *before* compiling, so a concurrent

@@ -315,6 +315,227 @@ fn quantized_multiplier_mismatch_declines() {
     let _ = Arc::clone(net.multiplier().expect("installed"));
 }
 
+/// A tensor of integers on the **int4 grid**: values in `[-7, 8]` with both
+/// endpoints present, so `QuantParams4::from_range` derives scale 1 /
+/// zero-point 7 and every weight decodes exactly.
+fn on_grid4_weights(shape: &[usize], rng: &mut rand::rngs::StdRng) -> Tensor {
+    let n: usize = shape.iter().product();
+    assert!(n >= 2);
+    let mut data: Vec<f32> = (0..n).map(|_| rng.gen_range(-7i32..=8) as f32).collect();
+    data[0] = -7.0;
+    data[1] = 8.0;
+    Tensor::from_vec(data, shape)
+}
+
+/// When weights sit exactly on the 16-code grid (and activations on the
+/// 256-code grid), the int4 plan must pick int4 for every layer and equal
+/// the f32 plan bit for bit — the shuffle-GEMM analogue of
+/// [`on_grid_single_layer_plans_are_bit_exact_to_f32`], for every
+/// multiplier kind plus native.
+#[test]
+fn on_grid_int4_plans_pick_int4_and_are_bit_exact_to_f32() {
+    let mut r = rng(101);
+    for kind in MultiplierKind::ALL.into_iter().map(Some).chain([None]) {
+        let mult = kind.map(|k| k.build());
+
+        // Conv: cout=3 (ragged shuffle tail), pad=1, stride 2.
+        let mut conv = Conv2d::new(2, 3, 3, 2, 1, &mut r);
+        conv.params_mut()[0]
+            .data_mut()
+            .copy_from_slice(on_grid4_weights(&[3 * 2 * 3 * 3], &mut r).data());
+        conv.params_mut()[1].data_mut().copy_from_slice(&[3.0, -7.0, 11.0]);
+        let mut net = Network::new("on-grid4-conv").push(conv);
+        net.set_multiplier(mult.clone());
+        let x = on_grid_input(&[2, 2, 9, 9], &mut r);
+        let f32_plan = InferencePlan::compile(&net, mult.clone()).expect("compilable");
+        let q4_plan =
+            InferencePlan::compile_quantized_int4(&net, mult.clone(), &x).expect("quantizable");
+        assert_eq!(q4_plan.precision(), PlanPrecision::Int4Weights);
+        assert_eq!(q4_plan.int4_layer_mix(), (1, 0), "conv {kind:?}: int4 chosen");
+        assert_bit_equal(
+            &q4_plan.predict_batch(&x),
+            &f32_plan.predict_batch(&x),
+            &format!("conv4 {kind:?}"),
+        );
+
+        // Dense: out=5 (ragged j tail on every shuffle path).
+        let mut fc = Dense::new(7, 5, &mut r);
+        fc.params_mut()[0].data_mut().copy_from_slice(on_grid4_weights(&[5 * 7], &mut r).data());
+        fc.params_mut()[1].data_mut().copy_from_slice(&[1.0, 0.0, -2.0, 3.0, 5.0]);
+        let mut net = Network::new("on-grid4-dense").push(fc);
+        net.set_multiplier(mult.clone());
+        let x = on_grid_input(&[3, 7], &mut r);
+        let f32_plan = InferencePlan::compile(&net, mult.clone()).expect("compilable");
+        let q4_plan =
+            InferencePlan::compile_quantized_int4(&net, mult.clone(), &x).expect("quantizable");
+        assert_eq!(q4_plan.int4_layer_mix(), (1, 0), "dense {kind:?}: int4 chosen");
+        assert_bit_equal(
+            &q4_plan.predict_batch(&x),
+            &f32_plan.predict_batch(&x),
+            &format!("dense4 {kind:?}"),
+        );
+    }
+}
+
+/// A layer whose weight mass collapses between int4 codes must fall back to
+/// the int8 gather: 20 weights of 0.03 against a range pinned to `[0, 1]`
+/// all snap to code 0 (scale 1/15), losing the entire output — the
+/// calibration gap blows past the threshold and the compiler keeps int8 for
+/// that layer, while a well-spread layer in the same stack stays int4.
+#[test]
+fn off_grid_weight_mass_falls_back_to_int8_per_layer() {
+    let mut r = rng(111);
+    // Layer 1: all weights collapse under int4 (0.03·15 rounds to code 0);
+    // the 1.0 weight pins the observed range so the scale cannot adapt.
+    let mut bad = Dense::new(20, 2, &mut r);
+    {
+        let mut params = bad.params_mut();
+        let w = params[0].data_mut();
+        w[..20].copy_from_slice(&[0.03; 20]);
+        w[20..].fill(0.0);
+        w[20] = 1.0;
+        params[1].data_mut().fill(0.0);
+    }
+    let net = Network::new("int4-fallback").push(bad);
+    let x = on_grid_input(&[4, 20], &mut r).map(|v| v / 255.0);
+    let plan = InferencePlan::compile_quantized_int4(&net, None, &x).expect("quantizable");
+    assert_eq!(plan.precision(), PlanPrecision::Int4Weights);
+    assert_eq!(plan.int4_layer_mix(), (0, 1), "collapsed layer must keep int8");
+    // The fallback layer still serves like the plain int8 plan.
+    let int8 = InferencePlan::compile_quantized(&net, None, &x).expect("quantizable");
+    assert_bit_equal(&plan.predict_batch(&x), &int8.predict_batch(&x), "fallback serving");
+
+    // On-grid weights in the same shape stay int4.
+    let mut good = Dense::new(20, 2, &mut r);
+    good.params_mut()[0].data_mut().copy_from_slice(on_grid4_weights(&[2 * 20], &mut r).data());
+    good.params_mut()[1].data_mut().fill(0.0);
+    let net = Network::new("int4-kept").push(good);
+    let x = on_grid_input(&[4, 20], &mut r);
+    let plan = InferencePlan::compile_quantized_int4(&net, None, &x).expect("quantizable");
+    assert_eq!(plan.int4_layer_mix(), (1, 0), "well-spread layer keeps int4");
+}
+
+/// The int4 plan keeps the quantized serving contract on a mixed stack:
+/// logits track the f32 plan, results are deterministic and batch-
+/// independent, and steady-state serving does not allocate.
+#[test]
+fn int4_plan_keeps_the_serving_contract() {
+    let mut net = tiny_cnn(121);
+    net.set_multiplier(Some(MultiplierKind::AxFpm.build()));
+    let mut r = rng(122);
+    let calibration = Tensor::rand_uniform(&[8, 1, 10, 10], 0.0, 1.0, &mut r);
+    let plan = InferencePlan::compile_quantized_int4(&net, net.multiplier().cloned(), &calibration)
+        .expect("quantizable");
+    let (int4, int8) = plan.int4_layer_mix();
+    assert_eq!(int4 + int8, 4, "all four GEMM layers quantize one way or the other");
+    let x = Tensor::rand_uniform(&[6, 1, 10, 10], 0.0, 1.0, &mut r);
+
+    let f32_plan = InferencePlan::compile(&net, net.multiplier().cloned()).expect("compilable");
+    let want = f32_plan.predict_batch(&x);
+    let got = plan.predict_batch(&x);
+    let spread = want.data().iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-3);
+    for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+        assert!(
+            (g - w).abs() <= 0.6 * spread + 0.02,
+            "elem {i}: int4 {g} vs f32 {w} (spread {spread})"
+        );
+    }
+
+    assert_bit_equal(&plan.predict_batch(&x), &got, "repeat determinism");
+    for i in 0..6 {
+        let single = plan.predict_batch(&Tensor::stack(&[x.batch_item(i)]));
+        for (j, (g, w)) in single.data().iter().zip(&got.data()[i * 5..(i + 1) * 5]).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "item {i} elem {j}");
+        }
+    }
+
+    let after_first = plan.workspace_allocations();
+    for _ in 0..5 {
+        let _ = plan.predict_batch(&x);
+    }
+    assert_eq!(plan.workspace_allocations(), after_first, "steady state must not allocate");
+}
+
+/// Served int4 logits are bit-identical to a serial run of the same
+/// mixed-precision plan — the batching contract carries over to int4.
+#[test]
+fn int4_serving_is_bit_identical_to_the_plan() {
+    let mut net = tiny_cnn(141);
+    net.set_multiplier(Some(MultiplierKind::Heap.build()));
+    let mut r = rng(142);
+    let calibration = Tensor::rand_uniform(&[6, 1, 10, 10], 0.0, 1.0, &mut r);
+    let plan = InferencePlan::compile_quantized_int4(&net, net.multiplier().cloned(), &calibration)
+        .expect("quantizable");
+    let server = BatchServer::compile_quantized_int4(
+        &net,
+        &calibration,
+        ServeConfig {
+            workers: 2,
+            max_batch: 3,
+            flush_deadline: Duration::from_micros(100),
+            queue_capacity: 16,
+        },
+    )
+    .expect("quantizable");
+    let samples: Vec<Tensor> =
+        (0..8).map(|_| Tensor::rand_uniform(&[1, 10, 10], 0.0, 1.0, &mut r)).collect();
+    let pending: Vec<Pending> =
+        samples.iter().map(|s| server.submit(s).expect("accepting")).collect();
+    for (i, p) in pending.into_iter().enumerate() {
+        let row = p.wait().expect("served");
+        let want = plan.predict_batch(&Tensor::stack(&[samples[i].clone()]));
+        for (j, (g, w)) in row.data().iter().zip(want.data()).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "sample {i} elem {j}");
+        }
+    }
+    assert!(server.stats().items >= 8);
+}
+
+/// Layers with identical quantizer pairs share one product-table `Arc`
+/// instead of building duplicate 256×256 (or 256×16) tables: two identity
+/// dense layers preserve the activation range exactly, so their
+/// (activation, weight) parameter pairs — and therefore their tables —
+/// coincide.
+#[test]
+fn identical_quantizer_pairs_share_one_product_lut() {
+    let mut r = rng(131);
+    let identity = |r: &mut rand::rngs::StdRng| {
+        let mut fc = Dense::new(4, 4, r);
+        let mut params = fc.params_mut();
+        let w = params[0].data_mut();
+        w.fill(0.0);
+        for i in 0..4 {
+            w[i * 4 + i] = 1.0;
+        }
+        params[1].data_mut().fill(0.0);
+        drop(params);
+        fc
+    };
+    let net = Network::new("shared-lut").push(identity(&mut r)).push(identity(&mut r));
+    // Inputs spanning exactly [0, 1]: the identity layers preserve the
+    // range, so both layers calibrate to the same activation quantizer.
+    let mut x = Tensor::rand_uniform(&[5, 4], 0.0, 1.0, &mut r);
+    x.data_mut()[0] = 0.0;
+    x.data_mut()[1] = 1.0;
+
+    let int8 = InferencePlan::compile_quantized(&net, None, &x).expect("quantizable");
+    assert_eq!(int8.product_lut_sharing(), (2, 1), "int8: one table for both layers");
+
+    let int4 = InferencePlan::compile_quantized_int4(&net, None, &x).expect("quantizable");
+    assert_eq!(int4.int4_layer_mix(), (2, 0), "identity weights sit on the int4 grid");
+    assert_eq!(int4.product_lut_sharing(), (2, 1), "int4: one table for both layers");
+
+    // Distinct ranges must NOT share: scaling the second layer's weights
+    // changes its activation range and weight params.
+    let mut scaled = identity(&mut r);
+    for v in scaled.params_mut()[0].data_mut().iter_mut() {
+        *v *= 2.0;
+    }
+    let net = Network::new("distinct-lut").push(identity(&mut r)).push(scaled);
+    let int8 = InferencePlan::compile_quantized(&net, None, &x).expect("quantizable");
+    assert_eq!(int8.product_lut_sharing(), (2, 2), "distinct pairs keep distinct tables");
+}
+
 /// Calibration batches validate like serving inputs.
 #[test]
 #[should_panic(expected = "input channel mismatch")]

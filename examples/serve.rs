@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 
 use defensive_approximation::arith::MultiplierKind;
 use defensive_approximation::datasets::digits::synth_digits;
+use defensive_approximation::nn::engine::InferencePlan;
 use defensive_approximation::nn::serve::{BatchServer, ServeConfig};
 use defensive_approximation::nn::zoo::lenet5;
 use defensive_approximation::tensor::Tensor;
@@ -143,4 +144,34 @@ fn main() {
         total as f64 / elapsed,
     );
     qserver.shutdown();
+
+    // 4. Int4 serving: weights narrow to 16 codes where the calibration
+    // batch says the layer tolerates it (the rest stay on the int8 gather),
+    // and accepted layers run the in-register shuffle GEMM. The served
+    // snapshot is mixed-precision; the batching contract is unchanged.
+    let q4server = BatchServer::compile_quantized_int4(&net, &calibration, ServeConfig::default())
+        .expect("LeNet-5 quantizes to int4");
+    let mult = net.multiplier().cloned();
+    let q4plan = InferencePlan::compile_quantized_int4(&net, mult, &calibration)
+        .expect("same stack compiles");
+    let (int4_layers, int8_fallback) = q4plan.int4_layer_mix();
+    let start = Instant::now();
+    let pending: Vec<_> = (0..total)
+        .map(|i| q4server.submit(&data.images.batch_item(i)).expect("accepting"))
+        .collect();
+    let mut agree4 = 0usize;
+    for (i, p) in pending.into_iter().enumerate() {
+        let logits = p.wait().expect("served");
+        let pred = defensive_approximation::nn::loss::argmax_logits(logits.data());
+        agree4 += usize::from(pred == f32_preds[i]);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    println!(
+        "int4 serving: {total} samples in {:.1} ms ({:.1} items/s); {int4_layers} layers on the \
+         shuffle GEMM, {int8_fallback} on the int8 gather; {agree4}/{total} predictions match the \
+         f32 deployment",
+        elapsed * 1e3,
+        total as f64 / elapsed,
+    );
+    q4server.shutdown();
 }
