@@ -118,6 +118,7 @@ pub mod profile;
 pub mod quantized;
 pub mod rotating;
 pub mod simd;
+pub mod storage;
 
 mod multiplier;
 
@@ -130,3 +131,4 @@ pub use bitslice::{
 pub use multiplier::{ExactMultiplier, Multiplier, MultiplierKind};
 pub use quantized::{Lut4Order, ProductLut, ProductLut4, QuantParams, QuantParams4};
 pub use simd::{classify_row, RowClass, LANES};
+pub use storage::{ByteRegion, Storage, StorageError};

@@ -84,6 +84,8 @@
 //! ```
 
 use crate::multiplier::Multiplier;
+use crate::storage::Storage;
+use da_tensor::parallel::par_map_chunks;
 
 /// Codes per operand side (8-bit quantization).
 pub const CODES: usize = 256;
@@ -128,6 +130,23 @@ impl QuantParams {
         // 0..=255 because lo <= 0 <= hi.
         let zero_point = (-lo / scale).round().clamp(0.0, 255.0) as u8;
         QuantParams { scale, inv_scale: 1.0 / scale, zero_point }
+    }
+
+    /// Reassemble a quantizer from its serialized `(scale, zero_point)`
+    /// pair — the snapshot-load path. `inv_scale` is recomputed as
+    /// `1.0 / scale`, exactly as [`QuantParams::from_range`] does, so the
+    /// round trip is bit-identical. Returns `None` for a scale no valid
+    /// quantizer can carry (non-positive, non-finite, or with a non-finite
+    /// reciprocal), turning hostile snapshot bytes into a typed error
+    /// instead of NaN arithmetic downstream.
+    pub fn from_parts(scale: f32, zero_point: u8) -> Option<QuantParams> {
+        if scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+            || !scale.is_finite()
+            || !(1.0 / scale).is_finite()
+        {
+            return None;
+        }
+        Some(QuantParams { scale, inv_scale: 1.0 / scale, zero_point })
     }
 
     /// The positive step between adjacent codes.
@@ -240,6 +259,20 @@ impl QuantParams4 {
         QuantParams4 { scale, inv_scale: 1.0 / scale, zero_point }
     }
 
+    /// Reassemble a quantizer from its serialized `(scale, zero_point)`
+    /// pair (see [`QuantParams::from_parts`]). Additionally rejects zero
+    /// points outside the 16-code grid.
+    pub fn from_parts(scale: f32, zero_point: u8) -> Option<QuantParams4> {
+        if zero_point >= CODES4 as u8
+            || scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+            || !scale.is_finite()
+            || !(1.0 / scale).is_finite()
+        {
+            return None;
+        }
+        Some(QuantParams4 { scale, inv_scale: 1.0 / scale, zero_point })
+    }
+
     /// The positive step between adjacent codes.
     pub fn scale(&self) -> f32 {
         self.scale
@@ -305,7 +338,7 @@ impl QuantParams4 {
 /// HEAP — paid once at plan-compile time, never at serving time.
 #[derive(Clone)]
 pub struct ProductLut {
-    table: Vec<f32>,
+    table: Storage<f32>,
     a: QuantParams,
     b: QuantParams,
     /// Whether every entry of the `a` zero-point row is exactly `±0.0` —
@@ -320,17 +353,38 @@ pub struct ProductLut {
 
 impl ProductLut {
     /// Evaluate `m` over every code pair.
+    ///
+    /// Rows are built in parallel (one chunk per `qa` row): every entry is
+    /// an independent scalar `multiply` call, so the table is bit-identical
+    /// to the sequential build regardless of thread count — gate-level
+    /// wirings pay 65 536 full gate evaluations here, the dominant
+    /// plan-compile cost.
     pub fn build(m: &dyn Multiplier, a: QuantParams, b: QuantParams) -> ProductLut {
         let mut table = vec![0.0f32; CODES * CODES];
-        for qa in 0..CODES {
+        par_map_chunks(&mut table, CODES, |qa, row| {
             let av = a.dequantize(qa as u8);
-            let row = &mut table[qa << 8..(qa << 8) + CODES];
             for (qb, slot) in row.iter_mut().enumerate() {
                 *slot = m.multiply(av, b.dequantize(qb as u8));
             }
-        }
+        });
+        ProductLut::from_parts(Storage::Owned(table), a, b)
+    }
+
+    /// Reassemble a table from storage (owned or borrowed from a snapshot
+    /// mapping) and its quantizer pair, without touching a multiplier. The
+    /// zero-point-row skip flag is rederived by scanning the actual row, so
+    /// it is always consistent with the entries — including entries a
+    /// hostile snapshot may have altered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` does not hold exactly `CODES * CODES` entries
+    /// (snapshot loaders validate section lengths before constructing
+    /// storage, so this indicates a caller bug, not bad input data).
+    pub fn from_parts(table: Storage<f32>, a: QuantParams, b: QuantParams) -> ProductLut {
+        assert_eq!(table.len(), CODES * CODES, "ProductLut table must be 256x256");
         let zp = a.zero_point() as usize;
-        let zero_a_row = table[zp << 8..(zp << 8) + CODES].iter().all(|v| *v == 0.0);
+        let zero_a_row = table.as_slice()[zp << 8..(zp << 8) + CODES].iter().all(|v| *v == 0.0);
         ProductLut { table, a, b, zero_a_row }
     }
 
@@ -339,7 +393,7 @@ impl ProductLut {
     /// table was built from.
     #[inline]
     pub fn product(&self, qa: u8, qb: u8) -> f32 {
-        self.table[((qa as usize) << 8) | qb as usize]
+        self.table.as_slice()[((qa as usize) << 8) | qb as usize]
     }
 
     /// The left-operand quantizer.
@@ -355,7 +409,12 @@ impl ProductLut {
     /// The raw table (`[(qa << 8) | qb]` layout), for kernels.
     #[inline]
     pub fn table(&self) -> &[f32] {
-        &self.table
+        self.table.as_slice()
+    }
+
+    /// Whether the table entries borrow a mapped snapshot (vs heap-owned).
+    pub fn is_mapped(&self) -> bool {
+        self.table.is_mapped()
     }
 }
 
@@ -449,18 +508,22 @@ pub fn lut_gemm(
             GatherLevel::Avx512 => {
                 // SAFETY: preconditions checked above; the kernel requires
                 // avx512f, which `gather_level` just probed.
-                unsafe { gemm_avx512(&lut.table, qa, rows, k, b, tile, acc, acc_stride, skip) }
+                unsafe {
+                    gemm_avx512(lut.table.as_slice(), qa, rows, k, b, tile, acc, acc_stride, skip)
+                }
                 return;
             }
             GatherLevel::Avx2 => {
                 // SAFETY: as above, for avx2.
-                unsafe { gemm_avx2(&lut.table, qa, rows, k, b, tile, acc, acc_stride, skip) }
+                unsafe {
+                    gemm_avx2(lut.table.as_slice(), qa, rows, k, b, tile, acc, acc_stride, skip)
+                }
                 return;
             }
             GatherLevel::Scalar => {}
         }
     }
-    gemm_scalar(&lut.table, qa, rows, k, b, tile, acc, acc_stride, skip);
+    gemm_scalar(lut.table.as_slice(), qa, rows, k, b, tile, acc, acc_stride, skip);
 }
 
 /// The portable scalar body of [`lut_gemm`] (also its non-x86 and
@@ -482,7 +545,7 @@ pub fn lut_gemm_scalar(
 ) {
     check_gemm(qa, rows, k, b, tile, acc, acc_stride);
     let skip = if lut.zero_a_row { Some(lut.a.zero_point()) } else { None };
-    gemm_scalar(&lut.table, qa, rows, k, b, tile, acc, acc_stride, skip);
+    gemm_scalar(lut.table.as_slice(), qa, rows, k, b, tile, acc, acc_stride, skip);
 }
 
 /// The semantic ground truth [`lut_gemm`] is tested against: the same loop
@@ -977,7 +1040,7 @@ pub enum Lut4Order {
 /// 16 KiB (L1-resident; each activation code's row is one cache line).
 #[derive(Clone)]
 pub struct ProductLut4 {
-    table: Vec<f32>,
+    table: Storage<f32>,
     act: QuantParams,
     w: QuantParams4,
     order: Lut4Order,
@@ -989,6 +1052,10 @@ pub struct ProductLut4 {
 
 impl ProductLut4 {
     /// Evaluate `m` over every (activation, weight) code pair.
+    ///
+    /// Rows (one per activation code) are built in parallel; every entry is
+    /// an independent scalar `multiply`, so the result is bit-identical to
+    /// the sequential build regardless of thread count.
     pub fn build(
         m: &dyn Multiplier,
         act: QuantParams,
@@ -996,9 +1063,8 @@ impl ProductLut4 {
         order: Lut4Order,
     ) -> ProductLut4 {
         let mut table = vec![0.0f32; CODES * CODES4];
-        for qa in 0..CODES {
+        par_map_chunks(&mut table, CODES4, |qa, row| {
             let av = act.dequantize(qa as u8);
-            let row = &mut table[qa << 4..(qa << 4) + CODES4];
             for (qw, slot) in row.iter_mut().enumerate() {
                 let wv = w.dequantize(qw as u8);
                 *slot = match order {
@@ -1006,9 +1072,27 @@ impl ProductLut4 {
                     Lut4Order::ActivationsLeft => m.multiply(av, wv),
                 };
             }
-        }
+        });
+        ProductLut4::from_parts(Storage::Owned(table), act, w, order)
+    }
+
+    /// Reassemble a table from storage (owned or borrowed from a snapshot
+    /// mapping), its quantizers, and the operand order — the int4 companion
+    /// of [`ProductLut::from_parts`]. The zero-point-row skip flag is
+    /// rederived from the actual entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` does not hold exactly `CODES * CODES4` entries.
+    pub fn from_parts(
+        table: Storage<f32>,
+        act: QuantParams,
+        w: QuantParams4,
+        order: Lut4Order,
+    ) -> ProductLut4 {
+        assert_eq!(table.len(), CODES * CODES4, "ProductLut4 table must be 256x16");
         let zp = act.zero_point() as usize;
-        let zero_act_row = table[zp << 4..(zp << 4) + CODES4].iter().all(|v| *v == 0.0);
+        let zero_act_row = table.as_slice()[zp << 4..(zp << 4) + CODES4].iter().all(|v| *v == 0.0);
         ProductLut4 { table, act, w, order, zero_act_row }
     }
 
@@ -1017,7 +1101,7 @@ impl ProductLut4 {
     /// like every kernel path).
     #[inline]
     pub fn product(&self, qact: u8, qw: u8) -> f32 {
-        self.table[((qact as usize) << 4) | (qw & 0xF) as usize]
+        self.table.as_slice()[((qact as usize) << 4) | (qw & 0xF) as usize]
     }
 
     /// The activation-side quantizer.
@@ -1038,7 +1122,12 @@ impl ProductLut4 {
     /// The raw table (`[(qact << 4) | qw]` layout), for kernels.
     #[inline]
     pub fn table(&self) -> &[f32] {
-        &self.table
+        self.table.as_slice()
+    }
+
+    /// Whether the table entries borrow a mapped snapshot (vs heap-owned).
+    pub fn is_mapped(&self) -> bool {
+        self.table.is_mapped()
     }
 }
 
@@ -1094,18 +1183,22 @@ pub fn lut4_gemm(
             GatherLevel::Avx512 => {
                 // SAFETY: preconditions checked above; the kernel requires
                 // avx512f, which `gather_level` just probed.
-                unsafe { gemm4_avx512(&lut.table, qa, rows, k, qw, tile, acc, acc_stride, skip) }
+                unsafe {
+                    gemm4_avx512(lut.table.as_slice(), qa, rows, k, qw, tile, acc, acc_stride, skip)
+                }
                 return;
             }
             GatherLevel::Avx2 => {
                 // SAFETY: as above, for avx2.
-                unsafe { gemm4_avx2(&lut.table, qa, rows, k, qw, tile, acc, acc_stride, skip) }
+                unsafe {
+                    gemm4_avx2(lut.table.as_slice(), qa, rows, k, qw, tile, acc, acc_stride, skip)
+                }
                 return;
             }
             GatherLevel::Scalar => {}
         }
     }
-    gemm4_scalar(&lut.table, qa, rows, k, qw, tile, acc, acc_stride, skip);
+    gemm4_scalar(lut.table.as_slice(), qa, rows, k, qw, tile, acc, acc_stride, skip);
 }
 
 /// The portable scalar body of [`lut4_gemm`] (also its non-x86 and pre-AVX2
@@ -1127,7 +1220,7 @@ pub fn lut4_gemm_scalar(
 ) {
     check_gemm(qa, rows, k, qw, tile, acc, acc_stride);
     let skip = if lut.zero_act_row { Some(lut.act.zero_point()) } else { None };
-    gemm4_scalar(&lut.table, qa, rows, k, qw, tile, acc, acc_stride, skip);
+    gemm4_scalar(lut.table.as_slice(), qa, rows, k, qw, tile, acc, acc_stride, skip);
 }
 
 /// The semantic ground truth [`lut4_gemm`] is tested against: the same loop

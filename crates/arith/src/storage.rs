@@ -1,0 +1,214 @@
+//! Owned-or-mapped backing storage for large inference constants.
+//!
+//! Compiled plans hold two kinds of big flat arrays: `f32` tables/weights
+//! (256 KiB per [`crate::ProductLut`], one weight matrix per layer) and `u8`
+//! code tensors. At compile time these are plain `Vec`s; when a plan is
+//! loaded from a zero-copy snapshot they should instead *borrow* the mapped
+//! file so that N workers (or N processes, via the page cache) share one
+//! physical copy. [`Storage`] is that choice: an enum over an owned `Vec<T>`
+//! and a typed window into a shared byte region.
+//!
+//! The mapped variant keeps the region alive through an
+//! `Arc<dyn ByteRegion>` and re-derives the `&[T]` view on every
+//! [`Storage::as_slice`] call, so the enum stays `Send + Sync + Clone`
+//! without self-referential borrows. Alignment and bounds are validated
+//! once, at construction ([`Storage::mapped`]); the snapshot format's
+//! 64-byte section alignment makes `f32` views valid by construction, and
+//! the check here is the backstop that turns a corrupt offset into a typed
+//! error instead of undefined behavior.
+
+use std::sync::Arc;
+
+/// A shared immutable byte buffer that typed [`Storage`] windows can borrow.
+///
+/// Blanket-implemented for anything `AsRef<[u8]> + Send + Sync` — e.g. a
+/// `memmap2::Mmap`, or an aligned heap buffer in tests. The returned slice
+/// must be stable for the lifetime of the value (same pointer, same
+/// length); all standard implementors satisfy this.
+pub trait ByteRegion: Send + Sync {
+    /// The backing bytes.
+    fn bytes(&self) -> &[u8];
+}
+
+impl<B: AsRef<[u8]> + Send + Sync> ByteRegion for B {
+    fn bytes(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+/// Element types `Storage` may reinterpret raw bytes as: plain-old-data with
+/// no padding and no invalid bit patterns. Sealed — exactly `u8` and `f32`,
+/// the two element types compiled plans store in bulk.
+pub trait Pod: Copy + Send + Sync + 'static + sealed::Sealed {}
+
+impl Pod for u8 {}
+impl Pod for f32 {}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for u8 {}
+    impl Sealed for f32 {}
+}
+
+/// Why a mapped window could not be created.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageError {
+    /// `offset + len * size_of::<T>()` overflows or exceeds the region.
+    OutOfBounds,
+    /// `region.bytes().as_ptr() + offset` is not aligned for `T`.
+    Misaligned,
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::OutOfBounds => write!(f, "mapped window exceeds the byte region"),
+            StorageError::Misaligned => write!(f, "mapped window is misaligned for its element"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Backing storage for a flat `[T]`: owned, or a window into a shared
+/// mapped byte region.
+#[derive(Clone)]
+pub enum Storage<T: Pod> {
+    /// Heap-owned elements (the compile-time path).
+    Owned(Vec<T>),
+    /// `len` elements starting `offset` bytes into `region` (the
+    /// snapshot-load path). Invariants — in-bounds, aligned — are checked
+    /// by [`Storage::mapped`], the only way to construct this variant.
+    Mapped { region: Arc<dyn ByteRegion>, offset: usize, len: usize },
+}
+
+impl<T: Pod> Storage<T> {
+    /// A typed window of `len` elements at byte `offset` into `region`.
+    ///
+    /// Validates bounds and alignment up front so that [`Storage::as_slice`]
+    /// is infallible afterwards.
+    pub fn mapped(
+        region: Arc<dyn ByteRegion>,
+        offset: usize,
+        len: usize,
+    ) -> Result<Storage<T>, StorageError> {
+        let bytes = region.bytes();
+        let size = len.checked_mul(std::mem::size_of::<T>()).ok_or(StorageError::OutOfBounds)?;
+        let end = offset.checked_add(size).ok_or(StorageError::OutOfBounds)?;
+        if end > bytes.len() {
+            return Err(StorageError::OutOfBounds);
+        }
+        if !(bytes.as_ptr() as usize + offset).is_multiple_of(std::mem::align_of::<T>()) {
+            return Err(StorageError::Misaligned);
+        }
+        Ok(Storage::Mapped { region, offset, len })
+    }
+
+    /// The elements, wherever they live.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            Storage::Owned(v) => v,
+            Storage::Mapped { region, offset, len } => {
+                // Bounds and alignment were validated in `mapped`, and
+                // `ByteRegion` implementors return a stable slice; `T: Pod`
+                // admits every bit pattern.
+                unsafe {
+                    let base = region.bytes().as_ptr().add(*offset);
+                    std::slice::from_raw_parts(base as *const T, *len)
+                }
+            }
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Storage::Owned(v) => v.len(),
+            Storage::Mapped { len, .. } => *len,
+        }
+    }
+
+    /// Whether the storage holds zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the elements borrow a mapped region (vs being heap-owned).
+    #[inline]
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, Storage::Mapped { .. })
+    }
+}
+
+impl<T: Pod> From<Vec<T>> for Storage<T> {
+    fn from(v: Vec<T>) -> Storage<T> {
+        Storage::Owned(v)
+    }
+}
+
+impl<T: Pod> std::fmt::Debug for Storage<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Storage::Owned(v) => f.debug_struct("Owned").field("len", &v.len()).finish(),
+            Storage::Mapped { offset, len, .. } => {
+                f.debug_struct("Mapped").field("offset", offset).field("len", len).finish()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_round_trip() {
+        let s: Storage<f32> = vec![1.0, 2.0, 3.0].into();
+        assert_eq!(s.as_slice(), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_mapped());
+    }
+
+    #[test]
+    fn mapped_window_reads_region_bytes() {
+        // An aligned Vec<u8> would not guarantee f32 alignment; build the
+        // region from f32s and view its bytes.
+        let floats = [0.5f32, -1.25, 3.0, f32::NAN];
+        let bytes: Vec<u8> = floats.iter().flat_map(|v| v.to_le_bytes()).collect();
+        // Copy into an f32-aligned buffer.
+        let mut aligned = vec![0f32; floats.len()];
+        let dst =
+            unsafe { std::slice::from_raw_parts_mut(aligned.as_mut_ptr() as *mut u8, bytes.len()) };
+        dst.copy_from_slice(&bytes);
+        let region: Arc<dyn ByteRegion> = Arc::new(AlignedRegion(aligned));
+        let s: Storage<f32> = Storage::mapped(region, 4, 2).unwrap();
+        assert!(s.is_mapped());
+        assert_eq!(s.as_slice(), &[-1.25, 3.0]);
+    }
+
+    #[test]
+    fn mapped_rejects_out_of_bounds_and_misalignment() {
+        let region: Arc<dyn ByteRegion> = Arc::new(AlignedRegion(vec![0f32; 4]));
+        assert_eq!(
+            Storage::<f32>::mapped(region.clone(), 0, 5).unwrap_err(),
+            StorageError::OutOfBounds
+        );
+        assert_eq!(
+            Storage::<f32>::mapped(region.clone(), usize::MAX, 1).unwrap_err(),
+            StorageError::OutOfBounds
+        );
+        assert_eq!(Storage::<f32>::mapped(region, 2, 1).unwrap_err(), StorageError::Misaligned);
+    }
+
+    /// f32-backed region so the base pointer is 4-byte aligned.
+    struct AlignedRegion(Vec<f32>);
+
+    impl AsRef<[u8]> for AlignedRegion {
+        fn as_ref(&self) -> &[u8] {
+            unsafe { std::slice::from_raw_parts(self.0.as_ptr() as *const u8, self.0.len() * 4) }
+        }
+    }
+}

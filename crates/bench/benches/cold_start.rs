@@ -1,0 +1,121 @@
+//! Cold-start benchmark: compiling a serving plan from scratch vs mapping a
+//! saved snapshot (`da_nn::snapshot`), per multiplier kind × plan
+//! precision, on LeNet-5.
+//!
+//! "Cold start" is the wall time from owning a trained network (or a
+//! snapshot file) to a ready-to-serve [`InferencePlan`], plus the
+//! time-to-first-inference on top of it. Compiling a quantized plan runs an
+//! f32 calibration pass and builds one 256×256 product table per quantizer
+//! pair — for gate-level wirings (HEAP) that is 65 536 full gate-level
+//! evaluations per table, the dominant cost this snapshot path deletes:
+//! loading performs no calibration and no LUT build, and the tables are
+//! `mmap`ed zero-copy rather than rebuilt or even copied.
+//!
+//! `DA_BENCH_JSON=<path>` writes the rows as a machine-readable document
+//! (scenario `cold_start`; see [`da_bench::json`]). `DA_BENCH_SMOKE=1`
+//! restricts the sweep to the headline acceptance case — gate-level HEAP at
+//! int8 — for CI's emit-and-schema-check smoke job.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use da_arith::MultiplierKind;
+use da_bench::json::{JsonEmitter, Record};
+use da_nn::engine::InferencePlan;
+use da_nn::zoo::lenet5;
+use da_tensor::Tensor;
+use rand::SeedableRng;
+
+/// Wall-clock milliseconds for one run of `f`.
+fn wall_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn snapshot_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("da-bench-cold-{}-{tag}.daplan", std::process::id()))
+}
+
+fn main() {
+    let smoke = std::env::var_os("DA_BENCH_SMOKE").is_some();
+    let mut emitter = JsonEmitter::from_env("cold_start");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+
+    println!("Cold start: compile-from-network vs map-from-snapshot (LeNet-5; lower is");
+    println!("better, speedup = compile / load; ttfi = plan ready -> first logits out)");
+    println!();
+    println!(
+        "{:<12} {:<6} {:>12} {:>10} {:>9} {:>12} {:>11} {:>10}",
+        "multiplier", "prec", "compile", "load", "speedup", "ttfi-compile", "ttfi-load", "snapshot"
+    );
+
+    let mut net = lenet5(10, &mut rng);
+    let calibration = Tensor::rand_uniform(&[8, 1, 28, 28], 0.0, 1.0, &mut rng);
+    let x1 = Tensor::rand_uniform(&[1, 1, 28, 28], 0.0, 1.0, &mut rng);
+
+    for kind in MultiplierKind::ALL {
+        if smoke && kind != MultiplierKind::Heap {
+            continue;
+        }
+        let mult = kind.build();
+        net.set_multiplier(Some(mult.clone()));
+        let precisions: &[&str] = if smoke { &["int8"] } else { &["f32", "int8", "int4"] };
+        for &precision in precisions {
+            let (plan, compile_ms) = wall_ms(|| match precision {
+                "f32" => InferencePlan::compile(&net, Some(mult.clone())),
+                "int8" => InferencePlan::compile_quantized(&net, Some(mult.clone()), &calibration),
+                _ => InferencePlan::compile_quantized_int4(&net, Some(mult.clone()), &calibration),
+            });
+            let plan = plan.expect("lenet5 compiles at every precision");
+            let (_, ttfi_compile_ms) = wall_ms(|| plan.predict_batch(&x1));
+
+            let path = snapshot_path(&format!("{}-{precision}", kind.as_str()));
+            plan.save(&path).expect("snapshot save");
+            let snapshot_bytes = std::fs::metadata(&path).expect("snapshot stat").len();
+
+            let (loaded, load_ms) = wall_ms(|| InferencePlan::load(&path).expect("snapshot load"));
+            let (first, ttfi_load_ms) = wall_ms(|| loaded.predict_batch(&x1));
+
+            // The snapshot contract: serving from the mapping is
+            // bit-identical to serving from the compiled plan.
+            let want = plan.predict_batch(&x1);
+            assert_eq!(
+                first.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "loaded plan must serve bit-identically"
+            );
+            std::fs::remove_file(&path).ok();
+
+            let speedup = compile_ms / load_ms;
+            println!(
+                "{:<12} {:<6} {:>10.1}ms {:>8.2}ms {:>8.1}x {:>10.2}ms {:>9.2}ms {:>8.0}KiB",
+                kind.as_str(),
+                precision,
+                compile_ms,
+                load_ms,
+                speedup,
+                ttfi_compile_ms,
+                ttfi_load_ms,
+                snapshot_bytes as f64 / 1024.0
+            );
+            emitter.record(
+                Record::new()
+                    .label("scenario", "cold_start")
+                    .label("model", "lenet5")
+                    .label("multiplier", kind.as_str())
+                    .label("precision", precision)
+                    .metric("compile_ms", compile_ms)
+                    .metric("load_ms", load_ms)
+                    .metric("speedup", speedup)
+                    .metric("ttfi_compile_ms", compile_ms + ttfi_compile_ms)
+                    .metric("ttfi_load_ms", load_ms + ttfi_load_ms)
+                    .metric("snapshot_bytes", snapshot_bytes as f64),
+            );
+        }
+    }
+
+    if let Some(path) = emitter.finish() {
+        println!("wrote {}", path.display());
+    }
+}

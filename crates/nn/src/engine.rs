@@ -103,6 +103,7 @@ use da_arith::quantized::{
     lut4_gemm, lut_gemm, requantize_bias_act, Lut4Order, ProductLut, ProductLut4, QuantParams,
     QuantParams4,
 };
+use da_arith::storage::Storage;
 use da_arith::{BatchKernel, ExactMultiplier, Multiplier, PreparedOperands, RowClass};
 use da_tensor::ops::ConvGeometry;
 use da_tensor::parallel::par_map_chunks_with;
@@ -211,16 +212,20 @@ pub enum CompiledLayer {
 /// Conv weights in the form the execution mode consumes: raw `f32`s for the
 /// native exact path, pre-decomposed operands for the kernel path. Either-or
 /// so a plan never stores the weight matrix twice.
-enum ConvWeights {
+pub(crate) enum ConvWeights {
     /// Pre-reshaped `[Cout, Cin·Kh·Kw]`, row-major (plans without a
     /// multiplier).
-    Raw(Vec<f32>),
+    Raw(Storage<f32>),
     /// Pre-decomposed `[Cout, Cin·Kh·Kw]` (plans with a multiplier).
     Prepared(PreparedOperands),
 }
 
 /// One executable step of a compiled plan.
-enum Step {
+///
+/// `pub(crate)` (with its storage enums) so `crate::snapshot` can walk a
+/// compiled plan when saving and reassemble steps over mapped storage when
+/// loading; outside the crate the plan stays opaque.
+pub(crate) enum Step {
     Conv {
         weights: ConvWeights,
         bias: Vec<f32>,
@@ -233,8 +238,9 @@ enum Step {
         fuse_relu: bool,
     },
     Dense {
-        /// Pre-transposed weights `[In, Out]`, row-major.
-        wt: Vec<f32>,
+        /// Pre-transposed weights `[In, Out]`, row-major (owned, or
+        /// borrowed from a snapshot mapping).
+        wt: Storage<f32>,
         /// Per-`wt`-row [`RowClass`], classified once at compile time so the
         /// kernel's class-matched lane sweeps skip the per-call row scan
         /// (dense weights are the kernel's right-hand rows — the activation
@@ -272,7 +278,7 @@ enum Step {
     /// `f32` accumulation, then bias (+ ReLU) and the output stage.
     QConv {
         /// Weight codes, `[Cout, Cin·Kh·Kw]` row-major (the LUT's `a` side).
-        qweight: Vec<u8>,
+        qweight: Storage<u8>,
         /// Product table over (weight, activation) codes (shared across
         /// steps with identical quantizer pairs).
         lut: Arc<ProductLut>,
@@ -292,7 +298,7 @@ enum Step {
     /// operand (approximate multipliers need not be commutative).
     QDense {
         /// Pre-transposed weight codes, `[In, Out]` row-major (the `b` side).
-        qwt: Vec<u8>,
+        qwt: Storage<u8>,
         /// Product table over (activation, weight) codes (shared across
         /// steps with identical quantizer pairs).
         lut: Arc<ProductLut>,
@@ -309,7 +315,7 @@ enum Step {
     QConv4 {
         /// Transposed weight codes, `[Cin·Kh·Kw, Cout]` row-major, low
         /// nibble.
-        qweight_t: Vec<u8>,
+        qweight_t: Storage<u8>,
         /// 256×16 product table over (weight, activation) codes.
         lut: Arc<ProductLut4>,
         bias: Vec<f32>,
@@ -327,7 +333,7 @@ enum Step {
     /// the f32 reference) and weight codes along the shuffle axis.
     QDense4 {
         /// Pre-transposed weight codes `[In, Out]` row-major, low nibble.
-        qwt: Vec<u8>,
+        qwt: Storage<u8>,
         /// 256×16 product table over (activation, weight) codes.
         lut: Arc<ProductLut4>,
         bias: Vec<f32>,
@@ -356,7 +362,7 @@ enum Step {
 
 /// Where a quantized conv/dense step sends its epilogue output.
 #[derive(Clone, Copy)]
-enum QOut {
+pub(crate) enum QOut {
     /// Requantize into activation codes for the next quantized step.
     Codes(QuantParams),
     /// Leave `f32` (the plan's final logits).
@@ -530,18 +536,38 @@ enum SrcSlot {
 /// A network compiled for serving: pre-decomposed weights, fused conv
 /// tiles, and a reusable workspace arena (see the module docs).
 pub struct InferencePlan {
-    multiplier: Option<Arc<dyn Multiplier>>,
-    steps: Vec<Step>,
+    pub(crate) multiplier: Option<Arc<dyn Multiplier>>,
+    pub(crate) steps: Vec<Step>,
     /// Index of the last step that writes output (`None` if every step is a
     /// shape-only no-op).
     last_write: Option<usize>,
-    precision: PlanPrecision,
+    pub(crate) precision: PlanPrecision,
     layout: Mutex<Option<Arc<Layout>>>,
     pool: Mutex<Vec<Workspace>>,
     workspace_allocs: AtomicU64,
 }
 
 impl InferencePlan {
+    /// Assemble a plan directly from executable steps — the snapshot-load
+    /// path (`crate::snapshot`), which reconstructs steps over mapped
+    /// storage. Derived state (`last_write`, layout cache, workspace pool)
+    /// is rebuilt exactly as the compile paths build it.
+    pub(crate) fn from_steps(
+        multiplier: Option<Arc<dyn Multiplier>>,
+        steps: Vec<Step>,
+        precision: PlanPrecision,
+    ) -> InferencePlan {
+        let last_write = steps.iter().rposition(|s| !matches!(s, Step::Flatten));
+        InferencePlan {
+            multiplier,
+            steps,
+            last_write,
+            precision,
+            layout: Mutex::new(None),
+            pool: Mutex::new(Vec::new()),
+            workspace_allocs: AtomicU64::new(0),
+        }
+    }
     /// Compile `network` against `multiplier` (pass
     /// `network.multiplier().cloned()` to match the installed one).
     ///
@@ -585,7 +611,7 @@ impl InferencePlan {
                             cin * kh * kw,
                         ))
                     } else {
-                        ConvWeights::Raw(wmat)
+                        ConvWeights::Raw(Storage::Owned(wmat))
                     };
                     steps.push(Step::Conv {
                         weights,
@@ -617,7 +643,7 @@ impl InferencePlan {
                         _ => vec![RowClass::Normal; in_features],
                     };
                     steps.push(Step::Dense {
-                        wt,
+                        wt: Storage::Owned(wt),
                         wt_class,
                         bias: bias.into_vec(),
                         in_features,
@@ -701,7 +727,7 @@ impl InferencePlan {
             match step {
                 Step::Conv { weights, bias, cout, cin, kh, kw, stride, pad, fuse_relu } => {
                     let wmat: Vec<f32> = match weights {
-                        ConvWeights::Raw(w) => w.clone(),
+                        ConvWeights::Raw(w) => w.as_slice().to_vec(),
                         ConvWeights::Prepared(p) => (0..p.rows())
                             .flat_map(|r| p.row(r).iter().map(|op| op.value()))
                             .collect(),
@@ -712,7 +738,7 @@ impl InferencePlan {
                     let (olo, ohi) = step_ranges[t];
                     let out_params = QuantParams::from_range(olo, ohi);
                     steps.push(Step::QConv {
-                        qweight,
+                        qweight: Storage::Owned(qweight),
                         lut: lut_cache.int8(&*lut_mult, wq, act),
                         bias: bias.clone(),
                         cout: *cout,
@@ -727,13 +753,14 @@ impl InferencePlan {
                     act = out_params;
                 }
                 Step::Dense { wt, bias, in_features, out_features, fuse_relu, .. } => {
+                    let wt = wt.as_slice();
                     let (wlo, whi) = QuantParams::observe(wt);
                     let wq = QuantParams::from_range(wlo, whi);
                     let qwt: Vec<u8> = wt.iter().map(|&v| wq.quantize(v)).collect();
                     let (olo, ohi) = step_ranges[t];
                     let out_params = QuantParams::from_range(olo, ohi);
                     steps.push(Step::QDense {
-                        qwt,
+                        qwt: Storage::Owned(qwt),
                         lut: lut_cache.int8(&*lut_mult, act, wq),
                         bias: bias.clone(),
                         in_features: *in_features,
@@ -834,7 +861,7 @@ impl InferencePlan {
             match step {
                 Step::Conv { weights, bias, cout, cin, kh, kw, stride, pad, fuse_relu } => {
                     let wmat: Vec<f32> = match weights {
-                        ConvWeights::Raw(w) => w.clone(),
+                        ConvWeights::Raw(w) => w.as_slice().to_vec(),
                         ConvWeights::Prepared(p) => (0..p.rows())
                             .flat_map(|r| p.row(r).iter().map(|op| op.value()))
                             .collect(),
@@ -915,7 +942,7 @@ impl InferencePlan {
                     std::mem::swap(&mut cal, &mut next_cal);
                     if use_int4 {
                         steps.push(Step::QConv4 {
-                            qweight_t,
+                            qweight_t: Storage::Owned(qweight_t),
                             lut: lut4,
                             bias: bias.clone(),
                             cout: *cout,
@@ -929,7 +956,7 @@ impl InferencePlan {
                         });
                     } else {
                         steps.push(Step::QConv {
-                            qweight,
+                            qweight: Storage::Owned(qweight),
                             lut: lut8,
                             bias: bias.clone(),
                             cout: *cout,
@@ -945,6 +972,7 @@ impl InferencePlan {
                     act = out_params;
                 }
                 Step::Dense { wt, bias, in_features, out_features, fuse_relu, .. } => {
+                    let wt = wt.as_slice();
                     let (inf, outf) = (*in_features, *out_features);
                     let (wlo, whi) = QuantParams::observe(wt);
                     let wq = QuantParams::from_range(wlo, whi);
@@ -992,7 +1020,7 @@ impl InferencePlan {
                     std::mem::swap(&mut cal, &mut next_cal);
                     if use_int4 {
                         steps.push(Step::QDense4 {
-                            qwt: qwt4,
+                            qwt: Storage::Owned(qwt4),
                             lut: lut4,
                             bias: bias.clone(),
                             in_features: inf,
@@ -1002,7 +1030,7 @@ impl InferencePlan {
                         });
                     } else {
                         steps.push(Step::QDense {
-                            qwt,
+                            qwt: Storage::Owned(qwt),
                             lut: lut8,
                             bias: bias.clone(),
                             in_features: inf,
@@ -1543,7 +1571,16 @@ impl InferencePlan {
                             }
                             let acc = &mut facc[..cout * tile];
                             acc.fill(0.0);
-                            lut_gemm(lut, qweight, *cout, k, &qgather[..k * tile], tile, acc, tile);
+                            lut_gemm(
+                                lut,
+                                qweight.as_slice(),
+                                *cout,
+                                k,
+                                &qgather[..k * tile],
+                                tile,
+                                acc,
+                                tile,
+                            );
                             match qout {
                                 QOut::Codes(params) => {
                                     debug_assert!(!to_out, "code output cannot be the plan output");
@@ -1602,7 +1639,7 @@ impl InferencePlan {
                             &src[i * in_features..(i + 1) * in_features],
                             1,
                             *in_features,
-                            qwt,
+                            qwt.as_slice(),
                             outf,
                             &mut acc[i * outf..(i + 1) * outf],
                             outf,
@@ -1668,7 +1705,7 @@ impl InferencePlan {
                                 &qgather[..prows * k],
                                 prows,
                                 k,
-                                qweight_t,
+                                qweight_t.as_slice(),
                                 *cout,
                                 acc,
                                 *cout,
@@ -1718,7 +1755,16 @@ impl InferencePlan {
                     let outf = *out_features;
                     let acc = &mut facc[..n * outf];
                     acc.fill(0.0);
-                    lut4_gemm(lut, &src[..n * in_features], n, *in_features, qwt, outf, acc, outf);
+                    lut4_gemm(
+                        lut,
+                        &src[..n * in_features],
+                        n,
+                        *in_features,
+                        qwt.as_slice(),
+                        outf,
+                        acc,
+                        outf,
+                    );
                     match qout {
                         QOut::Codes(params) => {
                             debug_assert!(!to_out, "code output cannot be the plan output");
@@ -1894,6 +1940,7 @@ fn exec_step<'k>(
                         kern.gemm_tile_classed(prep, gb, tile, class, &mut dst[p0..], p_total);
                     }
                     (None, ConvWeights::Raw(wmat)) => {
+                        let wmat = wmat.as_slice();
                         // Exact path: mirror `da_tensor::ops::matmul`,
                         // including its zero-weight skip.
                         for co in 0..*cout {
@@ -1926,6 +1973,7 @@ fn exec_step<'k>(
             }
         }
         Step::Dense { wt, wt_class, bias, in_features, out_features, fuse_relu } => {
+            let wt = wt.as_slice();
             let outf = *out_features;
             dst.fill(0.0);
             match kernel {

@@ -86,6 +86,7 @@ pub mod network;
 pub mod optim;
 pub mod quant;
 pub mod serve;
+pub mod snapshot;
 pub mod train;
 pub mod zoo;
 
@@ -93,3 +94,4 @@ pub use engine::InferencePlan;
 pub use layers::{Cache, Layer, Mode};
 pub use network::Network;
 pub use serve::{BatchServer, ServeConfig, ServeError};
+pub use snapshot::{PlanCache, SnapshotError};

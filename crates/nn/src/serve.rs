@@ -324,6 +324,44 @@ impl BatchServer {
         Self::start(replicas, config, source_epoch)
     }
 
+    /// Serve an already-compiled (or snapshot-loaded) plan: every worker
+    /// shards the same `Arc`, so a plan whose tables borrow an `mmap`ed
+    /// snapshot is served by N workers over **one** mapping — no per-worker
+    /// copy of the multi-MiB product tables or weight matrices.
+    ///
+    /// A plan served this way has no source [`Network`], so
+    /// [`is_stale`](BatchServer::is_stale) reports `true` against *any*
+    /// network (the sentinel epoch `u64::MAX` is never a real
+    /// [`Network::plan_epoch`] value): staleness tracking is only
+    /// meaningful for the `compile*` constructors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.max_batch` or `config.queue_capacity` is zero.
+    pub fn from_plan(plan: Arc<InferencePlan>, config: ServeConfig) -> BatchServer {
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        assert!(config.queue_capacity >= 1, "queue_capacity must be at least 1");
+        let replicas = vec![plan; config.workers];
+        Self::start(replicas, config, u64::MAX).expect("start never fails")
+    }
+
+    /// Map the plan snapshot at `path` (see [`crate::snapshot`]) and serve
+    /// it via [`from_plan`](BatchServer::from_plan). This is the
+    /// near-zero-cold-start path: no calibration, no LUT build, no weight
+    /// copy — time-to-first-inference is dominated by the first batch
+    /// itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`from_plan`](BatchServer::from_plan) does.
+    pub fn from_snapshot(
+        path: impl AsRef<std::path::Path>,
+        config: ServeConfig,
+    ) -> Result<BatchServer, crate::snapshot::SnapshotError> {
+        let plan = Arc::new(InferencePlan::load(path)?);
+        Ok(Self::from_plan(plan, config))
+    }
+
     /// Shared startup: install the panic hook and spawn one worker per plan
     /// replica. `source_epoch` is the network's
     /// [`Network::plan_epoch`] read *before* compiling, so a concurrent

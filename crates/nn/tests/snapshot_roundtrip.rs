@@ -1,0 +1,300 @@
+//! Snapshot round-trip and hostile-file tests (`da_nn::snapshot`).
+//!
+//! The contract under test:
+//!
+//! * **Bit-identity** — serving from a loaded snapshot equals serving from
+//!   the plan that was saved, to the last ULP, for every
+//!   [`MultiplierKind`] (plus native) × every plan precision, including
+//!   NaN/Inf payloads.
+//! * **Structure survives** — precision, int4 layer mix, and product-table
+//!   sharing are preserved through the round trip.
+//! * **Hostile files fail typed** — truncation, bit flips, wrong magic,
+//!   wrong version, and misaligned sections all surface as the right
+//!   [`SnapshotError`] variant; nothing panics and no corrupt plan is ever
+//!   handed to a serving worker.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use da_arith::MultiplierKind;
+use da_nn::engine::InferencePlan;
+use da_nn::layers::{Conv2d, Dense, Dropout, Flatten, MaxPool2d, Relu};
+use da_nn::serve::{BatchServer, ServeConfig};
+use da_nn::snapshot::{file_checksum, PlanCache, SnapshotError, MAGIC, VERSION};
+use da_nn::Network;
+use da_tensor::Tensor;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// A fresh snapshot path under the system temp dir, unique per process and
+/// per call site tag (tests run concurrently in one binary).
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("da-snap-{}-{tag}.daplan", std::process::id()))
+}
+
+fn tiny_cnn(seed: u64) -> Network {
+    let mut r = rng(seed);
+    Network::new("snap-tiny")
+        .push(Conv2d::new(1, 4, 3, 1, 1, &mut r))
+        .push(Relu)
+        .push(MaxPool2d::new(2, 2))
+        .push(Conv2d::new(4, 6, 3, 1, 0, &mut r))
+        .push(Relu)
+        .push(Dropout::new(0.5))
+        .push(Flatten)
+        .push(Dense::new(6 * 3 * 3, 8, &mut r))
+        .push(Relu)
+        .push(Dense::new(8, 5, &mut r))
+}
+
+fn assert_bit_equal(got: &Tensor, want: &Tensor, ctx: &str) {
+    assert_eq!(got.shape(), want.shape(), "{ctx}: shape");
+    for (i, (x, y)) in got.data().iter().zip(want.data()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: elem {i}: {x:?} vs {y:?}");
+    }
+}
+
+/// Inputs that exercise the slow paths too: a clean batch plus a batch
+/// carrying NaN, the infinities, negative zero, and a denormal.
+fn probe_batches(r: &mut rand::rngs::StdRng) -> Vec<Tensor> {
+    let clean = Tensor::rand_uniform(&[3, 1, 10, 10], 0.0, 1.0, r);
+    let mut hostile = Tensor::rand_uniform(&[2, 1, 10, 10], -1.0, 1.0, r);
+    let d = hostile.data_mut();
+    d[0] = f32::NAN;
+    d[1] = f32::INFINITY;
+    d[2] = f32::NEG_INFINITY;
+    d[3] = -0.0;
+    d[4] = f32::from_bits(1); // smallest positive denormal
+    vec![clean, hostile]
+}
+
+/// Save → load → predict is bit-identical to the in-memory plan for every
+/// multiplier kind (plus native) × every precision, NaN/Inf inputs
+/// included, and precision/int4-mix/LUT-sharing survive the round trip.
+#[test]
+fn roundtrip_is_bit_identical_for_every_kind_and_precision() {
+    let mut r = rng(7);
+    let calibration = Tensor::rand_uniform(&[8, 1, 10, 10], 0.0, 1.0, &mut r);
+    let batches = probe_batches(&mut r);
+    for kind in MultiplierKind::ALL.into_iter().map(Some).chain([None]) {
+        let mut net = tiny_cnn(13);
+        let mult = kind.map(|k| k.build());
+        net.set_multiplier(mult.clone());
+        let plans = [
+            InferencePlan::compile(&net, mult.clone()).expect("f32 plan"),
+            InferencePlan::compile_quantized(&net, mult.clone(), &calibration).expect("int8 plan"),
+            InferencePlan::compile_quantized_int4(&net, mult.clone(), &calibration)
+                .expect("int4 plan"),
+        ];
+        for plan in plans {
+            let ctx = format!("{kind:?}/{:?}", plan.precision());
+            let path = temp_path(&format!("rt-{}", ctx.replace(['/', '(', ')'], "-")));
+            plan.save(&path).expect("save");
+            let loaded = InferencePlan::load(&path).expect("load");
+            assert_eq!(loaded.precision(), plan.precision(), "{ctx}: precision");
+            assert_eq!(loaded.int4_layer_mix(), plan.int4_layer_mix(), "{ctx}: int4 mix");
+            assert_eq!(
+                loaded.product_lut_sharing(),
+                plan.product_lut_sharing(),
+                "{ctx}: LUT sharing"
+            );
+            for (b, x) in batches.iter().enumerate() {
+                assert_bit_equal(
+                    &loaded.predict_batch(x),
+                    &plan.predict_batch(x),
+                    &format!("{ctx}: batch {b}"),
+                );
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
+
+/// Serving through [`BatchServer::from_snapshot`] equals a serial
+/// `predict_batch` on the in-memory plan, bitwise.
+#[test]
+fn served_snapshot_matches_serial_plan() {
+    let mut net = tiny_cnn(23);
+    net.set_multiplier(Some(MultiplierKind::AxFpm.build()));
+    let mut r = rng(24);
+    let calibration = Tensor::rand_uniform(&[8, 1, 10, 10], 0.0, 1.0, &mut r);
+    let plan = InferencePlan::compile_quantized(&net, net.multiplier().cloned(), &calibration)
+        .expect("int8 plan");
+    let path = temp_path("serve");
+    plan.save(&path).expect("save");
+
+    let x = Tensor::rand_uniform(&[6, 1, 10, 10], 0.0, 1.0, &mut r);
+    let want = plan.predict_batch(&x);
+
+    let server = BatchServer::from_snapshot(
+        &path,
+        ServeConfig {
+            workers: 3,
+            max_batch: 4,
+            flush_deadline: Duration::from_millis(2),
+            queue_capacity: 16,
+        },
+    )
+    .expect("snapshot serves");
+    let pending: Vec<_> =
+        (0..6).map(|i| server.submit(&x.batch_item(i)).expect("accepting")).collect();
+    for (i, p) in pending.into_iter().enumerate() {
+        let row = p.wait().expect("served");
+        for (j, (g, w)) in row.data().iter().zip(&want.data()[i * 5..(i + 1) * 5]).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "item {i} elem {j}");
+        }
+    }
+    server.shutdown();
+
+    // A snapshot-origin server has no source network: always stale.
+    let server = BatchServer::from_plan(Arc::new(plan), ServeConfig::default());
+    assert!(server.is_stale(&net));
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+/// [`PlanCache`]: store/load round trip, hits skip the compiler, and keys
+/// that could escape the directory are rejected.
+#[test]
+fn plan_cache_round_trips_and_validates_keys() {
+    let dir = std::env::temp_dir().join(format!("da-snap-cache-{}", std::process::id()));
+    let cache = PlanCache::new(&dir).expect("cache dir");
+
+    let mut net = tiny_cnn(33);
+    net.set_multiplier(Some(MultiplierKind::Bfloat16.build()));
+    let mut r = rng(34);
+    let calibration = Tensor::rand_uniform(&[4, 1, 10, 10], 0.0, 1.0, &mut r);
+    let x = Tensor::rand_uniform(&[2, 1, 10, 10], 0.0, 1.0, &mut r);
+
+    assert!(!cache.contains("bfloat16-int8"));
+    let mut compiles = 0;
+    let plan = cache
+        .get_or_insert_with("bfloat16-int8", || {
+            compiles += 1;
+            InferencePlan::compile_quantized(&net, net.multiplier().cloned(), &calibration)
+        })
+        .expect("compile + store");
+    assert_eq!(compiles, 1);
+    assert!(cache.contains("bfloat16-int8"));
+    assert_eq!(cache.keys(), vec!["bfloat16-int8".to_string()]);
+
+    // Hit path: the closure must not run again, and the mapped plan serves
+    // bit-identically.
+    let hit = cache
+        .get_or_insert_with("bfloat16-int8", || panic!("cache hit must not compile"))
+        .expect("load");
+    assert_bit_equal(&hit.predict_batch(&x), &plan.predict_batch(&x), "cache hit");
+
+    for bad in ["../escape", "a/b", "", "nul\0byte", "dir\\key"] {
+        assert!(
+            matches!(cache.store(bad, &plan), Err(SnapshotError::BadKey(_))),
+            "key {bad:?} must be rejected"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Build one valid snapshot image to mutate in the hostile-file tests.
+fn valid_image() -> Vec<u8> {
+    let mut net = tiny_cnn(43);
+    net.set_multiplier(Some(MultiplierKind::Heap.build()));
+    let mut r = rng(44);
+    let calibration = Tensor::rand_uniform(&[4, 1, 10, 10], 0.0, 1.0, &mut r);
+    let plan = InferencePlan::compile_quantized(&net, net.multiplier().cloned(), &calibration)
+        .expect("int8 plan");
+    let path = temp_path("hostile-src");
+    plan.save(&path).expect("save");
+    let bytes = std::fs::read(&path).expect("read back");
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+fn load_bytes(tag: &str, bytes: &[u8]) -> Result<InferencePlan, SnapshotError> {
+    let path = temp_path(tag);
+    std::fs::write(&path, bytes).expect("write hostile file");
+    let out = InferencePlan::load(&path);
+    std::fs::remove_file(&path).ok();
+    out
+}
+
+/// Re-seal a mutated image so it passes the checksum gate and the *next*
+/// validation layer is the one under test.
+fn reseal(bytes: &mut [u8]) {
+    let sum = file_checksum(bytes);
+    bytes[24..32].copy_from_slice(&sum.to_le_bytes());
+}
+
+#[test]
+fn hostile_files_fail_with_typed_errors() {
+    let image = valid_image();
+    assert!(load_bytes("hostile-ok", &image).is_ok(), "pristine image must load");
+
+    // Truncations at several depths: inside the header, inside the section
+    // table, and inside a payload. All must be Truncated, never a panic.
+    for (i, cut) in [8usize, 40, 64 + 8, image.len() / 2, image.len() - 1].into_iter().enumerate() {
+        let truncated = &image[..cut];
+        assert!(
+            matches!(
+                load_bytes(&format!("hostile-trunc-{i}"), truncated),
+                Err(SnapshotError::Truncated)
+            ),
+            "truncation at {cut} must be Truncated"
+        );
+    }
+
+    // A single bit flip anywhere in the body fails the checksum.
+    let mut flipped = image.clone();
+    let at = flipped.len() - 5;
+    flipped[at] ^= 0x10;
+    assert!(matches!(load_bytes("hostile-flip", &flipped), Err(SnapshotError::ChecksumMismatch)));
+
+    // Wrong magic.
+    let mut bad_magic = image.clone();
+    bad_magic[0..8].copy_from_slice(b"NOTASNAP");
+    assert!(matches!(load_bytes("hostile-magic", &bad_magic), Err(SnapshotError::BadMagic)));
+    assert_eq!(&image[0..8], &MAGIC);
+
+    // Wrong (future) version, re-sealed so only the version check fires.
+    let mut bad_version = image.clone();
+    bad_version[8..12].copy_from_slice(&(VERSION + 1).to_le_bytes());
+    reseal(&mut bad_version);
+    assert!(matches!(
+        load_bytes("hostile-version", &bad_version),
+        Err(SnapshotError::UnsupportedVersion(v)) if v == VERSION + 1
+    ));
+
+    // Misaligned section offset (valid checksum): knock section 1 off the
+    // 64-byte grid.
+    let mut misaligned = image.clone();
+    let entry = 64 + 16; // section 1's table entry
+    let off = u64::from_le_bytes(misaligned[entry..entry + 8].try_into().unwrap());
+    misaligned[entry..entry + 8].copy_from_slice(&(off + 4).to_le_bytes());
+    let sec_len = u64::from_le_bytes(misaligned[entry + 8..entry + 16].try_into().unwrap());
+    misaligned[entry + 8..entry + 16].copy_from_slice(&sec_len.saturating_sub(4).to_le_bytes());
+    reseal(&mut misaligned);
+    assert!(matches!(load_bytes("hostile-align", &misaligned), Err(SnapshotError::Misaligned)));
+
+    // A section pointing past EOF (valid checksum) is Truncated.
+    let mut oob = image.clone();
+    let len_at = entry + 8;
+    oob[len_at..len_at + 8].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+    reseal(&mut oob);
+    assert!(matches!(load_bytes("hostile-oob", &oob), Err(SnapshotError::Truncated)));
+
+    // The file_len field must match the real length even when re-sealed.
+    let mut padded = image.clone();
+    padded.extend_from_slice(&[0u8; 64]);
+    reseal(&mut padded);
+    assert!(matches!(load_bytes("hostile-pad", &padded), Err(SnapshotError::Truncated)));
+
+    // Not a snapshot at all.
+    assert!(matches!(load_bytes("hostile-tiny", b"hi"), Err(SnapshotError::Truncated)));
+    assert!(matches!(load_bytes("hostile-text", &[0x55u8; 4096]), Err(SnapshotError::BadMagic)));
+
+    // Missing file is Io, not a panic.
+    assert!(matches!(InferencePlan::load(temp_path("hostile-missing")), Err(SnapshotError::Io(_))));
+}

@@ -1,0 +1,256 @@
+//! Offline, dependency-free stand-in for the `memmap2` crate.
+//!
+//! Implements the subset of the `memmap2 0.9` API the workspace actually
+//! uses: read-only mappings of whole files via [`Mmap::map`], dereferencing
+//! to `&[u8]`.
+//!
+//! On Unix targets the mapping is a real `mmap(2)` (`PROT_READ`,
+//! `MAP_PRIVATE`) obtained through a raw FFI declaration — `std` already
+//! links the platform C library, so no `libc` crate is needed. Pages are
+//! faulted in lazily and shared through the page cache, so N processes (or
+//! N worker threads holding one `Arc<Mmap>`) mapping the same snapshot pay
+//! for its resident bytes once. On non-Unix targets the "mapping" degrades
+//! to a 64-byte-aligned heap buffer filled with one `read`: the zero-copy
+//! property is lost but the API and the alignment guarantee callers rely on
+//! are preserved.
+//!
+//! Differences from upstream: only `Mmap` (read-only) exists, `map` takes
+//! the whole file (no offset/len builder), and an empty file maps to an
+//! empty slice instead of failing with `EINVAL`.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+/// A read-only memory map of an entire file.
+///
+/// # Safety contract
+///
+/// As with upstream `memmap2`, [`Mmap::map`] is `unsafe` because the
+/// underlying file must not be truncated or mutated while the mapping is
+/// live: on Unix the mapped bytes alias the file, and external modification
+/// can change them (or fault the process on truncation) behind safe `&[u8]`
+/// borrows. Callers that need integrity against concurrent modification
+/// must validate the mapped bytes (e.g. with a checksum) after mapping.
+pub struct Mmap {
+    inner: Inner,
+}
+
+// The mapped region is immutable for the lifetime of the value and freed
+// exactly once in `Drop`, so sharing across threads is sound.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `file` read-only in its entirety.
+    ///
+    /// # Safety
+    ///
+    /// The file must not be mutated or truncated for the lifetime of the
+    /// returned mapping (see the type-level safety contract).
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        Ok(Mmap { inner: Inner::map(file, len)? })
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        self.inner.as_slice()
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.as_slice().len()).finish()
+    }
+}
+
+#[cfg(unix)]
+use unix::Inner;
+
+#[cfg(unix)]
+mod unix {
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    // Raw declarations of the two calls we need; std links libc on every
+    // Unix target, so the symbols are always present.
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    pub struct Inner {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    impl Inner {
+        pub fn map(file: &File, len: usize) -> io::Result<Inner> {
+            if len == 0 {
+                // mmap(2) rejects zero-length maps with EINVAL; model an
+                // empty file as an empty slice instead.
+                return Ok(Inner { ptr: std::ptr::null_mut(), len: 0 });
+            }
+            let ptr = unsafe {
+                mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0)
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Inner { ptr, len })
+        }
+
+        pub fn as_slice(&self) -> &[u8] {
+            if self.len == 0 {
+                return &[];
+            }
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Inner {
+        fn drop(&mut self) {
+            if self.len != 0 {
+                unsafe {
+                    munmap(self.ptr, self.len);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+use fallback::Inner;
+
+#[cfg(not(unix))]
+mod fallback {
+    use std::alloc::{alloc, dealloc, Layout};
+    use std::fs::File;
+    use std::io::{self, Read};
+
+    /// Heap-buffer fallback: one aligned allocation filled by `read`.
+    /// Sections in the snapshot format are 64-byte aligned relative to the
+    /// file start, so the buffer itself is 64-byte aligned to keep typed
+    /// views (e.g. `&[f32]`) valid.
+    pub struct Inner {
+        ptr: *mut u8,
+        len: usize,
+    }
+
+    const ALIGN: usize = 64;
+
+    impl Inner {
+        pub fn map(file: &File, len: usize) -> io::Result<Inner> {
+            if len == 0 {
+                return Ok(Inner { ptr: std::ptr::null_mut(), len: 0 });
+            }
+            let layout = Layout::from_size_align(len, ALIGN)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "bad mapping layout"))?;
+            let ptr = unsafe { alloc(layout) };
+            if ptr.is_null() {
+                return Err(io::Error::new(io::ErrorKind::OutOfMemory, "mapping allocation"));
+            }
+            let buf = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
+            let mut src = file;
+            if let Err(e) = src.read_exact(buf) {
+                unsafe { dealloc(ptr, layout) };
+                return Err(e);
+            }
+            Ok(Inner { ptr, len })
+        }
+
+        pub fn as_slice(&self) -> &[u8] {
+            if self.len == 0 {
+                return &[];
+            }
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Inner {
+        fn drop(&mut self) {
+            if self.len != 0 {
+                let layout = Layout::from_size_align(self.len, ALIGN).expect("validated in map");
+                unsafe { dealloc(self.ptr, layout) };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("memmap2-shim-{}-{tag}.bin", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_path("contents");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path).unwrap().write_all(&payload).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file).unwrap() };
+        assert_eq!(&map[..], &payload[..]);
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn maps_empty_file() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file).unwrap() };
+        assert!(map.is_empty());
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fallback_note_alignment() {
+        // On Unix, mmap returns page-aligned addresses; the fallback path
+        // allocates 64-byte aligned. Either way the base pointer satisfies
+        // the strictest alignment the snapshot format needs.
+        let path = temp_path("align");
+        std::fs::File::create(&path).unwrap().write_all(&[0u8; 256]).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file).unwrap() };
+        assert_eq!(map.as_slice().as_ptr() as usize % 64, 0);
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

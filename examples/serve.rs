@@ -14,7 +14,11 @@
 //!    `InferencePlan::predict_batch` on the same sample (the defensive
 //!    perturbation must not depend on batch composition), and
 //! 2. the server detects when the deployed network drifts from its
-//!    compiled snapshot (`BatchServer::is_stale`).
+//!    compiled snapshot (`BatchServer::is_stale`), and
+//! 3. quantized serving runs **from a plan snapshot** — compiled and
+//!    calibrated once, saved, then mapped back in milliseconds
+//!    (`BatchServer::from_snapshot`) with the measured cold-start delta
+//!    printed; see `examples/snapshot.rs` for the warm-pool workflow.
 
 use std::time::{Duration, Instant};
 
@@ -115,14 +119,31 @@ fn main() {
     println!("staleness: multiplier swap detected; rebuild the server to serve the new datapath");
     server.shutdown();
 
-    // 3. Int8 serving: the same shard-pool machinery over a quantized plan
-    // (LUT-gather GEMMs over the Ax-FPM product table, calibrated on a
-    // sample batch). Throughput roughly triples at batched load while
-    // predictions track the f32 deployment.
+    // 3. Int8 serving — via the snapshot path. The quantized plan
+    // (LUT-gather GEMMs over the Ax-FPM product table) is compiled and
+    // calibrated exactly once, saved to a snapshot file, and every
+    // subsequent deployment maps it back in: no calibration pass, no LUT
+    // rebuild, and the product tables are served zero-copy straight out of
+    // the mapping. The compile-vs-load delta below is the cold start the
+    // snapshot deletes.
     net.set_multiplier(Some(MultiplierKind::AxFpm.build()));
     let calibration = synth_digits(32, 7).images;
-    let qserver = BatchServer::compile_quantized(&net, &calibration, ServeConfig::default())
+    let snap_path = std::env::temp_dir().join(format!("da-serve-{}.daplan", std::process::id()));
+    let start = Instant::now();
+    let qplan = InferencePlan::compile_quantized(&net, net.multiplier().cloned(), &calibration)
         .expect("LeNet-5 quantizes");
+    let compile_ms = start.elapsed().as_secs_f64() * 1e3;
+    qplan.save(&snap_path).expect("snapshot save");
+    drop(qplan); // the serving processes below start from the file alone
+    let start = Instant::now();
+    let qserver =
+        BatchServer::from_snapshot(&snap_path, ServeConfig::default()).expect("snapshot load");
+    let load_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "cold start: compile+calibrate {compile_ms:.1} ms vs snapshot map {load_ms:.2} ms \
+         ({:.0}x faster; identical logits)",
+        compile_ms / load_ms
+    );
     let f32_preds: Vec<usize> = net.predict(&data.images);
     let total = data.images.shape()[0];
     let start = Instant::now();
@@ -144,16 +165,23 @@ fn main() {
         total as f64 / elapsed,
     );
     qserver.shutdown();
+    std::fs::remove_file(&snap_path).ok();
 
     // 4. Int4 serving: weights narrow to 16 codes where the calibration
     // batch says the layer tolerates it (the rest stay on the int8 gather),
-    // and accepted layers run the in-register shuffle GEMM. The served
-    // snapshot is mixed-precision; the batching contract is unchanged.
-    let q4server = BatchServer::compile_quantized_int4(&net, &calibration, ServeConfig::default())
-        .expect("LeNet-5 quantizes to int4");
+    // and accepted layers run the in-register shuffle GEMM. The mixed
+    // int4/int8 layer split survives the snapshot round trip, so the plan
+    // is compiled once and both the server and the serial reference share
+    // the same mapped file.
     let mult = net.multiplier().cloned();
     let q4plan = InferencePlan::compile_quantized_int4(&net, mult, &calibration)
-        .expect("same stack compiles");
+        .expect("LeNet-5 quantizes to int4");
+    let snap4_path = std::env::temp_dir().join(format!("da-serve4-{}.daplan", std::process::id()));
+    q4plan.save(&snap4_path).expect("snapshot save");
+    drop(q4plan);
+    let q4server =
+        BatchServer::from_snapshot(&snap4_path, ServeConfig::default()).expect("snapshot load");
+    let q4plan = InferencePlan::load(&snap4_path).expect("snapshot load");
     let (int4_layers, int8_fallback) = q4plan.int4_layer_mix();
     let start = Instant::now();
     let pending: Vec<_> = (0..total)
@@ -174,4 +202,5 @@ fn main() {
         total as f64 / elapsed,
     );
     q4server.shutdown();
+    std::fs::remove_file(&snap4_path).ok();
 }

@@ -1,0 +1,124 @@
+//! Zero-copy plan snapshots and the precompiled warm pool.
+//!
+//! ```sh
+//! cargo run --release --example snapshot
+//! ```
+//!
+//! The Defensive Approximation deployment story leans on swapping the
+//! arithmetic under a fixed network — and a rotating defense wants that
+//! swap to be *fast*. Compiling a quantized serving plan is the slow part:
+//! a calibration pass plus one 256×256 product table per quantizer pair
+//! (for gate-level wirings, 65 536 gate-level evaluations per table). This
+//! demo shows the snapshot workflow that deletes the cost from the serving
+//! path:
+//!
+//! 1. **Precompile a pool**: one int8 plan per multiplier wiring, each
+//!    saved into a [`PlanCache`] directory (compile happens once, ever).
+//! 2. **Map, don't compile**: reload every pool entry and compare wall
+//!    times — loads are zero-parse and zero-copy (tables and weights are
+//!    served straight out of the `mmap`), so the cold start collapses from
+//!    seconds to milliseconds.
+//! 3. **Serve and rotate**: stand a `BatchServer` shard pool on one mapped
+//!    plan, verify logits are bit-identical to the originally compiled
+//!    plan, then "rotate" to a different wiring by mapping its snapshot.
+
+use std::time::Instant;
+
+use defensive_approximation::arith::MultiplierKind;
+use defensive_approximation::datasets::digits::synth_digits;
+use defensive_approximation::nn::engine::InferencePlan;
+use defensive_approximation::nn::serve::{BatchServer, ServeConfig};
+use defensive_approximation::nn::snapshot::PlanCache;
+use defensive_approximation::nn::zoo::lenet5;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut net = lenet5(10, &mut rng);
+    let calibration = synth_digits(32, 7).images;
+    let data = synth_digits(16, 42);
+
+    let dir = std::env::temp_dir().join(format!("da-plan-pool-{}", std::process::id()));
+    let cache = PlanCache::new(&dir).expect("cache directory");
+
+    println!("== Plan snapshot warm pool ==");
+    println!("pool dir: {}", dir.display());
+    println!();
+    println!("{:<12} {:>12} {:>12} {:>9} {:>10}", "wiring", "compile", "map", "speedup", "file");
+
+    // 1 + 2. Precompile one int8 plan per wiring into the pool, then map it
+    // back and compare cold starts. `get_or_insert_with` is the warm path:
+    // on a second run of this binary every compile below is skipped.
+    let mut reference = Vec::new();
+    for kind in MultiplierKind::ALL {
+        net.set_multiplier(Some(kind.build()));
+        let key = format!("lenet5-int8-{}", kind.as_str());
+
+        let start = Instant::now();
+        let plan = cache
+            .get_or_insert_with(&key, || {
+                InferencePlan::compile_quantized(&net, net.multiplier().cloned(), &calibration)
+            })
+            .expect("LeNet-5 quantizes");
+        let compile_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let start = Instant::now();
+        let mapped = cache.load(&key).expect("pool entry maps");
+        let map_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let bytes =
+            std::fs::metadata(cache.path(&key).expect("valid key")).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "{:<12} {:>10.1}ms {:>10.2}ms {:>8.0}x {:>7}KiB",
+            kind.as_str(),
+            compile_ms,
+            map_ms,
+            compile_ms / map_ms,
+            bytes / 1024
+        );
+
+        // The mapped plan must serve the exact logits of the compiled one.
+        let want = plan.predict_batch(&data.images);
+        let got = mapped.predict_batch(&data.images);
+        assert_eq!(got.data(), want.data(), "{}: mapped plan diverged", kind.as_str());
+        reference.push((kind, want));
+    }
+    println!();
+    println!("pool ready: {:?}", cache.keys());
+
+    // 3. Rotation: serve each wiring in turn from its snapshot alone. A
+    // rotating defense swaps the datapath by pointing the shard pool at a
+    // different mapping — milliseconds, no recompilation, no calibration.
+    let total = data.images.shape()[0];
+    for (kind, want) in &reference {
+        let key = format!("lenet5-int8-{}", kind.as_str());
+        let start = Instant::now();
+        let server = BatchServer::from_snapshot(
+            cache.path(&key).expect("valid key"),
+            ServeConfig::default(),
+        )
+        .expect("snapshot serves");
+        let pending: Vec<_> = (0..total)
+            .map(|i| server.submit(&data.images.batch_item(i)).expect("accepting"))
+            .collect();
+        let classes = want.shape()[1];
+        for (i, p) in pending.into_iter().enumerate() {
+            let row = p.wait().expect("served");
+            assert_eq!(
+                row.data(),
+                &want.data()[i * classes..(i + 1) * classes],
+                "{}: served logits diverged from the compiled plan",
+                kind.as_str()
+            );
+        }
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "rotated to {:<12} served {total} samples bit-identically in {elapsed_ms:.1} ms \
+             (map + serve, no compile)",
+            kind.as_str()
+        );
+        server.shutdown();
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
