@@ -66,6 +66,7 @@ impl<'a> ServedModel<'a> {
                 max_batch: 32,
                 flush_deadline: std::time::Duration::ZERO,
                 queue_capacity: 256,
+                ..ServeConfig::default()
             },
         )
     }
@@ -109,8 +110,10 @@ impl TargetModel for ServedModel<'_> {
 
     fn predict_batch(&self, images: &Tensor) -> Vec<usize> {
         // `BatchServer::predict_batch` owns the submit-all-then-wait window
-        // that lets the queue coalesce the items into micro-batches.
-        let logits = self.server.predict_batch(images);
+        // that lets the queue coalesce the items into micro-batches. The
+        // harness owns its private server for the model's whole lifetime,
+        // so a serve failure here is a bug, not an operational condition.
+        let logits = self.server.predict_batch(images).expect("private batch server serving");
         let classes: usize = logits.shape()[1..].iter().product();
         logits.data().chunks(classes).map(argmax_logits).collect()
     }

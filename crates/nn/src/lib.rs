@@ -82,6 +82,7 @@ pub mod engine;
 pub mod io;
 pub mod layers;
 pub mod loss;
+pub mod net;
 pub mod network;
 pub mod optim;
 pub mod quant;

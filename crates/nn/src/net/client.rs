@@ -1,0 +1,140 @@
+//! A small blocking client for the serving protocol.
+//!
+//! This is the reference peer for [`crate::net::server`]: tests, the
+//! loopback load generator, and operational tooling all speak through it.
+//! It is deliberately synchronous — one `TcpStream`, blocking reads — but
+//! supports pipelining: [`send_infer`](Client::send_infer) queues a request
+//! without waiting, [`recv_reply`](Client::recv_reply) blocks for the next
+//! reply frame, and callers match them by `req_id` (replies arrive in
+//! completion order, not submission order).
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::net::frame::{self, ErrCode, FrameDecoder, Message, DEFAULT_MAX_FRAME};
+
+/// One reply to an `INFER`: logits on success, `(code, message)` on
+/// failure.
+pub type InferResult = Result<(Vec<usize>, Vec<f32>), (ErrCode, String)>;
+
+/// Blocking protocol client (see module docs).
+pub struct Client {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    next_id: u64,
+    /// Frame ceiling applied to *replies*; mirrors the server default.
+    pub max_frame: usize,
+}
+
+impl Client {
+    /// Connect with Nagle disabled (single-request latency matters more
+    /// than syscall counts here).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            decoder: FrameDecoder::new(),
+            next_id: 1,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Bound how long [`recv_reply`](Client::recv_reply) may block.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Direct access to the underlying stream (tests use this to simulate
+    /// abrupt disconnects and half-written frames).
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    /// Send any message as one frame.
+    pub fn send(&mut self, msg: &Message) -> io::Result<()> {
+        self.stream.write_all(&frame::encode(msg))
+    }
+
+    /// Block until one complete reply frame arrives and decode it.
+    pub fn recv_reply(&mut self) -> io::Result<Message> {
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            match self.decoder.next_payload(self.max_frame) {
+                Ok(Some(payload)) => {
+                    return frame::decode(&payload)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+                }
+                Ok(None) => {}
+                Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            }
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            self.decoder.push(&buf[..n]);
+        }
+    }
+
+    /// Queue an `INFER` without waiting; returns the request id to match
+    /// against [`recv_reply`](Client::recv_reply).
+    pub fn send_infer(&mut self, shape: &[usize], data: &[f32]) -> io::Result<u64> {
+        let req_id = self.next_id;
+        self.next_id += 1;
+        self.send(&Message::Infer { req_id, shape: shape.to_vec(), data: data.to_vec() })?;
+        Ok(req_id)
+    }
+
+    /// One synchronous inference round trip.
+    pub fn infer(&mut self, shape: &[usize], data: &[f32]) -> io::Result<InferResult> {
+        let want = self.send_infer(shape, data)?;
+        match self.recv_reply()? {
+            Message::InferOk { req_id, shape, data } if req_id == want => Ok(Ok((shape, data))),
+            Message::InferErr { req_id, code, msg } if req_id == want => Ok(Err((code, msg))),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected reply to synchronous infer: {other:?}"),
+            )),
+        }
+    }
+
+    /// Liveness round trip.
+    pub fn ping(&mut self) -> io::Result<()> {
+        self.send(&Message::Ping)?;
+        match self.recv_reply()? {
+            Message::Pong => Ok(()),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected PONG, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Fetch serving counters: `(batches, items, flush_deadline_ns)`.
+    pub fn stats(&mut self) -> io::Result<(u64, u64, u64)> {
+        self.send(&Message::Stats)?;
+        match self.recv_reply()? {
+            Message::StatsReply { batches, items, flush_deadline_ns } => {
+                Ok((batches, items, flush_deadline_ns))
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected STATS_REPLY, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Ask the server to drain and exit; returns once the drain is
+    /// acknowledged.
+    pub fn shutdown_server(&mut self) -> io::Result<()> {
+        self.send(&Message::Shutdown)?;
+        match self.recv_reply()? {
+            Message::ShutdownAck => Ok(()),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected SHUTDOWN_ACK, got {other:?}"),
+            )),
+        }
+    }
+}

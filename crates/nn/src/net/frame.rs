@@ -1,0 +1,538 @@
+//! Wire framing and message codec for the serving protocol.
+//!
+//! # Frame layout
+//!
+//! Every frame on the wire is a `u32` little-endian length prefix followed
+//! by that many payload bytes. The prefix counts the payload only — not
+//! itself — and must be at least 1 (the opcode) and at most the
+//! connection's frame limit ([`DEFAULT_MAX_FRAME`] unless configured).
+//!
+//! ```text
+//! +----------------+---------------------------+
+//! | len: u32 LE    | payload: len bytes        |
+//! +----------------+---------------------------+
+//!                    ^ payload[0] = opcode
+//! ```
+//!
+//! # Payloads
+//!
+//! All integers are little-endian; floats are IEEE-754 `f32` bit patterns.
+//! Request opcodes have the high bit clear, replies have it set.
+//!
+//! | opcode | message      | body |
+//! |--------|--------------|------|
+//! | `0x01` | INFER        | `req_id: u64`, `rank: u8`, `rank × dim: u32`, `prod(dims) × f32` |
+//! | `0x02` | PING         | empty |
+//! | `0x03` | STATS        | empty |
+//! | `0x04` | SHUTDOWN     | empty |
+//! | `0x81` | INFER_OK     | `req_id: u64`, `rank: u8`, `rank × dim: u32`, `prod(dims) × f32` |
+//! | `0x82` | INFER_ERR    | `req_id: u64`, `code: u8`, `msg_len: u16`, `msg_len` UTF-8 bytes |
+//! | `0x83` | PONG         | empty |
+//! | `0x84` | STATS_REPLY  | `batches: u64`, `items: u64`, `flush_deadline_ns: u64` |
+//! | `0x85` | SHUTDOWN_ACK | empty |
+//!
+//! An INFER's dims describe **one sample** (no batch axis — the server owns
+//! batching); `req_id` is an opaque caller token echoed in the matching
+//! reply, letting clients pipeline requests and match replies out of order.
+//! A reply is exactly one of INFER_OK / INFER_ERR per INFER, in completion
+//! order, not submission order.
+//!
+//! # Hostile-input posture
+//!
+//! [`decode`] never trusts a length it has not bounded: rank is capped at
+//! [`MAX_RANK`], the element count is recomputed with checked arithmetic,
+//! and every field's extent is validated against the actual payload size
+//! *before* any allocation — the same discipline as the snapshot reader.
+//! Trailing bytes after a well-formed body are a protocol error, so a
+//! corrupted length prefix cannot silently mis-frame the stream.
+
+use std::collections::VecDeque;
+
+/// Default per-connection frame ceiling: 16 MiB, comfortably above any
+/// single-sample tensor this workspace serves while keeping one hostile
+/// length prefix from reserving unbounded memory.
+pub const DEFAULT_MAX_FRAME: usize = 16 << 20;
+
+/// Maximum tensor rank a frame may carry (matches the tensor crate's
+/// practical ceiling; serving uses rank ≤ 4).
+pub const MAX_RANK: usize = 8;
+
+/// Why a frame or payload was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Length prefix exceeds the connection's frame limit.
+    Oversized { len: usize, max: usize },
+    /// Length prefix was zero — a frame must at least carry an opcode.
+    Empty,
+    /// Unknown opcode byte.
+    UnknownOpcode(u8),
+    /// The body does not match the opcode's layout (truncated field,
+    /// trailing bytes, rank/dims out of bounds, bad UTF-8 …).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds limit of {max}")
+            }
+            FrameError::Empty => write!(f, "zero-length frame"),
+            FrameError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            FrameError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Machine-readable failure category carried by INFER_ERR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrCode {
+    /// Server overloaded and the request was shed (clients may retry).
+    Overloaded = 1,
+    /// Server is draining; no new work is accepted.
+    ShuttingDown = 2,
+    /// The plan rejected the request (e.g. shape mismatch with the model).
+    Execution = 3,
+    /// The client violated the wire protocol; the connection closes after
+    /// this reply.
+    Protocol = 4,
+}
+
+impl ErrCode {
+    fn from_u8(v: u8) -> Option<ErrCode> {
+        match v {
+            1 => Some(ErrCode::Overloaded),
+            2 => Some(ErrCode::ShuttingDown),
+            3 => Some(ErrCode::Execution),
+            4 => Some(ErrCode::Protocol),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded protocol message (request or reply).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Run one sample through the model.
+    Infer { req_id: u64, shape: Vec<usize>, data: Vec<f32> },
+    /// Liveness probe.
+    Ping,
+    /// Ask for serving statistics.
+    Stats,
+    /// Ask the server to drain in-flight work and exit.
+    Shutdown,
+    /// Logits for the matching `Infer`.
+    InferOk { req_id: u64, shape: Vec<usize>, data: Vec<f32> },
+    /// The matching `Infer` failed; `req_id` 0 marks connection-level
+    /// protocol errors that have no request to blame.
+    InferErr { req_id: u64, code: ErrCode, msg: String },
+    /// Reply to `Ping`.
+    Pong,
+    /// Reply to `Stats`.
+    StatsReply { batches: u64, items: u64, flush_deadline_ns: u64 },
+    /// Reply to `Shutdown`: drain has begun.
+    ShutdownAck,
+}
+
+const OP_INFER: u8 = 0x01;
+const OP_PING: u8 = 0x02;
+const OP_STATS: u8 = 0x03;
+const OP_SHUTDOWN: u8 = 0x04;
+const OP_INFER_OK: u8 = 0x81;
+const OP_INFER_ERR: u8 = 0x82;
+const OP_PONG: u8 = 0x83;
+const OP_STATS_REPLY: u8 = 0x84;
+const OP_SHUTDOWN_ACK: u8 = 0x85;
+
+fn put_tensor(out: &mut Vec<u8>, req_id: u64, shape: &[usize], data: &[f32]) {
+    out.extend_from_slice(&req_id.to_le_bytes());
+    assert!(shape.len() <= MAX_RANK, "tensor rank {} exceeds wire limit", shape.len());
+    out.push(shape.len() as u8);
+    for &d in shape {
+        let d = u32::try_from(d).expect("dimension fits the wire format");
+        out.extend_from_slice(&d.to_le_bytes());
+    }
+    debug_assert_eq!(shape.iter().product::<usize>(), data.len());
+    for &v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Encode a message as a complete frame (length prefix included).
+pub fn encode(msg: &Message) -> Vec<u8> {
+    let mut payload = Vec::new();
+    match msg {
+        Message::Infer { req_id, shape, data } => {
+            payload.push(OP_INFER);
+            put_tensor(&mut payload, *req_id, shape, data);
+        }
+        Message::InferOk { req_id, shape, data } => {
+            payload.push(OP_INFER_OK);
+            put_tensor(&mut payload, *req_id, shape, data);
+        }
+        Message::InferErr { req_id, code, msg } => {
+            payload.push(OP_INFER_ERR);
+            payload.extend_from_slice(&req_id.to_le_bytes());
+            payload.push(*code as u8);
+            let bytes = msg.as_bytes();
+            let len = bytes.len().min(u16::MAX as usize);
+            payload.extend_from_slice(&(len as u16).to_le_bytes());
+            payload.extend_from_slice(&bytes[..len]);
+        }
+        Message::Ping => payload.push(OP_PING),
+        Message::Pong => payload.push(OP_PONG),
+        Message::Stats => payload.push(OP_STATS),
+        Message::StatsReply { batches, items, flush_deadline_ns } => {
+            payload.push(OP_STATS_REPLY);
+            payload.extend_from_slice(&batches.to_le_bytes());
+            payload.extend_from_slice(&items.to_le_bytes());
+            payload.extend_from_slice(&flush_deadline_ns.to_le_bytes());
+        }
+        Message::Shutdown => payload.push(OP_SHUTDOWN),
+        Message::ShutdownAck => payload.push(OP_SHUTDOWN_ACK),
+    }
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Bounds-checked little-endian reader over a payload (the snapshot
+/// reader's `MetaCursor`, specialised to the wire format).
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(FrameError::Malformed("truncated field"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn finish(&self) -> Result<(), FrameError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(FrameError::Malformed("trailing bytes after body"))
+        }
+    }
+
+    /// Tensor body: rank, dims, floats. Every extent is validated against
+    /// the bytes actually present before the data vector is allocated.
+    fn tensor(&mut self) -> Result<(Vec<usize>, Vec<f32>), FrameError> {
+        let rank = self.u8()? as usize;
+        if rank > MAX_RANK {
+            return Err(FrameError::Malformed("rank exceeds limit"));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        let mut elems: usize = 1;
+        for _ in 0..rank {
+            let d = self.u32()? as usize;
+            elems = elems.checked_mul(d).ok_or(FrameError::Malformed("dims overflow"))?;
+            shape.push(d);
+        }
+        // The remaining bytes must be exactly elems f32s — checked before
+        // allocating, so a huge claimed dim on a short payload costs
+        // nothing.
+        let remaining = self.buf.len() - self.pos;
+        if remaining != elems.checked_mul(4).ok_or(FrameError::Malformed("dims overflow"))? {
+            return Err(FrameError::Malformed("data length mismatches dims"));
+        }
+        let bytes = self.take(remaining)?;
+        let data = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        Ok((shape, data))
+    }
+}
+
+/// Decode one frame payload (everything after the length prefix).
+pub fn decode(payload: &[u8]) -> Result<Message, FrameError> {
+    if payload.is_empty() {
+        return Err(FrameError::Empty);
+    }
+    let mut c = Cursor { buf: payload, pos: 1 };
+    let msg = match payload[0] {
+        OP_INFER => {
+            let req_id = c.u64()?;
+            let (shape, data) = c.tensor()?;
+            Message::Infer { req_id, shape, data }
+        }
+        OP_INFER_OK => {
+            let req_id = c.u64()?;
+            let (shape, data) = c.tensor()?;
+            Message::InferOk { req_id, shape, data }
+        }
+        OP_INFER_ERR => {
+            let req_id = c.u64()?;
+            let code =
+                ErrCode::from_u8(c.u8()?).ok_or(FrameError::Malformed("unknown error code"))?;
+            let len = c.u16()? as usize;
+            let bytes = c.take(len)?;
+            let msg = std::str::from_utf8(bytes)
+                .map_err(|_| FrameError::Malformed("error message is not UTF-8"))?
+                .to_string();
+            Message::InferErr { req_id, code, msg }
+        }
+        OP_PING => Message::Ping,
+        OP_PONG => Message::Pong,
+        OP_STATS => Message::Stats,
+        OP_STATS_REPLY => {
+            Message::StatsReply { batches: c.u64()?, items: c.u64()?, flush_deadline_ns: c.u64()? }
+        }
+        OP_SHUTDOWN => Message::Shutdown,
+        OP_SHUTDOWN_ACK => Message::ShutdownAck,
+        op => return Err(FrameError::UnknownOpcode(op)),
+    };
+    c.finish()?;
+    Ok(msg)
+}
+
+/// Incremental frame extractor for a non-blocking byte stream.
+///
+/// Feed whatever `read` returned with [`push`](FrameDecoder::push); pull
+/// complete payloads with [`next_payload`](FrameDecoder::next_payload). A
+/// partial prefix or partial body simply yields `None` until more bytes
+/// arrive — the reactor's answer to short reads. An oversized length
+/// prefix is reported *immediately*, before the body arrives, so a hostile
+/// prefix cannot make the server buffer toward a limit it will never
+/// accept.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: VecDeque<u8>,
+    /// Parsed-but-unconsumed body length, once the prefix is complete.
+    pending_len: Option<usize>,
+}
+
+impl FrameDecoder {
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append bytes received from the peer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as a payload.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Extract the next complete payload, if the buffer holds one.
+    ///
+    /// `max_frame` bounds the length prefix; violations are sticky in the
+    /// sense that the caller is expected to close the connection (the
+    /// decoder does not resynchronise — there is no framing to recover on
+    /// a length-prefixed stream with a corrupt prefix).
+    pub fn next_payload(&mut self, max_frame: usize) -> Result<Option<Vec<u8>>, FrameError> {
+        let len = match self.pending_len {
+            Some(len) => len,
+            None => {
+                if self.buf.len() < 4 {
+                    return Ok(None);
+                }
+                let mut prefix = [0u8; 4];
+                for (i, slot) in prefix.iter_mut().enumerate() {
+                    *slot = self.buf[i];
+                }
+                let len = u32::from_le_bytes(prefix) as usize;
+                if len == 0 {
+                    return Err(FrameError::Empty);
+                }
+                if len > max_frame {
+                    return Err(FrameError::Oversized { len, max: max_frame });
+                }
+                self.buf.drain(..4);
+                self.pending_len = Some(len);
+                len
+            }
+        };
+        if self.buf.len() < len {
+            return Ok(None);
+        }
+        self.pending_len = None;
+        Ok(Some(self.buf.drain(..len).collect()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: Message) {
+        let frame = encode(&msg);
+        let (prefix, payload) = frame.split_at(4);
+        let len = u32::from_le_bytes(prefix.try_into().expect("prefix")) as usize;
+        assert_eq!(len, payload.len());
+        assert_eq!(decode(payload).expect("decodes"), msg);
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        round_trip(Message::Infer {
+            req_id: 7,
+            shape: vec![1, 8, 8],
+            data: (0..64).map(|i| i as f32 * 0.5).collect(),
+        });
+        round_trip(Message::InferOk { req_id: u64::MAX, shape: vec![10], data: vec![0.0; 10] });
+        round_trip(Message::InferErr {
+            req_id: 3,
+            code: ErrCode::Execution,
+            msg: "shape mismatch".into(),
+        });
+        round_trip(Message::Ping);
+        round_trip(Message::Pong);
+        round_trip(Message::Stats);
+        round_trip(Message::StatsReply { batches: 1, items: 9, flush_deadline_ns: 250_000 });
+        round_trip(Message::Shutdown);
+        round_trip(Message::ShutdownAck);
+    }
+
+    #[test]
+    fn scalar_tensor_round_trips() {
+        // Rank 0: product of no dims is 1 element.
+        round_trip(Message::Infer { req_id: 1, shape: vec![], data: vec![4.25] });
+    }
+
+    #[test]
+    fn nonfinite_floats_survive_the_wire_bit_for_bit() {
+        let data = vec![f32::NAN, f32::INFINITY, -0.0, f32::MIN_POSITIVE];
+        let frame = encode(&Message::InferOk { req_id: 2, shape: vec![4], data: data.clone() });
+        match decode(&frame[4..]).expect("decodes") {
+            Message::InferOk { data: got, .. } => {
+                let want: Vec<u32> = data.iter().map(|v| v.to_bits()).collect();
+                let have: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(want, have);
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decoder_handles_byte_at_a_time_delivery() {
+        let msg = Message::Infer { req_id: 42, shape: vec![2, 3], data: vec![1.0; 6] };
+        let frame = encode(&msg);
+        let mut dec = FrameDecoder::new();
+        for (i, b) in frame.iter().enumerate() {
+            dec.push(&[*b]);
+            let got = dec.next_payload(DEFAULT_MAX_FRAME).expect("no error");
+            if i + 1 < frame.len() {
+                assert!(got.is_none(), "frame completed early at byte {i}");
+            } else {
+                let payload = got.expect("complete at last byte");
+                assert_eq!(decode(&payload).expect("decodes"), msg);
+            }
+        }
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_extracts_back_to_back_frames_from_one_read() {
+        let a = encode(&Message::Ping);
+        let b = encode(&Message::Stats);
+        let mut dec = FrameDecoder::new();
+        let mut joined = a.clone();
+        joined.extend_from_slice(&b);
+        dec.push(&joined);
+        let p1 = dec.next_payload(DEFAULT_MAX_FRAME).expect("ok").expect("first");
+        let p2 = dec.next_payload(DEFAULT_MAX_FRAME).expect("ok").expect("second");
+        assert_eq!(decode(&p1).expect("decodes"), Message::Ping);
+        assert_eq!(decode(&p2).expect("decodes"), Message::Stats);
+        assert!(dec.next_payload(DEFAULT_MAX_FRAME).expect("ok").is_none());
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_the_body_arrives() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&(1_u32 << 30).to_le_bytes());
+        match dec.next_payload(DEFAULT_MAX_FRAME) {
+            Err(FrameError::Oversized { len, max }) => {
+                assert_eq!(len, 1 << 30);
+                assert_eq!(max, DEFAULT_MAX_FRAME);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_length_frame_is_rejected() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&0_u32.to_le_bytes());
+        assert_eq!(dec.next_payload(DEFAULT_MAX_FRAME), Err(FrameError::Empty));
+    }
+
+    #[test]
+    fn hostile_payloads_are_rejected_without_allocation_or_panic() {
+        // Claimed rank exceeds the limit.
+        let mut p = vec![OP_INFER];
+        p.extend_from_slice(&1_u64.to_le_bytes());
+        p.push(9);
+        assert!(matches!(decode(&p), Err(FrameError::Malformed(_))));
+
+        // Huge dim on a short payload: checked_mul + length comparison
+        // rejects before any data vector exists.
+        let mut p = vec![OP_INFER];
+        p.extend_from_slice(&1_u64.to_le_bytes());
+        p.push(2);
+        p.extend_from_slice(&u32::MAX.to_le_bytes());
+        p.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode(&p), Err(FrameError::Malformed(_))));
+
+        // Truncated: rank says 2 dims but only one is present.
+        let mut p = vec![OP_INFER];
+        p.extend_from_slice(&1_u64.to_le_bytes());
+        p.push(2);
+        p.extend_from_slice(&4_u32.to_le_bytes());
+        assert!(matches!(decode(&p), Err(FrameError::Malformed(_))));
+
+        // Trailing garbage after a well-formed PING body.
+        assert!(matches!(decode(&[OP_PING, 0xff]), Err(FrameError::Malformed(_))));
+
+        // Unknown opcode.
+        assert!(matches!(decode(&[0x7f]), Err(FrameError::UnknownOpcode(0x7f))));
+
+        // Error message that is not UTF-8.
+        let mut p = vec![OP_INFER_ERR];
+        p.extend_from_slice(&1_u64.to_le_bytes());
+        p.push(ErrCode::Protocol as u8);
+        p.extend_from_slice(&2_u16.to_le_bytes());
+        p.extend_from_slice(&[0xff, 0xfe]);
+        assert!(matches!(decode(&p), Err(FrameError::Malformed(_))));
+
+        // Data length disagrees with dims.
+        let mut p = vec![OP_INFER];
+        p.extend_from_slice(&1_u64.to_le_bytes());
+        p.push(1);
+        p.extend_from_slice(&2_u32.to_le_bytes());
+        p.extend_from_slice(&1.0_f32.to_le_bytes()); // dims say 2 floats
+        assert!(matches!(decode(&p), Err(FrameError::Malformed(_))));
+    }
+}

@@ -1,0 +1,751 @@
+//! The socket front end: a single-threaded non-blocking reactor bridging
+//! TCP clients to a [`BatchServer`].
+//!
+//! # Design
+//!
+//! One thread owns every socket. A [`polling::Poller`] (epoll on Linux,
+//! `poll(2)` elsewhere — see `crates/shims/polling`) watches the listener
+//! and every connection **level-triggered**: read interest is registered
+//! while the server is willing to accept bytes from that client, write
+//! interest only while a reply is partially flushed. The reactor never
+//! blocks on a socket and never blocks on the batch server:
+//!
+//! * **Inbound**: readable sockets are drained until `WouldBlock`, bytes
+//!   feed a [`FrameDecoder`], and every complete frame becomes a
+//!   [`Message`]. `INFER` requests are handed to
+//!   [`BatchServer::try_submit_with`] — the non-blocking, callback form of
+//!   submission.
+//! * **Completions**: the reply callback runs on a worker thread; it
+//!   pushes `(conn, req_id, result)` onto a mutex-protected completion
+//!   list and calls [`polling::Poller::notify`]. The reactor drains the
+//!   list at the top of every iteration and writes replies out. A
+//!   completion whose connection has since closed is silently dropped —
+//!   a mid-reply disconnect affects nobody else.
+//! * **Backpressure, per client**: a connection pauses (its read interest
+//!   is withdrawn, so the kernel's TCP window eventually closes toward the
+//!   client) whenever it has [`NetConfig::max_inflight`] requests in
+//!   flight, a parked request the batch queue had no room for, or more
+//!   than [`NetConfig::write_pause`] bytes of unflushed replies. Parked
+//!   requests are retried after every completion drain, so a full batch
+//!   queue sheds load onto exactly the clients producing it while idle
+//!   clients stay live.
+//! * **Graceful drain**: a `SHUTDOWN` frame (or [`NetHandle::shutdown`])
+//!   stops the listener and all request reading, answers new `INFER`s
+//!   with `ShuttingDown`, but lets every in-flight batch complete and
+//!   every buffered reply flush — bit-identical to what the client would
+//!   have seen without the shutdown. Only after the last reply (or
+//!   [`NetConfig::drain_timeout`]) does the loop exit; dropping the
+//!   [`BatchServer`] then joins its workers.
+//! * **Slow clients**: [`NetConfig::idle_timeout`] closes connections that
+//!   have sent no byte for the configured window and have nothing in
+//!   flight — a slow-loris half-frame cannot hold a slot forever.
+//!
+//! Protocol violations (oversized or zero-length frame, unknown opcode,
+//! malformed body) get one best-effort `INFER_ERR { req_id: 0, code:
+//! Protocol }` reply, then the connection flushes and closes. There is no
+//! resynchronisation: a corrupt length prefix leaves no trustworthy frame
+//! boundary.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use da_tensor::Tensor;
+use polling::{Event, Poller};
+
+use crate::net::frame::{self, ErrCode, FrameDecoder, Message, DEFAULT_MAX_FRAME};
+use crate::serve::{BatchServer, Reply, ServeError};
+
+/// Tuning knobs for the socket front end.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Largest accepted frame (length prefix bound). Default 16 MiB.
+    pub max_frame: usize,
+    /// Per-connection in-flight request cap; beyond it the connection's
+    /// read interest is withdrawn until replies drain. Default 32.
+    pub max_inflight: usize,
+    /// Unflushed reply bytes beyond which a connection stops being read.
+    /// Default 1 MiB.
+    pub write_pause: usize,
+    /// Close connections with no received byte and nothing in flight for
+    /// this long. `None` (default) disables the sweep.
+    pub idle_timeout: Option<Duration>,
+    /// Hard cap on the graceful-drain phase; connections still unflushed
+    /// after this are dropped. Default 5 s.
+    pub drain_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            max_frame: DEFAULT_MAX_FRAME,
+            max_inflight: 32,
+            write_pause: 1 << 20,
+            idle_timeout: None,
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Counters the reactor accumulates over its lifetime (returned by
+/// [`NetServer::run`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// `INFER_OK` replies sent.
+    pub replies_ok: u64,
+    /// `INFER_ERR` replies sent (any code).
+    pub replies_err: u64,
+    /// Connections closed for protocol violations.
+    pub protocol_errors: u64,
+    /// Connections closed by the idle sweep.
+    pub idle_closed: u64,
+}
+
+/// Thread-safe trigger for a graceful drain (see module docs).
+#[derive(Clone)]
+pub struct NetHandle {
+    stop: Arc<AtomicBool>,
+    poller: Arc<Poller>,
+}
+
+impl NetHandle {
+    /// Begin the graceful drain from any thread. Idempotent.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.poller.notify();
+    }
+}
+
+/// A reply that completed on a worker thread, waiting for the reactor.
+type Completion = (usize, u64, Result<Reply, ServeError>);
+
+const LISTENER_KEY: usize = 0;
+
+/// Lifecycle of one connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Reading requests, writing replies.
+    Open,
+    /// Flush the write buffer, then close (protocol error or drain).
+    Closing,
+}
+
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Encoded replies not yet accepted by the kernel; `wpos` marks the
+    /// flushed prefix.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Requests submitted to the batch server, reply still pending.
+    inflight: usize,
+    /// Requests decoded but not yet admitted (in-flight cap or full batch
+    /// queue); retried after every completion drain.
+    parked: VecDeque<(u64, Tensor)>,
+    last_rx: Instant,
+    state: ConnState,
+    /// Interest currently registered with the poller, to skip redundant
+    /// `modify` syscalls.
+    registered: (bool, bool),
+}
+
+impl Conn {
+    fn wants_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+}
+
+/// The socket front end. Construct with [`bind`](NetServer::bind), then
+/// either [`run`](NetServer::run) on the current thread or
+/// [`spawn`](NetServer::spawn) a dedicated one.
+pub struct NetServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+    server: BatchServer,
+    config: NetConfig,
+    poller: Arc<Poller>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl NetServer {
+    /// Bind the listener and wire up the poller. The batch server is owned
+    /// by the front end from here on; dropping the front end (after `run`
+    /// returns) drains and joins its workers.
+    pub fn bind(
+        server: BatchServer,
+        addr: impl ToSocketAddrs,
+        config: NetConfig,
+    ) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let poller = Arc::new(Poller::new()?);
+        poller.add(listener.as_raw_fd(), Event::readable(LISTENER_KEY))?;
+        Ok(NetServer {
+            listener,
+            addr,
+            server,
+            config,
+            poller,
+            completions: Arc::new(Mutex::new(Vec::new())),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the kernel's pick).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A trigger that starts the graceful drain from another thread.
+    pub fn handle(&self) -> NetHandle {
+        NetHandle { stop: self.stop.clone(), poller: self.poller.clone() }
+    }
+
+    /// Run the reactor on a dedicated thread; returns the bound address,
+    /// the shutdown trigger, and the join handle yielding final stats.
+    pub fn spawn(self) -> (SocketAddr, NetHandle, std::thread::JoinHandle<io::Result<NetStats>>) {
+        let addr = self.addr;
+        let handle = self.handle();
+        let join = std::thread::Builder::new()
+            .name("da-serve-reactor".into())
+            .spawn(move || self.run())
+            .expect("spawn reactor thread");
+        (addr, handle, join)
+    }
+
+    /// Run the reactor until a graceful drain completes. Blocking.
+    pub fn run(self) -> io::Result<NetStats> {
+        Reactor::new(self)?.run()
+    }
+}
+
+struct Reactor {
+    listener: TcpListener,
+    server: BatchServer,
+    config: NetConfig,
+    poller: Arc<Poller>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    stop: Arc<AtomicBool>,
+    conns: HashMap<usize, Conn>,
+    next_key: usize,
+    draining: bool,
+    drain_deadline: Option<Instant>,
+    stats: NetStats,
+}
+
+impl Reactor {
+    fn new(front: NetServer) -> io::Result<Reactor> {
+        Ok(Reactor {
+            listener: front.listener,
+            server: front.server,
+            config: front.config,
+            poller: front.poller,
+            completions: front.completions,
+            stop: front.stop,
+            conns: HashMap::new(),
+            next_key: LISTENER_KEY + 1,
+            draining: false,
+            drain_deadline: None,
+            stats: NetStats::default(),
+        })
+    }
+
+    fn run(mut self) -> io::Result<NetStats> {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            events.clear();
+            self.poller.wait(&mut events, self.wait_timeout())?;
+
+            if self.stop.load(Ordering::SeqCst) && !self.draining {
+                self.begin_drain();
+            }
+            self.drain_completions();
+            self.pump_parked();
+
+            let ready: Vec<Event> = events.clone();
+            for ev in ready {
+                if ev.key == LISTENER_KEY {
+                    self.accept_ready();
+                } else {
+                    self.service(ev);
+                }
+            }
+
+            self.sweep_idle();
+
+            if self.draining && self.drained() {
+                break;
+            }
+            if let Some(deadline) = self.drain_deadline {
+                if Instant::now() >= deadline {
+                    break; // unflushed stragglers are dropped
+                }
+            }
+        }
+        Ok(self.stats)
+    }
+
+    /// How long the poller may sleep: forever when quiescent, bounded when
+    /// a deadline (drain cap, idle sweep) or a parked retry is pending.
+    fn wait_timeout(&self) -> Option<Duration> {
+        let now = Instant::now();
+        let mut timeout: Option<Duration> = None;
+        let mut consider = |d: Duration| {
+            timeout = Some(timeout.map_or(d, |t| t.min(d)));
+        };
+        if let Some(deadline) = self.drain_deadline {
+            consider(deadline.saturating_duration_since(now).max(Duration::from_millis(1)));
+        }
+        if let Some(idle) = self.config.idle_timeout {
+            if let Some(earliest) = self
+                .conns
+                .values()
+                .filter(|c| c.inflight == 0 && c.parked.is_empty())
+                .map(|c| c.last_rx)
+                .min()
+            {
+                let due = (earliest + idle).saturating_duration_since(now);
+                consider(due.max(Duration::from_millis(1)));
+            }
+        }
+        // Parked submissions are normally retried off a completion wakeup;
+        // the bounded sleep is a safety net, not the signal path.
+        if self.conns.values().any(|c| !c.parked.is_empty()) {
+            consider(Duration::from_millis(10));
+        }
+        timeout
+    }
+
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        self.drain_deadline = Some(Instant::now() + self.config.drain_timeout);
+        let _ = self.poller.delete(self.listener.as_raw_fd());
+        // Stop reading everywhere; parked requests are answered with
+        // ShuttingDown by the next pump.
+        let keys: Vec<usize> = self.conns.keys().copied().collect();
+        for key in keys {
+            self.refresh_interest(key);
+        }
+    }
+
+    /// All replies delivered and flushed?
+    fn drained(&self) -> bool {
+        self.conns.values().all(|c| c.inflight == 0 && c.parked.is_empty() && !c.wants_write())
+    }
+
+    fn accept_ready(&mut self) {
+        if self.draining {
+            return;
+        }
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let key = self.next_key;
+                    self.next_key += 1;
+                    if self.poller.add(stream.as_raw_fd(), Event::readable(key)).is_err() {
+                        continue;
+                    }
+                    self.conns.insert(
+                        key,
+                        Conn {
+                            stream,
+                            decoder: FrameDecoder::new(),
+                            wbuf: Vec::new(),
+                            wpos: 0,
+                            inflight: 0,
+                            parked: VecDeque::new(),
+                            last_rx: Instant::now(),
+                            state: ConnState::Open,
+                            registered: (true, false),
+                        },
+                    );
+                    self.stats.accepted += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break, // transient accept failures: retry on next readiness
+            }
+        }
+    }
+
+    /// Move completed replies from the worker-side list into write buffers.
+    fn drain_completions(&mut self) {
+        let completed: Vec<Completion> = {
+            let mut lock = self.completions.lock().expect("completion list");
+            std::mem::take(&mut *lock)
+        };
+        for (key, req_id, result) in completed {
+            // The connection may have closed mid-request; its reply is
+            // simply dropped (the batch still served everyone else).
+            if !self.conns.contains_key(&key) {
+                continue;
+            }
+            let msg = match result {
+                Ok((data, shape)) => {
+                    self.stats.replies_ok += 1;
+                    Message::InferOk { req_id, shape, data }
+                }
+                Err(err) => {
+                    self.stats.replies_err += 1;
+                    Message::InferErr {
+                        req_id,
+                        code: match err {
+                            ServeError::QueueFull => ErrCode::Overloaded,
+                            ServeError::ShuttingDown => ErrCode::ShuttingDown,
+                            ServeError::Execution(_) => ErrCode::Execution,
+                        },
+                        msg: err.to_string(),
+                    }
+                }
+            };
+            if let Some(conn) = self.conns.get_mut(&key) {
+                conn.inflight -= 1;
+            }
+            self.send(key, &msg);
+        }
+    }
+
+    /// Retry parked submissions (in-flight cap or batch queue full).
+    fn pump_parked(&mut self) {
+        let keys: Vec<usize> = self.conns.keys().copied().collect();
+        for key in keys {
+            while let Some(conn) = self.conns.get_mut(&key) {
+                if conn.parked.is_empty() || conn.inflight >= self.config.max_inflight {
+                    break;
+                }
+                let (req_id, tensor) = conn.parked.pop_front().expect("checked non-empty");
+                if self.draining {
+                    self.stats.replies_err += 1;
+                    self.send(
+                        key,
+                        &Message::InferErr {
+                            req_id,
+                            code: ErrCode::ShuttingDown,
+                            msg: ServeError::ShuttingDown.to_string(),
+                        },
+                    );
+                    continue;
+                }
+                match self.submit(key, req_id, &tensor) {
+                    Ok(()) => {}
+                    Err(ServeError::QueueFull) => {
+                        // Still no room: back off until the next completion.
+                        let conn = self.conns.get_mut(&key).expect("conn exists");
+                        conn.parked.push_front((req_id, tensor));
+                        break;
+                    }
+                    Err(err) => {
+                        let code = match err {
+                            ServeError::ShuttingDown => ErrCode::ShuttingDown,
+                            _ => ErrCode::Execution,
+                        };
+                        self.stats.replies_err += 1;
+                        self.send(key, &Message::InferErr { req_id, code, msg: err.to_string() });
+                    }
+                }
+            }
+            self.refresh_interest(key);
+        }
+    }
+
+    /// Hand one request to the batch server; the reply callback routes the
+    /// completion back through the poller wakeup.
+    fn submit(&mut self, key: usize, req_id: u64, tensor: &Tensor) -> Result<(), ServeError> {
+        let completions = self.completions.clone();
+        let poller = self.poller.clone();
+        self.server.try_submit_with(
+            tensor,
+            Box::new(move |result| {
+                if let Ok(mut lock) = completions.lock() {
+                    lock.push((key, req_id, result));
+                }
+                let _ = poller.notify();
+            }),
+        )?;
+        if let Some(conn) = self.conns.get_mut(&key) {
+            conn.inflight += 1;
+        }
+        Ok(())
+    }
+
+    /// Handle readiness on one connection.
+    fn service(&mut self, ev: Event) {
+        let key = ev.key;
+        if ev.writable {
+            let closed = {
+                let Some(conn) = self.conns.get_mut(&key) else { return };
+                match flush(conn) {
+                    Ok(()) => conn.state == ConnState::Closing && !conn.wants_write(),
+                    Err(_) => true,
+                }
+            };
+            if closed {
+                self.close(key);
+                return;
+            }
+        }
+        if ev.readable {
+            self.read_ready(key);
+        }
+        self.refresh_interest(key);
+    }
+
+    fn read_ready(&mut self, key: usize) {
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            let Some(conn) = self.conns.get_mut(&key) else { return };
+            if conn.state != ConnState::Open {
+                return;
+            }
+            match (&conn.stream).read(&mut buf) {
+                Ok(0) => {
+                    // Peer closed. Anything buffered can no longer be
+                    // answered on this socket; in-flight work still
+                    // executes (the batch is shared) and its completion is
+                    // dropped harmlessly.
+                    self.close(key);
+                    return;
+                }
+                Ok(n) => {
+                    conn.last_rx = Instant::now();
+                    conn.decoder.push(&buf[..n]);
+                    if !self.decode_frames(key) {
+                        return; // connection closed or poisoned
+                    }
+                    // A paused connection stops consuming from the kernel
+                    // buffer mid-readiness.
+                    let Some(conn) = self.conns.get_mut(&key) else { return };
+                    if !conn_wants_read(conn, self.draining, &self.config) {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(key);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Process every complete frame buffered on `key`. Returns false if the
+    /// connection was closed (or marked closing) in the process.
+    fn decode_frames(&mut self, key: usize) -> bool {
+        loop {
+            let payload = {
+                let Some(conn) = self.conns.get_mut(&key) else { return false };
+                match conn.decoder.next_payload(self.config.max_frame) {
+                    Ok(Some(p)) => p,
+                    Ok(None) => return true,
+                    Err(err) => {
+                        self.protocol_error(key, &err.to_string());
+                        return false;
+                    }
+                }
+            };
+            match frame::decode(&payload) {
+                Ok(msg) => {
+                    if !self.handle_message(key, msg) {
+                        return false;
+                    }
+                }
+                Err(err) => {
+                    self.protocol_error(key, &err.to_string());
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Returns false if the connection should stop being read.
+    fn handle_message(&mut self, key: usize, msg: Message) -> bool {
+        match msg {
+            Message::Ping => {
+                self.send(key, &Message::Pong);
+                true
+            }
+            Message::Stats => {
+                let stats = self.server.stats();
+                self.send(
+                    key,
+                    &Message::StatsReply {
+                        batches: stats.batches,
+                        items: stats.items,
+                        flush_deadline_ns: stats.flush_deadline_ns,
+                    },
+                );
+                true
+            }
+            Message::Shutdown => {
+                self.send(key, &Message::ShutdownAck);
+                self.begin_drain();
+                false
+            }
+            Message::Infer { req_id, shape, data } => {
+                if self.draining {
+                    self.stats.replies_err += 1;
+                    self.send(
+                        key,
+                        &Message::InferErr {
+                            req_id,
+                            code: ErrCode::ShuttingDown,
+                            msg: ServeError::ShuttingDown.to_string(),
+                        },
+                    );
+                    return true;
+                }
+                // decode() proved data.len() == prod(shape), which is all
+                // from_vec asserts.
+                let tensor = Tensor::from_vec(data, &shape);
+                let conn = self.conns.get_mut(&key).expect("conn exists");
+                if conn.inflight >= self.config.max_inflight {
+                    conn.parked.push_back((req_id, tensor));
+                    return false; // paused until replies drain
+                }
+                match self.submit(key, req_id, &tensor) {
+                    Ok(()) => true,
+                    Err(ServeError::QueueFull) => {
+                        let conn = self.conns.get_mut(&key).expect("conn exists");
+                        conn.parked.push_back((req_id, tensor));
+                        false // paused until the batch queue has room
+                    }
+                    Err(err) => {
+                        let code = match err {
+                            ServeError::ShuttingDown => ErrCode::ShuttingDown,
+                            _ => ErrCode::Execution,
+                        };
+                        self.stats.replies_err += 1;
+                        self.send(key, &Message::InferErr { req_id, code, msg: err.to_string() });
+                        true
+                    }
+                }
+            }
+            // Reply opcodes from a client are a protocol violation.
+            Message::InferOk { .. }
+            | Message::InferErr { .. }
+            | Message::Pong
+            | Message::StatsReply { .. }
+            | Message::ShutdownAck => {
+                self.protocol_error(key, "reply opcode sent by client");
+                false
+            }
+        }
+    }
+
+    /// One best-effort error reply, then flush-and-close.
+    fn protocol_error(&mut self, key: usize, detail: &str) {
+        self.stats.protocol_errors += 1;
+        self.stats.replies_err += 1;
+        self.send(
+            key,
+            &Message::InferErr { req_id: 0, code: ErrCode::Protocol, msg: detail.to_string() },
+        );
+        if let Some(conn) = self.conns.get_mut(&key) {
+            conn.state = ConnState::Closing;
+            if !conn.wants_write() {
+                self.close(key);
+                return;
+            }
+        }
+        self.refresh_interest(key);
+    }
+
+    /// Queue an encoded message and opportunistically flush.
+    fn send(&mut self, key: usize, msg: &Message) {
+        let Some(conn) = self.conns.get_mut(&key) else { return };
+        conn.wbuf.extend_from_slice(&frame::encode(msg));
+        let close = match flush(conn) {
+            Ok(()) => conn.state == ConnState::Closing && !conn.wants_write(),
+            Err(_) => true,
+        };
+        if close {
+            self.close(key);
+        } else {
+            self.refresh_interest(key);
+        }
+    }
+
+    /// Close idle connections (slow-loris defence).
+    fn sweep_idle(&mut self) {
+        let Some(idle) = self.config.idle_timeout else { return };
+        let now = Instant::now();
+        let stale: Vec<usize> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                c.inflight == 0
+                    && c.parked.is_empty()
+                    && now.saturating_duration_since(c.last_rx) >= idle
+            })
+            .map(|(k, _)| *k)
+            .collect();
+        for key in stale {
+            self.stats.idle_closed += 1;
+            self.close(key);
+        }
+    }
+
+    fn close(&mut self, key: usize) {
+        if let Some(conn) = self.conns.remove(&key) {
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+            // conn drops here: the fd closes, the kernel discards whatever
+            // was left. Completions for this key no longer resolve and are
+            // dropped in drain_completions.
+        }
+    }
+
+    /// Re-register the connection's interest if it changed.
+    fn refresh_interest(&mut self, key: usize) {
+        let draining = self.draining;
+        let config = &self.config;
+        let Some(conn) = self.conns.get_mut(&key) else { return };
+        let want = (conn_wants_read(conn, draining, config), conn.wants_write());
+        if want != conn.registered {
+            let ev = Event { key, readable: want.0, writable: want.1 };
+            if self.poller.modify(conn.stream.as_raw_fd(), ev).is_ok() {
+                conn.registered = want;
+            }
+        }
+    }
+}
+
+/// Should this connection currently be read from? (Free function: callers
+/// often hold a `&mut Conn` alongside the reactor's config.)
+fn conn_wants_read(conn: &Conn, draining: bool, config: &NetConfig) -> bool {
+    conn.state == ConnState::Open
+        && !draining
+        && conn.parked.is_empty()
+        && conn.inflight < config.max_inflight
+        && conn.wbuf.len() - conn.wpos < config.write_pause
+}
+
+/// Write as much of the buffer as the kernel accepts right now.
+fn flush(conn: &mut Conn) -> io::Result<()> {
+    while conn.wpos < conn.wbuf.len() {
+        match (&conn.stream).write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    if conn.wpos == conn.wbuf.len() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    }
+    Ok(())
+}

@@ -97,9 +97,23 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Most samples a worker dispatches as one batch (≥ 1).
     pub max_batch: usize,
-    /// How long a worker holding fewer than `max_batch` requests waits for
-    /// the batch to fill before flushing. Zero dispatches immediately.
+    /// The *longest* a worker holding fewer than `max_batch` requests waits
+    /// for the batch to fill before flushing. Zero dispatches immediately
+    /// (and disables adaptation).
+    ///
+    /// The effective deadline is **adaptive** per worker: each batch that
+    /// fills to `max_batch` before the deadline (the server is loaded and
+    /// batches form on their own) halves the worker's current deadline down
+    /// to [`flush_deadline_min`](ServeConfig::flush_deadline_min), bounding
+    /// the wait tax on tail latency; each deadline-expired partial flush
+    /// (traffic is sparse) doubles it back up to `flush_deadline`, giving
+    /// stragglers a chance to coalesce. Set
+    /// `flush_deadline_min == flush_deadline` for a fixed deadline.
     pub flush_deadline: Duration,
+    /// Floor for the adaptive flush deadline under load (see
+    /// [`flush_deadline`](ServeConfig::flush_deadline)). Values above
+    /// `flush_deadline` are clamped to it.
+    pub flush_deadline_min: Duration,
     /// Most requests queued at once (≥ 1); beyond it, [`BatchServer::submit`]
     /// blocks and [`BatchServer::try_submit`] fails.
     pub queue_capacity: usize,
@@ -112,6 +126,7 @@ impl Default for ServeConfig {
             workers,
             max_batch: 8,
             flush_deadline: Duration::from_micros(200),
+            flush_deadline_min: Duration::from_micros(25),
             queue_capacity: workers.max(1) * 16,
         }
     }
@@ -143,13 +158,40 @@ impl std::fmt::Display for ServeError {
 impl std::error::Error for ServeError {}
 
 /// A submitted request's logits: flattened data plus the per-item shape.
-type Reply = (Vec<f32>, Vec<usize>);
+pub type Reply = (Vec<f32>, Vec<usize>);
+
+/// Callback form of a reply destination (see
+/// [`BatchServer::try_submit_with`]): invoked exactly once, on the worker
+/// thread that executed (or failed) the request's batch.
+pub type ReplyCallback = Box<dyn FnOnce(Result<Reply, ServeError>) + Send + 'static>;
+
+/// Where a request's reply goes: the per-request channel behind
+/// [`Pending`], or a caller-supplied callback (the socket front end routes
+/// completions back into its reactor this way — a blocking `recv` has no
+/// place on an event loop).
+enum ReplySink {
+    Channel(mpsc::Sender<Result<Reply, ServeError>>),
+    Callback(ReplyCallback),
+}
+
+impl ReplySink {
+    /// Deliver the reply. A dropped [`Pending`] (closed channel) is not an
+    /// error; callbacks cannot fail.
+    fn send(self, reply: Result<Reply, ServeError>) {
+        match self {
+            ReplySink::Channel(tx) => {
+                let _ = tx.send(reply);
+            }
+            ReplySink::Callback(f) => f(reply),
+        }
+    }
+}
 
 /// One queued inference request.
 struct Request {
     data: Vec<f32>,
     shape: Vec<usize>,
-    reply: mpsc::Sender<Result<Reply, ServeError>>,
+    reply: ReplySink,
 }
 
 /// Queue state behind the server's mutex.
@@ -165,6 +207,9 @@ struct Counters {
     items: AtomicU64,
     largest_batch: AtomicU64,
     failed_batches: AtomicU64,
+    /// The adaptive flush deadline (nanoseconds) a worker most recently
+    /// dispatched under; observability only.
+    flush_deadline_ns: AtomicU64,
 }
 
 /// State shared between submitters and workers.
@@ -189,10 +234,18 @@ pub struct ServeStats {
     /// Batches that failed execution (every member got
     /// [`ServeError::Execution`]).
     pub failed_batches: u64,
+    /// The adaptive flush deadline (in nanoseconds) of the most recent
+    /// dispatch — between [`ServeConfig::flush_deadline_min`] and
+    /// [`ServeConfig::flush_deadline`]. Zero before the first dispatch.
+    pub flush_deadline_ns: u64,
 }
 
 impl ServeStats {
-    /// Mean samples per dispatched batch (0 when nothing was served).
+    /// Mean samples per dispatched batch.
+    ///
+    /// Defined as **0.0 before the first dispatch** rather than the literal
+    /// `0/0 = NaN`: these stats feed the `serve_latency` bench rows, and
+    /// the `da_bench::json` schema (rightly) rejects non-finite metrics.
     pub fn mean_batch(&self) -> f64 {
         if self.batches == 0 {
             0.0
@@ -384,10 +437,14 @@ impl BatchServer {
             .enumerate()
             .map(|(i, plan)| {
                 let shared = shared.clone();
-                let (max_batch, deadline) = (config.max_batch, config.flush_deadline);
+                let max_batch = config.max_batch;
+                let flush = FlushPolicy {
+                    max: config.flush_deadline,
+                    min: config.flush_deadline_min.min(config.flush_deadline),
+                };
                 std::thread::Builder::new()
                     .name(format!("da-serve-{i}"))
-                    .spawn(move || worker_loop(plan, shared, max_batch, deadline))
+                    .spawn(move || worker_loop(plan, shared, max_batch, flush))
                     .expect("spawn serve worker")
             })
             .collect();
@@ -400,17 +457,39 @@ impl BatchServer {
     /// Returns [`ServeError::ShuttingDown`] if the server stopped accepting
     /// requests while this call was blocked.
     pub fn submit(&self, item: &Tensor) -> Result<Pending, ServeError> {
-        self.enqueue(item, true)
+        let (tx, rx) = mpsc::channel();
+        self.enqueue(item, true, ReplySink::Channel(tx))?;
+        Ok(Pending { rx })
     }
 
     /// Non-blocking [`submit`](BatchServer::submit): fails with
     /// [`ServeError::QueueFull`] instead of waiting for queue space.
     pub fn try_submit(&self, item: &Tensor) -> Result<Pending, ServeError> {
-        self.enqueue(item, false)
+        let (tx, rx) = mpsc::channel();
+        self.enqueue(item, false, ReplySink::Channel(tx))?;
+        Ok(Pending { rx })
     }
 
-    fn enqueue(&self, item: &Tensor, block: bool) -> Result<Pending, ServeError> {
-        let rx;
+    /// Non-blocking submit that delivers the reply to `on_reply` instead of
+    /// a [`Pending`] channel — the submission form an event loop needs: the
+    /// socket front end ([`crate::net`]) must never block its reactor
+    /// thread, so completions are pushed to it (callback → completion queue
+    /// → poller wakeup) rather than pulled with a blocking `recv`.
+    ///
+    /// `on_reply` runs exactly once, on the worker thread that executed the
+    /// batch (or, on shutdown with queued requests, on the dropping
+    /// thread) — keep it cheap and non-blocking. On `Err` (queue full /
+    /// shutting down) the callback is dropped without being invoked; the
+    /// caller still owns the request and decides whether to retry.
+    pub fn try_submit_with(
+        &self,
+        item: &Tensor,
+        on_reply: ReplyCallback,
+    ) -> Result<(), ServeError> {
+        self.enqueue(item, false, ReplySink::Callback(on_reply))
+    }
+
+    fn enqueue(&self, item: &Tensor, block: bool, reply: ReplySink) -> Result<(), ServeError> {
         {
             let mut st = self.shared.state.lock().expect("serve queue lock");
             loop {
@@ -425,21 +504,19 @@ impl BatchServer {
                 }
                 st = self.shared.space.wait(st).expect("serve queue lock");
             }
-            // Build the request only once admission is certain, so rejected
-            // `try_submit`s never pay the sample copy; the copy is µs-scale,
-            // cheap enough to do under the lock.
-            let (tx, receiver) = mpsc::channel();
-            rx = receiver;
+            // Copy the sample only once admission is certain, so rejected
+            // `try_submit`s never pay for it; the copy is µs-scale, cheap
+            // enough to do under the lock.
             st.queue.push_back(Request {
                 data: item.data().to_vec(),
                 shape: item.shape().to_vec(),
-                reply: tx,
+                reply,
             });
         }
         // Wake every waiting worker: one will dispatch, the rest re-check
         // (workers also wait here for partial batches to fill).
         self.shared.not_empty.notify_all();
-        Ok(Pending { rx })
+        Ok(())
     }
 
     /// Logits for one sample: [`submit`](BatchServer::submit) + wait.
@@ -458,25 +535,31 @@ impl BatchServer {
     /// callers), and the rows are reassembled in submission order.
     /// Bit-identical to [`InferencePlan::predict_batch`] on a replica.
     ///
+    /// A full queue is not an error here: submissions use the blocking
+    /// [`submit`](BatchServer::submit), so backpressure stalls this caller
+    /// (documented queue semantics) while workers drain. What *is*
+    /// propagated is every failure a network caller could induce on a live
+    /// server — shutdown racing the submission loop, or an execution
+    /// failure — as a [`ServeError`] instead of the panic this method used
+    /// to raise (a shut-down server would take the whole caller down).
+    ///
     /// # Panics
     ///
-    /// Panics if any item fails ([`ServeError`]) — mirroring the panics of
-    /// the underlying plan — or if called on a server with no workers.
-    pub fn predict_batch(&self, x: &Tensor) -> Tensor {
+    /// Panics only on caller bugs: a non-batched input or a server built
+    /// with zero workers (whose queue can never drain).
+    pub fn predict_batch(&self, x: &Tensor) -> Result<Tensor, ServeError> {
         assert!(x.shape().len() >= 2, "predict_batch expects a batched [N, ...] input");
         assert!(!self.workers.is_empty(), "predict_batch needs at least one worker");
         let n = x.shape()[0];
-        let pending: Vec<Pending> = (0..n)
-            .map(|i| self.submit(&x.batch_item(i)).expect("batch server accepting"))
-            .collect();
-        let mut rows: Vec<Tensor> = Vec::with_capacity(n);
-        for (i, p) in pending.into_iter().enumerate() {
-            match p.wait() {
-                Ok(t) => rows.push(t),
-                Err(e) => panic!("batch server failed item {i}: {e}"),
-            }
+        let mut pending: Vec<Pending> = Vec::with_capacity(n);
+        for i in 0..n {
+            pending.push(self.submit(&x.batch_item(i))?);
         }
-        Tensor::stack(&rows)
+        let mut rows: Vec<Tensor> = Vec::with_capacity(n);
+        for p in pending {
+            rows.push(p.wait()?);
+        }
+        Ok(Tensor::stack(&rows))
     }
 
     /// Whether `network` has been invalidated since this server compiled its
@@ -503,6 +586,7 @@ impl BatchServer {
             items: c.items.load(Ordering::Relaxed),
             largest_batch: c.largest_batch.load(Ordering::Relaxed),
             failed_batches: c.failed_batches.load(Ordering::Relaxed),
+            flush_deadline_ns: c.flush_deadline_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -534,7 +618,7 @@ impl Drop for BatchServer {
         // worker thread died), fail whatever is left.
         let mut st = self.shared.state.lock().expect("serve queue lock");
         for request in st.queue.drain(..) {
-            let _ = request.reply.send(Err(ServeError::ShuttingDown));
+            request.reply.send(Err(ServeError::ShuttingDown));
         }
     }
 }
@@ -549,17 +633,49 @@ impl std::fmt::Debug for BatchServer {
     }
 }
 
+/// The adaptive flush-deadline policy a worker applies between batches
+/// (see [`ServeConfig::flush_deadline`]).
+#[derive(Debug, Clone, Copy)]
+struct FlushPolicy {
+    /// Ceiling (and the starting deadline): `ServeConfig::flush_deadline`.
+    max: Duration,
+    /// Floor under load, already clamped to `max` at server start.
+    min: Duration,
+}
+
+impl FlushPolicy {
+    /// The next deadline after dispatching a batch: a batch that `filled`
+    /// to `max_batch` means the server is loaded and waiting buys nothing
+    /// (halve, toward `min`); a partial flush means traffic is sparse and a
+    /// longer window may coalesce stragglers (double, toward `max`).
+    ///
+    /// Saturating on purpose: `cur * 2` on a `Duration` near the type's
+    /// ceiling would otherwise panic, and `cur / 2` of a sub-nanosecond
+    /// deadline must floor at `min`, not wrap.
+    fn adapt(&self, cur: Duration, filled: bool) -> Duration {
+        if self.max.is_zero() {
+            return Duration::ZERO;
+        }
+        if filled {
+            (cur / 2).max(self.min)
+        } else {
+            cur.saturating_mul(2).min(self.max)
+        }
+    }
+}
+
 /// One worker: wait for requests, form a batch (FIFO, same-shape prefix, up
-/// to `max_batch`, holding up to `deadline` for it to fill), execute it on
-/// this worker's plan replica, and reply per request.
+/// to `max_batch`, holding up to the adaptive flush deadline for it to
+/// fill), execute it on this worker's plan replica, and reply per request.
 fn worker_loop(
     plan: Arc<InferencePlan>,
     shared: Arc<Shared>,
     max_batch: usize,
-    deadline: Duration,
+    flush: FlushPolicy,
 ) {
+    let mut deadline = flush.max;
     loop {
-        let batch: Vec<Request> = {
+        let (batch, filled): (Vec<Request>, bool) = {
             let mut st = shared.state.lock().expect("serve queue lock");
             loop {
                 if !st.queue.is_empty() {
@@ -571,15 +687,34 @@ fn worker_loop(
                 st = shared.not_empty.wait(st).expect("serve queue lock");
             }
             if !deadline.is_zero() && st.queue.len() < max_batch && !st.shutdown {
-                let until = Instant::now() + deadline;
+                // `checked_add` instead of `+`: Instant + Duration panics on
+                // overflow, and the deadline is caller-controlled. An
+                // unrepresentable deadline waits until the batch fills or
+                // shutdown — semantically "infinite", which is what a
+                // far-future Instant would have meant anyway.
+                let until = Instant::now().checked_add(deadline);
                 loop {
-                    let now = Instant::now();
-                    if st.queue.len() >= max_batch || st.shutdown || now >= until {
+                    if st.queue.len() >= max_batch || st.shutdown {
                         break;
                     }
-                    let (guard, _timeout) =
-                        shared.not_empty.wait_timeout(st, until - now).expect("serve queue lock");
-                    st = guard;
+                    match until {
+                        None => st = shared.not_empty.wait(st).expect("serve queue lock"),
+                        Some(until) => {
+                            // Re-read the clock on every re-arm (spurious
+                            // wakeups and early notifies land here): once
+                            // `now` has caught up to `until`, flush — a
+                            // saturated zero timeout would otherwise spin.
+                            let now = Instant::now();
+                            if now >= until {
+                                break;
+                            }
+                            let (guard, _timeout) = shared
+                                .not_empty
+                                .wait_timeout(st, until.saturating_duration_since(now))
+                                .expect("serve queue lock");
+                            st = guard;
+                        }
+                    }
                 }
             }
             // Another worker may have drained the queue while this one slept.
@@ -596,8 +731,11 @@ fn worker_loop(
             let drained: Vec<Request> = st.queue.drain(..take).collect();
             drop(st);
             shared.space.notify_all();
-            drained
+            let filled = drained.len() >= max_batch;
+            (drained, filled)
         };
+        shared.counters.flush_deadline_ns.store(deadline.as_nanos() as u64, Ordering::Relaxed);
+        deadline = flush.adapt(deadline, filled);
         run_batch(&plan, batch, &shared.counters);
     }
 }
@@ -650,17 +788,17 @@ fn run_batch(plan: &InferencePlan, batch: Vec<Request>, counters: &Counters) {
             counters.largest_batch.fetch_max(n as u64, Ordering::Relaxed);
             let out_shape: Vec<usize> = logits.shape()[1..].to_vec();
             let out_len: usize = out_shape.iter().product();
-            for (i, request) in batch.iter().enumerate() {
+            for (i, request) in batch.into_iter().enumerate() {
                 let row = logits.data()[i * out_len..(i + 1) * out_len].to_vec();
-                // A dropped Pending is not an error; ignore send failures.
-                let _ = request.reply.send(Ok((row, out_shape.clone())));
+                // A dropped Pending is not an error; sinks absorb that.
+                request.reply.send(Ok((row, out_shape.clone())));
             }
         }
         Err(payload) => {
             counters.failed_batches.fetch_add(1, Ordering::Relaxed);
             let msg = panic_message(payload);
             for request in batch {
-                let _ = request.reply.send(Err(ServeError::Execution(msg.clone())));
+                request.reply.send(Err(ServeError::Execution(msg.clone())));
             }
         }
     }
@@ -695,7 +833,13 @@ mod tests {
     }
 
     fn cfg(workers: usize, max_batch: usize, cap: usize) -> ServeConfig {
-        ServeConfig { workers, max_batch, flush_deadline: Duration::ZERO, queue_capacity: cap }
+        ServeConfig {
+            workers,
+            max_batch,
+            flush_deadline: Duration::ZERO,
+            queue_capacity: cap,
+            ..ServeConfig::default()
+        }
     }
 
     #[test]
@@ -720,13 +864,131 @@ mod tests {
         let server = BatchServer::compile(&net, cfg(2, 3, 4)).expect("compilable");
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
         let x = Tensor::randn(&[7, 1, 8, 8], 1.0, &mut rng);
-        let got = server.predict_batch(&x);
+        let got = server.predict_batch(&x).expect("served");
         let want = plan.predict_batch(&x);
         assert_eq!(got, want);
         let stats = server.stats();
         assert_eq!(stats.items, 7);
         assert!(stats.batches >= 1 && stats.batches <= 7, "{stats:?}");
         assert!(stats.mean_batch() >= 1.0);
+    }
+
+    /// Regression (issue 8): `mean_batch` on a server that has dispatched
+    /// nothing must be 0.0, not the literal `0/0 = NaN` — the serve_latency
+    /// JSON rows are built from it and the schema rejects non-finite
+    /// metrics.
+    #[test]
+    fn mean_batch_is_zero_not_nan_before_first_dispatch() {
+        let fresh = ServeStats {
+            batches: 0,
+            items: 0,
+            largest_batch: 0,
+            failed_batches: 0,
+            flush_deadline_ns: 0,
+        };
+        assert_eq!(fresh.mean_batch(), 0.0);
+        assert!(fresh.mean_batch().is_finite());
+
+        let net = tiny_cnn(11);
+        let server = BatchServer::compile(&net, cfg(0, 1, 4)).expect("compilable");
+        assert_eq!(server.stats().mean_batch(), 0.0);
+        assert!(server.stats().mean_batch().is_finite());
+    }
+
+    /// Regression (issue 8): a shut-down server must fail `predict_batch`
+    /// with a typed error, not panic the caller.
+    #[test]
+    fn predict_batch_propagates_shutdown_instead_of_panicking() {
+        let net = tiny_cnn(13);
+        let server = BatchServer::compile(&net, cfg(1, 2, 4)).expect("compilable");
+        server.begin_shutdown();
+        let x = Tensor::zeros(&[3, 1, 8, 8]);
+        assert_eq!(server.predict_batch(&x).err(), Some(ServeError::ShuttingDown));
+    }
+
+    /// Regression (issue 8): the queue-full path is typed, never a panic —
+    /// non-blocking submission surfaces `QueueFull`, and the blocking
+    /// `predict_batch` documents-and-blocks until workers drain (checked
+    /// here with a capacity smaller than the batch).
+    #[test]
+    fn queue_full_is_typed_and_predict_batch_blocks_through_it() {
+        let net = tiny_cnn(17);
+        let x1 = Tensor::zeros(&[1, 8, 8]);
+        // Zero workers: the queue can only fill.
+        let stuck = BatchServer::compile(&net, cfg(0, 1, 1)).expect("compilable");
+        let _held = stuck.try_submit(&x1).expect("first fits");
+        assert_eq!(stuck.try_submit(&x1).err(), Some(ServeError::QueueFull));
+        assert_eq!(stuck.try_submit_with(&x1, Box::new(|_| {})).err(), Some(ServeError::QueueFull));
+        // One worker, capacity 2 < batch 6: submissions backpressure and
+        // complete (bounded: workers drain while the submitter blocks).
+        let plan = net.plan().expect("compilable");
+        let server = BatchServer::compile(&net, cfg(1, 2, 2)).expect("compilable");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(18);
+        let x = Tensor::randn(&[6, 1, 8, 8], 1.0, &mut rng);
+        let got = server.predict_batch(&x).expect("drains through backpressure");
+        assert_eq!(got, plan.predict_batch(&x));
+    }
+
+    #[test]
+    fn callback_submission_delivers_on_worker_thread() {
+        let mut net = tiny_cnn(19);
+        net.set_multiplier(Some(MultiplierKind::AxFpm.build()));
+        let plan = net.plan().expect("compilable");
+        let server = BatchServer::compile(&net, cfg(1, 4, 8)).expect("compilable");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(20);
+        let x = Tensor::randn(&[1, 8, 8], 1.0, &mut rng);
+        let (tx, rx) = mpsc::channel();
+        server
+            .try_submit_with(
+                &x,
+                Box::new(move |reply| {
+                    let _ = tx.send(reply);
+                }),
+            )
+            .expect("queued");
+        let (data, shape) = rx.recv().expect("callback ran").expect("served");
+        let want = plan.predict_batch(&Tensor::stack(std::slice::from_ref(&x)));
+        assert_eq!(data.as_slice(), want.data());
+        assert_eq!(shape, vec![5]);
+    }
+
+    #[test]
+    fn adaptive_deadline_shrinks_under_load_and_grows_when_idle() {
+        let policy =
+            FlushPolicy { max: Duration::from_micros(200), min: Duration::from_micros(25) };
+        // Sustained load walks the deadline down to the floor...
+        let mut cur = policy.max;
+        for _ in 0..8 {
+            cur = policy.adapt(cur, true);
+        }
+        assert_eq!(cur, policy.min);
+        // ...and idle partial flushes walk it back to the ceiling.
+        for _ in 0..8 {
+            cur = policy.adapt(cur, false);
+        }
+        assert_eq!(cur, policy.max);
+        // Saturation: doubling from near the Duration ceiling must not
+        // panic, and a zero ceiling pins everything to zero.
+        let huge = FlushPolicy { max: Duration::MAX, min: Duration::ZERO };
+        assert_eq!(huge.adapt(Duration::MAX, false), Duration::MAX);
+        let zero = FlushPolicy { max: Duration::ZERO, min: Duration::ZERO };
+        assert_eq!(zero.adapt(Duration::from_secs(1), true), Duration::ZERO);
+    }
+
+    #[test]
+    fn stats_expose_the_dispatch_deadline() {
+        let net = tiny_cnn(23);
+        let config = ServeConfig {
+            workers: 1,
+            max_batch: 2,
+            flush_deadline: Duration::from_nanos(1),
+            flush_deadline_min: Duration::from_nanos(1),
+            queue_capacity: 8,
+        };
+        let server = BatchServer::compile(&net, config).expect("compilable");
+        let x = Tensor::zeros(&[1, 8, 8]);
+        server.logits(&x).expect("served");
+        assert_eq!(server.stats().flush_deadline_ns, 1);
     }
 
     #[test]

@@ -293,6 +293,11 @@ impl<'a> MetaCursor<'a> {
         let zp = self.u8()?;
         QuantParams4::from_parts(scale, zp).ok_or(SnapshotError::Corrupt("invalid int4 quantizer"))
     }
+    /// Bytes not yet consumed — the hard ceiling for any count field that
+    /// claims more entries than the meta section could possibly encode.
+    fn remaining(&self) -> usize {
+        self.b.len() - self.pos
+    }
     fn finished(&self) -> bool {
         self.pos == self.b.len()
     }
@@ -788,8 +793,14 @@ fn decode_plan(bytes: &[u8], region: Arc<dyn ByteRegion>) -> Result<InferencePla
 
     // LUT registries: one shared Arc per table section, so the compiled
     // plan's interning survives the round trip.
+    // Registry counts are bounded two ways before any entry decodes: each
+    // entry names a distinct table section (so the count can never exceed
+    // the section table), and each entry occupies a fixed minimum of meta
+    // bytes (so a hostile count cannot exceed what the meta section could
+    // physically hold). Both are checks against bytes that provably exist
+    // in the file — nothing is allocated on the claimed count alone.
     let n8 = c.dim()?;
-    if n8 > sections.len() {
+    if n8 > sections.len() || n8 > c.remaining() / 14 {
         return Err(SnapshotError::Corrupt("LUT registry larger than section table"));
     }
     for _ in 0..n8 {
@@ -799,7 +810,9 @@ fn decode_plan(bytes: &[u8], region: Arc<dyn ByteRegion>) -> Result<InferencePla
         dec.lut8.push(Arc::new(ProductLut::from_parts(table, a, b)));
     }
     let n4 = c.dim()?;
-    if n4 > sections.len() {
+    // ≥15 meta bytes per int4 entry: two quantizers, an order tag, a
+    // section index.
+    if n4 > sections.len() || n4 > c.remaining() / 15 {
         return Err(SnapshotError::Corrupt("LUT registry larger than section table"));
     }
     for _ in 0..n4 {
@@ -815,10 +828,16 @@ fn decode_plan(bytes: &[u8], region: Arc<dyn ByteRegion>) -> Result<InferencePla
     }
 
     let n_steps = c.dim()?;
-    if n_steps > meta_sec.len {
+    // Every step encoding starts with a tag byte, so the count can never
+    // exceed the meta bytes still unread.
+    if n_steps > c.remaining() {
         return Err(SnapshotError::Corrupt("step count larger than meta"));
     }
-    let mut steps = Vec::with_capacity(n_steps);
+    // Capacity hint only, clamped: `n_steps` is bounded by real file bytes,
+    // but a hostile meta section could still claim enough steps to reserve
+    // hundreds of MB up front. Growth past the clamp is amortised as steps
+    // actually decode.
+    let mut steps = Vec::with_capacity(n_steps.min(256));
     for _ in 0..n_steps {
         let step = match c.u8()? {
             TAG_CONV => {

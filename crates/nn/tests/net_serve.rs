@@ -1,0 +1,283 @@
+//! Client-driven failure modes of the TCP serving front end
+//! (`da_nn::net`).
+//!
+//! The in-process suites pin the batch server's contract for cooperative
+//! callers; this one pins it for the callers a network edge actually gets:
+//! clients that disconnect with requests in flight, send hostile frames,
+//! trickle half a header and stall, or ask for shutdown while others still
+//! have work queued. Throughout, the invariant is the same as everywhere
+//! else in this codebase — every reply that is delivered is bit-identical
+//! to serial inference, no matter what any other connection is doing.
+
+#![cfg(unix)]
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use da_nn::layers::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
+use da_nn::net::{Client, ErrCode, Message, NetConfig, NetServer, NetStats};
+use da_nn::serve::{BatchServer, ServeConfig};
+use da_nn::{Mode, Network};
+use da_tensor::Tensor;
+use rand::SeedableRng;
+
+fn tiny_cnn(seed: u64) -> Network {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Network::new("net-serve-cnn")
+        .push(Conv2d::new(1, 3, 3, 1, 1, &mut rng))
+        .push(Relu)
+        .push(MaxPool2d::new(2, 2))
+        .push(Flatten)
+        .push(Dense::new(3 * 4 * 4, 5, &mut rng))
+}
+
+fn sample(seed: u64) -> Tensor {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Tensor::rand_uniform(&[1, 8, 8], 0.0, 1.0, &mut rng)
+}
+
+/// Stand a front end on a fresh tiny network; returns the serial reference
+/// logits for `samples` alongside the serving stack.
+fn front_end(
+    serve: ServeConfig,
+    net_cfg: NetConfig,
+) -> (
+    Network,
+    std::net::SocketAddr,
+    da_nn::net::NetHandle,
+    std::thread::JoinHandle<std::io::Result<NetStats>>,
+) {
+    let net = tiny_cnn(7);
+    let server = BatchServer::compile(&net, serve).expect("tiny cnn compiles");
+    let front = NetServer::bind(server, "127.0.0.1:0", net_cfg).expect("bind loopback");
+    let (addr, handle, join) = front.spawn();
+    (net, addr, handle, join)
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        max_batch: 4,
+        flush_deadline: Duration::from_micros(200),
+        queue_capacity: 32,
+        ..ServeConfig::default()
+    }
+}
+
+/// Serial ground truth for one sample.
+fn reference(net: &Network, x: &Tensor) -> Vec<f32> {
+    net.forward(&Tensor::stack(std::slice::from_ref(x)), Mode::Eval).0.data().to_vec()
+}
+
+fn bits_eq(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn finish(
+    handle: da_nn::net::NetHandle,
+    join: std::thread::JoinHandle<std::io::Result<NetStats>>,
+) -> NetStats {
+    handle.shutdown();
+    join.join().expect("reactor thread").expect("reactor exit")
+}
+
+#[test]
+fn served_replies_are_bit_identical_and_match_out_of_order() {
+    let (net, addr, handle, join) = front_end(serve_cfg(), NetConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Pipeline everything, then collect replies in whatever order the
+    // batches complete; req_ids do the matching.
+    let items: Vec<Tensor> = (0..12).map(|i| sample(100 + i)).collect();
+    let ids: Vec<u64> =
+        items.iter().map(|x| client.send_infer(x.shape(), x.data()).expect("send")).collect();
+    let mut got: Vec<Option<Vec<f32>>> = vec![None; items.len()];
+    for _ in 0..items.len() {
+        match client.recv_reply().expect("reply") {
+            Message::InferOk { req_id, shape, data } => {
+                assert_eq!(shape, vec![5]);
+                let at = ids.iter().position(|&id| id == req_id).expect("known id");
+                assert!(got[at].is_none(), "duplicate reply for {req_id}");
+                got[at] = Some(data);
+            }
+            other => panic!("expected INFER_OK, got {other:?}"),
+        }
+    }
+    for (x, row) in items.iter().zip(&got) {
+        let want = reference(&net, x);
+        assert!(bits_eq(row.as_deref().expect("collected"), &want), "served logits diverged");
+    }
+
+    let (batches, served_items, _) = client.stats().expect("stats");
+    assert_eq!(served_items, items.len() as u64);
+    assert!(batches >= 1 && batches <= items.len() as u64);
+
+    let stats = finish(handle, join);
+    assert_eq!(stats.replies_ok, items.len() as u64);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+#[test]
+fn mid_request_disconnect_leaves_other_clients_unaffected() {
+    let (net, addr, handle, join) = front_end(serve_cfg(), NetConfig::default());
+
+    // Client A pipelines a burst and vanishes without reading a byte.
+    {
+        let mut a = Client::connect(addr).expect("connect A");
+        for i in 0..8 {
+            let x = sample(200 + i);
+            a.send_infer(x.shape(), x.data()).expect("send");
+        }
+        // Dropped here: the socket closes with up to 8 replies undeliverable.
+    }
+
+    // Client B keeps querying across A's disappearance; every reply must
+    // still be bit-identical to serial inference.
+    let mut b = Client::connect(addr).expect("connect B");
+    for i in 0..8 {
+        let x = sample(300 + i);
+        let (shape, data) = b.infer(x.shape(), x.data()).expect("transport").expect("served");
+        assert_eq!(shape, vec![5]);
+        assert!(bits_eq(&data, &reference(&net, &x)), "B's logits diverged after A's exit");
+    }
+    b.ping().expect("server still healthy");
+
+    let stats = finish(handle, join);
+    // A's completions were dropped, not delivered — only B's count.
+    assert!(stats.replies_ok >= 8);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+#[test]
+fn oversized_frame_is_refused_before_its_body_arrives() {
+    let (_net, addr, handle, join) = front_end(serve_cfg(), NetConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    // A 64 MiB length prefix with no body: the reply must come back
+    // immediately (nothing is buffered toward an unacceptable frame).
+    client.stream().write_all(&(64u32 << 20).to_le_bytes()).expect("write prefix");
+    match client.recv_reply().expect("error reply") {
+        Message::InferErr { req_id, code, .. } => {
+            assert_eq!(req_id, 0, "protocol errors have no request to blame");
+            assert_eq!(code, ErrCode::Protocol);
+        }
+        other => panic!("expected INFER_ERR, got {other:?}"),
+    }
+    // ... and the connection is closed behind it.
+    let err = client.recv_reply().expect_err("connection must be closed");
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+
+    let stats = finish(handle, join);
+    assert_eq!(stats.protocol_errors, 1);
+}
+
+#[test]
+fn reply_opcodes_from_a_client_are_protocol_errors() {
+    let (_net, addr, handle, join) = front_end(serve_cfg(), NetConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    client.send(&Message::Pong).expect("send");
+    match client.recv_reply().expect("error reply") {
+        Message::InferErr { req_id: 0, code: ErrCode::Protocol, .. } => {}
+        other => panic!("expected protocol INFER_ERR, got {other:?}"),
+    }
+    let err = client.recv_reply().expect_err("connection must be closed");
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    let stats = finish(handle, join);
+    assert_eq!(stats.protocol_errors, 1);
+}
+
+#[test]
+fn execution_failure_is_reported_on_the_wire_and_the_connection_survives() {
+    let (net, addr, handle, join) = front_end(serve_cfg(), NetConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Wrong spatial size: the plan rejects it; the error must come back as
+    // a typed reply, not a dropped connection.
+    let bad = Tensor::zeros(&[1, 6, 6]);
+    let err = client.infer(bad.shape(), bad.data()).expect("transport").expect_err("rejected");
+    assert_eq!(err.0, ErrCode::Execution);
+
+    // Same connection keeps serving, bit-identically.
+    let x = sample(400);
+    let (_, data) = client.infer(x.shape(), x.data()).expect("transport").expect("served");
+    assert!(bits_eq(&data, &reference(&net, &x)));
+
+    let stats = finish(handle, join);
+    assert_eq!(stats.replies_err, 1);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+#[test]
+fn slow_loris_partial_header_is_reaped_by_the_idle_timeout() {
+    let net_cfg =
+        NetConfig { idle_timeout: Some(Duration::from_millis(100)), ..NetConfig::default() };
+    let (net, addr, handle, join) = front_end(serve_cfg(), net_cfg);
+
+    // Two bytes of length prefix, then silence.
+    let mut loris = TcpStream::connect(addr).expect("connect");
+    loris.write_all(&[0x10, 0x00]).expect("half a header");
+    loris.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let mut buf = [0u8; 16];
+    let n = loris.read(&mut buf).expect("server closes, not hangs");
+    assert_eq!(n, 0, "expected EOF from the idle sweep");
+
+    // A well-behaved client is untouched by the reaping.
+    let mut client = Client::connect(addr).expect("connect");
+    let x = sample(500);
+    let (_, data) = client.infer(x.shape(), x.data()).expect("transport").expect("served");
+    assert!(bits_eq(&data, &reference(&net, &x)));
+
+    let stats = finish(handle, join);
+    assert_eq!(stats.idle_closed, 1);
+}
+
+#[test]
+fn shutdown_drains_inflight_requests_bit_identically() {
+    // A long flush deadline with a big max_batch parks A's burst inside the
+    // worker's deadline wait — genuinely in flight when the drain begins.
+    let serve = ServeConfig {
+        workers: 1,
+        max_batch: 64,
+        flush_deadline: Duration::from_millis(200),
+        flush_deadline_min: Duration::from_millis(200),
+        queue_capacity: 64,
+    };
+    let (net, addr, handle, join) = front_end(serve, NetConfig::default());
+
+    let mut a = Client::connect(addr).expect("connect A");
+    let items: Vec<Tensor> = (0..6).map(|i| sample(600 + i)).collect();
+    let ids: Vec<u64> =
+        items.iter().map(|x| a.send_infer(x.shape(), x.data()).expect("send")).collect();
+    // Let the reactor admit the burst before the drain starts.
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut b = Client::connect(addr).expect("connect B");
+    b.shutdown_server().expect("drain acknowledged");
+
+    // A's replies still arrive — the workers stayed alive through the
+    // drain — and carry exactly the logits serial inference produces.
+    a.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let mut seen = 0;
+    while seen < items.len() {
+        match a.recv_reply().expect("drained reply") {
+            Message::InferOk { req_id, data, .. } => {
+                let at = ids.iter().position(|&id| id == req_id).expect("known id");
+                assert!(
+                    bits_eq(&data, &reference(&net, &items[at])),
+                    "drained reply diverged from serial inference"
+                );
+                seen += 1;
+            }
+            other => panic!("expected INFER_OK during drain, got {other:?}"),
+        }
+    }
+
+    let stats = join.join().expect("reactor thread").expect("reactor exit");
+    assert_eq!(stats.replies_ok, items.len() as u64, "drain must deliver every reply");
+    drop(handle);
+
+    // The drained socket is closed once the last reply is flushed.
+    let err = a.recv_reply().expect_err("socket closed after drain");
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+}

@@ -41,7 +41,13 @@ fn bn_cnn(seed: u64) -> Network {
 }
 
 fn serve_cfg() -> ServeConfig {
-    ServeConfig { workers: 1, max_batch: 4, flush_deadline: Duration::ZERO, queue_capacity: 8 }
+    ServeConfig {
+        workers: 1,
+        max_batch: 4,
+        flush_deadline: Duration::ZERO,
+        queue_capacity: 8,
+        ..ServeConfig::default()
+    }
 }
 
 fn sample(seed: u64) -> Tensor {

@@ -240,6 +240,7 @@ fn quantized_serving_is_bit_identical_under_concurrency() {
             max_batch: 3,
             flush_deadline: Duration::from_micros(100),
             queue_capacity: 16,
+            ..ServeConfig::default()
         },
     )
     .expect("quantizable");
@@ -474,6 +475,7 @@ fn int4_serving_is_bit_identical_to_the_plan() {
             max_batch: 3,
             flush_deadline: Duration::from_micros(100),
             queue_capacity: 16,
+            ..ServeConfig::default()
         },
     )
     .expect("quantizable");

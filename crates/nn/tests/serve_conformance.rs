@@ -119,6 +119,7 @@ fn concurrent_logits_are_bit_identical_for_every_kind() {
                 max_batch: 8,
                 flush_deadline: Duration::from_micros(200),
                 queue_capacity: 64,
+                ..ServeConfig::default()
             },
             "coalescing",
         );
@@ -137,6 +138,7 @@ fn adversarial_scheduling_is_still_bit_identical() {
                 max_batch: 1,
                 flush_deadline: Duration::ZERO,
                 queue_capacity: 64,
+                ..ServeConfig::default()
             },
         ),
         (
@@ -146,6 +148,7 @@ fn adversarial_scheduling_is_still_bit_identical() {
                 max_batch: 4,
                 flush_deadline: Duration::ZERO,
                 queue_capacity: 64,
+                ..ServeConfig::default()
             },
         ),
         (
@@ -155,6 +158,7 @@ fn adversarial_scheduling_is_still_bit_identical() {
                 max_batch: 2,
                 flush_deadline: Duration::ZERO,
                 queue_capacity: 1,
+                ..ServeConfig::default()
             },
         ),
     ];
@@ -180,7 +184,13 @@ fn served_predict_batch_is_bit_identical_under_concurrent_load() {
 
     let server = BatchServer::compile(
         &net,
-        ServeConfig { workers: 2, max_batch: 4, flush_deadline: Duration::ZERO, queue_capacity: 8 },
+        ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            flush_deadline: Duration::ZERO,
+            queue_capacity: 8,
+            ..ServeConfig::default()
+        },
     )
     .expect("compiles");
     std::thread::scope(|scope| {
@@ -197,7 +207,7 @@ fn served_predict_batch_is_bit_identical_under_concurrent_load() {
                 }
             }
         });
-        let got = server.predict_batch(&batch);
+        let got = server.predict_batch(&batch).expect("served");
         assert_eq!(got.shape(), reference.shape());
         for (i, (g, w)) in got.data().iter().zip(reference.data()).enumerate() {
             assert_eq!(g.to_bits(), w.to_bits(), "served batch elem {i} diverged: {g} vs {w}");
@@ -213,7 +223,13 @@ fn backpressure_bounds_the_queue_and_shutdown_fails_pending() {
     // deterministically.
     let server = BatchServer::compile(
         &net,
-        ServeConfig { workers: 0, max_batch: 4, flush_deadline: Duration::ZERO, queue_capacity: 3 },
+        ServeConfig {
+            workers: 0,
+            max_batch: 4,
+            flush_deadline: Duration::ZERO,
+            queue_capacity: 3,
+            ..ServeConfig::default()
+        },
     )
     .expect("compiles");
     let x = Tensor::zeros(&[1, 8, 8]);
@@ -253,6 +269,7 @@ fn batches_coalesce_under_a_flush_deadline() {
             // well inside the first batch's fill window.
             flush_deadline: Duration::from_millis(500),
             queue_capacity: 64,
+            ..ServeConfig::default()
         },
     )
     .expect("compiles");
@@ -280,6 +297,7 @@ fn mixed_shape_requests_batch_separately_and_correctly() {
             max_batch: 4,
             flush_deadline: Duration::from_micros(100),
             queue_capacity: 32,
+            ..ServeConfig::default()
         },
     )
     .expect("relu compiles");
@@ -302,7 +320,13 @@ fn execution_failure_is_contained_to_its_batch() {
     let net = tiny_cnn(41);
     let server = BatchServer::compile(
         &net,
-        ServeConfig { workers: 1, max_batch: 1, flush_deadline: Duration::ZERO, queue_capacity: 8 },
+        ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            flush_deadline: Duration::ZERO,
+            queue_capacity: 8,
+            ..ServeConfig::default()
+        },
     )
     .expect("compiles");
     // Wrong spatial size: the plan's shape inference rejects it.
@@ -319,4 +343,37 @@ fn execution_failure_is_contained_to_its_batch() {
     let stats = server.stats();
     assert_eq!(stats.failed_batches, 1);
     assert_eq!(stats.items, 1);
+}
+
+#[test]
+fn one_nanosecond_flush_deadline_is_stable_and_bit_identical() {
+    // Regression: a ~1 ns flush deadline makes essentially every deadline
+    // wait arrive already expired (`now >= until` on entry) and pins the
+    // adaptive policy at its floor. The worker loop must handle that with
+    // saturating deadline arithmetic — no panic, no missed wakeup, no
+    // spin that starves submitters — while the bit-identity contract
+    // holds under the usual adversarial schedule. Runs in CI's
+    // `--test-threads {1,4}` conformance matrix.
+    assert_conformance(
+        None,
+        ServeConfig {
+            workers: 2,
+            max_batch: 8,
+            flush_deadline: Duration::from_nanos(1),
+            flush_deadline_min: Duration::from_nanos(1),
+            queue_capacity: 4, // small enough that backpressure engages too
+        },
+        "1ns-deadline",
+    );
+    assert_conformance(
+        Some(MultiplierKind::AxFpm),
+        ServeConfig {
+            workers: 3,
+            max_batch: 4,
+            flush_deadline: Duration::from_nanos(1),
+            flush_deadline_min: Duration::from_nanos(1),
+            queue_capacity: 4,
+        },
+        "1ns-deadline-axfpm",
+    );
 }

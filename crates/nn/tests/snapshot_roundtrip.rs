@@ -137,6 +137,7 @@ fn served_snapshot_matches_serial_plan() {
             max_batch: 4,
             flush_deadline: Duration::from_millis(2),
             queue_capacity: 16,
+            ..ServeConfig::default()
         },
     )
     .expect("snapshot serves");
@@ -297,4 +298,97 @@ fn hostile_files_fail_with_typed_errors() {
 
     // Missing file is Io, not a panic.
     assert!(matches!(InferencePlan::load(temp_path("hostile-missing")), Err(SnapshotError::Io(_))));
+}
+
+/// A minimal hand-built container: header, a one-entry section table, and
+/// a caller-supplied META payload — the scaffolding for forging hostile
+/// *semantic* fields (counts, registry sizes) behind a valid checksum.
+fn forged_container(meta: &[u8]) -> Vec<u8> {
+    let meta_off = 128; // align_up(HEADER_LEN + one 16-byte entry, 64)
+    let mut out = vec![0u8; meta_off + meta.len()];
+    out[0..8].copy_from_slice(&MAGIC);
+    out[8..12].copy_from_slice(&VERSION.to_le_bytes());
+    out[12..16].copy_from_slice(&1u32.to_le_bytes()); // section count
+    let file_len = out.len() as u64;
+    out[16..24].copy_from_slice(&file_len.to_le_bytes());
+    out[64..72].copy_from_slice(&(meta_off as u64).to_le_bytes());
+    out[72..80].copy_from_slice(&(meta.len() as u64).to_le_bytes());
+    out[meta_off..].copy_from_slice(meta);
+    let sum = file_checksum(&out);
+    out[24..32].copy_from_slice(&sum.to_le_bytes());
+    out
+}
+
+#[test]
+fn hostile_counts_are_rejected_before_allocation() {
+    // Section count claiming more table entries than the file has bytes:
+    // rejected by arithmetic on the real file length, before the section
+    // vector is reserved.
+    let image = valid_image();
+    let mut huge_count = image.clone();
+    huge_count[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+    reseal(&mut huge_count);
+    assert!(matches!(load_bytes("hostile-count-huge", &huge_count), Err(SnapshotError::Truncated)));
+
+    // Zero sections: no META, nothing to decode.
+    let mut no_sections = image.clone();
+    no_sections[12..16].copy_from_slice(&0u32.to_le_bytes());
+    reseal(&mut no_sections);
+    assert!(matches!(
+        load_bytes("hostile-count-zero", &no_sections),
+        Err(SnapshotError::Truncated)
+    ));
+
+    // An int8 LUT registry claiming u32::MAX entries inside a 13-byte
+    // META: the count exceeds both the section table and what the meta
+    // bytes could encode — Corrupt, with no per-entry work done.
+    let mut meta = Vec::new();
+    meta.extend_from_slice(&0u32.to_le_bytes()); // multiplier name: ""
+    meta.push(1); // precision: int8
+    meta.extend_from_slice(&u32::MAX.to_le_bytes()); // n8
+    meta.extend_from_slice(&[0u8; 4]); // padding the count pretends to index
+    assert!(matches!(
+        load_bytes("hostile-lut-count", &forged_container(&meta)),
+        Err(SnapshotError::Corrupt(_))
+    ));
+
+    // A step list claiming u32::MAX steps when the meta has no bytes left:
+    // the count is checked against the unread remainder before the step
+    // vector is reserved.
+    let mut meta = Vec::new();
+    meta.extend_from_slice(&0u32.to_le_bytes()); // multiplier name: ""
+    meta.push(1); // precision: int8
+    meta.extend_from_slice(&0u32.to_le_bytes()); // n8 = 0
+    meta.extend_from_slice(&0u32.to_le_bytes()); // n4 = 0
+    meta.extend_from_slice(&u32::MAX.to_le_bytes()); // n_steps
+    assert!(matches!(
+        load_bytes("hostile-step-count", &forged_container(&meta)),
+        Err(SnapshotError::Corrupt(_))
+    ));
+
+    // A tensor count inside the meta stream (conv bias f32 list) claiming
+    // more floats than the section holds: bounded by the meta length, not
+    // the claim.
+    let mut meta = Vec::new();
+    meta.extend_from_slice(&0u32.to_le_bytes()); // multiplier name: ""
+    meta.push(0); // precision: f32
+    meta.extend_from_slice(&0u32.to_le_bytes()); // n8 = 0
+    meta.extend_from_slice(&0u32.to_le_bytes()); // n4 = 0
+    meta.extend_from_slice(&1u32.to_le_bytes()); // n_steps = 1
+    meta.push(1); // TAG_CONV
+    meta.extend_from_slice(&1u32.to_le_bytes()); // weight section index
+    meta.extend_from_slice(&u32::MAX.to_le_bytes()); // bias float count
+    assert!(matches!(
+        load_bytes("hostile-f32s-count", &forged_container(&meta)),
+        Err(SnapshotError::Corrupt(_))
+    ));
+
+    // A section offset aimed at the header (aligned, in bounds, valid
+    // checksum): decoding reads header bytes as META and must fail typed,
+    // never panic or load.
+    let mut overlap = image;
+    overlap[64..72].copy_from_slice(&0u64.to_le_bytes()); // META offset = 0
+    overlap[72..80].copy_from_slice(&64u64.to_le_bytes());
+    reseal(&mut overlap);
+    assert!(load_bytes("hostile-overlap", &overlap).is_err());
 }

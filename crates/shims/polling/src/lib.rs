@@ -1,0 +1,708 @@
+//! Offline, dependency-free stand-in for the `polling` crate.
+//!
+//! Implements the subset of the `polling 3` API the workspace's socket
+//! front end (`da_nn::net`) actually uses: a [`Poller`] that watches raw
+//! file descriptors for read/write readiness, a [`Event`] value naming the
+//! caller's key for each ready descriptor, a blocking [`Poller::wait`] with
+//! optional timeout, and a thread-safe [`Poller::notify`] that wakes a
+//! concurrent `wait` without any descriptor becoming ready (how worker
+//! threads hand completions back to a reactor).
+//!
+//! Two backends, both raw FFI against the platform C library `std` already
+//! links (this workspace has no registry access, mirroring
+//! `crates/shims/memmap2`):
+//!
+//! * **Linux:** `epoll` (`epoll_create1`/`epoll_ctl`/`epoll_wait`),
+//!   level-triggered — the natural fit for a reactor that only registers
+//!   write interest while it has bytes buffered.
+//! * **Other Unix:** `poll(2)` over a registration table kept in userspace.
+//!   O(n) per wait instead of O(ready), but semantically identical
+//!   (level-triggered, same wakeup rules).
+//!
+//! On Linux the `poll` fallback still compiles and is unit-tested (via
+//! [`Poller::with_poll_backend`]), so the portable path cannot bit-rot on
+//! the only machine CI has. Non-Unix targets get a stub whose constructor
+//! returns [`io::ErrorKind::Unsupported`] — the socket front end is gated
+//! to Unix, but crates depending on this shim still build.
+//!
+//! The wakeup channel is a self-pipe: `notify` writes one byte to a
+//! non-blocking pipe whose read end is registered under a reserved key; a
+//! `wait` that sees it drains the pipe and reports zero events for it.
+//! Differences from upstream `polling 3`: sources are raw fds (no
+//! `Source`/`AsSource` traits), events are always oneshot-free
+//! (level-triggered; no re-arm needed), and `wait` fills a plain
+//! `Vec<Event>` instead of an `Events` buffer type.
+
+use std::io;
+use std::time::Duration;
+
+/// Readiness interest / readiness result for one registered descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen identifier reported back when the descriptor is ready.
+    /// [`Event::NOTIFY_KEY`] is reserved for the poller's internal wakeup
+    /// channel and rejected by [`Poller::add`].
+    pub key: usize,
+    /// Interest in (or readiness of) reads.
+    pub readable: bool,
+    /// Interest in (or readiness of) writes.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Key reserved for the poller's internal self-pipe.
+    pub const NOTIFY_KEY: usize = usize::MAX;
+
+    /// Read-only interest.
+    pub fn readable(key: usize) -> Event {
+        Event { key, readable: true, writable: false }
+    }
+
+    /// Write-only interest.
+    pub fn writable(key: usize) -> Event {
+        Event { key, readable: false, writable: true }
+    }
+
+    /// Read + write interest.
+    pub fn all(key: usize) -> Event {
+        Event { key, readable: true, writable: true }
+    }
+
+    /// No interest (keeps the registration alive for a later `modify`).
+    pub fn none(key: usize) -> Event {
+        Event { key, readable: false, writable: false }
+    }
+}
+
+/// A readiness poller over raw file descriptors (see module docs).
+pub struct Poller {
+    backend: imp::Backend,
+}
+
+impl Poller {
+    /// A poller on the platform's preferred backend (epoll on Linux, poll
+    /// on other Unix).
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller { backend: imp::Backend::preferred()? })
+    }
+
+    /// A poller forced onto the portable `poll(2)` backend — exists so the
+    /// fallback stays compiled and tested on Linux CI.
+    #[cfg(unix)]
+    pub fn with_poll_backend() -> io::Result<Poller> {
+        Ok(Poller { backend: imp::Backend::poll_backend()? })
+    }
+
+    /// Start watching `fd` with the given interest.
+    ///
+    /// The fd must stay open until [`delete`](Poller::delete); the caller
+    /// keeps ownership. Registering [`Event::NOTIFY_KEY`] is an error.
+    pub fn add(&self, fd: i32, interest: Event) -> io::Result<()> {
+        if interest.key == Event::NOTIFY_KEY {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "reserved key"));
+        }
+        self.backend.add(fd, interest)
+    }
+
+    /// Change the interest set (and/or key) of a watched descriptor.
+    pub fn modify(&self, fd: i32, interest: Event) -> io::Result<()> {
+        if interest.key == Event::NOTIFY_KEY {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "reserved key"));
+        }
+        self.backend.modify(fd, interest)
+    }
+
+    /// Stop watching a descriptor.
+    pub fn delete(&self, fd: i32) -> io::Result<()> {
+        self.backend.delete(fd)
+    }
+
+    /// Block until at least one descriptor is ready, `timeout` elapses
+    /// (`None` = forever), or [`notify`](Poller::notify) is called.
+    /// Ready events are appended to `events` (which is *not* cleared).
+    /// Returns the number of events appended — possibly 0 on timeout or
+    /// plain notify.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        self.backend.wait(events, timeout)
+    }
+
+    /// Wake a concurrent (or the next) [`wait`](Poller::wait) from any
+    /// thread. Multiple notifies may coalesce into one wakeup.
+    pub fn notify(&self) -> io::Result<()> {
+        self.backend.notify()
+    }
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller").finish_non_exhaustive()
+    }
+}
+
+/// Clamp a timeout to whole milliseconds for the C interfaces (rounding up
+/// so a 100µs timeout polls for 1ms rather than busy-spinning at 0).
+#[cfg(unix)]
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis();
+            let ms = if d > Duration::from_millis(ms as u64) { ms + 1 } else { ms };
+            i32::try_from(ms).unwrap_or(i32::MAX)
+        }
+    }
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::{timeout_ms, Event};
+    use std::io;
+    use std::time::Duration;
+
+    // Shared C declarations (std links libc on every Unix target).
+    extern "C" {
+        fn pipe(fds: *mut i32) -> i32;
+        fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+        fn close(fd: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    const F_SETFL: i32 = 4;
+    const O_NONBLOCK: i32 = 0o4000;
+
+    /// A non-blocking self-pipe: the wakeup channel for both backends.
+    struct SelfPipe {
+        rd: i32,
+        wr: i32,
+    }
+
+    impl SelfPipe {
+        fn new() -> io::Result<SelfPipe> {
+            let mut fds = [0i32; 2];
+            if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            for fd in fds {
+                if unsafe { fcntl(fd, F_SETFL, O_NONBLOCK) } != 0 {
+                    let e = io::Error::last_os_error();
+                    unsafe { close(fds[0]) };
+                    unsafe { close(fds[1]) };
+                    return Err(e);
+                }
+            }
+            Ok(SelfPipe { rd: fds[0], wr: fds[1] })
+        }
+
+        fn notify(&self) -> io::Result<()> {
+            // A full pipe means a wakeup is already pending; that's success.
+            let n = unsafe { write(self.wr, [1u8].as_ptr(), 1) };
+            if n == 1 || io::Error::last_os_error().kind() == io::ErrorKind::WouldBlock {
+                Ok(())
+            } else {
+                Err(io::Error::last_os_error())
+            }
+        }
+
+        fn drain(&self) {
+            let mut buf = [0u8; 64];
+            while unsafe { read(self.rd, buf.as_mut_ptr(), buf.len()) } > 0 {}
+        }
+    }
+
+    impl Drop for SelfPipe {
+        fn drop(&mut self) {
+            unsafe { close(self.rd) };
+            unsafe { close(self.wr) };
+        }
+    }
+
+    pub enum Backend {
+        #[cfg(target_os = "linux")]
+        Epoll(epoll::EpollPoller),
+        Poll(poll::PollPoller),
+    }
+
+    impl Backend {
+        pub fn preferred() -> io::Result<Backend> {
+            #[cfg(target_os = "linux")]
+            {
+                Ok(Backend::Epoll(epoll::EpollPoller::new()?))
+            }
+            #[cfg(not(target_os = "linux"))]
+            {
+                Self::poll_backend()
+            }
+        }
+
+        pub fn poll_backend() -> io::Result<Backend> {
+            Ok(Backend::Poll(poll::PollPoller::new()?))
+        }
+
+        pub fn add(&self, fd: i32, ev: Event) -> io::Result<()> {
+            match self {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll(p) => p.add(fd, ev),
+                Backend::Poll(p) => p.add(fd, ev),
+            }
+        }
+
+        pub fn modify(&self, fd: i32, ev: Event) -> io::Result<()> {
+            match self {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll(p) => p.modify(fd, ev),
+                Backend::Poll(p) => p.modify(fd, ev),
+            }
+        }
+
+        pub fn delete(&self, fd: i32) -> io::Result<()> {
+            match self {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll(p) => p.delete(fd),
+                Backend::Poll(p) => p.delete(fd),
+            }
+        }
+
+        pub fn wait(&self, events: &mut Vec<Event>, t: Option<Duration>) -> io::Result<usize> {
+            match self {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll(p) => p.wait(events, t),
+                Backend::Poll(p) => p.wait(events, t),
+            }
+        }
+
+        pub fn notify(&self) -> io::Result<()> {
+            match self {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll(p) => p.notify(),
+                Backend::Poll(p) => p.notify(),
+            }
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    mod epoll {
+        use super::{Event, SelfPipe};
+        use std::io;
+        use std::time::Duration;
+
+        // epoll_event is packed on x86-64 (the kernel ABI), 12 bytes:
+        // u32 events + u64 data.
+        #[repr(C, packed)]
+        #[derive(Clone, Copy)]
+        struct EpollEvent {
+            events: u32,
+            data: u64,
+        }
+
+        extern "C" {
+            fn epoll_create1(flags: i32) -> i32;
+            fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+            fn epoll_wait(epfd: i32, events: *mut EpollEvent, max: i32, timeout_ms: i32) -> i32;
+            fn close(fd: i32) -> i32;
+        }
+
+        const EPOLL_CTL_ADD: i32 = 1;
+        const EPOLL_CTL_DEL: i32 = 2;
+        const EPOLL_CTL_MOD: i32 = 3;
+        const EPOLLIN: u32 = 0x001;
+        const EPOLLOUT: u32 = 0x004;
+        const EPOLLERR: u32 = 0x008;
+        const EPOLLHUP: u32 = 0x010;
+        const EPOLL_CLOEXEC: i32 = 0o2000000;
+        const EINTR: i32 = 4;
+
+        pub struct EpollPoller {
+            epfd: i32,
+            pipe: SelfPipe,
+        }
+
+        impl EpollPoller {
+            pub fn new() -> io::Result<EpollPoller> {
+                let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+                if epfd < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                let pipe = match SelfPipe::new() {
+                    Ok(p) => p,
+                    Err(e) => {
+                        unsafe { close(epfd) };
+                        return Err(e);
+                    }
+                };
+                let poller = EpollPoller { epfd, pipe };
+                poller.ctl(EPOLL_CTL_ADD, poller.pipe.rd, Event::readable(Event::NOTIFY_KEY))?;
+                Ok(poller)
+            }
+
+            fn ctl(&self, op: i32, fd: i32, ev: Event) -> io::Result<()> {
+                let mut raw = EpollEvent {
+                    events: if ev.readable { EPOLLIN } else { 0 }
+                        | if ev.writable { EPOLLOUT } else { 0 },
+                    data: ev.key as u64,
+                };
+                if unsafe { epoll_ctl(self.epfd, op, fd, &mut raw) } != 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                Ok(())
+            }
+
+            pub fn add(&self, fd: i32, ev: Event) -> io::Result<()> {
+                self.ctl(EPOLL_CTL_ADD, fd, ev)
+            }
+
+            pub fn modify(&self, fd: i32, ev: Event) -> io::Result<()> {
+                self.ctl(EPOLL_CTL_MOD, fd, ev)
+            }
+
+            pub fn delete(&self, fd: i32) -> io::Result<()> {
+                self.ctl(EPOLL_CTL_DEL, fd, Event::none(0))
+            }
+
+            pub fn wait(
+                &self,
+                events: &mut Vec<Event>,
+                timeout: Option<Duration>,
+            ) -> io::Result<usize> {
+                let mut buf = [EpollEvent { events: 0, data: 0 }; 64];
+                let n = loop {
+                    let n = unsafe {
+                        epoll_wait(
+                            self.epfd,
+                            buf.as_mut_ptr(),
+                            buf.len() as i32,
+                            crate::timeout_ms(timeout),
+                        )
+                    };
+                    if n >= 0 {
+                        break n as usize;
+                    }
+                    let err = io::Error::last_os_error();
+                    if err.raw_os_error() != Some(EINTR) {
+                        return Err(err);
+                    }
+                    // EINTR: retry with the same timeout (close enough; the
+                    // reactor re-derives deadlines each iteration anyway).
+                };
+                let mut appended = 0;
+                for raw in &buf[..n] {
+                    let key = { raw.data } as usize;
+                    if key == Event::NOTIFY_KEY {
+                        self.pipe.drain();
+                        continue;
+                    }
+                    let bits = { raw.events };
+                    events.push(Event {
+                        key,
+                        // ERR/HUP surface as readable+writable so the owner
+                        // attempts I/O and observes the real error.
+                        readable: bits & (EPOLLIN | EPOLLERR | EPOLLHUP) != 0,
+                        writable: bits & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+                    });
+                    appended += 1;
+                }
+                Ok(appended)
+            }
+
+            pub fn notify(&self) -> io::Result<()> {
+                self.pipe.notify()
+            }
+        }
+
+        impl Drop for EpollPoller {
+            fn drop(&mut self) {
+                unsafe { close(self.epfd) };
+            }
+        }
+    }
+
+    mod poll {
+        use super::{timeout_ms, Event, SelfPipe};
+        use std::io;
+        use std::sync::Mutex;
+        use std::time::Duration;
+
+        #[repr(C)]
+        #[derive(Clone, Copy)]
+        struct PollFd {
+            fd: i32,
+            events: i16,
+            revents: i16,
+        }
+
+        extern "C" {
+            // nfds_t is `unsigned long` on the Unix targets this shim
+            // supports (glibc, musl, macOS).
+            fn poll(fds: *mut PollFd, nfds: core::ffi::c_ulong, timeout_ms: i32) -> i32;
+        }
+
+        const POLLIN: i16 = 0x001;
+        const POLLOUT: i16 = 0x004;
+        const POLLERR: i16 = 0x008;
+        const POLLHUP: i16 = 0x010;
+        const POLLNVAL: i16 = 0x020;
+        const EINTR: i32 = 4;
+
+        /// Portable fallback: registration table + `poll(2)` per wait.
+        pub struct PollPoller {
+            pipe: SelfPipe,
+            registry: Mutex<Vec<(i32, Event)>>,
+        }
+
+        impl PollPoller {
+            pub fn new() -> io::Result<PollPoller> {
+                Ok(PollPoller { pipe: SelfPipe::new()?, registry: Mutex::new(Vec::new()) })
+            }
+
+            pub fn add(&self, fd: i32, ev: Event) -> io::Result<()> {
+                let mut reg = self.registry.lock().expect("poll registry");
+                if reg.iter().any(|(f, _)| *f == fd) {
+                    return Err(io::Error::new(io::ErrorKind::AlreadyExists, "fd registered"));
+                }
+                reg.push((fd, ev));
+                Ok(())
+            }
+
+            pub fn modify(&self, fd: i32, ev: Event) -> io::Result<()> {
+                let mut reg = self.registry.lock().expect("poll registry");
+                match reg.iter_mut().find(|(f, _)| *f == fd) {
+                    Some(slot) => {
+                        slot.1 = ev;
+                        Ok(())
+                    }
+                    None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+                }
+            }
+
+            pub fn delete(&self, fd: i32) -> io::Result<()> {
+                let mut reg = self.registry.lock().expect("poll registry");
+                let before = reg.len();
+                reg.retain(|(f, _)| *f != fd);
+                if reg.len() == before {
+                    return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+                }
+                Ok(())
+            }
+
+            pub fn wait(
+                &self,
+                events: &mut Vec<Event>,
+                timeout: Option<Duration>,
+            ) -> io::Result<usize> {
+                // Snapshot the registry so user callbacks can add/modify
+                // between waits without holding the lock across poll().
+                let mut fds: Vec<PollFd> =
+                    vec![PollFd { fd: self.pipe.rd, events: POLLIN, revents: 0 }];
+                let mut keys: Vec<usize> = vec![Event::NOTIFY_KEY];
+                {
+                    let reg = self.registry.lock().expect("poll registry");
+                    for (fd, ev) in reg.iter() {
+                        let mask = if ev.readable { POLLIN } else { 0 }
+                            | if ev.writable { POLLOUT } else { 0 };
+                        fds.push(PollFd { fd: *fd, events: mask, revents: 0 });
+                        keys.push(ev.key);
+                    }
+                }
+                let n = loop {
+                    let n = unsafe {
+                        poll(fds.as_mut_ptr(), fds.len() as core::ffi::c_ulong, timeout_ms(timeout))
+                    };
+                    if n >= 0 {
+                        break n;
+                    }
+                    let err = io::Error::last_os_error();
+                    if err.raw_os_error() != Some(EINTR) {
+                        return Err(err);
+                    }
+                };
+                if n == 0 {
+                    return Ok(0);
+                }
+                let mut appended = 0;
+                for (slot, key) in fds.iter().zip(&keys) {
+                    if slot.revents == 0 {
+                        continue;
+                    }
+                    if *key == Event::NOTIFY_KEY {
+                        self.pipe.drain();
+                        continue;
+                    }
+                    let bad = slot.revents & (POLLERR | POLLHUP | POLLNVAL) != 0;
+                    events.push(Event {
+                        key: *key,
+                        readable: slot.revents & POLLIN != 0 || bad,
+                        writable: slot.revents & POLLOUT != 0 || bad,
+                    });
+                    appended += 1;
+                }
+                Ok(appended)
+            }
+
+            pub fn notify(&self) -> io::Result<()> {
+                self.pipe.notify()
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::Event;
+    use std::io;
+    use std::time::Duration;
+
+    /// Non-Unix stub: constructing a poller reports `Unsupported`.
+    pub struct Backend;
+
+    impl Backend {
+        pub fn preferred() -> io::Result<Backend> {
+            Err(io::Error::new(io::ErrorKind::Unsupported, "no poller backend on this target"))
+        }
+        pub fn add(&self, _fd: i32, _ev: Event) -> io::Result<()> {
+            unreachable!("Backend cannot be constructed on this target")
+        }
+        pub fn modify(&self, _fd: i32, _ev: Event) -> io::Result<()> {
+            unreachable!("Backend cannot be constructed on this target")
+        }
+        pub fn delete(&self, _fd: i32) -> io::Result<()> {
+            unreachable!("Backend cannot be constructed on this target")
+        }
+        pub fn wait(&self, _ev: &mut Vec<Event>, _t: Option<Duration>) -> io::Result<usize> {
+            unreachable!("Backend cannot be constructed on this target")
+        }
+        pub fn notify(&self) -> io::Result<()> {
+            unreachable!("Backend cannot be constructed on this target")
+        }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::time::Instant;
+
+    fn pollers() -> Vec<(&'static str, Poller)> {
+        vec![
+            ("preferred", Poller::new().expect("poller")),
+            ("poll-fallback", Poller::with_poll_backend().expect("poll backend")),
+        ]
+    }
+
+    /// A connected localhost TCP pair.
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        (client, server)
+    }
+
+    #[test]
+    fn timeout_elapses_with_no_events() {
+        for (name, poller) in pollers() {
+            let mut events = Vec::new();
+            let start = Instant::now();
+            let n = poller.wait(&mut events, Some(Duration::from_millis(20))).expect("wait");
+            assert_eq!(n, 0, "{name}");
+            assert!(start.elapsed() >= Duration::from_millis(15), "{name}: returned early");
+        }
+    }
+
+    #[test]
+    fn readable_event_fires_when_data_arrives() {
+        for (name, poller) in pollers() {
+            let (mut client, server) = tcp_pair();
+            poller.add(server.as_raw_fd(), Event::readable(7)).expect("add");
+            let mut events = Vec::new();
+            // Nothing to read yet.
+            let n = poller.wait(&mut events, Some(Duration::from_millis(10))).expect("wait");
+            assert_eq!(n, 0, "{name}: spurious readiness");
+            client.write_all(b"hello").expect("write");
+            let n = poller.wait(&mut events, Some(Duration::from_secs(5))).expect("wait");
+            assert_eq!(n, 1, "{name}");
+            assert_eq!(events[0].key, 7, "{name}");
+            assert!(events[0].readable, "{name}");
+            poller.delete(server.as_raw_fd()).expect("delete");
+        }
+    }
+
+    #[test]
+    fn modify_switches_interest() {
+        for (name, poller) in pollers() {
+            let (mut client, server) = tcp_pair();
+            client.write_all(b"x").expect("write");
+            poller.add(server.as_raw_fd(), Event::none(3)).expect("add");
+            let mut events = Vec::new();
+            let n = poller.wait(&mut events, Some(Duration::from_millis(10))).expect("wait");
+            assert_eq!(n, 0, "{name}: no-interest registration must stay silent");
+            poller.modify(server.as_raw_fd(), Event::all(3)).expect("modify");
+            let n = poller.wait(&mut events, Some(Duration::from_secs(5))).expect("wait");
+            assert!(n >= 1, "{name}");
+            assert!(events[0].readable && events[0].writable, "{name}: {:?}", events[0]);
+            poller.delete(server.as_raw_fd()).expect("delete");
+        }
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait() {
+        for (name, poller) in pollers() {
+            let poller = std::sync::Arc::new(poller);
+            let waker = poller.clone();
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                waker.notify().expect("notify");
+            });
+            let mut events = Vec::new();
+            let start = Instant::now();
+            let n = poller.wait(&mut events, Some(Duration::from_secs(30))).expect("wait");
+            assert_eq!(n, 0, "{name}: notify reports no events");
+            assert!(start.elapsed() < Duration::from_secs(10), "{name}: notify did not wake");
+            handle.join().expect("waker thread");
+        }
+    }
+
+    #[test]
+    fn notify_coalesces_and_does_not_leave_stale_wakeups() {
+        for (name, poller) in pollers() {
+            poller.notify().expect("notify 1");
+            poller.notify().expect("notify 2");
+            let mut events = Vec::new();
+            // First wait consumes the pending wakeups (drains the pipe)...
+            poller.wait(&mut events, Some(Duration::from_secs(5))).expect("wait");
+            // ...so a second wait times out instead of spinning.
+            let start = Instant::now();
+            let n = poller.wait(&mut events, Some(Duration::from_millis(20))).expect("wait");
+            assert_eq!(n, 0, "{name}");
+            assert!(start.elapsed() >= Duration::from_millis(15), "{name}: stale wakeup");
+        }
+    }
+
+    #[test]
+    fn reserved_key_is_rejected() {
+        for (_, poller) in pollers() {
+            let (_client, server) = tcp_pair();
+            let err = poller.add(server.as_raw_fd(), Event::readable(Event::NOTIFY_KEY));
+            assert!(err.is_err());
+        }
+    }
+
+    #[test]
+    fn closed_peer_reports_readable() {
+        for (name, poller) in pollers() {
+            let (client, server) = tcp_pair();
+            poller.add(server.as_raw_fd(), Event::readable(1)).expect("add");
+            drop(client);
+            let mut events = Vec::new();
+            let n = poller.wait(&mut events, Some(Duration::from_secs(5))).expect("wait");
+            assert!(n >= 1, "{name}: EOF must be observable");
+            assert!(events[0].readable, "{name}");
+            let mut buf = [0u8; 8];
+            let got = (&server).read(&mut buf).expect("read EOF");
+            assert_eq!(got, 0, "{name}");
+            poller.delete(server.as_raw_fd()).expect("delete");
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Loopback load generator for the `da-serve` socket front end.
+//!
+//! ```sh
+//! # against a running server (CI does this after scraping da-serve's port)
+//! cargo run --release --example serve_loadgen -- --addr 127.0.0.1:PORT --shutdown
+//!
+//! # self-contained: boots an in-process front end on a demo plan
+//! cargo run --release --example serve_loadgen
+//! ```
+//!
+//! Spawns `--clients` threads, each holding one TCP connection and issuing
+//! `--requests` single-sample `INFER`s back to back; per-request wall
+//! latency is recorded client-side. Prints p50/p99 latency and aggregate
+//! throughput, and — with `DA_BENCH_JSON=<path>` — emits a
+//! `serve_latency` row per run in the `da_bench::json` schema, so the
+//! cross-process path is regression-tracked exactly like the in-process
+//! benches (`check_bench_json` compares the documents).
+//!
+//! `--verify PATH` additionally maps the server's own `.daplan` snapshot
+//! in this process and asserts every served logits row is **bit-identical**
+//! to serial [`InferencePlan::predict_batch`] — the serve module's
+//! contract, enforced across the wire.
+//!
+//! `--shutdown` sends a `SHUTDOWN` frame when done, draining the server
+//! (that is how CI stops `da-serve` and collects its exit code).
+
+#[cfg(unix)]
+use std::time::{Duration, Instant};
+
+#[cfg(unix)]
+use da_bench::json::{JsonEmitter, Record};
+#[cfg(unix)]
+use defensive_approximation::datasets::digits::synth_digits;
+#[cfg(unix)]
+use defensive_approximation::nn::engine::InferencePlan;
+#[cfg(unix)]
+use defensive_approximation::nn::net::{Client, NetConfig, NetServer};
+#[cfg(unix)]
+use defensive_approximation::nn::serve::{BatchServer, ServeConfig};
+#[cfg(unix)]
+use defensive_approximation::tensor::Tensor;
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("serve_loadgen: the socket front end requires a Unix platform");
+    std::process::exit(2);
+}
+
+#[cfg(unix)]
+fn main() {
+    let smoke = std::env::var_os("DA_BENCH_SMOKE").is_some();
+    let mut addr: Option<String> = None;
+    let mut verify: Option<String> = None;
+    let mut clients: usize = if smoke { 2 } else { 4 };
+    let mut requests: usize = if smoke { 16 } else { 64 };
+    let mut shutdown = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| die(&format!("{flag} needs a value")));
+        match flag.as_str() {
+            "--addr" => addr = Some(value()),
+            "--verify" => verify = Some(value()),
+            "--clients" => clients = value().parse().unwrap_or_else(|_| die("bad --clients")),
+            "--requests" => requests = value().parse().unwrap_or_else(|_| die("bad --requests")),
+            "--shutdown" => shutdown = true,
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+
+    // No --addr: boot an in-process front end on a demo snapshot so the
+    // example is runnable (and benchable) standalone.
+    let selfhost = addr.is_none().then(|| {
+        let path = std::env::temp_dir().join(format!("da-loadgen-{}.daplan", std::process::id()));
+        write_demo_snapshot(&path);
+        let server = BatchServer::from_snapshot(&path, ServeConfig::default())
+            .expect("demo snapshot serves");
+        let front =
+            NetServer::bind(server, "127.0.0.1:0", NetConfig::default()).expect("bind loopback");
+        if verify.is_none() {
+            verify = Some(path.display().to_string());
+        }
+        let (bound, handle, join) = front.spawn();
+        println!("self-hosting on {bound}");
+        (bound.to_string(), handle, join, path)
+    });
+    let addr = addr.unwrap_or_else(|| selfhost.as_ref().expect("self-host").0.clone());
+
+    let data = synth_digits(clients * requests, 42);
+    let total = clients * requests;
+
+    // Hammer: one connection per client thread, synchronous request loops.
+    let start = Instant::now();
+    let results: Vec<(Vec<f64>, Vec<Vec<f32>>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = addr.as_str();
+                let images = &data.images;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    client.set_read_timeout(Some(Duration::from_secs(30))).expect("read timeout");
+                    let mut lat_ms = Vec::with_capacity(requests);
+                    let mut logits = Vec::with_capacity(requests);
+                    for j in 0..requests {
+                        let item = images.batch_item(c * requests + j);
+                        let t0 = Instant::now();
+                        let reply = client
+                            .infer(item.shape(), item.data())
+                            .expect("transport")
+                            .unwrap_or_else(|(code, msg)| {
+                                die(&format!("server refused request: {code:?} {msg}"))
+                            });
+                        lat_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                        logits.push(reply.1);
+                    }
+                    (lat_ms, logits)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = results.iter().flat_map(|(l, _)| l.iter().copied()).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p50 = percentile(&latencies, 50.0);
+    let p99 = percentile(&latencies, 99.0);
+    let items_per_sec = total as f64 / elapsed;
+
+    // Server-side counters over the wire.
+    let mut probe = Client::connect(addr.as_str()).expect("connect for stats");
+    let (batches, items, flush_ns) = probe.stats().expect("stats");
+    let mean_batch = if batches == 0 { 0.0 } else { items as f64 / batches as f64 };
+
+    println!(
+        "{total} requests from {clients} conns in {:.1} ms: p50 {p50:.3} ms, p99 {p99:.3} ms, \
+         {items_per_sec:.0} items/s",
+        elapsed * 1e3
+    );
+    println!(
+        "server: {batches} batches / {items} items (mean batch {mean_batch:.2}), \
+         flush deadline now {flush_ns} ns"
+    );
+
+    // Cross-process bit-identity against the snapshot's serial reference.
+    if let Some(path) = &verify {
+        let plan = InferencePlan::load(path).expect("verification snapshot maps");
+        let reference = plan.predict_batch(&data.images);
+        let classes = reference.shape()[1];
+        let mut checked = 0usize;
+        for (c, (_, logits)) in results.iter().enumerate() {
+            for (j, row) in logits.iter().enumerate() {
+                let i = c * requests + j;
+                let want = &reference.data()[i * classes..(i + 1) * classes];
+                assert!(
+                    bits_eq(row, want),
+                    "sample {i}: served logits diverged from serial inference"
+                );
+                checked += 1;
+            }
+        }
+        println!("bit-identity: {checked}/{total} served rows match the mapped plan exactly");
+    }
+
+    if shutdown {
+        probe.shutdown_server().expect("shutdown handshake");
+        println!("server acknowledged shutdown; draining");
+    }
+
+    let mut emitter = JsonEmitter::from_env("serve_latency");
+    emitter.record(
+        Record::new()
+            .label("scenario", "serve_latency")
+            .label("transport", "tcp-loopback")
+            .label("clients", clients.to_string())
+            .label("requests_per_client", requests.to_string())
+            .metric("p50_ms", p50)
+            .metric("p99_ms", p99)
+            .metric("items_per_sec", items_per_sec)
+            .metric("mean_batch", mean_batch),
+    );
+    if let Some(path) = emitter.finish() {
+        println!("bench JSON written to {}", path.display());
+    }
+
+    if let Some((_, handle, join, path)) = selfhost {
+        handle.shutdown();
+        join.join().expect("reactor thread").expect("reactor exit");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[cfg(unix)]
+fn bits_eq(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// `q`-th percentile of an ascending-sorted slice (nearest-rank).
+#[cfg(unix)]
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+#[cfg(unix)]
+fn die(msg: &str) -> ! {
+    eprintln!("serve_loadgen: {msg}");
+    std::process::exit(2);
+}
+
+/// Same artifact `da-serve --demo-snapshot` produces.
+#[cfg(unix)]
+fn write_demo_snapshot(path: &std::path::Path) {
+    use defensive_approximation::arith::MultiplierKind;
+    use defensive_approximation::nn::zoo::lenet5;
+    use rand::SeedableRng;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut net = lenet5(10, &mut rng);
+    net.set_multiplier(Some(MultiplierKind::AxFpm.build()));
+    let calibration: Tensor = synth_digits(32, 7).images;
+    let plan = InferencePlan::compile_quantized(&net, net.multiplier().cloned(), &calibration)
+        .expect("demo network quantizes");
+    plan.save(path).expect("snapshot save");
+}

@@ -1,0 +1,135 @@
+//! `da-serve`: stand a TCP serving endpoint on a `.daplan` snapshot.
+//!
+//! ```sh
+//! cargo run --release --bin da-serve -- \
+//!     --snapshot model.daplan --addr 127.0.0.1:0 --demo-snapshot
+//! ```
+//!
+//! Boots [`BatchServer::from_snapshot`] (mmap cold start, no compilation)
+//! and hands it to the `da_nn::net` reactor. The process prints exactly one
+//! `listening on <addr>` line once the socket is bound — harnesses bind
+//! port 0 and scrape the kernel-assigned port from that line — then serves
+//! until a client sends a `SHUTDOWN` frame, which drains in-flight work and
+//! exits 0.
+//!
+//! `--demo-snapshot` compiles a quantized LeNet-5 on the paper's Ax-FPM
+//! multiplier and saves it at `--snapshot` if the file does not exist yet;
+//! this is how CI (and a first-time reader) gets a servable artifact
+//! without a separate tool.
+
+#[cfg(unix)]
+fn main() {
+    use std::time::Duration;
+
+    use defensive_approximation::nn::net::{NetConfig, NetServer};
+    use defensive_approximation::nn::serve::{BatchServer, ServeConfig};
+
+    let mut snapshot = String::from("da-serve.daplan");
+    let mut addr = String::from("127.0.0.1:0");
+    let mut demo = false;
+    let mut serve = ServeConfig::default();
+    let mut net = NetConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| die(&format!("{flag} needs {what}")))
+        };
+        match flag.as_str() {
+            "--snapshot" => snapshot = value("a path"),
+            "--addr" => addr = value("host:port"),
+            "--demo-snapshot" => demo = true,
+            "--workers" => serve.workers = parse(&value("a count")),
+            "--max-batch" => serve.max_batch = parse(&value("a count")),
+            "--queue" => serve.queue_capacity = parse(&value("a count")),
+            "--flush-deadline-us" => {
+                serve.flush_deadline = Duration::from_micros(parse(&value("µs")))
+            }
+            "--flush-deadline-min-us" => {
+                serve.flush_deadline_min = Duration::from_micros(parse(&value("µs")))
+            }
+            "--max-frame" => net.max_frame = parse(&value("bytes")),
+            "--max-inflight" => net.max_inflight = parse(&value("a count")),
+            "--idle-timeout-ms" => {
+                net.idle_timeout = Some(Duration::from_millis(parse(&value("ms"))))
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+
+    if demo && !std::path::Path::new(&snapshot).exists() {
+        eprintln!("compiling demo snapshot at {snapshot} …");
+        write_demo_snapshot(&snapshot);
+    }
+
+    let server = match BatchServer::from_snapshot(&snapshot, serve) {
+        Ok(s) => s,
+        Err(e) => die(&format!("cannot serve snapshot {snapshot}: {e}")),
+    };
+    let front = match NetServer::bind(server, addr.as_str(), net) {
+        Ok(f) => f,
+        Err(e) => die(&format!("cannot bind {addr}: {e}")),
+    };
+
+    // The one line harnesses scrape; flush so a piped reader sees it
+    // before the first request arrives.
+    println!("listening on {}", front.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+
+    match front.run() {
+        Ok(stats) => eprintln!(
+            "drained: {} conns, {} ok replies, {} error replies, {} protocol errors",
+            stats.accepted, stats.replies_ok, stats.replies_err, stats.protocol_errors
+        ),
+        Err(e) => die(&format!("reactor failed: {e}")),
+    }
+}
+
+#[cfg(unix)]
+const USAGE: &str = "usage: da-serve [--snapshot PATH] [--addr HOST:PORT] [--demo-snapshot]
+                [--workers N] [--max-batch N] [--queue N]
+                [--flush-deadline-us N] [--flush-deadline-min-us N]
+                [--max-frame BYTES] [--max-inflight N] [--idle-timeout-ms N]";
+
+#[cfg(unix)]
+fn die(msg: &str) -> ! {
+    eprintln!("da-serve: {msg}");
+    std::process::exit(2);
+}
+
+#[cfg(unix)]
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| die(&format!("cannot parse {s:?}")))
+}
+
+/// Quantized LeNet-5 on Ax-FPM, calibrated on synthetic digits — the same
+/// artifact `examples/serve.rs` builds, persisted for cross-process use.
+#[cfg(unix)]
+fn write_demo_snapshot(path: &str) {
+    use defensive_approximation::arith::MultiplierKind;
+    use defensive_approximation::datasets::digits::synth_digits;
+    use defensive_approximation::nn::engine::InferencePlan;
+    use defensive_approximation::nn::zoo::lenet5;
+    use rand::SeedableRng;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut net = lenet5(10, &mut rng);
+    net.set_multiplier(Some(MultiplierKind::AxFpm.build()));
+    let calibration = synth_digits(32, 7).images;
+    let plan = InferencePlan::compile_quantized(&net, net.multiplier().cloned(), &calibration)
+        .unwrap_or_else(|| die("demo network failed to quantize"));
+    if let Err(e) = plan.save(path) {
+        die(&format!("cannot write demo snapshot: {e}"));
+    }
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("da-serve: the socket front end requires a Unix platform");
+    std::process::exit(2);
+}
