@@ -194,8 +194,12 @@ pub fn encode(msg: &Message) -> Vec<u8> {
         Message::Shutdown => payload.push(OP_SHUTDOWN),
         Message::ShutdownAck => payload.push(OP_SHUTDOWN_ACK),
     }
+    // A silent `as u32` here would mis-frame the stream for any payload of
+    // 4 GiB or more; failing loudly is the only safe option on a protocol
+    // whose prefix cannot represent the length.
+    let len = u32::try_from(payload.len()).expect("frame payload exceeds the u32 length prefix");
     let mut frame = Vec::with_capacity(4 + payload.len());
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&len.to_le_bytes());
     frame.extend_from_slice(&payload);
     frame
 }

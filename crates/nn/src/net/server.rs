@@ -28,7 +28,9 @@
 //!   than [`NetConfig::write_pause`] bytes of unflushed replies. Parked
 //!   requests are retried after every completion drain, so a full batch
 //!   queue sheds load onto exactly the clients producing it while idle
-//!   clients stay live.
+//!   clients stay live. Complete frames already sitting in a paused
+//!   connection's decoder are resumed the same way — backpressure never
+//!   strands a fully-received request waiting for bytes that will not come.
 //! * **Graceful drain**: a `SHUTDOWN` frame (or [`NetHandle::shutdown`])
 //!   stops the listener and all request reading, answers new `INFER`s
 //!   with `ShuttingDown`, but lets every in-flight batch complete and
@@ -38,7 +40,9 @@
 //!   [`BatchServer`] then joins its workers.
 //! * **Slow clients**: [`NetConfig::idle_timeout`] closes connections that
 //!   have sent no byte for the configured window and have nothing in
-//!   flight — a slow-loris half-frame cannot hold a slot forever.
+//!   flight or mid-flush — a slow-loris half-frame cannot hold a slot
+//!   forever, while a reply still draining toward a slow reader is never
+//!   truncated by the sweep.
 //!
 //! Protocol violations (oversized or zero-length frame, unknown opcode,
 //! malformed body) get one best-effort `INFER_ERR { req_id: 0, code:
@@ -63,7 +67,8 @@ use crate::serve::{BatchServer, Reply, ServeError};
 /// Tuning knobs for the socket front end.
 #[derive(Debug, Clone)]
 pub struct NetConfig {
-    /// Largest accepted frame (length prefix bound). Default 16 MiB.
+    /// Largest accepted frame (length prefix bound). Default 16 MiB;
+    /// values above `u32::MAX` (the prefix's ceiling) are clamped at bind.
     pub max_frame: usize,
     /// Per-connection in-flight request cap; beyond it the connection's
     /// read interest is withdrawn until replies drain. Default 32.
@@ -88,6 +93,16 @@ impl Default for NetConfig {
             idle_timeout: None,
             drain_timeout: Duration::from_secs(5),
         }
+    }
+}
+
+impl NetConfig {
+    /// Clamp limits the wire format cannot represent: the length prefix is
+    /// a u32, so a larger configured `max_frame` could admit a frame the
+    /// protocol cannot re-emit.
+    fn normalized(mut self) -> NetConfig {
+        self.max_frame = self.max_frame.min(u32::MAX as usize);
+        self
     }
 }
 
@@ -183,6 +198,7 @@ impl NetServer {
         addr: impl ToSocketAddrs,
         config: NetConfig,
     ) -> io::Result<NetServer> {
+        let config = config.normalized();
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -279,6 +295,12 @@ impl Reactor {
                 }
             }
 
+            // After completions, parked retries, and flushes have lifted
+            // backpressure, frames already sitting in a paused connection's
+            // decoder must be processed here — no further socket readability
+            // will announce them.
+            self.resume_buffered();
+
             self.sweep_idle();
 
             if self.draining && self.drained() {
@@ -308,7 +330,7 @@ impl Reactor {
             if let Some(earliest) = self
                 .conns
                 .values()
-                .filter(|c| c.inflight == 0 && c.parked.is_empty())
+                .filter(|c| c.inflight == 0 && c.parked.is_empty() && !c.wants_write())
                 .map(|c| c.last_rx)
                 .min()
             {
@@ -522,7 +544,7 @@ impl Reactor {
                     conn.last_rx = Instant::now();
                     conn.decoder.push(&buf[..n]);
                     if !self.decode_frames(key) {
-                        return; // connection closed or poisoned
+                        return; // closed, poisoned, or paused by backpressure
                     }
                     // A paused connection stops consuming from the kernel
                     // buffer mid-readiness.
@@ -541,8 +563,11 @@ impl Reactor {
         }
     }
 
-    /// Process every complete frame buffered on `key`. Returns false if the
-    /// connection was closed (or marked closing) in the process.
+    /// Process every complete frame buffered on `key`. Returns false if
+    /// decoding must stop early: the connection was closed (or marked
+    /// closing), or backpressure paused it with frames possibly still
+    /// buffered — [`resume_buffered`](Reactor::resume_buffered) picks those
+    /// up once the pressure lifts.
     fn decode_frames(&mut self, key: usize) -> bool {
         loop {
             let payload = {
@@ -678,6 +703,27 @@ impl Reactor {
         }
     }
 
+    /// Decode frames already buffered on connections whose backpressure has
+    /// lifted. [`decode_frames`](Reactor::decode_frames) otherwise only runs
+    /// off socket readability, so a complete frame stranded in the decoder
+    /// when its connection paused (in-flight cap, parked request, write
+    /// pressure) would wait for the client's *next* byte — forever, for a
+    /// client that pipelined a burst and is now silently awaiting replies.
+    fn resume_buffered(&mut self) {
+        let pending: Vec<usize> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                c.decoder.buffered() > 0 && conn_wants_read(c, self.draining, &self.config)
+            })
+            .map(|(k, _)| *k)
+            .collect();
+        for key in pending {
+            self.decode_frames(key);
+            self.refresh_interest(key);
+        }
+    }
+
     /// Close idle connections (slow-loris defence).
     fn sweep_idle(&mut self) {
         let Some(idle) = self.config.idle_timeout else { return };
@@ -685,11 +731,7 @@ impl Reactor {
         let stale: Vec<usize> = self
             .conns
             .iter()
-            .filter(|(_, c)| {
-                c.inflight == 0
-                    && c.parked.is_empty()
-                    && now.saturating_duration_since(c.last_rx) >= idle
-            })
+            .filter(|(_, c)| idle_sweepable(c, now, idle))
             .map(|(k, _)| *k)
             .collect();
         for key in stale {
@@ -722,6 +764,19 @@ impl Reactor {
     }
 }
 
+/// Is this connection eligible for the idle sweep? Nothing in flight,
+/// nothing parked, nothing mid-flush, and silent past the timeout. The
+/// mid-flush exclusion means a reply the kernel has not yet accepted is
+/// never truncated by the sweep; a client that refuses to read is still
+/// bounded — reads stop at `write_pause`, the kernel's send buffer caps
+/// what it can strand, and `drain_timeout` reaps it at shutdown.
+fn idle_sweepable(conn: &Conn, now: Instant, idle: Duration) -> bool {
+    conn.inflight == 0
+        && conn.parked.is_empty()
+        && !conn.wants_write()
+        && now.saturating_duration_since(conn.last_rx) >= idle
+}
+
 /// Should this connection currently be read from? (Free function: callers
 /// often hold a `&mut Conn` alongside the reactor's config.)
 fn conn_wants_read(conn: &Conn, draining: bool, config: &NetConfig) -> bool {
@@ -748,4 +803,63 @@ fn flush(conn: &mut Conn) -> io::Result<()> {
         conn.wpos = 0;
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn test_conn() -> Conn {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let stream = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        Conn {
+            stream,
+            decoder: FrameDecoder::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            inflight: 0,
+            parked: VecDeque::new(),
+            last_rx: Instant::now(),
+            state: ConnState::Open,
+            registered: (true, false),
+        }
+    }
+
+    #[test]
+    fn max_frame_is_clamped_to_the_length_prefix_ceiling() {
+        let over = NetConfig { max_frame: usize::MAX, ..NetConfig::default() }.normalized();
+        assert_eq!(over.max_frame, u32::MAX as usize);
+        let under = NetConfig::default().normalized();
+        assert_eq!(under.max_frame, DEFAULT_MAX_FRAME);
+    }
+
+    #[test]
+    fn idle_sweep_spares_a_connection_mid_flush() {
+        let mut conn = test_conn();
+        let idle = Duration::from_millis(100);
+        let stale = conn.last_rx + Duration::from_secs(60);
+
+        // Quiet past the timeout with nothing pending: sweepable.
+        assert!(idle_sweepable(&conn, stale, idle));
+        // Not yet past the timeout: spared.
+        assert!(!idle_sweepable(&conn, conn.last_rx, idle));
+
+        // A reply the kernel has not yet accepted must never be cut.
+        conn.wbuf = vec![0u8; 8];
+        conn.wpos = 3;
+        assert!(!idle_sweepable(&conn, stale, idle), "mid-flush reply would be truncated");
+        // Fully flushed: sweepable again.
+        conn.wpos = conn.wbuf.len();
+        assert!(idle_sweepable(&conn, stale, idle));
+
+        // In-flight work or parked requests also exempt the connection.
+        conn.wbuf.clear();
+        conn.wpos = 0;
+        conn.inflight = 1;
+        assert!(!idle_sweepable(&conn, stale, idle));
+        conn.inflight = 0;
+        conn.parked.push_back((1, Tensor::zeros(&[1])));
+        assert!(!idle_sweepable(&conn, stale, idle));
+    }
 }

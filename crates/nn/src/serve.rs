@@ -659,7 +659,11 @@ impl FlushPolicy {
         if filled {
             (cur / 2).max(self.min)
         } else {
-            cur.saturating_mul(2).min(self.max)
+            // Doubling zero is zero: with a zero `min` the halving branch
+            // can reach an exactly-zero deadline, and regrowth must restart
+            // from a minimum quantum or the policy is pinned at the floor
+            // forever after one loaded spell.
+            cur.max(Duration::from_nanos(1)).saturating_mul(2).min(self.max)
         }
     }
 }
@@ -973,6 +977,25 @@ mod tests {
         assert_eq!(huge.adapt(Duration::MAX, false), Duration::MAX);
         let zero = FlushPolicy { max: Duration::ZERO, min: Duration::ZERO };
         assert_eq!(zero.adapt(Duration::from_secs(1), true), Duration::ZERO);
+    }
+
+    #[test]
+    fn adaptive_deadline_recovers_from_a_zero_floor() {
+        // A zero floor is legal configuration; sustained load halves the
+        // deadline down to exactly zero...
+        let policy = FlushPolicy { max: Duration::from_micros(200), min: Duration::ZERO };
+        let mut cur = policy.max;
+        for _ in 0..64 {
+            cur = policy.adapt(cur, true);
+        }
+        assert_eq!(cur, Duration::ZERO, "halving with a zero floor must reach zero");
+        // ...and sparse traffic must still regrow it: doubling zero forever
+        // would pin the policy at an immediate-dispatch deadline for the
+        // rest of the server's life.
+        for _ in 0..64 {
+            cur = policy.adapt(cur, false);
+        }
+        assert_eq!(cur, policy.max, "deadline must regrow after load pinned it at zero");
     }
 
     #[test]

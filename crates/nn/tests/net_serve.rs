@@ -119,6 +119,54 @@ fn served_replies_are_bit_identical_and_match_out_of_order() {
 }
 
 #[test]
+fn pipelining_past_the_inflight_cap_does_not_deadlock() {
+    // A small in-flight cap and a small batch queue make both park reasons
+    // (cap hit, QueueFull) fire inside one client's burst.
+    let serve = ServeConfig {
+        workers: 1,
+        max_batch: 4,
+        flush_deadline: Duration::from_micros(200),
+        queue_capacity: 4,
+        ..ServeConfig::default()
+    };
+    let net_cfg = NetConfig { max_inflight: 4, ..NetConfig::default() };
+    let (net, addr, handle, join) = front_end(serve, net_cfg);
+    let mut client = Client::connect(addr).expect("connect");
+    // A hang (the bug) must fail the test, not wedge the suite.
+    client.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+
+    // Burst far past the cap before reading a single byte: the reactor
+    // drains the whole burst from the kernel buffer, pauses the connection,
+    // and is left holding complete frames in its decoder. Those frames must
+    // be resumed as replies free capacity — the client sends nothing more,
+    // so no further socket readability will announce them.
+    let items: Vec<Tensor> = (0..24).map(|i| sample(800 + i)).collect();
+    let ids: Vec<u64> =
+        items.iter().map(|x| client.send_infer(x.shape(), x.data()).expect("send")).collect();
+
+    let mut got: Vec<Option<Vec<f32>>> = vec![None; items.len()];
+    for _ in 0..items.len() {
+        match client.recv_reply().expect("reply (deadlock if the decoder strands frames)") {
+            Message::InferOk { req_id, shape, data } => {
+                assert_eq!(shape, vec![5]);
+                let at = ids.iter().position(|&id| id == req_id).expect("known id");
+                assert!(got[at].is_none(), "duplicate reply for {req_id}");
+                got[at] = Some(data);
+            }
+            other => panic!("expected INFER_OK, got {other:?}"),
+        }
+    }
+    for (x, row) in items.iter().zip(&got) {
+        let want = reference(&net, x);
+        assert!(bits_eq(row.as_deref().expect("collected"), &want), "served logits diverged");
+    }
+
+    let stats = finish(handle, join);
+    assert_eq!(stats.replies_ok, items.len() as u64);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+#[test]
 fn mid_request_disconnect_leaves_other_clients_unaffected() {
     let (net, addr, handle, join) = front_end(serve_cfg(), NetConfig::default());
 

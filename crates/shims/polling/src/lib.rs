@@ -286,14 +286,25 @@ mod imp {
         use std::io;
         use std::time::Duration;
 
-        // epoll_event is packed on x86-64 (the kernel ABI), 12 bytes:
-        // u32 events + u64 data.
-        #[repr(C, packed)]
+        // The kernel packs struct epoll_event only on x86-64 (12 bytes:
+        // u32 events + u64 data, `__EPOLL_PACKED`); every other
+        // architecture uses the natural 16-byte layout with 4 bytes of
+        // padding after `events`. Matching the per-arch ABI matters in
+        // `wait`: an undersized element would make the kernel write past
+        // the event buffer.
+        #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+        #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
         #[derive(Clone, Copy)]
         struct EpollEvent {
             events: u32,
             data: u64,
         }
+
+        const _: () = assert!(
+            std::mem::size_of::<EpollEvent>()
+                == if cfg!(target_arch = "x86_64") { 12 } else { 16 },
+            "EpollEvent must match the kernel's per-arch epoll_event layout",
+        );
 
         extern "C" {
             fn epoll_create1(flags: i32) -> i32;
