@@ -100,7 +100,8 @@ fn main() {
         let elapsed = start.elapsed().as_secs_f64();
 
         let mut probe = Client::connect(addr).expect("connect for stats");
-        let (batches, items, _flush_ns) = probe.stats().expect("stats");
+        let stats = probe.stats().expect("stats");
+        let (batches, items) = (stats.batches, stats.items);
         let mean_batch = if batches == 0 { 0.0 } else { items as f64 / batches as f64 };
         probe.shutdown_server().expect("shutdown handshake");
         drop(probe);

@@ -7,16 +7,43 @@
 //! without waiting, [`recv_reply`](Client::recv_reply) blocks for the next
 //! reply frame, and callers match them by `req_id` (replies arrive in
 //! completion order, not submission order).
+//!
+//! [`Client`] is a thin, transparent wire peer: one connect, errors
+//! surface as-is. [`RobustClient`] layers operational hardening on top —
+//! reconnect with exponential backoff plus jitter, a per-call overall
+//! deadline, and transparent retry of *idempotent* requests (`INFER`,
+//! `PING`, `STATS` — inference is a pure function of the plan, so
+//! resending after an ambiguous failure at worst recomputes). Non-idempotent
+//! traffic (`RELOAD`, `SHUTDOWN`) is never silently resent.
 
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use rand::{Rng, SeedableRng};
 
 use crate::net::frame::{self, ErrCode, FrameDecoder, Message, DEFAULT_MAX_FRAME};
 
 /// One reply to an `INFER`: logits on success, `(code, message)` on
 /// failure.
 pub type InferResult = Result<(Vec<usize>, Vec<f32>), (ErrCode, String)>;
+
+/// Snapshot of the server's lifetime counters ([`Client::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Batches dispatched to workers.
+    pub batches: u64,
+    /// Individual requests served.
+    pub items: u64,
+    /// Flushes forced by the latency deadline rather than a full batch.
+    pub flush_deadline_ns: u64,
+    /// Worker panics caught and recovered from.
+    pub worker_restarts: u64,
+    /// Requests shed because their deadline passed before execution.
+    pub deadline_expired: u64,
+    /// Plan generation: bumped by every successful hot reload.
+    pub generation: u64,
+}
 
 /// Blocking protocol client (see module docs).
 pub struct Client {
@@ -69,7 +96,11 @@ impl Client {
                 Ok(None) => {}
                 Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
             }
-            let n = self.stream.read(&mut buf)?;
+            let n = match self.stream.read(&mut buf) {
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
             if n == 0 {
                 return Err(io::ErrorKind::UnexpectedEof.into());
             }
@@ -78,11 +109,35 @@ impl Client {
     }
 
     /// Queue an `INFER` without waiting; returns the request id to match
-    /// against [`recv_reply`](Client::recv_reply).
+    /// against [`recv_reply`](Client::recv_reply). The server applies its
+    /// configured default deadline, if any.
     pub fn send_infer(&mut self, shape: &[usize], data: &[f32]) -> io::Result<u64> {
+        self.send_infer_deadline(shape, data, None)
+    }
+
+    /// Like [`send_infer`](Client::send_infer) with an explicit per-request
+    /// deadline. The budget starts ticking at server admission; if it
+    /// expires before the request reaches a worker the reply is
+    /// [`ErrCode::DeadlineExceeded`]. Sub-microsecond and zero budgets are
+    /// rounded up to 1µs (`0` on the wire means "server default").
+    pub fn send_infer_deadline(
+        &mut self,
+        shape: &[usize],
+        data: &[f32],
+        deadline: Option<Duration>,
+    ) -> io::Result<u64> {
         let req_id = self.next_id;
         self.next_id += 1;
-        self.send(&Message::Infer { req_id, shape: shape.to_vec(), data: data.to_vec() })?;
+        let deadline_us = match deadline {
+            None => 0,
+            Some(d) => d.as_micros().clamp(1, u128::from(u32::MAX)) as u32,
+        };
+        self.send(&Message::Infer {
+            req_id,
+            deadline_us,
+            shape: shape.to_vec(),
+            data: data.to_vec(),
+        })?;
         Ok(req_id)
     }
 
@@ -111,16 +166,44 @@ impl Client {
         }
     }
 
-    /// Fetch serving counters: `(batches, items, flush_deadline_ns)`.
-    pub fn stats(&mut self) -> io::Result<(u64, u64, u64)> {
+    /// Fetch the server's lifetime counters.
+    pub fn stats(&mut self) -> io::Result<ServerStats> {
         self.send(&Message::Stats)?;
         match self.recv_reply()? {
-            Message::StatsReply { batches, items, flush_deadline_ns } => {
-                Ok((batches, items, flush_deadline_ns))
-            }
+            Message::StatsReply {
+                batches,
+                items,
+                flush_deadline_ns,
+                worker_restarts,
+                deadline_expired,
+                generation,
+            } => Ok(ServerStats {
+                batches,
+                items,
+                flush_deadline_ns,
+                worker_restarts,
+                deadline_expired,
+                generation,
+            }),
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("expected STATS_REPLY, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Ask the server to hot-reload its plan from `path` (empty string =
+    /// the server's configured reload path). `Ok(Ok(generation))` means the
+    /// replacement validated and is now serving; `Ok(Err(msg))` means it
+    /// was rejected and the old plan keeps serving.
+    pub fn reload(&mut self, path: &str) -> io::Result<Result<u64, String>> {
+        self.send(&Message::Reload { path: path.to_string() })?;
+        match self.recv_reply()? {
+            Message::ReloadReply { ok: true, generation, .. } => Ok(Ok(generation)),
+            Message::ReloadReply { ok: false, msg, .. } => Ok(Err(msg)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected RELOAD_REPLY, got {other:?}"),
             )),
         }
     }
@@ -136,5 +219,173 @@ impl Client {
                 format!("expected SHUTDOWN_ACK, got {other:?}"),
             )),
         }
+    }
+}
+
+/// Knobs for [`RobustClient`]'s reconnect and retry behavior.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Attempts per call, including the first (minimum 1).
+    pub max_attempts: usize,
+    /// Delay before the first reconnect; doubles per consecutive failure.
+    pub base_backoff: Duration,
+    /// Ceiling on the (pre-jitter) reconnect delay.
+    pub max_backoff: Duration,
+    /// Overall wall-clock budget per call, spanning reconnects and
+    /// retries. `None` = unbounded.
+    pub call_deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_secs(1),
+            call_deadline: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+/// A self-healing wrapper over [`Client`] (see module docs): reconnects
+/// with exponential backoff plus jitter and retries idempotent calls
+/// until the [`RetryPolicy`] says stop. Construction is lazy and cannot
+/// fail — the first call connects.
+pub struct RobustClient {
+    addr: String,
+    policy: RetryPolicy,
+    conn: Option<Client>,
+    /// Consecutive connect failures; resets on success.
+    connect_failures: u32,
+    rng: rand::rngs::StdRng,
+}
+
+impl RobustClient {
+    /// Create a client for `addr` ("host:port"). Does not connect yet.
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> RobustClient {
+        let addr = addr.into();
+        // Seed jitter from the wall clock so concurrent clients desync;
+        // nothing here needs cryptographic or reproducible randomness.
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15)
+            ^ (&addr as *const String as u64);
+        RobustClient {
+            addr,
+            policy,
+            conn: None,
+            connect_failures: 0,
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Pre-jitter backoff for the next reconnect attempt.
+    fn backoff(&mut self) -> Duration {
+        let exp = self.connect_failures.min(16);
+        let raw = self.policy.base_backoff.saturating_mul(1u32 << exp).min(self.policy.max_backoff);
+        // Full jitter in [raw/2, raw): desynchronizes a thundering herd
+        // without ever collapsing the delay to zero.
+        raw.mul_f64(self.rng.gen_range(0.5..1.0))
+    }
+
+    /// Connect if not connected, respecting `deadline`. On success the
+    /// stream's read timeout is set to the remaining budget.
+    fn ensure_conn(&mut self, deadline: Option<Instant>) -> io::Result<&mut Client> {
+        while self.conn.is_none() {
+            match Client::connect(&self.addr) {
+                Ok(c) => {
+                    self.connect_failures = 0;
+                    self.conn = Some(c);
+                }
+                Err(err) => {
+                    self.connect_failures = self.connect_failures.saturating_add(1);
+                    let pause = self.backoff();
+                    match deadline {
+                        Some(d) if Instant::now() + pause >= d => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                format!("connect to {} timed out: {err}", self.addr),
+                            ));
+                        }
+                        _ => std::thread::sleep(pause),
+                    }
+                }
+            }
+        }
+        let conn = self.conn.as_mut().expect("just connected");
+        conn.set_read_timeout(
+            deadline
+                .map(|d| d.saturating_duration_since(Instant::now()).max(Duration::from_millis(1))),
+        )?;
+        Ok(conn)
+    }
+
+    /// Run one idempotent round trip with reconnect + retry. Any transport
+    /// error drops the connection and retries on a fresh one until
+    /// attempts or the deadline run out.
+    fn with_retry<T>(&mut self, mut op: impl FnMut(&mut Client) -> io::Result<T>) -> io::Result<T> {
+        let deadline = self.policy.call_deadline.map(|d| Instant::now() + d);
+        let attempts = self.policy.max_attempts.max(1);
+        let mut last = None;
+        for _ in 0..attempts {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    break;
+                }
+            }
+            match self.ensure_conn(deadline) {
+                Ok(conn) => match op(conn) {
+                    Ok(v) => return Ok(v),
+                    Err(err) => {
+                        // The stream may hold half a frame; never reuse it.
+                        self.conn = None;
+                        last = Some(err);
+                    }
+                },
+                Err(err) => last = Some(err),
+            }
+        }
+        Err(last
+            .unwrap_or_else(|| io::Error::new(io::ErrorKind::TimedOut, "call deadline exhausted")))
+    }
+
+    /// One synchronous inference, surviving reconnects. `deadline` is both
+    /// sent to the server (per-request budget) and, combined with
+    /// [`RetryPolicy::call_deadline`], bounds the whole call locally.
+    pub fn infer(
+        &mut self,
+        shape: &[usize],
+        data: &[f32],
+        deadline: Option<Duration>,
+    ) -> io::Result<InferResult> {
+        self.with_retry(|c| {
+            let want = c.send_infer_deadline(shape, data, deadline)?;
+            match c.recv_reply()? {
+                Message::InferOk { req_id, shape, data } if req_id == want => Ok(Ok((shape, data))),
+                Message::InferErr { req_id, code, msg } if req_id == want => Ok(Err((code, msg))),
+                other => Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected reply to synchronous infer: {other:?}"),
+                )),
+            }
+        })
+    }
+
+    /// Liveness round trip, surviving reconnects.
+    pub fn ping(&mut self) -> io::Result<()> {
+        self.with_retry(|c| c.ping())
+    }
+
+    /// Fetch server counters, surviving reconnects.
+    pub fn stats(&mut self) -> io::Result<ServerStats> {
+        self.with_retry(|c| c.stats())
+    }
+
+    /// Escape hatch to the current raw connection (connecting if needed)
+    /// for non-idempotent traffic the wrapper refuses to auto-retry.
+    pub fn raw(&mut self) -> io::Result<&mut Client> {
+        let deadline = self.policy.call_deadline.map(|d| Instant::now() + d);
+        self.ensure_conn(deadline)
     }
 }

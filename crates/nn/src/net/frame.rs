@@ -21,21 +21,33 @@
 //!
 //! | opcode | message      | body |
 //! |--------|--------------|------|
-//! | `0x01` | INFER        | `req_id: u64`, `rank: u8`, `rank × dim: u32`, `prod(dims) × f32` |
+//! | `0x01` | INFER        | `req_id: u64`, `deadline_us: u32`, `rank: u8`, `rank × dim: u32`, `prod(dims) × f32` |
 //! | `0x02` | PING         | empty |
 //! | `0x03` | STATS        | empty |
 //! | `0x04` | SHUTDOWN     | empty |
+//! | `0x05` | RELOAD       | `path_len: u16`, `path_len` UTF-8 bytes |
 //! | `0x81` | INFER_OK     | `req_id: u64`, `rank: u8`, `rank × dim: u32`, `prod(dims) × f32` |
 //! | `0x82` | INFER_ERR    | `req_id: u64`, `code: u8`, `msg_len: u16`, `msg_len` UTF-8 bytes |
 //! | `0x83` | PONG         | empty |
-//! | `0x84` | STATS_REPLY  | `batches: u64`, `items: u64`, `flush_deadline_ns: u64` |
+//! | `0x84` | STATS_REPLY  | `batches: u64`, `items: u64`, `flush_deadline_ns: u64`, `worker_restarts: u64`, `deadline_expired: u64`, `generation: u64` |
 //! | `0x85` | SHUTDOWN_ACK | empty |
+//! | `0x86` | RELOAD_REPLY | `ok: u8`, `generation: u64`, `msg_len: u16`, `msg_len` UTF-8 bytes |
 //!
 //! An INFER's dims describe **one sample** (no batch axis — the server owns
 //! batching); `req_id` is an opaque caller token echoed in the matching
 //! reply, letting clients pipeline requests and match replies out of order.
 //! A reply is exactly one of INFER_OK / INFER_ERR per INFER, in completion
-//! order, not submission order.
+//! order, not submission order. `deadline_us` is the request's time budget
+//! in microseconds measured from server admission, `0` meaning "use the
+//! server's default"; a request the server cannot execute inside its budget
+//! is shed with [`ErrCode::DeadlineExceeded`] instead of running late.
+//!
+//! RELOAD asks the server to hot-swap its plan snapshot: an empty `path`
+//! means "re-map the snapshot the server was started from", a non-empty
+//! path names the replacement `.daplan`. The reply carries `ok` (1 = the
+//! swap happened), the now-current plan generation, and a diagnostic
+//! message on failure — a rejected reload (corrupt or unreadable
+//! replacement) leaves the previous plans serving.
 //!
 //! # Hostile-input posture
 //!
@@ -99,6 +111,9 @@ pub enum ErrCode {
     /// The client violated the wire protocol; the connection closes after
     /// this reply.
     Protocol = 4,
+    /// The request's deadline passed before it could execute; it was shed
+    /// without running (retrying with a larger budget may succeed).
+    DeadlineExceeded = 5,
 }
 
 impl ErrCode {
@@ -108,6 +123,7 @@ impl ErrCode {
             2 => Some(ErrCode::ShuttingDown),
             3 => Some(ErrCode::Execution),
             4 => Some(ErrCode::Protocol),
+            5 => Some(ErrCode::DeadlineExceeded),
             _ => None,
         }
     }
@@ -116,14 +132,18 @@ impl ErrCode {
 /// A decoded protocol message (request or reply).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
-    /// Run one sample through the model.
-    Infer { req_id: u64, shape: Vec<usize>, data: Vec<f32> },
+    /// Run one sample through the model. `deadline_us` is the request's
+    /// time budget in microseconds from admission (`0` = server default).
+    Infer { req_id: u64, deadline_us: u32, shape: Vec<usize>, data: Vec<f32> },
     /// Liveness probe.
     Ping,
     /// Ask for serving statistics.
     Stats,
     /// Ask the server to drain in-flight work and exit.
     Shutdown,
+    /// Hot-swap the served plan snapshot (empty `path` = the snapshot the
+    /// server was started from).
+    Reload { path: String },
     /// Logits for the matching `Infer`.
     InferOk { req_id: u64, shape: Vec<usize>, data: Vec<f32> },
     /// The matching `Infer` failed; `req_id` 0 marks connection-level
@@ -132,23 +152,46 @@ pub enum Message {
     /// Reply to `Ping`.
     Pong,
     /// Reply to `Stats`.
-    StatsReply { batches: u64, items: u64, flush_deadline_ns: u64 },
+    StatsReply {
+        batches: u64,
+        items: u64,
+        flush_deadline_ns: u64,
+        worker_restarts: u64,
+        deadline_expired: u64,
+        generation: u64,
+    },
     /// Reply to `Shutdown`: drain has begun.
     ShutdownAck,
+    /// Reply to `Reload`: whether the swap happened, the now-current plan
+    /// generation, and a diagnostic message when it did not.
+    ReloadReply { ok: bool, generation: u64, msg: String },
 }
 
 const OP_INFER: u8 = 0x01;
 const OP_PING: u8 = 0x02;
 const OP_STATS: u8 = 0x03;
 const OP_SHUTDOWN: u8 = 0x04;
+const OP_RELOAD: u8 = 0x05;
 const OP_INFER_OK: u8 = 0x81;
 const OP_INFER_ERR: u8 = 0x82;
 const OP_PONG: u8 = 0x83;
 const OP_STATS_REPLY: u8 = 0x84;
 const OP_SHUTDOWN_ACK: u8 = 0x85;
+const OP_RELOAD_REPLY: u8 = 0x86;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    out.extend_from_slice(&(len as u16).to_le_bytes());
+    out.extend_from_slice(&bytes[..len]);
+}
 
 fn put_tensor(out: &mut Vec<u8>, req_id: u64, shape: &[usize], data: &[f32]) {
     out.extend_from_slice(&req_id.to_le_bytes());
+    put_tensor_body(out, shape, data);
+}
+
+fn put_tensor_body(out: &mut Vec<u8>, shape: &[usize], data: &[f32]) {
     assert!(shape.len() <= MAX_RANK, "tensor rank {} exceeds wire limit", shape.len());
     out.push(shape.len() as u8);
     for &d in shape {
@@ -165,9 +208,11 @@ fn put_tensor(out: &mut Vec<u8>, req_id: u64, shape: &[usize], data: &[f32]) {
 pub fn encode(msg: &Message) -> Vec<u8> {
     let mut payload = Vec::new();
     match msg {
-        Message::Infer { req_id, shape, data } => {
+        Message::Infer { req_id, deadline_us, shape, data } => {
             payload.push(OP_INFER);
-            put_tensor(&mut payload, *req_id, shape, data);
+            payload.extend_from_slice(&req_id.to_le_bytes());
+            payload.extend_from_slice(&deadline_us.to_le_bytes());
+            put_tensor_body(&mut payload, shape, data);
         }
         Message::InferOk { req_id, shape, data } => {
             payload.push(OP_INFER_OK);
@@ -177,22 +222,39 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             payload.push(OP_INFER_ERR);
             payload.extend_from_slice(&req_id.to_le_bytes());
             payload.push(*code as u8);
-            let bytes = msg.as_bytes();
-            let len = bytes.len().min(u16::MAX as usize);
-            payload.extend_from_slice(&(len as u16).to_le_bytes());
-            payload.extend_from_slice(&bytes[..len]);
+            put_str(&mut payload, msg);
         }
         Message::Ping => payload.push(OP_PING),
         Message::Pong => payload.push(OP_PONG),
         Message::Stats => payload.push(OP_STATS),
-        Message::StatsReply { batches, items, flush_deadline_ns } => {
+        Message::StatsReply {
+            batches,
+            items,
+            flush_deadline_ns,
+            worker_restarts,
+            deadline_expired,
+            generation,
+        } => {
             payload.push(OP_STATS_REPLY);
             payload.extend_from_slice(&batches.to_le_bytes());
             payload.extend_from_slice(&items.to_le_bytes());
             payload.extend_from_slice(&flush_deadline_ns.to_le_bytes());
+            payload.extend_from_slice(&worker_restarts.to_le_bytes());
+            payload.extend_from_slice(&deadline_expired.to_le_bytes());
+            payload.extend_from_slice(&generation.to_le_bytes());
         }
         Message::Shutdown => payload.push(OP_SHUTDOWN),
         Message::ShutdownAck => payload.push(OP_SHUTDOWN_ACK),
+        Message::Reload { path } => {
+            payload.push(OP_RELOAD);
+            put_str(&mut payload, path);
+        }
+        Message::ReloadReply { ok, generation, msg } => {
+            payload.push(OP_RELOAD_REPLY);
+            payload.push(u8::from(*ok));
+            payload.extend_from_slice(&generation.to_le_bytes());
+            put_str(&mut payload, msg);
+        }
     }
     // A silent `as u32` here would mis-frame the stream for any payload of
     // 4 GiB or more; failing loudly is the only safe option on a protocol
@@ -237,6 +299,15 @@ impl<'a> Cursor<'a> {
 
     fn u64(&mut self) -> Result<u64, FrameError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Length-prefixed UTF-8 string (`len: u16`, `len` bytes).
+    fn string(&mut self) -> Result<String, FrameError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        Ok(std::str::from_utf8(bytes)
+            .map_err(|_| FrameError::Malformed("string is not UTF-8"))?
+            .to_string())
     }
 
     fn finish(&self) -> Result<(), FrameError> {
@@ -286,8 +357,9 @@ pub fn decode(payload: &[u8]) -> Result<Message, FrameError> {
     let msg = match payload[0] {
         OP_INFER => {
             let req_id = c.u64()?;
+            let deadline_us = c.u32()?;
             let (shape, data) = c.tensor()?;
-            Message::Infer { req_id, shape, data }
+            Message::Infer { req_id, deadline_us, shape, data }
         }
         OP_INFER_OK => {
             let req_id = c.u64()?;
@@ -298,21 +370,33 @@ pub fn decode(payload: &[u8]) -> Result<Message, FrameError> {
             let req_id = c.u64()?;
             let code =
                 ErrCode::from_u8(c.u8()?).ok_or(FrameError::Malformed("unknown error code"))?;
-            let len = c.u16()? as usize;
-            let bytes = c.take(len)?;
-            let msg = std::str::from_utf8(bytes)
-                .map_err(|_| FrameError::Malformed("error message is not UTF-8"))?
-                .to_string();
+            let msg = c.string()?;
             Message::InferErr { req_id, code, msg }
         }
         OP_PING => Message::Ping,
         OP_PONG => Message::Pong,
         OP_STATS => Message::Stats,
-        OP_STATS_REPLY => {
-            Message::StatsReply { batches: c.u64()?, items: c.u64()?, flush_deadline_ns: c.u64()? }
-        }
+        OP_STATS_REPLY => Message::StatsReply {
+            batches: c.u64()?,
+            items: c.u64()?,
+            flush_deadline_ns: c.u64()?,
+            worker_restarts: c.u64()?,
+            deadline_expired: c.u64()?,
+            generation: c.u64()?,
+        },
         OP_SHUTDOWN => Message::Shutdown,
         OP_SHUTDOWN_ACK => Message::ShutdownAck,
+        OP_RELOAD => Message::Reload { path: c.string()? },
+        OP_RELOAD_REPLY => {
+            let ok = match c.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(FrameError::Malformed("reload ok flag out of range")),
+            };
+            let generation = c.u64()?;
+            let msg = c.string()?;
+            Message::ReloadReply { ok, generation, msg }
+        }
         op => return Err(FrameError::UnknownOpcode(op)),
     };
     c.finish()?;
@@ -403,8 +487,15 @@ mod tests {
     fn every_message_round_trips() {
         round_trip(Message::Infer {
             req_id: 7,
+            deadline_us: 0,
             shape: vec![1, 8, 8],
             data: (0..64).map(|i| i as f32 * 0.5).collect(),
+        });
+        round_trip(Message::Infer {
+            req_id: 8,
+            deadline_us: u32::MAX,
+            shape: vec![2],
+            data: vec![1.0, 2.0],
         });
         round_trip(Message::InferOk { req_id: u64::MAX, shape: vec![10], data: vec![0.0; 10] });
         round_trip(Message::InferErr {
@@ -412,18 +503,60 @@ mod tests {
             code: ErrCode::Execution,
             msg: "shape mismatch".into(),
         });
+        round_trip(Message::InferErr {
+            req_id: 4,
+            code: ErrCode::DeadlineExceeded,
+            msg: "deadline exceeded".into(),
+        });
         round_trip(Message::Ping);
         round_trip(Message::Pong);
         round_trip(Message::Stats);
-        round_trip(Message::StatsReply { batches: 1, items: 9, flush_deadline_ns: 250_000 });
+        round_trip(Message::StatsReply {
+            batches: 1,
+            items: 9,
+            flush_deadline_ns: 250_000,
+            worker_restarts: 2,
+            deadline_expired: 3,
+            generation: 4,
+        });
         round_trip(Message::Shutdown);
         round_trip(Message::ShutdownAck);
+        round_trip(Message::Reload { path: String::new() });
+        round_trip(Message::Reload { path: "/tmp/replacement.daplan".into() });
+        round_trip(Message::ReloadReply { ok: true, generation: 5, msg: String::new() });
+        round_trip(Message::ReloadReply {
+            ok: false,
+            generation: 2,
+            msg: "checksum mismatch".into(),
+        });
     }
 
     #[test]
     fn scalar_tensor_round_trips() {
         // Rank 0: product of no dims is 1 element.
-        round_trip(Message::Infer { req_id: 1, shape: vec![], data: vec![4.25] });
+        round_trip(Message::Infer { req_id: 1, deadline_us: 0, shape: vec![], data: vec![4.25] });
+    }
+
+    #[test]
+    fn hostile_reload_frames_are_rejected() {
+        // ok flag out of range.
+        let mut p = vec![OP_RELOAD_REPLY];
+        p.push(2);
+        p.extend_from_slice(&0_u64.to_le_bytes());
+        p.extend_from_slice(&0_u16.to_le_bytes());
+        assert!(matches!(decode(&p), Err(FrameError::Malformed(_))));
+
+        // Path length prefix longer than the payload.
+        let mut p = vec![OP_RELOAD];
+        p.extend_from_slice(&64_u16.to_le_bytes());
+        p.push(b'x');
+        assert!(matches!(decode(&p), Err(FrameError::Malformed(_))));
+
+        // Non-UTF-8 path.
+        let mut p = vec![OP_RELOAD];
+        p.extend_from_slice(&2_u16.to_le_bytes());
+        p.extend_from_slice(&[0xff, 0xfe]);
+        assert!(matches!(decode(&p), Err(FrameError::Malformed(_))));
     }
 
     #[test]
@@ -442,7 +575,12 @@ mod tests {
 
     #[test]
     fn decoder_handles_byte_at_a_time_delivery() {
-        let msg = Message::Infer { req_id: 42, shape: vec![2, 3], data: vec![1.0; 6] };
+        let msg = Message::Infer {
+            req_id: 42,
+            deadline_us: 1_000,
+            shape: vec![2, 3],
+            data: vec![1.0; 6],
+        };
         let frame = encode(&msg);
         let mut dec = FrameDecoder::new();
         for (i, b) in frame.iter().enumerate() {
@@ -498,6 +636,7 @@ mod tests {
         // Claimed rank exceeds the limit.
         let mut p = vec![OP_INFER];
         p.extend_from_slice(&1_u64.to_le_bytes());
+        p.extend_from_slice(&0_u32.to_le_bytes()); // deadline_us
         p.push(9);
         assert!(matches!(decode(&p), Err(FrameError::Malformed(_))));
 
@@ -505,6 +644,7 @@ mod tests {
         // rejects before any data vector exists.
         let mut p = vec![OP_INFER];
         p.extend_from_slice(&1_u64.to_le_bytes());
+        p.extend_from_slice(&0_u32.to_le_bytes()); // deadline_us
         p.push(2);
         p.extend_from_slice(&u32::MAX.to_le_bytes());
         p.extend_from_slice(&u32::MAX.to_le_bytes());
@@ -513,6 +653,7 @@ mod tests {
         // Truncated: rank says 2 dims but only one is present.
         let mut p = vec![OP_INFER];
         p.extend_from_slice(&1_u64.to_le_bytes());
+        p.extend_from_slice(&0_u32.to_le_bytes()); // deadline_us
         p.push(2);
         p.extend_from_slice(&4_u32.to_le_bytes());
         assert!(matches!(decode(&p), Err(FrameError::Malformed(_))));
@@ -534,6 +675,7 @@ mod tests {
         // Data length disagrees with dims.
         let mut p = vec![OP_INFER];
         p.extend_from_slice(&1_u64.to_le_bytes());
+        p.extend_from_slice(&0_u32.to_le_bytes()); // deadline_us
         p.push(1);
         p.extend_from_slice(&2_u32.to_le_bytes());
         p.extend_from_slice(&1.0_f32.to_le_bytes()); // dims say 2 floats

@@ -33,6 +33,25 @@
 //! The binary that ties this to a `.daplan` snapshot on disk is
 //! `src/bin/da-serve.rs` at the workspace root.
 //!
+//! # Self-healing operations
+//!
+//! The wire protocol carries the runtime's robustness features end to end
+//! (see `SERVING.md` at the workspace root for the ops view):
+//!
+//! * **Per-request deadlines** — `INFER` frames carry a microsecond budget
+//!   (`0` defers to the server's [`crate::serve::ServeConfig`] default);
+//!   requests that expire before execution come back as
+//!   [`ErrCode::DeadlineExceeded`] instead of queueing forever.
+//! * **Hot snapshot reload** — a `RELOAD` frame (or `SIGHUP` to
+//!   `da-serve`, via [`NetHandle::reload`]) re-maps a `.daplan` snapshot
+//!   and atomically swaps it in without dropping a connection. The
+//!   replacement is fully validated first: a corrupt file is rejected in
+//!   the `RELOAD_REPLY` while the old plan keeps serving.
+//! * **Worker supervision** — a worker panic mid-batch fails only that
+//!   batch's requests (typed error replies, never a hang); the `STATS`
+//!   reply exposes the restart count, the deadline-shed count, and the
+//!   plan-pool generation.
+//!
 //! # Why not an async runtime?
 //!
 //! The serving path's latency budget is dominated by the batch flush
@@ -54,6 +73,6 @@ pub mod server;
 pub use frame::{ErrCode, FrameDecoder, FrameError, Message, DEFAULT_MAX_FRAME, MAX_RANK};
 
 #[cfg(unix)]
-pub use client::Client;
+pub use client::{Client, RetryPolicy, RobustClient, ServerStats};
 #[cfg(unix)]
 pub use server::{NetConfig, NetHandle, NetServer, NetStats};

@@ -54,8 +54,9 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::AsRawFd;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use da_tensor::Tensor;
@@ -82,6 +83,25 @@ pub struct NetConfig {
     /// Hard cap on the graceful-drain phase; connections still unflushed
     /// after this are dropped. Default 5 s.
     pub drain_timeout: Duration,
+    /// Most connections open at once. At the cap, new connections get one
+    /// best-effort `INFER_ERR { code: Overloaded }` reply and are closed —
+    /// a clean refusal instead of an unbounded fd march toward EMFILE.
+    /// Default 1024.
+    pub max_conns: usize,
+    /// How long to stop accepting after a *persistent* `accept(2)` error
+    /// (EMFILE/ENFILE and kin). Under level-triggered readiness the
+    /// listener would otherwise re-fire immediately and spin the reactor at
+    /// 100% CPU; backing off gives the condition (usually fd exhaustion)
+    /// time to clear. Default 50 ms.
+    pub accept_backoff: Duration,
+    /// Snapshot an empty-path RELOAD frame (or [`NetHandle::reload`], the
+    /// SIGHUP path) re-maps. `None` rejects such reloads; RELOAD frames
+    /// naming an explicit path work either way.
+    pub reload_path: Option<PathBuf>,
+    /// Use the portable `poll(2)` poller backend instead of the platform
+    /// default (epoll on Linux). The fallback path serves real traffic on
+    /// non-Linux Unixes, so tests exercise it explicitly via this knob.
+    pub use_poll_backend: bool,
 }
 
 impl Default for NetConfig {
@@ -92,6 +112,10 @@ impl Default for NetConfig {
             write_pause: 1 << 20,
             idle_timeout: None,
             drain_timeout: Duration::from_secs(5),
+            max_conns: 1024,
+            accept_backoff: Duration::from_millis(50),
+            reload_path: None,
+            use_poll_backend: false,
         }
     }
 }
@@ -120,12 +144,22 @@ pub struct NetStats {
     pub protocol_errors: u64,
     /// Connections closed by the idle sweep.
     pub idle_closed: u64,
+    /// Persistent `accept(2)` errors that triggered the accept backoff.
+    pub accept_errors: u64,
+    /// Connections refused at the [`NetConfig::max_conns`] cap.
+    pub conns_refused: u64,
+    /// Plan reloads that swapped the pool (RELOAD frame or SIGHUP).
+    pub reloads_ok: u64,
+    /// Plan reloads rejected with the old plans left serving.
+    pub reloads_rejected: u64,
 }
 
-/// Thread-safe trigger for a graceful drain (see module docs).
+/// Thread-safe trigger for a graceful drain or a plan reload (see module
+/// docs).
 #[derive(Clone)]
 pub struct NetHandle {
     stop: Arc<AtomicBool>,
+    reload: Arc<AtomicBool>,
     poller: Arc<Poller>,
 }
 
@@ -133,6 +167,18 @@ impl NetHandle {
     /// Begin the graceful drain from any thread. Idempotent.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
+        let _ = self.poller.notify();
+    }
+
+    /// Ask the reactor to hot-reload [`NetConfig::reload_path`], as if an
+    /// empty-path RELOAD frame had arrived. Both operations here — an
+    /// atomic store and a write to the poller's self-pipe — are
+    /// async-signal-safe, so `da-serve` calls this straight from its SIGHUP
+    /// handler. A rejected reload (corrupt replacement, no configured path)
+    /// leaves the current plans serving; outcomes are visible in
+    /// [`NetStats`] and the STATS generation.
+    pub fn reload(&self) {
+        self.reload.store(true, Ordering::SeqCst);
         let _ = self.poller.notify();
     }
 }
@@ -161,8 +207,9 @@ struct Conn {
     /// Requests submitted to the batch server, reply still pending.
     inflight: usize,
     /// Requests decoded but not yet admitted (in-flight cap or full batch
-    /// queue); retried after every completion drain.
-    parked: VecDeque<(u64, Tensor)>,
+    /// queue); retried after every completion drain. Each carries its
+    /// deadline so time queued here still counts against the budget.
+    parked: VecDeque<(u64, Tensor, Option<Instant>)>,
     last_rx: Instant,
     state: ConnState,
     /// Interest currently registered with the poller, to skip redundant
@@ -187,6 +234,7 @@ pub struct NetServer {
     poller: Arc<Poller>,
     completions: Arc<Mutex<Vec<Completion>>>,
     stop: Arc<AtomicBool>,
+    reload: Arc<AtomicBool>,
 }
 
 impl NetServer {
@@ -202,7 +250,11 @@ impl NetServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let poller = Arc::new(Poller::new()?);
+        let poller = if config.use_poll_backend {
+            Arc::new(Poller::with_poll_backend()?)
+        } else {
+            Arc::new(Poller::new()?)
+        };
         poller.add(listener.as_raw_fd(), Event::readable(LISTENER_KEY))?;
         Ok(NetServer {
             listener,
@@ -212,6 +264,7 @@ impl NetServer {
             poller,
             completions: Arc::new(Mutex::new(Vec::new())),
             stop: Arc::new(AtomicBool::new(false)),
+            reload: Arc::new(AtomicBool::new(false)),
         })
     }
 
@@ -220,9 +273,14 @@ impl NetServer {
         self.addr
     }
 
-    /// A trigger that starts the graceful drain from another thread.
+    /// A trigger that starts the graceful drain (or a plan reload) from
+    /// another thread or a signal handler.
     pub fn handle(&self) -> NetHandle {
-        NetHandle { stop: self.stop.clone(), poller: self.poller.clone() }
+        NetHandle {
+            stop: self.stop.clone(),
+            reload: self.reload.clone(),
+            poller: self.poller.clone(),
+        }
     }
 
     /// Run the reactor on a dedicated thread; returns the bound address,
@@ -250,10 +308,14 @@ struct Reactor {
     poller: Arc<Poller>,
     completions: Arc<Mutex<Vec<Completion>>>,
     stop: Arc<AtomicBool>,
+    reload: Arc<AtomicBool>,
     conns: HashMap<usize, Conn>,
     next_key: usize,
     draining: bool,
     drain_deadline: Option<Instant>,
+    /// While set, the listener is deregistered and accepting is paused
+    /// until this instant (persistent accept-error backoff).
+    accept_resume_at: Option<Instant>,
     stats: NetStats,
 }
 
@@ -266,10 +328,12 @@ impl Reactor {
             poller: front.poller,
             completions: front.completions,
             stop: front.stop,
+            reload: front.reload,
             conns: HashMap::new(),
             next_key: LISTENER_KEY + 1,
             draining: false,
             drain_deadline: None,
+            accept_resume_at: None,
             stats: NetStats::default(),
         })
     }
@@ -283,6 +347,14 @@ impl Reactor {
             if self.stop.load(Ordering::SeqCst) && !self.draining {
                 self.begin_drain();
             }
+            if self.reload.swap(false, Ordering::SeqCst) {
+                // The SIGHUP path: reload the configured snapshot on the
+                // reactor thread (mmap + validate is a few ms — cheap
+                // enough not to need a helper thread). Outcome lands in
+                // the stats counters and the plan generation.
+                self.do_reload(None);
+            }
+            self.resume_accept_if_due();
             self.drain_completions();
             self.pump_parked();
 
@@ -326,6 +398,9 @@ impl Reactor {
         if let Some(deadline) = self.drain_deadline {
             consider(deadline.saturating_duration_since(now).max(Duration::from_millis(1)));
         }
+        if let Some(resume) = self.accept_resume_at {
+            consider(resume.saturating_duration_since(now).max(Duration::from_millis(1)));
+        }
         if let Some(idle) = self.config.idle_timeout {
             if let Some(earliest) = self
                 .conns
@@ -349,7 +424,10 @@ impl Reactor {
     fn begin_drain(&mut self) {
         self.draining = true;
         self.drain_deadline = Some(Instant::now() + self.config.drain_timeout);
-        let _ = self.poller.delete(self.listener.as_raw_fd());
+        if self.accept_resume_at.take().is_none() {
+            // Only registered while not in accept backoff.
+            let _ = self.poller.delete(self.listener.as_raw_fd());
+        }
         // Stop reading everywhere; parked requests are answered with
         // ShuttingDown by the next pump.
         let keys: Vec<usize> = self.conns.keys().copied().collect();
@@ -364,12 +442,24 @@ impl Reactor {
     }
 
     fn accept_ready(&mut self) {
-        if self.draining {
+        if self.draining || self.accept_resume_at.is_some() {
             return;
         }
         loop {
+            // Chaos-test injection site (no-op unless the `failpoints`
+            // feature is on): models a persistent accept(2) error storm
+            // (EMFILE and kin).
+            if let Some(_msg) = da_failpoints::check("net/accept") {
+                self.stats.accept_errors += 1;
+                self.pause_accept();
+                return;
+            }
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
+                    if self.conns.len() >= self.config.max_conns {
+                        self.refuse(stream);
+                        continue;
+                    }
                     if stream.set_nonblocking(true).is_err() {
                         continue;
                     }
@@ -397,15 +487,64 @@ impl Reactor {
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => break, // transient accept failures: retry on next readiness
+                Err(_) => {
+                    // Persistent failure (EMFILE/ENFILE, aborted handshake
+                    // storms …). Under level-triggered readiness a bare
+                    // `break` would re-fire this handler immediately and
+                    // spin the reactor at 100% CPU; deregister the listener
+                    // and come back after a backoff instead. Pending
+                    // connections are not lost — they wait in the kernel's
+                    // accept queue.
+                    self.stats.accept_errors += 1;
+                    self.pause_accept();
+                    return;
+                }
             }
+        }
+    }
+
+    /// Deregister the listener and schedule re-registration after
+    /// [`NetConfig::accept_backoff`].
+    fn pause_accept(&mut self) {
+        let _ = self.poller.delete(self.listener.as_raw_fd());
+        self.accept_resume_at = Some(Instant::now() + self.config.accept_backoff);
+    }
+
+    /// Re-register the listener once the accept backoff has elapsed.
+    fn resume_accept_if_due(&mut self) {
+        let Some(resume) = self.accept_resume_at else { return };
+        if Instant::now() < resume {
+            return;
+        }
+        self.accept_resume_at = None;
+        if !self.draining {
+            let _ = self.poller.add(self.listener.as_raw_fd(), Event::readable(LISTENER_KEY));
+        }
+    }
+
+    /// Refuse a connection at the `max_conns` cap: one best-effort
+    /// `Overloaded` reply, then drop (closing the fd). The write is
+    /// non-blocking and small enough for a fresh socket's send buffer, so
+    /// the reactor never stalls on a refused peer.
+    fn refuse(&mut self, stream: TcpStream) {
+        self.stats.conns_refused += 1;
+        if stream.set_nonblocking(true).is_ok() {
+            let frame = frame::encode(&Message::InferErr {
+                req_id: 0,
+                code: ErrCode::Overloaded,
+                msg: "connection limit reached".to_string(),
+            });
+            let _ = (&stream).write(&frame);
         }
     }
 
     /// Move completed replies from the worker-side list into write buffers.
     fn drain_completions(&mut self) {
         let completed: Vec<Completion> = {
-            let mut lock = self.completions.lock().expect("completion list");
+            // Poison recovery: a worker that panicked inside the reply
+            // callback must not wedge the reactor — the list is only ever
+            // pushed to or swapped out whole.
+            let mut lock = self.completions.lock().unwrap_or_else(PoisonError::into_inner);
             std::mem::take(&mut *lock)
         };
         for (key, req_id, result) in completed {
@@ -421,15 +560,7 @@ impl Reactor {
                 }
                 Err(err) => {
                     self.stats.replies_err += 1;
-                    Message::InferErr {
-                        req_id,
-                        code: match err {
-                            ServeError::QueueFull => ErrCode::Overloaded,
-                            ServeError::ShuttingDown => ErrCode::ShuttingDown,
-                            ServeError::Execution(_) => ErrCode::Execution,
-                        },
-                        msg: err.to_string(),
-                    }
+                    Message::InferErr { req_id, code: err_code(&err), msg: err.to_string() }
                 }
             };
             if let Some(conn) = self.conns.get_mut(&key) {
@@ -447,7 +578,8 @@ impl Reactor {
                 if conn.parked.is_empty() || conn.inflight >= self.config.max_inflight {
                     break;
                 }
-                let (req_id, tensor) = conn.parked.pop_front().expect("checked non-empty");
+                let (req_id, tensor, deadline) =
+                    conn.parked.pop_front().expect("checked non-empty");
                 if self.draining {
                     self.stats.replies_err += 1;
                     self.send(
@@ -460,21 +592,24 @@ impl Reactor {
                     );
                     continue;
                 }
-                match self.submit(key, req_id, &tensor) {
+                match self.submit(key, req_id, &tensor, deadline) {
                     Ok(()) => {}
                     Err(ServeError::QueueFull) => {
                         // Still no room: back off until the next completion.
                         let conn = self.conns.get_mut(&key).expect("conn exists");
-                        conn.parked.push_front((req_id, tensor));
+                        conn.parked.push_front((req_id, tensor, deadline));
                         break;
                     }
                     Err(err) => {
-                        let code = match err {
-                            ServeError::ShuttingDown => ErrCode::ShuttingDown,
-                            _ => ErrCode::Execution,
-                        };
                         self.stats.replies_err += 1;
-                        self.send(key, &Message::InferErr { req_id, code, msg: err.to_string() });
+                        self.send(
+                            key,
+                            &Message::InferErr {
+                                req_id,
+                                code: err_code(&err),
+                                msg: err.to_string(),
+                            },
+                        );
                     }
                 }
             }
@@ -484,15 +619,24 @@ impl Reactor {
 
     /// Hand one request to the batch server; the reply callback routes the
     /// completion back through the poller wakeup.
-    fn submit(&mut self, key: usize, req_id: u64, tensor: &Tensor) -> Result<(), ServeError> {
+    fn submit(
+        &mut self,
+        key: usize,
+        req_id: u64,
+        tensor: &Tensor,
+        deadline: Option<Instant>,
+    ) -> Result<(), ServeError> {
         let completions = self.completions.clone();
         let poller = self.poller.clone();
-        self.server.try_submit_with(
+        self.server.try_submit_with_deadline(
             tensor,
+            deadline,
             Box::new(move |result| {
-                if let Ok(mut lock) = completions.lock() {
-                    lock.push((key, req_id, result));
-                }
+                // Poison recovery: losing a completion would strand the
+                // client's req_id forever.
+                let mut lock = completions.lock().unwrap_or_else(PoisonError::into_inner);
+                lock.push((key, req_id, result));
+                drop(lock);
                 let _ = poller.notify();
             }),
         )?;
@@ -500,6 +644,36 @@ impl Reactor {
             conn.inflight += 1;
         }
         Ok(())
+    }
+
+    /// Perform a plan reload (RELOAD frame with a path, or `None` for the
+    /// configured [`NetConfig::reload_path`] — the empty-path / SIGHUP
+    /// form). Returns the reply fields.
+    fn do_reload(&mut self, path: Option<&std::path::Path>) -> (bool, u64, String) {
+        let path = match path {
+            Some(p) => p,
+            None => match self.config.reload_path.as_deref() {
+                Some(p) => p,
+                None => {
+                    self.stats.reloads_rejected += 1;
+                    return (
+                        false,
+                        self.server.generation(),
+                        "no reload path configured".to_string(),
+                    );
+                }
+            },
+        };
+        match self.server.reload_from_snapshot(path) {
+            Ok(generation) => {
+                self.stats.reloads_ok += 1;
+                (true, generation, String::new())
+            }
+            Err(err) => {
+                self.stats.reloads_rejected += 1;
+                (false, self.server.generation(), err.to_string())
+            }
+        }
     }
 
     /// Handle readiness on one connection.
@@ -610,6 +784,9 @@ impl Reactor {
                         batches: stats.batches,
                         items: stats.items,
                         flush_deadline_ns: stats.flush_deadline_ns,
+                        worker_restarts: stats.worker_restarts,
+                        deadline_expired: stats.deadline_expired,
+                        generation: stats.generation,
                     },
                 );
                 true
@@ -619,7 +796,14 @@ impl Reactor {
                 self.begin_drain();
                 false
             }
-            Message::Infer { req_id, shape, data } => {
+            Message::Reload { path } => {
+                let explicit =
+                    if path.is_empty() { None } else { Some(std::path::PathBuf::from(path)) };
+                let (ok, generation, msg) = self.do_reload(explicit.as_deref());
+                self.send(key, &Message::ReloadReply { ok, generation, msg });
+                true
+            }
+            Message::Infer { req_id, deadline_us, shape, data } => {
                 if self.draining {
                     self.stats.replies_err += 1;
                     self.send(
@@ -632,28 +816,38 @@ impl Reactor {
                     );
                     return true;
                 }
+                // Start the budget at admission; `0` defers to the batch
+                // server's configured default.
+                let deadline = if deadline_us == 0 {
+                    None
+                } else {
+                    Instant::now().checked_add(Duration::from_micros(u64::from(deadline_us)))
+                };
                 // decode() proved data.len() == prod(shape), which is all
                 // from_vec asserts.
                 let tensor = Tensor::from_vec(data, &shape);
                 let conn = self.conns.get_mut(&key).expect("conn exists");
                 if conn.inflight >= self.config.max_inflight {
-                    conn.parked.push_back((req_id, tensor));
+                    conn.parked.push_back((req_id, tensor, deadline));
                     return false; // paused until replies drain
                 }
-                match self.submit(key, req_id, &tensor) {
+                match self.submit(key, req_id, &tensor, deadline) {
                     Ok(()) => true,
                     Err(ServeError::QueueFull) => {
                         let conn = self.conns.get_mut(&key).expect("conn exists");
-                        conn.parked.push_back((req_id, tensor));
+                        conn.parked.push_back((req_id, tensor, deadline));
                         false // paused until the batch queue has room
                     }
                     Err(err) => {
-                        let code = match err {
-                            ServeError::ShuttingDown => ErrCode::ShuttingDown,
-                            _ => ErrCode::Execution,
-                        };
                         self.stats.replies_err += 1;
-                        self.send(key, &Message::InferErr { req_id, code, msg: err.to_string() });
+                        self.send(
+                            key,
+                            &Message::InferErr {
+                                req_id,
+                                code: err_code(&err),
+                                msg: err.to_string(),
+                            },
+                        );
                         true
                     }
                 }
@@ -663,7 +857,8 @@ impl Reactor {
             | Message::InferErr { .. }
             | Message::Pong
             | Message::StatsReply { .. }
-            | Message::ShutdownAck => {
+            | Message::ShutdownAck
+            | Message::ReloadReply { .. } => {
                 self.protocol_error(key, "reply opcode sent by client");
                 false
             }
@@ -764,6 +959,18 @@ impl Reactor {
     }
 }
 
+/// Map a batch-server error onto its wire error code. `WorkerDied` has no
+/// dedicated code: from the caller's view it is an execution failure (the
+/// request may be retried — the replacement worker is already up).
+fn err_code(err: &ServeError) -> ErrCode {
+    match err {
+        ServeError::QueueFull => ErrCode::Overloaded,
+        ServeError::ShuttingDown => ErrCode::ShuttingDown,
+        ServeError::DeadlineExceeded => ErrCode::DeadlineExceeded,
+        ServeError::Execution(_) | ServeError::WorkerDied => ErrCode::Execution,
+    }
+}
+
 /// Is this connection eligible for the idle sweep? Nothing in flight,
 /// nothing parked, nothing mid-flush, and silent past the timeout. The
 /// mid-flush exclusion means a reply the kernel has not yet accepted is
@@ -859,7 +1066,7 @@ mod tests {
         conn.inflight = 1;
         assert!(!idle_sweepable(&conn, stale, idle));
         conn.inflight = 0;
-        conn.parked.push_back((1, Tensor::zeros(&[1])));
+        conn.parked.push_back((1, Tensor::zeros(&[1]), None));
         assert!(!idle_sweepable(&conn, stale, idle));
     }
 }

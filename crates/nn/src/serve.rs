@@ -37,6 +37,23 @@
 //! * **Failure containment.** A request that cannot execute (e.g. a shape
 //!   the plan rejects) fails *its batch* with [`ServeError::Execution`];
 //!   the worker survives and keeps serving subsequent requests.
+//! * **Self-healing.** A panic that escapes the per-batch guard does not
+//!   take the server down: the dying worker's in-flight requests fail with
+//!   [`ServeError::WorkerDied`] (typed, never a hang), the supervisor
+//!   respawns the worker ([`ServeStats::worker_restarts`] counts it), and
+//!   every queue-lock site recovers from mutex poisoning instead of
+//!   cascading panics into submitters.
+//! * **Deadlines.** Requests may carry a deadline
+//!   ([`BatchServer::submit_deadline`], or
+//!   [`ServeConfig::default_deadline`] for all of them). Expired work is
+//!   shed with [`ServeError::DeadlineExceeded`] — at admission, at
+//!   dispatch, or by a background expiry sweep that covers requests no
+//!   worker ever reaches — so a queued request can never strand its caller.
+//! * **Hot reload.** [`BatchServer::reload_plan`] /
+//!   [`BatchServer::reload_from_snapshot`] atomically swap the shard pool
+//!   under live traffic: a replacement snapshot is fully validated before
+//!   the swap (a corrupt file is rejected and the old plans keep serving),
+//!   and [`ServeStats::generation`] records each successful swap.
 //! * **Snapshot semantics.** Replicas snapshot the network at
 //!   [`BatchServer::compile`] time, exactly like [`Network::plan`].
 //!   Mutating the network afterwards (`set_multiplier`, `params_mut`, a
@@ -76,7 +93,7 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -117,6 +134,13 @@ pub struct ServeConfig {
     /// Most requests queued at once (≥ 1); beyond it, [`BatchServer::submit`]
     /// blocks and [`BatchServer::try_submit`] fails.
     pub queue_capacity: usize,
+    /// Deadline applied to requests submitted without one of their own
+    /// (measured from admission). `None` (the default) keeps the historical
+    /// wait-forever behavior. Expired requests are shed with
+    /// [`ServeError::DeadlineExceeded`] — before execution by the
+    /// dispatching worker, and from the queue itself by a background expiry
+    /// sweep, so a stranded request can never hang its caller.
+    pub default_deadline: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -128,6 +152,7 @@ impl Default for ServeConfig {
             flush_deadline: Duration::from_micros(200),
             flush_deadline_min: Duration::from_micros(25),
             queue_capacity: workers.max(1) * 16,
+            default_deadline: None,
         }
     }
 }
@@ -143,6 +168,14 @@ pub enum ServeError {
     /// The plan rejected the batch (panic message from the execution path,
     /// e.g. a shape mismatch). Other requests are unaffected.
     Execution(String),
+    /// The request's deadline passed before it could execute; it was shed
+    /// without running (see [`ServeConfig::default_deadline`]).
+    DeadlineExceeded,
+    /// The worker thread holding this request died (a panic escaped the
+    /// batch execution guard). The request was *not* completed; the
+    /// supervisor restarts the worker and later requests are unaffected
+    /// (see [`ServeStats::worker_restarts`]).
+    WorkerDied,
 }
 
 impl std::fmt::Display for ServeError {
@@ -151,6 +184,12 @@ impl std::fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "batch server is shutting down"),
             ServeError::QueueFull => write!(f, "batch server queue is full"),
             ServeError::Execution(msg) => write!(f, "batch execution failed: {msg}"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "request deadline exceeded before execution")
+            }
+            ServeError::WorkerDied => {
+                write!(f, "serving worker died with the request in flight")
+            }
         }
     }
 }
@@ -165,24 +204,72 @@ pub type Reply = (Vec<f32>, Vec<usize>);
 /// thread that executed (or failed) the request's batch.
 pub type ReplyCallback = Box<dyn FnOnce(Result<Reply, ServeError>) + Send + 'static>;
 
-/// Where a request's reply goes: the per-request channel behind
-/// [`Pending`], or a caller-supplied callback (the socket front end routes
-/// completions back into its reactor this way — a blocking `recv` has no
-/// place on an event loop).
-enum ReplySink {
+/// The two reply destinations a [`ReplySink`] can hold.
+enum SinkKind {
     Channel(mpsc::Sender<Result<Reply, ServeError>>),
     Callback(ReplyCallback),
 }
 
+/// Where a request's reply goes: the per-request channel behind
+/// [`Pending`], or a caller-supplied callback (the socket front end routes
+/// completions back into its reactor this way — a blocking `recv` has no
+/// place on an event loop).
+///
+/// A sink is a **drop guard**: if it is dropped without [`send`] or
+/// [`disarm`](ReplySink::disarm) — the only way that happens is a panic
+/// unwinding a worker with the request in flight — it delivers
+/// [`ServeError::WorkerDied`] so the caller is unblocked with a typed error
+/// instead of hanging on a channel (or reactor completion) that will never
+/// arrive.
+///
+/// [`send`]: ReplySink::send
+struct ReplySink {
+    inner: Option<SinkKind>,
+}
+
 impl ReplySink {
+    fn channel(tx: mpsc::Sender<Result<Reply, ServeError>>) -> Self {
+        ReplySink { inner: Some(SinkKind::Channel(tx)) }
+    }
+
+    fn callback(f: ReplyCallback) -> Self {
+        ReplySink { inner: Some(SinkKind::Callback(f)) }
+    }
+
     /// Deliver the reply. A dropped [`Pending`] (closed channel) is not an
     /// error; callbacks cannot fail.
-    fn send(self, reply: Result<Reply, ServeError>) {
-        match self {
-            ReplySink::Channel(tx) => {
+    fn send(mut self, reply: Result<Reply, ServeError>) {
+        Self::deliver(self.inner.take(), reply);
+    }
+
+    /// Defuse the drop guard *without* delivering anything: rejected
+    /// submissions return the error to the submitter directly, and the
+    /// documented [`BatchServer::try_submit_with`] contract is that on
+    /// `Err` the callback is never invoked.
+    fn disarm(mut self) {
+        self.inner = None;
+    }
+
+    fn deliver(kind: Option<SinkKind>, reply: Result<Reply, ServeError>) {
+        match kind {
+            None => {}
+            Some(SinkKind::Channel(tx)) => {
                 let _ = tx.send(reply);
             }
-            ReplySink::Callback(f) => f(reply),
+            Some(SinkKind::Callback(f)) => f(reply),
+        }
+    }
+}
+
+impl Drop for ReplySink {
+    fn drop(&mut self) {
+        if let Some(kind) = self.inner.take() {
+            // This drop can run while a worker panic unwinds; a callback
+            // that itself panics here would abort the process (double
+            // panic), so contain it.
+            let _ = catch_unwind(AssertUnwindSafe(move || {
+                Self::deliver(Some(kind), Err(ServeError::WorkerDied));
+            }));
         }
     }
 }
@@ -192,6 +279,8 @@ struct Request {
     data: Vec<f32>,
     shape: Vec<usize>,
     reply: ReplySink,
+    /// Absolute expiry; `None` waits forever (the pre-deadline behavior).
+    deadline: Option<Instant>,
 }
 
 /// Queue state behind the server's mutex.
@@ -210,6 +299,13 @@ struct Counters {
     /// The adaptive flush deadline (nanoseconds) a worker most recently
     /// dispatched under; observability only.
     flush_deadline_ns: AtomicU64,
+    /// Workers respawned by the supervisor after an escaped panic.
+    worker_restarts: AtomicU64,
+    /// Requests shed with [`ServeError::DeadlineExceeded`] before execution.
+    deadline_expired: AtomicU64,
+    /// Plan-pool generation: 0 at start, +1 per successful
+    /// [`BatchServer::reload_plan`].
+    generation: AtomicU64,
 }
 
 /// State shared between submitters and workers.
@@ -220,6 +316,21 @@ struct Shared {
     /// Blocked submitters wait here for queue space.
     space: Condvar,
     counters: Counters,
+    /// The shard pool of plan replicas. Workers fetch their replica per
+    /// batch (`pool[i % len]`), so a hot reload
+    /// ([`BatchServer::reload_plan`]) atomically swaps what the *next*
+    /// batch executes on — in-flight batches finish on the plan they
+    /// started with (the `Arc` keeps it alive).
+    plans: RwLock<Vec<Arc<InferencePlan>>>,
+}
+
+/// Lock the queue mutex, recovering from poison. A worker panic while
+/// holding this lock leaves the queue structurally intact (requests are
+/// only pushed and drained whole), and crash recovery is the supervisor's
+/// job — so poisoning must not turn every later `submit`/`shutdown` into a
+/// panic cascade.
+fn lock_queue(shared: &Shared) -> MutexGuard<'_, QueueState> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A snapshot of the server's serving counters.
@@ -238,6 +349,17 @@ pub struct ServeStats {
     /// dispatch — between [`ServeConfig::flush_deadline_min`] and
     /// [`ServeConfig::flush_deadline`]. Zero before the first dispatch.
     pub flush_deadline_ns: u64,
+    /// Workers respawned by the supervisor after an escaped panic (a panic
+    /// outside the per-batch execution guard). Zero on a healthy server.
+    pub worker_restarts: u64,
+    /// Requests shed with [`ServeError::DeadlineExceeded`] before
+    /// execution — by admission, by the dispatching worker, or by the
+    /// background expiry sweep.
+    pub deadline_expired: u64,
+    /// Plan-pool generation: 0 for the plans the server started with,
+    /// bumped by each successful [`BatchServer::reload_plan`] /
+    /// [`BatchServer::reload_from_snapshot`].
+    pub generation: u64,
 }
 
 impl ServeStats {
@@ -279,7 +401,10 @@ impl Pending {
 pub struct BatchServer {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    /// The deadline-expiry sweep (see [`ServeConfig::default_deadline`]).
+    sweeper: Option<JoinHandle<()>>,
     queue_capacity: usize,
+    default_deadline: Option<Duration>,
     /// The source network's [`Network::plan_epoch`] at compile time.
     source_epoch: u64,
 }
@@ -415,27 +540,28 @@ impl BatchServer {
         Ok(Self::from_plan(plan, config))
     }
 
-    /// Shared startup: install the panic hook and spawn one worker per plan
-    /// replica. `source_epoch` is the network's
+    /// Shared startup: install the panic hook, park the plan replicas in
+    /// the shard pool, and spawn one supervised worker per replica plus the
+    /// deadline-expiry sweep. `source_epoch` is the network's
     /// [`Network::plan_epoch`] read *before* compiling, so a concurrent
     /// mutation mid-compile flags the server stale instead of going
     /// unnoticed.
     fn start(
-        mut replicas: Vec<Arc<InferencePlan>>,
+        replicas: Vec<Arc<InferencePlan>>,
         config: ServeConfig,
         source_epoch: u64,
     ) -> Option<BatchServer> {
         install_quiet_panic_hook();
+        let worker_count = replicas.len();
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState { queue: VecDeque::new(), shutdown: false }),
             not_empty: Condvar::new(),
             space: Condvar::new(),
             counters: Counters::default(),
+            plans: RwLock::new(replicas),
         });
-        let workers = replicas
-            .drain(..)
-            .enumerate()
-            .map(|(i, plan)| {
+        let workers = (0..worker_count)
+            .map(|i| {
                 let shared = shared.clone();
                 let max_batch = config.max_batch;
                 let flush = FlushPolicy {
@@ -444,11 +570,27 @@ impl BatchServer {
                 };
                 std::thread::Builder::new()
                     .name(format!("da-serve-{i}"))
-                    .spawn(move || worker_loop(plan, shared, max_batch, flush))
+                    .spawn(move || supervised_worker(i, shared, max_batch, flush))
                     .expect("spawn serve worker")
             })
             .collect();
-        Some(BatchServer { shared, workers, queue_capacity: config.queue_capacity, source_epoch })
+        let sweeper = {
+            let shared = shared.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("da-serve-sweep".to_string())
+                    .spawn(move || sweeper_loop(shared))
+                    .expect("spawn serve sweeper"),
+            )
+        };
+        Some(BatchServer {
+            shared,
+            workers,
+            sweeper,
+            queue_capacity: config.queue_capacity,
+            default_deadline: config.default_deadline,
+            source_epoch,
+        })
     }
 
     /// Queue one sample (`[C, H, W]` or `[features...]`, *no* batch axis),
@@ -457,8 +599,20 @@ impl BatchServer {
     /// Returns [`ServeError::ShuttingDown`] if the server stopped accepting
     /// requests while this call was blocked.
     pub fn submit(&self, item: &Tensor) -> Result<Pending, ServeError> {
+        self.submit_deadline(item, None)
+    }
+
+    /// [`submit`](BatchServer::submit) with a per-request deadline
+    /// overriding [`ServeConfig::default_deadline`]. A request still queued
+    /// at `deadline` is shed with [`ServeError::DeadlineExceeded`]; one
+    /// already expired at admission is rejected immediately.
+    pub fn submit_deadline(
+        &self,
+        item: &Tensor,
+        deadline: Option<Instant>,
+    ) -> Result<Pending, ServeError> {
         let (tx, rx) = mpsc::channel();
-        self.enqueue(item, true, ReplySink::Channel(tx))?;
+        self.enqueue(item, true, deadline, ReplySink::channel(tx))?;
         Ok(Pending { rx })
     }
 
@@ -466,7 +620,7 @@ impl BatchServer {
     /// [`ServeError::QueueFull`] instead of waiting for queue space.
     pub fn try_submit(&self, item: &Tensor) -> Result<Pending, ServeError> {
         let (tx, rx) = mpsc::channel();
-        self.enqueue(item, false, ReplySink::Channel(tx))?;
+        self.enqueue(item, false, None, ReplySink::channel(tx))?;
         Ok(Pending { rx })
     }
 
@@ -479,30 +633,68 @@ impl BatchServer {
     /// `on_reply` runs exactly once, on the worker thread that executed the
     /// batch (or, on shutdown with queued requests, on the dropping
     /// thread) — keep it cheap and non-blocking. On `Err` (queue full /
-    /// shutting down) the callback is dropped without being invoked; the
-    /// caller still owns the request and decides whether to retry.
+    /// shutting down / already expired) the callback is dropped without
+    /// being invoked; the caller still owns the request and decides whether
+    /// to retry.
     pub fn try_submit_with(
         &self,
         item: &Tensor,
         on_reply: ReplyCallback,
     ) -> Result<(), ServeError> {
-        self.enqueue(item, false, ReplySink::Callback(on_reply))
+        self.enqueue(item, false, None, ReplySink::callback(on_reply))
     }
 
-    fn enqueue(&self, item: &Tensor, block: bool, reply: ReplySink) -> Result<(), ServeError> {
+    /// [`try_submit_with`](BatchServer::try_submit_with) with a per-request
+    /// deadline overriding [`ServeConfig::default_deadline`]. A request
+    /// already expired at admission is rejected with
+    /// [`ServeError::DeadlineExceeded`] (callback not invoked, like every
+    /// other `Err` here); one that expires while queued gets the callback
+    /// with that error instead of executing.
+    pub fn try_submit_with_deadline(
+        &self,
+        item: &Tensor,
+        deadline: Option<Instant>,
+        on_reply: ReplyCallback,
+    ) -> Result<(), ServeError> {
+        self.enqueue(item, false, deadline, ReplySink::callback(on_reply))
+    }
+
+    fn enqueue(
+        &self,
+        item: &Tensor,
+        block: bool,
+        deadline: Option<Instant>,
+        reply: ReplySink,
+    ) -> Result<(), ServeError> {
+        // `checked_add` because `Instant + Duration` panics on overflow and
+        // the default deadline is operator-controlled; an unrepresentable
+        // deadline means "never expires".
+        let deadline =
+            deadline.or_else(|| self.default_deadline.and_then(|d| Instant::now().checked_add(d)));
+        // Deadline-aware admission: shed already-expired work before it
+        // occupies queue space (the cheapest possible shed point).
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                reply.disarm();
+                self.shared.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::DeadlineExceeded);
+            }
+        }
         {
-            let mut st = self.shared.state.lock().expect("serve queue lock");
+            let mut st = lock_queue(&self.shared);
             loop {
                 if st.shutdown {
+                    reply.disarm();
                     return Err(ServeError::ShuttingDown);
                 }
                 if st.queue.len() < self.queue_capacity {
                     break;
                 }
                 if !block {
+                    reply.disarm();
                     return Err(ServeError::QueueFull);
                 }
-                st = self.shared.space.wait(st).expect("serve queue lock");
+                st = self.shared.space.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
             // Copy the sample only once admission is certain, so rejected
             // `try_submit`s never pay for it; the copy is µs-scale, cheap
@@ -511,10 +703,12 @@ impl BatchServer {
                 data: item.data().to_vec(),
                 shape: item.shape().to_vec(),
                 reply,
+                deadline,
             });
         }
         // Wake every waiting worker: one will dispatch, the rest re-check
-        // (workers also wait here for partial batches to fill).
+        // (workers also wait here for partial batches to fill; the expiry
+        // sweep re-arms its timer off the same wakeup).
         self.shared.not_empty.notify_all();
         Ok(())
     }
@@ -587,7 +781,51 @@ impl BatchServer {
             largest_batch: c.largest_batch.load(Ordering::Relaxed),
             failed_batches: c.failed_batches.load(Ordering::Relaxed),
             flush_deadline_ns: c.flush_deadline_ns.load(Ordering::Relaxed),
+            worker_restarts: c.worker_restarts.load(Ordering::Relaxed),
+            deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
+            generation: c.generation.load(Ordering::Relaxed),
         }
+    }
+
+    /// Current plan-pool generation: 0 until the first successful
+    /// [`reload_plan`](BatchServer::reload_plan).
+    pub fn generation(&self) -> u64 {
+        self.shared.counters.generation.load(Ordering::Relaxed)
+    }
+
+    /// Atomically replace the shard pool with `plan` and return the new
+    /// generation. The swap never drops a request: batches already
+    /// executing finish on the plan they started with (their `Arc` keeps it
+    /// alive), every batch dispatched after the swap runs on `plan`, and
+    /// queued requests are untouched.
+    ///
+    /// The served shape and output layout are the caller's contract to keep
+    /// compatible — mismatched requests fail their batch with
+    /// [`ServeError::Execution`], exactly like any other shape the plan
+    /// rejects.
+    pub fn reload_plan(&self, plan: Arc<InferencePlan>) -> u64 {
+        {
+            let mut pool = self.shared.plans.write().unwrap_or_else(PoisonError::into_inner);
+            let n = pool.len().max(1);
+            *pool = vec![plan; n];
+        }
+        self.shared.counters.generation.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Hot reload: map and **fully validate** the plan snapshot at `path`,
+    /// then [`reload_plan`](BatchServer::reload_plan) it. Validation
+    /// happens before any swap, so a torn, truncated, or corrupt
+    /// replacement is rejected with the loader's [`SnapshotError`] and the
+    /// current pool keeps serving — graceful degradation, generation
+    /// unchanged.
+    ///
+    /// [`SnapshotError`]: crate::snapshot::SnapshotError
+    pub fn reload_from_snapshot(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<u64, crate::snapshot::SnapshotError> {
+        let plan = Arc::new(InferencePlan::load(path)?);
+        Ok(self.reload_plan(plan))
     }
 
     /// Stop accepting requests without blocking: submitters (including ones
@@ -596,7 +834,7 @@ impl BatchServer {
     /// drains. Dropping the server still joins the workers.
     pub fn begin_shutdown(&self) {
         {
-            let mut st = self.shared.state.lock().expect("serve queue lock");
+            let mut st = lock_queue(&self.shared);
             st.shutdown = true;
         }
         self.shared.not_empty.notify_all();
@@ -614,9 +852,12 @@ impl Drop for BatchServer {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        if let Some(sweeper) = self.sweeper.take() {
+            let _ = sweeper.join();
+        }
         // Workers drain the queue before exiting; with zero workers (or if a
         // worker thread died), fail whatever is left.
-        let mut st = self.shared.state.lock().expect("serve queue lock");
+        let mut st = lock_queue(&self.shared);
         for request in st.queue.drain(..) {
             request.reply.send(Err(ServeError::ShuttingDown));
         }
@@ -668,19 +909,41 @@ impl FlushPolicy {
     }
 }
 
+/// Worker supervision: run [`worker_loop`] and, if a panic escapes it
+/// (poisoned mutex included — every lock site recovers), count the restart
+/// and re-enter the loop with a fresh plan handle from the shard pool. The
+/// dying iteration's in-flight requests were already failed with
+/// [`ServeError::WorkerDied`] by their [`ReplySink`] drop guards as the
+/// panic unwound, so no caller hangs across the restart.
+fn supervised_worker(index: usize, shared: Arc<Shared>, max_batch: usize, flush: FlushPolicy) {
+    loop {
+        let result =
+            catch_unwind(AssertUnwindSafe(|| worker_loop(index, &shared, max_batch, flush)));
+        // The panic may have unwound past the quiet-hook flag set; clear it
+        // so genuine later panics on this thread still print.
+        IN_PLAN_EXECUTION.with(|flag| flag.set(false));
+        match result {
+            Ok(()) => return, // clean shutdown
+            Err(_) => {
+                shared.counters.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                if lock_queue(&shared).shutdown {
+                    return;
+                }
+            }
+        }
+    }
+}
+
 /// One worker: wait for requests, form a batch (FIFO, same-shape prefix, up
 /// to `max_batch`, holding up to the adaptive flush deadline for it to
-/// fill), execute it on this worker's plan replica, and reply per request.
-fn worker_loop(
-    plan: Arc<InferencePlan>,
-    shared: Arc<Shared>,
-    max_batch: usize,
-    flush: FlushPolicy,
-) {
+/// fill), shed expired members, execute the rest on this worker's plan
+/// replica (fetched from the shard pool per batch, so hot reloads take
+/// effect at the next dispatch), and reply per request.
+fn worker_loop(index: usize, shared: &Arc<Shared>, max_batch: usize, flush: FlushPolicy) {
     let mut deadline = flush.max;
     loop {
         let (batch, filled): (Vec<Request>, bool) = {
-            let mut st = shared.state.lock().expect("serve queue lock");
+            let mut st = lock_queue(shared);
             loop {
                 if !st.queue.is_empty() {
                     break;
@@ -688,7 +951,7 @@ fn worker_loop(
                 if st.shutdown {
                     return;
                 }
-                st = shared.not_empty.wait(st).expect("serve queue lock");
+                st = shared.not_empty.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
             if !deadline.is_zero() && st.queue.len() < max_batch && !st.shutdown {
                 // `checked_add` instead of `+`: Instant + Duration panics on
@@ -702,7 +965,9 @@ fn worker_loop(
                         break;
                     }
                     match until {
-                        None => st = shared.not_empty.wait(st).expect("serve queue lock"),
+                        None => {
+                            st = shared.not_empty.wait(st).unwrap_or_else(PoisonError::into_inner)
+                        }
                         Some(until) => {
                             // Re-read the clock on every re-arm (spurious
                             // wakeups and early notifies land here): once
@@ -715,7 +980,7 @@ fn worker_loop(
                             let (guard, _timeout) = shared
                                 .not_empty
                                 .wait_timeout(st, until.saturating_duration_since(now))
-                                .expect("serve queue lock");
+                                .unwrap_or_else(PoisonError::into_inner);
                             st = guard;
                         }
                     }
@@ -740,7 +1005,94 @@ fn worker_loop(
         };
         shared.counters.flush_deadline_ns.store(deadline.as_nanos() as u64, Ordering::Relaxed);
         deadline = flush.adapt(deadline, filled);
+        // Deadline-aware dispatch: requests that expired while queued are
+        // shed *before* execution, not run late.
+        let now = Instant::now();
+        let (expired, batch): (Vec<Request>, Vec<Request>) =
+            batch.into_iter().partition(|r| r.deadline.is_some_and(|d| d <= now));
+        if !expired.is_empty() {
+            shared.counters.deadline_expired.fetch_add(expired.len() as u64, Ordering::Relaxed);
+            for request in expired {
+                request.reply.send(Err(ServeError::DeadlineExceeded));
+            }
+        }
+        if batch.is_empty() {
+            continue;
+        }
+        // Chaos-test injection site (no-op unless the `failpoints` feature
+        // is on): an `Err` fault fails this batch like an execution error, a
+        // `Panic` fault models a worker crash with requests in flight (the
+        // supervisor path), a `Delay` fault models a slow batch.
+        if let Some(msg) = da_failpoints::check("serve/worker_batch") {
+            shared.counters.failed_batches.fetch_add(1, Ordering::Relaxed);
+            for request in batch {
+                request.reply.send(Err(ServeError::Execution(msg.clone())));
+            }
+            continue;
+        }
+        let plan = {
+            let pool = shared.plans.read().unwrap_or_else(PoisonError::into_inner);
+            if pool.is_empty() {
+                // Unreachable in practice (a zero-worker server runs no
+                // worker loops), but never index an empty pool.
+                continue;
+            }
+            pool[index % pool.len()].clone()
+        };
         run_batch(&plan, batch, &shared.counters);
+    }
+}
+
+/// The deadline-expiry sweep: a low-duty background thread that fails
+/// requests still *queued* past their deadline. Workers already shed
+/// expired requests at dispatch; this sweep covers the case where no
+/// worker ever gets to them (all workers wedged in a long batch, or a
+/// zero-worker server) so a deadline is honored no matter what — the
+/// "stranded callback can never hang its caller" guarantee.
+fn sweeper_loop(shared: Arc<Shared>) {
+    loop {
+        let expired: Vec<Request> = {
+            let mut st = lock_queue(&shared);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                let now = Instant::now();
+                let mut expired = Vec::new();
+                let mut i = 0;
+                while i < st.queue.len() {
+                    if st.queue[i].deadline.is_some_and(|d| d <= now) {
+                        if let Some(request) = st.queue.remove(i) {
+                            expired.push(request);
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                if !expired.is_empty() {
+                    break expired;
+                }
+                let earliest = st.queue.iter().filter_map(|r| r.deadline).min();
+                match earliest {
+                    // Nothing can expire until a new request arrives; every
+                    // enqueue notifies `not_empty`, which re-runs this scan.
+                    None => st = shared.not_empty.wait(st).unwrap_or_else(PoisonError::into_inner),
+                    Some(d) => {
+                        let (guard, _timeout) = shared
+                            .not_empty
+                            .wait_timeout(st, d.saturating_duration_since(now))
+                            .unwrap_or_else(PoisonError::into_inner);
+                        st = guard;
+                    }
+                }
+            }
+        };
+        // Deliver outside the lock: callbacks are caller code.
+        shared.counters.deadline_expired.fetch_add(expired.len() as u64, Ordering::Relaxed);
+        shared.space.notify_all();
+        for request in expired {
+            request.reply.send(Err(ServeError::DeadlineExceeded));
+        }
     }
 }
 
@@ -767,21 +1119,25 @@ fn install_quiet_panic_hook() {
 }
 
 /// Stack a same-shape batch, run it, and scatter the logits rows back to the
-/// per-request channels. A panic in the plan (shape mismatch) fails every
-/// member of this batch but leaves the worker serving.
+/// per-request channels. A panic anywhere in the stack-and-execute path —
+/// including [`Tensor::from_vec`] rejecting an inconsistent shape, which
+/// used to escape and kill the worker — fails every member of this batch
+/// but leaves the worker serving.
 fn run_batch(plan: &InferencePlan, batch: Vec<Request>, counters: &Counters) {
     let n = batch.len();
-    let item_len = batch[0].data.len();
-    let mut data = Vec::with_capacity(n * item_len);
-    for request in &batch {
-        data.extend_from_slice(&request.data);
-    }
-    let mut shape = vec![n];
-    shape.extend_from_slice(&batch[0].shape);
-    let input = Tensor::from_vec(data, &shape);
 
     IN_PLAN_EXECUTION.with(|flag| flag.set(true));
-    let result = catch_unwind(AssertUnwindSafe(|| plan.predict_batch(&input)));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let item_len = batch[0].data.len();
+        let mut data = Vec::with_capacity(n * item_len);
+        for request in &batch {
+            data.extend_from_slice(&request.data);
+        }
+        let mut shape = vec![n];
+        shape.extend_from_slice(&batch[0].shape);
+        let input = Tensor::from_vec(data, &shape);
+        plan.predict_batch(&input)
+    }));
     IN_PLAN_EXECUTION.with(|flag| flag.set(false));
     match result {
         Ok(logits) => {
@@ -889,6 +1245,9 @@ mod tests {
             largest_batch: 0,
             failed_batches: 0,
             flush_deadline_ns: 0,
+            worker_restarts: 0,
+            deadline_expired: 0,
+            generation: 0,
         };
         assert_eq!(fresh.mean_batch(), 0.0);
         assert!(fresh.mean_batch().is_finite());
@@ -1007,6 +1366,7 @@ mod tests {
             flush_deadline: Duration::from_nanos(1),
             flush_deadline_min: Duration::from_nanos(1),
             queue_capacity: 8,
+            default_deadline: None,
         };
         let server = BatchServer::compile(&net, config).expect("compilable");
         let x = Tensor::zeros(&[1, 8, 8]);
@@ -1059,5 +1419,124 @@ mod tests {
         assert!(ServeError::QueueFull.to_string().contains("full"));
         assert!(ServeError::ShuttingDown.to_string().contains("shutting down"));
         assert!(ServeError::Execution("boom".into()).to_string().contains("boom"));
+        assert!(ServeError::DeadlineExceeded.to_string().contains("deadline"));
+        assert!(ServeError::WorkerDied.to_string().contains("worker died"));
+    }
+
+    /// An already-expired deadline is rejected at admission — typed, never
+    /// queued, counted in stats.
+    #[test]
+    fn expired_deadline_is_shed_at_admission() {
+        let net = tiny_cnn(29);
+        let server = BatchServer::compile(&net, cfg(0, 1, 4)).expect("compilable");
+        let x = Tensor::zeros(&[1, 8, 8]);
+        let past = Instant::now() - Duration::from_millis(10);
+        assert_eq!(
+            server.submit_deadline(&x, Some(past)).err(),
+            Some(ServeError::DeadlineExceeded)
+        );
+        let invoked = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = invoked.clone();
+        let err = server.try_submit_with_deadline(
+            &x,
+            Some(past),
+            Box::new(move |_| flag.store(true, Ordering::SeqCst)),
+        );
+        assert_eq!(err.err(), Some(ServeError::DeadlineExceeded));
+        // Documented contract: on `Err` the callback is never invoked.
+        assert!(!invoked.load(Ordering::SeqCst));
+        assert_eq!(server.stats().deadline_expired, 2);
+    }
+
+    /// The expiry sweep unblocks a queued request on a server whose workers
+    /// never dispatch it (zero workers) — the no-hang guarantee.
+    #[test]
+    fn sweeper_expires_stranded_requests() {
+        let net = tiny_cnn(31);
+        let server = BatchServer::compile(&net, cfg(0, 1, 4)).expect("compilable");
+        let x = Tensor::zeros(&[1, 8, 8]);
+        let deadline = Instant::now() + Duration::from_millis(30);
+        let pending = server.submit_deadline(&x, Some(deadline)).expect("queued");
+        // Blocks until the sweep fires; a hang here is the regression.
+        assert_eq!(pending.wait().err(), Some(ServeError::DeadlineExceeded));
+        assert_eq!(server.stats().deadline_expired, 1);
+    }
+
+    /// `default_deadline` applies to plain `submit` calls with no explicit
+    /// per-request deadline.
+    #[test]
+    fn default_deadline_covers_plain_submits() {
+        let net = tiny_cnn(37);
+        let config =
+            ServeConfig { default_deadline: Some(Duration::from_millis(25)), ..cfg(0, 1, 4) };
+        let server = BatchServer::compile(&net, config).expect("compilable");
+        let pending = server.submit(&Tensor::zeros(&[1, 8, 8])).expect("queued");
+        assert_eq!(pending.wait().err(), Some(ServeError::DeadlineExceeded));
+    }
+
+    /// Hot reload swaps the plan pool atomically: requests before the swap
+    /// serve generation-0 logits, requests after serve the new plan's —
+    /// each bit-identical to its own plan's serial run.
+    #[test]
+    fn reload_plan_swaps_served_logits_and_bumps_generation() {
+        let net_a = tiny_cnn(41);
+        let net_b = tiny_cnn(43); // different seed → different weights
+        let plan_a = net_a.plan().expect("compilable");
+        let plan_b = net_b.plan().expect("compilable");
+        let server = BatchServer::compile(&net_a, cfg(2, 4, 8)).expect("compilable");
+        assert_eq!(server.generation(), 0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+        let x = Tensor::randn(&[1, 8, 8], 1.0, &mut rng);
+        let want_a = plan_a.predict_batch(&Tensor::stack(std::slice::from_ref(&x)));
+        let want_b = plan_b.predict_batch(&Tensor::stack(std::slice::from_ref(&x)));
+        assert_ne!(want_a.data(), want_b.data(), "seeds must differ");
+        assert_eq!(server.logits(&x).expect("served").data(), want_a.data());
+        let gen =
+            server.reload_plan(Arc::new(InferencePlan::compile(&net_b, None).expect("compilable")));
+        assert_eq!(gen, 1);
+        assert_eq!(server.generation(), 1);
+        assert_eq!(server.stats().generation, 1);
+        assert_eq!(server.logits(&x).expect("served").data(), want_b.data());
+    }
+
+    /// A poisoned queue mutex (panicking thread holding the lock) must not
+    /// cascade: later submits and shutdown recover the state instead of
+    /// panicking.
+    #[test]
+    fn poisoned_lock_does_not_cascade_into_submitters() {
+        let net = tiny_cnn(47);
+        let plan = net.plan().expect("compilable");
+        let server = Arc::new(BatchServer::compile(&net, cfg(1, 2, 8)).expect("compilable"));
+        // Poison the mutex from a scratch thread.
+        let poisoner = server.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = lock_queue(&poisoner.shared);
+            // Quiet hook: this panic is the test's point, not log spam.
+            IN_PLAN_EXECUTION.with(|flag| flag.set(true));
+            panic!("poison the serve queue lock");
+        })
+        .join();
+        assert!(server.shared.state.is_poisoned());
+        // The server still serves, bit-identically, and shuts down cleanly.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(48);
+        let x = Tensor::randn(&[1, 8, 8], 1.0, &mut rng);
+        let got = server.logits(&x).expect("served through poison");
+        let want = plan.predict_batch(&Tensor::stack(std::slice::from_ref(&x)));
+        assert_eq!(got.data(), want.data());
+        server.begin_shutdown();
+    }
+
+    /// Dropping a `ReplySink` without sending (what a worker panic does to
+    /// in-flight requests) delivers `WorkerDied` instead of stranding the
+    /// caller.
+    #[test]
+    fn dropped_sink_delivers_worker_died() {
+        let (tx, rx) = mpsc::channel();
+        drop(ReplySink::channel(tx));
+        assert_eq!(rx.recv().expect("drop guard delivered"), Err(ServeError::WorkerDied));
+        // disarm() defuses the guard: nothing is delivered.
+        let (tx, rx) = mpsc::channel::<Result<Reply, ServeError>>();
+        ReplySink::channel(tx).disarm();
+        assert!(rx.recv().is_err(), "disarmed sink must deliver nothing");
     }
 }

@@ -1089,6 +1089,12 @@ impl InferencePlan {
     /// conv operands, dense row classes) are materialized. Serving from the
     /// result is bit-identical to serving from the plan that was saved.
     pub fn load(path: impl AsRef<Path>) -> Result<InferencePlan, SnapshotError> {
+        // Chaos-test injection site (no-op unless the `failpoints` feature
+        // is on): models the disk failing mid-read, e.g. during a hot
+        // reload of a replacement snapshot.
+        if let Some(msg) = da_failpoints::check("snapshot/load") {
+            return Err(SnapshotError::Io(std::io::Error::other(msg)));
+        }
         let file = File::open(path.as_ref())?;
         // SAFETY: the mapping is validated by checksum immediately after
         // being created; concurrent modification of a published snapshot

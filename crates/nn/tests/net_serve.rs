@@ -16,7 +16,9 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 use da_nn::layers::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
-use da_nn::net::{Client, ErrCode, Message, NetConfig, NetServer, NetStats};
+use da_nn::net::{
+    Client, ErrCode, FrameDecoder, Message, NetConfig, NetServer, NetStats, DEFAULT_MAX_FRAME,
+};
 use da_nn::serve::{BatchServer, ServeConfig};
 use da_nn::{Mode, Network};
 use da_tensor::Tensor;
@@ -109,9 +111,11 @@ fn served_replies_are_bit_identical_and_match_out_of_order() {
         assert!(bits_eq(row.as_deref().expect("collected"), &want), "served logits diverged");
     }
 
-    let (batches, served_items, _) = client.stats().expect("stats");
-    assert_eq!(served_items, items.len() as u64);
-    assert!(batches >= 1 && batches <= items.len() as u64);
+    let server_stats = client.stats().expect("stats");
+    assert_eq!(server_stats.items, items.len() as u64);
+    assert!(server_stats.batches >= 1 && server_stats.batches <= items.len() as u64);
+    assert_eq!(server_stats.worker_restarts, 0);
+    assert_eq!(server_stats.deadline_expired, 0);
 
     let stats = finish(handle, join);
     assert_eq!(stats.replies_ok, items.len() as u64);
@@ -290,6 +294,7 @@ fn shutdown_drains_inflight_requests_bit_identically() {
         flush_deadline: Duration::from_millis(200),
         flush_deadline_min: Duration::from_millis(200),
         queue_capacity: 64,
+        default_deadline: None,
     };
     let (net, addr, handle, join) = front_end(serve, NetConfig::default());
 
@@ -328,4 +333,233 @@ fn shutdown_drains_inflight_requests_bit_identically() {
     // The drained socket is closed once the last reply is flushed.
     let err = a.recv_reply().expect_err("socket closed after drain");
     assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+}
+
+#[test]
+fn wire_deadline_on_a_stalled_server_is_a_typed_reply_not_a_hang() {
+    // Zero workers: requests queue but never execute, so only the deadline
+    // machinery (admission shed + expiry sweep) can answer.
+    let serve = ServeConfig { workers: 0, ..serve_cfg() };
+    let (_net, addr, handle, join) = front_end(serve, NetConfig::default());
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let x = sample(700);
+    let id = client
+        .send_infer_deadline(x.shape(), x.data(), Some(Duration::from_millis(5)))
+        .expect("send");
+    match client.recv_reply().expect("the sweep must answer") {
+        Message::InferErr { req_id, code, .. } => {
+            assert_eq!(req_id, id);
+            assert_eq!(code, ErrCode::DeadlineExceeded);
+        }
+        other => panic!("expected DEADLINE_EXCEEDED, got {other:?}"),
+    }
+    let server_stats = client.stats().expect("stats");
+    assert!(server_stats.deadline_expired >= 1);
+
+    let stats = finish(handle, join);
+    assert_eq!(stats.replies_err, 1);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+#[test]
+fn reload_over_the_wire_swaps_plans_without_dropping_the_connection() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let path_a = dir.join(format!("net-reload-a-{pid}.daplan"));
+    let path_b = dir.join(format!("net-reload-b-{pid}.daplan"));
+
+    let net_a = tiny_cnn(71);
+    let net_b = tiny_cnn(72); // same shapes, different weights
+    da_nn::InferencePlan::compile(&net_a, None).expect("plan A").save(&path_a).expect("save A");
+    da_nn::InferencePlan::compile(&net_b, None).expect("plan B").save(&path_b).expect("save B");
+
+    let server = BatchServer::from_snapshot(&path_a, serve_cfg()).expect("serve A");
+    let net_cfg = NetConfig { reload_path: Some(path_a.clone()), ..NetConfig::default() };
+    let front = NetServer::bind(server, "127.0.0.1:0", net_cfg).expect("bind loopback");
+    let (addr, handle, join) = front.spawn();
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let x = sample(701);
+    let (_, before) = client.infer(x.shape(), x.data()).expect("transport").expect("served");
+    assert!(bits_eq(&before, &reference(&net_a, &x)), "plan A serves first");
+
+    // Explicit-path reload to plan B: same connection, new weights.
+    let generation = client.reload(&path_b.display().to_string()).expect("transport");
+    assert_eq!(generation, Ok(1));
+    let (_, after) = client.infer(x.shape(), x.data()).expect("transport").expect("served");
+    assert!(bits_eq(&after, &reference(&net_b, &x)), "plan B serves after reload");
+
+    // A nonexistent replacement is rejected; B keeps serving, generation
+    // unchanged.
+    let rejected = client.reload("/nonexistent/plan.daplan").expect("transport");
+    assert!(rejected.is_err(), "missing snapshot must be rejected");
+    let (_, still) = client.infer(x.shape(), x.data()).expect("transport").expect("served");
+    assert!(bits_eq(&still, &reference(&net_b, &x)));
+    assert_eq!(client.stats().expect("stats").generation, 1);
+
+    // Empty path falls back to the configured reload path (plan A's file).
+    assert_eq!(client.reload("").expect("transport"), Ok(2));
+    let (_, back) = client.infer(x.shape(), x.data()).expect("transport").expect("served");
+    assert!(bits_eq(&back, &reference(&net_a, &x)), "configured path reload back to A");
+
+    drop(client);
+    let stats = finish(handle, join);
+    assert_eq!(stats.reloads_ok, 2);
+    assert_eq!(stats.reloads_rejected, 1);
+    assert_eq!(stats.protocol_errors, 0);
+
+    std::fs::remove_file(&path_a).ok();
+    std::fs::remove_file(&path_b).ok();
+}
+
+/// Register a no-op `SIGUSR1` handler via raw `sigaction(2)` with
+/// `sa_flags = 0` — deliberately *without* `SA_RESTART`, so every delivery
+/// interrupts whatever syscall a thread is blocked in with `EINTR`.
+/// (`signal(2)` via glibc sets `SA_RESTART`, which would hide exactly the
+/// retry paths this test exists to exercise.)
+#[cfg(target_os = "linux")]
+fn install_noop_sigusr1() {
+    extern "C" fn noop(_sig: i32) {}
+
+    #[repr(C)]
+    struct SigAction {
+        handler: usize,
+        mask: [u64; 16],
+        flags: i32,
+        _pad: i32,
+        restorer: usize,
+    }
+    extern "C" {
+        fn sigaction(signum: i32, act: *const SigAction, old: *mut SigAction) -> i32;
+    }
+    let act = SigAction {
+        handler: noop as *const () as usize,
+        mask: [0; 16],
+        flags: 0,
+        _pad: 0,
+        restorer: 0,
+    };
+    const SIGUSR1: i32 = 10;
+    let rc = unsafe { sigaction(SIGUSR1, &act, std::ptr::null_mut()) };
+    assert_eq!(rc, 0, "sigaction(SIGUSR1) failed");
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn poll_backend_serves_bit_identically_through_an_eintr_storm() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    install_noop_sigusr1();
+    let net_cfg = NetConfig { use_poll_backend: true, ..NetConfig::default() };
+    let (net, addr, handle, join) = front_end(serve_cfg(), net_cfg);
+
+    // Storm thread: pepper the whole process with SIGUSR1. Delivery lands
+    // on an arbitrary thread — reactor mid-poll, worker mid-wait, client
+    // mid-read — and every one of them must treat EINTR as "try again".
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+        fn getpid() -> i32;
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let storm = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let pid = unsafe { getpid() };
+            while !stop.load(Ordering::Relaxed) {
+                unsafe { kill(pid, 10) };
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        })
+    };
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    let items: Vec<Tensor> = (0..24).map(|i| sample(800 + i)).collect();
+    let ids: Vec<u64> =
+        items.iter().map(|x| client.send_infer(x.shape(), x.data()).expect("send")).collect();
+    let mut seen = 0;
+    while seen < items.len() {
+        match client.recv_reply().expect("reply under signal storm") {
+            Message::InferOk { req_id, data, .. } => {
+                let at = ids.iter().position(|&id| id == req_id).expect("known id");
+                assert!(
+                    bits_eq(&data, &reference(&net, &items[at])),
+                    "reply diverged under EINTR storm"
+                );
+                seen += 1;
+            }
+            other => panic!("expected INFER_OK, got {other:?}"),
+        }
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    storm.join().expect("storm thread");
+    let stats = finish(handle, join);
+    assert_eq!(stats.replies_ok, items.len() as u64);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+#[test]
+fn poll_backend_drains_a_slow_reader_without_hanging() {
+    use da_nn::net::frame;
+
+    let net_cfg = NetConfig { use_poll_backend: true, ..NetConfig::default() };
+    let (net, addr, handle, join) = front_end(serve_cfg(), net_cfg);
+
+    // A raw socket that bursts requests, never reads, then trickles.
+    let mut slow = TcpStream::connect(addr).expect("connect");
+    let items: Vec<Tensor> = (0..6).map(|i| sample(900 + i)).collect();
+    for (i, x) in items.iter().enumerate() {
+        let msg = Message::Infer {
+            req_id: i as u64 + 1,
+            deadline_us: 0,
+            shape: x.shape().to_vec(),
+            data: x.data().to_vec(),
+        };
+        slow.write_all(&frame::encode(&msg)).expect("burst");
+    }
+    // Let the replies pile up in the reactor's write buffer, then start
+    // the drain with the slow reader still holding them.
+    std::thread::sleep(Duration::from_millis(100));
+    handle.shutdown();
+
+    // Trickle-read the drain: tiny chunks with pauses. The reactor must
+    // keep flushing as the window reopens instead of dropping the
+    // connection or hanging past its drain timeout.
+    slow.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let mut decoder = FrameDecoder::new();
+    let mut got = 0usize;
+    let mut chunk = [0u8; 48];
+    'read: loop {
+        while let Some(payload) =
+            decoder.next_payload(DEFAULT_MAX_FRAME).expect("well-formed frames")
+        {
+            match frame::decode(&payload).expect("decodable reply") {
+                Message::InferOk { req_id, data, .. } => {
+                    let at = req_id as usize - 1;
+                    assert!(
+                        bits_eq(&data, &reference(&net, &items[at])),
+                        "slow-drained reply diverged"
+                    );
+                    got += 1;
+                }
+                other => panic!("expected INFER_OK, got {other:?}"),
+            }
+            if got == items.len() {
+                break 'read;
+            }
+        }
+        let n = slow.read(&mut chunk).expect("server must keep flushing");
+        assert!(n > 0, "EOF before every drained reply arrived ({got}/{})", items.len());
+        decoder.push(&chunk[..n]);
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let stats = join.join().expect("reactor thread").expect("reactor exit");
+    assert_eq!(stats.replies_ok, items.len() as u64, "every reply must survive the drain");
+    drop(handle);
 }

@@ -362,6 +362,7 @@ fn one_nanosecond_flush_deadline_is_stable_and_bit_identical() {
             flush_deadline: Duration::from_nanos(1),
             flush_deadline_min: Duration::from_nanos(1),
             queue_capacity: 4, // small enough that backpressure engages too
+            default_deadline: None,
         },
         "1ns-deadline",
     );
@@ -373,6 +374,7 @@ fn one_nanosecond_flush_deadline_is_stable_and_bit_identical() {
             flush_deadline: Duration::from_nanos(1),
             flush_deadline_min: Duration::from_nanos(1),
             queue_capacity: 4,
+            default_deadline: None,
         },
         "1ns-deadline-axfpm",
     );

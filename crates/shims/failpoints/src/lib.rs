@@ -1,0 +1,270 @@
+//! Named fault-injection sites ("failpoints") for chaos testing.
+//!
+//! Production code sprinkles [`check`] calls at interesting failure
+//! boundaries — snapshot reads, batch execution, socket accepts. With the
+//! default feature set every call compiles to an `#[inline(always)]` no-op
+//! returning `None`, so release builds carry zero cost. With the
+//! `failpoints` cargo feature enabled, tests arm a site by name with
+//! [`set`] and the next matching `check` fires the configured [`Fault`]:
+//!
+//! - [`Fault::Err`] — `check` returns `Some(message)`; the call site maps
+//!   it into its native error type.
+//! - [`Fault::Panic`] — `check` panics with the message, exactly as a bug
+//!   in that region would.
+//! - [`Fault::Delay`] — `check` sleeps, then returns `None`; models a slow
+//!   disk or a long batch.
+//!
+//! A [`Spec`] gates when the fault fires: `skip` passes through the first
+//! N hits untouched, `count` limits how many times it fires before the
+//! site disarms itself (`usize::MAX` = forever). "Panic on the 3rd batch"
+//! is `Spec::new(Fault::Panic(..)).skip(2).times(1)`.
+//!
+//! The registry is global and shared by every thread in the process, so
+//! chaos tests that arm sites must serialize themselves (e.g. behind a
+//! static mutex) and call [`reset`] when done.
+
+#[cfg(feature = "failpoints")]
+mod active {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Duration;
+
+    /// The action an armed failpoint performs when it fires.
+    #[derive(Clone, Debug)]
+    pub enum Fault {
+        /// Return this message to the call site as an error.
+        Err(String),
+        /// Panic with this message.
+        Panic(String),
+        /// Sleep for this long, then continue normally.
+        Delay(Duration),
+    }
+
+    /// An armed failpoint: a fault plus skip/count gating.
+    #[derive(Clone, Debug)]
+    pub struct Spec {
+        pub(crate) fault: Fault,
+        pub(crate) skip: usize,
+        pub(crate) count: usize,
+    }
+
+    impl Spec {
+        /// Arm `fault` to fire on every hit until cleared.
+        pub fn new(fault: Fault) -> Self {
+            Spec { fault, skip: 0, count: usize::MAX }
+        }
+
+        /// Let the first `n` hits pass through before firing.
+        pub fn skip(mut self, n: usize) -> Self {
+            self.skip = n;
+            self
+        }
+
+        /// Fire at most `n` times, then disarm the site.
+        pub fn times(mut self, n: usize) -> Self {
+            self.count = n;
+            self
+        }
+    }
+
+    #[derive(Default)]
+    struct Site {
+        spec: Option<Spec>,
+        hits: u64,
+    }
+
+    fn registry() -> &'static Mutex<HashMap<String, Site>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, Site>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    /// Arm the named site. Replaces any previous spec and resets gating,
+    /// but keeps the lifetime hit counter.
+    pub fn set(name: &str, spec: Spec) {
+        let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        reg.entry(name.to_string()).or_default().spec = Some(spec);
+    }
+
+    /// Disarm the named site (hit counter is kept).
+    pub fn clear(name: &str) {
+        let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(site) = reg.get_mut(name) {
+            site.spec = None;
+        }
+    }
+
+    /// Disarm every site and zero all hit counters.
+    pub fn reset() {
+        registry().lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+
+    /// Lifetime hit count for the named site (armed or not).
+    pub fn hits(name: &str) -> u64 {
+        let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        reg.get(name).map(|s| s.hits).unwrap_or(0)
+    }
+
+    /// Evaluate the named site. Returns `Some(message)` if an `Err` fault
+    /// fired; panics or sleeps for `Panic`/`Delay` faults; `None` otherwise.
+    pub fn check(name: &str) -> Option<String> {
+        let fired = {
+            let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+            let site = reg.entry(name.to_string()).or_default();
+            site.hits += 1;
+            match &mut site.spec {
+                None => None,
+                Some(spec) => {
+                    if spec.skip > 0 {
+                        spec.skip -= 1;
+                        None
+                    } else if spec.count == 0 {
+                        None
+                    } else {
+                        if spec.count != usize::MAX {
+                            spec.count -= 1;
+                        }
+                        Some(spec.fault.clone())
+                    }
+                }
+            }
+            // lock drops here so Delay/Panic never hold the registry
+        };
+        match fired {
+            None => None,
+            Some(Fault::Err(msg)) => Some(msg),
+            Some(Fault::Panic(msg)) => panic!("failpoint {name}: {msg}"),
+            Some(Fault::Delay(d)) => {
+                std::thread::sleep(d);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(feature = "failpoints")]
+pub use active::{check, clear, hits, reset, set, Fault, Spec};
+
+#[cfg(not(feature = "failpoints"))]
+mod inert {
+    use std::time::Duration;
+
+    /// Inert stand-in; see the `failpoints` feature for the real thing.
+    #[derive(Clone, Debug)]
+    pub enum Fault {
+        Err(String),
+        Panic(String),
+        Delay(Duration),
+    }
+
+    /// Inert stand-in; see the `failpoints` feature for the real thing.
+    #[derive(Clone, Debug)]
+    pub struct Spec;
+
+    impl Spec {
+        pub fn new(_fault: Fault) -> Self {
+            Spec
+        }
+        pub fn skip(self, _n: usize) -> Self {
+            self
+        }
+        pub fn times(self, _n: usize) -> Self {
+            self
+        }
+    }
+
+    #[inline(always)]
+    pub fn check(_name: &str) -> Option<String> {
+        None
+    }
+    #[inline(always)]
+    pub fn set(_name: &str, _spec: Spec) {}
+    #[inline(always)]
+    pub fn clear(_name: &str) {}
+    #[inline(always)]
+    pub fn reset() {}
+    #[inline(always)]
+    pub fn hits(_name: &str) -> u64 {
+        0
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+pub use inert::{check, clear, hits, reset, set, Fault, Spec};
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+    use std::time::{Duration, Instant};
+
+    // The registry is process-global; serialize tests that touch it.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        GUARD.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn unarmed_site_is_silent_but_counted() {
+        let _g = lock();
+        reset();
+        assert_eq!(check("t/unarmed"), None);
+        assert_eq!(check("t/unarmed"), None);
+        assert_eq!(hits("t/unarmed"), 2);
+    }
+
+    #[test]
+    fn err_fault_fires_and_respects_count() {
+        let _g = lock();
+        reset();
+        set("t/err", Spec::new(Fault::Err("boom".into())).times(2));
+        assert_eq!(check("t/err").as_deref(), Some("boom"));
+        assert_eq!(check("t/err").as_deref(), Some("boom"));
+        assert_eq!(check("t/err"), None);
+        assert_eq!(hits("t/err"), 3);
+    }
+
+    #[test]
+    fn skip_passes_through_then_fires() {
+        let _g = lock();
+        reset();
+        set("t/skip", Spec::new(Fault::Err("late".into())).skip(2).times(1));
+        assert_eq!(check("t/skip"), None);
+        assert_eq!(check("t/skip"), None);
+        assert_eq!(check("t/skip").as_deref(), Some("late"));
+        assert_eq!(check("t/skip"), None);
+    }
+
+    #[test]
+    fn panic_fault_panics_with_site_name() {
+        let _g = lock();
+        reset();
+        set("t/panic", Spec::new(Fault::Panic("dead".into())).times(1));
+        let err = std::panic::catch_unwind(|| check("t/panic")).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("t/panic") && msg.contains("dead"), "{msg}");
+        // disarmed after firing once
+        assert_eq!(check("t/panic"), None);
+    }
+
+    #[test]
+    fn delay_fault_sleeps_then_continues() {
+        let _g = lock();
+        reset();
+        set("t/delay", Spec::new(Fault::Delay(Duration::from_millis(30))).times(1));
+        let t0 = Instant::now();
+        assert_eq!(check("t/delay"), None);
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn clear_disarms_without_losing_hits() {
+        let _g = lock();
+        reset();
+        set("t/clear", Spec::new(Fault::Err("x".into())));
+        assert!(check("t/clear").is_some());
+        clear("t/clear");
+        assert_eq!(check("t/clear"), None);
+        assert_eq!(hits("t/clear"), 2);
+    }
+}

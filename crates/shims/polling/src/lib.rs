@@ -301,8 +301,7 @@ mod imp {
         }
 
         const _: () = assert!(
-            std::mem::size_of::<EpollEvent>()
-                == if cfg!(target_arch = "x86_64") { 12 } else { 16 },
+            std::mem::size_of::<EpollEvent>() == if cfg!(target_arch = "x86_64") { 12 } else { 16 },
             "EpollEvent must match the kernel's per-arch epoll_event layout",
         );
 

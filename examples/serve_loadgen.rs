@@ -54,6 +54,7 @@ fn main() {
     let mut clients: usize = if smoke { 2 } else { 4 };
     let mut requests: usize = if smoke { 16 } else { 64 };
     let mut shutdown = false;
+    let mut min_generation: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -64,6 +65,10 @@ fn main() {
             "--clients" => clients = value().parse().unwrap_or_else(|_| die("bad --clients")),
             "--requests" => requests = value().parse().unwrap_or_else(|_| die("bad --requests")),
             "--shutdown" => shutdown = true,
+            "--min-generation" => {
+                min_generation =
+                    Some(value().parse().unwrap_or_else(|_| die("bad --min-generation")))
+            }
             other => die(&format!("unknown flag {other}")),
         }
     }
@@ -129,7 +134,8 @@ fn main() {
 
     // Server-side counters over the wire.
     let mut probe = Client::connect(addr.as_str()).expect("connect for stats");
-    let (batches, items, flush_ns) = probe.stats().expect("stats");
+    let stats = probe.stats().expect("stats");
+    let (batches, items) = (stats.batches, stats.items);
     let mean_batch = if batches == 0 { 0.0 } else { items as f64 / batches as f64 };
 
     println!(
@@ -139,8 +145,21 @@ fn main() {
     );
     println!(
         "server: {batches} batches / {items} items (mean batch {mean_batch:.2}), \
-         flush deadline now {flush_ns} ns"
+         flush deadline now {} ns, generation {}, restarts {}, expired {}",
+        stats.flush_deadline_ns, stats.generation, stats.worker_restarts, stats.deadline_expired
     );
+
+    // CI's SIGHUP-reload smoke: every request above already had to succeed
+    // (zero dropped connections), and the plan generation must show the
+    // mid-loadgen reload landed.
+    if let Some(min) = min_generation {
+        assert!(
+            stats.generation >= min,
+            "expected plan generation >= {min} after reload, server reports {}",
+            stats.generation
+        );
+        println!("generation check: {} >= {min} ok", stats.generation);
+    }
 
     // Cross-process bit-identity against the snapshot's serial reference.
     if let Some(path) = &verify {

@@ -6,6 +6,8 @@
 //! ```
 //!
 //! Boots [`BatchServer::from_snapshot`] (mmap cold start, no compilation)
+//!
+//! [`BatchServer::from_snapshot`]: defensive_approximation::nn::serve::BatchServer::from_snapshot
 //! and hands it to the `da_nn::net` reactor. The process prints exactly one
 //! `listening on <addr>` line once the socket is bound — harnesses bind
 //! port 0 and scrape the kernel-assigned port from that line — then serves
@@ -16,6 +18,13 @@
 //! multiplier and saves it at `--snapshot` if the file does not exist yet;
 //! this is how CI (and a first-time reader) gets a servable artifact
 //! without a separate tool.
+//!
+//! `SIGHUP` hot-reloads the snapshot from `--reload-path` (default: the
+//! `--snapshot` path) without dropping a single connection: the handler
+//! only flips an atomic and pokes the reactor's self-pipe, and the reactor
+//! mmaps + fully validates the replacement before atomically swapping it
+//! in. A corrupt replacement is rejected and the old plan keeps serving.
+//! Clients can trigger the same reload over the wire with a `RELOAD` frame.
 
 #[cfg(unix)]
 fn main() {
@@ -29,6 +38,7 @@ fn main() {
     let mut demo = false;
     let mut serve = ServeConfig::default();
     let mut net = NetConfig::default();
+    let mut reload_path: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -48,11 +58,16 @@ fn main() {
             "--flush-deadline-min-us" => {
                 serve.flush_deadline_min = Duration::from_micros(parse(&value("µs")))
             }
+            "--default-deadline-us" => {
+                serve.default_deadline = Some(Duration::from_micros(parse(&value("µs"))))
+            }
             "--max-frame" => net.max_frame = parse(&value("bytes")),
             "--max-inflight" => net.max_inflight = parse(&value("a count")),
+            "--max-conns" => net.max_conns = parse(&value("a count")),
             "--idle-timeout-ms" => {
                 net.idle_timeout = Some(Duration::from_millis(parse(&value("ms"))))
             }
+            "--reload-path" => reload_path = Some(value("a path")),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -66,6 +81,10 @@ fn main() {
         write_demo_snapshot(&snapshot);
     }
 
+    // SIGHUP reloads from --reload-path, defaulting to the snapshot we
+    // booted from (an operator overwrites the file, then signals).
+    net.reload_path = Some(reload_path.unwrap_or_else(|| snapshot.clone()).into());
+
     let server = match BatchServer::from_snapshot(&snapshot, serve) {
         Ok(s) => s,
         Err(e) => die(&format!("cannot serve snapshot {snapshot}: {e}")),
@@ -74,6 +93,7 @@ fn main() {
         Ok(f) => f,
         Err(e) => die(&format!("cannot bind {addr}: {e}")),
     };
+    install_sighup(front.handle());
 
     // The one line harnesses scrape; flush so a piped reader sees it
     // before the first request arrives.
@@ -83,10 +103,49 @@ fn main() {
 
     match front.run() {
         Ok(stats) => eprintln!(
-            "drained: {} conns, {} ok replies, {} error replies, {} protocol errors",
-            stats.accepted, stats.replies_ok, stats.replies_err, stats.protocol_errors
+            "drained: {} conns, {} ok replies, {} error replies, {} protocol errors, \
+             {} reloads ok, {} reloads rejected",
+            stats.accepted,
+            stats.replies_ok,
+            stats.replies_err,
+            stats.protocol_errors,
+            stats.reloads_ok,
+            stats.reloads_rejected
         ),
         Err(e) => die(&format!("reactor failed: {e}")),
+    }
+}
+
+/// Route `SIGHUP` to [`NetHandle::reload`]. No `libc` dependency in this
+/// workspace, so the registration is a raw `signal(2)` FFI call; the
+/// handler body only touches async-signal-safe operations (an atomic store
+/// and a `write` to the reactor's self-pipe).
+///
+/// [`NetHandle::reload`]: defensive_approximation::nn::net::NetHandle::reload
+#[cfg(unix)]
+fn install_sighup(handle: defensive_approximation::nn::net::NetHandle) {
+    use std::sync::OnceLock;
+
+    use defensive_approximation::nn::net::NetHandle;
+
+    static HANDLE: OnceLock<NetHandle> = OnceLock::new();
+    HANDLE.set(handle).ok().unwrap_or_else(|| die("SIGHUP handler installed twice"));
+
+    extern "C" fn on_sighup(_sig: i32) {
+        // `get` on a set OnceLock is a relaxed load — safe in a handler.
+        if let Some(h) = HANDLE.get() {
+            h.reload();
+        }
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGHUP: i32 = 1;
+    const SIG_ERR: usize = usize::MAX;
+    let prev = unsafe { signal(SIGHUP, on_sighup as *const () as usize) };
+    if prev == SIG_ERR {
+        die("cannot install SIGHUP handler");
     }
 }
 
@@ -94,7 +153,11 @@ fn main() {
 const USAGE: &str = "usage: da-serve [--snapshot PATH] [--addr HOST:PORT] [--demo-snapshot]
                 [--workers N] [--max-batch N] [--queue N]
                 [--flush-deadline-us N] [--flush-deadline-min-us N]
-                [--max-frame BYTES] [--max-inflight N] [--idle-timeout-ms N]";
+                [--default-deadline-us N] [--max-frame BYTES]
+                [--max-inflight N] [--max-conns N] [--idle-timeout-ms N]
+                [--reload-path PATH]
+
+SIGHUP hot-reloads the plan from --reload-path (default: --snapshot).";
 
 #[cfg(unix)]
 fn die(msg: &str) -> ! {
