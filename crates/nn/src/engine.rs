@@ -386,6 +386,57 @@ pub enum PlanPrecision {
     Int4Weights,
 }
 
+/// Coarse numeric family of a plan — what a serving endpoint's callers can
+/// observe. Int8 and int4-weight plans serve the same quantized contract,
+/// so they share a family; hot-reloading between them is allowed while a
+/// float↔quantized swap is not (logit bit patterns would change class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrecisionFamily {
+    /// Full-precision f32 serving.
+    Float,
+    /// Quantized serving (int8 activations, int8 or int4 weight codes).
+    Quantized,
+}
+
+/// The input contract of a plan's first weight-bearing step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanInput {
+    /// Expects `[C, H, W]` items with this channel count (H, W free).
+    Conv { cin: usize },
+    /// Expects items that flatten to exactly this many features.
+    Dense { features: usize },
+}
+
+/// A plan's externally observable serving contract: what shapes it accepts,
+/// how wide its logits are, and which numeric family it answers in. Two
+/// plans with equal interfaces are interchangeable behind a serving
+/// endpoint — the shape handshake hot reload enforces ([`crate::serve`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanInterface {
+    /// First weight-bearing step's input constraint (`None` for a plan with
+    /// no weight-bearing steps — nothing to constrain).
+    pub input: Option<PlanInput>,
+    /// Output width of the final dense step, if the plan ends in one.
+    pub output_features: Option<usize>,
+    /// Numeric family the plan serves in.
+    pub family: PrecisionFamily,
+}
+
+impl std::fmt::Display for PlanInterface {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.input {
+            Some(PlanInput::Conv { cin }) => write!(f, "conv(cin={cin})")?,
+            Some(PlanInput::Dense { features }) => write!(f, "dense(in={features})")?,
+            None => write!(f, "any-input")?,
+        }
+        match self.output_features {
+            Some(n) => write!(f, " -> {n} logits")?,
+            None => write!(f, " -> passthrough")?,
+        }
+        write!(f, ", {:?}", self.family)
+    }
+}
+
 /// Per-layer int4 acceptance threshold: a conv/dense layer keeps int4
 /// weight codes only when the calibration-measured gap — the max absolute
 /// difference between its int4 and int8 post-bias pre-activation outputs,
@@ -1148,6 +1199,38 @@ impl InferencePlan {
     /// The numeric mode this plan serves in.
     pub fn precision(&self) -> PlanPrecision {
         self.precision
+    }
+
+    /// The plan's externally observable serving contract — input constraint
+    /// of the first weight-bearing step, logit width of the last, and the
+    /// numeric family. Used by the hot-reload shape handshake to refuse a
+    /// replacement that would silently change what callers get back.
+    pub fn interface(&self) -> PlanInterface {
+        let mut input = None;
+        let mut output_features = None;
+        for s in &self.steps {
+            match s {
+                Step::Conv { cin, .. } | Step::QConv { cin, .. } | Step::QConv4 { cin, .. } => {
+                    if input.is_none() {
+                        input = Some(PlanInput::Conv { cin: *cin });
+                    }
+                }
+                Step::Dense { in_features, out_features, .. }
+                | Step::QDense { in_features, out_features, .. }
+                | Step::QDense4 { in_features, out_features, .. } => {
+                    if input.is_none() {
+                        input = Some(PlanInput::Dense { features: *in_features });
+                    }
+                    output_features = Some(*out_features);
+                }
+                _ => {}
+            }
+        }
+        let family = match self.precision {
+            PlanPrecision::F32 => PrecisionFamily::Float,
+            PlanPrecision::Int8 | PlanPrecision::Int4Weights => PrecisionFamily::Quantized,
+        };
+        PlanInterface { input, output_features, family }
     }
 
     /// How [`InferencePlan::compile_quantized_int4`] split the GEMM layers:

@@ -14,7 +14,11 @@
 //! deadline, and transparent retry of *idempotent* requests (`INFER`,
 //! `PING`, `STATS` — inference is a pure function of the plan, so
 //! resending after an ambiguous failure at worst recomputes). Non-idempotent
-//! traffic (`RELOAD`, `SHUTDOWN`) is never silently resent.
+//! traffic (`RELOAD`, `SHUTDOWN`) is never silently resent. An
+//! `Overloaded` refusal carrying a server retry hint is retried after
+//! waiting out exactly that hint (capped by the call budget) instead of
+//! the generic backoff curve — the server knows its backlog, the curve
+//! does not.
 
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -22,11 +26,33 @@ use std::time::{Duration, Instant};
 
 use rand::{Rng, SeedableRng};
 
-use crate::net::frame::{self, ErrCode, FrameDecoder, Message, DEFAULT_MAX_FRAME};
+use crate::net::frame::{self, stats, ErrCode, FrameDecoder, Message, DEFAULT_MAX_FRAME};
 
-/// One reply to an `INFER`: logits on success, `(code, message)` on
-/// failure.
-pub type InferResult = Result<(Vec<usize>, Vec<f32>), (ErrCode, String)>;
+/// A successful `INFER` reply.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InferReply {
+    /// Logit tensor shape.
+    pub shape: Vec<usize>,
+    /// Logit values, bit-identical to a serial run of the serving plan.
+    pub data: Vec<f32>,
+    /// Served by the brownout fallback plan rather than the primary.
+    pub degraded: bool,
+}
+
+/// A typed refusal: the server answered, with an error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InferRefusal {
+    /// Wire error code.
+    pub code: ErrCode,
+    /// Human-readable detail.
+    pub msg: String,
+    /// Server's estimate of when retrying could succeed (shed and
+    /// rate-limit replies); `None` when the server sent no hint.
+    pub retry_after: Option<Duration>,
+}
+
+/// One reply to an `INFER`: logits on success, a typed refusal otherwise.
+pub type InferResult = Result<InferReply, InferRefusal>;
 
 /// Snapshot of the server's lifetime counters ([`Client::stats`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -43,6 +69,39 @@ pub struct ServerStats {
     pub deadline_expired: u64,
     /// Plan generation: bumped by every successful hot reload.
     pub generation: u64,
+    /// Requests shed by overload control (estimate-shed + shed-oldest).
+    pub shed_total: u64,
+    /// Requests served by the brownout fallback plan.
+    pub degraded_total: u64,
+    /// Requests refused by a token bucket before reaching the queue.
+    pub rate_limited: u64,
+    /// EWMA of per-item service time, nanoseconds (0 until warm).
+    pub ewma_service_ns: u64,
+    /// Plan reloads rejected with the old plan left serving.
+    pub reloads_rejected: u64,
+}
+
+impl ServerStats {
+    /// Decode the fixed-index counter list from a `STATS_REPLY` (see
+    /// [`stats`]). Forward- and backward-compatible by construction: a
+    /// counter the server predates reads as 0, and unknown tail counters
+    /// from a newer server are ignored.
+    pub fn from_counters(counters: &[u64]) -> ServerStats {
+        let g = |i: usize| counters.get(i).copied().unwrap_or(0);
+        ServerStats {
+            batches: g(stats::BATCHES),
+            items: g(stats::ITEMS),
+            flush_deadline_ns: g(stats::FLUSH_DEADLINE_NS),
+            worker_restarts: g(stats::WORKER_RESTARTS),
+            deadline_expired: g(stats::DEADLINE_EXPIRED),
+            generation: g(stats::GENERATION),
+            shed_total: g(stats::SHED_TOTAL),
+            degraded_total: g(stats::DEGRADED_TOTAL),
+            rate_limited: g(stats::RATE_LIMITED),
+            ewma_service_ns: g(stats::EWMA_SERVICE_NS),
+            reloads_rejected: g(stats::RELOADS_REJECTED),
+        }
+    }
 }
 
 /// Blocking protocol client (see module docs).
@@ -144,14 +203,8 @@ impl Client {
     /// One synchronous inference round trip.
     pub fn infer(&mut self, shape: &[usize], data: &[f32]) -> io::Result<InferResult> {
         let want = self.send_infer(shape, data)?;
-        match self.recv_reply()? {
-            Message::InferOk { req_id, shape, data } if req_id == want => Ok(Ok((shape, data))),
-            Message::InferErr { req_id, code, msg } if req_id == want => Ok(Err((code, msg))),
-            other => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unexpected reply to synchronous infer: {other:?}"),
-            )),
-        }
+        let reply = self.recv_reply()?;
+        decode_infer_reply(want, reply)
     }
 
     /// Liveness round trip.
@@ -170,21 +223,7 @@ impl Client {
     pub fn stats(&mut self) -> io::Result<ServerStats> {
         self.send(&Message::Stats)?;
         match self.recv_reply()? {
-            Message::StatsReply {
-                batches,
-                items,
-                flush_deadline_ns,
-                worker_restarts,
-                deadline_expired,
-                generation,
-            } => Ok(ServerStats {
-                batches,
-                items,
-                flush_deadline_ns,
-                worker_restarts,
-                deadline_expired,
-                generation,
-            }),
+            Message::StatsReply { counters } => Ok(ServerStats::from_counters(&counters)),
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("expected STATS_REPLY, got {other:?}"),
@@ -353,23 +392,68 @@ impl RobustClient {
     /// One synchronous inference, surviving reconnects. `deadline` is both
     /// sent to the server (per-request budget) and, combined with
     /// [`RetryPolicy::call_deadline`], bounds the whole call locally.
+    ///
+    /// Refusals are server *answers*, not transport faults, and are
+    /// normally returned as-is — except an [`ErrCode::Overloaded`] refusal
+    /// carrying a retry hint: the client waits out exactly the hint
+    /// (capped by the remaining call budget) on the same connection and
+    /// resends, until attempts or the budget run out, at which point the
+    /// last refusal is returned.
     pub fn infer(
         &mut self,
         shape: &[usize],
         data: &[f32],
         deadline: Option<Duration>,
     ) -> io::Result<InferResult> {
-        self.with_retry(|c| {
-            let want = c.send_infer_deadline(shape, data, deadline)?;
-            match c.recv_reply()? {
-                Message::InferOk { req_id, shape, data } if req_id == want => Ok(Ok((shape, data))),
-                Message::InferErr { req_id, code, msg } if req_id == want => Ok(Err((code, msg))),
-                other => Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("unexpected reply to synchronous infer: {other:?}"),
-                )),
+        let call_deadline = self.policy.call_deadline.map(|d| Instant::now() + d);
+        let attempts = self.policy.max_attempts.max(1);
+        let mut last_err: Option<io::Error> = None;
+        let mut last_refusal: Option<InferRefusal> = None;
+        for _ in 0..attempts {
+            if let Some(d) = call_deadline {
+                if Instant::now() >= d {
+                    break;
+                }
             }
-        })
+            let conn = match self.ensure_conn(call_deadline) {
+                Ok(c) => c,
+                Err(err) => {
+                    last_err = Some(err);
+                    continue;
+                }
+            };
+            let round = conn
+                .send_infer_deadline(shape, data, deadline)
+                .and_then(|want| conn.recv_reply().map(|reply| (want, reply)))
+                .and_then(|(want, reply)| decode_infer_reply(want, reply));
+            match round {
+                Ok(Ok(reply)) => return Ok(Ok(reply)),
+                Ok(Err(refusal)) => {
+                    let hint = (refusal.code == ErrCode::Overloaded)
+                        .then_some(refusal.retry_after)
+                        .flatten();
+                    let Some(hint) = hint else { return Ok(Err(refusal)) };
+                    // The connection is healthy — the server answered — so
+                    // keep it and sleep the server's own estimate.
+                    let pause = match call_deadline {
+                        Some(d) => hint.min(d.saturating_duration_since(Instant::now())),
+                        None => hint,
+                    };
+                    std::thread::sleep(pause);
+                    last_refusal = Some(refusal);
+                }
+                Err(err) => {
+                    // The stream may hold half a frame; never reuse it.
+                    self.conn = None;
+                    last_err = Some(err);
+                }
+            }
+        }
+        if let Some(refusal) = last_refusal {
+            return Ok(Err(refusal));
+        }
+        Err(last_err
+            .unwrap_or_else(|| io::Error::new(io::ErrorKind::TimedOut, "call deadline exhausted")))
     }
 
     /// Liveness round trip, surviving reconnects.
@@ -387,5 +471,147 @@ impl RobustClient {
     pub fn raw(&mut self) -> io::Result<&mut Client> {
         let deadline = self.policy.call_deadline.map(|d| Instant::now() + d);
         self.ensure_conn(deadline)
+    }
+}
+
+/// Turn the reply frame for request `want` into an [`InferResult`]; any
+/// other frame is a protocol error.
+fn decode_infer_reply(want: u64, reply: Message) -> io::Result<InferResult> {
+    match reply {
+        Message::InferOk { req_id, degraded, shape, data } if req_id == want => {
+            Ok(Ok(InferReply { shape, data, degraded }))
+        }
+        Message::InferErr { req_id, code, retry_after_us, msg } if req_id == want => {
+            Ok(Err(InferRefusal {
+                code,
+                msg,
+                retry_after: (retry_after_us > 0)
+                    .then(|| Duration::from_micros(u64::from(retry_after_us))),
+            }))
+        }
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected reply to synchronous infer: {other:?}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn read_msg(stream: &mut TcpStream, dec: &mut FrameDecoder) -> Message {
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            if let Some(p) = dec.next_payload(DEFAULT_MAX_FRAME).expect("well-framed") {
+                return frame::decode(&p).expect("well-formed");
+            }
+            let n = stream.read(&mut buf).expect("read");
+            assert!(n > 0, "peer closed mid-script");
+            dec.push(&buf[..n]);
+        }
+    }
+
+    #[test]
+    fn server_stats_decode_is_forward_and_backward_compatible() {
+        // An older server sent fewer counters than this build knows:
+        // everything it predates reads 0.
+        let old = ServerStats::from_counters(&[1, 2, 3]);
+        assert_eq!(old.batches, 1);
+        assert_eq!(old.items, 2);
+        assert_eq!(old.flush_deadline_ns, 3);
+        assert_eq!(old.worker_restarts, 0);
+        assert_eq!(old.shed_total, 0);
+        assert_eq!(old.rate_limited, 0);
+        // A newer server sent counters this build does not know: the tail
+        // is ignored, the known prefix decodes.
+        let mut counters = vec![0u64; stats::COUNT + 5];
+        counters[stats::SHED_TOTAL] = 9;
+        counters[stats::RATE_LIMITED] = 4;
+        counters[stats::EWMA_SERVICE_NS] = 77;
+        counters[stats::COUNT..].fill(u64::MAX);
+        let new = ServerStats::from_counters(&counters);
+        assert_eq!(new.shed_total, 9);
+        assert_eq!(new.rate_limited, 4);
+        assert_eq!(new.ewma_service_ns, 77);
+    }
+
+    /// The RetryAfter satellite: an `Overloaded` refusal with a hint is
+    /// retried after waiting out exactly the hint — on the same
+    /// connection, not through the reconnect/backoff path.
+    #[test]
+    fn robust_client_waits_out_the_retry_hint_then_succeeds() {
+        const HINT: Duration = Duration::from_millis(80);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut dec = FrameDecoder::new();
+            let Message::Infer { req_id, .. } = read_msg(&mut stream, &mut dec) else {
+                panic!("expected INFER")
+            };
+            stream
+                .write_all(&frame::encode(&Message::InferErr {
+                    req_id,
+                    code: ErrCode::Overloaded,
+                    retry_after_us: HINT.as_micros() as u32,
+                    msg: "shed".into(),
+                }))
+                .expect("write refusal");
+            // The retry arrives on the same stream: same decoder state.
+            let Message::Infer { req_id, shape, data, .. } = read_msg(&mut stream, &mut dec)
+            else {
+                panic!("expected retried INFER")
+            };
+            stream
+                .write_all(&frame::encode(&Message::InferOk { req_id, degraded: true, shape, data }))
+                .expect("write reply");
+        });
+        let mut client = RobustClient::new(addr.to_string(), RetryPolicy::default());
+        let t0 = Instant::now();
+        let reply =
+            client.infer(&[2], &[1.0, -2.0], None).expect("transport ok").expect("served");
+        assert!(
+            t0.elapsed() >= HINT,
+            "retry fired after {:?}, before the {HINT:?} hint elapsed",
+            t0.elapsed()
+        );
+        assert!(reply.degraded);
+        assert_eq!(reply.data, vec![1.0, -2.0]);
+        assert_eq!(reply.shape, vec![2]);
+        server.join().expect("server thread");
+    }
+
+    /// Refusals that carry no hint — or are not `Overloaded` — come back
+    /// immediately, untouched by the retry machinery.
+    #[test]
+    fn refusals_without_an_overload_hint_are_returned_immediately() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut dec = FrameDecoder::new();
+            let Message::Infer { req_id, .. } = read_msg(&mut stream, &mut dec) else {
+                panic!("expected INFER")
+            };
+            // A hint on a non-Overloaded code must not trigger a retry wait.
+            stream
+                .write_all(&frame::encode(&Message::InferErr {
+                    req_id,
+                    code: ErrCode::DeadlineExceeded,
+                    retry_after_us: 5_000_000,
+                    msg: "expired in queue".into(),
+                }))
+                .expect("write refusal");
+        });
+        let mut client = RobustClient::new(addr.to_string(), RetryPolicy::default());
+        let t0 = Instant::now();
+        let refusal =
+            client.infer(&[1], &[0.5], None).expect("transport ok").expect_err("refused");
+        assert!(t0.elapsed() < Duration::from_secs(5), "must not sleep a non-overload hint");
+        assert_eq!(refusal.code, ErrCode::DeadlineExceeded);
+        assert_eq!(refusal.retry_after, Some(Duration::from_secs(5)));
+        server.join().expect("server thread");
     }
 }

@@ -26,10 +26,10 @@
 //! | `0x03` | STATS        | empty |
 //! | `0x04` | SHUTDOWN     | empty |
 //! | `0x05` | RELOAD       | `path_len: u16`, `path_len` UTF-8 bytes |
-//! | `0x81` | INFER_OK     | `req_id: u64`, `rank: u8`, `rank × dim: u32`, `prod(dims) × f32` |
-//! | `0x82` | INFER_ERR    | `req_id: u64`, `code: u8`, `msg_len: u16`, `msg_len` UTF-8 bytes |
+//! | `0x81` | INFER_OK     | `req_id: u64`, `flags: u8`, `rank: u8`, `rank × dim: u32`, `prod(dims) × f32` |
+//! | `0x82` | INFER_ERR    | `req_id: u64`, `code: u8`, `retry_after_us: u32`, `msg_len: u16`, `msg_len` UTF-8 bytes |
 //! | `0x83` | PONG         | empty |
-//! | `0x84` | STATS_REPLY  | `batches: u64`, `items: u64`, `flush_deadline_ns: u64`, `worker_restarts: u64`, `deadline_expired: u64`, `generation: u64` |
+//! | `0x84` | STATS_REPLY  | `count: u16`, `count × counter: u64` (see [`stats`]) |
 //! | `0x85` | SHUTDOWN_ACK | empty |
 //! | `0x86` | RELOAD_REPLY | `ok: u8`, `generation: u64`, `msg_len: u16`, `msg_len` UTF-8 bytes |
 //!
@@ -41,6 +41,18 @@
 //! in microseconds measured from server admission, `0` meaning "use the
 //! server's default"; a request the server cannot execute inside its budget
 //! is shed with [`ErrCode::DeadlineExceeded`] instead of running late.
+//!
+//! INFER_OK's `flags` byte carries per-reply serving metadata: bit 0 set
+//! means the reply was computed by the server's *degraded* (brownout)
+//! fallback plan rather than the primary. Unknown flag bits are reserved
+//! and must be ignored by clients. INFER_ERR's `retry_after_us` is the
+//! server's backlog-clearance hint for [`ErrCode::Overloaded`]-family
+//! sheds — how long (µs) a well-behaved client should wait before
+//! retrying; `0` means "no hint". STATS_REPLY is a length-prefixed
+//! counter list so servers can append counters without breaking older
+//! clients: indices are fixed forever (see [`stats`]), readers ignore
+//! counters past the ones they know and zero-fill counters the server
+//! has not sent.
 //!
 //! RELOAD asks the server to hot-swap its plan snapshot: an empty `path`
 //! means "re-map the snapshot the server was started from", a non-empty
@@ -68,6 +80,41 @@ pub const DEFAULT_MAX_FRAME: usize = 16 << 20;
 /// Maximum tensor rank a frame may carry (matches the tensor crate's
 /// practical ceiling; serving uses rank ≤ 4).
 pub const MAX_RANK: usize = 8;
+
+/// Upper bound on the STATS_REPLY counter count — far above anything the
+/// server emits, low enough that a hostile prefix cannot reserve memory.
+pub const MAX_STATS_COUNTERS: usize = 256;
+
+/// Fixed counter indices for the STATS_REPLY list. Positions are
+/// append-only wire ABI: new counters take the next index, existing ones
+/// never move, so an old client reading a new server simply ignores the
+/// tail (and a new client reading an old server zero-fills it).
+pub mod stats {
+    /// Batches dispatched to workers.
+    pub const BATCHES: usize = 0;
+    /// Items served across all batches.
+    pub const ITEMS: usize = 1;
+    /// Current adaptive flush deadline, nanoseconds.
+    pub const FLUSH_DEADLINE_NS: usize = 2;
+    /// Worker panics survived by respawn.
+    pub const WORKER_RESTARTS: usize = 3;
+    /// Requests shed because their deadline passed before execution.
+    pub const DEADLINE_EXPIRED: usize = 4;
+    /// Plan generation (bumps on every successful hot reload).
+    pub const GENERATION: usize = 5;
+    /// Requests shed by admission-time overload control.
+    pub const SHED_TOTAL: usize = 6;
+    /// Items answered by the degraded (brownout) fallback plan.
+    pub const DEGRADED_TOTAL: usize = 7;
+    /// Requests refused by the token-bucket rate limiter.
+    pub const RATE_LIMITED: usize = 8;
+    /// EWMA of per-item service time, nanoseconds (0 until warmed up).
+    pub const EWMA_SERVICE_NS: usize = 9;
+    /// Hot reloads rejected (corrupt, unreadable, or shape-incompatible).
+    pub const RELOADS_REJECTED: usize = 10;
+    /// Number of counters the current server emits.
+    pub const COUNT: usize = 11;
+}
 
 /// Why a frame or payload was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -144,22 +191,17 @@ pub enum Message {
     /// Hot-swap the served plan snapshot (empty `path` = the snapshot the
     /// server was started from).
     Reload { path: String },
-    /// Logits for the matching `Infer`.
-    InferOk { req_id: u64, shape: Vec<usize>, data: Vec<f32> },
+    /// Logits for the matching `Infer`. `degraded` is set when the reply
+    /// was computed by the server's brownout fallback plan.
+    InferOk { req_id: u64, degraded: bool, shape: Vec<usize>, data: Vec<f32> },
     /// The matching `Infer` failed; `req_id` 0 marks connection-level
-    /// protocol errors that have no request to blame.
-    InferErr { req_id: u64, code: ErrCode, msg: String },
+    /// protocol errors that have no request to blame. `retry_after_us` is
+    /// the server's retry hint for overload sheds (`0` = no hint).
+    InferErr { req_id: u64, code: ErrCode, retry_after_us: u32, msg: String },
     /// Reply to `Ping`.
     Pong,
-    /// Reply to `Stats`.
-    StatsReply {
-        batches: u64,
-        items: u64,
-        flush_deadline_ns: u64,
-        worker_restarts: u64,
-        deadline_expired: u64,
-        generation: u64,
-    },
+    /// Reply to `Stats`: the counter list, indexed per [`stats`].
+    StatsReply { counters: Vec<u64> },
     /// Reply to `Shutdown`: drain has begun.
     ShutdownAck,
     /// Reply to `Reload`: whether the swap happened, the now-current plan
@@ -179,16 +221,14 @@ const OP_STATS_REPLY: u8 = 0x84;
 const OP_SHUTDOWN_ACK: u8 = 0x85;
 const OP_RELOAD_REPLY: u8 = 0x86;
 
+/// INFER_OK `flags` bit 0: reply served by the degraded fallback plan.
+const FLAG_DEGRADED: u8 = 0x01;
+
 fn put_str(out: &mut Vec<u8>, s: &str) {
     let bytes = s.as_bytes();
     let len = bytes.len().min(u16::MAX as usize);
     out.extend_from_slice(&(len as u16).to_le_bytes());
     out.extend_from_slice(&bytes[..len]);
-}
-
-fn put_tensor(out: &mut Vec<u8>, req_id: u64, shape: &[usize], data: &[f32]) {
-    out.extend_from_slice(&req_id.to_le_bytes());
-    put_tensor_body(out, shape, data);
 }
 
 fn put_tensor_body(out: &mut Vec<u8>, shape: &[usize], data: &[f32]) {
@@ -214,34 +254,29 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             payload.extend_from_slice(&deadline_us.to_le_bytes());
             put_tensor_body(&mut payload, shape, data);
         }
-        Message::InferOk { req_id, shape, data } => {
+        Message::InferOk { req_id, degraded, shape, data } => {
             payload.push(OP_INFER_OK);
-            put_tensor(&mut payload, *req_id, shape, data);
+            payload.extend_from_slice(&req_id.to_le_bytes());
+            payload.push(u8::from(*degraded) & FLAG_DEGRADED);
+            put_tensor_body(&mut payload, shape, data);
         }
-        Message::InferErr { req_id, code, msg } => {
+        Message::InferErr { req_id, code, retry_after_us, msg } => {
             payload.push(OP_INFER_ERR);
             payload.extend_from_slice(&req_id.to_le_bytes());
             payload.push(*code as u8);
+            payload.extend_from_slice(&retry_after_us.to_le_bytes());
             put_str(&mut payload, msg);
         }
         Message::Ping => payload.push(OP_PING),
         Message::Pong => payload.push(OP_PONG),
         Message::Stats => payload.push(OP_STATS),
-        Message::StatsReply {
-            batches,
-            items,
-            flush_deadline_ns,
-            worker_restarts,
-            deadline_expired,
-            generation,
-        } => {
+        Message::StatsReply { counters } => {
+            assert!(counters.len() <= MAX_STATS_COUNTERS, "stats counter list too long");
             payload.push(OP_STATS_REPLY);
-            payload.extend_from_slice(&batches.to_le_bytes());
-            payload.extend_from_slice(&items.to_le_bytes());
-            payload.extend_from_slice(&flush_deadline_ns.to_le_bytes());
-            payload.extend_from_slice(&worker_restarts.to_le_bytes());
-            payload.extend_from_slice(&deadline_expired.to_le_bytes());
-            payload.extend_from_slice(&generation.to_le_bytes());
+            payload.extend_from_slice(&(counters.len() as u16).to_le_bytes());
+            for &c in counters {
+                payload.extend_from_slice(&c.to_le_bytes());
+            }
         }
         Message::Shutdown => payload.push(OP_SHUTDOWN),
         Message::ShutdownAck => payload.push(OP_SHUTDOWN_ACK),
@@ -363,27 +398,39 @@ pub fn decode(payload: &[u8]) -> Result<Message, FrameError> {
         }
         OP_INFER_OK => {
             let req_id = c.u64()?;
+            // Unknown flag bits are reserved-and-ignored so a newer server
+            // can annotate replies without breaking this client.
+            let flags = c.u8()?;
             let (shape, data) = c.tensor()?;
-            Message::InferOk { req_id, shape, data }
+            Message::InferOk { req_id, degraded: flags & FLAG_DEGRADED != 0, shape, data }
         }
         OP_INFER_ERR => {
             let req_id = c.u64()?;
             let code =
                 ErrCode::from_u8(c.u8()?).ok_or(FrameError::Malformed("unknown error code"))?;
+            let retry_after_us = c.u32()?;
             let msg = c.string()?;
-            Message::InferErr { req_id, code, msg }
+            Message::InferErr { req_id, code, retry_after_us, msg }
         }
         OP_PING => Message::Ping,
         OP_PONG => Message::Pong,
         OP_STATS => Message::Stats,
-        OP_STATS_REPLY => Message::StatsReply {
-            batches: c.u64()?,
-            items: c.u64()?,
-            flush_deadline_ns: c.u64()?,
-            worker_restarts: c.u64()?,
-            deadline_expired: c.u64()?,
-            generation: c.u64()?,
-        },
+        OP_STATS_REPLY => {
+            let count = c.u16()? as usize;
+            if count > MAX_STATS_COUNTERS {
+                return Err(FrameError::Malformed("stats counter count exceeds limit"));
+            }
+            // Validate the full extent before allocating: count × 8 bytes
+            // must be exactly what remains.
+            if c.buf.len() - c.pos != count * 8 {
+                return Err(FrameError::Malformed("stats counter list length mismatch"));
+            }
+            let mut counters = Vec::with_capacity(count);
+            for _ in 0..count {
+                counters.push(c.u64()?);
+            }
+            Message::StatsReply { counters }
+        }
         OP_SHUTDOWN => Message::Shutdown,
         OP_SHUTDOWN_ACK => Message::ShutdownAck,
         OP_RELOAD => Message::Reload { path: c.string()? },
@@ -497,28 +544,42 @@ mod tests {
             shape: vec![2],
             data: vec![1.0, 2.0],
         });
-        round_trip(Message::InferOk { req_id: u64::MAX, shape: vec![10], data: vec![0.0; 10] });
+        round_trip(Message::InferOk {
+            req_id: u64::MAX,
+            degraded: false,
+            shape: vec![10],
+            data: vec![0.0; 10],
+        });
+        round_trip(Message::InferOk {
+            req_id: 9,
+            degraded: true,
+            shape: vec![2],
+            data: vec![1.5, -2.5],
+        });
         round_trip(Message::InferErr {
             req_id: 3,
             code: ErrCode::Execution,
+            retry_after_us: 0,
             msg: "shape mismatch".into(),
         });
         round_trip(Message::InferErr {
             req_id: 4,
             code: ErrCode::DeadlineExceeded,
+            retry_after_us: 0,
             msg: "deadline exceeded".into(),
+        });
+        round_trip(Message::InferErr {
+            req_id: 5,
+            code: ErrCode::Overloaded,
+            retry_after_us: 12_500,
+            msg: "queue would blow the deadline".into(),
         });
         round_trip(Message::Ping);
         round_trip(Message::Pong);
         round_trip(Message::Stats);
-        round_trip(Message::StatsReply {
-            batches: 1,
-            items: 9,
-            flush_deadline_ns: 250_000,
-            worker_restarts: 2,
-            deadline_expired: 3,
-            generation: 4,
-        });
+        round_trip(Message::StatsReply { counters: vec![] });
+        round_trip(Message::StatsReply { counters: vec![1, 9, 250_000, 2, 3, 4] });
+        round_trip(Message::StatsReply { counters: (0..stats::COUNT as u64).collect() });
         round_trip(Message::Shutdown);
         round_trip(Message::ShutdownAck);
         round_trip(Message::Reload { path: String::new() });
@@ -560,9 +621,64 @@ mod tests {
     }
 
     #[test]
+    fn unknown_infer_ok_flag_bits_are_ignored() {
+        // A newer server setting reserved flag bits must not break this
+        // decoder — bit 0 is read, the rest are ignored.
+        let frame = encode(&Message::InferOk {
+            req_id: 11,
+            degraded: false,
+            shape: vec![1],
+            data: vec![3.0],
+        });
+        let mut payload = frame[4..].to_vec();
+        payload[9] = 0xfe; // flags byte: every reserved bit set, bit 0 clear
+        match decode(&payload).expect("decodes despite reserved flags") {
+            Message::InferOk { req_id, degraded, .. } => {
+                assert_eq!(req_id, 11);
+                assert!(!degraded);
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_reply_tolerates_counters_this_build_does_not_know() {
+        // Forward compatibility: a server two versions ahead sends more
+        // counters than `stats::COUNT`; the decode must still succeed.
+        let future = Message::StatsReply { counters: (0..stats::COUNT as u64 + 7).collect() };
+        round_trip(future);
+    }
+
+    #[test]
+    fn hostile_stats_replies_are_rejected() {
+        // Counter count larger than the payload actually carries.
+        let mut p = vec![OP_STATS_REPLY];
+        p.extend_from_slice(&4_u16.to_le_bytes());
+        p.extend_from_slice(&7_u64.to_le_bytes());
+        assert!(matches!(decode(&p), Err(FrameError::Malformed(_))));
+
+        // Count over the hard cap is rejected before any allocation.
+        let mut p = vec![OP_STATS_REPLY];
+        p.extend_from_slice(&u16::MAX.to_le_bytes());
+        assert!(matches!(decode(&p), Err(FrameError::Malformed(_))));
+
+        // Trailing bytes beyond the declared counters.
+        let mut p = vec![OP_STATS_REPLY];
+        p.extend_from_slice(&1_u16.to_le_bytes());
+        p.extend_from_slice(&7_u64.to_le_bytes());
+        p.push(0xaa);
+        assert!(matches!(decode(&p), Err(FrameError::Malformed(_))));
+    }
+
+    #[test]
     fn nonfinite_floats_survive_the_wire_bit_for_bit() {
         let data = vec![f32::NAN, f32::INFINITY, -0.0, f32::MIN_POSITIVE];
-        let frame = encode(&Message::InferOk { req_id: 2, shape: vec![4], data: data.clone() });
+        let frame = encode(&Message::InferOk {
+            req_id: 2,
+            degraded: false,
+            shape: vec![4],
+            data: data.clone(),
+        });
         match decode(&frame[4..]).expect("decodes") {
             Message::InferOk { data: got, .. } => {
                 let want: Vec<u32> = data.iter().map(|v| v.to_bits()).collect();
@@ -668,6 +784,7 @@ mod tests {
         let mut p = vec![OP_INFER_ERR];
         p.extend_from_slice(&1_u64.to_le_bytes());
         p.push(ErrCode::Protocol as u8);
+        p.extend_from_slice(&0_u32.to_le_bytes()); // retry_after_us
         p.extend_from_slice(&2_u16.to_le_bytes());
         p.extend_from_slice(&[0xff, 0xfe]);
         assert!(matches!(decode(&p), Err(FrameError::Malformed(_))));

@@ -51,6 +51,14 @@
 //!   batch's requests (typed error replies, never a hang); the `STATS`
 //!   reply exposes the restart count, the deadline-shed count, and the
 //!   plan-pool generation.
+//! * **Overload control** — token-bucket admission ([`NetConfig::rate`],
+//!   [`NetConfig::conn_rate`]) and deadline-aware load shedding refuse
+//!   excess traffic with typed `Overloaded` replies carrying a
+//!   `retry_after_us` hint (which [`RobustClient`] honors); under
+//!   sustained shed pressure the batch server can fail over to a cheaper
+//!   fallback plan, flagging each such reply `degraded`. The `STATS`
+//!   reply is a forward-compatible counter list ([`frame::stats`]) so new
+//!   counters never break old clients.
 //!
 //! # Why not an async runtime?
 //!
@@ -73,6 +81,6 @@ pub mod server;
 pub use frame::{ErrCode, FrameDecoder, FrameError, Message, DEFAULT_MAX_FRAME, MAX_RANK};
 
 #[cfg(unix)]
-pub use client::{Client, RetryPolicy, RobustClient, ServerStats};
+pub use client::{Client, InferRefusal, InferReply, RetryPolicy, RobustClient, ServerStats};
 #[cfg(unix)]
 pub use server::{NetConfig, NetHandle, NetServer, NetStats};

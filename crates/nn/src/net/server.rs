@@ -31,6 +31,12 @@
 //!   clients stay live. Complete frames already sitting in a paused
 //!   connection's decoder are resumed the same way — backpressure never
 //!   strands a fully-received request waiting for bytes that will not come.
+//! * **Admission control**: optional token buckets ([`NetConfig::rate`]
+//!   global, [`NetConfig::conn_rate`] per connection, both refilled from
+//!   the reactor clock) gate `INFER` admission *ahead of* the batch
+//!   queue. A rate-limited request gets an immediate `INFER_ERR { code:
+//!   Overloaded }` carrying a `retry_after_us` hint instead of occupying
+//!   queue space; unconfigured buckets cost one `Option` check.
 //! * **Graceful drain**: a `SHUTDOWN` frame (or [`NetHandle::shutdown`])
 //!   stops the listener and all request reading, answers new `INFER`s
 //!   with `ShuttingDown`, but lets every in-flight batch complete and
@@ -102,6 +108,18 @@ pub struct NetConfig {
     /// default (epoll on Linux). The fallback path serves real traffic on
     /// non-Linux Unixes, so tests exercise it explicitly via this knob.
     pub use_poll_backend: bool,
+    /// Global admission rate in `INFER` requests per second. `None`
+    /// (default) disables global rate limiting.
+    pub rate: Option<f64>,
+    /// Global token-bucket depth. `None` defaults to one second of
+    /// [`rate`](NetConfig::rate) (floored at 1 token).
+    pub burst: Option<f64>,
+    /// Per-connection admission rate in requests per second. `None`
+    /// (default) disables per-connection rate limiting.
+    pub conn_rate: Option<f64>,
+    /// Per-connection bucket depth; `None` defaults to one second of
+    /// [`conn_rate`](NetConfig::conn_rate) (floored at 1 token).
+    pub conn_burst: Option<f64>,
 }
 
 impl Default for NetConfig {
@@ -116,6 +134,10 @@ impl Default for NetConfig {
             accept_backoff: Duration::from_millis(50),
             reload_path: None,
             use_poll_backend: false,
+            rate: None,
+            burst: None,
+            conn_rate: None,
+            conn_burst: None,
         }
     }
 }
@@ -127,6 +149,56 @@ impl NetConfig {
     fn normalized(mut self) -> NetConfig {
         self.max_frame = self.max_frame.min(u32::MAX as usize);
         self
+    }
+
+    fn global_bucket(&self, now: Instant) -> Option<TokenBucket> {
+        self.rate.map(|r| TokenBucket::new(r, self.burst, now))
+    }
+
+    fn conn_bucket(&self, now: Instant) -> Option<TokenBucket> {
+        self.conn_rate.map(|r| TokenBucket::new(r, self.conn_burst, now))
+    }
+}
+
+/// A token bucket refilled from the reactor clock: `rate` tokens per
+/// second up to a depth of `burst`, one token per admitted request.
+/// Time is always passed in (never sampled here) so tests drive it with
+/// fabricated instants and the reactor samples the clock once per frame.
+#[derive(Debug, Clone)]
+struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    /// `burst` defaults to one second of `rate` and is floored at one
+    /// token — a bucket that can never admit anything is a misconfiguration,
+    /// not a feature.
+    fn new(rate: f64, burst: Option<f64>, now: Instant) -> TokenBucket {
+        let rate = rate.max(f64::MIN_POSITIVE);
+        let burst = burst.unwrap_or(rate).max(1.0);
+        TokenBucket { rate, burst, tokens: burst, last: now }
+    }
+
+    /// Is a token available right now? Refills from the elapsed time but
+    /// does not spend; `Err` carries the time until one token exists — the
+    /// client's `retry_after` hint.
+    fn peek(&mut self, now: Instant) -> Result<(), Duration> {
+        let dt = now.saturating_duration_since(self.last).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+        self.last = now;
+        if self.tokens >= 1.0 {
+            Ok(())
+        } else {
+            Err(Duration::from_secs_f64((1.0 - self.tokens) / self.rate))
+        }
+    }
+
+    /// Spend one token (call only after a successful [`peek`](TokenBucket::peek)).
+    fn take(&mut self) {
+        self.tokens = (self.tokens - 1.0).max(0.0);
     }
 }
 
@@ -152,6 +224,9 @@ pub struct NetStats {
     pub reloads_ok: u64,
     /// Plan reloads rejected with the old plans left serving.
     pub reloads_rejected: u64,
+    /// `INFER` requests refused by a token bucket (global or
+    /// per-connection) before reaching the batch queue.
+    pub rate_limited: u64,
 }
 
 /// Thread-safe trigger for a graceful drain or a plan reload (see module
@@ -215,6 +290,8 @@ struct Conn {
     /// Interest currently registered with the poller, to skip redundant
     /// `modify` syscalls.
     registered: (bool, bool),
+    /// Per-connection admission bucket ([`NetConfig::conn_rate`]).
+    bucket: Option<TokenBucket>,
 }
 
 impl Conn {
@@ -316,11 +393,14 @@ struct Reactor {
     /// While set, the listener is deregistered and accepting is paused
     /// until this instant (persistent accept-error backoff).
     accept_resume_at: Option<Instant>,
+    /// Global admission bucket ([`NetConfig::rate`]).
+    global_bucket: Option<TokenBucket>,
     stats: NetStats,
 }
 
 impl Reactor {
     fn new(front: NetServer) -> io::Result<Reactor> {
+        let global_bucket = front.config.global_bucket(Instant::now());
         Ok(Reactor {
             listener: front.listener,
             server: front.server,
@@ -334,6 +414,7 @@ impl Reactor {
             draining: false,
             drain_deadline: None,
             accept_resume_at: None,
+            global_bucket,
             stats: NetStats::default(),
         })
     }
@@ -469,6 +550,7 @@ impl Reactor {
                     if self.poller.add(stream.as_raw_fd(), Event::readable(key)).is_err() {
                         continue;
                     }
+                    let now = Instant::now();
                     self.conns.insert(
                         key,
                         Conn {
@@ -478,9 +560,10 @@ impl Reactor {
                             wpos: 0,
                             inflight: 0,
                             parked: VecDeque::new(),
-                            last_rx: Instant::now(),
+                            last_rx: now,
                             state: ConnState::Open,
                             registered: (true, false),
+                            bucket: self.config.conn_bucket(now),
                         },
                     );
                     self.stats.accepted += 1;
@@ -532,6 +615,7 @@ impl Reactor {
             let frame = frame::encode(&Message::InferErr {
                 req_id: 0,
                 code: ErrCode::Overloaded,
+                retry_after_us: 0,
                 msg: "connection limit reached".to_string(),
             });
             let _ = (&stream).write(&frame);
@@ -554,13 +638,18 @@ impl Reactor {
                 continue;
             }
             let msg = match result {
-                Ok((data, shape)) => {
+                Ok(reply) => {
                     self.stats.replies_ok += 1;
-                    Message::InferOk { req_id, shape, data }
+                    Message::InferOk {
+                        req_id,
+                        degraded: reply.degraded,
+                        shape: reply.shape,
+                        data: reply.data,
+                    }
                 }
                 Err(err) => {
                     self.stats.replies_err += 1;
-                    Message::InferErr { req_id, code: err_code(&err), msg: err.to_string() }
+                    err_reply(req_id, &err)
                 }
             };
             if let Some(conn) = self.conns.get_mut(&key) {
@@ -582,14 +671,7 @@ impl Reactor {
                     conn.parked.pop_front().expect("checked non-empty");
                 if self.draining {
                     self.stats.replies_err += 1;
-                    self.send(
-                        key,
-                        &Message::InferErr {
-                            req_id,
-                            code: ErrCode::ShuttingDown,
-                            msg: ServeError::ShuttingDown.to_string(),
-                        },
-                    );
+                    self.send(key, &err_reply(req_id, &ServeError::ShuttingDown));
                     continue;
                 }
                 match self.submit(key, req_id, &tensor, deadline) {
@@ -602,14 +684,7 @@ impl Reactor {
                     }
                     Err(err) => {
                         self.stats.replies_err += 1;
-                        self.send(
-                            key,
-                            &Message::InferErr {
-                                req_id,
-                                code: err_code(&err),
-                                msg: err.to_string(),
-                            },
-                        );
+                        self.send(key, &err_reply(req_id, &err));
                     }
                 }
             }
@@ -777,18 +852,23 @@ impl Reactor {
                 true
             }
             Message::Stats => {
+                // Fixed-index counter list (see [`frame::stats`]): older
+                // clients ignore the tail, newer clients read zeros for
+                // counters this build predates.
                 let stats = self.server.stats();
-                self.send(
-                    key,
-                    &Message::StatsReply {
-                        batches: stats.batches,
-                        items: stats.items,
-                        flush_deadline_ns: stats.flush_deadline_ns,
-                        worker_restarts: stats.worker_restarts,
-                        deadline_expired: stats.deadline_expired,
-                        generation: stats.generation,
-                    },
-                );
+                let mut counters = vec![0u64; frame::stats::COUNT];
+                counters[frame::stats::BATCHES] = stats.batches;
+                counters[frame::stats::ITEMS] = stats.items;
+                counters[frame::stats::FLUSH_DEADLINE_NS] = stats.flush_deadline_ns;
+                counters[frame::stats::WORKER_RESTARTS] = stats.worker_restarts;
+                counters[frame::stats::DEADLINE_EXPIRED] = stats.deadline_expired;
+                counters[frame::stats::GENERATION] = stats.generation;
+                counters[frame::stats::SHED_TOTAL] = stats.shed_total;
+                counters[frame::stats::DEGRADED_TOTAL] = stats.degraded_total;
+                counters[frame::stats::RATE_LIMITED] = self.stats.rate_limited;
+                counters[frame::stats::EWMA_SERVICE_NS] = stats.ewma_service_ns;
+                counters[frame::stats::RELOADS_REJECTED] = self.stats.reloads_rejected;
+                self.send(key, &Message::StatsReply { counters });
                 true
             }
             Message::Shutdown => {
@@ -806,15 +886,43 @@ impl Reactor {
             Message::Infer { req_id, deadline_us, shape, data } => {
                 if self.draining {
                     self.stats.replies_err += 1;
+                    self.send(key, &err_reply(req_id, &ServeError::ShuttingDown));
+                    return true;
+                }
+                // Admission control, ahead of everything the request could
+                // cost (tensor build, queue space): both buckets must pass
+                // before either is debited, and the retry hint is the
+                // longer of the two waits.
+                let now = Instant::now();
+                let conn = self.conns.get_mut(&key).expect("conn exists");
+                let conn_wait = conn.bucket.as_mut().map(|b| b.peek(now));
+                let global_wait = self.global_bucket.as_mut().map(|b| b.peek(now));
+                let limited = [conn_wait, global_wait]
+                    .into_iter()
+                    .flatten()
+                    .filter_map(Result::err)
+                    .max();
+                if let Some(wait) = limited {
+                    self.stats.rate_limited += 1;
+                    self.stats.replies_err += 1;
                     self.send(
                         key,
                         &Message::InferErr {
                             req_id,
-                            code: ErrCode::ShuttingDown,
-                            msg: ServeError::ShuttingDown.to_string(),
+                            code: ErrCode::Overloaded,
+                            retry_after_us: clamp_retry_us(wait),
+                            msg: "rate limited".to_string(),
                         },
                     );
                     return true;
+                }
+                if let Some(b) = self.global_bucket.as_mut() {
+                    b.take();
+                }
+                if let Some(b) =
+                    self.conns.get_mut(&key).and_then(|c| c.bucket.as_mut())
+                {
+                    b.take();
                 }
                 // Start the budget at admission; `0` defers to the batch
                 // server's configured default.
@@ -840,14 +948,7 @@ impl Reactor {
                     }
                     Err(err) => {
                         self.stats.replies_err += 1;
-                        self.send(
-                            key,
-                            &Message::InferErr {
-                                req_id,
-                                code: err_code(&err),
-                                msg: err.to_string(),
-                            },
-                        );
+                        self.send(key, &err_reply(req_id, &err));
                         true
                     }
                 }
@@ -871,7 +972,12 @@ impl Reactor {
         self.stats.replies_err += 1;
         self.send(
             key,
-            &Message::InferErr { req_id: 0, code: ErrCode::Protocol, msg: detail.to_string() },
+            &Message::InferErr {
+                req_id: 0,
+                code: ErrCode::Protocol,
+                retry_after_us: 0,
+                msg: detail.to_string(),
+            },
         );
         if let Some(conn) = self.conns.get_mut(&key) {
             conn.state = ConnState::Closing;
@@ -964,11 +1070,27 @@ impl Reactor {
 /// request may be retried — the replacement worker is already up).
 fn err_code(err: &ServeError) -> ErrCode {
     match err {
-        ServeError::QueueFull => ErrCode::Overloaded,
+        ServeError::QueueFull | ServeError::Overloaded { .. } => ErrCode::Overloaded,
         ServeError::ShuttingDown => ErrCode::ShuttingDown,
         ServeError::DeadlineExceeded => ErrCode::DeadlineExceeded,
         ServeError::Execution(_) | ServeError::WorkerDied => ErrCode::Execution,
     }
+}
+
+/// Build the `INFER_ERR` reply for a batch-server error, carrying the
+/// shed retry hint when there is one.
+fn err_reply(req_id: u64, err: &ServeError) -> Message {
+    let retry_after_us = match err {
+        ServeError::Overloaded { retry_after } => clamp_retry_us(*retry_after),
+        _ => 0,
+    };
+    Message::InferErr { req_id, code: err_code(err), retry_after_us, msg: err.to_string() }
+}
+
+/// A retry hint on the wire: clamped into the u32 µs field, floored at
+/// 1 µs so a nonzero `Duration` never rounds down to "no hint".
+fn clamp_retry_us(wait: Duration) -> u32 {
+    u32::try_from(wait.as_micros()).unwrap_or(u32::MAX).max(1)
 }
 
 /// Is this connection eligible for the idle sweep? Nothing in flight,
@@ -1030,6 +1152,7 @@ mod tests {
             last_rx: Instant::now(),
             state: ConnState::Open,
             registered: (true, false),
+            bucket: None,
         }
     }
 
@@ -1068,5 +1191,62 @@ mod tests {
         conn.inflight = 0;
         conn.parked.push_back((1, Tensor::zeros(&[1]), None));
         assert!(!idle_sweepable(&conn, stale, idle));
+    }
+
+    #[test]
+    fn token_bucket_admits_burst_then_meters_by_rate() {
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(10.0, Some(2.0), t0);
+        assert!(b.peek(t0).is_ok());
+        b.take();
+        assert!(b.peek(t0).is_ok());
+        b.take();
+        let wait = b.peek(t0).expect_err("burst exhausted");
+        assert!(wait > Duration::ZERO && wait <= Duration::from_millis(100), "{wait:?}");
+        // One token exists after 1/rate seconds...
+        assert!(b.peek(t0 + Duration::from_millis(100)).is_ok());
+        b.take();
+        // ...and tokens never pile up past the burst, however long idle.
+        let much_later = t0 + Duration::from_secs(3600);
+        assert!(b.peek(much_later).is_ok());
+        b.take();
+        assert!(b.peek(much_later).is_ok());
+        b.take();
+        assert!(b.peek(much_later).is_err(), "only `burst` tokens accumulate");
+    }
+
+    #[test]
+    fn token_bucket_burst_defaults_to_rate_with_a_floor_of_one() {
+        let t0 = Instant::now();
+        let mut whole = TokenBucket::new(5.0, None, t0);
+        for _ in 0..5 {
+            assert!(whole.peek(t0).is_ok());
+            whole.take();
+        }
+        assert!(whole.peek(t0).is_err());
+        // A sub-1/s rate still admits one request at a time.
+        let mut slow = TokenBucket::new(0.5, None, t0);
+        assert!(slow.peek(t0).is_ok());
+        slow.take();
+        assert!(slow.peek(t0).is_err());
+        assert!(slow.peek(t0 + Duration::from_secs(2)).is_ok());
+    }
+
+    #[test]
+    fn retry_hints_clamp_into_the_wire_field() {
+        assert_eq!(clamp_retry_us(Duration::ZERO), 1, "nonempty hint never rounds to none");
+        assert_eq!(clamp_retry_us(Duration::from_nanos(1)), 1);
+        assert_eq!(clamp_retry_us(Duration::from_micros(12_500)), 12_500);
+        assert_eq!(clamp_retry_us(Duration::from_secs(1 << 40)), u32::MAX);
+        match err_reply(7, &ServeError::Overloaded { retry_after: Duration::from_millis(3) }) {
+            Message::InferErr { req_id: 7, code: ErrCode::Overloaded, retry_after_us, .. } => {
+                assert_eq!(retry_after_us, 3_000);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        match err_reply(8, &ServeError::DeadlineExceeded) {
+            Message::InferErr { retry_after_us: 0, code: ErrCode::DeadlineExceeded, .. } => {}
+            other => panic!("unexpected reply {other:?}"),
+        }
     }
 }

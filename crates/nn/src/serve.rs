@@ -49,11 +49,38 @@
 //!   shed with [`ServeError::DeadlineExceeded`] — at admission, at
 //!   dispatch, or by a background expiry sweep that covers requests no
 //!   worker ever reaches — so a queued request can never strand its caller.
+//! * **Overload control.** The server tracks an EWMA of per-item service
+//!   time ([`ServeStats::ewma_service_ns`]) and *estimates* the queued
+//!   wait at admission: a deadline-carrying request whose deadline the
+//!   estimate already blows is shed immediately with
+//!   [`ServeError::Overloaded`] (carrying a retry-after hint) instead of
+//!   rotting in the queue — under sustained overload the queue sheds
+//!   doomed work early and spends its capacity on requests that can still
+//!   make their deadlines. When a non-blocking submit finds the queue
+//!   full, the oldest queued request that is *already doomed* and
+//!   deadline-sorts before the newcomer is shed in its favor
+//!   (shed-oldest). [`ServeStats::shed_total`] counts both forms.
+//! * **Graceful degradation (brownout).** Operators may install a cheaper
+//!   *fallback* plan ([`BatchServer::set_fallback_plan`], e.g. an int8
+//!   snapshot beside the f32 primary). Under sustained shed pressure
+//!   ([`ServeConfig::brownout_enter_sheds`] sheds inside
+//!   [`ServeConfig::brownout_window`]) dispatch fails over to the
+//!   fallback; replies carry [`Reply::degraded`] so callers know, and
+//!   [`ServeStats::degraded_total`] counts them. Recovery is hysteretic:
+//!   the server returns to the primary only after
+//!   [`ServeConfig::brownout_exit_quiet`] with no sheds.
 //! * **Hot reload.** [`BatchServer::reload_plan`] /
 //!   [`BatchServer::reload_from_snapshot`] atomically swap the shard pool
 //!   under live traffic: a replacement snapshot is fully validated before
 //!   the swap (a corrupt file is rejected and the old plans keep serving),
-//!   and [`ServeStats::generation`] records each successful swap.
+//!   and [`ServeStats::generation`] records each successful swap. The
+//!   swap also performs a **shape handshake**: a replacement whose
+//!   serving interface ([`InferencePlan::interface`] — input/output
+//!   shapes or precision family) differs from the current plan's is
+//!   rejected with [`SnapshotError::Incompatible`], because swapping it
+//!   in would silently change what connected clients get back.
+//!
+//!   [`SnapshotError::Incompatible`]: crate::snapshot::SnapshotError::Incompatible
 //! * **Snapshot semantics.** Replicas snapshot the network at
 //!   [`BatchServer::compile`] time, exactly like [`Network::plan`].
 //!   Mutating the network afterwards (`set_multiplier`, `params_mut`, a
@@ -141,6 +168,19 @@ pub struct ServeConfig {
     /// dispatching worker, and from the queue itself by a background expiry
     /// sweep, so a stranded request can never hang its caller.
     pub default_deadline: Option<Duration>,
+    /// Sheds inside one [`brownout_window`](ServeConfig::brownout_window)
+    /// that trip the brownout: once reached (and a fallback plan is
+    /// installed — see [`BatchServer::set_fallback_plan`]), dispatch fails
+    /// over to the fallback until pressure clears. Ignored without a
+    /// fallback plan.
+    pub brownout_enter_sheds: u32,
+    /// Width of the sliding shed-pressure window (see
+    /// [`brownout_enter_sheds`](ServeConfig::brownout_enter_sheds)).
+    pub brownout_window: Duration,
+    /// Hysteresis on recovery: the server leaves brownout only after this
+    /// long with **no** sheds, so pressure oscillating around the
+    /// threshold cannot flap dispatch between plans.
+    pub brownout_exit_quiet: Duration,
 }
 
 impl Default for ServeConfig {
@@ -153,6 +193,9 @@ impl Default for ServeConfig {
             flush_deadline_min: Duration::from_micros(25),
             queue_capacity: workers.max(1) * 16,
             default_deadline: None,
+            brownout_enter_sheds: 16,
+            brownout_window: Duration::from_millis(500),
+            brownout_exit_quiet: Duration::from_secs(2),
         }
     }
 }
@@ -176,6 +219,13 @@ pub enum ServeError {
     /// supervisor restarts the worker and later requests are unaffected
     /// (see [`ServeStats::worker_restarts`]).
     WorkerDied,
+    /// Deadline-aware load shedding: the estimated queued wait (per-item
+    /// service EWMA × backlog) already blows the request's deadline, so it
+    /// was shed at admission instead of rotting in the queue — or it was
+    /// the doomed oldest queued request traded away for a newer arrival.
+    /// `retry_after` is the server's backlog-clearance estimate: a
+    /// well-behaved client waits that long before retrying.
+    Overloaded { retry_after: Duration },
 }
 
 impl std::fmt::Display for ServeError {
@@ -190,14 +240,32 @@ impl std::fmt::Display for ServeError {
             ServeError::WorkerDied => {
                 write!(f, "serving worker died with the request in flight")
             }
+            ServeError::Overloaded { retry_after } => {
+                write!(
+                    f,
+                    "server overloaded: estimated queue wait blows the deadline \
+                     (retry after {retry_after:?})"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for ServeError {}
 
-/// A submitted request's logits: flattened data plus the per-item shape.
-pub type Reply = (Vec<f32>, Vec<usize>);
+/// A served request's logits: flattened data plus the per-item shape, and
+/// whether the brownout fallback plan (rather than the primary) computed
+/// them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// Flattened logits for this sample alone (no batch axis).
+    pub data: Vec<f32>,
+    /// Per-item logits shape.
+    pub shape: Vec<usize>,
+    /// `true` when the reply came from the degraded (brownout) fallback
+    /// plan — see [`BatchServer::set_fallback_plan`].
+    pub degraded: bool,
+}
 
 /// Callback form of a reply destination (see
 /// [`BatchServer::try_submit_with`]): invoked exactly once, on the worker
@@ -306,6 +374,15 @@ struct Counters {
     /// Plan-pool generation: 0 at start, +1 per successful
     /// [`BatchServer::reload_plan`].
     generation: AtomicU64,
+    /// Requests shed with [`ServeError::Overloaded`] (estimate-shed at
+    /// admission plus shed-oldest victims).
+    shed_total: AtomicU64,
+    /// Items answered by the brownout fallback plan.
+    degraded_total: AtomicU64,
+    /// EWMA of per-item service time in nanoseconds (α = 1/8); 0 until the
+    /// first batch completes. Benign racy read-modify-write: workers are
+    /// few and the value is an estimate, not an invariant.
+    ewma_service_ns: AtomicU64,
 }
 
 /// State shared between submitters and workers.
@@ -322,6 +399,112 @@ struct Shared {
     /// batch executes on — in-flight batches finish on the plan they
     /// started with (the `Arc` keeps it alive).
     plans: RwLock<Vec<Arc<InferencePlan>>>,
+    /// The cheaper plan brownout dispatch fails over to (`None` until
+    /// [`BatchServer::set_fallback_plan`] installs one).
+    fallback: RwLock<Option<Arc<InferencePlan>>>,
+    /// Whether dispatch is currently degraded to the fallback plan. Set by
+    /// shed pressure ([`note_shed`]), cleared hysteretically by workers
+    /// once the quiet period passes ([`brownout_active`]).
+    degraded: std::sync::atomic::AtomicBool,
+    /// Sliding-window shed pressure behind the brownout decision.
+    brownout: Mutex<BrownoutState>,
+    /// Brownout thresholds, copied from [`ServeConfig`] at start.
+    brownout_cfg: BrownoutConfig,
+}
+
+/// Brownout thresholds (see the [`ServeConfig`] fields of the same names).
+#[derive(Debug, Clone, Copy)]
+struct BrownoutConfig {
+    enter_sheds: u32,
+    window: Duration,
+    exit_quiet: Duration,
+}
+
+/// Shed-pressure accounting behind the brownout decision.
+struct BrownoutState {
+    /// Start of the current pressure window.
+    window_start: Instant,
+    /// Sheds observed inside the current window.
+    sheds: u32,
+    /// The most recent shed — recovery requires `exit_quiet` past this.
+    last_shed: Instant,
+}
+
+/// Record one shed for brownout accounting and trip the brownout when the
+/// window threshold is reached (only if a fallback plan is installed —
+/// degrading to nothing would serve nothing).
+fn note_shed(shared: &Shared) {
+    let now = Instant::now();
+    let mut b = shared.brownout.lock().unwrap_or_else(PoisonError::into_inner);
+    if now.duration_since(b.window_start) > shared.brownout_cfg.window {
+        b.window_start = now;
+        b.sheds = 0;
+    }
+    b.sheds = b.sheds.saturating_add(1);
+    b.last_shed = now;
+    if b.sheds >= shared.brownout_cfg.enter_sheds
+        && shared.fallback.read().unwrap_or_else(PoisonError::into_inner).is_some()
+    {
+        shared.degraded.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Whether dispatch is currently in brownout, applying hysteretic
+/// recovery: once [`ServeConfig::brownout_exit_quiet`] passes with no
+/// sheds, clear the flag and return to the primary plan. Cheap on the
+/// healthy path (one relaxed load).
+fn brownout_active(shared: &Shared) -> bool {
+    if !shared.degraded.load(Ordering::Relaxed) {
+        return false;
+    }
+    let quiet = {
+        let b = shared.brownout.lock().unwrap_or_else(PoisonError::into_inner);
+        b.last_shed.elapsed() >= shared.brownout_cfg.exit_quiet
+    };
+    if quiet {
+        shared.degraded.store(false, Ordering::Relaxed);
+        return false;
+    }
+    true
+}
+
+/// Estimated time until a request at queue position `ahead` starts
+/// executing, from the per-item service EWMA and the worker count.
+fn estimated_wait(ahead: usize, ewma_ns: u64, workers: usize) -> Duration {
+    let slots = (ahead as u64 + 1).div_ceil(workers.max(1) as u64);
+    Duration::from_nanos(slots.saturating_mul(ewma_ns))
+}
+
+/// On a full queue, pick the shed-oldest victim for a new arrival: the
+/// earliest-deadline queued request, provided it deadline-sorts *before*
+/// the newcomer and the wait estimate already dooms it. Returns its queue
+/// position and the estimated wait (the victim's retry hint), or `None`
+/// when nothing should be traded (then the newcomer gets `QueueFull`).
+fn shed_oldest_candidate(
+    queue: &VecDeque<Request>,
+    new_deadline: Option<Instant>,
+    ewma_ns: u64,
+    workers: usize,
+) -> Option<(usize, Duration)> {
+    if ewma_ns == 0 {
+        return None; // no estimate yet — never shed on a cold server
+    }
+    let (pos, earliest) = queue
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.deadline.map(|d| (i, d)))
+        .min_by_key(|&(_, d)| d)?;
+    // A newcomer with an earlier (or equal) deadline than everything
+    // queued does not sort after the queue — no trade.
+    if new_deadline.is_some_and(|nd| nd <= earliest) {
+        return None;
+    }
+    let wait = estimated_wait(pos, ewma_ns, workers);
+    if Instant::now().checked_add(wait).is_none_or(|eta| eta > earliest) {
+        Some((pos, wait))
+    } else {
+        None
+    }
 }
 
 /// Lock the queue mutex, recovering from poison. A worker panic while
@@ -360,6 +543,16 @@ pub struct ServeStats {
     /// bumped by each successful [`BatchServer::reload_plan`] /
     /// [`BatchServer::reload_from_snapshot`].
     pub generation: u64,
+    /// Requests shed with [`ServeError::Overloaded`] by admission-time
+    /// overload control (estimate-shed plus shed-oldest victims).
+    pub shed_total: u64,
+    /// Items answered by the brownout fallback plan (replies carried
+    /// [`Reply::degraded`]).
+    pub degraded_total: u64,
+    /// EWMA of per-item service time in nanoseconds (α = 1/8) — the basis
+    /// of the admission-time wait estimate. 0 until the first batch
+    /// completes, during which estimate-shedding is disabled.
+    pub ewma_service_ns: u64,
 }
 
 impl ServeStats {
@@ -387,9 +580,15 @@ impl Pending {
     /// Block until the request's batch executes and return the logits for
     /// this sample alone (shape `[classes...]`, no batch axis).
     pub fn wait(self) -> Result<Tensor, ServeError> {
+        let reply = self.wait_reply()?;
+        Ok(Tensor::from_vec(reply.data, &reply.shape))
+    }
+
+    /// [`wait`](Pending::wait) keeping the full [`Reply`] — the form that
+    /// preserves the [`Reply::degraded`] brownout flag.
+    pub fn wait_reply(self) -> Result<Reply, ServeError> {
         match self.rx.recv() {
-            Ok(Ok((data, shape))) => Ok(Tensor::from_vec(data, &shape)),
-            Ok(Err(e)) => Err(e),
+            Ok(result) => result,
             // The worker (or server) went away without replying.
             Err(mpsc::RecvError) => Err(ServeError::ShuttingDown),
         }
@@ -553,12 +752,21 @@ impl BatchServer {
     ) -> Option<BatchServer> {
         install_quiet_panic_hook();
         let worker_count = replicas.len();
+        let now = Instant::now();
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState { queue: VecDeque::new(), shutdown: false }),
             not_empty: Condvar::new(),
             space: Condvar::new(),
             counters: Counters::default(),
             plans: RwLock::new(replicas),
+            fallback: RwLock::new(None),
+            degraded: std::sync::atomic::AtomicBool::new(false),
+            brownout: Mutex::new(BrownoutState { window_start: now, sheds: 0, last_shed: now }),
+            brownout_cfg: BrownoutConfig {
+                enter_sheds: config.brownout_enter_sheds.max(1),
+                window: config.brownout_window,
+                exit_quiet: config.brownout_exit_quiet,
+            },
         });
         let workers = (0..worker_count)
             .map(|i| {
@@ -619,8 +827,22 @@ impl BatchServer {
     /// Non-blocking [`submit`](BatchServer::submit): fails with
     /// [`ServeError::QueueFull`] instead of waiting for queue space.
     pub fn try_submit(&self, item: &Tensor) -> Result<Pending, ServeError> {
+        self.try_submit_deadline(item, None)
+    }
+
+    /// [`try_submit`](BatchServer::try_submit) with a per-request deadline.
+    /// This is the overload-controlled admission point: a deadline the
+    /// backlog estimate already blows is refused with
+    /// [`ServeError::Overloaded`] (carrying the retry hint), and on a full
+    /// queue the earliest-deadline queued request is traded away when it is
+    /// already doomed and deadline-sorts before this arrival (shed-oldest).
+    pub fn try_submit_deadline(
+        &self,
+        item: &Tensor,
+        deadline: Option<Instant>,
+    ) -> Result<Pending, ServeError> {
         let (tx, rx) = mpsc::channel();
-        self.enqueue(item, false, None, ReplySink::channel(tx))?;
+        self.enqueue(item, false, deadline, ReplySink::channel(tx))?;
         Ok(Pending { rx })
     }
 
@@ -680,8 +902,31 @@ impl BatchServer {
                 return Err(ServeError::DeadlineExceeded);
             }
         }
+        let workers = self.workers.len();
+        let ewma = self.shared.counters.ewma_service_ns.load(Ordering::Relaxed);
+        // A shed-oldest victim is delivered *outside* the lock (its reply
+        // sink is caller code).
+        let mut victim: Option<(Request, Duration)> = None;
         {
             let mut st = lock_queue(&self.shared);
+            // Estimate-shed first: refuse a deadline the current backlog
+            // already blows, with the backlog-clearance estimate as the
+            // retry hint — regardless of queue space, so a doomed arrival
+            // never competes for (or evicts toward) a slot it cannot use.
+            // Inactive until the EWMA warms up (first batch), so cold
+            // starts and deadline-free traffic pay one relaxed load.
+            if let Some(d) = deadline {
+                if ewma > 0 && !st.shutdown {
+                    let wait = estimated_wait(st.queue.len(), ewma, workers);
+                    if Instant::now().checked_add(wait).is_none_or(|eta| eta > d) {
+                        drop(st);
+                        reply.disarm();
+                        self.shared.counters.shed_total.fetch_add(1, Ordering::Relaxed);
+                        note_shed(&self.shared);
+                        return Err(ServeError::Overloaded { retry_after: wait });
+                    }
+                }
+            }
             loop {
                 if st.shutdown {
                     reply.disarm();
@@ -691,6 +936,19 @@ impl BatchServer {
                     break;
                 }
                 if !block {
+                    // Shed-oldest: if the earliest-deadline queued request
+                    // is already doomed by the wait estimate and
+                    // deadline-sorts before this arrival, trade it away —
+                    // the queue spends its last slot on work that can
+                    // still make its deadline.
+                    if let Some((pos, wait)) =
+                        shed_oldest_candidate(&st.queue, deadline, ewma, workers)
+                    {
+                        if let Some(doomed) = st.queue.remove(pos) {
+                            victim = Some((doomed, wait));
+                            break;
+                        }
+                    }
                     reply.disarm();
                     return Err(ServeError::QueueFull);
                 }
@@ -705,6 +963,11 @@ impl BatchServer {
                 reply,
                 deadline,
             });
+        }
+        if let Some((doomed, wait)) = victim {
+            self.shared.counters.shed_total.fetch_add(1, Ordering::Relaxed);
+            note_shed(&self.shared);
+            doomed.reply.send(Err(ServeError::Overloaded { retry_after: wait }));
         }
         // Wake every waiting worker: one will dispatch, the rest re-check
         // (workers also wait here for partial batches to fill; the expiry
@@ -784,7 +1047,72 @@ impl BatchServer {
             worker_restarts: c.worker_restarts.load(Ordering::Relaxed),
             deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
             generation: c.generation.load(Ordering::Relaxed),
+            shed_total: c.shed_total.load(Ordering::Relaxed),
+            degraded_total: c.degraded_total.load(Ordering::Relaxed),
+            ewma_service_ns: c.ewma_service_ns.load(Ordering::Relaxed),
         }
+    }
+
+    /// Whether dispatch is currently degraded to the fallback plan (and
+    /// applies the hysteretic recovery check as a side effect — the same
+    /// check workers run per dispatch).
+    pub fn degraded_active(&self) -> bool {
+        brownout_active(&self.shared)
+    }
+
+    /// Install (or replace) the brownout **fallback plan** — the cheaper
+    /// plan dispatch fails over to under sustained shed pressure (see
+    /// [`ServeConfig::brownout_enter_sheds`]). The fallback must serve the
+    /// same input/output interface as the primary; its *precision family*
+    /// may differ — an int8 snapshot backing an f32 primary is the point
+    /// (approximate answers beat no answers, and replies say so via
+    /// [`Reply::degraded`]).
+    pub fn set_fallback_plan(
+        &self,
+        plan: Arc<InferencePlan>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        let want = {
+            let pool = self.shared.plans.read().unwrap_or_else(PoisonError::into_inner);
+            pool.first().map(|p| p.interface())
+        };
+        if let Some(want) = want {
+            let got = plan.interface();
+            if got.input != want.input || got.output_features != want.output_features {
+                return Err(crate::snapshot::SnapshotError::Incompatible(format!(
+                    "fallback plan serves [{got}] but the primary serves [{want}]"
+                )));
+            }
+        }
+        *self.shared.fallback.write().unwrap_or_else(PoisonError::into_inner) = Some(plan);
+        Ok(())
+    }
+
+    /// Map and validate the snapshot at `path`, then
+    /// [`set_fallback_plan`](BatchServer::set_fallback_plan) it.
+    pub fn set_fallback_from_snapshot(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        self.set_fallback_plan(Arc::new(InferencePlan::load(path)?))
+    }
+
+    /// Force the brownout state — a test/ops override. `on = true` enters
+    /// degraded dispatch as if shed pressure had tripped it (and arms the
+    /// quiet-period clock); `on = false` recovers immediately.
+    #[doc(hidden)]
+    pub fn force_degraded(&self, on: bool) {
+        if on {
+            let mut b = self.shared.brownout.lock().unwrap_or_else(PoisonError::into_inner);
+            b.last_shed = Instant::now();
+        }
+        self.shared.degraded.store(on, Ordering::Relaxed);
+    }
+
+    /// Seed the per-item service EWMA — a test hook for exercising the
+    /// admission-time estimate without warming the server first.
+    #[doc(hidden)]
+    pub fn force_ewma_service_ns(&self, ns: u64) {
+        self.shared.counters.ewma_service_ns.store(ns, Ordering::Relaxed);
     }
 
     /// Current plan-pool generation: 0 until the first successful
@@ -799,25 +1127,42 @@ impl BatchServer {
     /// alive), every batch dispatched after the swap runs on `plan`, and
     /// queued requests are untouched.
     ///
-    /// The served shape and output layout are the caller's contract to keep
-    /// compatible — mismatched requests fail their batch with
-    /// [`ServeError::Execution`], exactly like any other shape the plan
-    /// rejects.
-    pub fn reload_plan(&self, plan: Arc<InferencePlan>) -> u64 {
+    /// The swap performs a **shape handshake**: a replacement whose
+    /// serving interface ([`InferencePlan::interface`] — input constraint,
+    /// logit width, or precision family) differs from the current plan's
+    /// is rejected with [`SnapshotError::Incompatible`] and the old pool
+    /// keeps serving, generation unchanged. Connected clients pipelining
+    /// requests across the swap would otherwise silently start getting
+    /// different shapes (or a different numeric contract) back.
+    ///
+    /// [`SnapshotError::Incompatible`]: crate::snapshot::SnapshotError::Incompatible
+    pub fn reload_plan(
+        &self,
+        plan: Arc<InferencePlan>,
+    ) -> Result<u64, crate::snapshot::SnapshotError> {
         {
             let mut pool = self.shared.plans.write().unwrap_or_else(PoisonError::into_inner);
+            if let Some(current) = pool.first() {
+                let want = current.interface();
+                let got = plan.interface();
+                if got != want {
+                    return Err(crate::snapshot::SnapshotError::Incompatible(format!(
+                        "replacement serves [{got}] but the current plan serves [{want}]"
+                    )));
+                }
+            }
             let n = pool.len().max(1);
             *pool = vec![plan; n];
         }
-        self.shared.counters.generation.fetch_add(1, Ordering::Relaxed) + 1
+        Ok(self.shared.counters.generation.fetch_add(1, Ordering::Relaxed) + 1)
     }
 
     /// Hot reload: map and **fully validate** the plan snapshot at `path`,
-    /// then [`reload_plan`](BatchServer::reload_plan) it. Validation
-    /// happens before any swap, so a torn, truncated, or corrupt
-    /// replacement is rejected with the loader's [`SnapshotError`] and the
-    /// current pool keeps serving — graceful degradation, generation
-    /// unchanged.
+    /// then [`reload_plan`](BatchServer::reload_plan) it. Validation —
+    /// including the shape handshake — happens before any swap, so a torn,
+    /// truncated, corrupt, or interface-incompatible replacement is
+    /// rejected with the loader's [`SnapshotError`] and the current pool
+    /// keeps serving — graceful degradation, generation unchanged.
     ///
     /// [`SnapshotError`]: crate::snapshot::SnapshotError
     pub fn reload_from_snapshot(
@@ -825,7 +1170,7 @@ impl BatchServer {
         path: impl AsRef<std::path::Path>,
     ) -> Result<u64, crate::snapshot::SnapshotError> {
         let plan = Arc::new(InferencePlan::load(path)?);
-        Ok(self.reload_plan(plan))
+        self.reload_plan(plan)
     }
 
     /// Stop accepting requests without blocking: submitters (including ones
@@ -1019,6 +1364,11 @@ fn worker_loop(index: usize, shared: &Arc<Shared>, max_batch: usize, flush: Flus
         if batch.is_empty() {
             continue;
         }
+        // Service time is measured from here — *including* the failpoint
+        // site, so an injected `Delay` inflates the EWMA exactly like a
+        // genuinely slow batch and admission control reacts to it.
+        let dispatch_start = Instant::now();
+        let n_items = batch.len() as u64;
         // Chaos-test injection site (no-op unless the `failpoints` feature
         // is on): an `Err` fault fails this batch like an execution error, a
         // `Panic` fault models a worker crash with requests in flight (the
@@ -1030,17 +1380,39 @@ fn worker_loop(index: usize, shared: &Arc<Shared>, max_batch: usize, flush: Flus
             }
             continue;
         }
-        let plan = {
-            let pool = shared.plans.read().unwrap_or_else(PoisonError::into_inner);
-            if pool.is_empty() {
-                // Unreachable in practice (a zero-worker server runs no
-                // worker loops), but never index an empty pool.
-                continue;
+        // Brownout: under sustained shed pressure dispatch fails over to
+        // the fallback plan (when one is installed); replies say so.
+        let degraded = brownout_active(shared)
+            .then(|| shared.fallback.read().unwrap_or_else(PoisonError::into_inner).clone())
+            .flatten();
+        let (plan, degraded) = match degraded {
+            Some(fallback) => (fallback, true),
+            None => {
+                let pool = shared.plans.read().unwrap_or_else(PoisonError::into_inner);
+                if pool.is_empty() {
+                    // Unreachable in practice (a zero-worker server runs no
+                    // worker loops), but never index an empty pool.
+                    continue;
+                }
+                (pool[index % pool.len()].clone(), false)
             }
-            pool[index % pool.len()].clone()
         };
-        run_batch(&plan, batch, &shared.counters);
+        run_batch(&plan, batch, &shared.counters, degraded);
+        observe_service_time(&shared.counters, dispatch_start.elapsed(), n_items);
     }
+}
+
+/// Fold one batch's wall time into the per-item service EWMA (α = 1/8).
+/// The racy load/store pair is deliberate: workers are few, the value is
+/// an admission *estimate*, and a lost update costs one sample.
+fn observe_service_time(counters: &Counters, elapsed: Duration, items: u64) {
+    if items == 0 {
+        return;
+    }
+    let sample = ((elapsed.as_nanos() as u64) / items).max(1);
+    let old = counters.ewma_service_ns.load(Ordering::Relaxed);
+    let new = if old == 0 { sample } else { old - old / 8 + sample / 8 };
+    counters.ewma_service_ns.store(new, Ordering::Relaxed);
 }
 
 /// The deadline-expiry sweep: a low-duty background thread that fails
@@ -1123,7 +1495,7 @@ fn install_quiet_panic_hook() {
 /// including [`Tensor::from_vec`] rejecting an inconsistent shape, which
 /// used to escape and kill the worker — fails every member of this batch
 /// but leaves the worker serving.
-fn run_batch(plan: &InferencePlan, batch: Vec<Request>, counters: &Counters) {
+fn run_batch(plan: &InferencePlan, batch: Vec<Request>, counters: &Counters, degraded: bool) {
     let n = batch.len();
 
     IN_PLAN_EXECUTION.with(|flag| flag.set(true));
@@ -1146,12 +1518,15 @@ fn run_batch(plan: &InferencePlan, batch: Vec<Request>, counters: &Counters) {
             counters.batches.fetch_add(1, Ordering::Relaxed);
             counters.items.fetch_add(n as u64, Ordering::Relaxed);
             counters.largest_batch.fetch_max(n as u64, Ordering::Relaxed);
+            if degraded {
+                counters.degraded_total.fetch_add(n as u64, Ordering::Relaxed);
+            }
             let out_shape: Vec<usize> = logits.shape()[1..].to_vec();
             let out_len: usize = out_shape.iter().product();
             for (i, request) in batch.into_iter().enumerate() {
                 let row = logits.data()[i * out_len..(i + 1) * out_len].to_vec();
                 // A dropped Pending is not an error; sinks absorb that.
-                request.reply.send(Ok((row, out_shape.clone())));
+                request.reply.send(Ok(Reply { data: row, shape: out_shape.clone(), degraded }));
             }
         }
         Err(payload) => {
@@ -1248,6 +1623,9 @@ mod tests {
             worker_restarts: 0,
             deadline_expired: 0,
             generation: 0,
+            shed_total: 0,
+            degraded_total: 0,
+            ewma_service_ns: 0,
         };
         assert_eq!(fresh.mean_batch(), 0.0);
         assert!(fresh.mean_batch().is_finite());
@@ -1309,10 +1687,11 @@ mod tests {
                 }),
             )
             .expect("queued");
-        let (data, shape) = rx.recv().expect("callback ran").expect("served");
+        let reply = rx.recv().expect("callback ran").expect("served");
         let want = plan.predict_batch(&Tensor::stack(std::slice::from_ref(&x)));
-        assert_eq!(data.as_slice(), want.data());
-        assert_eq!(shape, vec![5]);
+        assert_eq!(reply.data.as_slice(), want.data());
+        assert_eq!(reply.shape, vec![5]);
+        assert!(!reply.degraded);
     }
 
     #[test]
@@ -1366,7 +1745,7 @@ mod tests {
             flush_deadline: Duration::from_nanos(1),
             flush_deadline_min: Duration::from_nanos(1),
             queue_capacity: 8,
-            default_deadline: None,
+            ..ServeConfig::default()
         };
         let server = BatchServer::compile(&net, config).expect("compilable");
         let x = Tensor::zeros(&[1, 8, 8]);
@@ -1421,6 +1800,230 @@ mod tests {
         assert!(ServeError::Execution("boom".into()).to_string().contains("boom"));
         assert!(ServeError::DeadlineExceeded.to_string().contains("deadline"));
         assert!(ServeError::WorkerDied.to_string().contains("worker died"));
+        assert!(ServeError::Overloaded { retry_after: Duration::from_millis(5) }
+            .to_string()
+            .contains("overloaded"));
+    }
+
+    /// The per-item service EWMA warms up from real batches and feeds
+    /// `stats()`.
+    #[test]
+    fn ewma_service_time_warms_up_after_batches() {
+        let net = tiny_cnn(53);
+        let server = BatchServer::compile(&net, cfg(1, 4, 8)).expect("compilable");
+        assert_eq!(server.stats().ewma_service_ns, 0, "cold server has no estimate");
+        let x = Tensor::zeros(&[1, 8, 8]);
+        for _ in 0..3 {
+            server.logits(&x).expect("served");
+        }
+        assert!(server.stats().ewma_service_ns > 0, "EWMA must warm up after dispatches");
+    }
+
+    /// Estimate-shed: a deadline the backlog estimate already blows is
+    /// refused at admission with a typed `Overloaded` + retry hint, while
+    /// deadline-free requests are untouched by the estimator.
+    #[test]
+    fn estimate_shed_rejects_doomed_deadlines_at_admission() {
+        let net = tiny_cnn(59);
+        let server = BatchServer::compile(&net, cfg(0, 1, 8)).expect("compilable");
+        // Pretend every item takes 1 s; a 5 ms deadline is then hopeless.
+        server.force_ewma_service_ns(1_000_000_000);
+        let x = Tensor::zeros(&[1, 8, 8]);
+        let doomed = Instant::now() + Duration::from_millis(5);
+        match server.submit_deadline(&x, Some(doomed)).err() {
+            Some(ServeError::Overloaded { retry_after }) => {
+                assert!(retry_after >= Duration::from_millis(500), "{retry_after:?}");
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(server.stats().shed_total, 1);
+        assert_eq!(server.stats().deadline_expired, 0, "shed ≠ expired");
+        // No deadline → the estimator never runs; the request queues.
+        let _pending = server.submit(&x).expect("deadline-free requests are untouched");
+        server.begin_shutdown();
+    }
+
+    /// Shed-oldest: a full queue trades its doomed earliest-deadline
+    /// request for a newer arrival that deadline-sorts after it.
+    #[test]
+    fn shed_oldest_trades_doomed_queued_work_for_new_arrivals() {
+        let net = tiny_cnn(61);
+        let server = BatchServer::compile(&net, cfg(0, 1, 1)).expect("compilable");
+        let x = Tensor::zeros(&[1, 8, 8]);
+        // Admit A while the estimate is still cold...
+        let a = server
+            .submit_deadline(&x, Some(Instant::now() + Duration::from_millis(50)))
+            .expect("admitted cold");
+        // ...then learn that an item takes ~1 s: A is now doomed.
+        server.force_ewma_service_ns(1_000_000_000);
+        let b = server
+            .try_submit_deadline(&x, Some(Instant::now() + Duration::from_secs(600)))
+            .expect("queue full, but the doomed oldest is traded away");
+        match a.wait_reply().err() {
+            Some(ServeError::Overloaded { retry_after }) => {
+                assert!(retry_after > Duration::ZERO);
+            }
+            other => panic!("victim must see Overloaded, got {other:?}"),
+        }
+        assert_eq!(server.stats().shed_total, 1);
+        // No workers: the drain on drop is what answers B.
+        drop(server);
+        assert_eq!(b.wait_reply().err(), Some(ServeError::ShuttingDown));
+    }
+
+    /// A full queue of deadline-free work never trades: the FIFO contract
+    /// for classic traffic is untouched by overload control.
+    #[test]
+    fn shed_oldest_never_touches_deadline_free_work() {
+        let net = tiny_cnn(67);
+        let server = BatchServer::compile(&net, cfg(0, 1, 1)).expect("compilable");
+        server.force_ewma_service_ns(1_000_000_000);
+        let x = Tensor::zeros(&[1, 8, 8]);
+        let _held = server.try_submit(&x).expect("fills the queue");
+        assert_eq!(
+            server
+                .try_submit_deadline(&x, Some(Instant::now() + Duration::from_secs(600)))
+                .map(|_| ())
+                .err(),
+            Some(ServeError::QueueFull),
+            "a deadline-free queue head is never shed"
+        );
+        server.begin_shutdown();
+    }
+
+    /// Brownout: degraded dispatch answers from the fallback plan
+    /// (bit-identical to its serial run), flags the replies, counts them,
+    /// and recovery restores the primary.
+    #[test]
+    fn brownout_fails_over_to_fallback_and_recovers() {
+        let net_primary = tiny_cnn(71);
+        let net_fallback = tiny_cnn(73); // same interface, different weights
+        let plan_primary = net_primary.plan().expect("compilable");
+        let plan_fallback =
+            Arc::new(InferencePlan::compile(&net_fallback, None).expect("compilable"));
+        let server = BatchServer::compile(&net_primary, cfg(1, 2, 8)).expect("compilable");
+        server.set_fallback_plan(plan_fallback.clone()).expect("same interface installs");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(74);
+        let x = Tensor::randn(&[1, 8, 8], 1.0, &mut rng);
+        let want_primary = plan_primary.predict_batch(&Tensor::stack(std::slice::from_ref(&x)));
+        let want_fallback = plan_fallback.predict_batch(&Tensor::stack(std::slice::from_ref(&x)));
+        assert_ne!(want_primary.data(), want_fallback.data(), "seeds must differ");
+
+        assert!(!server.degraded_active());
+        let healthy = server.submit(&x).expect("queued").wait_reply().expect("served");
+        assert!(!healthy.degraded);
+        assert_eq!(healthy.data.as_slice(), want_primary.data());
+
+        server.force_degraded(true);
+        assert!(server.degraded_active());
+        let degraded = server.submit(&x).expect("queued").wait_reply().expect("served");
+        assert!(degraded.degraded, "brownout replies must carry the flag");
+        assert_eq!(
+            degraded.data.as_slice(),
+            want_fallback.data(),
+            "degraded replies are bit-identical to the fallback plan's serial run"
+        );
+        assert!(server.stats().degraded_total >= 1);
+
+        server.force_degraded(false);
+        let recovered = server.submit(&x).expect("queued").wait_reply().expect("served");
+        assert!(!recovered.degraded);
+        assert_eq!(recovered.data.as_slice(), want_primary.data());
+    }
+
+    /// Sustained shed pressure trips the brownout via `note_shed` — no
+    /// test hook, the production path.
+    #[test]
+    fn shed_pressure_trips_brownout_when_fallback_installed() {
+        let net = tiny_cnn(79);
+        let config = ServeConfig {
+            brownout_enter_sheds: 2,
+            brownout_window: Duration::from_secs(60),
+            brownout_exit_quiet: Duration::from_secs(60),
+            ..cfg(0, 1, 8)
+        };
+        let server = BatchServer::compile(&net, config).expect("compilable");
+        let fallback = Arc::new(InferencePlan::compile(&net, None).expect("compilable"));
+        server.set_fallback_plan(fallback).expect("installs");
+        server.force_ewma_service_ns(1_000_000_000);
+        let x = Tensor::zeros(&[1, 8, 8]);
+        for _ in 0..2 {
+            let doomed = Instant::now() + Duration::from_millis(1);
+            assert!(matches!(
+                server.submit_deadline(&x, Some(doomed)).err(),
+                Some(ServeError::Overloaded { .. })
+            ));
+        }
+        assert!(server.degraded_active(), "2 sheds inside the window must trip the brownout");
+        server.force_degraded(false);
+    }
+
+    /// Without a fallback plan installed, shed pressure never degrades —
+    /// there is nothing to degrade *to*.
+    #[test]
+    fn brownout_needs_a_fallback_plan() {
+        let net = tiny_cnn(83);
+        let config = ServeConfig { brownout_enter_sheds: 1, ..cfg(0, 1, 8) };
+        let server = BatchServer::compile(&net, config).expect("compilable");
+        server.force_ewma_service_ns(1_000_000_000);
+        let x = Tensor::zeros(&[1, 8, 8]);
+        let doomed = Instant::now() + Duration::from_millis(1);
+        assert!(server.submit_deadline(&x, Some(doomed)).is_err());
+        assert!(!server.degraded_active());
+    }
+
+    /// The fallback handshake matches input/output but deliberately *not*
+    /// the precision family (an int8 fallback behind an f32 primary is the
+    /// intended use).
+    #[test]
+    fn fallback_handshake_rejects_interface_mismatch() {
+        let net = tiny_cnn(89);
+        let server = BatchServer::compile(&net, cfg(1, 2, 8)).expect("compilable");
+        // Different logit width → rejected.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(90);
+        let wide = Network::new("wide")
+            .push(Conv2d::new(1, 3, 3, 1, 1, &mut rng))
+            .push(Relu)
+            .push(MaxPool2d::new(2, 2))
+            .push(Flatten)
+            .push(Dense::new(3 * 4 * 4, 7, &mut rng));
+        let wide_plan = Arc::new(InferencePlan::compile(&wide, None).expect("compilable"));
+        match server.set_fallback_plan(wide_plan) {
+            Err(crate::snapshot::SnapshotError::Incompatible(msg)) => {
+                assert!(msg.contains("7"), "{msg}");
+            }
+            other => panic!("expected Incompatible, got {other:?}"),
+        }
+    }
+
+    /// The hot-reload shape handshake: an interface-incompatible
+    /// replacement is rejected with a typed error, the generation does not
+    /// move, and the old plan keeps serving.
+    #[test]
+    fn reload_plan_rejects_interface_mismatch() {
+        let net = tiny_cnn(97);
+        let plan = net.plan().expect("compilable");
+        let server = BatchServer::compile(&net, cfg(1, 2, 8)).expect("compilable");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(98);
+        let wide = Network::new("wide")
+            .push(Conv2d::new(1, 3, 3, 1, 1, &mut rng))
+            .push(Relu)
+            .push(MaxPool2d::new(2, 2))
+            .push(Flatten)
+            .push(Dense::new(3 * 4 * 4, 9, &mut rng));
+        let wide_plan = Arc::new(InferencePlan::compile(&wide, None).expect("compilable"));
+        assert!(matches!(
+            server.reload_plan(wide_plan),
+            Err(crate::snapshot::SnapshotError::Incompatible(_))
+        ));
+        assert_eq!(server.generation(), 0, "a rejected reload must not bump the generation");
+        let x = Tensor::randn(&[1, 8, 8], 1.0, &mut rng);
+        let want = plan.predict_batch(&Tensor::stack(std::slice::from_ref(&x)));
+        assert_eq!(
+            server.logits(&x).expect("old plan keeps serving").data(),
+            want.data(),
+            "the previous plan must keep serving bit-identically after a rejected reload"
+        );
     }
 
     /// An already-expired deadline is rejected at admission — typed, never
@@ -1491,8 +2094,9 @@ mod tests {
         let want_b = plan_b.predict_batch(&Tensor::stack(std::slice::from_ref(&x)));
         assert_ne!(want_a.data(), want_b.data(), "seeds must differ");
         assert_eq!(server.logits(&x).expect("served").data(), want_a.data());
-        let gen =
-            server.reload_plan(Arc::new(InferencePlan::compile(&net_b, None).expect("compilable")));
+        let gen = server
+            .reload_plan(Arc::new(InferencePlan::compile(&net_b, None).expect("compilable")))
+            .expect("same interface swaps");
         assert_eq!(gen, 1);
         assert_eq!(server.generation(), 1);
         assert_eq!(server.stats().generation, 1);

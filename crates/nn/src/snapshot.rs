@@ -124,6 +124,10 @@ pub enum SnapshotError {
     /// A [`PlanCache`] key contains path separators or other characters
     /// outside `[A-Za-z0-9._-]`.
     BadKey(String),
+    /// A hot-reload replacement's serving interface (input/output shapes or
+    /// precision family) differs from the plan it would replace — swapping
+    /// it in would silently change what connected clients get back.
+    Incompatible(String),
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -143,6 +147,9 @@ impl std::fmt::Display for SnapshotError {
             }
             SnapshotError::Unsupported(what) => write!(f, "cannot snapshot: {what}"),
             SnapshotError::BadKey(key) => write!(f, "invalid plan-cache key {key:?}"),
+            SnapshotError::Incompatible(what) => {
+                write!(f, "incompatible replacement plan: {what}")
+            }
         }
     }
 }

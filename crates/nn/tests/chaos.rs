@@ -15,6 +15,11 @@
 //!   reload while the old plan keeps serving, and a valid replacement
 //!   lands atomically with a generation bump;
 //! - deadlines shed stalled requests instead of stranding their callers;
+//! - a stalled worker inflates the service-time EWMA, so overload is shed
+//!   at admission (typed `Overloaded` + retry hint) instead of collapsing
+//!   the queue;
+//! - an interface-mismatched replacement snapshot (wrong head width) is
+//!   rejected by the reload handshake while the old plan keeps serving;
 //! - an `accept(2)` error storm pauses the listener (no busy spin) and
 //!   service resumes after the backoff.
 //!
@@ -30,7 +35,7 @@ use da_failpoints::{Fault, Spec};
 use da_nn::layers::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
 use da_nn::net::{Client, NetConfig, NetServer};
 use da_nn::serve::{BatchServer, Pending, ServeConfig, ServeError};
-use da_nn::{InferencePlan, Mode, Network};
+use da_nn::{InferencePlan, Mode, Network, SnapshotError};
 use da_tensor::Tensor;
 use rand::SeedableRng;
 
@@ -71,7 +76,7 @@ fn serial_cfg() -> ServeConfig {
         flush_deadline: Duration::ZERO,
         flush_deadline_min: Duration::ZERO,
         queue_capacity: 32,
-        default_deadline: None,
+        ..ServeConfig::default()
     }
 }
 
@@ -231,6 +236,91 @@ fn corrupt_or_unreadable_reload_is_rejected_then_a_valid_one_lands() {
 }
 
 #[test]
+fn stalled_worker_inflates_the_service_estimate_and_sheds_instead_of_collapsing() {
+    let _g = lock();
+    let net = tiny_cnn(51);
+    let server = BatchServer::compile(&net, serial_cfg()).expect("tiny cnn compiles");
+
+    // One stalled batch. The service-time measurement spans the failpoint
+    // site, so the 150 ms stall lands in the EWMA the admission estimate
+    // runs on — the runtime *learns* it is slow from the fault itself.
+    da_failpoints::set(
+        "serve/worker_batch",
+        Spec::new(Fault::Delay(Duration::from_millis(150))).times(1),
+    );
+    server.logits(&sample(1)).expect("the stalled batch still completes");
+    let ewma = server.stats().ewma_service_ns;
+    assert!(ewma >= 100_000_000, "the stall must inflate the estimate, got {ewma}ns");
+
+    // Flood with budgets the inflated estimate already blows: every request
+    // is shed at admission with a typed verdict and a retry hint. Nothing
+    // queues toward collapse and no caller waits past its deadline.
+    let t0 = Instant::now();
+    for i in 0..8 {
+        let deadline = Some(Instant::now() + Duration::from_millis(10));
+        match server.try_submit_deadline(&sample(10 + i), deadline) {
+            Err(ServeError::Overloaded { retry_after }) => {
+                assert!(retry_after > Duration::ZERO, "sheds must carry a retry hint");
+            }
+            Err(other) => panic!("expected an admission shed, got {other:?}"),
+            Ok(_) => panic!("a doomed deadline must be shed at admission"),
+        }
+    }
+    assert!(t0.elapsed() < Duration::from_millis(100), "shed verdicts must be immediate");
+    let stats = server.stats();
+    assert!(stats.shed_total >= 8, "every doomed request counts as shed: {stats:?}");
+    assert_eq!(stats.deadline_expired, 0, "shed at admission, never expired in queue");
+
+    // A caller with headroom (no deadline) is still served, bit-identically.
+    let x = sample(99);
+    let got = server.logits(&x).expect("healthy request serves through the pressure");
+    let want = net.forward(&Tensor::stack(std::slice::from_ref(&x)), Mode::Eval).0;
+    assert!(bits_eq(got.data(), want.data()), "logits diverged after the shed storm");
+}
+
+#[test]
+fn interface_mismatched_reload_is_rejected_while_the_old_plan_serves() {
+    let _g = lock();
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let path_a = dir.join(format!("chaos-iface-a-{pid}.daplan"));
+    let path_wide = dir.join(format!("chaos-iface-wide-{pid}.daplan"));
+
+    // Same trunk, 9-class head: loads and validates fine as a snapshot, but
+    // swapping it in would change the reply shape under every client.
+    let net_a = tiny_cnn(61);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(62);
+    let wide = Network::new("chaos-wide")
+        .push(Conv2d::new(1, 3, 3, 1, 1, &mut rng))
+        .push(Relu)
+        .push(MaxPool2d::new(2, 2))
+        .push(Flatten)
+        .push(Dense::new(3 * 4 * 4, 9, &mut rng));
+    let plan_a = InferencePlan::compile(&net_a, None).expect("plan A compiles");
+    plan_a.save(&path_a).expect("save A");
+    let plan_wide = InferencePlan::compile(&wide, None).expect("wide plan compiles");
+    plan_wide.save(&path_wide).expect("save wide");
+
+    let server = BatchServer::from_snapshot(&path_a, serial_cfg()).expect("serve snapshot A");
+    let probe = sample(9);
+    let want = plan_a.predict_batch(&Tensor::stack(std::slice::from_ref(&probe)));
+
+    match server.reload_from_snapshot(&path_wide) {
+        Err(SnapshotError::Incompatible(why)) => {
+            assert!(why.contains('9'), "the rejection names the offending shape: {why}");
+        }
+        Err(other) => panic!("expected Incompatible, got {other}"),
+        Ok(g) => panic!("interface mismatch must not load (landed as generation {g})"),
+    }
+    assert_eq!(server.generation(), 0, "a rejected reload must not bump the generation");
+    let still = server.logits(&probe).expect("old plan still serving");
+    assert!(bits_eq(still.data(), want.data()), "old plan must keep serving bit-identically");
+
+    std::fs::remove_file(&path_a).ok();
+    std::fs::remove_file(&path_wide).ok();
+}
+
+#[test]
 fn accept_error_storm_backs_off_and_service_resumes() {
     let _g = lock();
     let net = tiny_cnn(31);
@@ -252,7 +342,7 @@ fn accept_error_storm_backs_off_and_service_resumes() {
     let x = sample(77);
     let reply = client.infer(x.shape(), x.data()).expect("transport").expect("served");
     let reference = net.forward(&Tensor::stack(std::slice::from_ref(&x)), Mode::Eval).0;
-    assert!(bits_eq(&reply.1, reference.data()), "logits diverged after accept storm");
+    assert!(bits_eq(&reply.data, reference.data()), "logits diverged after accept storm");
 
     drop(client);
     handle.shutdown();

@@ -97,7 +97,7 @@ fn served_replies_are_bit_identical_and_match_out_of_order() {
     let mut got: Vec<Option<Vec<f32>>> = vec![None; items.len()];
     for _ in 0..items.len() {
         match client.recv_reply().expect("reply") {
-            Message::InferOk { req_id, shape, data } => {
+            Message::InferOk { req_id, shape, data, .. } => {
                 assert_eq!(shape, vec![5]);
                 let at = ids.iter().position(|&id| id == req_id).expect("known id");
                 assert!(got[at].is_none(), "duplicate reply for {req_id}");
@@ -151,7 +151,7 @@ fn pipelining_past_the_inflight_cap_does_not_deadlock() {
     let mut got: Vec<Option<Vec<f32>>> = vec![None; items.len()];
     for _ in 0..items.len() {
         match client.recv_reply().expect("reply (deadlock if the decoder strands frames)") {
-            Message::InferOk { req_id, shape, data } => {
+            Message::InferOk { req_id, shape, data, .. } => {
                 assert_eq!(shape, vec![5]);
                 let at = ids.iter().position(|&id| id == req_id).expect("known id");
                 assert!(got[at].is_none(), "duplicate reply for {req_id}");
@@ -189,9 +189,9 @@ fn mid_request_disconnect_leaves_other_clients_unaffected() {
     let mut b = Client::connect(addr).expect("connect B");
     for i in 0..8 {
         let x = sample(300 + i);
-        let (shape, data) = b.infer(x.shape(), x.data()).expect("transport").expect("served");
-        assert_eq!(shape, vec![5]);
-        assert!(bits_eq(&data, &reference(&net, &x)), "B's logits diverged after A's exit");
+        let reply = b.infer(x.shape(), x.data()).expect("transport").expect("served");
+        assert_eq!(reply.shape, vec![5]);
+        assert!(bits_eq(&reply.data, &reference(&net, &x)), "B's logits diverged after A's exit");
     }
     b.ping().expect("server still healthy");
 
@@ -248,12 +248,13 @@ fn execution_failure_is_reported_on_the_wire_and_the_connection_survives() {
     // a typed reply, not a dropped connection.
     let bad = Tensor::zeros(&[1, 6, 6]);
     let err = client.infer(bad.shape(), bad.data()).expect("transport").expect_err("rejected");
-    assert_eq!(err.0, ErrCode::Execution);
+    assert_eq!(err.code, ErrCode::Execution);
+    assert_eq!(err.retry_after, None, "execution failures carry no retry hint");
 
     // Same connection keeps serving, bit-identically.
     let x = sample(400);
-    let (_, data) = client.infer(x.shape(), x.data()).expect("transport").expect("served");
-    assert!(bits_eq(&data, &reference(&net, &x)));
+    let reply = client.infer(x.shape(), x.data()).expect("transport").expect("served");
+    assert!(bits_eq(&reply.data, &reference(&net, &x)));
 
     let stats = finish(handle, join);
     assert_eq!(stats.replies_err, 1);
@@ -277,8 +278,8 @@ fn slow_loris_partial_header_is_reaped_by_the_idle_timeout() {
     // A well-behaved client is untouched by the reaping.
     let mut client = Client::connect(addr).expect("connect");
     let x = sample(500);
-    let (_, data) = client.infer(x.shape(), x.data()).expect("transport").expect("served");
-    assert!(bits_eq(&data, &reference(&net, &x)));
+    let reply = client.infer(x.shape(), x.data()).expect("transport").expect("served");
+    assert!(bits_eq(&reply.data, &reference(&net, &x)));
 
     let stats = finish(handle, join);
     assert_eq!(stats.idle_closed, 1);
@@ -294,7 +295,7 @@ fn shutdown_drains_inflight_requests_bit_identically() {
         flush_deadline: Duration::from_millis(200),
         flush_deadline_min: Duration::from_millis(200),
         queue_capacity: 64,
-        default_deadline: None,
+        ..ServeConfig::default()
     };
     let (net, addr, handle, join) = front_end(serve, NetConfig::default());
 
@@ -383,27 +384,27 @@ fn reload_over_the_wire_swaps_plans_without_dropping_the_connection() {
     let mut client = Client::connect(addr).expect("connect");
     client.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
     let x = sample(701);
-    let (_, before) = client.infer(x.shape(), x.data()).expect("transport").expect("served");
-    assert!(bits_eq(&before, &reference(&net_a, &x)), "plan A serves first");
+    let before = client.infer(x.shape(), x.data()).expect("transport").expect("served");
+    assert!(bits_eq(&before.data, &reference(&net_a, &x)), "plan A serves first");
 
     // Explicit-path reload to plan B: same connection, new weights.
     let generation = client.reload(&path_b.display().to_string()).expect("transport");
     assert_eq!(generation, Ok(1));
-    let (_, after) = client.infer(x.shape(), x.data()).expect("transport").expect("served");
-    assert!(bits_eq(&after, &reference(&net_b, &x)), "plan B serves after reload");
+    let after = client.infer(x.shape(), x.data()).expect("transport").expect("served");
+    assert!(bits_eq(&after.data, &reference(&net_b, &x)), "plan B serves after reload");
 
     // A nonexistent replacement is rejected; B keeps serving, generation
     // unchanged.
     let rejected = client.reload("/nonexistent/plan.daplan").expect("transport");
     assert!(rejected.is_err(), "missing snapshot must be rejected");
-    let (_, still) = client.infer(x.shape(), x.data()).expect("transport").expect("served");
-    assert!(bits_eq(&still, &reference(&net_b, &x)));
+    let still = client.infer(x.shape(), x.data()).expect("transport").expect("served");
+    assert!(bits_eq(&still.data, &reference(&net_b, &x)));
     assert_eq!(client.stats().expect("stats").generation, 1);
 
     // Empty path falls back to the configured reload path (plan A's file).
     assert_eq!(client.reload("").expect("transport"), Ok(2));
-    let (_, back) = client.infer(x.shape(), x.data()).expect("transport").expect("served");
-    assert!(bits_eq(&back, &reference(&net_a, &x)), "configured path reload back to A");
+    let back = client.infer(x.shape(), x.data()).expect("transport").expect("served");
+    assert!(bits_eq(&back.data, &reference(&net_a, &x)), "configured path reload back to A");
 
     drop(client);
     let stats = finish(handle, join);

@@ -363,6 +363,7 @@ fn one_nanosecond_flush_deadline_is_stable_and_bit_identical() {
             flush_deadline_min: Duration::from_nanos(1),
             queue_capacity: 4, // small enough that backpressure engages too
             default_deadline: None,
+            ..ServeConfig::default()
         },
         "1ns-deadline",
     );
@@ -375,6 +376,7 @@ fn one_nanosecond_flush_deadline_is_stable_and_bit_identical() {
             flush_deadline_min: Duration::from_nanos(1),
             queue_capacity: 4,
             default_deadline: None,
+            ..ServeConfig::default()
         },
         "1ns-deadline-axfpm",
     );

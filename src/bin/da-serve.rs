@@ -39,6 +39,7 @@ fn main() {
     let mut serve = ServeConfig::default();
     let mut net = NetConfig::default();
     let mut reload_path: Option<String> = None;
+    let mut brownout_snapshot: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -68,6 +69,11 @@ fn main() {
                 net.idle_timeout = Some(Duration::from_millis(parse(&value("ms"))))
             }
             "--reload-path" => reload_path = Some(value("a path")),
+            "--rate" => net.rate = Some(parse(&value("req/s"))),
+            "--burst" => net.burst = Some(parse(&value("tokens"))),
+            "--conn-rate" => net.conn_rate = Some(parse(&value("req/s"))),
+            "--conn-burst" => net.conn_burst = Some(parse(&value("tokens"))),
+            "--brownout-snapshot" => brownout_snapshot = Some(value("a path")),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -89,6 +95,16 @@ fn main() {
         Ok(s) => s,
         Err(e) => die(&format!("cannot serve snapshot {snapshot}: {e}")),
     };
+    // A pre-loaded cheaper plan (typically an int8 snapshot beside the f32
+    // one) the server fails over to under sustained shed pressure. Loaded
+    // and interface-checked at boot: a brownout is the wrong moment to
+    // discover the fallback does not fit.
+    if let Some(path) = &brownout_snapshot {
+        if let Err(e) = server.set_fallback_from_snapshot(path) {
+            die(&format!("cannot use brownout snapshot {path}: {e}"));
+        }
+        eprintln!("brownout fallback armed from {path}");
+    }
     let front = match NetServer::bind(server, addr.as_str(), net) {
         Ok(f) => f,
         Err(e) => die(&format!("cannot bind {addr}: {e}")),
@@ -103,11 +119,12 @@ fn main() {
 
     match front.run() {
         Ok(stats) => eprintln!(
-            "drained: {} conns, {} ok replies, {} error replies, {} protocol errors, \
-             {} reloads ok, {} reloads rejected",
+            "drained: {} conns, {} ok replies, {} error replies, {} rate limited, \
+             {} protocol errors, {} reloads ok, {} reloads rejected",
             stats.accepted,
             stats.replies_ok,
             stats.replies_err,
+            stats.rate_limited,
             stats.protocol_errors,
             stats.reloads_ok,
             stats.reloads_rejected
@@ -156,8 +173,14 @@ const USAGE: &str = "usage: da-serve [--snapshot PATH] [--addr HOST:PORT] [--dem
                 [--default-deadline-us N] [--max-frame BYTES]
                 [--max-inflight N] [--max-conns N] [--idle-timeout-ms N]
                 [--reload-path PATH]
+                [--rate R] [--burst N] [--conn-rate R] [--conn-burst N]
+                [--brownout-snapshot PATH]
 
-SIGHUP hot-reloads the plan from --reload-path (default: --snapshot).";
+SIGHUP hot-reloads the plan from --reload-path (default: --snapshot).
+--rate/--conn-rate enable token-bucket admission control (req/s, global /
+per connection); excess requests get typed Overloaded replies with a
+RetryAfter hint. --brownout-snapshot arms a cheaper fallback plan served
+under sustained shed pressure (replies are flagged degraded).";
 
 #[cfg(unix)]
 fn die(msg: &str) -> ! {
